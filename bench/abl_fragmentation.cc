@@ -1,0 +1,50 @@
+// Ablation A1 (design choice, Section 3.1): degree of fragmentation.
+// The paper argues that a very high degree of fragmentation (buckets >>
+// processors) eases load balancing under skew. We sweep the bucket count
+// on a skewed hierarchical run and report DP response time.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+
+using namespace hierdb;
+using namespace hierdb::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  flags.queries = std::min(flags.queries, 5u);
+  sim::SystemConfig base;
+  base.num_nodes = 4;
+  base.procs_per_node = 8;
+  PrintHeader("Ablation A1: degree of fragmentation (DP, 4x8, skew 0.8)",
+              flags, base);
+
+  auto plans = MakeBenchWorkload(flags);
+  std::printf("%-10s %12s %10s %12s\n", "buckets", "rel. perf", "steals",
+              "lb-MB");
+
+  std::vector<double> base_rt(plans.size(), 0.0);
+  for (uint32_t buckets : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    sim::SystemConfig cfg = base;
+    cfg.buckets_per_operator = buckets;
+    std::vector<double> ratio;
+    uint64_t steals = 0;
+    double lb_mb = 0.0;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      exec::RunOptions opts;
+      opts.seed = flags.seed + plans[i].query_index * 131;
+      opts.skew_theta = 0.8;
+      auto m = RunPlan(cfg, exec::Strategy::kDP, plans[i], opts);
+      if (base_rt[i] == 0.0) base_rt[i] = m.ResponseMs();
+      ratio.push_back(m.ResponseMs() / base_rt[i]);
+      steals += m.global_steals;
+      lb_mb += static_cast<double>(m.net.bytes_loadbalance) / (1 << 20);
+    }
+    std::printf("%-10u %12.3f %10llu %12.2f\n", buckets, Mean(ratio),
+                static_cast<unsigned long long>(steals), lb_mb);
+  }
+  std::printf("expected: more buckets spread skewed data more evenly and "
+              "reduce per-steal transfer size.\n");
+  return 0;
+}

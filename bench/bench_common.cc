@@ -1,0 +1,82 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hierdb::bench {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+    };
+    if (const char* v = val("--queries=")) {
+      f.queries = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = val("--trees=")) {
+      f.trees = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = val("--scale=")) {
+      f.scale = std::atof(v);
+    } else if (const char* v = val("--seed=")) {
+      f.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (known: --queries= --trees= --scale= "
+                   "--seed=)\n",
+                   a);
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+std::vector<opt::WorkloadPlan> MakeBenchWorkload(const Flags& flags) {
+  opt::WorkloadOptions wo;
+  wo.num_queries = flags.queries;
+  wo.trees_per_query = flags.trees;
+  wo.seed = flags.seed;
+  wo.query.num_relations = 12;
+  wo.query.scale = flags.scale;
+  return opt::MakeWorkload(wo);
+}
+
+exec::RunMetrics RunPlan(const sim::SystemConfig& cfg, exec::Strategy strat,
+                         const opt::WorkloadPlan& wp,
+                         const exec::RunOptions& opts) {
+  exec::Engine engine(cfg, strat);
+  exec::RunResult r = engine.Run(wp.plan, wp.catalog, opts);
+  if (!r.status.ok()) {
+    std::fprintf(stderr, "run failed (%s, query %u tree %u): %s\n",
+                 exec::StrategyName(strat), wp.query_index, wp.tree_rank,
+                 r.status.ToString().c_str());
+    std::exit(1);
+  }
+  return r.metrics;
+}
+
+void PrintParameterTables(const sim::SystemConfig& cfg) {
+  std::printf("T1 network parameters: bandwidth=infinite delay=%.1fms "
+              "send=%.0finstr/8K recv=%.0finstr/8K\n",
+              ToMillis(cfg.net.end_to_end_delay),
+              cfg.net.send_cpu_instr_per_8k, cfg.net.recv_cpu_instr_per_8k);
+  std::printf("T2 disk parameters: latency=%.0fms seek=%.0fms "
+              "rate=%.1fMB/s async_init=%.0finstr cache=%upages "
+              "(1 disk/processor)\n",
+              ToMillis(cfg.disk.latency), ToMillis(cfg.disk.seek_time),
+              cfg.disk.transfer_bytes_per_sec / (1024.0 * 1024.0),
+              cfg.disk.async_init_instr, cfg.disk.io_cache_pages);
+}
+
+void PrintHeader(const std::string& title, const Flags& flags,
+                 const sim::SystemConfig& cfg) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("workload: %u queries x %u trees, scale=%.2f, seed=%llu\n",
+              flags.queries, flags.trees, flags.scale,
+              static_cast<unsigned long long>(flags.seed));
+  PrintParameterTables(cfg);
+}
+
+}  // namespace hierdb::bench

@@ -1,0 +1,51 @@
+// Shared harness for the experiment benches: workload construction, run
+// helpers, the paper's methodology for aggregating per-plan ratios
+// (Section 5.1.3), and tiny flag parsing.
+//
+// Every bench binary accepts:
+//   --queries=N   generated queries (default 10; the paper used 20)
+//   --trees=N     bushy trees retained per query (default 2 => 2N plans)
+//   --scale=F     cardinality scale factor (default 0.25; 1.0 = paper)
+//   --seed=N      master seed (default 42)
+// Full paper scale: --queries=20 --scale=1.0 (slower).
+
+#ifndef HIERDB_BENCH_BENCH_COMMON_H_
+#define HIERDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "opt/workload.h"
+#include "sim/config.h"
+
+namespace hierdb::bench {
+
+struct Flags {
+  uint32_t queries = 10;
+  uint32_t trees = 2;
+  double scale = 0.25;
+  uint64_t seed = 42;
+
+  static Flags Parse(int argc, char** argv);
+};
+
+/// Builds the benchmark workload per the flags.
+std::vector<opt::WorkloadPlan> MakeBenchWorkload(const Flags& flags);
+
+/// Runs one plan; aborts the bench with a diagnostic on failure.
+exec::RunMetrics RunPlan(const sim::SystemConfig& cfg, exec::Strategy strat,
+                         const opt::WorkloadPlan& wp,
+                         const exec::RunOptions& opts);
+
+/// Prints the paper's Section 5.1.1 parameter tables (T1/T2).
+void PrintParameterTables(const sim::SystemConfig& cfg);
+
+/// Prints a standard bench header.
+void PrintHeader(const std::string& title, const Flags& flags,
+                 const sim::SystemConfig& cfg);
+
+}  // namespace hierdb::bench
+
+#endif  // HIERDB_BENCH_BENCH_COMMON_H_

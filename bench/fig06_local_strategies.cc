@@ -1,0 +1,44 @@
+// Figure 6: relative performance of SP, DP and FP on one shared-memory
+// node, no skew, for 16 / 32 / 64 processors (we also report 8).
+// Reference response time is SP's (always best in the paper). Each point
+// is the mean over all plans of rt(strategy)/rt(SP) — the paper's
+// comparable-execution-times methodology (Section 5.1.3).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+
+using namespace hierdb;
+using namespace hierdb::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  sim::SystemConfig base;
+  base.num_nodes = 1;
+  PrintHeader("Figure 6: relative performance of SP, DP, FP (1 SM-node, "
+              "no skew)",
+              flags, base);
+
+  auto plans = MakeBenchWorkload(flags);
+  std::printf("%-6s %8s %8s %8s\n", "procs", "SP", "DP", "FP");
+  for (uint32_t procs : {8u, 16u, 32u, 64u}) {
+    sim::SystemConfig cfg = base;
+    cfg.procs_per_node = procs;
+    std::vector<double> dp_ratio, fp_ratio;
+    for (const auto& wp : plans) {
+      exec::RunOptions opts;
+      opts.seed = flags.seed + wp.query_index * 131 + wp.tree_rank;
+      double sp = RunPlan(cfg, exec::Strategy::kSP, wp, opts).ResponseMs();
+      double dp = RunPlan(cfg, exec::Strategy::kDP, wp, opts).ResponseMs();
+      double fp = RunPlan(cfg, exec::Strategy::kFP, wp, opts).ResponseMs();
+      dp_ratio.push_back(dp / sp);
+      fp_ratio.push_back(fp / sp);
+    }
+    std::printf("%-6u %8.3f %8.3f %8.3f\n", procs, 1.0, Mean(dp_ratio),
+                Mean(fp_ratio));
+  }
+  std::printf("paper shape: SP best; DP within a few %% of SP; FP worst, "
+              "worsening as processors decrease.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 9: impact of redistribution skew on DP with 64 processors in one
+// shared-memory node. All operators get the same Zipf skew factor; the
+// reference response time is the same plan with no skew.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+
+using namespace hierdb;
+using namespace hierdb::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  sim::SystemConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.procs_per_node = 64;
+  PrintHeader("Figure 9: impact of redistribution skew on DP (64 procs)",
+              flags, cfg);
+
+  auto plans = MakeBenchWorkload(flags);
+  const double kThetas[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  // Baselines at theta = 0.
+  std::vector<double> base_rt;
+  for (const auto& wp : plans) {
+    exec::RunOptions opts;
+    opts.seed = flags.seed + wp.query_index * 131 + wp.tree_rank;
+    base_rt.push_back(RunPlan(cfg, exec::Strategy::kDP, wp, opts).ResponseMs());
+  }
+
+  std::printf("%-8s %12s %16s\n", "zipf", "rel. perf", "nonprimary cons.");
+  for (double theta : kThetas) {
+    std::vector<double> ratio;
+    uint64_t nonprimary = 0;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      exec::RunOptions opts;
+      opts.seed = flags.seed + plans[i].query_index * 131 +
+                  plans[i].tree_rank;
+      opts.skew_theta = theta;
+      auto m = RunPlan(cfg, exec::Strategy::kDP, plans[i], opts);
+      ratio.push_back(m.ResponseMs() / base_rt[i]);
+      nonprimary += m.nonprimary_consumptions;
+    }
+    std::printf("%-8.1f %12.3f %16llu\n", theta, Mean(ratio),
+                static_cast<unsigned long long>(nonprimary));
+  }
+  std::printf("paper shape: the impact of skew on DP is insignificant "
+              "(flat curve, y stays within ~1.0-1.1).\n");
+  return 0;
+}

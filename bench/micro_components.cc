@@ -1,0 +1,119 @@
+// Component microbenchmarks (google-benchmark): simulation kernel event
+// throughput, Zipf generation, emission ledgers, activation queues, the
+// bushy optimizer and a small end-to-end engine run.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "exec/engine.h"
+#include "exec/ledger.h"
+#include "exec/queue.h"
+#include "opt/bushy_optimizer.h"
+#include "opt/query_gen.h"
+#include "opt/workload.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hierdb;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    uint64_t counter = 0;
+    for (int i = 0; i < 1024; ++i) {
+      s.ScheduleAfter(i, [&counter]() { ++counter; });
+    }
+    s.Run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_ZipfApportion(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    auto v = ZipfApportion(1'000'000, static_cast<uint32_t>(state.range(0)),
+                           0.8, &rng);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_ZipfApportion)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ZipfSampler(benchmark::State& state) {
+  Rng rng(1);
+  ZipfSampler sampler(100000, 0.9);
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += sampler.Sample(&rng);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ZipfSampler);
+
+void BM_EmissionLedger(benchmark::State& state) {
+  const uint32_t buckets = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> shares = ZipfApportion(1'000'000, buckets, 0.5);
+    exec::EmissionLedger ledger(1'000'000, std::move(shares));
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      auto out = ledger.Emit(1000);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+}
+BENCHMARK(BM_EmissionLedger)->Arg(64)->Arg(512);
+
+void BM_ActivationQueue(benchmark::State& state) {
+  exec::ActivationQueue q(0, 0, 0, UINT32_MAX);
+  exec::Activation a;
+  a.tuples = 128;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.Push(a);
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(q.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ActivationQueue);
+
+void BM_BushyOptimizer(benchmark::State& state) {
+  opt::QueryGenOptions qo;
+  qo.num_relations = static_cast<uint32_t>(state.range(0));
+  opt::QueryGenerator gen(qo, 7);
+  auto q = gen.Generate();
+  opt::BushyOptimizer optz;
+  for (auto _ : state) {
+    auto trees = optz.TopK(q.graph, q.catalog, 2);
+    benchmark::DoNotOptimize(trees.data());
+  }
+}
+BENCHMARK(BM_BushyOptimizer)->Arg(8)->Arg(12);
+
+void BM_EngineSmallPlan(benchmark::State& state) {
+  opt::WorkloadOptions wo;
+  wo.num_queries = 1;
+  wo.trees_per_query = 1;
+  wo.query.num_relations = 6;
+  wo.query.scale = 0.02;
+  auto plans = opt::MakeWorkload(wo);
+  sim::SystemConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 4;
+  for (auto _ : state) {
+    exec::Engine eng(cfg, exec::Strategy::kDP);
+    exec::RunOptions opts;
+    opts.seed = 3;
+    auto r = eng.Run(plans[0].plan, plans[0].catalog, opts);
+    if (!r.status.ok()) state.SkipWithError(r.status.ToString().c_str());
+    benchmark::DoNotOptimize(r.metrics.response_time);
+  }
+}
+BENCHMARK(BM_EngineSmallPlan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

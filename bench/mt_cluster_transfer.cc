@@ -1,0 +1,127 @@
+// Real-thread counterpart of Section 5.3 / Figure 10: DP versus FP on a
+// hierarchical cluster (thread-group SM-nodes coupled by the message
+// fabric), running a pipeline chain under tuple-placement skew.
+//
+// Reported per strategy: wall time, data moved by pipelined
+// redistribution, data moved by global load balancing (the paper measures
+// FP moving 2-4x more), steal traffic, idle waits and node imbalance.
+//
+// Flags: --nodes=N --threads=T --joins=K --rows=R --skew=S
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "cluster/cluster_executor.h"
+
+using namespace hierdb;
+using namespace hierdb::cluster;
+
+namespace {
+
+struct Args {
+  uint32_t nodes = 4;
+  uint32_t threads = 2;
+  uint32_t joins = 4;
+  uint64_t rows = 150000;
+  double skew = 0.8;
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (sscanf(argv[i], "--nodes=%u", &a.nodes) == 1) continue;
+    if (sscanf(argv[i], "--threads=%u", &a.threads) == 1) continue;
+    if (sscanf(argv[i], "--joins=%u", &a.joins) == 1) continue;
+    if (sscanf(argv[i], "--rows=%lu", &a.rows) == 1) continue;
+    if (sscanf(argv[i], "--skew=%lf", &a.skew) == 1) continue;
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  std::printf("=== real cluster: DP vs FP transfer volume (Section 5.3) "
+              "===\n");
+  std::printf("config: %u nodes x %u threads, %u-join chain, %lu fact "
+              "rows, placement skew %.1f\n"
+              "(transfer volumes, steal counts and idle waits are the "
+              "paper's Section 5.3 signals; wall times on a small host "
+              "reflect overhead, not cluster parallelism)\n\n",
+              args.nodes, args.threads, args.joins,
+              static_cast<unsigned long>(args.rows), args.skew);
+
+  // Workload: fact with one FK column per join, dims hash-partitioned on
+  // their keys, fact placed with Zipf(skew) across nodes.
+  mt::Table fact = mt::MakeTable("fact", args.rows, args.joins + 1, 2000, 7);
+  std::vector<mt::Table> dims;
+  for (uint32_t j = 0; j < args.joins; ++j) {
+    dims.push_back(mt::MakeTable("dim", 2000, 2, 100, 17 + j));
+  }
+  PartitionedTable fact_parts =
+      PartitionWithPlacementSkew(fact, args.nodes, args.skew, 3);
+  std::vector<PartitionedTable> dim_parts;
+  for (uint32_t j = 0; j < args.joins; ++j) {
+    dim_parts.push_back(PartitionByHash(dims[j], args.nodes, 0));
+  }
+  ChainQuery q;
+  q.input = &fact_parts;
+  for (uint32_t j = 0; j < args.joins; ++j) {
+    q.joins.push_back({&dim_parts[j], j + 1, 0});
+  }
+  auto ref = ReferenceExecute(q).ValueOrDie();
+
+  std::printf("%-4s %9s %12s %12s %8s %9s %10s %10s\n", "", "wall(s)",
+              "dataflow MB", "LB MB", "steals", "stolen", "idle", "imbal");
+  double dp_lb = 0, fp_lb = 0, dp_wall = 0, fp_wall = 0;
+  for (auto strat : {mt::LocalStrategy::kDP, mt::LocalStrategy::kFP}) {
+    ClusterOptions o;
+    o.nodes = args.nodes;
+    o.threads_per_node = args.threads;
+    o.buckets = 256;
+    o.morsel_rows = 4096;
+    o.batch_rows = 512;
+    o.queue_capacity = 512;
+    o.steal_batch = 32;
+    o.strategy = strat;
+    ClusterExecutor exec(o);
+    ClusterStats stats;
+    auto t0 = std::chrono::steady_clock::now();
+    auto got = exec.Execute(q, &stats);
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!got.ok() || !(got.value() == ref)) {
+      std::fprintf(stderr, "%s: wrong result or failure\n",
+                   mt::LocalStrategyName(strat));
+      return 1;
+    }
+    uint64_t idle = 0;
+    for (uint64_t i : stats.idle_waits_per_node) idle += i;
+    std::printf("%-4s %9.3f %12.2f %12.3f %8lu %9lu %10lu %10.2f\n",
+                mt::LocalStrategyName(strat), wall,
+                stats.dataflow_bytes / 1e6, stats.lb_bytes / 1e6,
+                static_cast<unsigned long>(stats.steals),
+                static_cast<unsigned long>(stats.stolen_activations),
+                static_cast<unsigned long>(idle), stats.NodeImbalance());
+    if (strat == mt::LocalStrategy::kDP) {
+      dp_lb = static_cast<double>(stats.lb_bytes);
+      dp_wall = wall;
+    } else {
+      fp_lb = static_cast<double>(stats.lb_bytes);
+      fp_wall = wall;
+    }
+  }
+  if (dp_lb > 0) {
+    std::printf("\nLB traffic ratio FP/DP: %.2fx   wall ratio FP/DP: "
+                "%.2fx\n",
+                fp_lb / dp_lb, fp_wall / dp_wall);
+  }
+  std::printf("paper shape: FP ships 2-4x more load-balancing data (9 MB "
+              "vs 2.5 MB on their chain) and leaves processors idle; DP "
+              "steals only when a whole node starves.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Real-thread counterpart of Figures 6 and 8: SP, DP and FP executing the
+// same multi-join pipeline on one shared-memory node (this host), with
+// wall-clock speedup versus thread count and the effect of skew.
+//
+// Flags: --rows=R --dims=K --maxthreads=T --skew=S
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "mt/pipeline_executor.h"
+
+using namespace hierdb;
+using namespace hierdb::mt;
+
+namespace {
+
+struct Args {
+  uint64_t rows = 200000;
+  uint32_t dims = 3;
+  uint32_t maxthreads = 0;  // 0 = hardware concurrency
+  double skew = 0.0;
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (sscanf(argv[i], "--rows=%lu", &a.rows) == 1) continue;
+    if (sscanf(argv[i], "--dims=%u", &a.dims) == 1) continue;
+    if (sscanf(argv[i], "--maxthreads=%u", &a.maxthreads) == 1) continue;
+    if (sscanf(argv[i], "--skew=%lf", &a.skew) == 1) continue;
+  }
+  if (a.maxthreads == 0) {
+    a.maxthreads = std::max(2u, std::thread::hardware_concurrency());
+  }
+  return a;
+}
+
+double RunOnce(LocalStrategy s, uint32_t threads, const PipelinePlan& plan,
+               const std::vector<const Table*>& tables,
+               const ResultDigest& ref) {
+  PipelineOptions o;
+  o.threads = threads;
+  o.buckets = 64;
+  o.morsel_rows = 8192;
+  o.batch_rows = 4096;
+  o.queue_capacity = 256;
+  o.strategy = s;
+  PipelineExecutor exec(o);
+  auto t0 = std::chrono::steady_clock::now();
+  auto got = exec.Execute(plan, tables);
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!got.ok() || !(got.value() == ref)) return -1.0;
+  return wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  std::printf("=== real executor: SP / DP / FP pipeline strategies "
+              "(Figures 6 & 8 analog) ===\n");
+  std::printf("star join: %lu fact rows x %u dims, probe skew %.1f "
+              "(host: %u hardware threads)\n",
+              static_cast<unsigned long>(args.rows), args.dims, args.skew,
+              std::thread::hardware_concurrency());
+  std::printf("NOTE: on a single-core host the thread sweep measures "
+              "strategy overhead, not parallel speedup; the simulated "
+              "engine benches (fig06/fig08) carry the paper's speedup "
+              "results.\n\n");
+
+  std::vector<Table> tables;
+  if (args.skew > 0) {
+    tables.push_back(MakeSkewedTable("fact", args.rows, args.dims + 1, 3000,
+                                     1, args.skew, 7));
+  } else {
+    tables.push_back(MakeTable("fact", args.rows, args.dims + 1, 3000, 7));
+  }
+  std::vector<uint32_t> dim_ids, probe_cols;
+  for (uint32_t d = 0; d < args.dims; ++d) {
+    tables.push_back(MakeTable("dim", 3000, 2, 100, 17 + d));
+    dim_ids.push_back(d + 1);
+    probe_cols.push_back(d + 1);
+  }
+  std::vector<const Table*> tablev;
+  for (const auto& t : tables) tablev.push_back(&t);
+  PipelinePlan plan = MakeRightDeepPlan(0, dim_ids, probe_cols);
+  auto ref = ReferenceExecute(plan, tablev).ValueOrDie();
+
+  std::printf("%-8s %10s %10s %10s %12s %12s\n", "threads", "SP(s)",
+              "DP(s)", "FP(s)", "DP speedup", "DP/SP");
+  double dp1 = 0;
+  for (uint32_t t = 1; t <= args.maxthreads; t *= 2) {
+    double sp = RunOnce(LocalStrategy::kSP, t, plan, tablev, ref);
+    double dp = RunOnce(LocalStrategy::kDP, t, plan, tablev, ref);
+    double fp = RunOnce(LocalStrategy::kFP, t, plan, tablev, ref);
+    if (sp < 0 || dp < 0 || fp < 0) {
+      std::fprintf(stderr, "run failed at %u threads\n", t);
+      return 1;
+    }
+    if (t == 1) dp1 = dp;
+    std::printf("%-8u %10.3f %10.3f %10.3f %11.2fx %12.2f\n", t, sp, dp, fp,
+                dp1 / dp, dp / sp);
+  }
+  std::printf("\npaper shape: SP best in shared-memory, DP within a few "
+              "percent, FP worst (discretization); near-linear speedup "
+              "for SP and DP.\n");
+  return 0;
+}

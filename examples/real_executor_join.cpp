@@ -1,0 +1,80 @@
+// The real multithreaded mini-executor: an actual star join over
+// generated tuples, executed with the paper's dynamic-processing design
+// (self-contained activations, per-thread queues with stealing, bucket
+// fragmentation, flow-control escapes) on this machine's cores. The
+// result is validated against a single-threaded reference.
+//
+//   $ ./real_executor_join [threads]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "mt/executor.h"
+
+using namespace hierdb::mt;
+
+int main(int argc, char** argv) {
+  const uint32_t threads =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1]))
+               : std::max(2u, std::thread::hardware_concurrency() / 2);
+
+  // A skewed fact relation (Zipf keys = attribute-value skew) and three
+  // uniform dimensions.
+  auto fact = MakeZipfRelation(500'000, 50'000, 0.5, 1);
+  auto customers = MakeUniformRelation(200'000, 50'000, 2);
+  auto products = MakeUniformRelation(100'000, 50'000, 3);
+  auto stores = MakeUniformRelation(50'000, 50'000, 4);
+  std::vector<const Relation*> dims = {&customers, &products, &stores};
+
+  std::printf("fact=%zu tuples (zipf 0.5), dims=%zu/%zu/%zu, %u threads\n",
+              fact.size(), customers.size(), products.size(), stores.size(),
+              threads);
+
+  ExecutorOptions opts;
+  opts.threads = threads;
+  opts.buckets = 512;
+  StarJoinExecutor executor(opts);
+  ExecutorStats stats;
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto result = executor.Execute(fact, dims, &stats);
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  if (!result.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("parallel join : %llu result tuples in %.3f s (%.1f M "
+              "fact-tuples/s)\n",
+              static_cast<unsigned long long>(result.value().count), secs,
+              fact.size() / secs / 1e6);
+  std::printf("activations   : %llu (%llu stolen from other queues, %llu "
+              "full-queue escapes)\n",
+              static_cast<unsigned long long>(stats.activations),
+              static_cast<unsigned long long>(stats.nonprimary_consumptions),
+              static_cast<unsigned long long>(stats.full_queue_escapes));
+
+  auto t1 = std::chrono::steady_clock::now();
+  JoinResult ref = ReferenceStarJoin(fact, dims);
+  double ref_secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t1)
+                        .count();
+  std::printf("reference     : %llu tuples in %.3f s (single thread)\n",
+              static_cast<unsigned long long>(ref.count), ref_secs);
+  if (ref.count != result.value().count ||
+      ref.checksum != result.value().checksum) {
+    std::fprintf(stderr, "MISMATCH against reference!\n");
+    return 1;
+  }
+  std::printf("validation    : count and checksum match the reference\n");
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf("note          : this host exposes a single core; thread "
+                "scaling cannot show here.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Skew-resilience demo (the Section 5.2.2 claim): sweep the
+// redistribution-skew factor and show that DP's response time barely
+// moves, while the static FP model degrades — on the same plan, same
+// machine.
+//
+//   $ ./skew_resilience
+
+#include <cstdio>
+
+#include "exec/engine.h"
+#include "opt/workload.h"
+
+using namespace hierdb;
+
+int main() {
+  // One generated 12-relation decision-support query (paper methodology),
+  // scaled down for a quick run.
+  opt::WorkloadOptions wo;
+  wo.num_queries = 1;
+  wo.trees_per_query = 1;
+  wo.query.num_relations = 12;
+  wo.query.scale = 0.1;
+  wo.seed = 99;
+  opt::WorkloadPlan wp = std::move(opt::MakeWorkload(wo)[0]);
+
+  sim::SystemConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.procs_per_node = 16;
+
+  std::printf("12-relation query, 16 processors, one shared-memory node\n");
+  std::printf("%-8s %14s %14s %18s\n", "zipf", "DP rt(ms)", "FP rt(ms)",
+              "DP non-primary");
+  double dp_base = 0.0, fp_base = 0.0;
+  for (double theta : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    exec::RunOptions opts;
+    opts.seed = 5;
+    opts.skew_theta = theta;
+    exec::Engine dp(cfg, exec::Strategy::kDP);
+    auto dm = dp.Run(wp.plan, wp.catalog, opts);
+    exec::Engine fp(cfg, exec::Strategy::kFP);
+    auto fm = fp.Run(wp.plan, wp.catalog, opts);
+    if (!dm.status.ok() || !fm.status.ok()) {
+      std::fprintf(stderr, "run failed\n");
+      return 1;
+    }
+    if (theta == 0.0) {
+      dp_base = dm.metrics.ResponseMs();
+      fp_base = fm.metrics.ResponseMs();
+    }
+    std::printf("%-8.1f %9.0f (%4.2fx) %8.0f (%4.2fx) %18llu\n", theta,
+                dm.metrics.ResponseMs(), dm.metrics.ResponseMs() / dp_base,
+                fm.metrics.ResponseMs(), fm.metrics.ResponseMs() / fp_base,
+                static_cast<unsigned long long>(
+                    dm.metrics.nonprimary_consumptions));
+  }
+  std::printf("\nDP absorbs skew by letting threads drain each other's "
+              "queues (non-primary consumptions\ngrow with skew while the "
+              "response time stays flat).\n");
+  return 0;
+}

@@ -1,0 +1,1221 @@
+#include "cluster/cluster_executor.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/zipf.h"
+#include "mt/row_table.h"
+#include "net/message.h"
+
+namespace hierdb::cluster {
+
+using mt::Batch;
+using mt::LocalStrategy;
+using mt::ResultDigest;
+using mt::RowTable;
+using net::Message;
+using net::MsgType;
+
+// ---------------------------------------------------------------------
+// Partition helpers.
+
+PartitionedTable PartitionByHash(const mt::Table& table, uint32_t nodes,
+                                 uint32_t col) {
+  PartitionedTable out;
+  out.width = table.width();
+  out.parts.assign(nodes, Batch(table.width()));
+  for (size_t i = 0; i < table.rows(); ++i) {
+    const int64_t* row = table.batch.row(i);
+    uint32_t node =
+        static_cast<uint32_t>((mt::HashKey(row[col]) >> 32) % nodes);
+    out.parts[node].AppendRow(row);
+  }
+  return out;
+}
+
+PartitionedTable PartitionRoundRobin(const mt::Table& table, uint32_t nodes) {
+  PartitionedTable out;
+  out.width = table.width();
+  out.parts.assign(nodes, Batch(table.width()));
+  for (size_t i = 0; i < table.rows(); ++i) {
+    out.parts[i % nodes].AppendRow(table.batch.row(i));
+  }
+  return out;
+}
+
+PartitionedTable PartitionWithPlacementSkew(const mt::Table& table,
+                                            uint32_t nodes, double theta,
+                                            uint64_t seed) {
+  PartitionedTable out;
+  out.width = table.width();
+  out.parts.assign(nodes, Batch(table.width()));
+  Rng rng(seed);
+  std::vector<uint64_t> sizes =
+      ZipfApportion(table.rows(), nodes, theta, &rng);
+  size_t i = 0;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint64_t j = 0; j < sizes[n]; ++j, ++i) {
+      out.parts[n].AppendRow(table.batch.row(i));
+    }
+  }
+  return out;
+}
+
+Status ChainQuery::Validate(uint32_t nodes) const {
+  if (input == nullptr) return Status::InvalidArgument("null input");
+  if (input->parts.size() != nodes) {
+    return Status::InvalidArgument("input partition count != nodes");
+  }
+  uint32_t width = input->width;
+  for (const Join& j : joins) {
+    if (j.build == nullptr) return Status::InvalidArgument("null build");
+    if (j.build->parts.size() != nodes) {
+      return Status::InvalidArgument("build partition count != nodes");
+    }
+    if (j.probe_col >= width) {
+      return Status::OutOfRange("probe col out of pipelined width");
+    }
+    if (j.build_col >= j.build->width) {
+      return Status::OutOfRange("build col out of build width");
+    }
+    width += j.build->width;
+  }
+  return Status::OK();
+}
+
+Result<ResultDigest> ReferenceExecute(const ChainQuery& query) {
+  HIERDB_RETURN_NOT_OK(
+      query.Validate(static_cast<uint32_t>(query.input->parts.size())));
+  auto gather = [](const PartitionedTable& pt) {
+    mt::Table t;
+    t.batch = Batch(pt.width);
+    for (const Batch& p : pt.parts) {
+      t.batch.data().insert(t.batch.data().end(), p.data().begin(),
+                            p.data().end());
+    }
+    return t;
+  };
+  std::vector<mt::Table> tables;
+  tables.push_back(gather(*query.input));
+  mt::PipelinePlan plan;
+  mt::Chain chain;
+  chain.input = mt::Source::OfTable(0);
+  for (const auto& j : query.joins) {
+    tables.push_back(gather(*j.build));
+    chain.joins.push_back({mt::Source::OfTable(
+                               static_cast<uint32_t>(tables.size() - 1)),
+                           j.probe_col, j.build_col});
+  }
+  plan.chains.push_back(std::move(chain));
+  std::vector<const mt::Table*> ptrs;
+  for (const auto& t : tables) ptrs.push_back(&t);
+  return mt::ReferenceExecute(plan, ptrs);
+}
+
+double ClusterStats::NodeImbalance() const {
+  if (busy_per_node.empty()) return 1.0;
+  uint64_t max = 0, sum = 0;
+  for (uint64_t b : busy_per_node) {
+    max = std::max(max, b);
+    sum += b;
+  }
+  if (sum == 0) return 1.0;
+  return static_cast<double>(max) * busy_per_node.size() /
+         static_cast<double>(sum);
+}
+
+// ---------------------------------------------------------------------
+// Implementation.
+
+namespace {
+
+struct Activation {
+  uint32_t op = 0;
+  uint32_t bucket = 0;
+  Batch rows;
+};
+
+class BQueue {
+ public:
+  bool TryPush(Activation&& a, uint32_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity) return false;
+    items_.push_back(std::move(a));
+    return true;
+  }
+  bool TryPopFront(Activation* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+  bool TryPopBack(Activation* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.back());
+    items_.pop_back();
+    return true;
+  }
+  size_t ApproxSize() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Activation> items_;
+};
+
+constexpr uint32_t kAnyOp = UINT32_MAX;
+
+}  // namespace
+
+struct ClusterExecutor::Impl {
+  // ---- static query shape ----
+  const ClusterOptions& opt;
+  const ChainQuery* query = nullptr;
+  uint32_t k = 0;          // joins
+  uint32_t nops = 0;       // 3k + 1
+  uint32_t scan_op = 0;    // 2k
+  std::vector<uint32_t> width_at;  // pipelined width entering probe j
+
+  net::Fabric fabric;
+
+  explicit Impl(const ClusterOptions& o)
+      : opt(o), fabric({.nodes = o.nodes}) {}
+
+  uint32_t buildscan_op(uint32_t j) const { return j; }
+  uint32_t build_op(uint32_t j) const { return k + j; }
+  uint32_t probe_op(uint32_t j) const { return 2 * k + 1 + j; }
+  bool is_probe(uint32_t op) const { return op > 2 * k; }
+  bool is_build(uint32_t op) const { return op >= k && op < 2 * k; }
+  bool is_trigger(uint32_t op) const { return op < k || op == 2 * k; }
+  uint32_t join_of(uint32_t op) const {
+    return is_build(op) ? op - k : op - 2 * k - 1;
+  }
+  uint32_t producer_of(uint32_t op) const {
+    if (is_build(op)) return buildscan_op(op - k);
+    uint32_t j = join_of(op);
+    return j == 0 ? scan_op : probe_op(j - 1);
+  }
+  uint32_t home_of(uint32_t bucket) const { return bucket % opt.nodes; }
+
+  // ---- per-node state ----
+  struct NodeState {
+    // Queues: [op * T + t]; only data ops (build/probe) use them.
+    std::vector<std::unique_ptr<BQueue>> queues;
+    std::vector<std::atomic<int64_t>> pending;       // per op
+    std::vector<std::atomic<int64_t>> morsels_left;  // per trigger op
+    std::vector<std::atomic<size_t>> cursor;         // per trigger op
+    std::vector<std::atomic<bool>> terminated;       // global, per op
+
+    // Local bucket tables (home buckets only) + insert locks.
+    std::vector<std::vector<RowTable>> tables;  // [join][bucket]
+    std::vector<std::vector<std::unique_ptr<std::mutex>>> bucket_mu;
+
+    // Stolen fragments: [join] -> bucket -> table.
+    std::vector<std::unordered_map<uint32_t, std::unique_ptr<RowTable>>>
+        stolen;
+    std::vector<std::unique_ptr<std::shared_mutex>> stolen_mu;  // per join
+    // Buckets whose fragments we cached, per op (the Section 4 list).
+    std::vector<std::unordered_set<uint32_t>> cached_buckets;  // per join
+
+    // Steal protocol (scheduler-owned unless noted).
+    std::atomic<bool> starving{false};                 // DP: set by workers
+    std::vector<std::atomic<bool>> fp_starving;        // FP: per op
+    std::atomic<int64_t> steal_inflight{0};
+    bool steal_in_progress = false;
+    uint32_t steal_op = kAnyOp;
+    uint32_t offers_pending = 0;
+    uint32_t best_provider = UINT32_MAX;
+    uint32_t best_op = kAnyOp;
+    uint64_t best_count = 0;
+
+    // End detection (scheduler-owned).
+    std::vector<bool> reported;
+    std::vector<bool> drain_requested;
+    std::vector<bool> drain_acked;
+
+    // Scheduler overflow buffer for routing into full queues.
+    std::deque<Activation> route_overflow;
+
+    // FP stage assignments: packed [lo, hi) ranges per op.
+    std::vector<uint64_t> fp_range;
+
+    std::atomic<bool> done{false};
+    std::atomic<bool> failed{false};
+
+    // Worker wakeup: schedulers notify after routing work or state
+    // changes so idle workers don't spin-poll.
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+
+    // Results and stats.
+    std::vector<ResultDigest> digests;          // per thread
+    std::vector<uint64_t> busy;                 // per thread
+    std::atomic<uint64_t> idle{0};
+    std::atomic<uint64_t> stolen_acts{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> steal_reqs{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> shipped_rows{0};
+
+    // Per-worker outboxes for full local queues.
+    std::vector<std::deque<Activation>> outbox;
+
+    // Per-worker scatter scratch, pooled by re-entrancy depth (FlushOutbox
+    // may nest another activation while an outer frame scatters).
+    struct Scratch {
+      std::vector<Batch> bucket;
+      std::vector<uint32_t> hit;
+    };
+    std::vector<std::vector<std::unique_ptr<Scratch>>> scratch_pool;
+    std::vector<size_t> scratch_depth;
+  };
+  std::vector<std::unique_ptr<NodeState>> node_state;
+
+  // Coordinator (node 0) bookkeeping.
+  std::vector<uint32_t> coord_reports;
+  std::vector<uint32_t> coord_acks;
+  std::vector<bool> coord_drain;
+  std::vector<bool> coord_terminated;
+
+  // ------------------------------------------------------------------
+  // Setup.
+
+  void Compile(const ChainQuery& q) {
+    query = &q;
+    k = static_cast<uint32_t>(q.joins.size());
+    nops = 3 * k + 1;
+    scan_op = 2 * k;
+    width_at.clear();
+    width_at.push_back(q.input->width);
+    for (const auto& j : q.joins) {
+      width_at.push_back(width_at.back() + j.build->width);
+    }
+
+    coord_reports.assign(nops, 0);
+    coord_acks.assign(nops, 0);
+    coord_drain.assign(nops, false);
+    coord_terminated.assign(nops, false);
+
+    const uint32_t T = opt.threads_per_node;
+    const uint32_t B = opt.buckets;
+    node_state.clear();
+    for (uint32_t n = 0; n < opt.nodes; ++n) {
+      auto ns = std::make_unique<NodeState>();
+      ns->queues.reserve(static_cast<size_t>(nops) * T);
+      for (uint32_t i = 0; i < nops * T; ++i) {
+        ns->queues.push_back(std::make_unique<BQueue>());
+      }
+      ns->pending = std::vector<std::atomic<int64_t>>(nops);
+      ns->morsels_left = std::vector<std::atomic<int64_t>>(nops);
+      ns->cursor = std::vector<std::atomic<size_t>>(nops);
+      ns->terminated = std::vector<std::atomic<bool>>(nops);
+      ns->fp_starving = std::vector<std::atomic<bool>>(nops);
+      for (uint32_t i = 0; i < nops; ++i) {
+        ns->pending[i].store(0);
+        ns->morsels_left[i].store(0);
+        ns->cursor[i].store(0);
+        ns->terminated[i].store(false);
+        ns->fp_starving[i].store(false);
+      }
+      ns->tables.resize(k);
+      ns->bucket_mu.resize(k);
+      ns->stolen.resize(k);
+      ns->stolen_mu.resize(k);
+      ns->cached_buckets.resize(k);
+      for (uint32_t j = 0; j < k; ++j) {
+        ns->tables[j].resize(B);
+        ns->bucket_mu[j].resize(B);
+        ns->stolen_mu[j] = std::make_unique<std::shared_mutex>();
+        for (uint32_t b = 0; b < B; ++b) {
+          ns->tables[j][b].Init(q.joins[j].build->width,
+                                q.joins[j].build_col);
+          ns->bucket_mu[j][b] = std::make_unique<std::mutex>();
+        }
+      }
+      ns->reported.assign(nops, false);
+      ns->drain_requested.assign(nops, false);
+      ns->drain_acked.assign(nops, false);
+      ns->digests.assign(T, {});
+      ns->busy.assign(T, 0);
+      ns->outbox.resize(T);
+      ns->scratch_pool.resize(T);
+      ns->scratch_depth.assign(T, 0);
+      // Trigger morsel counts over local partitions.
+      for (uint32_t j = 0; j < k; ++j) {
+        size_t rows = q.joins[j].build->parts[n].rows();
+        ns->morsels_left[buildscan_op(j)].store(static_cast<int64_t>(
+            (rows + opt.morsel_rows - 1) / opt.morsel_rows));
+      }
+      size_t rows = q.input->parts[n].rows();
+      ns->morsels_left[scan_op].store(static_cast<int64_t>(
+          (rows + opt.morsel_rows - 1) / opt.morsel_rows));
+      if (opt.strategy == LocalStrategy::kFP) ComputeFpRanges(*ns, n);
+      node_state.push_back(std::move(ns));
+    }
+  }
+
+  // FP: two static stages — builds (buildscan_j + build_j), then the
+  // probe chain (scan + probe_j). Threads allocated by local cost.
+  void ComputeFpRanges(NodeState& ns, uint32_t n) {
+    const uint32_t T = opt.threads_per_node;
+    ns.fp_range.assign(nops, 0);
+    auto apportion = [&](const std::vector<std::pair<uint32_t, double>>&
+                             ops_with_cost) {
+      if (ops_with_cost.empty()) return;
+      if (ops_with_cost.size() >= T) {
+        for (size_t i = 0; i < ops_with_cost.size(); ++i) {
+          uint32_t t = static_cast<uint32_t>(i) % T;
+          ns.fp_range[ops_with_cost[i].first] =
+              (static_cast<uint64_t>(t) << 32) | (t + 1);
+        }
+        return;
+      }
+      double total = 0;
+      for (const auto& [op, c] : ops_with_cost) total += c;
+      uint32_t rest = T - static_cast<uint32_t>(ops_with_cost.size());
+      std::vector<uint32_t> alloc(ops_with_cost.size(), 1);
+      std::vector<double> frac(ops_with_cost.size());
+      uint32_t used = 0;
+      for (size_t i = 0; i < ops_with_cost.size(); ++i) {
+        double share =
+            total > 0 ? ops_with_cost[i].second / total * rest
+                      : static_cast<double>(rest) / ops_with_cost.size();
+        uint32_t whole = static_cast<uint32_t>(share);
+        alloc[i] += whole;
+        used += whole;
+        frac[i] = share - whole;
+      }
+      std::vector<size_t> order(ops_with_cost.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](size_t a, size_t b) { return frac[a] > frac[b]; });
+      for (size_t i = 0; i < order.size() && used < rest; ++i, ++used) {
+        ++alloc[order[i]];
+      }
+      uint32_t t = 0;
+      for (size_t i = 0; i < ops_with_cost.size(); ++i) {
+        ns.fp_range[ops_with_cost[i].first] =
+            (static_cast<uint64_t>(t) << 32) | (t + alloc[i]);
+        t += alloc[i];
+      }
+    };
+    std::vector<std::pair<uint32_t, double>> stage_a;
+    for (uint32_t j = 0; j < k; ++j) {
+      double c =
+          static_cast<double>(query->joins[j].build->parts[n].rows()) + 1;
+      stage_a.push_back({buildscan_op(j), c});
+      stage_a.push_back({build_op(j), c});
+    }
+    apportion(stage_a);
+    std::vector<std::pair<uint32_t, double>> stage_b;
+    double scan_cost =
+        static_cast<double>(query->input->parts[n].rows()) + 1;
+    stage_b.push_back({scan_op, scan_cost});
+    for (uint32_t j = 0; j < k; ++j) {
+      stage_b.push_back({probe_op(j), scan_cost});
+    }
+    apportion(stage_b);
+  }
+
+  NodeState::Scratch& AcquireScratch(NodeState& ns, uint32_t t) {
+    size_t d = ns.scratch_depth[t]++;
+    if (d == ns.scratch_pool[t].size()) {
+      auto sc = std::make_unique<NodeState::Scratch>();
+      sc->bucket.resize(opt.buckets);
+      ns.scratch_pool[t].push_back(std::move(sc));
+    }
+    return *ns.scratch_pool[t][d];
+  }
+  void ReleaseScratch(NodeState& ns, uint32_t t) { --ns.scratch_depth[t]; }
+
+  bool ThreadMayRun(const NodeState& ns, uint32_t t, uint32_t op) const {
+    if (opt.strategy != LocalStrategy::kFP) return true;
+    uint64_t packed = ns.fp_range[op];
+    uint32_t lo = static_cast<uint32_t>(packed >> 32);
+    uint32_t hi = static_cast<uint32_t>(packed);
+    return lo <= t && t < hi;
+  }
+
+  bool Consumable(const NodeState& ns, uint32_t op) const {
+    if (is_trigger(op)) {
+      if (op == scan_op) {
+        for (uint32_t j = 0; j < k; ++j) {
+          if (!ns.terminated[build_op(j)].load(std::memory_order_acquire)) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    if (is_build(op)) return true;
+    return ns.terminated[build_op(join_of(op))].load(
+        std::memory_order_acquire);
+  }
+
+  // ------------------------------------------------------------------
+  // Worker side.
+
+  void WorkerLoop(uint32_t node, uint32_t t) {
+    NodeState& ns = *node_state[node];
+    while (!ns.done.load(std::memory_order_acquire)) {
+      if (!ns.outbox[t].empty()) FlushOutbox(node, t);
+      if (RunOne(node, t)) {
+        FlushOutbox(node, t);
+        ns.starving.store(false, std::memory_order_relaxed);
+      } else {
+        ns.idle.fetch_add(1, std::memory_order_relaxed);
+        MarkStarving(ns, t);
+        std::unique_lock<std::mutex> lock(ns.wake_mu);
+        ns.wake_cv.wait_for(lock, std::chrono::microseconds(500));
+      }
+    }
+  }
+
+  void MarkStarving(NodeState& ns, uint32_t t) {
+    if (opt.strategy == LocalStrategy::kFP) {
+      // FP: the thread's probe operator has no local work.
+      for (uint32_t j = 0; j < k; ++j) {
+        uint32_t op = probe_op(j);
+        if (ThreadMayRun(ns, t, op) && Consumable(ns, op) &&
+            !ns.terminated[op].load()) {
+          ns.fp_starving[op].store(true, std::memory_order_relaxed);
+        }
+      }
+    } else {
+      ns.starving.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  bool RunOne(uint32_t node, uint32_t t) {
+    NodeState& ns = *node_state[node];
+    const uint32_t T = opt.threads_per_node;
+    // Primary queues.
+    for (uint32_t i = 0; i < nops; ++i) {
+      uint32_t op = (t + i) % nops;
+      if (is_trigger(op) || !Consumable(ns, op)) continue;
+      if (!ThreadMayRun(ns, t, op)) continue;
+      Activation act;
+      if (ns.queues[op * T + t]->TryPopFront(&act)) {
+        ExecuteData(node, t, std::move(act));
+        return true;
+      }
+    }
+    // Trigger morsels.
+    for (uint32_t i = 0; i < nops; ++i) {
+      uint32_t op = (t + i) % nops;
+      if (!is_trigger(op) || !Consumable(ns, op)) continue;
+      if (!ThreadMayRun(ns, t, op)) continue;
+      if (ClaimMorsel(node, t, op)) return true;
+    }
+    // Steal within the node.
+    for (uint32_t i = 0; i < nops; ++i) {
+      uint32_t op = (t + i) % nops;
+      if (is_trigger(op) || !Consumable(ns, op)) continue;
+      if (!ThreadMayRun(ns, t, op)) continue;
+      for (uint32_t d = 1; d < T; ++d) {
+        Activation act;
+        if (ns.queues[op * T + (t + d) % T]->TryPopBack(&act)) {
+          ExecuteData(node, t, std::move(act));
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool ClaimMorsel(uint32_t node, uint32_t t, uint32_t op) {
+    NodeState& ns = *node_state[node];
+    const Batch& src = op == scan_op
+                           ? query->input->parts[node]
+                           : query->joins[op].build->parts[node];
+    size_t begin = ns.cursor[op].fetch_add(opt.morsel_rows);
+    if (begin >= src.rows()) return false;
+    size_t end = std::min<size_t>(begin + opt.morsel_rows, src.rows());
+    ExecuteMorsel(node, t, op, src, begin, end);
+    ++ns.busy[t];
+    ns.morsels_left[op].fetch_sub(1);
+    return true;
+  }
+
+  // Scatter a trigger morsel into per-bucket batches and route them.
+  void ExecuteMorsel(uint32_t node, uint32_t t, uint32_t op,
+                     const Batch& src, size_t begin, size_t end) {
+    uint32_t dst_op, col;
+    if (op == scan_op) {
+      dst_op = probe_op(0);
+      col = query->joins[0].probe_col;
+    } else {
+      dst_op = build_op(op);
+      col = query->joins[op].build_col;
+    }
+    const uint32_t B = opt.buckets;
+    NodeState& ns = *node_state[node];
+    auto& sc = AcquireScratch(ns, t);
+    auto& scratch = sc.bucket;
+    auto& hit = sc.hit;
+    for (size_t i = begin; i < end; ++i) {
+      const int64_t* row = src.row(i);
+      uint32_t bucket = static_cast<uint32_t>(mt::HashKey(row[col]) % B);
+      Batch& b = scratch[bucket];
+      if (b.width() == 0) b = Batch(src.width());
+      if (b.empty()) hit.push_back(bucket);
+      b.AppendRow(row);
+      if (b.rows() >= opt.batch_rows) {
+        Route(node, t, dst_op, bucket, std::move(b));
+        scratch[bucket] = Batch();
+        hit.erase(std::find(hit.begin(), hit.end(), bucket));
+      }
+    }
+    for (uint32_t bucket : hit) {
+      Route(node, t, dst_op, bucket, std::move(scratch[bucket]));
+      scratch[bucket] = Batch();
+    }
+    hit.clear();
+    ReleaseScratch(ns, t);
+  }
+
+  // Routes one data activation to the bucket's home node: local queue via
+  // shared memory, remote via the fabric.
+  void Route(uint32_t node, uint32_t t, uint32_t dst_op, uint32_t bucket,
+             Batch&& rows) {
+    uint32_t home = home_of(bucket);
+    if (home == node) {
+      NodeState& ns = *node_state[node];
+      ns.pending[dst_op].fetch_add(1);
+      Activation act{dst_op, bucket, std::move(rows)};
+      const uint32_t T = opt.threads_per_node;
+      if (!ns.queues[dst_op * T + bucket % T]->TryPush(
+              std::move(act), opt.queue_capacity)) {
+        ns.outbox[t].push_back(std::move(act));
+      } else {
+        ns.wake_cv.notify_one();
+      }
+      return;
+    }
+    Message m;
+    m.type = MsgType::kTupleBatch;
+    m.op = dst_op;
+    m.bucket = bucket;
+    m.payload = net::EncodeBatch(rows);
+    fabric.Send(node, home, std::move(m)).ok();
+  }
+
+  // Probe-output routing differs: a *stolen* activation's bucket is not
+  // homed here, yet its outputs scatter normally by the next join's
+  // bucket. Handled uniformly by Route.
+
+  void ExecuteData(uint32_t node, uint32_t t, Activation&& act) {
+    NodeState& ns = *node_state[node];
+    ++ns.busy[t];
+    uint32_t j = join_of(act.op);
+    if (is_build(act.op)) {
+      std::lock_guard<std::mutex> lock(*ns.bucket_mu[j][act.bucket]);
+      ns.tables[j][act.bucket].InsertBatch(act.rows);
+      ns.pending[act.op].fetch_sub(1);
+      return;
+    }
+    // Probe.
+    const RowTable* table = nullptr;
+    if (home_of(act.bucket) == node) {
+      table = &ns.tables[j][act.bucket];
+    } else {
+      std::shared_lock<std::shared_mutex> lock(*ns.stolen_mu[j]);
+      auto it = ns.stolen[j].find(act.bucket);
+      if (it != ns.stolen[j].end()) table = it->second.get();
+    }
+    if (table == nullptr) {
+      ns.failed.store(true);
+      ns.pending[act.op].fetch_sub(1);
+      return;
+    }
+    const auto& js = query->joins[j];
+    const uint32_t in_w = act.rows.width();
+    const uint32_t out_w = in_w + js.build->width;
+    const bool last = j + 1 == k;
+    std::vector<int64_t> out_row(out_w);
+    const uint32_t B = opt.buckets;
+    auto& sc = AcquireScratch(ns, t);
+    auto& scratch = sc.bucket;
+    auto& hit = sc.hit;
+    uint32_t next_col = 0;
+    uint32_t next_op = 0;
+    if (!last) {
+      next_col = query->joins[j + 1].probe_col;
+      next_op = probe_op(j + 1);
+    }
+    for (size_t i = 0; i < act.rows.rows(); ++i) {
+      const int64_t* row = act.rows.row(i);
+      table->ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
+        std::copy(row, row + in_w, out_row.begin());
+        std::copy(brow, brow + js.build->width, out_row.begin() + in_w);
+        if (last) {
+          ns.digests[t].Add(out_row.data(), out_w);
+          return;
+        }
+        uint32_t bucket =
+            static_cast<uint32_t>(mt::HashKey(out_row[next_col]) % B);
+        Batch& b = scratch[bucket];
+        if (b.width() == 0) b = Batch(out_w);
+        if (b.empty()) hit.push_back(bucket);
+        b.AppendRow(out_row.data());
+        if (b.rows() >= opt.batch_rows) {
+          Route(node, t, next_op, bucket, std::move(b));
+          scratch[bucket] = Batch();
+          hit.erase(std::find(hit.begin(), hit.end(), bucket));
+        }
+      });
+    }
+    for (uint32_t bucket : hit) {
+      Route(node, t, next_op, bucket, std::move(scratch[bucket]));
+      scratch[bucket] = Batch();
+    }
+    hit.clear();
+    ReleaseScratch(ns, t);
+    ns.pending[act.op].fetch_sub(1);
+  }
+
+  // Drain a worker's outbox of pushes that found full local queues.
+  void FlushOutbox(uint32_t node, uint32_t t) {
+    NodeState& ns = *node_state[node];
+    const uint32_t T = opt.threads_per_node;
+    auto& outbox = ns.outbox[t];
+    uint32_t stalls = 0;
+    while (!outbox.empty() && !ns.done.load(std::memory_order_relaxed)) {
+      size_t n = outbox.size();
+      bool progressed = false;
+      for (size_t i = 0; i < n;) {
+        Activation& act = outbox[i];
+        if (ns.queues[act.op * T + act.bucket % T]->TryPush(
+                std::move(act), opt.queue_capacity)) {
+          outbox.erase(outbox.begin() + static_cast<long>(i));
+          --n;
+          progressed = true;
+        } else {
+          ++i;
+        }
+      }
+      if (outbox.empty() || progressed) {
+        stalls = 0;
+        continue;
+      }
+      // Help: drain stuck destinations, deepest operator first (the
+      // terminal probe consumes without producing, so draining deep ops
+      // shrinks the backlog instead of growing it). Execute a burst of
+      // helps per push pass to avoid quadratic outbox re-scans.
+      bool helped = false;
+      std::vector<uint32_t> stuck_ops;
+      for (const Activation& stuck : outbox) {
+        if (Consumable(ns, stuck.op) &&
+            std::find(stuck_ops.begin(), stuck_ops.end(), stuck.op) ==
+                stuck_ops.end()) {
+          stuck_ops.push_back(stuck.op);
+        }
+      }
+      std::sort(stuck_ops.rbegin(), stuck_ops.rend());
+      uint32_t burst = 0;
+      for (uint32_t op : stuck_ops) {
+        for (uint32_t d = 0; d < T && burst < 16; ++d) {
+          Activation other;
+          while (burst < 16 &&
+                 ns.queues[op * T + (t + d) % T]->TryPopFront(&other)) {
+            ExecuteData(node, t, std::move(other));
+            ++burst;
+            helped = true;
+          }
+        }
+        if (burst >= 16) break;
+      }
+      if (!helped && stalls > 1000) {
+        helped = RunOne(node, t);
+      }
+      if (!helped) {
+        ++stalls;
+        std::this_thread::yield();
+      } else {
+        stalls = 0;
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Scheduler side (one per node; node 0 doubles as coordinator).
+
+  void SchedulerLoop(uint32_t node) {
+    NodeState& ns = *node_state[node];
+    const uint32_t T = opt.threads_per_node;
+    while (true) {
+      bool worked = false;
+      // 1. Route queued overflow from earlier messages.
+      for (size_t i = 0; i < ns.route_overflow.size();) {
+        Activation& act = ns.route_overflow[i];
+        if (ns.queues[act.op * T + act.bucket % T]->TryPush(
+                std::move(act), opt.queue_capacity)) {
+          ns.route_overflow.erase(ns.route_overflow.begin() +
+                                  static_cast<long>(i));
+          worked = true;
+        } else {
+          ++i;
+        }
+      }
+      // 2. Drain the mailbox.
+      Message m;
+      while (fabric.mailbox(node).TryPop(&m)) {
+        HandleMessage(node, std::move(m));
+        worked = true;
+      }
+      // 3. End-detection reports.
+      worked |= CheckReports(node);
+      // 4. Global load balancing.
+      if (opt.global_lb) worked |= CheckStarving(node);
+      if (worked) ns.wake_cv.notify_all();
+      if (ns.done.load(std::memory_order_acquire) &&
+          ns.route_overflow.empty()) {
+        ns.wake_cv.notify_all();
+        return;
+      }
+      if (!worked) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+
+  bool CheckReports(uint32_t node) {
+    NodeState& ns = *node_state[node];
+    bool acted = false;
+    for (uint32_t op = 0; op < nops; ++op) {
+      if (!ns.reported[op]) {
+        bool ready;
+        if (is_trigger(op)) {
+          ready = ns.morsels_left[op].load() == 0;
+        } else {
+          ready = ns.terminated[producer_of(op)].load() &&
+                  ns.pending[op].load() == 0 &&
+                  ns.steal_inflight.load() == 0;
+        }
+        if (ready) {
+          ns.reported[op] = true;
+          SendToCoordinator(node, MsgType::kEndOfQueuesAtNode, op, 0);
+          acted = true;
+        }
+      }
+      if (ns.drain_requested[op] && !ns.drain_acked[op]) {
+        bool drained = is_trigger(op)
+                           ? ns.morsels_left[op].load() == 0
+                           : (ns.pending[op].load() == 0 &&
+                              ns.steal_inflight.load() == 0);
+        if (drained) {
+          ns.drain_acked[op] = true;
+          SendToCoordinator(node, MsgType::kDrainConfirm, op, 1);
+          acted = true;
+        }
+      }
+    }
+    return acted;
+  }
+
+  bool CheckStarving(uint32_t node) {
+    NodeState& ns = *node_state[node];
+    if (ns.steal_in_progress) return false;
+    uint32_t want_op = kAnyOp;
+    if (opt.strategy == LocalStrategy::kFP) {
+      for (uint32_t j = 0; j < k; ++j) {
+        uint32_t op = probe_op(j);
+        if (ns.fp_starving[op].load(std::memory_order_relaxed) &&
+            !ns.terminated[op].load()) {
+          want_op = op;
+          ns.fp_starving[op].store(false, std::memory_order_relaxed);
+          break;
+        }
+      }
+      if (want_op == kAnyOp) return false;
+    } else {
+      if (!ns.starving.load(std::memory_order_relaxed)) return false;
+      // Only bother when some probe operator is still alive somewhere.
+      bool alive = false;
+      for (uint32_t j = 0; j < k && !alive; ++j) {
+        alive = !ns.terminated[probe_op(j)].load();
+      }
+      if (!alive) return false;
+      ns.starving.store(false, std::memory_order_relaxed);
+    }
+    if (opt.nodes < 2) return false;
+    ns.steal_in_progress = true;
+    ns.steal_op = want_op;
+    ns.offers_pending = opt.nodes - 1;
+    ns.best_provider = UINT32_MAX;
+    ns.best_count = 0;
+    ns.best_op = kAnyOp;
+    ns.steal_reqs.fetch_add(1, std::memory_order_relaxed);
+    Message m;
+    m.type = MsgType::kStarving;
+    m.op = want_op;
+    m.arg = 0;  // available memory: unconstrained in this build
+    fabric.Broadcast(node, m).ok();
+    return true;
+  }
+
+  void SendToCoordinator(uint32_t node, MsgType type, uint32_t op,
+                         uint64_t arg) {
+    if (node == 0) {
+      Message m;
+      m.type = type;
+      m.op = op;
+      m.arg = arg;
+      m.from = 0;
+      CoordinatorHandle(std::move(m));
+    } else {
+      Message m;
+      m.type = type;
+      m.op = op;
+      m.arg = arg;
+      fabric.Send(node, 0, std::move(m)).ok();
+    }
+  }
+
+  void CoordinatorBroadcast(MsgType type, uint32_t op, uint64_t arg) {
+    Message m;
+    m.type = type;
+    m.op = op;
+    m.arg = arg;
+    fabric.Broadcast(0, m).ok();
+    // Self-delivery.
+    m.from = 0;
+    HandleNodeMessage(0, std::move(m));
+  }
+
+  void CoordinatorHandle(Message&& m) {
+    uint32_t op = m.op;
+    if (coord_terminated[op]) return;
+    if (m.type == MsgType::kEndOfQueuesAtNode) {
+      if (++coord_reports[op] == opt.nodes && !coord_drain[op]) {
+        coord_drain[op] = true;
+        CoordinatorBroadcast(MsgType::kDrainConfirm, op, 0);
+      }
+    } else if (m.type == MsgType::kDrainConfirm && m.arg == 1) {
+      if (++coord_acks[op] == opt.nodes) {
+        coord_terminated[op] = true;
+        CoordinatorBroadcast(MsgType::kOpTerminated, op, 0);
+      }
+    }
+  }
+
+  void HandleMessage(uint32_t node, Message&& m) {
+    if (node == 0 && (m.type == MsgType::kEndOfQueuesAtNode ||
+                      (m.type == MsgType::kDrainConfirm && m.arg == 1))) {
+      CoordinatorHandle(std::move(m));
+      return;
+    }
+    HandleNodeMessage(node, std::move(m));
+  }
+
+  void HandleNodeMessage(uint32_t node, Message&& m) {
+    NodeState& ns = *node_state[node];
+    const uint32_t T = opt.threads_per_node;
+    switch (m.type) {
+      case MsgType::kTupleBatch: {
+        auto rows = net::DecodeBatch(m.payload);
+        if (!rows.ok()) {
+          ns.failed.store(true);
+          return;
+        }
+        ns.pending[m.op].fetch_add(1);
+        Activation act{m.op, m.bucket, std::move(rows).value()};
+        if (!ns.queues[m.op * T + m.bucket % T]->TryPush(
+                std::move(act), opt.queue_capacity)) {
+          ns.route_overflow.push_back(std::move(act));
+        }
+        break;
+      }
+      case MsgType::kDrainConfirm:
+        // arg == 0: coordinator requests a drain ack for op.
+        if (m.arg == 0) ns.drain_requested[m.op] = true;
+        break;
+      case MsgType::kOpTerminated:
+        ns.terminated[m.op].store(true, std::memory_order_release);
+        if (m.op == probe_op(k - 1) || (k == 0 && m.op == scan_op)) {
+          ns.done.store(true, std::memory_order_release);
+        }
+        break;
+      case MsgType::kStarving:
+        HandleStarving(node, m);
+        break;
+      case MsgType::kOffer:
+      case MsgType::kNoWork:
+        HandleOfferReply(node, m);
+        break;
+      case MsgType::kAcquire:
+        HandleAcquire(node, m);
+        break;
+      case MsgType::kWork:
+        HandleWork(node, m);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // A remote node is starving: offer our best candidate queue. Candidates
+  // are unblocked probe operators with enough queued work (Section 3.2
+  // conditions ii, iv, v); benefit is the queued activation count.
+  void HandleStarving(uint32_t node, const Message& m) {
+    NodeState& ns = *node_state[node];
+    const uint32_t T = opt.threads_per_node;
+    uint32_t best_op = kAnyOp;
+    uint64_t best_count = 0;
+    for (uint32_t j = 0; j < k; ++j) {
+      uint32_t op = probe_op(j);
+      if (m.op != kAnyOp && m.op != op) continue;
+      if (!Consumable(ns, op) || ns.terminated[op].load()) continue;
+      uint64_t count = 0;
+      for (uint32_t t = 0; t < T; ++t) {
+        count += ns.queues[op * T + t]->ApproxSize();
+      }
+      if (count >= opt.min_steal && count > best_count) {
+        best_count = count;
+        best_op = op;
+      }
+    }
+    Message reply;
+    if (best_op != kAnyOp) {
+      reply.type = MsgType::kOffer;
+      reply.op = best_op;
+      reply.arg = best_count;
+    } else {
+      reply.type = MsgType::kNoWork;
+      reply.arg = 0;  // offer stage
+    }
+    fabric.Send(node, m.from, std::move(reply)).ok();
+  }
+
+  void HandleOfferReply(uint32_t node, const Message& m) {
+    NodeState& ns = *node_state[node];
+    if (!ns.steal_in_progress) return;
+    if (m.type == MsgType::kNoWork && m.arg == 1) {
+      // Acquire-stage failure: provider raced empty.
+      ns.steal_inflight.fetch_sub(1);
+      ns.steal_in_progress = false;
+      return;
+    }
+    if (ns.offers_pending == 0) return;
+    --ns.offers_pending;
+    if (m.type == MsgType::kOffer && m.arg > ns.best_count) {
+      ns.best_count = m.arg;
+      ns.best_provider = m.from;
+      ns.best_op = m.op;
+    }
+    if (ns.offers_pending == 0) {
+      if (ns.best_provider == UINT32_MAX) {
+        ns.steal_in_progress = false;
+        return;
+      }
+      // Acquire from the most loaded provider; list cached buckets so
+      // already-copied fragments are not re-shipped (Section 4).
+      ns.steal_inflight.fetch_add(1);
+      Message req;
+      req.type = MsgType::kAcquire;
+      req.op = ns.best_op;
+      if (opt.cache_stolen_fragments) {
+        uint32_t j = join_of(ns.best_op);
+        for (uint32_t b : ns.cached_buckets[j]) {
+          net::PutU32(&req.payload, b);
+        }
+      }
+      fabric.Send(node, ns.best_provider, std::move(req)).ok();
+    }
+  }
+
+  void HandleAcquire(uint32_t node, const Message& m) {
+    NodeState& ns = *node_state[node];
+    const uint32_t T = opt.threads_per_node;
+    uint32_t op = m.op;
+    uint32_t j = join_of(op);
+    std::unordered_set<uint32_t> requester_cached;
+    {
+      net::Reader r(m.payload);
+      uint32_t b;
+      while (r.GetU32(&b)) requester_cached.insert(b);
+    }
+    net::RowWorkBundle bundle;
+    bundle.op = op;
+    std::unordered_set<uint32_t> shipped;
+    uint64_t popped = 0;
+    for (uint32_t t = 0; t < T && popped < opt.steal_batch; ++t) {
+      Activation act;
+      while (popped < opt.steal_batch &&
+             ns.queues[op * T + t]->TryPopBack(&act)) {
+        if (!requester_cached.count(act.bucket) &&
+            !shipped.count(act.bucket)) {
+          // Locate the bucket's build rows: the local table when the
+          // bucket is homed here, or our own stolen-fragment cache when
+          // this activation was itself acquired earlier.
+          const RowTable* table = nullptr;
+          if (home_of(act.bucket) == node) {
+            table = &ns.tables[j][act.bucket];
+          } else {
+            std::shared_lock<std::shared_mutex> lock(*ns.stolen_mu[j]);
+            auto it = ns.stolen[j].find(act.bucket);
+            if (it != ns.stolen[j].end()) table = it->second.get();
+          }
+          if (table == nullptr) {
+            // Cannot supply the hash table: keep the activation local.
+            if (!ns.queues[op * T + t]->TryPush(std::move(act),
+                                                opt.queue_capacity)) {
+              ns.route_overflow.push_back(std::move(act));
+            }
+            continue;
+          }
+          shipped.insert(act.bucket);
+          net::RowFragment frag;
+          frag.bucket = act.bucket;
+          frag.build_rows = Batch(table->width());
+          frag.build_rows.data() = table->pool();
+          ns.shipped_rows.fetch_add(table->rows());
+          bundle.fragments.push_back(std::move(frag));
+        } else if (requester_cached.count(act.bucket)) {
+          ns.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++popped;
+        net::RowActivation ra;
+        ra.bucket = act.bucket;
+        ra.rows = std::move(act.rows);
+        bundle.activations.push_back(std::move(ra));
+      }
+    }
+    if (bundle.activations.empty()) {
+      Message reply;
+      reply.type = MsgType::kNoWork;
+      reply.arg = 1;  // acquire stage
+      fabric.Send(node, m.from, std::move(reply)).ok();
+      return;
+    }
+    ns.pending[op].fetch_sub(static_cast<int64_t>(bundle.activations.size()));
+    Message reply;
+    reply.type = MsgType::kWork;
+    reply.op = op;
+    reply.payload = net::EncodeRowWork(bundle);
+    fabric.Send(node, m.from, std::move(reply)).ok();
+  }
+
+  void HandleWork(uint32_t node, const Message& m) {
+    NodeState& ns = *node_state[node];
+    const uint32_t T = opt.threads_per_node;
+    auto bundle = net::DecodeRowWork(m.payload);
+    if (!bundle.ok()) {
+      ns.failed.store(true);
+      ns.steal_inflight.fetch_sub(1);
+      ns.steal_in_progress = false;
+      return;
+    }
+    uint32_t op = bundle.value().op;
+    uint32_t j = join_of(op);
+    {
+      std::unique_lock<std::shared_mutex> lock(*ns.stolen_mu[j]);
+      for (auto& frag : bundle.value().fragments) {
+        if (ns.stolen[j].count(frag.bucket)) continue;
+        auto table = std::make_unique<RowTable>(
+            frag.build_rows.width(), query->joins[j].build_col);
+        table->InsertBatch(frag.build_rows);
+        ns.stolen[j][frag.bucket] = std::move(table);
+        ns.cached_buckets[j].insert(frag.bucket);
+      }
+    }
+    ns.steals.fetch_add(1, std::memory_order_relaxed);
+    ns.stolen_acts.fetch_add(bundle.value().activations.size(),
+                             std::memory_order_relaxed);
+    for (auto& ra : bundle.value().activations) {
+      ns.pending[op].fetch_add(1);
+      Activation act{op, ra.bucket, std::move(ra.rows)};
+      if (!ns.queues[op * T + ra.bucket % T]->TryPush(std::move(act),
+                                                      opt.queue_capacity)) {
+        ns.route_overflow.push_back(std::move(act));
+      }
+    }
+    ns.steal_inflight.fetch_sub(1);
+    ns.steal_in_progress = false;
+  }
+};
+
+ClusterExecutor::ClusterExecutor(const ClusterOptions& options)
+    : options_(options) {
+  HIERDB_CHECK(options_.nodes > 0, "need at least one node");
+  HIERDB_CHECK(options_.threads_per_node > 0, "need at least one thread");
+  HIERDB_CHECK(options_.buckets >= options_.nodes,
+               "need at least one bucket per node");
+  HIERDB_CHECK(options_.strategy != LocalStrategy::kSP,
+               "SP is shared-memory only (Section 5.2)");
+}
+
+ClusterExecutor::~ClusterExecutor() = default;
+
+Result<ResultDigest> ClusterExecutor::Execute(const ChainQuery& query,
+                                              ClusterStats* stats) {
+  HIERDB_RETURN_NOT_OK(query.Validate(options_.nodes));
+  if (query.joins.empty()) {
+    return Status::InvalidArgument("chain query needs at least one join");
+  }
+  impl_ = std::make_unique<Impl>(options_);
+  Impl& im = *impl_;
+  im.Compile(query);
+
+  std::vector<std::thread> threads;
+  for (uint32_t n = 0; n < options_.nodes; ++n) {
+    threads.emplace_back([&im, n] { im.SchedulerLoop(n); });
+    for (uint32_t t = 0; t < options_.threads_per_node; ++t) {
+      threads.emplace_back([&im, n, t] { im.WorkerLoop(n, t); });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  bool failed = false;
+  for (auto& ns : im.node_state) failed |= ns->failed.load();
+  if (failed) {
+    impl_.reset();
+    return Status::Internal("cluster execution failed");
+  }
+
+  ResultDigest digest;
+  for (auto& ns : im.node_state) {
+    for (const auto& d : ns->digests) digest.Merge(d);
+  }
+  if (stats != nullptr) {
+    *stats = ClusterStats{};
+    stats->fabric = im.fabric.stats();
+    auto type_bytes = [&](MsgType t) {
+      return stats->fabric.bytes_by_type[static_cast<size_t>(t)];
+    };
+    stats->lb_bytes = type_bytes(MsgType::kStarving) +
+                      type_bytes(MsgType::kOffer) +
+                      type_bytes(MsgType::kNoWork) +
+                      type_bytes(MsgType::kAcquire) +
+                      type_bytes(MsgType::kWork);
+    stats->dataflow_bytes = type_bytes(MsgType::kTupleBatch);
+    stats->protocol_bytes = type_bytes(MsgType::kEndOfQueuesAtNode) +
+                            type_bytes(MsgType::kDrainConfirm) +
+                            type_bytes(MsgType::kOpTerminated);
+    for (auto& ns : im.node_state) {
+      stats->steal_requests += ns->steal_reqs.load();
+      stats->steals += ns->steals.load();
+      stats->stolen_activations += ns->stolen_acts.load();
+      stats->shipped_fragment_rows += ns->shipped_rows.load();
+      stats->fragment_cache_hits += ns->cache_hits.load();
+      stats->idle_waits_per_node.push_back(ns->idle.load());
+      uint64_t busy = 0;
+      for (uint64_t b : ns->busy) busy += b;
+      stats->busy_per_node.push_back(busy);
+    }
+  }
+  impl_.reset();
+  return digest;
+}
+
+}  // namespace hierdb::cluster

@@ -1,0 +1,145 @@
+// Hierarchical cluster executor — the paper's two-level execution model on
+// real threads and real data.
+//
+// The cluster is a set of SM-nodes (thread groups) coupled only by the
+// message-passing Fabric; each node owns partitions of every relation and
+// a slice of the global bucket space (bucket home = bucket mod nodes).
+// A pipeline chain of hash joins executes exactly as in Sections 3 and 4:
+//
+//   local level    one thread per processor; one activation queue per
+//                  (operator x thread); primary-queue affinity; under DP
+//                  any thread consumes any consumable queue of its node;
+//                  under FP threads are statically allocated to operators
+//                  in proportion to estimated cost;
+//
+//   dataflow       scans scatter rows by join-key bucket; activations for
+//                  remotely-homed buckets travel as kTupleBatch messages
+//                  (the inter-node pipelined redistribution);
+//
+//   global level   a starving node broadcasts kStarving; every provider
+//                  answers with its best candidate queue (kOffer, benefit
+//                  = queued probe activations) or kNoWork; the requester
+//                  acquires from the most loaded provider (kAcquire) and
+//                  receives probe activations plus the hash-table
+//                  fragments of the referenced buckets (kWork). Only
+//                  probe activations are stealable (Section 3.2 rule iv).
+//                  Acquired fragments are cached so repeated starving
+//                  reuses already-copied tables (Section 4 optimization);
+//
+//   end detection  the coordinator protocol of Section 4: each node
+//                  reports EndOfQueuesAtNode per operator; after all
+//                  reports the coordinator runs a drain-confirm round
+//                  (covering in-flight steals), then broadcasts
+//                  kOpTerminated, which unblocks dependent operators.
+//
+// Strategy semantics for the Figure 10 / Section 5.3 comparison:
+//   kDP   global load sharing fires only when the *whole node* starves;
+//   kFP   an idle thread (its operator has no local work) immediately
+//         triggers a steal request for that operator — the per-processor
+//         stealing the paper attributes to FP, with its repeated and
+//         mutual starving situations.
+
+#ifndef HIERDB_CLUSTER_CLUSTER_EXECUTOR_H_
+#define HIERDB_CLUSTER_CLUSTER_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "mt/pipeline_executor.h"
+#include "mt/row.h"
+#include "net/fabric.h"
+
+namespace hierdb::cluster {
+
+/// A relation horizontally partitioned across SM-nodes.
+struct PartitionedTable {
+  uint32_t width = 0;
+  std::vector<mt::Batch> parts;  ///< one per node
+
+  uint64_t total_rows() const {
+    uint64_t n = 0;
+    for (const auto& p : parts) n += p.rows();
+    return n;
+  }
+};
+
+/// Hash-partitions `table` on `col` (the declustering the paper assumes).
+PartitionedTable PartitionByHash(const mt::Table& table, uint32_t nodes,
+                                 uint32_t col);
+/// Round-robin partitioning (balanced regardless of value distribution).
+PartitionedTable PartitionRoundRobin(const mt::Table& table, uint32_t nodes);
+/// Places a Zipf(theta)-sized share of rows at each node — tuple placement
+/// skew for the global load-balancing experiments.
+PartitionedTable PartitionWithPlacementSkew(const mt::Table& table,
+                                            uint32_t nodes, double theta,
+                                            uint64_t seed);
+
+/// A pipeline chain query: input scanned and piped through hash joins.
+struct ChainQuery {
+  const PartitionedTable* input = nullptr;
+  struct Join {
+    const PartitionedTable* build = nullptr;
+    uint32_t probe_col = 0;
+    uint32_t build_col = 0;
+  };
+  std::vector<Join> joins;
+
+  Status Validate(uint32_t nodes) const;
+};
+
+/// Single-threaded reference (gathers all partitions, runs the join).
+Result<mt::ResultDigest> ReferenceExecute(const ChainQuery& query);
+
+struct ClusterOptions {
+  uint32_t nodes = 4;
+  uint32_t threads_per_node = 2;
+  uint32_t buckets = 128;        ///< global fragmentation; home = b % nodes
+  uint32_t morsel_rows = 8192;
+  uint32_t batch_rows = 512;
+  uint32_t queue_capacity = 512;
+  mt::LocalStrategy strategy = mt::LocalStrategy::kDP;  ///< kDP or kFP
+  bool global_lb = true;         ///< enable inter-node load sharing
+  bool cache_stolen_fragments = true;  ///< Section 4 stolen-queue list
+  uint32_t steal_batch = 16;     ///< max activations per acquisition
+  uint32_t min_steal = 2;        ///< provider offers only above this depth
+};
+
+struct ClusterStats {
+  net::FabricStats fabric;
+  uint64_t steal_requests = 0;      ///< kStarving broadcasts sent
+  uint64_t steals = 0;              ///< kWork bundles received
+  uint64_t stolen_activations = 0;
+  uint64_t shipped_fragment_rows = 0;
+  uint64_t fragment_cache_hits = 0;  ///< fragments skipped thanks to cache
+  uint64_t lb_bytes = 0;            ///< kStarving/kOffer/kAcquire/kWork/kNoWork
+  uint64_t dataflow_bytes = 0;      ///< kTupleBatch redistribution
+  uint64_t protocol_bytes = 0;      ///< end-detection messages
+  std::vector<uint64_t> idle_waits_per_node;
+  std::vector<uint64_t> busy_per_node;   ///< activations executed per node
+
+  /// Max over nodes of busy / mean busy (1.0 = perfectly balanced).
+  double NodeImbalance() const;
+};
+
+class ClusterExecutor {
+ public:
+  explicit ClusterExecutor(const ClusterOptions& options);
+  ~ClusterExecutor();
+
+  ClusterExecutor(const ClusterExecutor&) = delete;
+  ClusterExecutor& operator=(const ClusterExecutor&) = delete;
+
+  Result<mt::ResultDigest> Execute(const ChainQuery& query,
+                                   ClusterStats* stats = nullptr);
+
+ private:
+  struct Impl;
+  ClusterOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hierdb::cluster
+
+#endif  // HIERDB_CLUSTER_CLUSTER_EXECUTOR_H_

@@ -1,0 +1,38 @@
+#include "common/stats.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace hierdb {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    HIERDB_CHECK(x > 0.0, "GeoMean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  HIERDB_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace hierdb

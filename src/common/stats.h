@@ -1,0 +1,55 @@
+// Small statistics helpers used by the benchmark harness: running mean /
+// variance (Welford), min/max, and geometric mean of ratios (the paper's
+// methodology averages per-plan ratios, Section 5.1.3).
+
+#ifndef HIERDB_COMMON_STATS_H_
+#define HIERDB_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hierdb {
+
+/// Running summary statistics (Welford's online algorithm).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Arithmetic mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& xs);
+
+/// Geometric mean of strictly positive values (0 for empty input).
+double GeoMean(const std::vector<double>& xs);
+
+/// Exact percentile with linear interpolation; p in [0, 100].
+double Percentile(std::vector<double> xs, double p);
+
+}  // namespace hierdb
+
+#endif  // HIERDB_COMMON_STATS_H_

@@ -1,0 +1,85 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace hierdb {
+
+std::vector<uint64_t> ZipfApportion(uint64_t total, uint32_t buckets,
+                                    double theta, Rng* rng) {
+  HIERDB_CHECK(buckets > 0, "ZipfApportion: buckets must be > 0");
+  std::vector<double> weights(buckets);
+  double sum = 0.0;
+  for (uint32_t i = 0; i < buckets; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    sum += weights[i];
+  }
+
+  // Largest-remainder apportionment so the parts sum to `total` exactly.
+  std::vector<uint64_t> sizes(buckets, 0);
+  std::vector<std::pair<double, uint32_t>> remainders(buckets);
+  uint64_t assigned = 0;
+  for (uint32_t i = 0; i < buckets; ++i) {
+    double exact = static_cast<double>(total) * weights[i] / sum;
+    sizes[i] = static_cast<uint64_t>(exact);
+    assigned += sizes[i];
+    remainders[i] = {exact - static_cast<double>(sizes[i]), i};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  uint64_t leftover = total - assigned;
+  for (uint64_t k = 0; k < leftover; ++k) {
+    sizes[remainders[k % buckets].second] += 1;
+  }
+
+  if (rng != nullptr) {
+    // Fisher-Yates shuffle of bucket ranks.
+    for (uint32_t i = buckets - 1; i > 0; --i) {
+      uint32_t j = static_cast<uint32_t>(rng->NextBounded(i + 1));
+      std::swap(sizes[i], sizes[j]);
+    }
+  }
+  return sizes;
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double theta) : n_(n), theta_(theta) {
+  HIERDB_CHECK(n > 0, "ZipfSampler: n must be > 0");
+  // Guard against theta == 1 singularities in the closed forms below.
+  if (theta_ > 0.9999 && theta_ < 1.0001) theta_ = 1.0001;
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfSampler::H(double x) const {
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint32_t ZipfSampler::Sample(Rng* rng) const {
+  if (theta_ <= 1e-9) {
+    return static_cast<uint32_t>(rng->NextBounded(n_));
+  }
+  while (true) {
+    double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k - x <= s_) {
+      return static_cast<uint32_t>(k) - 1;
+    }
+    if (u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint32_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace hierdb

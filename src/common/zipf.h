@@ -1,0 +1,52 @@
+// Zipf-distributed sampling and Zipf partition-size generation.
+//
+// The paper models redistribution skew with a Zipf function [Zipf49] whose
+// parameter theta ranges from 0 (uniform) to 1 (highly skewed). We provide
+// both a sampler (draw item indices with Zipf frequencies) and a
+// deterministic "apportioner" that splits a total of N tuples into K
+// buckets whose sizes follow the Zipf law exactly — the apportioner is what
+// the experiments use so that total work is invariant under skew.
+
+#ifndef HIERDB_COMMON_ZIPF_H_
+#define HIERDB_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hierdb {
+
+/// Splits `total` items into `buckets` parts with relative weights
+/// 1/i^theta (i = 1..buckets). theta = 0 yields an even split; theta = 1
+/// yields the classic Zipf distribution. The result always sums to `total`
+/// exactly (largest-remainder rounding). `rng`, when provided, shuffles the
+/// bucket ranks so that the heavy bucket is not always bucket 0.
+std::vector<uint64_t> ZipfApportion(uint64_t total, uint32_t buckets,
+                                    double theta, Rng* rng = nullptr);
+
+/// Draws Zipf-distributed ranks in [0, n) with parameter theta using the
+/// rejection-inversion method of Hörmann (as used by YCSB-style generators).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double theta);
+
+  uint32_t Sample(Rng* rng) const;
+
+  uint32_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint32_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace hierdb
+
+#endif  // HIERDB_COMMON_ZIPF_H_

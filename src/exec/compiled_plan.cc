@@ -1,0 +1,251 @@
+#include "exec/compiled_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/zipf.h"
+
+namespace hierdb::exec {
+
+namespace {
+
+/// Applies a permutation in place: out[i] = in[perm[i]].
+std::vector<uint64_t> Permute(const std::vector<uint64_t>& in,
+                              const std::vector<uint32_t>& perm) {
+  std::vector<uint64_t> out(in.size());
+  for (size_t i = 0; i < in.size(); ++i) out[i] = in[perm[i]];
+  return out;
+}
+
+std::vector<uint32_t> RandomPermutation(uint32_t n, Rng* rng) {
+  std::vector<uint32_t> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  for (uint32_t i = n - 1; i > 0; --i) {
+    uint32_t j = static_cast<uint32_t>(rng->NextBounded(i + 1));
+    std::swap(p[i], p[j]);
+  }
+  return p;
+}
+
+}  // namespace
+
+CompiledPlan::CompiledPlan(const plan::PhysicalPlan& plan,
+                           const catalog::Catalog& cat,
+                           const sim::SystemConfig& cfg, double skew_theta,
+                           Rng* rng)
+    : plan_(&plan), cat_(&cat), cfg_(&cfg), skew_theta_(skew_theta) {
+  ops_.resize(plan.ops.size());
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    ops_[i].def = plan.ops[i];
+  }
+  for (const auto& c : plan.constraints) {
+    ops_[c.after].blockers.push_back(c.before);
+  }
+  ComputeCards();
+  ComputeShares(rng);
+  ComputeTriggers(rng);
+  ComputeSpChains();
+}
+
+void CompiledPlan::ComputeCards() {
+  // Operator ids are topological in dataflow order (children created
+  // before parents by macro-expansion), so a single forward pass works.
+  for (auto& cop : ops_) {
+    const plan::Operator& d = cop.def;
+    switch (d.kind) {
+      case plan::OpKind::kScan:
+        cop.in_tuples = cat_->relation(d.rel).cardinality;
+        cop.out_tuples = cop.in_tuples;  // scan selectivity 1.0
+        break;
+      case plan::OpKind::kBuild:
+        cop.in_tuples = ops_[d.input].out_tuples;
+        cop.out_tuples = 0;
+        break;
+      case plan::OpKind::kProbe: {
+        cop.in_tuples = ops_[d.input].out_tuples;
+        double expansion =
+            d.input_card > 0.0 ? d.output_card / d.input_card : 0.0;
+        cop.out_tuples = static_cast<uint64_t>(
+            std::llround(expansion * static_cast<double>(cop.in_tuples)));
+        break;
+      }
+    }
+  }
+}
+
+void CompiledPlan::ComputeShares(Rng* rng) {
+  const uint32_t nb = cfg_->buckets_per_operator;
+  // One bucket permutation per join so that the build and probe of a join
+  // see correlated skew (both sides use the same hash function).
+  for (auto& cop : ops_) {
+    if (!cop.def.IsBuild()) continue;
+    OpId b = cop.def.id;
+    OpId p = cop.def.probe_op;
+    std::vector<uint32_t> perm = RandomPermutation(nb, rng);
+    ops_[b].in_shares =
+        Permute(ZipfApportion(ops_[b].in_tuples, nb, skew_theta_), perm);
+    ops_[p].in_shares =
+        Permute(ZipfApportion(ops_[p].in_tuples, nb, skew_theta_), perm);
+    ops_[b].ht_bytes.resize(nb);
+    for (uint32_t k = 0; k < nb; ++k) {
+      ops_[b].ht_bytes[k] = static_cast<uint64_t>(
+          static_cast<double>(ops_[b].in_shares[k]) * cfg_->tuple_size_bytes *
+          cfg_->hash_table_overhead);
+    }
+    for (OpId o : {b, p}) {
+      uint64_t mean_share =
+          std::max<uint64_t>(1, ops_[o].in_tuples / nb);
+      ops_[o].flush_threshold = std::clamp<uint64_t>(
+          mean_share / std::max(1u, cfg_->pipeline_flush_chunks), 1,
+          cfg_->activation_batch_tuples);
+    }
+  }
+}
+
+void CompiledPlan::ComputeTriggers(Rng* rng) {
+  triggers_.assign(ops_.size(), {});
+  const uint32_t n_nodes = cfg_->num_nodes;
+  const uint64_t tuples_per_page =
+      std::max<uint64_t>(1, cfg_->page_size_bytes / cfg_->tuple_size_bytes);
+  const uint32_t disks_per_node = cfg_->procs_per_node * cfg_->disks_per_proc;
+
+  for (auto& cop : ops_) {
+    if (!cop.def.IsScan()) continue;
+    triggers_[cop.def.id].resize(n_nodes);
+    uint64_t card = cop.in_tuples;
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      // Hash partitioning: near-even node shares, remainder to low nodes.
+      uint64_t node_tuples = card / n_nodes + (n < card % n_nodes ? 1 : 0);
+      NodeTriggers& nt = triggers_[cop.def.id][n];
+      uint64_t tuples_per_trigger = tuples_per_page * cfg_->trigger_pages;
+      uint64_t remaining = node_tuples;
+      uint32_t idx = 0;
+      while (remaining > 0) {
+        uint64_t t = std::min(remaining, tuples_per_trigger);
+        Activation a;
+        a.op = cop.def.id;
+        a.bucket = idx;
+        a.tuples = t;
+        a.pages = static_cast<uint32_t>(
+            (t * cfg_->tuple_size_bytes + cfg_->page_size_bytes - 1) /
+            cfg_->page_size_bytes);
+        a.disk = idx % disks_per_node;
+        nt.triggers.push_back(a);
+        remaining -= t;
+        ++idx;
+      }
+      // Skewed assignment of triggers to scan queues (trigger-production
+      // skew, Section 5.2.2). Default slot count: all node threads.
+      uint32_t slots = cfg_->procs_per_node;
+      auto counts = ZipfApportion(
+          static_cast<uint64_t>(nt.triggers.size()), slots, skew_theta_, rng);
+      nt.queue_slot.reserve(nt.triggers.size());
+      for (uint32_t s = 0; s < slots; ++s) {
+        for (uint64_t k = 0; k < counts[s]; ++k) {
+          nt.queue_slot.push_back(s);
+        }
+      }
+    }
+  }
+}
+
+NodeTriggers CompiledPlan::ReassignTriggers(OpId op, NodeId n, uint32_t slots,
+                                            Rng* rng) const {
+  NodeTriggers out;
+  out.triggers = triggers_[op][n].triggers;
+  auto counts = ZipfApportion(static_cast<uint64_t>(out.triggers.size()),
+                              slots, skew_theta_, rng);
+  out.queue_slot.reserve(out.triggers.size());
+  for (uint32_t s = 0; s < slots; ++s) {
+    for (uint64_t k = 0; k < counts[s]; ++k) out.queue_slot.push_back(s);
+  }
+  return out;
+}
+
+void CompiledPlan::ComputeSpChains() {
+  const auto& cost = cfg_->cost;
+  for (const auto& ch : plan_->chains) {
+    SpChain sc;
+    sc.chain_id = ch.id;
+    sc.scan = ch.ops[0];
+    for (OpId o : ch.ops) {
+      const CompiledOp& cop = ops_[o];
+      SpStage st;
+      st.op = o;
+      switch (cop.def.kind) {
+        case plan::OpKind::kScan:
+          st.instr_per_tuple =
+              cost.scan_instr_per_tuple + cost.result_instr_per_tuple;
+          st.expansion = 1.0;
+          break;
+        case plan::OpKind::kProbe:
+          st.expansion =
+              cop.in_tuples > 0 ? static_cast<double>(cop.out_tuples) /
+                                      static_cast<double>(cop.in_tuples)
+                                : 0.0;
+          st.instr_per_tuple = cost.probe_instr_per_tuple +
+                               st.expansion * cost.result_instr_per_tuple;
+          break;
+        case plan::OpKind::kBuild:
+          st.instr_per_tuple = cost.build_instr_per_tuple;
+          st.expansion = 0.0;
+          break;
+      }
+      sc.stages.push_back(st);
+    }
+    sp_chains_.push_back(std::move(sc));
+  }
+}
+
+double CompiledPlan::IoInstrEquivalent(double tuples) const {
+  double pages =
+      tuples * cfg_->tuple_size_bytes / cfg_->page_size_bytes;
+  double requests = pages / cfg_->trigger_pages;
+  double per_request_ns =
+      static_cast<double>(cfg_->disk.latency + cfg_->disk.seek_time) +
+      static_cast<double>(cfg_->trigger_pages) * cfg_->page_size_bytes /
+          cfg_->disk.transfer_bytes_per_sec * 1e9;
+  double total_ns = requests * per_request_ns;
+  return total_ns * cfg_->mips / 1000.0 + requests * cfg_->disk.async_init_instr;
+}
+
+std::vector<double> CompiledPlan::EstimateOpCosts(
+    const std::vector<double>& op_factor) const {
+  const auto& cost = cfg_->cost;
+  auto factor = [&](OpId o) {
+    return o < op_factor.size() ? op_factor[o] : 1.0;
+  };
+  std::vector<double> out(ops_.size(), 0.0);
+  for (const auto& cop : ops_) {
+    const plan::Operator& d = cop.def;
+    switch (d.kind) {
+      case plan::OpKind::kScan: {
+        // Thread occupancy: per-tuple CPU plus the share of disk time not
+        // hidden by the asynchronous prefetch window.
+        double in = static_cast<double>(cop.in_tuples) * factor(d.id);
+        out[d.id] = in * (cost.scan_instr_per_tuple +
+                          cost.result_instr_per_tuple) +
+                    IoInstrEquivalent(in) /
+                        std::max(1u, cfg_->io_prefetch_depth);
+        break;
+      }
+      case plan::OpKind::kBuild: {
+        double in = static_cast<double>(cop.in_tuples) * factor(d.input);
+        out[d.id] = in * cost.build_instr_per_tuple;
+        break;
+      }
+      case plan::OpKind::kProbe: {
+        double in = static_cast<double>(cop.in_tuples) * factor(d.input);
+        double produced =
+            static_cast<double>(cop.out_tuples) * factor(d.id);
+        out[d.id] = in * cost.probe_instr_per_tuple +
+                    produced * cost.result_instr_per_tuple;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hierdb::exec

@@ -1,0 +1,126 @@
+// Plan compilation: turns a parallel execution plan plus a system
+// configuration into the exact, integer-valued runtime structures the
+// simulated executor needs:
+//   - integer input/output tuple counts per operator (conservation-exact);
+//   - per-bucket input shares for every build/probe operator, Zipf-skewed
+//     by the redistribution-skew factor (Section 5.2.2), with the build and
+//     probe of one join sharing a bucket permutation (same hash function);
+//   - hash-table sizes per bucket (for global-LB transfer costs);
+//   - trigger activations per SM-node, Zipf-assigned to scan queues;
+//   - blocker lists from the scheduling constraints;
+//   - collapsed per-chain stage costs for the SP strategy.
+
+#ifndef HIERDB_EXEC_COMPILED_PLAN_H_
+#define HIERDB_EXEC_COMPILED_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "exec/types.h"
+#include "plan/operator_tree.h"
+#include "sim/config.h"
+
+namespace hierdb::exec {
+
+struct CompiledOp {
+  plan::Operator def;
+  uint64_t in_tuples = 0;   ///< global input tuples (scan: tuples scanned)
+  uint64_t out_tuples = 0;  ///< global output tuples (build: 0)
+  /// Build/probe: input tuples per bucket (size = buckets_per_operator).
+  std::vector<uint64_t> in_shares;
+  /// Build only: hash-table bytes per bucket.
+  std::vector<uint64_t> ht_bytes;
+  /// Build/probe: producer-side flush threshold (tuples) for this
+  /// consumer's buckets.
+  uint64_t flush_threshold = 1;
+  /// Operators that must end before this one may start.
+  std::vector<OpId> blockers;
+};
+
+/// Per-node trigger activations for one scan, plus their (skewed) queue
+/// assignment: queue_slot[i] is the thread slot of triggers[i]'s queue.
+struct NodeTriggers {
+  std::vector<Activation> triggers;
+  std::vector<uint32_t> queue_slot;
+};
+
+/// One stage of a collapsed SP chain: per-input-tuple CPU cost for tuples
+/// reaching this stage, and the multiplicative expansion into the next.
+struct SpStage {
+  OpId op = kNoOp;
+  double instr_per_tuple = 0.0;
+  double expansion = 1.0;
+};
+
+struct SpChain {
+  uint32_t chain_id = 0;
+  OpId scan = kNoOp;
+  std::vector<SpStage> stages;  ///< stages[0] is the scan itself
+};
+
+class CompiledPlan {
+ public:
+  CompiledPlan(const plan::PhysicalPlan& plan, const catalog::Catalog& cat,
+               const sim::SystemConfig& cfg, double skew_theta, Rng* rng);
+
+  const plan::PhysicalPlan& plan() const { return *plan_; }
+  const sim::SystemConfig& cfg() const { return *cfg_; }
+
+  uint32_t num_ops() const { return static_cast<uint32_t>(ops_.size()); }
+  const CompiledOp& op(OpId id) const { return ops_[id]; }
+
+  /// SM-node owning bucket `b` (same map for every operator, mirroring one
+  /// global hash function).
+  NodeId NodeOfBucket(uint32_t b) const { return b % cfg_->num_nodes; }
+  /// Thread slot for bucket `b` among `slots` candidate threads.
+  uint32_t SlotOfBucket(uint32_t b, uint32_t slots) const {
+    return (b / cfg_->num_nodes) % slots;
+  }
+
+  /// Trigger activations of scan `op` on node `n`.
+  const NodeTriggers& TriggersFor(OpId op, NodeId n) const {
+    return triggers_[op][n];
+  }
+
+  /// Re-apportions trigger queue assignments for a different number of
+  /// scan-queue slots (FP assigns scans to a subset of threads).
+  NodeTriggers ReassignTriggers(OpId op, NodeId n, uint32_t slots,
+                                Rng* rng) const;
+
+  const std::vector<SpChain>& sp_chains() const { return sp_chains_; }
+
+  double skew_theta() const { return skew_theta_; }
+
+  /// Instruction-equivalent of the I/O time to scan `tuples` tuples from
+  /// one disk (used by the FP allocator's cost estimates).
+  double IoInstrEquivalent(double tuples) const;
+
+  /// Estimated per-operator total cost in instructions, given per-operator
+  /// output-cardinality distortion factors (1.0 = exact; the paper
+  /// distorts base AND intermediate cardinalities independently, Fig 7).
+  /// op_factor[o] scales operator o's output cardinality; an operator's
+  /// input is scaled by its producer's factor. Used by FP allocation.
+  std::vector<double> EstimateOpCosts(
+      const std::vector<double>& op_factor) const;
+
+ private:
+  void ComputeCards();
+  void ComputeShares(Rng* rng);
+  void ComputeTriggers(Rng* rng);
+  void ComputeSpChains();
+
+  const plan::PhysicalPlan* plan_;
+  const catalog::Catalog* cat_;
+  const sim::SystemConfig* cfg_;
+  double skew_theta_;
+  std::vector<CompiledOp> ops_;
+  /// triggers_[scan_op][node]
+  std::vector<std::vector<NodeTriggers>> triggers_;
+  std::vector<SpChain> sp_chains_;
+};
+
+}  // namespace hierdb::exec
+
+#endif  // HIERDB_EXEC_COMPILED_PLAN_H_

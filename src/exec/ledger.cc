@@ -1,0 +1,50 @@
+#include "exec/ledger.h"
+
+#include "common/status.h"
+
+namespace hierdb::exec {
+
+EmissionLedger::EmissionLedger(uint64_t input_total,
+                               std::vector<uint64_t> bucket_shares)
+    : input_total_(input_total), shares_(std::move(bucket_shares)) {
+  emitted_.assign(shares_.size(), 0);
+  for (uint64_t s : shares_) output_total_ += s;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> EmissionLedger::Emit(
+    uint64_t input_consumed) {
+  HIERDB_CHECK(input_seen_ + input_consumed <= input_total_,
+               "ledger overdrawn: more input consumed than exists");
+  input_seen_ += input_consumed;
+
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  if (output_total_ == 0 || input_total_ == 0) return out;
+
+  // Emit per-bucket floors of the proportional target. Floors lag the true
+  // proportion by < 1 tuple per bucket; the final call settles every bucket
+  // to exactly its share, so end-to-end tuple conservation is exact.
+  const bool final_call = (input_seen_ == input_total_);
+  const uint32_t nb = static_cast<uint32_t>(shares_.size());
+  uint64_t assigned = 0;
+  for (uint32_t b = 0; b < nb; ++b) {
+    uint64_t target_b =
+        final_call
+            ? shares_[b]
+            : static_cast<uint64_t>(static_cast<__uint128_t>(shares_[b]) *
+                                    input_seen_ / input_total_);
+    if (target_b > emitted_[b]) {
+      uint64_t d = target_b - emitted_[b];
+      out.emplace_back(b, d);
+      emitted_[b] = target_b;
+      assigned += d;
+    }
+  }
+  output_emitted_ += assigned;
+  if (final_call) {
+    HIERDB_CHECK(output_emitted_ == output_total_,
+                 "ledger must emit exactly its output total");
+  }
+  return out;
+}
+
+}  // namespace hierdb::exec

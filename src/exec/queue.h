@@ -1,0 +1,94 @@
+// Activation queues (Section 3.1).
+//
+// One queue exists per (operator, thread) on every SM-node of the
+// operator's home; a thread has priority access to its own ("primary")
+// queues but may consume from any unblocked queue of its node. Queues are
+// bounded; a full queue blocks the producer (flow control), which escapes
+// via ProcessAnotherActivation.
+
+#ifndef HIERDB_EXEC_QUEUE_H_
+#define HIERDB_EXEC_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "exec/types.h"
+
+namespace hierdb::exec {
+
+class ActivationQueue {
+ public:
+  ActivationQueue(OpId op, NodeId node, uint32_t owner_thread,
+                  uint32_t capacity, bool lb_queue = false)
+      : op_(op),
+        node_(node),
+        owner_thread_(owner_thread),
+        capacity_(capacity),
+        lb_queue_(lb_queue) {}
+
+  OpId op() const { return op_; }
+  NodeId node() const { return node_; }
+  uint32_t owner_thread() const { return owner_thread_; }
+  /// True for the per-node queue that receives activations acquired from
+  /// other SM-nodes by global load balancing.
+  bool is_lb_queue() const { return lb_queue_; }
+
+  bool Empty() const { return items_.empty(); }
+  bool Full() const { return items_.size() >= capacity_; }
+  size_t size() const { return items_.size(); }
+  uint64_t backlog_tuples() const { return backlog_tuples_; }
+
+  /// Unconditionally appends (capacity is enforced by the caller for flow
+  /// control; remote deliveries bypass it — scheduler buffering).
+  void Push(const Activation& a) {
+    items_.push_back(a);
+    backlog_tuples_ += a.tuples;
+    ++total_enqueued_;
+    if (items_.size() > peak_size_) peak_size_ = items_.size();
+  }
+
+  /// Prepends (SP: CPU batches take precedence over pending triggers so
+  /// that processing overlaps the in-flight reads).
+  void PushFront(const Activation& a) {
+    items_.push_front(a);
+    backlog_tuples_ += a.tuples;
+    ++total_enqueued_;
+    if (items_.size() > peak_size_) peak_size_ = items_.size();
+  }
+
+  Activation Pop() {
+    Activation a = items_.front();
+    items_.pop_front();
+    backlog_tuples_ -= a.tuples;
+    return a;
+  }
+
+  /// Removes every queued activation (global load balancing acquisition).
+  std::deque<Activation> TakeAll() {
+    std::deque<Activation> out;
+    out.swap(items_);
+    backlog_tuples_ = 0;
+    return out;
+  }
+
+  uint64_t total_enqueued() const { return total_enqueued_; }
+  size_t peak_size() const { return peak_size_; }
+
+  /// Read-only view for the load-balancing candidate scan.
+  const std::deque<Activation>& items_view() const { return items_; }
+
+ private:
+  OpId op_;
+  NodeId node_;
+  uint32_t owner_thread_;
+  uint32_t capacity_;
+  bool lb_queue_;
+  std::deque<Activation> items_;
+  uint64_t backlog_tuples_ = 0;
+  uint64_t total_enqueued_ = 0;
+  size_t peak_size_ = 0;
+};
+
+}  // namespace hierdb::exec
+
+#endif  // HIERDB_EXEC_QUEUE_H_

@@ -1,0 +1,332 @@
+// Scheduler-side protocols: global load balancing (Section 3.2 / 4) and
+// distributed operator-end detection (Section 4).
+
+#include <algorithm>
+
+#include "exec/engine.h"
+
+namespace hierdb::exec {
+
+namespace {
+constexpr NodeId kCoordinator = 0;
+constexpr SimTime kLbCooldown = SimTime{5} * kMillisecond;
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Global load balancing.
+// ---------------------------------------------------------------------
+
+void Engine::WorkerStarving(NodeId n, OpId fp_target_op) {
+  if (!cfg_.enable_global_lb || num_nodes() < 2) return;
+  SmNode& nd = *nodes_[n];
+  if (nd.lb_requesting) return;
+  if (sim_.Now() - nd.last_lb_request < kLbCooldown) {
+    // Rate-limited: schedule a later retry kick so idle workers re-check.
+    sim_.ScheduleAfter(kLbCooldown, [this, n]() { KickAllWorkers(n); });
+    return;
+  }
+  nd.lb_requesting = true;
+  nd.lb_target_op = fp_target_op;
+  nd.last_lb_request = sim_.Now();
+  nd.lb_replies_pending = num_nodes() - 1;
+  nd.lb_candidates.clear();
+  ++metrics_.starving_requests;
+  for (NodeId other = 0; other < num_nodes(); ++other) {
+    if (other == n) continue;
+    Message m;
+    m.kind = Message::Kind::kStarving;
+    m.op = fp_target_op;
+    m.targeted = (fp_target_op != kNoOp);
+    m.mem_available = cfg_.node_memory_bytes;
+    SendMessage(n, other, std::move(m), sim::TrafficClass::kControl);
+  }
+}
+
+std::optional<Message> Engine::LbFindCandidate(NodeId provider,
+                                               const Message& request) {
+  SmNode& nd = *nodes_[provider];
+  const NodeId requester = request.from;
+  double best_ratio = 0.0;
+  Message best;
+  best.kind = Message::Kind::kCandidateReply;
+  best.has_candidate = false;
+
+  uint64_t total_backlog = 0;
+  for (OpId o = 0; o < compiled_->num_ops(); ++o) {
+    const CompiledOp& cop = compiled_->op(o);
+    // Conditions of Section 3.2: only probe activations can be acquired
+    // (iv); blocked operators are pointless to move (v); operators already
+    // in the end-detection protocol are off limits (consistency).
+    if (!cop.def.IsProbe()) continue;
+    if (!nd.op_unblocked[o] || nd.op_ended[o] || nd.end_signaled[o]) continue;
+    if (request.targeted && request.op != o) continue;
+    const CompiledOp& build = compiled_->op(cop.def.build_op);
+    for (uint32_t slot = 0; slot < nd.queues[o].size(); ++slot) {
+      ActivationQueue* q = nd.queues[o][slot].get();
+      if (q == nullptr || q->Empty()) continue;
+      // Never offer work that was itself acquired by load balancing:
+      // re-stealing would ping-pong activations (and their data) between
+      // starving nodes.
+      if (q->is_lb_queue()) continue;
+      total_backlog += q->backlog_tuples();
+      // Acquisition overhead: activation tuples + hash tables of the
+      // distinct buckets referenced, minus tables the requester already
+      // copied (the "list of stolen queues" optimization).
+      uint64_t act_bytes = q->backlog_tuples() * cfg_.tuple_size_bytes;
+      uint64_t ht = 0;
+      std::set<uint32_t> buckets;
+      for (const Activation& a : q->items_view()) {
+        if (buckets.insert(a.bucket).second &&
+            nodes_[requester]->ht_copies[o].count(a.bucket) == 0) {
+          ht += build.ht_bytes[a.bucket];
+        }
+      }
+      uint64_t bytes = act_bytes + ht;
+      if (bytes > request.mem_available) continue;  // condition (i)
+      // Condition (ii): enough work to amortize the acquisition.
+      double benefit_ns = static_cast<double>(q->backlog_tuples()) *
+                          cfg_.cost.probe_instr_per_tuple * instr_ns_;
+      double transfer_ns =
+          static_cast<double>(cfg_.net.end_to_end_delay) +
+          (net_->SendCpuInstr(bytes) + net_->RecvCpuInstr(bytes)) * instr_ns_;
+      if (benefit_ns < transfer_ns) continue;
+      double ratio = benefit_ns / (transfer_ns + 1.0);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best.has_candidate = true;
+        best.op = o;
+        best.slot = slot;
+        best.transfer_bytes = bytes;
+      }
+    }
+  }
+  best.load_tuples = total_backlog;
+  return best;
+}
+
+void Engine::LbHandleStarving(NodeId at, const Message& msg) {
+  std::optional<Message> reply = LbFindCandidate(at, msg);
+  SendMessage(at, msg.from, std::move(*reply), sim::TrafficClass::kControl);
+}
+
+void Engine::LbHandleReply(NodeId at, const Message& msg) {
+  SmNode& nd = *nodes_[at];
+  if (!nd.lb_requesting) return;  // stale reply
+  HIERDB_CHECK(nd.lb_replies_pending > 0, "unexpected LB reply");
+  --nd.lb_replies_pending;
+  if (msg.has_candidate) {
+    // Skip ops for which this node has an outstanding drain confirmation:
+    // acquiring their work would break end detection.
+    if (!(nd.drain_confirmed[msg.op] && !nd.op_ended[msg.op])) {
+      nd.lb_candidates.push_back(SmNode::LbCandidate{
+          msg.from, msg.op, msg.slot, msg.load_tuples, msg.transfer_bytes});
+    }
+  }
+  if (nd.lb_replies_pending > 0) return;
+
+  if (nd.lb_candidates.empty()) {
+    nd.lb_requesting = false;
+    // Nothing to steal now; retry later while work may still appear.
+    sim_.ScheduleAfter(kLbCooldown, [this, at]() { KickAllWorkers(at); });
+    return;
+  }
+  // Select the most loaded provider (Section 4, global activation
+  // selection).
+  std::sort(nd.lb_candidates.begin(), nd.lb_candidates.end(),
+            [](const SmNode::LbCandidate& a, const SmNode::LbCandidate& b) {
+              if (a.load != b.load) return a.load > b.load;
+              return a.provider < b.provider;
+            });
+  const auto& chosen = nd.lb_candidates.front();
+  Message m;
+  m.kind = Message::Kind::kAcquire;
+  m.op = chosen.op;
+  m.slot = chosen.slot;
+  SendMessage(at, chosen.provider, std::move(m), sim::TrafficClass::kControl);
+}
+
+void Engine::LbHandleAcquire(NodeId at, const Message& msg) {
+  SmNode& nd = *nodes_[at];
+  Message reply;
+  reply.kind = Message::Kind::kTransfer;
+  reply.op = msg.op;
+
+  ActivationQueue* q = nd.queues[msg.op][msg.slot].get();
+  const bool still_valid = q != nullptr && !q->Empty() &&
+                           nd.op_unblocked[msg.op] && !nd.op_ended[msg.op] &&
+                           !nd.end_signaled[msg.op];
+  if (still_valid) {
+    const CompiledOp& cop = compiled_->op(msg.op);
+    const CompiledOp& build = compiled_->op(cop.def.build_op);
+    reply.activations = q->TakeAll();
+    std::set<uint32_t> buckets;
+    for (const Activation& a : reply.activations) {
+      if (buckets.insert(a.bucket).second &&
+          nodes_[msg.from]->ht_copies[msg.op].count(a.bucket) == 0) {
+        reply.ht_bytes += build.ht_bytes[a.bucket];
+        ++reply.ht_buckets;
+      }
+    }
+    for (uint32_t b : buckets) {
+      nodes_[msg.from]->ht_copies[msg.op].insert(b);
+    }
+    nodes_[msg.from]->pending[msg.op] += 1;
+    // Provider-side bookkeeping: the drained queue may end the op here.
+    CheckLocalEnd(at, msg.op);
+    TryConfirmDrain(at, msg.op);
+  }
+  SendMessage(at, msg.from, std::move(reply),
+              sim::TrafficClass::kLoadBalance);
+}
+
+void Engine::LbHandleTransfer(NodeId at, Message msg) {
+  SmNode& nd = *nodes_[at];
+  nd.lb_requesting = false;
+  if (msg.activations.empty()) {
+    sim_.ScheduleAfter(kLbCooldown, [this, at]() { KickAllWorkers(at); });
+    return;
+  }
+  HIERDB_CHECK(nd.pending[msg.op] > 0, "transfer without pending mark");
+  nd.pending[msg.op] -= 1;
+  ++metrics_.global_steals;
+  metrics_.stolen_activations += msg.activations.size();
+  metrics_.ht_buckets_copied += msg.ht_buckets;
+
+  // Install into the node's LB queue for that operator.
+  auto& slot = nd.queues[msg.op][nd.lb_slot()];
+  if (!slot) {
+    slot = std::make_unique<ActivationQueue>(msg.op, at, nd.lb_slot(),
+                                             UINT32_MAX, /*lb=*/true);
+    RebuildActiveList(at);
+  }
+  for (const Activation& a : msg.activations) slot->Push(a);
+  KickAllWorkers(at);
+}
+
+// ---------------------------------------------------------------------
+// Operator-end detection (Section 4): a two-phase protocol run by the
+// coordinator scheduler; 4N messages per operator.
+// ---------------------------------------------------------------------
+
+void Engine::CheckLocalEnd(NodeId n, OpId op) {
+  if (strategy_ == Strategy::kSP) return;
+  SmNode& nd = *nodes_[n];
+  if (nd.end_signaled[op] || nd.op_ended[op]) return;
+  const CompiledOp& cop = compiled_->op(op);
+  // The producer of a scan is the trigger generator, terminated at start.
+  if (!cop.def.IsScan() && !nd.op_ended[cop.def.input]) return;
+  if (nd.pending[op] != 0) return;
+  for (auto& q : nd.queues[op]) {
+    if (q && !q->Empty()) return;
+  }
+  nd.end_signaled[op] = 1;
+  Message m;
+  m.kind = Message::Kind::kEndOfQueuesAtNode;
+  m.op = op;
+  SendMessage(n, kCoordinator, std::move(m), sim::TrafficClass::kControl);
+}
+
+void Engine::EndHandleSignal(NodeId coordinator, const Message& msg) {
+  HIERDB_CHECK(coordinator == kCoordinator, "signal at non-coordinator");
+  auto& sigs = end_signals_[msg.op];
+  sigs.insert(msg.from);
+  if (sigs.size() < num_nodes()) return;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    Message m;
+    m.kind = Message::Kind::kDrainCheck;
+    m.op = msg.op;
+    SendMessage(kCoordinator, n, std::move(m), sim::TrafficClass::kControl);
+  }
+}
+
+void Engine::EndHandleDrainCheck(NodeId at, const Message& msg) {
+  nodes_[at]->drain_requested[msg.op] = 1;
+  TryConfirmDrain(at, msg.op);
+}
+
+void Engine::TryConfirmDrain(NodeId n, OpId op) {
+  SmNode& nd = *nodes_[n];
+  if (!nd.drain_requested[op] || nd.drain_confirmed[op]) return;
+  if (nd.inflight[op] != 0 || nd.pending[op] != 0) return;
+  for (auto& q : nd.queues[op]) {
+    if (q && !q->Empty()) return;
+  }
+  // Flush this operator's partially filled output batches downstream
+  // before confirming: consumers must observe all of its output.
+  FlushProducerResidue(n, op);
+  nd.drain_confirmed[op] = 1;
+  Message m;
+  m.kind = Message::Kind::kDrainConfirm;
+  m.op = op;
+  SendMessage(n, kCoordinator, std::move(m), sim::TrafficClass::kControl);
+}
+
+void Engine::FlushProducerResidue(NodeId n, OpId producer) {
+  const CompiledOp& cop = compiled_->op(producer);
+  if (cop.def.consumer == kNoOp || cop.def.IsBuild()) return;
+  OpId consumer = cop.def.consumer;
+  SmNode& nd = *nodes_[n];
+  double instr = 0.0;
+  for (uint32_t b = 0; b < cfg_.buckets_per_operator; ++b) {
+    if (nd.accum[consumer][b] == 0) continue;
+    ActivationQueue* blocked =
+        FlushBucket(n, consumer, b, /*force=*/true, &instr);
+    HIERDB_CHECK(blocked == nullptr, "forced flush cannot block");
+  }
+  nd.scheduler_busy_ns += InstrNs(instr);
+}
+
+void Engine::EndHandleDrainConfirm(NodeId coordinator, const Message& msg) {
+  HIERDB_CHECK(coordinator == kCoordinator, "confirm at non-coordinator");
+  auto& confirms = drain_confirms_[msg.op];
+  confirms.insert(msg.from);
+  if (confirms.size() < num_nodes()) return;
+  op_globally_ended_[msg.op] = 1;
+  metrics_.op_end_time[msg.op] = sim_.Now();
+  if (++ops_ended_count_ == compiled_->num_ops()) {
+    done_ = true;
+    metrics_.response_time = sim_.Now();
+  }
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    Message m;
+    m.kind = Message::Kind::kOperatorEnded;
+    m.op = msg.op;
+    SendMessage(kCoordinator, n, std::move(m), sim::TrafficClass::kControl);
+  }
+}
+
+void Engine::EndHandleEnded(NodeId at, const Message& msg) {
+  SmNode& nd = *nodes_[at];
+  if (nd.op_ended[msg.op]) return;
+  nd.op_ended[msg.op] = 1;
+
+  // Unblock operators whose blockers have now all ended.
+  bool changed = false;
+  for (OpId o = 0; o < compiled_->num_ops(); ++o) {
+    if (nd.op_unblocked[o] || nd.op_ended[o]) continue;
+    bool all_ended = true;
+    for (OpId b : compiled_->op(o).blockers) {
+      if (!nd.op_ended[b]) {
+        all_ended = false;
+        break;
+      }
+    }
+    if (all_ended) {
+      nd.op_unblocked[o] = 1;
+      changed = true;
+    }
+  }
+  RebuildActiveList(at);
+  (void)changed;
+
+  // The ended operator was the producer of its consumer: the consumer may
+  // now be locally complete too.
+  const CompiledOp& cop = compiled_->op(msg.op);
+  if (cop.def.consumer != kNoOp) {
+    CheckLocalEnd(at, cop.def.consumer);
+    TryConfirmDrain(at, cop.def.consumer);
+  }
+  KickAllWorkers(at);
+}
+
+}  // namespace hierdb::exec

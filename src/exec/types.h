@@ -1,0 +1,48 @@
+// Core identifiers and the activation type (Section 3.1).
+//
+// An activation is the finest self-contained unit of sequential work:
+//   - a trigger activation <operator, bucket-portion> starts a scan over a
+//     run of pages (granularity: `trigger_pages` pages, the I/O cache
+//     window);
+//   - a data activation <operator, tuple-batch, bucket> carries pipelined
+//     tuples toward a build or probe operator (granularity increased by
+//     buffering: one activation = up to `activation_batch_tuples` tuples).
+// Because activations reference everything needed to execute them, any
+// thread of the SM-node holding the referenced data can process any
+// activation — the property the whole load-balancing model rests on.
+
+#ifndef HIERDB_EXEC_TYPES_H_
+#define HIERDB_EXEC_TYPES_H_
+
+#include <cstdint>
+
+#include "plan/operator_tree.h"
+
+namespace hierdb::exec {
+
+using plan::OpId;
+using plan::kNoOp;
+using NodeId = uint32_t;
+
+/// Execution strategies compared in Section 5:
+///   kDP — dynamic processing (the paper's model);
+///   kFP — fixed processing (static processor-to-operator allocation);
+///   kSP — synchronous pipelining (shared-memory only).
+enum class Strategy { kDP, kFP, kSP };
+
+const char* StrategyName(Strategy s);
+
+/// One unit of sequential work.
+struct Activation {
+  OpId op = kNoOp;
+  uint32_t bucket = 0;   ///< bucket (data) or portion index (trigger)
+  uint64_t tuples = 0;   ///< tuples to process
+  uint32_t pages = 0;    ///< pages to read; > 0 marks a trigger activation
+  uint32_t disk = 0;     ///< trigger: disk index on the home node
+
+  bool IsTrigger() const { return pages > 0; }
+};
+
+}  // namespace hierdb::exec
+
+#endif  // HIERDB_EXEC_TYPES_H_

@@ -1,0 +1,298 @@
+#include "mt/executor.h"
+
+#include <thread>
+#include <unordered_map>
+
+namespace hierdb::mt {
+
+JoinResult ReferenceStarJoin(const Relation& fact,
+                             const std::vector<const Relation*>& dims) {
+  std::vector<std::unordered_map<int64_t, uint64_t>> counts(dims.size());
+  for (size_t d = 0; d < dims.size(); ++d) {
+    for (const Tuple& t : *dims[d]) ++counts[d][t.key];
+  }
+  JoinResult r;
+  for (const Tuple& f : fact) {
+    uint64_t c = 1;
+    for (size_t d = 0; d < dims.size() && c != 0; ++d) {
+      auto it = counts[d].find(f.key);
+      c = (it == counts[d].end()) ? 0 : c * it->second;
+    }
+    if (c != 0) {
+      r.count += c;
+      r.checksum += c * HashKey(f.key);
+    }
+  }
+  return r;
+}
+
+bool StarJoinExecutor::BoundedQueue::TryPush(Activation&& a,
+                                             uint32_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.size() >= capacity) return false;
+  items_.push_back(std::move(a));
+  size_.store(items_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool StarJoinExecutor::BoundedQueue::TryPopFront(Activation* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) return false;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  size_.store(items_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool StarJoinExecutor::BoundedQueue::TryPopBack(Activation* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) return false;
+  *out = std::move(items_.back());
+  items_.pop_back();
+  size_.store(items_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+StarJoinExecutor::StarJoinExecutor(const ExecutorOptions& options)
+    : options_(options) {
+  HIERDB_CHECK(options_.threads > 0, "executor needs at least one thread");
+  HIERDB_CHECK(options_.buckets > 0, "executor needs at least one bucket");
+}
+
+StarJoinExecutor::~StarJoinExecutor() = default;
+
+Result<JoinResult> StarJoinExecutor::Execute(
+    const Relation& fact, const std::vector<const Relation*>& dims,
+    ExecutorStats* stats) {
+  if (options_.morsel_tuples == 0 || options_.batch_tuples == 0) {
+    return Status::InvalidArgument("zero morsel or batch size");
+  }
+  fact_ = &fact;
+  dims_ = dims;
+  tables_.clear();
+  bucket_mu_.clear();
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    std::vector<HashTable> per_bucket;
+    uint32_t expected = static_cast<uint32_t>(
+        dims_[d]->size() / options_.buckets + 1);
+    for (uint32_t b = 0; b < options_.buckets; ++b) {
+      per_bucket.emplace_back(expected);
+    }
+    tables_.push_back(std::move(per_bucket));
+    for (uint32_t b = 0; b < options_.buckets; ++b) {
+      bucket_mu_.push_back(std::make_unique<std::mutex>());
+    }
+  }
+  queues_.clear();
+  for (uint32_t t = 0; t < options_.threads; ++t) {
+    queues_.push_back(std::make_unique<BoundedQueue>());
+  }
+  outstanding_.store(0);
+  build_outstanding_.store(0);
+  probe_released_.store(dims_.empty());
+  probe_cursor_.store(0);
+  done_.store(false);
+  result_count_.store(0);
+  result_checksum_.store(0);
+  stat_acts_.store(0);
+  stat_nonprimary_.store(0);
+  stat_escapes_.store(0);
+
+  // Preload build-scan morsels (trigger activations), round-robin over
+  // thread queues; capacity is ignored at preload like the trigger
+  // preload in the simulated engine.
+  uint32_t rr = 0;
+  for (uint32_t d = 0; d < dims_.size(); ++d) {
+    const Relation& rel = *dims_[d];
+    for (size_t begin = 0; begin < rel.size();
+         begin += options_.morsel_tuples) {
+      Activation a;
+      a.kind = Activation::Kind::kScanBuild;
+      a.dim = d;
+      a.begin = begin;
+      a.end = std::min(rel.size(), begin + options_.morsel_tuples);
+      outstanding_.fetch_add(1);
+      build_outstanding_.fetch_add(1);
+      while (!queues_[rr % options_.threads]->TryPush(std::move(a),
+                                                      UINT32_MAX)) {
+      }
+      ++rr;
+    }
+  }
+  // Fact morsels are drawn from a shared cursor; account them up front.
+  size_t probe_morsels =
+      (fact.size() + options_.morsel_tuples - 1) / options_.morsel_tuples;
+  if (fact.empty()) probe_morsels = 0;
+  outstanding_.fetch_add(probe_morsels);
+  if (dims_.empty() && probe_morsels == 0) done_.store(true);
+  if (outstanding_.load() == 0) done_.store(true);
+
+  std::vector<std::thread> workers;
+  workers.reserve(options_.threads);
+  for (uint32_t t = 0; t < options_.threads; ++t) {
+    workers.emplace_back([this, t]() { WorkerLoop(t); });
+  }
+  for (auto& w : workers) w.join();
+
+  if (stats != nullptr) {
+    stats->activations = stat_acts_.load();
+    stats->nonprimary_consumptions = stat_nonprimary_.load();
+    stats->full_queue_escapes = stat_escapes_.load();
+    stats->result_tuples = result_count_.load();
+    stats->checksum = result_checksum_.load();
+  }
+  return JoinResult{result_count_.load(), result_checksum_.load()};
+}
+
+void StarJoinExecutor::WorkerLoop(uint32_t self) {
+  uint32_t idle_spins = 0;
+  while (!done_.load(std::memory_order_acquire)) {
+    if (RunOne(self)) {
+      idle_spins = 0;
+      continue;
+    }
+    if (outstanding_.load(std::memory_order_acquire) == 0) {
+      done_.store(true, std::memory_order_release);
+      break;
+    }
+    if (++idle_spins > 64) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+bool StarJoinExecutor::RunOne(uint32_t self) {
+  Activation a;
+  // Primary queue first, then steal from the other queues of the node.
+  if (queues_[self]->TryPopFront(&a)) {
+    Execute(a, self);
+    return true;
+  }
+  for (uint32_t k = 1; k < options_.threads; ++k) {
+    uint32_t victim = (self + k) % options_.threads;
+    if (queues_[victim]->TryPopBack(&a)) {
+      stat_nonprimary_.fetch_add(1, std::memory_order_relaxed);
+      Execute(a, self);
+      return true;
+    }
+  }
+  // Probe triggers come from a shared cursor once every build has ended
+  // (the hash constraint build < probe).
+  if (probe_released_.load(std::memory_order_acquire)) {
+    size_t begin = probe_cursor_.fetch_add(options_.morsel_tuples);
+    if (begin < fact_->size()) {
+      Activation scan;
+      scan.kind = Activation::Kind::kScanProbe;
+      scan.begin = begin;
+      scan.end = std::min(fact_->size(),
+                          begin + static_cast<size_t>(options_.morsel_tuples));
+      Execute(scan, self);
+      return true;
+    }
+  }
+  return false;
+}
+
+void StarJoinExecutor::ScatterAndEmit(uint32_t self, const Relation& rel,
+                                      size_t begin, size_t end,
+                                      Activation::Kind kind, uint32_t dim) {
+  // Counting scatter: one pass to size per-bucket runs, one pass to fill —
+  // no per-bucket container churn.
+  std::vector<uint32_t> counts(options_.buckets + 1, 0);
+  for (size_t i = begin; i < end; ++i) {
+    ++counts[BucketOf(rel[i].key) + 1];
+  }
+  for (uint32_t b = 1; b <= options_.buckets; ++b) counts[b] += counts[b - 1];
+  std::vector<Tuple> sorted(end - begin);
+  std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
+  for (size_t i = begin; i < end; ++i) {
+    sorted[cursor[BucketOf(rel[i].key)]++] = rel[i];
+  }
+  for (uint32_t b = 0; b < options_.buckets; ++b) {
+    for (uint32_t off = counts[b]; off < counts[b + 1];
+         off += options_.batch_tuples) {
+      Activation out;
+      out.kind = kind;
+      out.dim = dim;
+      out.bucket = b;
+      uint32_t run_end =
+          std::min(counts[b + 1], off + options_.batch_tuples);
+      out.batch.assign(sorted.begin() + off, sorted.begin() + run_end);
+      Emit(self, std::move(out));
+    }
+  }
+}
+
+void StarJoinExecutor::Emit(uint32_t self, Activation a) {
+  outstanding_.fetch_add(1);
+  if (a.kind == Activation::Kind::kBuildBatch) build_outstanding_.fetch_add(1);
+  uint32_t dest = QueueOf(a.bucket);
+  if (!queues_[dest]->TryPush(std::move(a), options_.queue_capacity)) {
+    // Flow control: the destination is full. Escape the blocking action by
+    // doing the work ourselves (the ProcessAnotherActivation adaptation
+    // for a real thread pool): execute the activation inline.
+    stat_escapes_.fetch_add(1, std::memory_order_relaxed);
+    Activation inline_act;
+    if (queues_[dest]->TryPopFront(&inline_act)) {
+      Execute(inline_act, self);
+    }
+    // After helping, deliver bypassing capacity (bounded overshoot).
+    while (!queues_[dest]->TryPush(std::move(a), UINT32_MAX)) {
+    }
+  }
+}
+
+void StarJoinExecutor::Execute(const Activation& a, uint32_t self) {
+  stat_acts_.fetch_add(1, std::memory_order_relaxed);
+  switch (a.kind) {
+    case Activation::Kind::kScanBuild: {
+      const Relation& rel = *dims_[a.dim];
+      ScatterAndEmit(self, rel, a.begin, a.end,
+                     Activation::Kind::kBuildBatch, a.dim);
+      break;
+    }
+    case Activation::Kind::kBuildBatch: {
+      std::mutex& mu =
+          *bucket_mu_[a.dim * options_.buckets + a.bucket];
+      std::lock_guard<std::mutex> lock(mu);
+      HashTable& ht = tables_[a.dim][a.bucket];
+      for (const Tuple& t : a.batch) ht.Insert(t);
+      if (build_outstanding_.fetch_sub(1) == 1) {
+        probe_released_.store(true, std::memory_order_release);
+      }
+      break;
+    }
+    case Activation::Kind::kScanProbe: {
+      ScatterAndEmit(self, *fact_, a.begin, a.end,
+                     Activation::Kind::kProbeBatch, 0);
+      break;
+    }
+    case Activation::Kind::kProbeBatch: {
+      uint64_t count = 0, checksum = 0;
+      for (const Tuple& t : a.batch) {
+        uint64_t c = 1;
+        for (size_t d = 0; d < dims_.size() && c != 0; ++d) {
+          c *= tables_[d][a.bucket].MatchCount(t.key);
+        }
+        if (c != 0) {
+          count += c;
+          checksum += c * HashKey(t.key);
+        }
+      }
+      result_count_.fetch_add(count, std::memory_order_relaxed);
+      result_checksum_.fetch_add(checksum, std::memory_order_relaxed);
+      break;
+    }
+  }
+  // A build-scan counts toward build_outstanding_ too: its emissions were
+  // registered before this decrement, so the counter cannot hit zero
+  // while batches remain.
+  if (a.kind == Activation::Kind::kScanBuild) {
+    if (build_outstanding_.fetch_sub(1) == 1) {
+      probe_released_.store(true, std::memory_order_release);
+    }
+  }
+  outstanding_.fetch_sub(1);
+}
+
+}  // namespace hierdb::mt

@@ -1,0 +1,29 @@
+#include "mt/hash_table.h"
+
+#include <bit>
+
+namespace hierdb::mt {
+
+HashTable::HashTable(uint32_t expected) {
+  uint32_t cap = std::bit_ceil(std::max(16u, expected));
+  heads_.assign(cap, kNoEntry);
+}
+
+void HashTable::Insert(const Tuple& t) {
+  if (entries_.size() >= heads_.size()) Rehash();
+  uint32_t slot = static_cast<uint32_t>(HashKey(t.key) & (heads_.size() - 1));
+  entries_.push_back(Entry{t.key, t.payload, heads_[slot]});
+  heads_[slot] = static_cast<uint32_t>(entries_.size() - 1);
+}
+
+void HashTable::Rehash() {
+  heads_.assign(heads_.size() * 2, kNoEntry);
+  for (uint32_t i = 0; i < entries_.size(); ++i) {
+    uint32_t slot =
+        static_cast<uint32_t>(HashKey(entries_[i].key) & (heads_.size() - 1));
+    entries_[i].next = heads_[slot];
+    heads_[slot] = i;
+  }
+}
+
+}  // namespace hierdb::mt

@@ -1,0 +1,64 @@
+// Chained hash table for one join bucket.
+//
+// Entries live in a contiguous pool; chain heads are indices. A bucket's
+// table is written by whichever thread processes that bucket's build
+// activations (bucket-exclusive under the executor's per-bucket locks),
+// then probed read-only by any thread.
+
+#ifndef HIERDB_MT_HASH_TABLE_H_
+#define HIERDB_MT_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mt/tuple.h"
+
+namespace hierdb::mt {
+
+class HashTable {
+ public:
+  static constexpr uint32_t kNoEntry = UINT32_MAX;
+
+  explicit HashTable(uint32_t expected = 16);
+
+  void Insert(const Tuple& t);
+
+  /// Calls `fn(payload)` for every build tuple whose key equals `key`.
+  template <typename Fn>
+  void ForEachMatch(int64_t key, Fn&& fn) const {
+    if (heads_.empty()) return;
+    uint32_t slot =
+        static_cast<uint32_t>(HashKey(key) & (heads_.size() - 1));
+    for (uint32_t e = heads_[slot]; e != kNoEntry; e = entries_[e].next) {
+      if (entries_[e].key == key) fn(entries_[e].payload);
+    }
+  }
+
+  uint64_t MatchCount(int64_t key) const {
+    uint64_t n = 0;
+    ForEachMatch(key, [&n](int64_t) { ++n; });
+    return n;
+  }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t bytes() const {
+    return entries_.size() * sizeof(Entry) + heads_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  struct Entry {
+    int64_t key;
+    int64_t payload;
+    uint32_t next;
+  };
+
+  void Rehash();
+
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> heads_;  // power-of-two size
+};
+
+}  // namespace hierdb::mt
+
+#endif  // HIERDB_MT_HASH_TABLE_H_

@@ -1,0 +1,1118 @@
+#include "mt/pipeline_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "mt/row_table.h"
+
+namespace hierdb::mt {
+
+const char* LocalStrategyName(LocalStrategy s) {
+  switch (s) {
+    case LocalStrategy::kDP: return "DP";
+    case LocalStrategy::kFP: return "FP";
+    case LocalStrategy::kSP: return "SP";
+  }
+  return "?";
+}
+
+double PipelineStats::Imbalance() const {
+  if (busy_per_thread.empty()) return 1.0;
+  uint64_t max = 0, sum = 0;
+  for (uint64_t b : busy_per_thread) {
+    max = std::max(max, b);
+    sum += b;
+  }
+  if (sum == 0) return 1.0;
+  double mean = static_cast<double>(sum) / busy_per_thread.size();
+  return static_cast<double>(max) / mean;
+}
+
+// ---------------------------------------------------------------------
+// Compiled-plan structures.
+
+struct PipelineExecutor::Activation {
+  uint32_t op = 0;
+  uint32_t bucket = 0;
+  Batch rows;
+};
+
+class PipelineExecutor::BoundedQueue {
+ public:
+  bool TryPush(Activation&& a, uint32_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity) return false;
+    items_.push_back(std::move(a));
+    return true;
+  }
+  bool TryPopFront(Activation* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+  bool TryPopBack(Activation* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.back());
+    items_.pop_back();
+    return true;
+  }
+  bool ApproxEmpty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Activation> items_;
+};
+
+// Compiled operator kinds. Build ops scatter their source into per-bucket
+// insert batches; scan ops scatter the chain input into the first probe's
+// buckets (or straight to the chain output when the chain has no joins);
+// probe ops run one join step and forward or finalize.
+enum class COp : uint8_t { kScan, kBuild, kProbe };
+
+struct PipelineExecutor::OpState {
+  COp kind = COp::kScan;
+  uint32_t chain = 0;
+  uint32_t step = 0;          // build/probe: join index in the chain
+  uint32_t join = 0;          // global join id (table array index)
+  std::vector<uint32_t> blockers;
+  uint32_t producer = UINT32_MAX;  // op feeding data activations
+  uint32_t consumer = UINT32_MAX;  // op consuming our data activations
+
+  // Trigger work (scan/build): morsels over a source batch. The source
+  // pointer is resolved when the op unblocks (chain outputs do not exist
+  // earlier).
+  Source src;
+  const Batch* src_batch = nullptr;
+  std::atomic<size_t> morsel_cursor{0};
+  std::atomic<int64_t> morsels_left{0};
+  size_t total_rows = 0;
+
+  std::atomic<int64_t> data_pending{0};  // queued + in-flight batches
+  std::atomic<bool> consumable{false};
+  std::atomic<bool> scatter_done{false};  // all morsels executed
+  std::atomic<bool> ended{false};
+
+  double cost_estimate = 0.0;  // FP allocation weight
+  uint32_t chain_pos = 0;      // scan = 0, probe j = j + 1 (builds = 0)
+
+  OpState() = default;
+  OpState(const OpState&) = delete;
+};
+
+struct PipelineExecutor::Shared {
+  const PipelinePlan* plan = nullptr;
+  std::vector<const Table*> tables;
+
+  std::vector<std::unique_ptr<OpState>> ops;
+  std::vector<uint32_t> chain_terminal;  // terminal op per chain
+  std::vector<bool> materialized;        // chain output kept?
+
+  // queues[op * threads + t]
+  std::vector<std::unique_ptr<BoundedQueue>> queues;
+
+  // Per-join bucket hash tables and their insert locks.
+  // tables_by_join[join][bucket]; join ids are assigned per (chain, step).
+  std::vector<std::vector<RowTable>> join_tables;
+  std::vector<std::vector<std::unique_ptr<std::mutex>>> bucket_mu;
+
+  // Chain outputs: per-chain per-thread partials merged at chain end.
+  std::vector<std::vector<Batch>> chain_partials;    // [chain][thread]
+  std::vector<Batch> chain_outputs;                  // merged
+  std::vector<ResultDigest> thread_digests;          // final-chain digest
+
+  // Pipelined row widths per (chain, step boundary).
+  std::vector<std::vector<uint32_t>> width_at;  // [chain][0..joins]
+
+  std::mutex state_mu;                 // guards end/unblock transitions
+  std::condition_variable work_cv;
+  std::atomic<uint32_t> ops_remaining{0};
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  // FP: per-op thread range [lo, hi) packed as (lo << 32) | hi. A thread
+  // `t` may run op `i` iff lo <= t < hi. Ranges are disjoint when threads
+  // outnumber active operators; otherwise operators share threads
+  // round-robin (the paper's configurations always have more processors
+  // than operators per stage, so sharing is the degenerate case).
+  std::vector<std::atomic<uint64_t>> fp_range;
+
+  // Stats.
+  std::vector<uint64_t> busy;  // per thread, padded access is fine here
+  std::atomic<uint64_t> stat_morsels{0};
+  std::atomic<uint64_t> stat_data{0};
+  std::atomic<uint64_t> stat_emitted{0};
+  std::atomic<uint64_t> stat_escapes{0};
+  std::atomic<uint64_t> stat_nonprimary{0};
+  std::atomic<uint64_t> stat_idle{0};
+  std::atomic<uint64_t> stat_fp_safety{0};
+
+  // Per-thread outbox: data activations whose destination queue was full.
+  // Operator bodies never block — a failed push is staged here and the
+  // worker drains it at the top level (the iterative form of the paper's
+  // procedure-call suspension; see FlushOutbox).
+  std::vector<std::deque<Activation>> outbox;
+
+  // Per-thread scatter scratch, pooled by re-entrancy depth (helping
+  // while stuck nests activation executions).
+  struct Scratch {
+    std::vector<Batch> bucket;
+    std::vector<uint32_t> hit;
+  };
+  std::vector<std::vector<std::unique_ptr<Scratch>>> scratch_pool;
+  std::vector<size_t> scratch_depth;
+
+  Scratch& AcquireScratch(uint32_t self, uint32_t buckets) {
+    size_t d = scratch_depth[self]++;
+    if (d == scratch_pool[self].size()) {
+      auto sc = std::make_unique<Scratch>();
+      sc->bucket.resize(buckets);
+      scratch_pool[self].push_back(std::move(sc));
+    }
+    return *scratch_pool[self][d];
+  }
+  void ReleaseScratch(uint32_t self) { --scratch_depth[self]; }
+};
+
+
+PipelineExecutor::PipelineExecutor(const PipelineOptions& options)
+    : options_(options) {
+  HIERDB_CHECK(options_.threads > 0, "need at least one thread");
+  HIERDB_CHECK(options_.buckets > 0, "need at least one bucket");
+  HIERDB_CHECK(options_.morsel_rows > 0, "morsel_rows must be positive");
+  HIERDB_CHECK(options_.batch_rows > 0, "batch_rows must be positive");
+  HIERDB_CHECK(options_.queue_capacity > 0, "queue_capacity must be positive");
+}
+
+PipelineExecutor::~PipelineExecutor() = default;
+
+uint32_t PipelineExecutor::CompiledOpCount(const PipelinePlan& plan) {
+  uint32_t n = 0;
+  for (const Chain& c : plan.chains) {
+    n += 1 + 2 * static_cast<uint32_t>(c.joins.size());
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// Compilation: plan -> OpStates with blockers, producers, widths.
+
+Result<ResultDigest> PipelineExecutor::Execute(
+    const PipelinePlan& plan, const std::vector<const Table*>& tables,
+    PipelineStats* stats) {
+  HIERDB_RETURN_NOT_OK(plan.Validate(tables));
+  if (options_.strategy == LocalStrategy::kSP) {
+    return ExecuteSP(plan, tables, stats);
+  }
+
+  shared_ = std::make_unique<Shared>();
+  Shared& sh = *shared_;
+  sh.plan = &plan;
+  sh.tables = tables;
+  const uint32_t T = options_.threads;
+  const uint32_t B = options_.buckets;
+
+  // Assign op ids chain by chain: B(c,0..k-1), S(c), P(c,0..k-1).
+  sh.chain_terminal.resize(plan.chains.size());
+  sh.materialized = plan.MaterializedChains();
+  sh.width_at.resize(plan.chains.size());
+  uint32_t njoins_total = 0;
+  std::vector<uint32_t> scan_of_chain(plan.chains.size());
+  std::vector<std::vector<uint32_t>> build_of(plan.chains.size());
+  std::vector<std::vector<uint32_t>> probe_of(plan.chains.size());
+
+  auto source_rows = [&](const Source& s) -> double {
+    // Estimated rows for FP cost weights; chain outputs are estimated as
+    // their input cardinality (the FK-join heuristic). Exact enough for
+    // allocation; distortion is injected on top for the error experiments.
+    if (s.kind == Source::Kind::kTable) {
+      return static_cast<double>(tables[s.index]->rows());
+    }
+    const Chain& c = plan.chains[s.index];
+    if (c.input.kind == Source::Kind::kTable) {
+      return static_cast<double>(tables[c.input.index]->rows());
+    }
+    return 0.0;
+  };
+
+  for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+    const Chain& chain = plan.chains[c];
+    const uint32_t k = static_cast<uint32_t>(chain.joins.size());
+    // Width bookkeeping.
+    auto src_width = [&](const Source& s) -> uint32_t {
+      return s.kind == Source::Kind::kTable
+                 ? tables[s.index]->width()
+                 : plan.OutputWidth(tables, s.index);
+    };
+    sh.width_at[c].push_back(src_width(chain.input));
+    for (const JoinStep& j : chain.joins) {
+      sh.width_at[c].push_back(sh.width_at[c].back() + src_width(j.build));
+    }
+
+    for (uint32_t j = 0; j < k; ++j) {
+      auto op = std::make_unique<OpState>();
+      op->kind = COp::kBuild;
+      op->chain = c;
+      op->step = j;
+      op->join = njoins_total + j;
+      op->src = chain.joins[j].build;
+      op->cost_estimate = source_rows(op->src) + 1.0;
+      if (op->src.kind == Source::Kind::kChain) {
+        op->blockers.push_back(sh.chain_terminal[op->src.index]);
+      }
+      build_of[c].push_back(static_cast<uint32_t>(sh.ops.size()));
+      sh.ops.push_back(std::move(op));
+    }
+    {
+      auto op = std::make_unique<OpState>();
+      op->kind = COp::kScan;
+      op->chain = c;
+      op->src = chain.input;
+      op->cost_estimate = source_rows(chain.input) + 1.0;
+      if (chain.input.kind == Source::Kind::kChain) {
+        op->blockers.push_back(sh.chain_terminal[chain.input.index]);
+      }
+      if (options_.apply_h1) {
+        for (uint32_t j = 0; j < k; ++j) {
+          op->blockers.push_back(build_of[c][j]);
+        }
+      }
+      if (options_.apply_h2 && c > 0) {
+        op->blockers.push_back(sh.chain_terminal[c - 1]);
+      }
+      scan_of_chain[c] = static_cast<uint32_t>(sh.ops.size());
+      sh.ops.push_back(std::move(op));
+    }
+    for (uint32_t j = 0; j < k; ++j) {
+      auto op = std::make_unique<OpState>();
+      op->kind = COp::kProbe;
+      op->chain = c;
+      op->step = j;
+      op->join = njoins_total + j;
+      op->cost_estimate = source_rows(chain.input) + 1.0;
+      op->chain_pos = j + 1;  // scan is position 0
+      op->blockers.push_back(build_of[c][j]);  // hash constraint
+      op->producer = (j == 0) ? scan_of_chain[c] : probe_of[c][j - 1];
+      probe_of[c].push_back(static_cast<uint32_t>(sh.ops.size()));
+      sh.ops.push_back(std::move(op));
+    }
+    // Wire consumers.
+    if (k > 0) {
+      sh.ops[scan_of_chain[c]]->consumer = probe_of[c][0];
+      for (uint32_t j = 0; j + 1 < k; ++j) {
+        sh.ops[probe_of[c][j]]->consumer = probe_of[c][j + 1];
+      }
+      sh.chain_terminal[c] = probe_of[c][k - 1];
+    } else {
+      sh.chain_terminal[c] = scan_of_chain[c];
+    }
+    njoins_total += k;
+  }
+
+  // Apply FP cost distortions.
+  if (!options_.fp_cost_distortion.empty()) {
+    if (options_.fp_cost_distortion.size() != sh.ops.size()) {
+      return Status::InvalidArgument(
+          "fp_cost_distortion size != compiled op count");
+    }
+    for (size_t i = 0; i < sh.ops.size(); ++i) {
+      sh.ops[i]->cost_estimate *= options_.fp_cost_distortion[i];
+    }
+  }
+
+  // Shared structures.
+  const uint32_t nops = static_cast<uint32_t>(sh.ops.size());
+  sh.queues.reserve(static_cast<size_t>(nops) * T);
+  for (uint32_t i = 0; i < nops * T; ++i) {
+    sh.queues.push_back(std::make_unique<BoundedQueue>());
+  }
+  sh.join_tables.resize(njoins_total);
+  sh.bucket_mu.resize(njoins_total);
+  uint32_t join_id = 0;
+  for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+    for (uint32_t j = 0; j < plan.chains[c].joins.size(); ++j, ++join_id) {
+      const Source& b = plan.chains[c].joins[j].build;
+      uint32_t bw = b.kind == Source::Kind::kTable
+                        ? tables[b.index]->width()
+                        : plan.OutputWidth(tables, b.index);
+      sh.join_tables[join_id].resize(B);
+      sh.bucket_mu[join_id].resize(B);
+      for (uint32_t bb = 0; bb < B; ++bb) {
+        sh.join_tables[join_id][bb].Init(bw,
+                                         plan.chains[c].joins[j].build_col);
+        sh.bucket_mu[join_id][bb] = std::make_unique<std::mutex>();
+      }
+    }
+  }
+  sh.chain_partials.assign(plan.chains.size(), {});
+  for (auto& partials : sh.chain_partials) {
+    partials.resize(T);
+  }
+  sh.chain_outputs.resize(plan.chains.size());
+  sh.thread_digests.assign(T, {});
+  sh.busy.assign(T, 0);
+  sh.outbox.resize(T);
+  sh.scratch_pool.resize(T);
+  sh.scratch_depth.assign(T, 0);
+  sh.fp_range = std::vector<std::atomic<uint64_t>>(nops);
+  for (auto& a : sh.fp_range) a.store(0);
+  sh.ops_remaining.store(nops);
+
+  // Unblock initially runnable ops.
+  {
+    std::lock_guard<std::mutex> lock(sh.state_mu);
+    for (uint32_t i = 0; i < nops; ++i) {
+      OpState& op = *sh.ops[i];
+      if (op.blockers.empty()) {
+        op.consumable.store(true);
+        if (op.kind != COp::kProbe) {
+          op.src_batch = op.src.kind == Source::Kind::kTable
+                             ? &tables[op.src.index]->batch
+                             : &sh.chain_outputs[op.src.index];
+          op.total_rows = op.src_batch->rows();
+          size_t morsels =
+              (op.total_rows + options_.morsel_rows - 1) / options_.morsel_rows;
+          op.morsels_left.store(static_cast<int64_t>(morsels));
+          if (morsels == 0) op.scatter_done.store(true);
+        }
+      }
+    }
+    if (options_.strategy == LocalStrategy::kFP) RecomputeFpAssignment();
+  }
+  // Ops that are born finished (empty sources) must end before workers
+  // start so the dependency cascade is primed.
+  for (uint32_t i = 0; i < nops; ++i) {
+    OpState& op = *sh.ops[i];
+    if (op.consumable.load() && !op.ended.load() && op.scatter_done.load() &&
+        op.kind != COp::kProbe && op.data_pending.load() == 0) {
+      OnOpEnded(i);
+    }
+  }
+
+  // Run.
+  std::vector<std::thread> workers;
+  workers.reserve(T);
+  for (uint32_t t = 0; t < T; ++t) {
+    workers.emplace_back([this, t] { WorkerLoop(t); });
+  }
+  for (auto& w : workers) w.join();
+
+  if (sh.failed.load()) {
+    return Status::Internal("pipeline execution failed");
+  }
+
+  ResultDigest digest;
+  for (const auto& d : sh.thread_digests) digest.Merge(d);
+
+  if (stats != nullptr) {
+    stats->morsels = sh.stat_morsels.load();
+    stats->data_activations = sh.stat_data.load();
+    stats->batches_emitted = sh.stat_emitted.load();
+    stats->escapes = sh.stat_escapes.load();
+    stats->nonprimary = sh.stat_nonprimary.load();
+    stats->idle_waits = sh.stat_idle.load();
+    stats->fp_safety_escapes = sh.stat_fp_safety.load();
+    stats->busy_per_thread = sh.busy;
+  }
+  shared_.reset();
+  return digest;
+}
+
+// ---------------------------------------------------------------------
+// Scheduling transitions.
+
+void PipelineExecutor::OnOpEnded(uint32_t op_id) {
+  Shared& sh = *shared_;
+  std::unique_lock<std::mutex> lock(sh.state_mu);
+  OpState& op = *sh.ops[op_id];
+  if (op.ended.load()) return;
+  op.ended.store(true);
+  sh.ops_remaining.fetch_sub(1);
+
+  // Merge chain partials when a terminal op ends.
+  if (sh.chain_terminal[op.chain] == op_id) {
+    if (sh.materialized[op.chain]) {
+      uint32_t width = sh.width_at[op.chain].back();
+      Batch merged(width);
+      size_t total = 0;
+      for (const Batch& part : sh.chain_partials[op.chain]) {
+        total += part.rows();
+      }
+      merged.Reserve(total);
+      for (Batch& part : sh.chain_partials[op.chain]) {
+        merged.data().insert(merged.data().end(), part.data().begin(),
+                             part.data().end());
+        part.Clear();
+      }
+      sh.chain_outputs[op.chain] = std::move(merged);
+    }
+  }
+
+  // Cascade: unblock dependents, resolve their sources, end empty ops.
+  std::vector<uint32_t> newly_ended;
+  for (uint32_t i = 0; i < sh.ops.size(); ++i) {
+    OpState& other = *sh.ops[i];
+    if (other.ended.load() || other.consumable.load()) continue;
+    bool ready = true;
+    for (uint32_t b : other.blockers) {
+      if (!sh.ops[b]->ended.load()) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) continue;
+    other.consumable.store(true);
+    if (other.kind != COp::kProbe) {
+      other.src_batch = other.src.kind == Source::Kind::kTable
+                            ? &sh.tables[other.src.index]->batch
+                            : &sh.chain_outputs[other.src.index];
+      other.total_rows = other.src_batch->rows();
+      size_t morsels = (other.total_rows + options_.morsel_rows - 1) /
+                       options_.morsel_rows;
+      other.morsels_left.store(static_cast<int64_t>(morsels));
+      if (morsels == 0) {
+        other.scatter_done.store(true);
+        if (other.data_pending.load() == 0) newly_ended.push_back(i);
+      }
+    } else {
+      // A probe unblocked after its producer already ended with nothing
+      // pending is itself finished.
+      if (sh.ops[other.producer]->ended.load() &&
+          other.data_pending.load() == 0) {
+        newly_ended.push_back(i);
+      }
+    }
+  }
+  // A consumer probe whose producer just ended may already be drained.
+  if (op.consumer != UINT32_MAX) {
+    OpState& consumer = *sh.ops[op.consumer];
+    if (!consumer.ended.load() && consumer.consumable.load() &&
+        consumer.data_pending.load() == 0) {
+      newly_ended.push_back(op.consumer);
+    }
+  }
+
+  if (options_.strategy == LocalStrategy::kFP) RecomputeFpAssignment();
+
+  if (sh.ops_remaining.load() == 0) {
+    sh.done.store(true);
+  }
+  lock.unlock();
+  sh.work_cv.notify_all();
+
+  for (uint32_t e : newly_ended) OnOpEnded(e);
+}
+
+// FP: apportion threads across consumable, un-ended operators in
+// proportion to cost estimates (largest remainder; every such op gets at
+// least one thread when possible). Called under state_mu.
+void PipelineExecutor::RecomputeFpAssignment() {
+  Shared& sh = *shared_;
+  const uint32_t T = options_.threads;
+  std::vector<uint32_t> active;
+  double total_cost = 0.0;
+  for (uint32_t i = 0; i < sh.ops.size(); ++i) {
+    OpState& op = *sh.ops[i];
+    if (op.consumable.load() && !op.ended.load()) {
+      active.push_back(i);
+      total_cost += op.cost_estimate;
+    }
+  }
+  for (auto& a : sh.fp_range) a.store(0);  // empty range
+  if (active.empty()) return;
+  auto pack = [](uint32_t lo, uint32_t hi) {
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  };
+  if (active.size() >= T) {
+    // More operators than threads: operator k shares thread k mod T.
+    for (size_t k = 0; k < active.size(); ++k) {
+      uint32_t t = static_cast<uint32_t>(k) % T;
+      sh.fp_range[active[k]].store(pack(t, t + 1));
+    }
+    return;
+  }
+  // Largest-remainder apportionment with a floor of one thread per op.
+  const uint32_t rest = T - static_cast<uint32_t>(active.size());
+  std::vector<double> share(active.size());
+  std::vector<uint32_t> extra(active.size(), 0);
+  for (size_t k = 0; k < active.size(); ++k) {
+    share[k] = total_cost > 0
+                   ? sh.ops[active[k]]->cost_estimate / total_cost * rest
+                   : static_cast<double>(rest) / active.size();
+    extra[k] = static_cast<uint32_t>(share[k]);
+  }
+  uint32_t used = 0;
+  for (uint32_t e : extra) used += e;
+  std::vector<size_t> order(active.size());
+  for (size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (share[a] - extra[a]) > (share[b] - extra[b]);
+  });
+  for (size_t k = 0; k < order.size() && used < rest; ++k, ++used) {
+    ++extra[order[k]];
+  }
+  uint32_t t = 0;
+  for (size_t k = 0; k < active.size(); ++k) {
+    uint32_t width = 1 + extra[k];
+    sh.fp_range[active[k]].store(pack(t, t + width));
+    t += width;
+  }
+}
+
+bool PipelineExecutor::ThreadMayRun(uint32_t self, uint32_t op_id) const {
+  if (options_.strategy != LocalStrategy::kFP) return true;
+  uint64_t packed =
+      shared_->fp_range[op_id].load(std::memory_order_relaxed);
+  uint32_t lo = static_cast<uint32_t>(packed >> 32);
+  uint32_t hi = static_cast<uint32_t>(packed);
+  return lo <= self && self < hi;
+}
+
+// ---------------------------------------------------------------------
+// Worker loop and activation selection.
+
+void PipelineExecutor::WorkerLoop(uint32_t self) {
+  Shared& sh = *shared_;
+  while (!sh.done.load(std::memory_order_acquire)) {
+    if (!sh.outbox[self].empty()) FlushOutbox(self);
+    if (RunOne(self)) {
+      FlushOutbox(self);
+    } else {
+      sh.stat_idle.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(sh.state_mu);
+      sh.work_cv.wait_for(lock, std::chrono::microseconds(200));
+    }
+  }
+}
+
+// Selects and executes one activation. Returns false if no runnable work
+// was found. Selection order implements the paper's priority scheme:
+// primary queues first, then trigger work, then other threads' queues.
+bool PipelineExecutor::RunOne(uint32_t self) {
+  Shared& sh = *shared_;
+  const uint32_t T = options_.threads;
+  const uint32_t nops = static_cast<uint32_t>(sh.ops.size());
+
+  // Pass 1: primary queues (this thread's column), then morsel claims.
+  for (uint32_t k = 0; k < nops; ++k) {
+    uint32_t op_id = (self + k) % nops;  // stagger start positions
+    OpState& op = *sh.ops[op_id];
+    if (!op.consumable.load() || op.ended.load()) continue;
+    if (!ThreadMayRun(self, op_id)) continue;
+    Activation act;
+    if (sh.queues[op_id * T + self]->TryPopFront(&act)) {
+      ExecuteData(self, std::move(act));
+      return true;
+    }
+  }
+  for (uint32_t k = 0; k < nops; ++k) {
+    uint32_t op_id = (self + k) % nops;
+    OpState& op = *sh.ops[op_id];
+    if (!op.consumable.load() || op.ended.load()) continue;
+    if (!ThreadMayRun(self, op_id)) continue;
+    if (op.kind != COp::kProbe && ClaimMorsel(self, op_id)) {
+      return true;
+    }
+  }
+  // Pass 2: steal from other threads' queues (back pop).
+  for (uint32_t k = 0; k < nops; ++k) {
+    uint32_t op_id = (self + k) % nops;
+    OpState& op = *sh.ops[op_id];
+    if (!op.consumable.load() || op.ended.load()) continue;
+    if (!ThreadMayRun(self, op_id)) continue;
+    for (uint32_t d = 1; d < T; ++d) {
+      uint32_t t = (self + d) % T;
+      Activation act;
+      if (sh.queues[op_id * T + t]->TryPopBack(&act)) {
+        sh.stat_nonprimary.fetch_add(1, std::memory_order_relaxed);
+        ExecuteData(self, std::move(act));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool PipelineExecutor::ClaimMorsel(uint32_t self, uint32_t op_id) {
+  Shared& sh = *shared_;
+  OpState& op = *sh.ops[op_id];
+  size_t begin = op.morsel_cursor.fetch_add(options_.morsel_rows,
+                                            std::memory_order_relaxed);
+  if (begin >= op.total_rows) return false;
+  size_t end = std::min<size_t>(begin + options_.morsel_rows, op.total_rows);
+  ExecuteMorsel(self, op_id, begin, end);
+  sh.stat_morsels.fetch_add(1, std::memory_order_relaxed);
+  ++sh.busy[self];
+  if (op.morsels_left.fetch_sub(1) == 1) {
+    op.scatter_done.store(true);
+    if (op.data_pending.load() == 0) OnOpEnded(op_id);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Operator bodies.
+
+void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
+                                     size_t begin, size_t end) {
+  Shared& sh = *shared_;
+  OpState& op = *sh.ops[op_id];
+  const Batch& src = *op.src_batch;
+  const uint32_t B = options_.buckets;
+  const PipelinePlan& plan = *sh.plan;
+  const Chain& chain = plan.chains[op.chain];
+
+  if (op.kind == COp::kBuild) {
+    // Scatter build rows into per-bucket insert batches.
+    const JoinStep& js = chain.joins[op.step];
+    auto& sc = sh.AcquireScratch(self, B);
+    auto& scratch = sc.bucket;
+    auto& hit = sc.hit;
+    for (size_t i = begin; i < end; ++i) {
+      const int64_t* row = src.row(i);
+      uint32_t bucket =
+          static_cast<uint32_t>(HashKey(row[js.build_col]) % B);
+      Batch& b = scratch[bucket];
+      if (b.width() == 0) b = Batch(src.width());
+      if (b.empty()) hit.push_back(bucket);
+      b.AppendRow(row);
+    }
+    for (uint32_t bucket : hit) {
+      Emit(self, op_id, bucket, std::move(scratch[bucket]));
+      scratch[bucket] = Batch();
+    }
+    hit.clear();
+    sh.ReleaseScratch(self);
+    return;
+  }
+
+  // Scan: pure-scan chains finalize directly; otherwise scatter into the
+  // first probe's buckets.
+  if (chain.joins.empty()) {
+    const bool final_chain = op.chain + 1 == plan.chains.size();
+    for (size_t i = begin; i < end; ++i) {
+      const int64_t* row = src.row(i);
+      if (final_chain) sh.thread_digests[self].Add(row, src.width());
+      if (sh.materialized[op.chain]) {
+        Batch& part = sh.chain_partials[op.chain][self];
+        if (part.width() == 0) part = Batch(src.width());
+        part.AppendRow(row);
+      }
+    }
+    return;
+  }
+  const JoinStep& js = chain.joins[0];
+  auto& sc = sh.AcquireScratch(self, B);
+  auto& scratch = sc.bucket;
+  auto& hit = sc.hit;
+  for (size_t i = begin; i < end; ++i) {
+    const int64_t* row = src.row(i);
+    uint32_t bucket = static_cast<uint32_t>(HashKey(row[js.probe_col]) % B);
+    Batch& b = scratch[bucket];
+    if (b.width() == 0) b = Batch(src.width());
+    if (b.empty()) hit.push_back(bucket);
+    b.AppendRow(row);
+    if (b.rows() >= options_.batch_rows) {
+      Emit(self, op.consumer, bucket, std::move(b));
+      scratch[bucket] = Batch();
+      hit.erase(std::find(hit.begin(), hit.end(), bucket));
+    }
+  }
+  for (uint32_t bucket : hit) {
+    Emit(self, op.consumer, bucket, std::move(scratch[bucket]));
+    scratch[bucket] = Batch();
+  }
+  hit.clear();
+  sh.ReleaseScratch(self);
+}
+
+void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
+  Shared& sh = *shared_;
+  OpState& op = *sh.ops[act.op];
+  const uint32_t B = options_.buckets;
+  const PipelinePlan& plan = *sh.plan;
+  const Chain& chain = plan.chains[op.chain];
+  sh.stat_data.fetch_add(1, std::memory_order_relaxed);
+  ++sh.busy[self];
+
+  if (op.kind == COp::kBuild) {
+    RowTable& table = sh.join_tables[op.join][act.bucket];
+    std::lock_guard<std::mutex> lock(*sh.bucket_mu[op.join][act.bucket]);
+    table.InsertBatch(act.rows);
+    FinishActivation(act.op);
+    return;
+  }
+
+  // Probe step.
+  const JoinStep& js = chain.joins[op.step];
+  const RowTable& table = sh.join_tables[op.join][act.bucket];
+  const uint32_t in_width = act.rows.width();
+  const bool last_step = op.step + 1 == chain.joins.size();
+  const bool final_chain = op.chain + 1 == plan.chains.size();
+  const uint32_t out_width = in_width + table.width();
+
+  if (last_step) {
+    Batch* part = nullptr;
+    if (sh.materialized[op.chain]) {
+      part = &sh.chain_partials[op.chain][self];
+      if (part->width() == 0) *part = Batch(out_width);
+    }
+    std::vector<int64_t> out_row(out_width);
+    for (size_t i = 0; i < act.rows.rows(); ++i) {
+      const int64_t* row = act.rows.row(i);
+      table.ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
+        std::copy(row, row + in_width, out_row.begin());
+        std::copy(brow, brow + table.width(), out_row.begin() + in_width);
+        if (final_chain) {
+          sh.thread_digests[self].Add(out_row.data(), out_width);
+        }
+        if (part != nullptr) part->AppendRow(out_row.data());
+      });
+    }
+    FinishActivation(act.op);
+    return;
+  }
+
+  const JoinStep& next = chain.joins[op.step + 1];
+  auto& sc = sh.AcquireScratch(self, B);
+  auto& scratch = sc.bucket;
+  auto& hit = sc.hit;
+  std::vector<int64_t> out_row(out_width);
+  for (size_t i = 0; i < act.rows.rows(); ++i) {
+    const int64_t* row = act.rows.row(i);
+    table.ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
+      std::copy(row, row + in_width, out_row.begin());
+      std::copy(brow, brow + table.width(), out_row.begin() + in_width);
+      uint32_t bucket =
+          static_cast<uint32_t>(HashKey(out_row[next.probe_col]) % B);
+      Batch& b = scratch[bucket];
+      if (b.width() == 0) b = Batch(out_width);
+      if (b.empty()) hit.push_back(bucket);
+      b.AppendRow(out_row.data());
+      if (b.rows() >= options_.batch_rows) {
+        Emit(self, op.consumer, bucket, std::move(b));
+        scratch[bucket] = Batch();
+        hit.erase(std::find(hit.begin(), hit.end(), bucket));
+      }
+    });
+  }
+  for (uint32_t bucket : hit) {
+    Emit(self, op.consumer, bucket, std::move(scratch[bucket]));
+    scratch[bucket] = Batch();
+  }
+  hit.clear();
+  sh.ReleaseScratch(self);
+  FinishActivation(act.op);
+}
+
+void PipelineExecutor::FinishActivation(uint32_t op_id) {
+  Shared& sh = *shared_;
+  OpState& op = *sh.ops[op_id];
+  if (op.data_pending.fetch_sub(1) == 1) {
+    bool producer_finished =
+        op.kind == COp::kBuild
+            ? op.scatter_done.load()
+            : sh.ops[op.producer]->ended.load();
+    if (producer_finished && op.consumable.load()) OnOpEnded(op_id);
+  }
+}
+
+// Emits one data activation toward `dst_op`. Operator bodies never block:
+// if the destination queue is full, the activation is staged in the
+// producing thread's outbox and FlushOutbox drains it at the top level —
+// the iterative equivalent of the paper's procedure-call suspension
+// (Section 3.1: a thread in a waiting situation suspends its current
+// execution and processes another activation; here the suspended frame is
+// the staged push rather than a nested stack frame, so the thread's stack
+// stays bounded regardless of how long the pipeline is).
+void PipelineExecutor::Emit(uint32_t self, uint32_t dst_op, uint32_t bucket,
+                            Batch&& rows) {
+  Shared& sh = *shared_;
+  const uint32_t T = options_.threads;
+  OpState& dst = *sh.ops[dst_op];
+  dst.data_pending.fetch_add(1);
+  sh.stat_emitted.fetch_add(1, std::memory_order_relaxed);
+  Activation act;
+  act.op = dst_op;
+  act.bucket = bucket;
+  act.rows = std::move(rows);
+  uint32_t target = bucket % T;
+  if (!sh.queues[dst_op * T + target]->TryPush(std::move(act),
+                                               options_.queue_capacity)) {
+    sh.stat_escapes.fetch_add(1, std::memory_order_relaxed);
+    sh.outbox[self].push_back(std::move(act));
+  }
+}
+
+// Drains this thread's outbox. While pushes are stuck the thread helps by
+// executing other activations, subject to the flow-control rule that it
+// never runs an operator *upstream* of a stuck destination in the same
+// chain (that would only produce more input for the congested queue —
+// the paper's "will not consume activations of the same operator" rule,
+// generalized to whole upstream segments). Build operators are always
+// allowed: they emit only to themselves. If nothing allowed is runnable
+// for a long stretch (every remaining op is upstream of a stuck
+// destination — possible only in degenerate schedules), the restriction
+// is lifted so global progress is guaranteed; the outbox absorbs the
+// overflow.
+void PipelineExecutor::FlushOutbox(uint32_t self) {
+  Shared& sh = *shared_;
+  const uint32_t T = options_.threads;
+  auto& outbox = sh.outbox[self];
+  uint32_t stalls = 0;
+  while (!outbox.empty()) {
+    // Try to push every staged activation once.
+    size_t n = outbox.size();
+    bool progressed = false;
+    for (size_t i = 0; i < n;) {
+      Activation& act = outbox[i];
+      uint32_t target = act.bucket % T;
+      if (sh.queues[act.op * T + target]->TryPush(std::move(act),
+                                                  options_.queue_capacity)) {
+        outbox.erase(outbox.begin() + static_cast<long>(i));
+        --n;
+        progressed = true;
+      } else {
+        ++i;
+      }
+    }
+    if (outbox.empty()) return;
+    if (progressed) {
+      stalls = 0;
+      continue;
+    }
+    if (RunAllowedWhileStuck(self, /*unrestricted=*/stalls > 10000)) {
+      stalls = 0;
+      continue;
+    }
+    ++stalls;
+    std::this_thread::yield();
+  }
+}
+
+// Executes one activation (or build morsel) permitted while this thread
+// has stuck pushes. Allowed: destination operators of stuck pushes (the
+// most useful — draining them frees queue slots), any operator not
+// upstream of a stuck destination in its chain, and all build operators.
+// `unrestricted` lifts the upstream exclusion (progress valve).
+bool PipelineExecutor::RunAllowedWhileStuck(uint32_t self,
+                                            bool unrestricted) {
+  Shared& sh = *shared_;
+  const uint32_t T = options_.threads;
+  const uint32_t nops = static_cast<uint32_t>(sh.ops.size());
+  const bool fp = options_.strategy == LocalStrategy::kFP;
+
+  // Per-chain minimum stuck position: ops of that chain strictly before
+  // this position are forbidden (they would feed the congested queue).
+  std::vector<uint32_t> min_stuck_pos(sh.chain_terminal.size(), UINT32_MAX);
+  for (const Activation& act : sh.outbox[self]) {
+    OpState& dst = *sh.ops[act.op];
+    if (dst.kind == COp::kBuild) continue;  // self-feeding, nothing upstream
+    uint32_t& cur = min_stuck_pos[dst.chain];
+    cur = std::min(cur, dst.chain_pos);
+  }
+
+  auto allowed = [&](uint32_t op_id) {
+    OpState& op = *sh.ops[op_id];
+    if (op.kind == COp::kBuild || unrestricted) return true;
+    return op.chain_pos >= min_stuck_pos[op.chain] ||
+           min_stuck_pos[op.chain] == UINT32_MAX;
+  };
+
+  // Deepest operators first: executing the terminal op always shrinks the
+  // backlog, so helping downstream-first keeps the outbox bounded.
+  for (uint32_t k = 0; k < nops; ++k) {
+    uint32_t op_id = nops - 1 - k;
+    OpState& op = *sh.ops[op_id];
+    if (!op.consumable.load() || op.ended.load() || !allowed(op_id)) continue;
+    if (fp) {
+      // FP threads drain only destinations of their own stuck pushes.
+      bool is_stuck_dst = false;
+      for (const Activation& a : sh.outbox[self]) {
+        if (a.op == op_id) {
+          is_stuck_dst = true;
+          break;
+        }
+      }
+      if (!is_stuck_dst) continue;
+    }
+    for (uint32_t d = 0; d < T; ++d) {
+      uint32_t t = (self + d) % T;
+      Activation act;
+      if (sh.queues[op_id * T + t]->TryPopFront(&act)) {
+        if (fp) sh.stat_fp_safety.fetch_add(1, std::memory_order_relaxed);
+        if (d != 0 && !fp) {
+          sh.stat_nonprimary.fetch_add(1, std::memory_order_relaxed);
+        }
+        ExecuteData(self, std::move(act));
+        return true;
+      }
+    }
+  }
+  if (fp) return false;
+  for (uint32_t k = 0; k < nops; ++k) {
+    uint32_t op_id = nops - 1 - k;
+    OpState& op = *sh.ops[op_id];
+    if (!op.consumable.load() || op.ended.load() || !allowed(op_id)) continue;
+    if (op.kind != COp::kProbe && ClaimMorsel(self, op_id)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Synchronous pipelining (SP).
+
+Result<ResultDigest> PipelineExecutor::ExecuteSP(
+    const PipelinePlan& plan, const std::vector<const Table*>& tables,
+    PipelineStats* stats) {
+  const uint32_t T = options_.threads;
+  const uint32_t B = options_.buckets;
+  std::vector<bool> materialized = plan.MaterializedChains();
+  std::vector<Batch> chain_outputs(plan.chains.size());
+  std::vector<ResultDigest> digests(T);
+  std::vector<uint64_t> busy(T, 0);
+  uint64_t morsel_count = 0;
+
+  auto batch_of = [&](const Source& s) -> const Batch& {
+    return s.kind == Source::Kind::kTable ? tables[s.index]->batch
+                                          : chain_outputs[s.index];
+  };
+
+  for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+    const Chain& chain = plan.chains[c];
+    const bool final_chain = c + 1 == plan.chains.size();
+
+    // Build phase: threads cooperate on every build source, morsel-wise,
+    // inserting under per-bucket locks.
+    std::vector<std::vector<RowTable>> join_tables(chain.joins.size());
+    std::vector<std::vector<std::unique_ptr<std::mutex>>> bucket_mu(
+        chain.joins.size());
+    for (size_t j = 0; j < chain.joins.size(); ++j) {
+      const Batch& build = batch_of(chain.joins[j].build);
+      join_tables[j].resize(B);
+      bucket_mu[j].resize(B);
+      for (uint32_t b = 0; b < B; ++b) {
+        join_tables[j][b].Init(build.width(), chain.joins[j].build_col);
+        bucket_mu[j][b] = std::make_unique<std::mutex>();
+      }
+    }
+    for (size_t j = 0; j < chain.joins.size(); ++j) {
+      const Batch& build = batch_of(chain.joins[j].build);
+      std::atomic<size_t> cursor{0};
+      std::vector<std::thread> workers;
+      for (uint32_t t = 0; t < T; ++t) {
+        workers.emplace_back([&, t] {
+          // Scatter each morsel into local per-bucket batches, then take
+          // each bucket lock once per morsel (amortized locking).
+          std::vector<Batch> local(B);
+          std::vector<uint32_t> touched;
+          while (true) {
+            size_t begin = cursor.fetch_add(options_.morsel_rows);
+            if (begin >= build.rows()) break;
+            size_t end =
+                std::min<size_t>(begin + options_.morsel_rows, build.rows());
+            for (size_t i = begin; i < end; ++i) {
+              const int64_t* row = build.row(i);
+              uint32_t bucket = static_cast<uint32_t>(
+                  HashKey(row[chain.joins[j].build_col]) % B);
+              Batch& b = local[bucket];
+              if (b.width() == 0) b = Batch(build.width());
+              if (b.empty()) touched.push_back(bucket);
+              b.AppendRow(row);
+            }
+            for (uint32_t bucket : touched) {
+              std::lock_guard<std::mutex> lock(*bucket_mu[j][bucket]);
+              join_tables[j][bucket].InsertBatch(local[bucket]);
+              local[bucket].Clear();
+            }
+            touched.clear();
+            ++busy[t];
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      morsel_count +=
+          (build.rows() + options_.morsel_rows - 1) / options_.morsel_rows;
+    }
+
+    // Probe phase: every thread drives scan morsels through the whole
+    // chain with nested procedure calls.
+    const Batch& input = batch_of(chain.input);
+    uint32_t out_width = input.width();
+    for (const JoinStep& j : chain.joins) {
+      out_width += batch_of(j.build).width();
+    }
+    std::vector<Batch> partials(T);
+    std::atomic<size_t> cursor{0};
+    std::vector<std::thread> workers;
+    for (uint32_t t = 0; t < T; ++t) {
+      workers.emplace_back([&, t] {
+        std::vector<int64_t> row_buf(out_width);
+        // Recursive pipeline walker: step j consumes the prefix of
+        // row_buf filled so far.
+        auto walk = [&](auto&& self_fn, size_t step,
+                        uint32_t filled) -> void {
+          if (step == chain.joins.size()) {
+            if (final_chain) digests[t].Add(row_buf.data(), filled);
+            if (materialized[c]) {
+              Batch& part = partials[t];
+              if (part.width() == 0) part = Batch(out_width);
+              part.AppendRow(row_buf.data());
+            }
+            return;
+          }
+          const JoinStep& js = chain.joins[step];
+          uint32_t bucket = static_cast<uint32_t>(
+              HashKey(row_buf[js.probe_col]) % B);
+          const RowTable& table = join_tables[step][bucket];
+          table.ForEachMatch(row_buf[js.probe_col], [&](const int64_t* brow) {
+            std::copy(brow, brow + table.width(),
+                      row_buf.begin() + filled);
+            self_fn(self_fn, step + 1, filled + table.width());
+          });
+        };
+        while (true) {
+          size_t begin = cursor.fetch_add(options_.morsel_rows);
+          if (begin >= input.rows()) break;
+          size_t end =
+              std::min<size_t>(begin + options_.morsel_rows, input.rows());
+          for (size_t i = begin; i < end; ++i) {
+            std::copy(input.row(i), input.row(i) + input.width(),
+                      row_buf.begin());
+            walk(walk, 0, input.width());
+          }
+          ++busy[t];
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    morsel_count +=
+        (input.rows() + options_.morsel_rows - 1) / options_.morsel_rows;
+
+    if (materialized[c]) {
+      Batch merged(out_width);
+      for (Batch& part : partials) {
+        merged.data().insert(merged.data().end(), part.data().begin(),
+                             part.data().end());
+      }
+      chain_outputs[c] = std::move(merged);
+    }
+  }
+
+  ResultDigest digest;
+  for (const auto& d : digests) digest.Merge(d);
+  if (stats != nullptr) {
+    *stats = PipelineStats{};
+    stats->morsels = morsel_count;
+    stats->busy_per_thread = busy;
+  }
+  return digest;
+}
+
+}  // namespace hierdb::mt

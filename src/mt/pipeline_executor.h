@@ -1,0 +1,131 @@
+// General multithreaded pipeline executor — the paper's execution model on
+// real threads and real data.
+//
+// Executes a PipelinePlan (bushy multi-join, decomposed into pipeline
+// chains) on one SM-node with a selectable local load-balancing strategy:
+//
+//   kDP  dynamic processing (the paper's model): work decomposed into
+//        self-contained activations; one queue per (operator x thread);
+//        primary-queue affinity; any thread consumes any consumable queue;
+//        a producer hitting a full queue escapes by processing another
+//        activation (procedure-call suspension, Section 3.1);
+//
+//   kFP  fixed processing [DeWitt90, Boral90]: threads statically
+//        allocated to operators in proportion to estimated operator cost
+//        at each scheduling stage; a thread whose operator has no work
+//        idles — the discretization and cost-error weaknesses the paper
+//        measures in Figures 6-8;
+//
+//   kSP  synchronous pipelining [Shekita93]: no inter-operator queues;
+//        each thread claims scan morsels and carries every tuple through
+//        the whole probe chain by procedure calls (shared-memory only).
+//
+// Operator scheduling follows Section 2.2: hash constraints
+// (build before probe), heuristic H1 (a chain's scan waits for its hash
+// tables), heuristic H2 (chains execute one at a time); H1/H2 can be
+// disabled to reproduce the concurrent-chains discussion of Section 3.2.
+//
+// Trigger activations are morsel claims on a shared cursor (granularity
+// `morsel_rows`); data activations are row batches bound to a hash bucket
+// (granularity `batch_rows`); the degree of fragmentation `buckets` is
+// much higher than the thread count so skew spreads (Section 3.1).
+
+#ifndef HIERDB_MT_PIPELINE_EXECUTOR_H_
+#define HIERDB_MT_PIPELINE_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "mt/hash_table.h"
+#include "mt/plan.h"
+#include "mt/row.h"
+
+namespace hierdb::mt {
+
+enum class LocalStrategy { kDP, kFP, kSP };
+
+const char* LocalStrategyName(LocalStrategy s);
+
+struct PipelineOptions {
+  uint32_t threads = 4;
+  uint32_t buckets = 64;        ///< degree of fragmentation per join
+  uint32_t morsel_rows = 16384; ///< trigger-activation granularity
+  uint32_t batch_rows = 1024;   ///< data-activation granularity
+  uint32_t queue_capacity = 256;///< flow control (activations per queue)
+  LocalStrategy strategy = LocalStrategy::kDP;
+  bool apply_h1 = true;         ///< chain scan waits for its hash tables
+  bool apply_h2 = true;         ///< chains execute one at a time
+  /// FP only: multiplicative distortion applied to per-operator cost
+  /// estimates, indexed by compiled op id; empty = exact estimates.
+  std::vector<double> fp_cost_distortion;
+};
+
+struct PipelineStats {
+  uint64_t morsels = 0;           ///< trigger activations executed
+  uint64_t data_activations = 0;  ///< batch activations executed
+  uint64_t batches_emitted = 0;
+  uint64_t escapes = 0;           ///< full-queue procedure-call escapes
+  uint64_t nonprimary = 0;        ///< consumptions from non-primary queues
+  uint64_t idle_waits = 0;        ///< waits with no runnable work
+  uint64_t fp_safety_escapes = 0; ///< FP deadlock valve firings (should be 0)
+  std::vector<uint64_t> busy_per_thread;  ///< activations per thread
+
+  /// Load imbalance: max over threads of busy / mean busy (1.0 = perfect).
+  double Imbalance() const;
+};
+
+/// Executes `plan` over `tables`. The executor is reusable; Execute is not
+/// re-entrant.
+class PipelineExecutor {
+ public:
+  explicit PipelineExecutor(const PipelineOptions& options);
+  ~PipelineExecutor();
+
+  PipelineExecutor(const PipelineExecutor&) = delete;
+  PipelineExecutor& operator=(const PipelineExecutor&) = delete;
+
+  Result<ResultDigest> Execute(const PipelinePlan& plan,
+                               const std::vector<const Table*>& tables,
+                               PipelineStats* stats = nullptr);
+
+  /// Number of compiled operators for the given plan (to size
+  /// fp_cost_distortion before Execute).
+  static uint32_t CompiledOpCount(const PipelinePlan& plan);
+
+ private:
+  struct Activation;
+  struct OpState;
+  struct Shared;
+  class BoundedQueue;
+
+  PipelineOptions options_;
+  std::unique_ptr<Shared> shared_;  // per-run state
+
+  // --- execution machinery (defined in .cc) ---
+  void WorkerLoop(uint32_t self);
+  bool RunOne(uint32_t self);
+  bool ClaimMorsel(uint32_t self, uint32_t op_id);
+  void ExecuteData(uint32_t self, Activation&& act);
+  void ExecuteMorsel(uint32_t self, uint32_t op_id, size_t begin, size_t end);
+  void Emit(uint32_t self, uint32_t dst_op, uint32_t bucket, Batch&& rows);
+  void FlushOutbox(uint32_t self);
+  bool RunAllowedWhileStuck(uint32_t self, bool unrestricted);
+  void FinishActivation(uint32_t op_id);
+  void OnOpEnded(uint32_t op_id);
+  void RecomputeFpAssignment();
+  bool ThreadMayRun(uint32_t self, uint32_t op_id) const;
+
+  Result<ResultDigest> ExecuteSP(const PipelinePlan& plan,
+                                 const std::vector<const Table*>& tables,
+                                 PipelineStats* stats);
+};
+
+}  // namespace hierdb::mt
+
+#endif  // HIERDB_MT_PIPELINE_EXECUTOR_H_

@@ -1,0 +1,206 @@
+#include "mt/plan.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace hierdb::mt {
+
+Status PipelinePlan::Validate(const std::vector<const Table*>& tables) const {
+  if (chains.empty()) return Status::InvalidArgument("plan has no chains");
+  auto check_source = [&](const Source& s, uint32_t chain) -> Status {
+    if (s.kind == Source::Kind::kTable) {
+      if (s.index >= tables.size()) {
+        return Status::OutOfRange("table index " + std::to_string(s.index));
+      }
+    } else {
+      if (s.index >= chain) {
+        return Status::InvalidArgument(
+            "chain " + std::to_string(chain) + " references chain " +
+            std::to_string(s.index) + " (must be earlier)");
+      }
+    }
+    return Status::OK();
+  };
+  auto source_width = [&](const Source& s) -> uint32_t {
+    return s.kind == Source::Kind::kTable
+               ? tables[s.index]->width()
+               : OutputWidth(tables, s.index);
+  };
+  for (uint32_t c = 0; c < chains.size(); ++c) {
+    const Chain& chain = chains[c];
+    HIERDB_RETURN_NOT_OK(check_source(chain.input, c));
+    uint32_t width = source_width(chain.input);
+    for (const JoinStep& j : chain.joins) {
+      HIERDB_RETURN_NOT_OK(check_source(j.build, c));
+      if (j.probe_col >= width) {
+        return Status::OutOfRange("probe col " + std::to_string(j.probe_col) +
+                                  " >= pipelined width " +
+                                  std::to_string(width));
+      }
+      uint32_t bw = source_width(j.build);
+      if (j.build_col >= bw) {
+        return Status::OutOfRange("build col " + std::to_string(j.build_col) +
+                                  " >= build width " + std::to_string(bw));
+      }
+      width += bw;
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t PipelinePlan::OutputWidth(const std::vector<const Table*>& tables,
+                                   uint32_t chain) const {
+  const Chain& c = chains[chain];
+  auto source_width = [&](const Source& s) -> uint32_t {
+    return s.kind == Source::Kind::kTable ? tables[s.index]->width()
+                                          : OutputWidth(tables, s.index);
+  };
+  uint32_t width = source_width(c.input);
+  for (const JoinStep& j : c.joins) width += source_width(j.build);
+  return width;
+}
+
+std::vector<bool> PipelinePlan::MaterializedChains() const {
+  std::vector<bool> mat(chains.size(), false);
+  for (const Chain& c : chains) {
+    if (c.input.kind == Source::Kind::kChain) mat[c.input.index] = true;
+    for (const JoinStep& j : c.joins) {
+      if (j.build.kind == Source::Kind::kChain) mat[j.build.index] = true;
+    }
+  }
+  return mat;
+}
+
+std::string PipelinePlan::ToString() const {
+  std::ostringstream os;
+  auto src = [](const Source& s) {
+    return std::string(s.kind == Source::Kind::kTable ? "T" : "C") +
+           std::to_string(s.index);
+  };
+  for (uint32_t c = 0; c < chains.size(); ++c) {
+    os << "chain " << c << ": scan(" << src(chains[c].input) << ")";
+    for (const JoinStep& j : chains[c].joins) {
+      os << " -> probe(" << src(j.build) << " @" << j.probe_col << "="
+         << j.build_col << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+PipelinePlan MakeRightDeepPlan(uint32_t fact_table,
+                               const std::vector<uint32_t>& dim_tables,
+                               const std::vector<uint32_t>& probe_cols) {
+  HIERDB_CHECK(dim_tables.size() == probe_cols.size(),
+               "dims and probe columns must align");
+  PipelinePlan plan;
+  Chain chain;
+  chain.input = Source::OfTable(fact_table);
+  for (size_t i = 0; i < dim_tables.size(); ++i) {
+    chain.joins.push_back(
+        {Source::OfTable(dim_tables[i]), probe_cols[i], /*build_col=*/0});
+  }
+  plan.chains.push_back(std::move(chain));
+  return plan;
+}
+
+Fig2Plan MakeFig2BushyPlan(uint32_t r_key_col, uint32_t s_fk_col,
+                           uint32_t t_key_col, uint32_t u_fk_col,
+                           uint32_t chain0_out_col, uint32_t u_fk2_col) {
+  Fig2Plan out;
+  // chain0: scan S, probe R (build on R's key) — produces R ⋈ S.
+  Chain chain0;
+  chain0.input = Source::OfTable(1);
+  chain0.joins.push_back({Source::OfTable(0), s_fk_col, r_key_col});
+  // chain1: scan U, probe T, probe (R ⋈ S).
+  Chain chain1;
+  chain1.input = Source::OfTable(3);
+  chain1.joins.push_back({Source::OfTable(2), u_fk_col, t_key_col});
+  chain1.joins.push_back({Source::OfChain(0), u_fk2_col, chain0_out_col});
+  out.plan.chains.push_back(std::move(chain0));
+  out.plan.chains.push_back(std::move(chain1));
+  return out;
+}
+
+namespace {
+
+// Hash multimap over one column of a materialized batch.
+class RefTable {
+ public:
+  RefTable(const Batch& rows, uint32_t col) : rows_(rows) {
+    map_.reserve(rows.rows());
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      map_.emplace(rows.at(i, col), i);
+    }
+  }
+
+  template <typename Fn>
+  void ForEachMatch(int64_t key, Fn&& fn) const {
+    auto [lo, hi] = map_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) fn(rows_.row(it->second));
+  }
+
+  uint32_t width() const { return rows_.width(); }
+
+ private:
+  const Batch& rows_;
+  std::unordered_multimap<int64_t, size_t> map_;
+};
+
+Result<std::vector<Batch>> MaterializeAll(
+    const PipelinePlan& plan, const std::vector<const Table*>& tables) {
+  HIERDB_RETURN_NOT_OK(plan.Validate(tables));
+  std::vector<Batch> outputs;
+  outputs.reserve(plan.chains.size());
+  auto batch_of = [&](const Source& s) -> const Batch& {
+    return s.kind == Source::Kind::kTable ? tables[s.index]->batch
+                                          : outputs[s.index];
+  };
+  for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+    const Chain& chain = plan.chains[c];
+    const Batch* current = &batch_of(chain.input);
+    Batch scratch;
+    for (const JoinStep& j : chain.joins) {
+      const Batch& build = batch_of(j.build);
+      RefTable table(build, j.build_col);
+      Batch next(current->width() + build.width());
+      for (size_t i = 0; i < current->rows(); ++i) {
+        const int64_t* row = current->row(i);
+        table.ForEachMatch(row[j.probe_col], [&](const int64_t* brow) {
+          next.AppendConcat(row, current->width(), brow, build.width());
+        });
+      }
+      scratch = std::move(next);
+      current = &scratch;
+    }
+    if (chain.joins.empty()) {
+      outputs.push_back(*current);  // pure scan chain: copy through
+    } else {
+      outputs.push_back(std::move(scratch));
+    }
+  }
+  return outputs;
+}
+
+}  // namespace
+
+Result<ResultDigest> ReferenceExecute(
+    const PipelinePlan& plan, const std::vector<const Table*>& tables) {
+  auto outputs = MaterializeAll(plan, tables);
+  if (!outputs.ok()) return outputs.status();
+  const Batch& final_out = outputs.value().back();
+  ResultDigest digest;
+  for (size_t i = 0; i < final_out.rows(); ++i) {
+    digest.Add(final_out.row(i), final_out.width());
+  }
+  return digest;
+}
+
+Result<Batch> ReferenceMaterialize(const PipelinePlan& plan,
+                                   const std::vector<const Table*>& tables) {
+  auto outputs = MaterializeAll(plan, tables);
+  if (!outputs.ok()) return outputs.status();
+  return std::move(outputs.value().back());
+}
+
+}  // namespace hierdb::mt

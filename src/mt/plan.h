@@ -1,0 +1,105 @@
+// Pipeline plans for the real multithreaded executor.
+//
+// A PipelinePlan is the mt-level mirror of plan::PhysicalPlan: an ordered
+// list of pipeline chains, each a driving scan followed by hash-join probe
+// steps. The build side of every step is either a base table or the
+// materialized output of an earlier chain — which is exactly how a bushy
+// operator tree decomposes into maximal pipeline chains (Section 2.2).
+//
+// The executor applies the paper's scheduling:
+//   hash constraint  build(c,j) before probe(c,j) may consume;
+//   H1               chain c's scan starts only when all its builds ended;
+//   H2 (optional)    chains execute one at a time.
+
+#ifndef HIERDB_MT_PLAN_H_
+#define HIERDB_MT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mt/row.h"
+
+namespace hierdb::mt {
+
+/// Input of a scan or of a join's build side.
+struct Source {
+  enum class Kind { kTable, kChain };
+  Kind kind = Kind::kTable;
+  uint32_t index = 0;
+
+  static Source OfTable(uint32_t i) { return {Kind::kTable, i}; }
+  static Source OfChain(uint32_t i) { return {Kind::kChain, i}; }
+
+  bool operator==(const Source&) const = default;
+};
+
+/// One hash-join step inside a pipeline chain.
+struct JoinStep {
+  Source build;          ///< build-side input
+  uint32_t probe_col = 0;  ///< join column in the pipelined row
+  uint32_t build_col = 0;  ///< join column in the build rows
+};
+
+/// A maximal pipeline chain.
+struct Chain {
+  Source input;               ///< driving scan's input
+  std::vector<JoinStep> joins;
+};
+
+struct PipelinePlan {
+  std::vector<Chain> chains;  ///< executed in this order (under H2)
+
+  /// Structural validation against a table binding: source indexes in
+  /// range, chains reference only earlier chains, join columns inside the
+  /// widths they apply to.
+  Status Validate(const std::vector<const Table*>& tables) const;
+
+  /// Row width flowing out of `chain` (input width + sum of build widths).
+  uint32_t OutputWidth(const std::vector<const Table*>& tables,
+                       uint32_t chain) const;
+
+  /// Chains whose output is consumed as a later build source (must be
+  /// materialized). The final chain never needs materialization.
+  std::vector<bool> MaterializedChains() const;
+
+  std::string ToString() const;
+};
+
+/// Convenience constructors for the shapes the paper's plans produce.
+///
+/// Right-deep chain: fact ⋈ dims[0] ⋈ dims[1] ⋈ ... — one chain, every
+/// build a base table. `probe_cols[i]` is the fact/table column probing
+/// dims[i] (build col 0, the dimension key).
+PipelinePlan MakeRightDeepPlan(uint32_t fact_table,
+                               const std::vector<uint32_t>& dim_tables,
+                               const std::vector<uint32_t>& probe_cols);
+
+/// Bushy two-chain plan: (A ⋈ B) as chain 0, then chain 1 = C ⋈ chain0
+/// output ⋈ D... Constructed explicitly in tests; this helper builds the
+/// canonical 4-relation bushy shape of the paper's Figure 2:
+///   chain0: scan(S) probe build(R);      (R ⋈ S)
+///   chain1: scan(U) probe build(T), probe build(chain0).
+/// Columns: every table is (key, fk1, ...); joins use the given columns.
+struct Fig2Plan {
+  PipelinePlan plan;
+  // Table indexes expected by the plan: R=0, S=1, T=2, U=3.
+};
+Fig2Plan MakeFig2BushyPlan(uint32_t r_key_col, uint32_t s_fk_col,
+                           uint32_t t_key_col, uint32_t u_fk_col,
+                           uint32_t chain0_out_col, uint32_t u_fk2_col);
+
+/// Single-threaded reference execution (for validating every parallel
+/// strategy). Returns the digest of the final chain's output.
+Result<ResultDigest> ReferenceExecute(
+    const PipelinePlan& plan, const std::vector<const Table*>& tables);
+
+/// Reference execution that also returns the final output batch (used by
+/// tests that check materialization).
+Result<Batch> ReferenceMaterialize(const PipelinePlan& plan,
+                                   const std::vector<const Table*>& tables);
+
+}  // namespace hierdb::mt
+
+#endif  // HIERDB_MT_PLAN_H_

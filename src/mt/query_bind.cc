@@ -1,0 +1,178 @@
+#include "mt/query_bind.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+namespace hierdb::mt {
+
+namespace {
+
+using plan::JoinTree;
+using plan::JoinTreeNode;
+using plan::RelId;
+using plan::RelSet;
+
+// Per-relation schema: column 0 is the dense key; fk_col[e] is the column
+// holding the FK for incident edge index e (in graph edge order).
+struct RelSchema {
+  uint32_t width = 1;
+  std::unordered_map<uint32_t, uint32_t> fk_col;  // edge index -> column
+};
+
+}  // namespace
+
+Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
+                                const plan::JoinGraph& graph,
+                                const catalog::Catalog& cat,
+                                const BindOptions& options) {
+  if (tree.root < 0) return Status::InvalidArgument("empty join tree");
+  const auto& edges = graph.edges();
+  const uint32_t n = graph.num_relations();
+
+  // Scaled cardinalities.
+  std::vector<uint64_t> rows(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    rows[r] = std::max<uint64_t>(
+        options.min_rows,
+        static_cast<uint64_t>(
+            static_cast<double>(cat.relation(r).cardinality) *
+            options.scale));
+  }
+
+  // Orient each edge child -> parent: the smaller side is the parent (its
+  // keys are the FK target), matching sel ~ 1/max(|A|,|B|).
+  // Build schemas: parents are probed/built on their key column; children
+  // carry one FK column per incident edge where they are the child.
+  std::vector<RelSchema> schema(n);
+  std::vector<RelId> edge_parent(edges.size());
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    RelId parent = rows[edges[e].a] <= rows[edges[e].b] ? edges[e].a
+                                                        : edges[e].b;
+    RelId child = parent == edges[e].a ? edges[e].b : edges[e].a;
+    edge_parent[e] = parent;
+    schema[child].fk_col[e] = schema[child].width++;
+    // Parent side joins on its key: column 0, no new column needed.
+  }
+
+  // Synthesize tables.
+  BoundQuery out;
+  out.tables.reserve(n);
+  Rng rng(options.seed);
+  for (uint32_t r = 0; r < n; ++r) {
+    Table t;
+    t.name = cat.relation(r).name;
+    t.batch = Batch(schema[r].width);
+    t.batch.Reserve(rows[r]);
+    std::vector<int64_t> row(schema[r].width);
+    for (uint64_t i = 0; i < rows[r]; ++i) {
+      row[0] = static_cast<int64_t>(i);
+      for (const auto& [e, col] : schema[r].fk_col) {
+        row[col] = static_cast<int64_t>(
+            rng.NextBounded(rows[edge_parent[e]]));
+      }
+      t.batch.AppendRow(row.data());
+    }
+    out.tables.push_back(std::move(t));
+  }
+
+  // Column of relation `r` for edge `e` (key col for the parent side, FK
+  // col for the child side).
+  auto edge_col = [&](RelId r, uint32_t e) -> uint32_t {
+    if (edge_parent[e] == r) return 0;
+    auto it = schema[r].fk_col.find(e);
+    HIERDB_CHECK(it != schema[r].fk_col.end(), "edge not incident");
+    return it->second;
+  };
+
+  // Translate the tree. A "stream" is an in-construction pipeline chain:
+  // its source (table or completed chain), accumulated join steps, the
+  // relation set covered so far, and per-relation column base offsets in
+  // the pipelined row.
+  struct Stream {
+    Source input;
+    std::vector<JoinStep> joins;
+    RelSet rels = 0;
+    std::unordered_map<RelId, uint32_t> base;  // rel -> column offset
+    uint32_t width = 0;
+  };
+
+  PipelinePlan& plan = out.plan;
+  std::function<Stream(int32_t)> expand = [&](int32_t idx) -> Stream {
+    const JoinTreeNode& node = tree.nodes[idx];
+    if (node.IsLeaf()) {
+      Stream s;
+      s.input = Source::OfTable(node.rel);
+      s.rels = plan::RelBit(node.rel);
+      s.base[node.rel] = 0;
+      s.width = schema[node.rel].width;
+      return s;
+    }
+    // Left child continues the pipeline; right child is the build side.
+    Stream probe = expand(node.left);
+    Stream build = expand(node.right);
+
+    // The build side becomes a source: a base table if it is a bare leaf
+    // stream with no joins, otherwise its chain is completed
+    // (materialized) and referenced by index.
+    Source build_src;
+    if (build.joins.empty() &&
+        build.input.kind == Source::Kind::kTable) {
+      build_src = build.input;
+    } else {
+      Chain chain;
+      chain.input = build.input;
+      chain.joins = std::move(build.joins);
+      plan.chains.push_back(std::move(chain));
+      build_src =
+          Source::OfChain(static_cast<uint32_t>(plan.chains.size() - 1));
+    }
+
+    // Find the predicate edge crossing the cut.
+    uint32_t edge_idx = UINT32_MAX;
+    for (uint32_t e = 0; e < edges.size(); ++e) {
+      bool a_left = (probe.rels >> edges[e].a) & 1;
+      bool b_left = (probe.rels >> edges[e].b) & 1;
+      bool a_right = (build.rels >> edges[e].a) & 1;
+      bool b_right = (build.rels >> edges[e].b) & 1;
+      if ((a_left && b_right) || (b_left && a_right)) {
+        edge_idx = e;
+        break;
+      }
+    }
+    HIERDB_CHECK(edge_idx != UINT32_MAX, "no crossing edge (cross product)");
+    RelId probe_rel = ((probe.rels >> edges[edge_idx].a) & 1)
+                          ? edges[edge_idx].a
+                          : edges[edge_idx].b;
+    RelId build_rel = probe_rel == edges[edge_idx].a ? edges[edge_idx].b
+                                                     : edges[edge_idx].a;
+
+    JoinStep step;
+    step.build = build_src;
+    step.probe_col =
+        probe.base.at(probe_rel) + edge_col(probe_rel, edge_idx);
+    step.build_col =
+        build.base.at(build_rel) + edge_col(build_rel, edge_idx);
+    probe.joins.push_back(step);
+
+    // The build side's columns are appended to the pipelined row.
+    for (const auto& [r, off] : build.base) {
+      probe.base[r] = probe.width + off;
+    }
+    probe.width += build.width;
+    probe.rels |= build.rels;
+    return probe;
+  };
+
+  Stream root = expand(tree.root);
+  Chain final_chain;
+  final_chain.input = root.input;
+  final_chain.joins = std::move(root.joins);
+  plan.chains.push_back(std::move(final_chain));
+
+  auto ptrs = out.TablePtrs();
+  HIERDB_RETURN_NOT_OK(plan.Validate(ptrs));
+  return out;
+}
+
+}  // namespace hierdb::mt

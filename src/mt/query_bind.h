@@ -1,0 +1,66 @@
+// Binding optimizer output to the real executor.
+//
+// The evaluation pipeline of the paper generates random acyclic predicate
+// graphs, optimizes them into bushy join trees, and executes the plans on
+// the simulated machine. This module closes the same loop on *real* data:
+// it synthesizes concrete relations for a generated query and translates
+// a bushy JoinTree into an mt::PipelinePlan, so the exact plans the paper
+// evaluates also run on the multithreaded executor and can be validated
+// row-for-row against the single-threaded reference.
+//
+// Data synthesis: every relation gets column 0 as a dense key plus one
+// foreign-key column per predicate edge it participates in. Each edge is
+// oriented child -> parent (larger side is the child, mirroring the
+// FK-join selectivity model the generator uses: sel ~ 1/max(|A|,|B|)); a
+// child row's FK is drawn uniformly from the parent's key range, so every
+// probe matches exactly one parent row and intermediate cardinalities
+// track the optimizer's estimates.
+//
+// Plan translation follows the macro-expansion convention with builds on
+// the tree's right child: pipeline chains run along left spines; a right
+// subtree contributes either a base-table build (leaf) or the
+// materialized output of its own chain.
+
+#ifndef HIERDB_MT_QUERY_BIND_H_
+#define HIERDB_MT_QUERY_BIND_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "mt/plan.h"
+#include "plan/join_graph.h"
+
+namespace hierdb::mt {
+
+struct BoundQuery {
+  std::vector<Table> tables;  ///< one per catalog relation
+  PipelinePlan plan;
+
+  std::vector<const Table*> TablePtrs() const {
+    std::vector<const Table*> out;
+    out.reserve(tables.size());
+    for (const auto& t : tables) out.push_back(&t);
+    return out;
+  }
+};
+
+struct BindOptions {
+  /// Cardinality scale applied to the catalog (generated catalogs are
+  /// paper-sized; 0.01 keeps real runs quick).
+  double scale = 0.01;
+  uint64_t seed = 1;
+  /// Floor for scaled cardinalities.
+  uint64_t min_rows = 16;
+};
+
+/// Synthesizes real tables for the query's relations and translates
+/// `tree` into a pipeline plan over them.
+Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
+                                const plan::JoinGraph& graph,
+                                const catalog::Catalog& cat,
+                                const BindOptions& options);
+
+}  // namespace hierdb::mt
+
+#endif  // HIERDB_MT_QUERY_BIND_H_

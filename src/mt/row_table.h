@@ -1,0 +1,88 @@
+// Chained hash table over one column of fixed-width rows — the per-bucket
+// build table of the general pipeline executor.
+//
+// Rows live in a flat pool (append-only during the build phase); chains
+// are index-linked. One bucket's table is written under the executor's
+// per-bucket exclusivity and probed read-only afterwards, so no internal
+// synchronization is needed.
+
+#ifndef HIERDB_MT_ROW_TABLE_H_
+#define HIERDB_MT_ROW_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mt/row.h"
+
+namespace hierdb::mt {
+
+class RowTable {
+ public:
+  static constexpr uint32_t kNoEntry = UINT32_MAX;
+
+  RowTable() = default;
+  RowTable(uint32_t width, uint32_t key_col)
+      : width_(width), key_col_(key_col) {}
+
+  void Init(uint32_t width, uint32_t key_col) {
+    width_ = width;
+    key_col_ = key_col;
+  }
+
+  void Insert(const int64_t* row) {
+    if (rows() + 1 > heads_.size() * 2) Rehash();
+    uint32_t id = static_cast<uint32_t>(rows());
+    pool_.insert(pool_.end(), row, row + width_);
+    uint64_t slot = HashKey(row[key_col_]) & (heads_.size() - 1);
+    next_.push_back(heads_[slot]);
+    heads_[slot] = id;
+  }
+
+  void InsertBatch(const Batch& batch) {
+    for (size_t i = 0; i < batch.rows(); ++i) Insert(batch.row(i));
+  }
+
+  template <typename Fn>
+  void ForEachMatch(int64_t key, Fn&& fn) const {
+    if (heads_.empty()) return;
+    uint64_t slot = HashKey(key) & (heads_.size() - 1);
+    for (uint32_t e = heads_[slot]; e != kNoEntry; e = next_[e]) {
+      const int64_t* row = pool_.data() + static_cast<size_t>(e) * width_;
+      if (row[key_col_] == key) fn(row);
+    }
+  }
+
+  size_t rows() const { return width_ == 0 ? 0 : pool_.size() / width_; }
+  uint32_t width() const { return width_; }
+  uint64_t bytes() const {
+    return pool_.size() * sizeof(int64_t) +
+           (next_.size() + heads_.size()) * sizeof(uint32_t);
+  }
+
+  /// All build rows, in insertion order (used to ship a bucket's fragment
+  /// to a requester node).
+  const std::vector<int64_t>& pool() const { return pool_; }
+
+ private:
+  void Rehash() {
+    size_t target = heads_.empty() ? 16 : heads_.size() * 2;
+    heads_.assign(target, kNoEntry);
+    size_t n = rows();
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t* row = pool_.data() + i * width_;
+      uint64_t slot = HashKey(row[key_col_]) & (heads_.size() - 1);
+      next_[i] = heads_[slot];
+      heads_[slot] = static_cast<uint32_t>(i);
+    }
+  }
+
+  uint32_t width_ = 0;
+  uint32_t key_col_ = 0;
+  std::vector<int64_t> pool_;
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> heads_;
+};
+
+}  // namespace hierdb::mt
+
+#endif  // HIERDB_MT_ROW_TABLE_H_

@@ -1,0 +1,29 @@
+#include "mt/tuple.h"
+
+namespace hierdb::mt {
+
+Relation MakeUniformRelation(uint64_t n, uint64_t key_range, uint64_t seed) {
+  Relation r;
+  r.reserve(n);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    r.push_back(Tuple{static_cast<int64_t>(rng.NextBounded(key_range)),
+                      static_cast<int64_t>(i)});
+  }
+  return r;
+}
+
+Relation MakeZipfRelation(uint64_t n, uint64_t key_range, double theta,
+                          uint64_t seed) {
+  Relation r;
+  r.reserve(n);
+  Rng rng(seed);
+  ZipfSampler sampler(static_cast<uint32_t>(key_range), theta);
+  for (uint64_t i = 0; i < n; ++i) {
+    r.push_back(Tuple{static_cast<int64_t>(sampler.Sample(&rng)),
+                      static_cast<int64_t>(i)});
+  }
+  return r;
+}
+
+}  // namespace hierdb::mt

@@ -1,0 +1,46 @@
+// Real tuples and relations for the multithreaded mini-executor.
+//
+// The simulated engine (src/exec) reproduces the paper's experiments; this
+// module demonstrates the same execution model — self-contained
+// activations, per-thread queues with stealing, bucket-partitioned hash
+// joins — running genuine joins on real data on a multi-core host, and
+// doubles as an independent correctness check of the join logic.
+
+#ifndef HIERDB_MT_TUPLE_H_
+#define HIERDB_MT_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace hierdb::mt {
+
+struct Tuple {
+  int64_t key = 0;
+  int64_t payload = 0;
+};
+
+using Relation = std::vector<Tuple>;
+
+/// Generates `n` tuples with keys uniform in [0, key_range) and payload =
+/// row index. Deterministic for a fixed seed.
+Relation MakeUniformRelation(uint64_t n, uint64_t key_range, uint64_t seed);
+
+/// Generates `n` tuples with Zipf(theta)-distributed keys in
+/// [0, key_range) — the heavy keys model attribute-value skew.
+Relation MakeZipfRelation(uint64_t n, uint64_t key_range, double theta,
+                          uint64_t seed);
+
+/// 64-bit mix hash for join keys (SplitMix finalizer).
+inline uint64_t HashKey(int64_t key) {
+  uint64_t z = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace hierdb::mt
+
+#endif  // HIERDB_MT_TUPLE_H_

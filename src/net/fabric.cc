@@ -1,0 +1,95 @@
+#include "net/fabric.h"
+
+#include <thread>
+
+namespace hierdb::net {
+
+void Mailbox::Push(Message&& m) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(std::move(m));
+  }
+  cv_.notify_one();
+}
+
+bool Mailbox::Pop(Message* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) return false;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+bool Mailbox::TryPop(Message* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) return false;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+void Mailbox::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t Mailbox::ApproxSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+Fabric::Fabric(const FabricOptions& options) : options_(options) {
+  HIERDB_CHECK(options_.nodes > 0, "fabric needs at least one node");
+  mailboxes_.reserve(options_.nodes);
+  for (uint32_t i = 0; i < options_.nodes; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  stats_.by_type.assign(static_cast<size_t>(MsgType::kShutdown) + 1, 0);
+  stats_.bytes_by_type.assign(static_cast<size_t>(MsgType::kShutdown) + 1, 0);
+}
+
+Status Fabric::Send(uint32_t from, uint32_t to, Message m) {
+  if (from >= options_.nodes || to >= options_.nodes) {
+    return Status::OutOfRange("node id out of range in Send");
+  }
+  if (from == to) {
+    return Status::InvalidArgument(
+        "intra-node traffic must use shared memory, not the fabric");
+  }
+  m.from = from;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.messages;
+    stats_.bytes += m.wire_bytes();
+    ++stats_.by_type[static_cast<size_t>(m.type)];
+    stats_.bytes_by_type[static_cast<size_t>(m.type)] += m.wire_bytes();
+  }
+  if (options_.delay.count() > 0) {
+    std::this_thread::sleep_for(options_.delay);
+  }
+  mailboxes_[to]->Push(std::move(m));
+  return Status::OK();
+}
+
+Status Fabric::Broadcast(uint32_t from, const Message& m) {
+  for (uint32_t to = 0; to < options_.nodes; ++to) {
+    if (to == from) continue;
+    HIERDB_RETURN_NOT_OK(Send(from, to, m));
+  }
+  return Status::OK();
+}
+
+void Fabric::CloseAll() {
+  for (auto& mb : mailboxes_) mb->Close();
+}
+
+FabricStats Fabric::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace hierdb::net

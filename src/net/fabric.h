@@ -1,0 +1,96 @@
+// In-process interconnect between SM-nodes.
+//
+// The paper's cluster couples SM-nodes with a high-speed network whose
+// cost model is: infinite bandwidth, 0.5 ms end-to-end delay, 10000
+// instructions of CPU per 8 KB sent and per 8 KB received (§5.1.1 table).
+// The Fabric reproduces the *interface* — message passing with per-node
+// mailboxes served by a scheduler thread — on one multi-core host, and
+// accounts every message and byte so the real cluster executor can report
+// the same transfer-volume numbers the paper does. An optional injected
+// delay approximates the end-to-end latency for experiments that need it;
+// tests keep it at zero for determinism.
+
+#ifndef HIERDB_NET_FABRIC_H_
+#define HIERDB_NET_FABRIC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace hierdb::net {
+
+struct FabricOptions {
+  uint32_t nodes = 1;
+  /// Simulated end-to-end delay applied by Send (paper: 0.5 ms). Zero for
+  /// deterministic unit tests.
+  std::chrono::microseconds delay{0};
+};
+
+struct FabricStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  /// Per message-type counts and wire bytes, indexed by MsgType.
+  std::vector<uint64_t> by_type;
+  std::vector<uint64_t> bytes_by_type;
+};
+
+/// Blocking MPSC mailbox: many senders, one receiver (the node scheduler).
+class Mailbox {
+ public:
+  void Push(Message&& m);
+
+  /// Blocks until a message arrives; returns false after Close() once
+  /// drained.
+  bool Pop(Message* out);
+
+  /// Non-blocking variant.
+  bool TryPop(Message* out);
+
+  void Close();
+  size_t ApproxSize() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> items_;
+  bool closed_ = false;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const FabricOptions& options);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  uint32_t nodes() const { return options_.nodes; }
+
+  /// Delivers `m` to node `to`'s mailbox (stamps m.from = from).
+  Status Send(uint32_t from, uint32_t to, Message m);
+
+  /// Sends a copy to every node except `from`.
+  Status Broadcast(uint32_t from, const Message& m);
+
+  Mailbox& mailbox(uint32_t node) { return *mailboxes_[node]; }
+
+  /// Closes every mailbox (shutdown path).
+  void CloseAll();
+
+  FabricStats stats() const;
+
+ private:
+  FabricOptions options_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  mutable std::mutex stats_mu_;
+  FabricStats stats_;
+};
+
+}  // namespace hierdb::net
+
+#endif  // HIERDB_NET_FABRIC_H_

@@ -1,0 +1,163 @@
+#include "opt/bushy_optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace hierdb::opt {
+
+namespace {
+
+using plan::JoinTree;
+using plan::JoinTreeNode;
+using plan::RelSet;
+
+struct SubPlan {
+  double card = 0.0;
+  double cost = std::numeric_limits<double>::infinity();
+  RelSet left = 0;  // best split: left part (0 for leaves)
+  bool valid = false;
+};
+
+class Dp {
+ public:
+  Dp(const plan::JoinGraph& graph, const catalog::Catalog& cat)
+      : graph_(graph), cat_(cat), n_(graph.num_relations()) {
+    HIERDB_CHECK(n_ <= 20, "DP enumeration supports up to 20 relations");
+    table_.resize(RelSet{1} << n_);
+    connected_.resize(table_.size(), false);
+    Solve();
+  }
+
+  /// Best full plan as a join tree.
+  JoinTree BestTree() const { return TreeForSplit(All(), table_[All()].left); }
+
+  /// Up to k best trees: distinct root splits ranked by total cost.
+  std::vector<JoinTree> TopKTrees(uint32_t k) const {
+    RelSet all = All();
+    struct RootSplit {
+      double cost;
+      RelSet left;
+    };
+    std::vector<RootSplit> splits;
+    for (RelSet l = (all - 1) & all; l != 0; l = (l - 1) & all) {
+      RelSet r = all & ~l;
+      if (l > r) continue;  // each unordered split once
+      if (!connected_[l] || !connected_[r]) continue;
+      if (!table_[l].valid || !table_[r].valid) continue;
+      if (!graph_.HasCrossEdge(l, r)) continue;
+      double card = JoinCard(l, r);
+      double cost = table_[l].cost + table_[r].cost + card;
+      splits.push_back({cost, l});
+    }
+    std::sort(splits.begin(), splits.end(),
+              [](const RootSplit& a, const RootSplit& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                return a.left < b.left;
+              });
+    std::vector<JoinTree> out;
+    for (uint32_t i = 0; i < k && i < splits.size(); ++i) {
+      out.push_back(TreeForSplit(all, splits[i].left));
+      out.back().cost = splits[i].cost;
+    }
+    return out;
+  }
+
+ private:
+  RelSet All() const { return (RelSet{1} << n_) - 1; }
+
+  double JoinCard(RelSet l, RelSet r) const {
+    return table_[l].card * table_[r].card * graph_.CrossSelectivity(l, r);
+  }
+
+  void Solve() {
+    // Leaves.
+    for (uint32_t i = 0; i < n_; ++i) {
+      RelSet s = RelSet{1} << i;
+      table_[s].card = static_cast<double>(cat_.relation(i).cardinality);
+      table_[s].cost = 0.0;
+      table_[s].valid = true;
+      connected_[s] = true;
+    }
+    // Subsets by increasing population count.
+    RelSet all = All();
+    for (RelSet s = 1; s <= all; ++s) {
+      if (std::popcount(s) < 2) continue;
+      connected_[s] = graph_.Connected(s);
+      if (!connected_[s]) continue;
+      SubPlan& best = table_[s];
+      for (RelSet l = (s - 1) & s; l != 0; l = (l - 1) & s) {
+        RelSet r = s & ~l;
+        if (l > r) continue;
+        if (!table_[l].valid || !table_[r].valid) continue;
+        if (!graph_.HasCrossEdge(l, r)) continue;
+        double card = JoinCard(l, r);
+        double cost = table_[l].cost + table_[r].cost + card;
+        if (cost < best.cost) {
+          best.cost = cost;
+          best.card = card;
+          best.left = l;
+          best.valid = true;
+        }
+      }
+    }
+    HIERDB_CHECK(table_[all].valid, "no connected plan found");
+  }
+
+  /// Materializes a join tree that uses `left_split` at subset `s`'s root
+  /// and the DP-optimal splits below.
+  JoinTree TreeForSplit(RelSet s, RelSet left_split) const {
+    JoinTree tree;
+    std::function<int32_t(RelSet, RelSet)> build = [&](RelSet sub,
+                                                       RelSet forced_left)
+        -> int32_t {
+      if (std::popcount(sub) == 1) {
+        JoinTreeNode leaf;
+        leaf.rel = static_cast<plan::RelId>(std::countr_zero(sub));
+        leaf.rels = sub;
+        leaf.card = table_[sub].card;
+        tree.nodes.push_back(leaf);
+        return static_cast<int32_t>(tree.nodes.size() - 1);
+      }
+      RelSet l = forced_left ? forced_left : table_[sub].left;
+      RelSet r = sub & ~l;
+      int32_t li = build(l, 0);
+      int32_t ri = build(r, 0);
+      JoinTreeNode node;
+      node.left = li;
+      node.right = ri;
+      node.rels = sub;
+      node.card = JoinCard(l, r);
+      tree.nodes.push_back(node);
+      return static_cast<int32_t>(tree.nodes.size() - 1);
+    };
+    tree.root = build(s, left_split);
+    tree.cost = table_[s].cost;
+    return tree;
+  }
+
+  const plan::JoinGraph& graph_;
+  const catalog::Catalog& cat_;
+  uint32_t n_;
+  std::vector<SubPlan> table_;
+  std::vector<bool> connected_;
+};
+
+}  // namespace
+
+JoinTree BushyOptimizer::Best(const plan::JoinGraph& graph,
+                              const catalog::Catalog& cat) {
+  return Dp(graph, cat).BestTree();
+}
+
+std::vector<JoinTree> BushyOptimizer::TopK(const plan::JoinGraph& graph,
+                                           const catalog::Catalog& cat,
+                                           uint32_t k) {
+  return Dp(graph, cat).TopKTrees(k);
+}
+
+}  // namespace hierdb::opt

@@ -1,0 +1,34 @@
+// Cost-based bushy join-tree enumeration.
+//
+// Stands in for the DBS3 optimizer the paper runs its generated queries
+// through: dynamic programming over connected relation subsets (cross
+// products excluded), minimizing the total size of intermediate results —
+// the criterion the paper cites for preferring bushy trees [Shekita93].
+// For each query the two best bushy trees are retained, matching the
+// paper's "for each query, the two best bushy operator trees are retained"
+// (40 plans from 20 queries).
+
+#ifndef HIERDB_OPT_BUSHY_OPTIMIZER_H_
+#define HIERDB_OPT_BUSHY_OPTIMIZER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/join_graph.h"
+
+namespace hierdb::opt {
+
+class BushyOptimizer {
+ public:
+  /// Returns the cost-optimal bushy join tree.
+  plan::JoinTree Best(const plan::JoinGraph& graph,
+                      const catalog::Catalog& cat);
+
+  /// Returns up to `k` best join trees (distinct root splits, best first).
+  std::vector<plan::JoinTree> TopK(const plan::JoinGraph& graph,
+                                   const catalog::Catalog& cat, uint32_t k);
+};
+
+}  // namespace hierdb::opt
+
+#endif  // HIERDB_OPT_BUSHY_OPTIMIZER_H_

@@ -1,0 +1,54 @@
+#include "opt/query_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace hierdb::opt {
+
+GeneratedQuery QueryGenerator::Generate() {
+  const uint32_t n = options_.num_relations;
+  HIERDB_CHECK(n >= 2 && n <= 64, "num_relations must be in [2, 64]");
+  catalog::SizeRanges ranges = options_.ranges.Scaled(options_.scale);
+
+  catalog::Catalog cat;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t lo, hi;
+    switch (rng_.NextBounded(3)) {
+      case 0:
+        lo = ranges.small_lo;
+        hi = ranges.small_hi;
+        break;
+      case 1:
+        lo = ranges.medium_lo;
+        hi = ranges.medium_hi;
+        break;
+      default:
+        lo = ranges.large_lo;
+        hi = ranges.large_hi;
+        break;
+    }
+    uint64_t card = static_cast<uint64_t>(
+        rng_.NextInRange(static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+    cat.AddRelation("R" + std::to_string(i), card);
+  }
+
+  // Random spanning tree: attach each relation i >= 1 to a random earlier
+  // relation. This yields a uniform-ish acyclic connected graph.
+  std::vector<plan::JoinEdge> edges;
+  edges.reserve(n - 1);
+  for (uint32_t i = 1; i < n; ++i) {
+    uint32_t j = static_cast<uint32_t>(rng_.NextBounded(i));
+    double ca = static_cast<double>(cat.relation(i).cardinality);
+    double cb = static_cast<double>(cat.relation(j).cardinality);
+    double base = std::max(ca, cb) / (ca * cb);
+    double sel = rng_.NextDoubleInRange(0.5, 1.5) * base;
+    edges.push_back(plan::JoinEdge{j, i, sel});
+  }
+
+  plan::JoinGraph graph(n, std::move(edges));
+  HIERDB_CHECK(graph.Validate().ok(), "generated graph must be valid");
+  return GeneratedQuery{std::move(cat), std::move(graph)};
+}
+
+}  // namespace hierdb::opt

@@ -1,0 +1,50 @@
+// Random multi-join query generation, following the methodology the paper
+// borrows from [Shekita93] (Section 5.1.2):
+//   1. a random acyclic connected predicate graph over k relations;
+//   2. each relation's cardinality drawn from the small / medium / large
+//      ranges (10K-20K / 100K-200K / 1M-2M tuples);
+//   3. each edge's join selectivity drawn uniformly from
+//      [0.5, 1.5] * max(|R|,|S|) / (|R|*|S|),
+// so that each join result is about the size of its larger input.
+
+#ifndef HIERDB_OPT_QUERY_GEN_H_
+#define HIERDB_OPT_QUERY_GEN_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "plan/join_graph.h"
+
+namespace hierdb::opt {
+
+struct QueryGenOptions {
+  uint32_t num_relations = 12;
+  catalog::SizeRanges ranges;
+  /// Proportional shrink of all cardinality ranges; 1.0 = paper scale.
+  double scale = 1.0;
+};
+
+/// A generated query: its base relations and predicate graph.
+struct GeneratedQuery {
+  catalog::Catalog catalog;
+  plan::JoinGraph graph;
+};
+
+/// Deterministic query generator: the same (options, seed, index) always
+/// yields the same query.
+class QueryGenerator {
+ public:
+  QueryGenerator(QueryGenOptions options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  GeneratedQuery Generate();
+
+ private:
+  QueryGenOptions options_;
+  Rng rng_;
+};
+
+}  // namespace hierdb::opt
+
+#endif  // HIERDB_OPT_QUERY_GEN_H_

@@ -1,0 +1,281 @@
+// Shape-constrained DP. Tree-side convention (documented in
+// plan/operator_tree.h): the LEFT child of a join is the probe (outer,
+// pipelined) input and the RIGHT child is the build (inner, blocking)
+// input when MacroExpand is asked to respect tree sides. Consequently:
+//
+//   kRightDeep  all right children are leaves: hash tables are built on
+//               base relations only and the intermediate pipelines through
+//               the whole probe ladder — one maximal pipeline chain;
+//   kLeftDeep   all left children are leaves: every intermediate feeds the
+//               next build — fully blocking, no pipeline longer than one
+//               probe;
+//   kZigZag     a leaf on either side at each join; the smaller input is
+//               placed on the build side;
+//   kSegmentedRightDeep  right-deep runs of bounded length; a join whose
+//               build side is a completed subtree starts a new segment.
+
+#include "opt/tree_shapes.h"
+
+#include <bit>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "opt/bushy_optimizer.h"
+
+namespace hierdb::opt {
+
+using plan::JoinTree;
+using plan::JoinTreeNode;
+using plan::RelSet;
+
+const char* TreeShapeName(TreeShape s) {
+  switch (s) {
+    case TreeShape::kBushy: return "bushy";
+    case TreeShape::kLeftDeep: return "left-deep";
+    case TreeShape::kRightDeep: return "right-deep";
+    case TreeShape::kZigZag: return "zigzag";
+    case TreeShape::kSegmentedRightDeep: return "segmented-right-deep";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class ShapedDp {
+ public:
+  ShapedDp(const plan::JoinGraph& graph, const catalog::Catalog& cat,
+           const ShapeOptions& options)
+      : graph_(graph), cat_(cat), options_(options),
+        n_(graph.num_relations()),
+        seg_(options.shape == TreeShape::kSegmentedRightDeep
+                 ? std::max<uint32_t>(options.segment_length, 1)
+                 : 1) {
+    HIERDB_CHECK(n_ <= 16, "shaped DP supports up to 16 relations");
+    size_t states = (RelSet{1} << n_) * (seg_ + 1);
+    cost_.assign(states, kInf);
+    card_.assign(RelSet{1} << n_, 0.0);
+    choice_.assign(states, 0);
+    choice_is_subtree_.assign(states, false);
+    for (uint32_t i = 0; i < n_; ++i) {
+      card_[RelSet{1} << i] =
+          static_cast<double>(cat_.relation(i).cardinality);
+    }
+  }
+
+  JoinTree Best() {
+    RelSet all = (RelSet{1} << n_) - 1;
+    double c = Solve(all, seg_);
+    HIERDB_CHECK(c < kInf, "no connected shaped plan found");
+    JoinTree tree;
+    tree.root = Build(&tree, all, seg_);
+    tree.cost = c;
+    return tree;
+  }
+
+ private:
+  size_t Key(RelSet s, uint32_t b) const { return s * (seg_ + 1) + b; }
+
+  double Card(RelSet s) {
+    if (card_[s] != 0.0 || std::popcount(s) == 1) return card_[s];
+    // Cardinality of a connected set is split-independent: pick any leaf
+    // split. (Selectivities multiply over crossing edges; for tree-shaped
+    // predicate graphs every split yields the same product overall.)
+    RelSet leaf = s & (~s + 1);
+    RelSet rest = s & ~leaf;
+    card_[s] = Card(leaf) * Card(rest) * graph_.CrossSelectivity(leaf, rest);
+    return card_[s];
+  }
+
+  // Minimal cost of a shaped tree over `s` with `b` right-deep steps
+  // left in the current segment (only meaningful for
+  // kSegmentedRightDeep; other shapes always pass the full budget).
+  double Solve(RelSet s, uint32_t b) {
+    if (std::popcount(s) == 1) return 0.0;
+    size_t key = Key(s, b);
+    if (visited_[key]) return cost_[key];
+    visited_[key] = true;
+
+    double best = kInf;
+    RelSet best_choice = 0;
+    bool best_subtree = false;
+    const TreeShape shape = options_.shape;
+    double out_card = Card(s);
+
+    // One leaf peeled per step: the shape dictates which side it lands on.
+    for (uint32_t i = 0; i < n_; ++i) {
+      RelSet leaf = RelSet{1} << i;
+      if (!(s & leaf)) continue;
+      RelSet rest = s & ~leaf;
+      if (!graph_.Connected(rest) || !graph_.HasCrossEdge(leaf, rest)) {
+        continue;
+      }
+      bool leaf_builds;
+      uint32_t rest_budget = seg_;
+      switch (shape) {
+        case TreeShape::kRightDeep:
+          leaf_builds = true;
+          break;
+        case TreeShape::kLeftDeep:
+          leaf_builds = false;
+          break;
+        case TreeShape::kZigZag:
+          leaf_builds = Card(leaf) <= Card(rest);
+          break;
+        case TreeShape::kSegmentedRightDeep:
+          if (b == 0) continue;  // segment exhausted: leaf step forbidden
+          leaf_builds = true;
+          rest_budget = b - 1;
+          break;
+        default:
+          continue;
+      }
+      double c = Solve(rest, rest_budget) + out_card;
+      if (c < best) {
+        best = c;
+        best_choice = leaf;
+        best_subtree = !leaf_builds;
+      }
+    }
+    // Segmented right-deep: a completed subtree on the build side starts
+    // a new segment (fresh budget on both sides).
+    if (shape == TreeShape::kSegmentedRightDeep) {
+      for (RelSet x = (s - 1) & s; x != 0; x = (x - 1) & s) {
+        if (std::popcount(x) < 2) continue;
+        RelSet rest = s & ~x;
+        if (rest == 0 || !graph_.Connected(x) || !graph_.Connected(rest)) {
+          continue;
+        }
+        if (!graph_.HasCrossEdge(x, rest)) continue;
+        double c = Solve(x, seg_) +
+                   (std::popcount(rest) == 1 ? 0.0 : Solve(rest, seg_ - 1)) +
+                   out_card;
+        if (c < best) {
+          best = c;
+          best_choice = x;
+          best_subtree = true;
+        }
+      }
+    }
+
+    cost_[key] = best;
+    choice_[key] = best_choice;
+    choice_is_subtree_[key] = best_subtree;
+    return best;
+  }
+
+  int32_t BuildLeaf(JoinTree* tree, RelSet s) {
+    JoinTreeNode leaf;
+    leaf.rel = static_cast<plan::RelId>(std::countr_zero(s));
+    leaf.rels = s;
+    leaf.card = card_[s];
+    tree->nodes.push_back(leaf);
+    return static_cast<int32_t>(tree->nodes.size() - 1);
+  }
+
+  int32_t Build(JoinTree* tree, RelSet s, uint32_t b) {
+    if (std::popcount(s) == 1) return BuildLeaf(tree, s);
+    size_t key = Key(s, b);
+    RelSet x = choice_[key];
+    RelSet rest = s & ~x;
+    bool subtree_on_build = choice_is_subtree_[key];
+    const TreeShape shape = options_.shape;
+    int32_t left, right;
+    if (!subtree_on_build) {
+      // x (a leaf) is the build side; rest pipelines on the left.
+      uint32_t nb = shape == TreeShape::kSegmentedRightDeep ? b - 1 : seg_;
+      left = Build(tree, rest, nb);
+      right = BuildLeaf(tree, x);
+    } else if (std::popcount(x) == 1) {
+      // Leaf probes a built subtree (left-deep / zigzag step).
+      left = BuildLeaf(tree, x);
+      right = Build(tree, rest, seg_);
+    } else {
+      // Segment break: completed subtree builds, rest pipelines.
+      left = std::popcount(rest) == 1 ? BuildLeaf(tree, rest)
+                                      : Build(tree, rest, seg_ - 1);
+      right = Build(tree, x, seg_);
+    }
+    JoinTreeNode node;
+    node.left = left;
+    node.right = right;
+    node.rels = s;
+    node.card = card_[s];
+    tree->nodes.push_back(node);
+    return static_cast<int32_t>(tree->nodes.size() - 1);
+  }
+
+  const plan::JoinGraph& graph_;
+  const catalog::Catalog& cat_;
+  ShapeOptions options_;
+  uint32_t n_;
+  uint32_t seg_;
+  std::vector<double> cost_;
+  std::vector<double> card_;
+  std::vector<RelSet> choice_;
+  std::vector<bool> choice_is_subtree_;
+  std::unordered_map<size_t, bool> visited_;
+};
+
+bool ForEachJoin(const JoinTree& tree,
+                 const std::function<bool(const JoinTreeNode&)>& pred) {
+  for (const auto& node : tree.nodes) {
+    if (!node.IsLeaf() && !pred(node)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+plan::JoinTree ShapedBest(const plan::JoinGraph& graph,
+                          const catalog::Catalog& cat,
+                          const ShapeOptions& options) {
+  if (options.shape == TreeShape::kBushy) {
+    BushyOptimizer opt;
+    return opt.Best(graph, cat);
+  }
+  return ShapedDp(graph, cat, options).Best();
+}
+
+bool IsLeftDeep(const plan::JoinTree& tree) {
+  return ForEachJoin(tree, [&](const JoinTreeNode& n) {
+    return tree.nodes[n.left].IsLeaf();
+  });
+}
+
+bool IsRightDeep(const plan::JoinTree& tree) {
+  return ForEachJoin(tree, [&](const JoinTreeNode& n) {
+    return tree.nodes[n.right].IsLeaf();
+  });
+}
+
+bool IsZigZag(const plan::JoinTree& tree) {
+  return ForEachJoin(tree, [&](const JoinTreeNode& n) {
+    return tree.nodes[n.left].IsLeaf() || tree.nodes[n.right].IsLeaf();
+  });
+}
+
+bool IsSegmentedRightDeep(const plan::JoinTree& tree,
+                          uint32_t segment_length) {
+  // Walk left spines counting consecutive joins whose right child is a
+  // leaf; a non-leaf right child ends the segment (and is itself checked
+  // recursively).
+  std::function<bool(int32_t, uint32_t)> walk = [&](int32_t idx,
+                                                    uint32_t used) -> bool {
+    const JoinTreeNode& n = tree.nodes[idx];
+    if (n.IsLeaf()) return true;
+    const JoinTreeNode& r = tree.nodes[n.right];
+    if (r.IsLeaf()) {
+      if (used + 1 > segment_length) return false;
+      return walk(n.left, used + 1);
+    }
+    return walk(n.right, 0) && walk(n.left, 1);
+  };
+  return tree.root < 0 || walk(tree.root, 0);
+}
+
+}  // namespace hierdb::opt

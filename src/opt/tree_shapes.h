@@ -1,0 +1,64 @@
+// Shape-constrained join-tree optimization.
+//
+// Section 2.2 surveys the join-tree shapes a parallel optimizer can emit:
+// left-deep, right-deep, segmented right-deep, zigzag [Ziane93], and bushy
+// — and the paper settles on bushy trees for their smaller intermediate
+// results and richer parallelism. This module provides the other shapes so
+// that choice can be measured (ablation bench): each shape is a constraint
+// on the DP split enumeration, costed identically to the bushy optimizer
+// (sum of intermediate-result cardinalities).
+//
+//   kLeftDeep            every join's inner (right) input is a base
+//                        relation — one long pipeline-less chain;
+//   kRightDeep           every join's outer (left) input is a base
+//                        relation — one maximal pipeline chain probing a
+//                        ladder of hash tables;
+//   kZigZag              either input may be the base relation at each
+//                        join (supersedes both deep shapes);
+//   kSegmentedRightDeep  right-deep segments of bounded length composed
+//                        of completed subtrees (memory-bounded pipelines);
+//   kBushy               unrestricted (delegates to BushyOptimizer).
+
+#ifndef HIERDB_OPT_TREE_SHAPES_H_
+#define HIERDB_OPT_TREE_SHAPES_H_
+
+#include "catalog/catalog.h"
+#include "plan/join_graph.h"
+
+namespace hierdb::opt {
+
+enum class TreeShape {
+  kBushy,
+  kLeftDeep,
+  kRightDeep,
+  kZigZag,
+  kSegmentedRightDeep,
+};
+
+const char* TreeShapeName(TreeShape s);
+
+struct ShapeOptions {
+  TreeShape shape = TreeShape::kBushy;
+  /// Segment length bound for kSegmentedRightDeep (joins per segment).
+  uint32_t segment_length = 3;
+};
+
+/// Returns the cost-optimal join tree of the requested shape. The cost is
+/// the total estimated cardinality of intermediate results, the same
+/// criterion as BushyOptimizer, so costs are comparable across shapes.
+plan::JoinTree ShapedBest(const plan::JoinGraph& graph,
+                          const catalog::Catalog& cat,
+                          const ShapeOptions& options);
+
+/// Shape predicates (for tests and plan inspection).
+bool IsLeftDeep(const plan::JoinTree& tree);
+bool IsRightDeep(const plan::JoinTree& tree);
+bool IsZigZag(const plan::JoinTree& tree);
+/// True if every maximal right-deep run has at most `segment_length`
+/// joins whose outer input is a leaf.
+bool IsSegmentedRightDeep(const plan::JoinTree& tree,
+                          uint32_t segment_length);
+
+}  // namespace hierdb::opt
+
+#endif  // HIERDB_OPT_TREE_SHAPES_H_

@@ -1,0 +1,92 @@
+#include "opt/workload.h"
+
+#include <optional>
+
+#include "opt/bushy_optimizer.h"
+
+namespace hierdb::opt {
+
+double EstimateSequentialSeconds(const catalog::Catalog& cat,
+                                 const plan::PhysicalPlan& pplan) {
+  (void)cat;
+  // Mirrors the defaults of sim::CostModel / sim::DiskParams; kept local
+  // so the optimizer layer does not depend on the simulator.
+  constexpr double kScan = 2000.0, kBuild = 600.0, kProbe = 1500.0,
+                   kResult = 400.0, kMips = 40.0;
+  double instr = 0.0;
+  for (const auto& op : pplan.ops) {
+    switch (op.kind) {
+      case plan::OpKind::kScan:
+        instr += op.output_card * (kScan + kResult);
+        break;
+      case plan::OpKind::kBuild:
+        instr += op.input_card * kBuild;
+        break;
+      case plan::OpKind::kProbe:
+        instr += op.input_card * kProbe + op.output_card * kResult;
+        break;
+    }
+  }
+  return instr / (kMips * 1e6);
+}
+
+std::vector<WorkloadPlan> MakeWorkload(const WorkloadOptions& options) {
+  std::vector<WorkloadPlan> out;
+  out.reserve(options.num_queries * options.trees_per_query);
+  Rng master(options.seed);
+  BushyOptimizer optimizer;
+  const double lo = options.min_seq_seconds * options.query.scale;
+  const double hi = options.max_seq_seconds * options.query.scale;
+  for (uint32_t q = 0; q < options.num_queries; ++q) {
+    std::optional<GeneratedQuery> query;
+    std::vector<plan::JoinTree> trees;
+    // Re-draw queries until the best plan's sequential estimate falls in
+    // the band (the paper's 30-60 minute constraint, Section 5.1.2).
+    double best_gap = -1.0;
+    std::optional<GeneratedQuery> best_query;
+    std::vector<plan::JoinTree> best_trees;
+    for (uint32_t attempt = 0; attempt < options.max_generation_tries;
+         ++attempt) {
+      QueryGenerator gen(options.query, master.Next());
+      query = gen.Generate();
+      trees = optimizer.TopK(query->graph, query->catalog,
+                             options.trees_per_query);
+      if (options.max_seq_seconds <= 0.0) break;
+      plan::PhysicalPlan probe = plan::MacroExpand(trees[0], query->catalog);
+      double est = EstimateSequentialSeconds(query->catalog, probe);
+      if (est >= lo && est <= hi) break;
+      double gap = est < lo ? lo - est : est - hi;
+      if (best_gap < 0.0 || gap < best_gap) {
+        best_gap = gap;
+        best_query = query;
+        best_trees = trees;
+      }
+      if (attempt + 1 == options.max_generation_tries) {
+        query = best_query;  // accept the closest miss
+        trees = best_trees;
+      }
+    }
+    for (uint32_t t = 0; t < trees.size(); ++t) {
+      WorkloadPlan wp;
+      wp.query_index = q;
+      wp.tree_rank = t;
+      wp.catalog = query->catalog;
+      wp.plan = plan::MacroExpand(trees[t], query->catalog);
+      HIERDB_CHECK(wp.plan.Validate().ok(), "workload plan must validate");
+      out.push_back(std::move(wp));
+    }
+  }
+  return out;
+}
+
+std::vector<double> DistortCardinalities(const catalog::Catalog& cat,
+                                         double error_rate, Rng* rng) {
+  std::vector<double> out(cat.size());
+  for (uint32_t i = 0; i < cat.size(); ++i) {
+    double factor = rng->NextDoubleInRange(1.0 - error_rate, 1.0 + error_rate);
+    out[i] = static_cast<double>(cat.relation(i).cardinality) * factor;
+  }
+  return out;
+}
+
+}  // namespace hierdb::opt

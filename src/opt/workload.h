@@ -1,0 +1,56 @@
+// Benchmark workload assembly: the paper's 20 generated queries, two best
+// bushy trees each => 40 parallel execution plans (Section 5.1.2).
+
+#ifndef HIERDB_OPT_WORKLOAD_H_
+#define HIERDB_OPT_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "opt/query_gen.h"
+#include "plan/operator_tree.h"
+
+namespace hierdb::opt {
+
+/// One executable workload entry: a plan plus the catalog it references.
+struct WorkloadPlan {
+  uint32_t query_index = 0;  ///< which generated query this plan came from
+  uint32_t tree_rank = 0;    ///< 0 = best tree, 1 = second best
+  catalog::Catalog catalog;
+  plan::PhysicalPlan plan;
+};
+
+struct WorkloadOptions {
+  uint32_t num_queries = 20;
+  uint32_t trees_per_query = 2;
+  QueryGenOptions query;
+  uint64_t seed = 42;
+
+  /// Sequential response-time band (seconds, at query.scale == 1): the
+  /// paper constrains generated queries to 30-60 sequential minutes,
+  /// which bounds intermediate-result blowup. The band scales with
+  /// query.scale. Set max to 0 to disable the filter.
+  double min_seq_seconds = 1800.0;
+  double max_seq_seconds = 3600.0;
+  uint32_t max_generation_tries = 64;
+};
+
+/// Rough single-processor response-time estimate (seconds at 40 MIPS with
+/// the default cost model) used by the workload filter.
+double EstimateSequentialSeconds(const catalog::Catalog& cat,
+                                 const plan::PhysicalPlan& pplan);
+
+/// Generates the workload deterministically. Every plan passes
+/// PhysicalPlan::Validate().
+std::vector<WorkloadPlan> MakeWorkload(const WorkloadOptions& options);
+
+/// Distorts every base-relation cardinality by an independent multiplier
+/// drawn uniformly from [1-r, 1+r]; used to inject cost-model errors into
+/// the FP allocator (Fig 7). Returns per-relation distorted cardinalities.
+std::vector<double> DistortCardinalities(const catalog::Catalog& cat,
+                                         double error_rate, Rng* rng);
+
+}  // namespace hierdb::opt
+
+#endif  // HIERDB_OPT_WORKLOAD_H_

@@ -1,0 +1,119 @@
+#include "plan/join_graph.h"
+
+#include <bit>
+#include <functional>
+#include <sstream>
+
+namespace hierdb::plan {
+
+JoinGraph::JoinGraph(uint32_t num_relations, std::vector<JoinEdge> edges)
+    : num_relations_(num_relations), edges_(std::move(edges)) {
+  HIERDB_CHECK(num_relations_ <= 64, "at most 64 relations supported");
+}
+
+bool JoinGraph::Connected(RelSet s) const {
+  if (s == 0) return false;
+  // Breadth-first expansion over edges restricted to `s`.
+  RelSet frontier = s & (~s + 1);  // lowest set bit
+  RelSet visited = frontier;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& e : edges_) {
+      RelSet ba = RelBit(e.a), bb = RelBit(e.b);
+      if ((ba | bb) & ~s) continue;
+      if ((visited & ba) && !(visited & bb)) {
+        visited |= bb;
+        grew = true;
+      } else if ((visited & bb) && !(visited & ba)) {
+        visited |= ba;
+        grew = true;
+      }
+    }
+  }
+  return visited == s;
+}
+
+double JoinGraph::CrossSelectivity(RelSet left, RelSet right) const {
+  double sel = 1.0;
+  for (const auto& e : edges_) {
+    RelSet ba = RelBit(e.a), bb = RelBit(e.b);
+    if (((ba & left) && (bb & right)) || ((bb & left) && (ba & right))) {
+      sel *= e.selectivity;
+    }
+  }
+  return sel;
+}
+
+bool JoinGraph::HasCrossEdge(RelSet left, RelSet right) const {
+  for (const auto& e : edges_) {
+    RelSet ba = RelBit(e.a), bb = RelBit(e.b);
+    if (((ba & left) && (bb & right)) || ((bb & left) && (ba & right))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status JoinGraph::Validate() const {
+  if (num_relations_ == 0) {
+    return Status::InvalidArgument("empty join graph");
+  }
+  if (edges_.size() != num_relations_ - 1) {
+    return Status::InvalidArgument(
+        "acyclic connected graph must have n-1 edges");
+  }
+  for (const auto& e : edges_) {
+    if (e.a >= num_relations_ || e.b >= num_relations_ || e.a == e.b) {
+      return Status::InvalidArgument("bad edge endpoints");
+    }
+    if (e.selectivity <= 0.0) {
+      return Status::InvalidArgument("non-positive selectivity");
+    }
+  }
+  RelSet all = (num_relations_ == 64)
+                   ? ~RelSet{0}
+                   : ((RelSet{1} << num_relations_) - 1);
+  if (!Connected(all)) {
+    return Status::InvalidArgument("graph is not connected");
+  }
+  return Status::OK();
+}
+
+uint32_t JoinTree::num_joins() const {
+  uint32_t n = 0;
+  for (const auto& node : nodes) {
+    if (!node.IsLeaf()) ++n;
+  }
+  return n;
+}
+
+uint32_t JoinTree::depth() const {
+  if (root < 0) return 0;
+  std::function<uint32_t(int32_t)> rec = [&](int32_t i) -> uint32_t {
+    const auto& n = nodes[i];
+    if (n.IsLeaf()) return 1;
+    return 1 + std::max(rec(n.left), rec(n.right));
+  };
+  return rec(root);
+}
+
+std::string JoinTree::ToString(const catalog::Catalog& cat) const {
+  std::ostringstream os;
+  std::function<void(int32_t)> rec = [&](int32_t i) {
+    const auto& n = nodes[i];
+    if (n.IsLeaf()) {
+      os << cat.relation(n.rel).name;
+    } else {
+      os << "(";
+      rec(n.left);
+      os << " JOIN ";
+      rec(n.right);
+      os << ")";
+    }
+  };
+  if (root >= 0) rec(root);
+  return os.str();
+}
+
+}  // namespace hierdb::plan

@@ -1,0 +1,86 @@
+// Predicate connection graphs and join trees.
+//
+// The query generator (Section 5.1.2) produces acyclic connected predicate
+// graphs; since such a graph over k relations is connected and acyclic it
+// is a tree with k-1 edges, and for any join of two disjoint connected
+// relation sets exactly one predicate edge crosses the cut.
+
+#ifndef HIERDB_PLAN_JOIN_GRAPH_H_
+#define HIERDB_PLAN_JOIN_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace hierdb::plan {
+
+using catalog::RelId;
+
+/// A join predicate between two relations with its selectivity factor.
+struct JoinEdge {
+  RelId a = 0;
+  RelId b = 0;
+  double selectivity = 0.0;
+};
+
+/// Relation-set bitmask (queries have at most 64 relations).
+using RelSet = uint64_t;
+
+inline RelSet RelBit(RelId r) { return RelSet{1} << r; }
+
+/// Acyclic connected predicate graph over the relations of a catalog.
+class JoinGraph {
+ public:
+  JoinGraph(uint32_t num_relations, std::vector<JoinEdge> edges);
+
+  uint32_t num_relations() const { return num_relations_; }
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  /// Returns true if the relations in `s` induce a connected subgraph.
+  bool Connected(RelSet s) const;
+
+  /// Product of selectivities of all edges with one endpoint in `left` and
+  /// the other in `right` (1.0 if none — cross product).
+  double CrossSelectivity(RelSet left, RelSet right) const;
+
+  /// True if at least one predicate edge crosses the cut.
+  bool HasCrossEdge(RelSet left, RelSet right) const;
+
+  /// Validates acyclicity + connectivity of the whole graph.
+  Status Validate() const;
+
+ private:
+  uint32_t num_relations_;
+  std::vector<JoinEdge> edges_;
+};
+
+/// Node of a binary join tree. Leaves carry a relation; inner nodes carry
+/// the estimated output cardinality of the join.
+struct JoinTreeNode {
+  int32_t left = -1;    ///< child index, -1 for leaf
+  int32_t right = -1;   ///< child index, -1 for leaf
+  RelId rel = 0;        ///< leaf only
+  RelSet rels = 0;      ///< relations covered by this subtree
+  double card = 0.0;    ///< output cardinality (estimated = true here)
+
+  bool IsLeaf() const { return left < 0; }
+};
+
+/// A (bushy) join tree plus its optimizer cost.
+struct JoinTree {
+  std::vector<JoinTreeNode> nodes;
+  int32_t root = -1;
+  double cost = 0.0;
+
+  uint32_t num_joins() const;
+  /// Maximum number of leaves on any root-to-leaf path (tree "bushiness").
+  uint32_t depth() const;
+  std::string ToString(const catalog::Catalog& cat) const;
+};
+
+}  // namespace hierdb::plan
+
+#endif  // HIERDB_PLAN_JOIN_GRAPH_H_

@@ -1,0 +1,120 @@
+// Operator trees and parallel execution plans.
+//
+// The operator tree is the "macro-expansion" of the join tree [Hassan94]:
+// each hash join becomes a build and a probe operator, each base relation a
+// scan. Edges are blocking (build output = hash table) or pipelinable.
+// A parallel execution plan = operator tree + operator scheduling (a
+// partial order over operators) + operator homes. Scheduling encodes the
+// hash constraints (build_i < probe_i) plus the paper's two heuristics:
+//   H1: a pipeline chain starts only when every hash table it probes is
+//       ready (build_i < driving scan of probe_i's chain);
+//   H2: pipeline chains execute one-at-a-time (previous chain's terminal
+//       operator < next chain's driving scan).
+
+#ifndef HIERDB_PLAN_OPERATOR_TREE_H_
+#define HIERDB_PLAN_OPERATOR_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/join_graph.h"
+
+namespace hierdb::plan {
+
+using OpId = uint32_t;
+constexpr OpId kNoOp = UINT32_MAX;
+
+enum class OpKind { kScan, kBuild, kProbe };
+
+const char* OpKindName(OpKind k);
+
+/// One atomic operator of the operator tree.
+struct Operator {
+  OpId id = 0;
+  OpKind kind = OpKind::kScan;
+  std::string label;
+
+  RelId rel = 0;             ///< scanned relation (scan only)
+  OpId input = kNoOp;        ///< dataflow producer (none for scan)
+  OpId build_op = kNoOp;     ///< probe only: the build that made its table
+  OpId probe_op = kNoOp;     ///< build only: the probe using its table
+  OpId consumer = kNoOp;     ///< dataflow consumer (kNoOp at tree root)
+
+  double input_card = 0.0;   ///< tuples flowing in (0 for scan triggers)
+  double output_card = 0.0;  ///< tuples flowing out (0 for build)
+  RelSet rels = 0;           ///< base relations under this operator's output
+
+  uint32_t chain = 0;        ///< pipeline chain index
+
+  bool IsScan() const { return kind == OpKind::kScan; }
+  bool IsBuild() const { return kind == OpKind::kBuild; }
+  bool IsProbe() const { return kind == OpKind::kProbe; }
+};
+
+/// A maximal pipeline chain: a driving scan followed by pipelined probes,
+/// optionally terminated by a build (when the chain's result is a hash
+/// table for a later join).
+struct PipelineChain {
+  uint32_t id = 0;
+  std::vector<OpId> ops;  ///< in dataflow order, ops[0] is the driving scan
+};
+
+/// A scheduling constraint: `after` may not start before `before` ends.
+struct SchedConstraint {
+  OpId before = 0;
+  OpId after = 0;
+  enum class Origin { kHash, kHeuristic1, kHeuristic2 } origin;
+};
+
+/// Parallel execution plan: the input to the execution model (Section 2.2).
+/// Operator homes follow the paper's evaluation assumptions: every relation
+/// is fully partitioned across all SM-nodes and every operator is executed
+/// on all SM-nodes, so homes are implicit (all nodes).
+struct PhysicalPlan {
+  std::vector<Operator> ops;
+  std::vector<PipelineChain> chains;
+  std::vector<uint32_t> chain_order;  ///< execution order (H2)
+  std::vector<SchedConstraint> constraints;
+
+  const Operator& op(OpId id) const { return ops[id]; }
+
+  uint32_t num_scans() const;
+  uint32_t num_joins() const;
+
+  /// All operators that must end before `id` may start.
+  std::vector<OpId> BlockersOf(OpId id) const;
+
+  /// Validates structural invariants (dataflow acyclicity, constraint
+  /// sanity, chain coverage).
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+struct ExpandOptions {
+  /// Heuristic H1: a chain starts only when its hash tables are ready.
+  bool apply_h1 = true;
+  /// Build-side choice: false (default) picks the smaller input (classic
+  /// hash-join heuristic); true builds on the join tree's RIGHT child so
+  /// shaped trees (opt/tree_shapes.h) keep their pipeline structure —
+  /// right-deep trees become one maximal chain, left-deep trees fully
+  /// blocking ladders.
+  bool build_on_right_child = false;
+  /// Heuristic H2: pipeline chains execute one at a time. Disabling it
+  /// yields the paper's Section 3.2 extension — concurrent chains expose
+  /// more simultaneously-executable operators, improving load-balancing
+  /// opportunities at the price of memory consumption.
+  bool serialize_chains = true;
+};
+
+/// Expands a join tree into a parallel execution plan. The build side of
+/// each join is the smaller input (classic hash-join choice); scheduling
+/// applies hash constraints plus heuristics H1 and (optionally) H2.
+PhysicalPlan MacroExpand(const JoinTree& tree, const catalog::Catalog& cat,
+                         const ExpandOptions& options = {});
+
+}  // namespace hierdb::plan
+
+#endif  // HIERDB_PLAN_OPERATOR_TREE_H_

@@ -1,0 +1,19 @@
+#include "sim/config.h"
+
+#include <sstream>
+
+namespace hierdb::sim {
+
+std::string SystemConfig::ToString() const {
+  std::ostringstream os;
+  os << "SystemConfig{nodes=" << num_nodes << " procs/node=" << procs_per_node
+     << " mips=" << mips << " disks/proc=" << disks_per_proc
+     << " page=" << page_size_bytes << "B tuple=" << tuple_size_bytes
+     << "B buckets/op=" << buckets_per_operator
+     << " batch=" << activation_batch_tuples
+     << " trigger_pages=" << trigger_pages << " qcap=" << queue_capacity
+     << " global_lb=" << (enable_global_lb ? "on" : "off") << "}";
+  return os.str();
+}
+
+}  // namespace hierdb::sim

@@ -1,0 +1,31 @@
+#include "sim/network.h"
+
+namespace hierdb::sim {
+
+void Network::Send(uint32_t from_node, uint32_t to_node, uint64_t bytes,
+                   TrafficClass cls, EventFn on_delivery) {
+  (void)from_node;
+  (void)to_node;
+  ++stats_.messages;
+  stats_.bytes_total += bytes;
+  switch (cls) {
+    case TrafficClass::kPipeline:
+      stats_.bytes_pipeline += bytes;
+      break;
+    case TrafficClass::kLoadBalance:
+      stats_.bytes_loadbalance += bytes;
+      break;
+    case TrafficClass::kControl:
+      stats_.bytes_control += bytes;
+      break;
+  }
+  SimTime delay = params_.end_to_end_delay;
+  if (params_.bandwidth_bytes_per_sec > 0.0) {
+    delay += static_cast<SimTime>(static_cast<double>(bytes) /
+                                  params_.bandwidth_bytes_per_sec *
+                                  static_cast<double>(kSecond));
+  }
+  sim_->ScheduleAfter(delay, std::move(on_delivery));
+}
+
+}  // namespace hierdb::sim

@@ -1,0 +1,107 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+namespace hierdb::storage {
+
+BufferPool::BufferPool(const BufferPoolOptions& options) : options_(options) {
+  HIERDB_CHECK(options_.window_pages > 0, "window_pages must be positive");
+  HIERDB_CHECK(options_.frames >= options_.window_pages,
+               "frame budget smaller than one window");
+}
+
+Result<std::unique_ptr<ScanCursor>> BufferPool::OpenScan(
+    const PartitionFile* file) {
+  if (file == nullptr) return Status::InvalidArgument("null partition file");
+  AcquireFrames(options_.window_pages);
+  return std::unique_ptr<ScanCursor>(new ScanCursor(this, file));
+}
+
+void BufferPool::AcquireFrames(uint32_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (frames_in_use_.load(std::memory_order_relaxed) + n > options_.frames) {
+    stat_waits_.fetch_add(1, std::memory_order_relaxed);
+    budget_cv_.wait(lock, [&] {
+      return frames_in_use_.load(std::memory_order_relaxed) + n <=
+             options_.frames;
+    });
+  }
+  frames_in_use_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void BufferPool::ReleaseFrames(uint32_t n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_in_use_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  budget_cv_.notify_all();
+}
+
+void BufferPool::CountRead(uint64_t pages) {
+  stat_reads_.fetch_add(pages, std::memory_order_relaxed);
+  stat_windows_.fetch_add(1, std::memory_order_relaxed);
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s;
+  s.reads = stat_reads_.load(std::memory_order_relaxed);
+  s.windows = stat_windows_.load(std::memory_order_relaxed);
+  s.waits = stat_waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ScanCursor::ScanCursor(BufferPool* pool, const PartitionFile* file)
+    : pool_(pool), file_(file), window_(pool->options_.window_pages) {}
+
+ScanCursor::~ScanCursor() {
+  pool_->ReleaseFrames(static_cast<uint32_t>(window_.size()));
+}
+
+Status ScanCursor::SeekToPage(uint32_t page_id) {
+  if (page_id > file_->num_pages()) {
+    return Status::OutOfRange("seek past end of " + file_->path());
+  }
+  next_page_ = page_id;
+  window_size_ = 0;
+  window_pos_ = 0;
+  tuple_pos_ = 0;
+  return Status::OK();
+}
+
+bool ScanCursor::FillWindow() {
+  uint32_t end = std::min<uint32_t>(file_->num_pages(), limit_page_);
+  if (next_page_ >= end) return false;
+  uint32_t n = std::min<uint32_t>(static_cast<uint32_t>(window_.size()),
+                                  end - next_page_);
+  for (uint32_t i = 0; i < n; ++i) {
+    Status st = file_->ReadPage(next_page_ + i, &window_[i]);
+    if (!st.ok()) {
+      status_ = st;
+      return false;
+    }
+  }
+  pool_->CountRead(n);
+  next_page_ += n;
+  window_size_ = n;
+  window_pos_ = 0;
+  tuple_pos_ = 0;
+  return true;
+}
+
+bool ScanCursor::Next(mt::Tuple* out) {
+  while (true) {
+    if (window_pos_ < window_size_) {
+      const Page& page = window_[window_pos_];
+      if (tuple_pos_ < page.tuple_count()) {
+        *out = page.At(tuple_pos_++);
+        return true;
+      }
+      ++window_pos_;
+      tuple_pos_ = 0;
+      continue;
+    }
+    if (!FillWindow()) return false;
+  }
+}
+
+}  // namespace hierdb::storage

@@ -1,0 +1,115 @@
+// Buffer pool with per-scan read-ahead windows.
+//
+// The paper's disk model gives each scan an 8-page I/O cache (§5.1.1): a
+// scan issues one asynchronous multi-page read and processes pages while
+// the next window is in flight. This pool reproduces that shape for the
+// real executor: a ScanCursor owns a window of frames, fills it with one
+// batched read, and serves tuples until the window is exhausted.
+//
+// A small shared frame budget bounds total memory; cursors block (or fail,
+// in try mode) when the budget is exhausted, which mirrors the paper's
+// assumption that pipeline chains fit in memory — the budget is sized so
+// they do, and tests exercise the exhaustion path.
+
+#ifndef HIERDB_STORAGE_BUFFER_POOL_H_
+#define HIERDB_STORAGE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/partition_file.h"
+
+namespace hierdb::storage {
+
+struct BufferPoolOptions {
+  uint32_t frames = 1024;        ///< total frame budget (8 KiB each)
+  uint32_t window_pages = 8;     ///< I/O cache window per scan cursor
+};
+
+struct BufferPoolStats {
+  uint64_t reads = 0;            ///< pages read from files
+  uint64_t windows = 0;          ///< read-ahead windows filled
+  uint64_t waits = 0;            ///< cursor blocked on frame budget
+};
+
+class ScanCursor;
+
+/// Thread-safe frame-budget manager. Frames themselves live inside the
+/// cursors (windows are private to one scan), so the pool only accounts.
+class BufferPool {
+ public:
+  explicit BufferPool(const BufferPoolOptions& options);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Opens a sequential scan over `file`. The cursor holds
+  /// `options.window_pages` frames for its lifetime.
+  Result<std::unique_ptr<ScanCursor>> OpenScan(const PartitionFile* file);
+
+  BufferPoolStats stats() const;
+  uint32_t frames_in_use() const {
+    return frames_in_use_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ScanCursor;
+
+  void AcquireFrames(uint32_t n);
+  void ReleaseFrames(uint32_t n);
+  void CountRead(uint64_t pages);
+
+  BufferPoolOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable budget_cv_;
+  std::atomic<uint32_t> frames_in_use_{0};
+  std::atomic<uint64_t> stat_reads_{0};
+  std::atomic<uint64_t> stat_windows_{0};
+  std::atomic<uint64_t> stat_waits_{0};
+};
+
+/// Sequential scan over one partition file through a read-ahead window.
+/// Not thread-safe; one cursor per scanning activation.
+class ScanCursor {
+ public:
+  ~ScanCursor();
+
+  ScanCursor(const ScanCursor&) = delete;
+  ScanCursor& operator=(const ScanCursor&) = delete;
+
+  /// Returns the next tuple, or false at end of file.
+  bool Next(mt::Tuple* out);
+
+  /// Positions the cursor at `page_id` (used to scan a page range — the
+  /// trigger-activation granularity).
+  Status SeekToPage(uint32_t page_id);
+
+  /// Restricts the scan to end before `page_id` (exclusive).
+  void LimitToPage(uint32_t page_id) { limit_page_ = page_id; }
+
+  Status status() const { return status_; }
+
+ private:
+  friend class BufferPool;
+  ScanCursor(BufferPool* pool, const PartitionFile* file);
+
+  bool FillWindow();
+
+  BufferPool* pool_;
+  const PartitionFile* file_;
+  std::vector<Page> window_;
+  uint32_t window_size_ = 0;     ///< valid pages in window_
+  uint32_t window_pos_ = 0;      ///< current page within window_
+  uint32_t tuple_pos_ = 0;       ///< current tuple within page
+  uint32_t next_page_ = 0;       ///< next file page to read
+  uint32_t limit_page_ = UINT32_MAX;
+  Status status_;
+};
+
+}  // namespace hierdb::storage
+
+#endif  // HIERDB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,58 @@
+#include "storage/page.h"
+
+namespace hierdb::storage {
+
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool Page::Append(const mt::Tuple& t) {
+  PageHeader* h = header();
+  if (h->tuple_count >= kTuplesPerPage) return false;
+  std::memcpy(payload() + h->tuple_count * sizeof(mt::Tuple), &t,
+              sizeof(mt::Tuple));
+  ++h->tuple_count;
+  return true;
+}
+
+mt::Tuple Page::At(uint32_t i) const {
+  HIERDB_CHECK(i < header()->tuple_count, "page tuple index out of range");
+  mt::Tuple t;
+  std::memcpy(&t, payload() + i * sizeof(mt::Tuple), sizeof(mt::Tuple));
+  return t;
+}
+
+void Page::Seal() {
+  header()->checksum = Fnv1a(payload(), kPagePayloadBytes);
+}
+
+Status Page::Verify() const {
+  const PageHeader* h = header();
+  if (h->magic != kPageMagic) {
+    return Status::Internal("bad page magic at page " +
+                            std::to_string(h->page_id));
+  }
+  if (h->tuple_count > kTuplesPerPage) {
+    return Status::Internal("tuple count overflow at page " +
+                            std::to_string(h->page_id));
+  }
+  if (h->checksum != Fnv1a(payload(), kPagePayloadBytes)) {
+    return Status::Internal("checksum mismatch at page " +
+                            std::to_string(h->page_id));
+  }
+  return Status::OK();
+}
+
+void Page::Reset(uint32_t page_id) {
+  std::memset(bytes_.data(), 0, kPageSize);
+  PageHeader* h = header();
+  h->magic = kPageMagic;
+  h->page_id = page_id;
+}
+
+}  // namespace hierdb::storage

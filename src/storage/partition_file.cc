@@ -1,0 +1,135 @@
+#include "storage/partition_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hierdb::storage {
+namespace {
+
+// Footer appended after the last page. The file is self-describing: a
+// reader validates magic + page count without an external catalog.
+struct Footer {
+  uint32_t magic = 0x48444654;  // "HDFT"
+  uint32_t num_pages = 0;
+  uint64_t num_tuples = 0;
+};
+static_assert(sizeof(Footer) == 16);
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+PartitionFile::PartitionFile(std::string path, int fd, uint32_t num_pages,
+                             uint64_t num_tuples)
+    : path_(std::move(path)),
+      fd_(fd),
+      num_pages_(num_pages),
+      num_tuples_(num_tuples) {}
+
+PartitionFile::~PartitionFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<PartitionFile>> PartitionFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < static_cast<off_t>(sizeof(Footer)) ||
+      (size - sizeof(Footer)) % kPageSize != 0) {
+    ::close(fd);
+    return Status::Internal("malformed partition file " + path);
+  }
+  Footer footer;
+  if (::pread(fd, &footer, sizeof(footer), size - sizeof(Footer)) !=
+      static_cast<ssize_t>(sizeof(Footer))) {
+    ::close(fd);
+    return ErrnoStatus("pread footer", path);
+  }
+  if (footer.magic != Footer().magic ||
+      footer.num_pages != (size - sizeof(Footer)) / kPageSize) {
+    ::close(fd);
+    return Status::Internal("bad footer in partition file " + path);
+  }
+  return std::unique_ptr<PartitionFile>(new PartitionFile(
+      path, fd, footer.num_pages, footer.num_tuples));
+}
+
+Status PartitionFile::ReadPage(uint32_t page_id, Page* page) const {
+  if (page_id >= num_pages_) {
+    return Status::OutOfRange("page " + std::to_string(page_id) + " of " +
+                              std::to_string(num_pages_) + " in " + path_);
+  }
+  ssize_t n = ::pread(fd_, page->raw(), kPageSize,
+                      static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return ErrnoStatus("pread page", path_);
+  }
+  HIERDB_RETURN_NOT_OK(page->Verify());
+  if (page->header()->page_id != page_id) {
+    return Status::Internal("page id mismatch in " + path_);
+  }
+  return Status::OK();
+}
+
+PartitionWriter::PartitionWriter(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    open_status_ = ErrnoStatus("create", path_);
+  }
+  current_.Reset(0);
+}
+
+PartitionWriter::~PartitionWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PartitionWriter::FlushPage() {
+  current_.Seal();
+  ssize_t n = ::write(fd_, current_.raw(), kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return ErrnoStatus("write page", path_);
+  }
+  ++next_page_id_;
+  current_.Reset(next_page_id_);
+  return Status::OK();
+}
+
+Status PartitionWriter::Append(const mt::Tuple& t) {
+  HIERDB_RETURN_NOT_OK(open_status_);
+  if (finished_) return Status::FailedPrecondition("writer finished");
+  if (!current_.Append(t)) {
+    HIERDB_RETURN_NOT_OK(FlushPage());
+    HIERDB_CHECK(current_.Append(t), "append to fresh page failed");
+  }
+  ++tuples_written_;
+  return Status::OK();
+}
+
+Status PartitionWriter::Finish() {
+  HIERDB_RETURN_NOT_OK(open_status_);
+  if (finished_) return Status::FailedPrecondition("writer finished");
+  finished_ = true;
+  if (current_.tuple_count() > 0 || next_page_id_ == 0) {
+    HIERDB_RETURN_NOT_OK(FlushPage());
+  }
+  Footer footer;
+  footer.num_pages = next_page_id_;
+  footer.num_tuples = tuples_written_;
+  if (::write(fd_, &footer, sizeof(footer)) !=
+      static_cast<ssize_t>(sizeof(footer))) {
+    return ErrnoStatus("write footer", path_);
+  }
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  ::close(fd_);
+  fd_ = -1;
+  return Status::OK();
+}
+
+}  // namespace hierdb::storage

@@ -1,0 +1,85 @@
+// A partition file: one horizontal partition of a relation, stored as a
+// dense array of sealed slotted pages.
+//
+// The paper partitions each relation across SM-nodes and, within a node,
+// across disks (Section 2.1). A PartitionFile is the on-disk object backing
+// one (node, disk) cell of that grid. Files are written once by a
+// TableBuilder and then read-only; scans go through the BufferPool which
+// models the 8-page I/O cache of the paper's disk parameter table.
+//
+// I/O uses plain POSIX file APIs (pread) — the asynchronous-I/O overlap of
+// the paper is modelled in the simulated engine; here throughput comes from
+// many worker threads reading independently.
+
+#ifndef HIERDB_STORAGE_PARTITION_FILE_H_
+#define HIERDB_STORAGE_PARTITION_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace hierdb::storage {
+
+/// Read-only handle to a partition file.
+class PartitionFile {
+ public:
+  ~PartitionFile();
+
+  PartitionFile(const PartitionFile&) = delete;
+  PartitionFile& operator=(const PartitionFile&) = delete;
+
+  /// Opens an existing partition file and validates its footer.
+  static Result<std::unique_ptr<PartitionFile>> Open(const std::string& path);
+
+  /// Reads page `page_id` into `*page` (thread-safe: uses pread).
+  Status ReadPage(uint32_t page_id, Page* page) const;
+
+  uint32_t num_pages() const { return num_pages_; }
+  uint64_t num_tuples() const { return num_tuples_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  PartitionFile(std::string path, int fd, uint32_t num_pages,
+                uint64_t num_tuples);
+
+  std::string path_;
+  int fd_ = -1;
+  uint32_t num_pages_ = 0;
+  uint64_t num_tuples_ = 0;
+};
+
+/// Writes a partition file page by page. Not thread-safe; one builder per
+/// file.
+class PartitionWriter {
+ public:
+  explicit PartitionWriter(std::string path);
+  ~PartitionWriter();
+
+  PartitionWriter(const PartitionWriter&) = delete;
+  PartitionWriter& operator=(const PartitionWriter&) = delete;
+
+  Status Append(const mt::Tuple& t);
+
+  /// Seals the last page, writes the footer, and closes the file.
+  Status Finish();
+
+  uint64_t tuples_written() const { return tuples_written_; }
+
+ private:
+  Status FlushPage();
+
+  std::string path_;
+  int fd_ = -1;
+  Status open_status_;
+  Page current_;
+  uint32_t next_page_id_ = 0;
+  uint64_t tuples_written_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hierdb::storage
+
+#endif  // HIERDB_STORAGE_PARTITION_FILE_H_

@@ -1,0 +1,97 @@
+#include "storage/table.h"
+
+namespace hierdb::storage {
+
+std::string CellPath(const std::string& dir, const std::string& table,
+                     uint32_t node, uint32_t disk) {
+  return dir + "/" + table + ".n" + std::to_string(node) + ".d" +
+         std::to_string(disk) + ".part";
+}
+
+Result<std::unique_ptr<StoredTable>> StoredTable::Open(const std::string& dir,
+                                                       const TableSpec& spec) {
+  if (spec.nodes == 0 || spec.disks == 0) {
+    return Status::InvalidArgument("table spec needs nodes > 0, disks > 0");
+  }
+  std::vector<std::unique_ptr<PartitionFile>> cells;
+  cells.reserve(spec.nodes * spec.disks);
+  for (uint32_t n = 0; n < spec.nodes; ++n) {
+    for (uint32_t d = 0; d < spec.disks; ++d) {
+      auto file = PartitionFile::Open(CellPath(dir, spec.name, n, d));
+      if (!file.ok()) return file.status();
+      cells.push_back(std::move(file).value());
+    }
+  }
+  return std::unique_ptr<StoredTable>(
+      new StoredTable(spec, std::move(cells)));
+}
+
+uint64_t StoredTable::num_tuples() const {
+  uint64_t n = 0;
+  for (const auto& c : cells_) n += c->num_tuples();
+  return n;
+}
+
+uint64_t StoredTable::num_pages() const {
+  uint64_t n = 0;
+  for (const auto& c : cells_) n += c->num_pages();
+  return n;
+}
+
+uint64_t StoredTable::node_pages(uint32_t node) const {
+  uint64_t n = 0;
+  for (uint32_t d = 0; d < spec_.disks; ++d) {
+    n += cell(node, d).num_pages();
+  }
+  return n;
+}
+
+Result<mt::Relation> StoredTable::ReadAll(BufferPool* pool) const {
+  mt::Relation out;
+  out.reserve(num_tuples());
+  for (const auto& c : cells_) {
+    auto cursor = pool->OpenScan(c.get());
+    if (!cursor.ok()) return cursor.status();
+    mt::Tuple t;
+    while (cursor.value()->Next(&t)) out.push_back(t);
+    HIERDB_RETURN_NOT_OK(cursor.value()->status());
+  }
+  return out;
+}
+
+TableBuilder::TableBuilder(std::string dir, TableSpec spec)
+    : dir_(std::move(dir)), spec_(std::move(spec)) {
+  writers_.reserve(spec_.nodes * spec_.disks);
+  for (uint32_t n = 0; n < spec_.nodes; ++n) {
+    for (uint32_t d = 0; d < spec_.disks; ++d) {
+      writers_.push_back(std::make_unique<PartitionWriter>(
+          CellPath(dir_, spec_.name, n, d)));
+    }
+  }
+}
+
+Status TableBuilder::Append(const mt::Tuple& t) {
+  return AppendToCell(NodeOfKey(t.key, spec_.nodes),
+                      DiskOfKey(t.key, spec_.disks), t);
+}
+
+Status TableBuilder::AppendToCell(uint32_t node, uint32_t disk,
+                                  const mt::Tuple& t) {
+  if (finished_) return Status::FailedPrecondition("builder finished");
+  if (node >= spec_.nodes || disk >= spec_.disks) {
+    return Status::OutOfRange("cell (" + std::to_string(node) + "," +
+                              std::to_string(disk) + ") out of grid");
+  }
+  return writers_[node * spec_.disks + disk]->Append(t);
+}
+
+Result<std::unique_ptr<StoredTable>> TableBuilder::Finish() {
+  if (finished_) return Status::FailedPrecondition("builder finished");
+  finished_ = true;
+  for (auto& w : writers_) {
+    HIERDB_RETURN_NOT_OK(w->Finish());
+  }
+  return StoredTable::Open(dir_, spec_);
+}
+
+}  // namespace hierdb::storage

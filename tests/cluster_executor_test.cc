@@ -1,0 +1,364 @@
+// Tests for the hierarchical cluster executor: partitioning helpers,
+// correctness of DP/FP against the reference across node/thread/skew
+// configurations, the global load-sharing protocol, the stolen-fragment
+// cache, and the operator-end detection protocol's message accounting.
+
+#include "cluster/cluster_executor.h"
+
+#include "gtest/gtest.h"
+#include "net/message.h"
+
+namespace hierdb::cluster {
+namespace {
+
+using mt::LocalStrategy;
+using mt::MakeSkewedTable;
+using mt::MakeTable;
+
+// Chain fixture: fact(key, fk1..fkJ) joined against J dims on column 0.
+struct ChainFixture {
+  ChainFixture(uint32_t nodes, uint32_t joins, size_t fact_rows,
+               size_t dim_rows, double placement_skew = 0.0,
+               uint64_t seed = 11) {
+    fact = MakeTable("fact", fact_rows, joins + 1,
+                     static_cast<int64_t>(dim_rows), seed);
+    for (uint32_t j = 0; j < joins; ++j) {
+      dims.push_back(MakeTable("dim" + std::to_string(j), dim_rows, 2, 100,
+                               seed + 100 + j));
+    }
+    if (placement_skew > 0.0) {
+      fact_parts = PartitionWithPlacementSkew(fact, nodes, placement_skew,
+                                              seed + 7);
+    } else {
+      fact_parts = PartitionRoundRobin(fact, nodes);
+    }
+    for (uint32_t j = 0; j < joins; ++j) {
+      dim_parts.push_back(PartitionByHash(dims[j], nodes, 0));
+    }
+    query.input = &fact_parts;
+    for (uint32_t j = 0; j < joins; ++j) {
+      query.joins.push_back({&dim_parts[j], j + 1, 0});
+    }
+  }
+
+  mt::Table fact;
+  std::vector<mt::Table> dims;
+  PartitionedTable fact_parts;
+  std::vector<PartitionedTable> dim_parts;
+  ChainQuery query;
+};
+
+ClusterOptions Opts(uint32_t nodes, uint32_t threads,
+                    LocalStrategy s = LocalStrategy::kDP) {
+  ClusterOptions o;
+  o.nodes = nodes;
+  o.threads_per_node = threads;
+  o.buckets = 64;
+  o.morsel_rows = 1000;
+  o.batch_rows = 128;
+  o.queue_capacity = 32;
+  o.strategy = s;
+  return o;
+}
+
+// ------------------------------------------------------- partitioning ----
+
+TEST(Partitioning, HashPartitionCoversAllRows) {
+  mt::Table t = MakeTable("t", 10000, 2, 100, 3);
+  PartitionedTable pt = PartitionByHash(t, 4, 0);
+  EXPECT_EQ(pt.total_rows(), 10000u);
+  EXPECT_EQ(pt.parts.size(), 4u);
+  for (const auto& p : pt.parts) EXPECT_GT(p.rows(), 1500u);
+}
+
+TEST(Partitioning, RoundRobinIsExactlyBalanced) {
+  mt::Table t = MakeTable("t", 1000, 2, 100, 3);
+  PartitionedTable pt = PartitionRoundRobin(t, 4);
+  for (const auto& p : pt.parts) EXPECT_EQ(p.rows(), 250u);
+}
+
+TEST(Partitioning, PlacementSkewConcentratesRows) {
+  mt::Table t = MakeTable("t", 10000, 2, 100, 3);
+  PartitionedTable pt = PartitionWithPlacementSkew(t, 4, 0.8, 9);
+  EXPECT_EQ(pt.total_rows(), 10000u);
+  uint64_t max = 0;
+  for (const auto& p : pt.parts) max = std::max<uint64_t>(max, p.rows());
+  EXPECT_GT(max, 4000u);  // Zipf(0.8) over 4 nodes: top >> 25%
+}
+
+TEST(Partitioning, ValidateRejectsWrongPartCount) {
+  ChainFixture fx(2, 1, 100, 50);
+  EXPECT_FALSE(fx.query.Validate(3).ok());
+  EXPECT_TRUE(fx.query.Validate(2).ok());
+}
+
+TEST(Partitioning, ValidateRejectsBadColumns) {
+  ChainFixture fx(2, 1, 100, 50);
+  ChainQuery bad = fx.query;
+  bad.joins[0].probe_col = 99;
+  EXPECT_FALSE(bad.Validate(2).ok());
+  bad = fx.query;
+  bad.joins[0].build_col = 99;
+  EXPECT_FALSE(bad.Validate(2).ok());
+}
+
+// ------------------------------------------------------- correctness -----
+
+TEST(Cluster, SingleNodeMatchesReference) {
+  ChainFixture fx(1, 2, 8000, 300);
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  EXPECT_EQ(ref.count, 8000u);  // FK joins: one match per fact row
+  ClusterExecutor exec(Opts(1, 4));
+  auto got = exec.Execute(fx.query);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+}
+
+TEST(Cluster, MultiNodeDPMatchesReference) {
+  ChainFixture fx(4, 3, 20000, 400);
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  ClusterExecutor exec(Opts(4, 2));
+  ClusterStats stats;
+  auto got = exec.Execute(fx.query, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+  EXPECT_GT(stats.dataflow_bytes, 0u);  // redistribution happened
+}
+
+TEST(Cluster, MultiNodeFPMatchesReference) {
+  ChainFixture fx(3, 2, 15000, 300);
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  ClusterExecutor exec(Opts(3, 3, LocalStrategy::kFP));
+  auto got = exec.Execute(fx.query);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+}
+
+TEST(Cluster, PlacementSkewStillCorrectDP) {
+  ChainFixture fx(4, 2, 20000, 300, /*placement_skew=*/0.9);
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  ClusterExecutor exec(Opts(4, 2));
+  ClusterStats stats;
+  auto got = exec.Execute(fx.query, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+}
+
+TEST(Cluster, PlacementSkewStillCorrectFP) {
+  ChainFixture fx(4, 2, 20000, 300, /*placement_skew=*/0.9);
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  ClusterExecutor exec(Opts(4, 2, LocalStrategy::kFP));
+  auto got = exec.Execute(fx.query);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+}
+
+TEST(Cluster, AttributeValueSkewStillCorrect) {
+  // Zipf-skewed probe column: a few buckets receive most probe tuples.
+  const uint32_t nodes = 3;
+  mt::Table fact = MakeSkewedTable("fact", 30000, 2, 300, 1, 0.9, 21);
+  mt::Table dim = MakeTable("dim", 300, 2, 10, 22);
+  PartitionedTable fact_parts = PartitionRoundRobin(fact, nodes);
+  PartitionedTable dim_parts = PartitionByHash(dim, nodes, 0);
+  ChainQuery q;
+  q.input = &fact_parts;
+  q.joins.push_back({&dim_parts, 1, 0});
+  auto ref = ReferenceExecute(q).ValueOrDie();
+  for (LocalStrategy s : {LocalStrategy::kDP, LocalStrategy::kFP}) {
+    ClusterExecutor exec(Opts(nodes, 2, s));
+    auto got = exec.Execute(q);
+    ASSERT_TRUE(got.ok()) << LocalStrategyName(s);
+    EXPECT_EQ(got.value(), ref) << LocalStrategyName(s);
+  }
+}
+
+TEST(Cluster, EmptyFactPartitionsHandled) {
+  // All fact rows at node 0: nodes 1..3 have empty scan partitions and
+  // must starve into stealing (DP) without corrupting termination.
+  ChainFixture fx(4, 2, 10000, 200, /*placement_skew=*/0.0);
+  mt::Table fact2 = MakeTable("fact", 10000, 3, 200, 5);
+  PartitionedTable all_at_zero;
+  all_at_zero.width = fact2.width();
+  all_at_zero.parts.assign(4, mt::Batch(fact2.width()));
+  for (size_t i = 0; i < fact2.rows(); ++i) {
+    all_at_zero.parts[0].AppendRow(fact2.batch.row(i));
+  }
+  ChainQuery q = fx.query;
+  q.input = &all_at_zero;
+  auto ref = ReferenceExecute(q).ValueOrDie();
+  ClusterExecutor exec(Opts(4, 2));
+  auto got = exec.Execute(q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+}
+
+TEST(Cluster, RejectsEmptyJoinList) {
+  ChainFixture fx(2, 1, 100, 50);
+  ChainQuery q;
+  q.input = fx.query.input;
+  ClusterExecutor exec(Opts(2, 1));
+  EXPECT_FALSE(exec.Execute(q).ok());
+}
+
+TEST(Cluster, SelectiveAndNToMJoinsCorrect) {
+  // fk range 2x dim size: ~half the probes miss; dim keys duplicated 2x:
+  // hits produce two output rows.
+  const uint32_t nodes = 2;
+  mt::Table fact = MakeTable("fact", 10000, 2, 400, 31);
+  mt::Table dim{"dim", mt::Batch(2)};
+  for (int64_t i = 0; i < 200; ++i) {
+    for (int rep = 0; rep < 2; ++rep) {
+      int64_t row[] = {i, 1000 + rep};
+      dim.batch.AppendRow(row);
+    }
+  }
+  PartitionedTable fact_parts = PartitionRoundRobin(fact, nodes);
+  PartitionedTable dim_parts = PartitionByHash(dim, nodes, 0);
+  ChainQuery q;
+  q.input = &fact_parts;
+  q.joins.push_back({&dim_parts, 1, 0});
+  auto ref = ReferenceExecute(q).ValueOrDie();
+  EXPECT_GT(ref.count, 8000u);
+  EXPECT_LT(ref.count, 12000u);
+  ClusterExecutor exec(Opts(nodes, 2));
+  auto got = exec.Execute(q);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), ref);
+}
+
+// -------------------------------------------------- load sharing ---------
+
+TEST(Cluster, GlobalLBFiresUnderPlacementSkew) {
+  // Everything at node 0 forces the other nodes to starve and steal.
+  mt::Table fact = MakeTable("fact", 60000, 2, 400, 41);
+  mt::Table dim = MakeTable("dim", 400, 2, 10, 42);
+  PartitionedTable fact_parts;
+  fact_parts.width = 2;
+  fact_parts.parts.assign(4, mt::Batch(2));
+  for (size_t i = 0; i < fact.rows(); ++i) {
+    fact_parts.parts[0].AppendRow(fact.batch.row(i));
+  }
+  PartitionedTable dim_parts = PartitionByHash(dim, 4, 0);
+  ChainQuery q;
+  q.input = &fact_parts;
+  q.joins.push_back({&dim_parts, 1, 0});
+  auto ref = ReferenceExecute(q).ValueOrDie();
+  ClusterOptions o = Opts(4, 2);
+  o.queue_capacity = 128;  // deep queues: plenty to steal
+  ClusterExecutor exec(o);
+  ClusterStats stats;
+  auto got = exec.Execute(q, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+  EXPECT_GT(stats.steal_requests, 0u);
+}
+
+TEST(Cluster, GlobalLBCanBeDisabled) {
+  ChainFixture fx(3, 2, 15000, 300, /*placement_skew=*/0.9);
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  ClusterOptions o = Opts(3, 2);
+  o.global_lb = false;
+  ClusterExecutor exec(o);
+  ClusterStats stats;
+  auto got = exec.Execute(fx.query, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), ref);
+  EXPECT_EQ(stats.steal_requests, 0u);
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.lb_bytes, 0u);
+}
+
+TEST(Cluster, StolenWorkIsAccounted) {
+  // Strong placement skew with tiny morsels generates stealable queues.
+  mt::Table fact = MakeTable("fact", 80000, 2, 400, 51);
+  mt::Table dim = MakeTable("dim", 400, 2, 10, 52);
+  PartitionedTable fact_parts;
+  fact_parts.width = 2;
+  fact_parts.parts.assign(4, mt::Batch(2));
+  for (size_t i = 0; i < fact.rows(); ++i) {
+    fact_parts.parts[0].AppendRow(fact.batch.row(i));
+  }
+  PartitionedTable dim_parts = PartitionByHash(dim, 4, 0);
+  ChainQuery q;
+  q.input = &fact_parts;
+  q.joins.push_back({&dim_parts, 1, 0});
+  auto ref = ReferenceExecute(q).ValueOrDie();
+  ClusterOptions o = Opts(4, 2);
+  o.queue_capacity = 256;
+  o.steal_batch = 32;
+  ClusterExecutor exec(o);
+  ClusterStats stats;
+  auto got = exec.Execute(q, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), ref);
+  if (stats.steals > 0) {
+    EXPECT_GT(stats.stolen_activations, 0u);
+    EXPECT_GT(stats.lb_bytes, 0u);
+  }
+}
+
+// ------------------------------------------- end-detection protocol ------
+
+TEST(Cluster, TerminationMessageCountMatchesProtocol) {
+  // Per operator: (N-1) EndOfQueuesAtNode to the coordinator, (N-1)
+  // DrainConfirm requests out, (N-1) acks back, (N-1) OpTerminated out —
+  // 4(N-1) messages per op on the wire (the coordinator's own are local),
+  // the 4N total the paper quotes (Section 4).
+  ChainFixture fx(3, 2, 5000, 200);
+  ClusterOptions o = Opts(3, 2);
+  o.global_lb = false;  // keep the wire clean of LB traffic
+  ClusterExecutor exec(o);
+  ClusterStats stats;
+  auto got = exec.Execute(fx.query, &stats);
+  ASSERT_TRUE(got.ok());
+  const uint32_t nops = 3 * 2 + 1;
+  const uint64_t n1 = 3 - 1;
+  auto count = [&](net::MsgType t) {
+    return stats.fabric.by_type[static_cast<size_t>(t)];
+  };
+  EXPECT_EQ(count(net::MsgType::kEndOfQueuesAtNode), nops * n1);
+  EXPECT_EQ(count(net::MsgType::kDrainConfirm), nops * 2 * n1);
+  EXPECT_EQ(count(net::MsgType::kOpTerminated), nops * n1);
+}
+
+TEST(Cluster, NoLeftoverPendingAfterExecution) {
+  ChainFixture fx(2, 2, 10000, 300);
+  ClusterExecutor exec(Opts(2, 2));
+  ClusterStats stats;
+  auto got = exec.Execute(fx.query, &stats);
+  ASSERT_TRUE(got.ok());
+  // Busy totals must cover every morsel and every data activation that
+  // was produced (conservation of work: nothing lost, nothing dropped).
+  uint64_t busy = 0;
+  for (uint64_t b : stats.busy_per_node) busy += b;
+  EXPECT_GT(busy, 0u);
+}
+
+// --------------------------------------------------------- sweeps --------
+
+class ClusterSweep
+    : public ::testing::TestWithParam<
+          std::tuple<LocalStrategy, uint32_t, uint32_t, double>> {};
+
+TEST_P(ClusterSweep, MatchesReference) {
+  auto [strategy, nodes, threads, skew] = GetParam();
+  ChainFixture fx(nodes, 2, 12000, 250, skew,
+                  /*seed=*/nodes * 1000 + threads * 10 +
+                      static_cast<uint64_t>(skew * 10));
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  ClusterExecutor exec(Opts(nodes, threads, strategy));
+  auto got = exec.Execute(fx.query);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterSweep,
+    ::testing::Combine(::testing::Values(LocalStrategy::kDP,
+                                         LocalStrategy::kFP),
+                       ::testing::Values<uint32_t>(1, 2, 4),
+                       ::testing::Values<uint32_t>(1, 3),
+                       ::testing::Values(0.0, 0.8)));
+
+}  // namespace
+}  // namespace hierdb::cluster

@@ -1,0 +1,158 @@
+// Unit tests for the common utilities: Status/Result, deterministic RNG,
+// Zipf apportionment/sampling, units, statistics.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "common/zipf.h"
+
+namespace hierdb {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> v(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 7);
+  Result<int> e(Status::NotFound("x"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(4);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+class ZipfApportionSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t, double>> {
+};
+
+TEST_P(ZipfApportionSweep, SumsExactlyToTotal) {
+  auto [total, buckets, theta] = GetParam();
+  auto sizes = ZipfApportion(total, buckets, theta);
+  uint64_t sum = std::accumulate(sizes.begin(), sizes.end(), uint64_t{0});
+  EXPECT_EQ(sum, total);
+  EXPECT_EQ(sizes.size(), buckets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfApportionSweep,
+    ::testing::Combine(::testing::Values<uint64_t>(0, 1, 100, 999999),
+                       ::testing::Values<uint32_t>(1, 7, 64, 512),
+                       ::testing::Values(0.0, 0.5, 0.86, 1.0)));
+
+TEST(ZipfApportion, ZeroThetaIsEven) {
+  auto sizes = ZipfApportion(1000, 10, 0.0);
+  for (uint64_t s : sizes) EXPECT_EQ(s, 100u);
+}
+
+TEST(ZipfApportion, HighThetaIsSkewed) {
+  auto sizes = ZipfApportion(100000, 100, 1.0);
+  // Rank-1 bucket should hold many times the mean.
+  EXPECT_GT(sizes[0], 5000u);
+  // Monotone non-increasing without a shuffle.
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], sizes[i - 1] + 1);  // +1 for remainder rounding
+  }
+}
+
+TEST(ZipfApportion, ShuffleKeepsSum) {
+  Rng rng(3);
+  auto sizes = ZipfApportion(12345, 37, 0.7, &rng);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), uint64_t{0}),
+            12345u);
+}
+
+TEST(ZipfSampler, InRangeAndSkewed) {
+  Rng rng(8);
+  ZipfSampler s(1000, 0.9);
+  std::vector<uint32_t> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    uint32_t v = s.Sample(&rng);
+    ASSERT_LT(v, 1000u);
+    ++counts[v];
+  }
+  EXPECT_GT(counts[0], counts[500] * 5);
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniformish) {
+  Rng rng(8);
+  ZipfSampler s(10, 0.0);
+  std::vector<uint32_t> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[s.Sample(&rng)];
+  for (uint32_t c : counts) EXPECT_NEAR(c, 10000, 800);
+}
+
+TEST(Units, InstrToTime) {
+  // 40 MIPS => 25 ns per instruction.
+  EXPECT_EQ(InstrToTime(1.0, 40.0), 25);
+  EXPECT_EQ(InstrToTime(1e6, 40.0), 25 * 1000000);
+  EXPECT_DOUBLE_EQ(ToMillis(kSecond), 1000.0);
+}
+
+TEST(Stats, RunningStat) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, MeanGeoMeanPercentile) {
+  std::vector<double> xs = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(Mean(xs), 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(GeoMean(xs), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 2.0);
+}
+
+}  // namespace
+}  // namespace hierdb

@@ -1,0 +1,211 @@
+// Unit tests for the execution-engine building blocks: activation queues,
+// emission ledgers, compiled plans.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/zipf.h"
+#include "exec/compiled_plan.h"
+#include "exec/ledger.h"
+#include "exec/queue.h"
+#include "tests/test_util.h"
+
+namespace hierdb::exec {
+namespace {
+
+TEST(ActivationQueue, FifoAndAccounting) {
+  ActivationQueue q(3, 0, 1, 4);
+  EXPECT_TRUE(q.Empty());
+  for (uint64_t i = 0; i < 4; ++i) {
+    Activation a;
+    a.op = 3;
+    a.tuples = i + 1;
+    q.Push(a);
+  }
+  EXPECT_TRUE(q.Full());
+  EXPECT_EQ(q.backlog_tuples(), 10u);
+  EXPECT_EQ(q.Pop().tuples, 1u);
+  EXPECT_FALSE(q.Full());
+  EXPECT_EQ(q.backlog_tuples(), 9u);
+  EXPECT_EQ(q.peak_size(), 4u);
+  EXPECT_EQ(q.total_enqueued(), 4u);
+}
+
+TEST(ActivationQueue, PushFrontTakesPrecedence) {
+  ActivationQueue q(0, 0, 0, 8);
+  Activation a;
+  a.tuples = 1;
+  q.Push(a);
+  a.tuples = 2;
+  q.PushFront(a);
+  EXPECT_EQ(q.Pop().tuples, 2u);
+  EXPECT_EQ(q.Pop().tuples, 1u);
+}
+
+TEST(ActivationQueue, TakeAllDrains) {
+  ActivationQueue q(0, 0, 0, 8);
+  for (int i = 0; i < 5; ++i) {
+    Activation a;
+    a.tuples = 10;
+    q.Push(a);
+  }
+  auto all = q.TakeAll();
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.backlog_tuples(), 0u);
+}
+
+TEST(EmissionLedger, ExactConservation) {
+  std::vector<uint64_t> shares = {10, 20, 30, 40};
+  EmissionLedger ledger(50, shares);
+  uint64_t emitted = 0;
+  std::vector<uint64_t> per_bucket(4, 0);
+  for (int i = 0; i < 50; ++i) {
+    for (auto [b, n] : ledger.Emit(1)) {
+      emitted += n;
+      per_bucket[b] += n;
+    }
+  }
+  EXPECT_EQ(emitted, 100u);
+  EXPECT_EQ(per_bucket, shares);
+  EXPECT_TRUE(ledger.Exhausted());
+}
+
+TEST(EmissionLedger, ProportionalProgress) {
+  std::vector<uint64_t> shares(16, 1000);
+  EmissionLedger ledger(1000, shares);
+  auto first = ledger.Emit(500);
+  uint64_t half = 0;
+  for (auto [b, n] : first) half += n;
+  EXPECT_NEAR(static_cast<double>(half), 8000.0, 16.0);
+}
+
+TEST(EmissionLedger, ZeroOutput) {
+  EmissionLedger ledger(10, std::vector<uint64_t>{0, 0});
+  EXPECT_TRUE(ledger.Emit(10).empty());
+  EXPECT_EQ(ledger.output_total(), 0u);
+}
+
+class LedgerSweep : public ::testing::TestWithParam<
+                        std::tuple<uint64_t, uint64_t, uint32_t, double>> {};
+
+TEST_P(LedgerSweep, ConservesUnderArbitraryChunking) {
+  auto [input, output, buckets, theta] = GetParam();
+  std::vector<uint64_t> shares = ZipfApportion(output, buckets, theta);
+  EmissionLedger ledger(input, shares);
+  Rng rng(99);
+  uint64_t seen = 0, emitted = 0;
+  while (seen < input) {
+    uint64_t chunk = 1 + rng.NextBounded(std::min<uint64_t>(257, input - seen));
+    for (auto [b, n] : ledger.Emit(chunk)) emitted += n;
+    seen += chunk;
+  }
+  EXPECT_EQ(emitted, output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LedgerSweep,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 100, 10000),
+                       ::testing::Values<uint64_t>(0, 1, 999, 50000),
+                       ::testing::Values<uint32_t>(1, 16, 512),
+                       ::testing::Values(0.0, 0.9)));
+
+TEST(CompiledPlan, IntegerCardsFollowDataflow) {
+  auto q = test::MakeFig2Query(1000);
+  sim::SystemConfig cfg = test::SmallConfig(2, 2);
+  Rng rng(1);
+  CompiledPlan cp(q.plan, q.catalog, cfg, 0.0, &rng);
+  for (OpId o = 0; o < cp.num_ops(); ++o) {
+    const CompiledOp& cop = cp.op(o);
+    if (cop.def.IsScan()) {
+      EXPECT_EQ(cop.in_tuples,
+                q.catalog.relation(cop.def.rel).cardinality);
+      EXPECT_EQ(cop.out_tuples, cop.in_tuples);
+    } else {
+      EXPECT_EQ(cop.in_tuples, cp.op(cop.def.input).out_tuples);
+    }
+    if (cop.def.IsBuild()) EXPECT_EQ(cop.out_tuples, 0u);
+  }
+}
+
+TEST(CompiledPlan, SharesSumToInputTuples) {
+  auto q = test::MakeFig2Query(1000);
+  sim::SystemConfig cfg = test::SmallConfig(2, 2);
+  for (double theta : {0.0, 0.8}) {
+    Rng rng(1);
+    CompiledPlan cp(q.plan, q.catalog, cfg, theta, &rng);
+    for (OpId o = 0; o < cp.num_ops(); ++o) {
+      const CompiledOp& cop = cp.op(o);
+      if (cop.in_shares.empty()) continue;
+      uint64_t sum = std::accumulate(cop.in_shares.begin(),
+                                     cop.in_shares.end(), uint64_t{0});
+      EXPECT_EQ(sum, cop.in_tuples) << cop.def.label;
+    }
+  }
+}
+
+TEST(CompiledPlan, TriggersCoverRelationExactly) {
+  auto q = test::MakeFig2Query(997);  // deliberately not page-aligned
+  sim::SystemConfig cfg = test::SmallConfig(3, 2);
+  Rng rng(1);
+  CompiledPlan cp(q.plan, q.catalog, cfg, 0.5, &rng);
+  for (OpId o = 0; o < cp.num_ops(); ++o) {
+    const CompiledOp& cop = cp.op(o);
+    if (!cop.def.IsScan()) continue;
+    uint64_t total = 0;
+    for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+      const NodeTriggers& nt = cp.TriggersFor(o, n);
+      EXPECT_EQ(nt.triggers.size(), nt.queue_slot.size());
+      for (const Activation& a : nt.triggers) {
+        EXPECT_TRUE(a.IsTrigger());
+        EXPECT_GT(a.pages, 0u);
+        total += a.tuples;
+      }
+    }
+    EXPECT_EQ(total, cop.in_tuples);
+  }
+}
+
+TEST(CompiledPlan, BucketMapsAreStable) {
+  auto q = test::MakeFig2Query(1000);
+  sim::SystemConfig cfg = test::SmallConfig(4, 4);
+  Rng rng(1);
+  CompiledPlan cp(q.plan, q.catalog, cfg, 0.0, &rng);
+  for (uint32_t b = 0; b < cfg.buckets_per_operator; ++b) {
+    EXPECT_LT(cp.NodeOfBucket(b), cfg.num_nodes);
+    EXPECT_LT(cp.SlotOfBucket(b, 4), 4u);
+  }
+}
+
+TEST(CompiledPlan, EstimateCostsPositiveAndScaleWithFactors) {
+  auto q = test::MakeFig2Query(1000);
+  sim::SystemConfig cfg = test::SmallConfig(1, 4);
+  Rng rng(1);
+  CompiledPlan cp(q.plan, q.catalog, cfg, 0.0, &rng);
+  auto base = cp.EstimateOpCosts({});
+  for (double c : base) EXPECT_GT(c, 0.0);
+  std::vector<double> factors(cp.num_ops(), 2.0);
+  auto doubled = cp.EstimateOpCosts(factors);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_GT(doubled[i], base[i]);
+  }
+}
+
+TEST(CompiledPlan, SpChainsMirrorPlanChains) {
+  auto q = test::MakeFig2Query(1000);
+  sim::SystemConfig cfg = test::SmallConfig(1, 4);
+  Rng rng(1);
+  CompiledPlan cp(q.plan, q.catalog, cfg, 0.0, &rng);
+  ASSERT_EQ(cp.sp_chains().size(), q.plan.chains.size());
+  for (const SpChain& sc : cp.sp_chains()) {
+    EXPECT_EQ(sc.stages.size(), q.plan.chains[sc.chain_id].ops.size());
+    EXPECT_EQ(sc.scan, q.plan.chains[sc.chain_id].ops[0]);
+    for (const SpStage& st : sc.stages) {
+      EXPECT_GT(st.instr_per_tuple, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hierdb::exec

@@ -1,0 +1,144 @@
+// Real multithreaded executor: correctness against the single-threaded
+// reference, across thread counts, skew, fragmentation and granularity
+// (property-style parameter sweeps).
+
+#include <gtest/gtest.h>
+
+#include "mt/executor.h"
+#include "mt/hash_table.h"
+#include "mt/tuple.h"
+
+namespace hierdb::mt {
+namespace {
+
+TEST(HashTable, InsertAndMatch) {
+  HashTable ht;
+  ht.Insert({42, 1});
+  ht.Insert({42, 2});
+  ht.Insert({7, 3});
+  EXPECT_EQ(ht.MatchCount(42), 2u);
+  EXPECT_EQ(ht.MatchCount(7), 1u);
+  EXPECT_EQ(ht.MatchCount(100), 0u);
+  EXPECT_EQ(ht.size(), 3u);
+}
+
+TEST(HashTable, RehashPreservesEntries) {
+  HashTable ht(4);
+  for (int64_t k = 0; k < 1000; ++k) ht.Insert({k % 100, k});
+  for (int64_t k = 0; k < 100; ++k) EXPECT_EQ(ht.MatchCount(k), 10u);
+}
+
+TEST(RelationGen, Deterministic) {
+  auto a = MakeUniformRelation(1000, 100, 7);
+  auto b = MakeUniformRelation(1000, 100, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+  }
+}
+
+TEST(RelationGen, ZipfIsSkewed) {
+  auto r = MakeZipfRelation(100000, 1000, 0.99, 7);
+  std::vector<uint64_t> counts(1000, 0);
+  for (const auto& t : r) ++counts[t.key];
+  uint64_t max_count = *std::max_element(counts.begin(), counts.end());
+  // The hottest key should be far above the uniform expectation (100).
+  EXPECT_GT(max_count, 1000u);
+}
+
+TEST(ReferenceJoin, TinyHandComputed) {
+  Relation fact = {{1, 0}, {2, 1}, {1, 2}};
+  Relation dim = {{1, 10}, {3, 11}};
+  JoinResult r = ReferenceStarJoin(fact, {&dim});
+  EXPECT_EQ(r.count, 2u);  // two fact tuples with key 1 match once each
+}
+
+TEST(StarJoinExecutor, MatchesReferenceSingleDim) {
+  auto fact = MakeUniformRelation(50000, 5000, 1);
+  auto dim = MakeUniformRelation(8000, 5000, 2);
+  ExecutorOptions opts;
+  opts.threads = 4;
+  StarJoinExecutor ex(opts);
+  auto got = ex.Execute(fact, {&dim});
+  ASSERT_TRUE(got.ok());
+  JoinResult want = ReferenceStarJoin(fact, {&dim});
+  EXPECT_EQ(got.value().count, want.count);
+  EXPECT_EQ(got.value().checksum, want.checksum);
+}
+
+TEST(StarJoinExecutor, MatchesReferenceMultiDim) {
+  auto fact = MakeUniformRelation(40000, 2000, 1);
+  auto d1 = MakeUniformRelation(3000, 2000, 2);
+  auto d2 = MakeUniformRelation(2500, 2000, 3);
+  auto d3 = MakeUniformRelation(1000, 2000, 4);
+  ExecutorOptions opts;
+  opts.threads = 8;
+  StarJoinExecutor ex(opts);
+  auto got = ex.Execute(fact, {&d1, &d2, &d3});
+  ASSERT_TRUE(got.ok());
+  JoinResult want = ReferenceStarJoin(fact, {&d1, &d2, &d3});
+  EXPECT_EQ(got.value().count, want.count);
+  EXPECT_EQ(got.value().checksum, want.checksum);
+}
+
+TEST(StarJoinExecutor, EmptyInputs) {
+  Relation fact, dim;
+  ExecutorOptions opts;
+  opts.threads = 2;
+  StarJoinExecutor ex(opts);
+  auto got = ex.Execute(fact, {&dim});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().count, 0u);
+}
+
+TEST(StarJoinExecutor, NoDims) {
+  auto fact = MakeUniformRelation(1000, 100, 1);
+  ExecutorOptions opts;
+  opts.threads = 2;
+  StarJoinExecutor ex(opts);
+  auto got = ex.Execute(fact, {});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().count, fact.size());
+}
+
+struct SweepParam {
+  uint32_t threads;
+  uint32_t buckets;
+  uint32_t batch;
+  double theta;
+};
+
+class ExecutorSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ExecutorSweep, MatchesReferenceUnderSkewAndGranularity) {
+  const SweepParam p = GetParam();
+  auto fact = MakeZipfRelation(30000, 1500, p.theta, 11);
+  auto d1 = MakeZipfRelation(4000, 1500, p.theta, 12);
+  auto d2 = MakeUniformRelation(2000, 1500, 13);
+  ExecutorOptions opts;
+  opts.threads = p.threads;
+  opts.buckets = p.buckets;
+  opts.batch_tuples = p.batch;
+  StarJoinExecutor ex(opts);
+  ExecutorStats stats;
+  auto got = ex.Execute(fact, {&d1, &d2}, &stats);
+  ASSERT_TRUE(got.ok());
+  JoinResult want = ReferenceStarJoin(fact, {&d1, &d2});
+  EXPECT_EQ(got.value().count, want.count);
+  EXPECT_EQ(got.value().checksum, want.checksum);
+  EXPECT_GT(stats.activations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecutorSweep,
+    ::testing::Values(SweepParam{1, 64, 256, 0.0},
+                      SweepParam{2, 64, 256, 0.0},
+                      SweepParam{4, 256, 512, 0.0},
+                      SweepParam{8, 256, 512, 0.0},
+                      SweepParam{4, 16, 128, 0.5},
+                      SweepParam{4, 256, 64, 0.9},
+                      SweepParam{8, 1024, 1024, 0.9},
+                      SweepParam{3, 7, 33, 0.7}));
+
+}  // namespace
+}  // namespace hierdb::mt

@@ -1,0 +1,261 @@
+// Tests for the message substrate: codecs, mailboxes, the fabric's
+// routing/accounting, and concurrent producer/consumer behaviour.
+
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "net/fabric.h"
+#include "net/message.h"
+
+namespace hierdb::net {
+namespace {
+
+std::vector<mt::Tuple> SomeTuples(int n, int64_t base = 0) {
+  std::vector<mt::Tuple> v;
+  for (int i = 0; i < n; ++i) v.push_back({base + i, base - i});
+  return v;
+}
+
+// ----------------------------------------------------------- codecs ------
+
+TEST(Codec, PrimitivesRoundTrip) {
+  std::vector<uint8_t> buf;
+  PutU32(&buf, 0xdeadbeef);
+  PutU64(&buf, 0x0123456789abcdefULL);
+  PutI64(&buf, -42);
+  Reader r(buf);
+  uint32_t a;
+  uint64_t b;
+  int64_t c;
+  ASSERT_TRUE(r.GetU32(&a));
+  ASSERT_TRUE(r.GetU64(&b));
+  ASSERT_TRUE(r.GetI64(&c));
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_EQ(c, -42);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, ReaderUnderflowReturnsFalse) {
+  std::vector<uint8_t> buf = {1, 2, 3};
+  Reader r(buf);
+  uint32_t v;
+  EXPECT_FALSE(r.GetU32(&v));
+}
+
+TEST(Codec, TuplesRoundTrip) {
+  auto tuples = SomeTuples(100, -50);
+  auto decoded = DecodeTuples(EncodeTuples(tuples));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i].key, tuples[i].key);
+    EXPECT_EQ(decoded.value()[i].payload, tuples[i].payload);
+  }
+}
+
+TEST(Codec, EmptyTupleBatchRoundTrips) {
+  auto decoded = DecodeTuples(EncodeTuples({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(Codec, TruncatedTuplesRejected) {
+  auto buf = EncodeTuples(SomeTuples(3));
+  buf.resize(buf.size() - 1);
+  EXPECT_FALSE(DecodeTuples(buf).ok());
+}
+
+TEST(Codec, TrailingBytesRejected) {
+  auto buf = EncodeTuples(SomeTuples(3));
+  buf.push_back(0);
+  EXPECT_FALSE(DecodeTuples(buf).ok());
+}
+
+TEST(Codec, FragmentRoundTrip) {
+  TableFragment frag;
+  frag.op = 5;
+  frag.bucket = 77;
+  frag.build_tuples = SomeTuples(10, 1000);
+  auto decoded = DecodeFragment(EncodeFragment(frag));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().op, 5u);
+  EXPECT_EQ(decoded.value().bucket, 77u);
+  EXPECT_EQ(decoded.value().build_tuples.size(), 10u);
+  EXPECT_EQ(decoded.value().build_tuples[9].key, 1009);
+}
+
+TEST(Codec, WorkBundleRoundTrip) {
+  WorkBundle work;
+  work.fragment.op = 3;
+  work.fragment.bucket = 9;
+  work.fragment.build_tuples = SomeTuples(4);
+  work.probe_batches.push_back(SomeTuples(2, 100));
+  work.probe_batches.push_back({});
+  work.probe_batches.push_back(SomeTuples(5, 200));
+  auto decoded = DecodeWork(EncodeWork(work));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().fragment.bucket, 9u);
+  ASSERT_EQ(decoded.value().probe_batches.size(), 3u);
+  EXPECT_EQ(decoded.value().probe_batches[0].size(), 2u);
+  EXPECT_TRUE(decoded.value().probe_batches[1].empty());
+  EXPECT_EQ(decoded.value().probe_batches[2][4].key, 204);
+}
+
+TEST(Codec, CorruptedWorkBundleRejected) {
+  WorkBundle work;
+  work.fragment.build_tuples = SomeTuples(2);
+  work.probe_batches.push_back(SomeTuples(2));
+  auto buf = EncodeWork(work);
+  buf.resize(buf.size() / 2);
+  EXPECT_FALSE(DecodeWork(buf).ok());
+}
+
+TEST(Codec, MsgTypeNamesAreDistinct) {
+  EXPECT_STREQ(MsgTypeName(MsgType::kStarving), "Starving");
+  EXPECT_STREQ(MsgTypeName(MsgType::kWork), "Work");
+  EXPECT_STREQ(MsgTypeName(MsgType::kOpTerminated), "OpTerminated");
+}
+
+// ----------------------------------------------------------- mailbox -----
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox mb;
+  for (uint32_t i = 0; i < 5; ++i) {
+    Message m;
+    m.type = MsgType::kStarving;
+    m.arg = i;
+    mb.Push(std::move(m));
+  }
+  Message out;
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(mb.TryPop(&out));
+    EXPECT_EQ(out.arg, i);
+  }
+  EXPECT_FALSE(mb.TryPop(&out));
+}
+
+TEST(Mailbox, PopBlocksUntilPush) {
+  Mailbox mb;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Message m;
+    m.type = MsgType::kOffer;
+    m.arg = 123;
+    mb.Push(std::move(m));
+  });
+  Message out;
+  ASSERT_TRUE(mb.Pop(&out));
+  EXPECT_EQ(out.arg, 123u);
+  producer.join();
+}
+
+TEST(Mailbox, CloseDrainsThenReturnsFalse) {
+  Mailbox mb;
+  Message m;
+  m.arg = 1;
+  mb.Push(std::move(m));
+  mb.Close();
+  Message out;
+  EXPECT_TRUE(mb.Pop(&out));
+  EXPECT_FALSE(mb.Pop(&out));
+}
+
+TEST(Mailbox, CloseWakesBlockedReceiver) {
+  Mailbox mb;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    mb.Close();
+  });
+  Message out;
+  EXPECT_FALSE(mb.Pop(&out));
+  closer.join();
+}
+
+// ------------------------------------------------------------ fabric -----
+
+TEST(Fabric, RoutesToDestination) {
+  Fabric fabric({.nodes = 3});
+  Message m;
+  m.type = MsgType::kStarving;
+  m.arg = 42;
+  ASSERT_TRUE(fabric.Send(0, 2, std::move(m)).ok());
+  Message out;
+  ASSERT_TRUE(fabric.mailbox(2).TryPop(&out));
+  EXPECT_EQ(out.from, 0u);
+  EXPECT_EQ(out.arg, 42u);
+  EXPECT_EQ(fabric.mailbox(1).ApproxSize(), 0u);
+}
+
+TEST(Fabric, RejectsSelfSend) {
+  Fabric fabric({.nodes = 2});
+  EXPECT_FALSE(fabric.Send(1, 1, Message{}).ok());
+}
+
+TEST(Fabric, RejectsOutOfRangeNodes) {
+  Fabric fabric({.nodes = 2});
+  EXPECT_FALSE(fabric.Send(0, 5, Message{}).ok());
+  EXPECT_FALSE(fabric.Send(5, 0, Message{}).ok());
+}
+
+TEST(Fabric, BroadcastReachesAllOthers) {
+  Fabric fabric({.nodes = 4});
+  Message m;
+  m.type = MsgType::kStarving;
+  ASSERT_TRUE(fabric.Broadcast(1, m).ok());
+  EXPECT_EQ(fabric.mailbox(0).ApproxSize(), 1u);
+  EXPECT_EQ(fabric.mailbox(1).ApproxSize(), 0u);
+  EXPECT_EQ(fabric.mailbox(2).ApproxSize(), 1u);
+  EXPECT_EQ(fabric.mailbox(3).ApproxSize(), 1u);
+  EXPECT_EQ(fabric.stats().messages, 3u);
+}
+
+TEST(Fabric, AccountsBytesAndTypes) {
+  Fabric fabric({.nodes = 2});
+  Message m;
+  m.type = MsgType::kWork;
+  m.payload = EncodeTuples(SomeTuples(10));
+  uint64_t expected = m.wire_bytes();
+  ASSERT_TRUE(fabric.Send(0, 1, std::move(m)).ok());
+  auto s = fabric.stats();
+  EXPECT_EQ(s.messages, 1u);
+  EXPECT_EQ(s.bytes, expected);
+  EXPECT_EQ(s.by_type[static_cast<size_t>(MsgType::kWork)], 1u);
+  EXPECT_EQ(s.by_type[static_cast<size_t>(MsgType::kStarving)], 0u);
+}
+
+TEST(Fabric, ConcurrentSendersAllDelivered) {
+  Fabric fabric({.nodes = 4});
+  constexpr int kPerSender = 500;
+  std::vector<std::thread> senders;
+  for (uint32_t from = 1; from < 4; ++from) {
+    senders.emplace_back([&, from] {
+      for (int i = 0; i < kPerSender; ++i) {
+        Message m;
+        m.type = MsgType::kTupleBatch;
+        m.arg = from * 10000 + i;
+        ASSERT_TRUE(fabric.Send(from, 0, std::move(m)).ok());
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  uint64_t received = 0;
+  Message out;
+  while (fabric.mailbox(0).TryPop(&out)) ++received;
+  EXPECT_EQ(received, 3u * kPerSender);
+  EXPECT_EQ(fabric.stats().messages, 3u * kPerSender);
+}
+
+TEST(Fabric, CloseAllWakesReceivers) {
+  Fabric fabric({.nodes = 2});
+  std::thread receiver([&] {
+    Message out;
+    EXPECT_FALSE(fabric.mailbox(1).Pop(&out));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  fabric.CloseAll();
+  receiver.join();
+}
+
+}  // namespace
+}  // namespace hierdb::net

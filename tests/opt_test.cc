@@ -1,0 +1,175 @@
+// Unit tests for the optimizer layer: query generation methodology, bushy
+// enumeration, workload assembly and the cost-error distortion helper.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "opt/bushy_optimizer.h"
+#include "opt/query_gen.h"
+#include "opt/workload.h"
+
+namespace hierdb::opt {
+namespace {
+
+TEST(QueryGen, DeterministicPerSeed) {
+  QueryGenOptions o;
+  o.num_relations = 8;
+  GeneratedQuery a = QueryGenerator(o, 5).Generate();
+  GeneratedQuery b = QueryGenerator(o, 5).Generate();
+  ASSERT_EQ(a.catalog.size(), b.catalog.size());
+  for (uint32_t i = 0; i < a.catalog.size(); ++i) {
+    EXPECT_EQ(a.catalog.relation(i).cardinality,
+              b.catalog.relation(i).cardinality);
+  }
+  ASSERT_EQ(a.graph.edges().size(), b.graph.edges().size());
+}
+
+TEST(QueryGen, GraphIsAcyclicConnectedTree) {
+  QueryGenOptions o;
+  o.num_relations = 12;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    GeneratedQuery q = QueryGenerator(o, seed).Generate();
+    EXPECT_TRUE(q.graph.Validate().ok());
+    EXPECT_EQ(q.graph.edges().size(), 11u);
+  }
+}
+
+TEST(QueryGen, CardinalitiesInClassRanges) {
+  QueryGenOptions o;
+  o.num_relations = 12;
+  catalog::SizeRanges r;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    GeneratedQuery q = QueryGenerator(o, seed).Generate();
+    for (const auto& rel : q.catalog.relations()) {
+      bool in_class = (rel.cardinality >= r.small_lo &&
+                       rel.cardinality <= r.small_hi) ||
+                      (rel.cardinality >= r.medium_lo &&
+                       rel.cardinality <= r.medium_hi) ||
+                      (rel.cardinality >= r.large_lo &&
+                       rel.cardinality <= r.large_hi);
+      EXPECT_TRUE(in_class) << rel.cardinality;
+    }
+  }
+}
+
+TEST(QueryGen, SelectivityYieldsResultNearLargerInput) {
+  // sel in [0.5,1.5]*max/(|R|*|S|) => |R join S| in [0.5,1.5]*max(|R|,|S|).
+  QueryGenOptions o;
+  o.num_relations = 6;
+  GeneratedQuery q = QueryGenerator(o, 3).Generate();
+  for (const auto& e : q.graph.edges()) {
+    double ca = static_cast<double>(q.catalog.relation(e.a).cardinality);
+    double cb = static_cast<double>(q.catalog.relation(e.b).cardinality);
+    double result = ca * cb * e.selectivity;
+    EXPECT_GE(result, 0.49 * std::max(ca, cb));
+    EXPECT_LE(result, 1.51 * std::max(ca, cb));
+  }
+}
+
+TEST(BushyOptimizer, BestPlanCoversAllRelations) {
+  QueryGenOptions o;
+  o.num_relations = 10;
+  GeneratedQuery q = QueryGenerator(o, 17).Generate();
+  BushyOptimizer optz;
+  plan::JoinTree t = optz.Best(q.graph, q.catalog);
+  EXPECT_EQ(t.num_joins(), 9u);
+  EXPECT_EQ(t.nodes[t.root].rels, (plan::RelSet{1} << 10) - 1);
+}
+
+TEST(BushyOptimizer, TopKOrderedByCost) {
+  QueryGenOptions o;
+  o.num_relations = 8;
+  GeneratedQuery q = QueryGenerator(o, 21).Generate();
+  BushyOptimizer optz;
+  auto trees = optz.TopK(q.graph, q.catalog, 3);
+  ASSERT_GE(trees.size(), 2u);
+  for (size_t i = 1; i < trees.size(); ++i) {
+    EXPECT_LE(trees[i - 1].cost, trees[i].cost);
+  }
+}
+
+TEST(BushyOptimizer, BestBeatsLeftDeepChain) {
+  // On a chain graph with mixed sizes the DP optimum must be at least as
+  // good as the canonical left-deep order.
+  catalog::Catalog cat;
+  cat.AddRelation("A", 1000);
+  cat.AddRelation("B", 100000);
+  cat.AddRelation("C", 500);
+  cat.AddRelation("D", 200000);
+  std::vector<plan::JoinEdge> edges;
+  for (uint32_t i = 1; i < 4; ++i) {
+    double ca = static_cast<double>(cat.relation(i - 1).cardinality);
+    double cb = static_cast<double>(cat.relation(i).cardinality);
+    edges.push_back({i - 1, i, std::max(ca, cb) / (ca * cb)});
+  }
+  plan::JoinGraph g(4, edges);
+  BushyOptimizer optz;
+  plan::JoinTree best = optz.Best(g, cat);
+  EXPECT_GT(best.cost, 0.0);
+  // Sanity: every inner node's cardinality is positive.
+  for (const auto& n : best.nodes) {
+    if (!n.IsLeaf()) EXPECT_GT(n.card, 0.0);
+  }
+}
+
+TEST(Workload, ProducesRequestedPlansAndValidates) {
+  WorkloadOptions wo;
+  wo.num_queries = 4;
+  wo.trees_per_query = 2;
+  wo.query.num_relations = 8;
+  wo.query.scale = 0.1;
+  auto plans = MakeWorkload(wo);
+  EXPECT_EQ(plans.size(), 8u);
+  for (const auto& wp : plans) {
+    EXPECT_TRUE(wp.plan.Validate().ok());
+  }
+}
+
+TEST(Workload, SequentialTimeFilterLandsInBand) {
+  WorkloadOptions wo;
+  wo.num_queries = 5;
+  wo.trees_per_query = 1;
+  wo.query.num_relations = 12;
+  wo.query.scale = 0.1;
+  auto plans = MakeWorkload(wo);
+  const double lo = wo.min_seq_seconds * wo.query.scale;
+  const double hi = wo.max_seq_seconds * wo.query.scale;
+  uint32_t in_band = 0;
+  for (const auto& wp : plans) {
+    double est = EstimateSequentialSeconds(wp.catalog, wp.plan);
+    if (est >= lo && est <= hi) ++in_band;
+  }
+  // Most plans must land in the band (closest-miss acceptance allows few
+  // outliers).
+  EXPECT_GE(in_band, plans.size() - 1);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadOptions wo;
+  wo.num_queries = 2;
+  wo.query.num_relations = 8;
+  wo.query.scale = 0.1;
+  auto a = MakeWorkload(wo);
+  auto b = MakeWorkload(wo);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].plan.ToString(), b[i].plan.ToString());
+  }
+}
+
+TEST(Workload, DistortCardinalitiesWithinBand) {
+  catalog::Catalog cat;
+  cat.AddRelation("A", 10000);
+  cat.AddRelation("B", 20000);
+  Rng rng(5);
+  auto d = DistortCardinalities(cat, 0.3, &rng);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_GE(d[0], 7000.0);
+  EXPECT_LE(d[0], 13000.0);
+  EXPECT_GE(d[1], 14000.0);
+  EXPECT_LE(d[1], 26000.0);
+}
+
+}  // namespace
+}  // namespace hierdb::opt

@@ -1,0 +1,153 @@
+// Unit tests for join graphs, trees, macro-expansion, pipeline chains and
+// scheduling constraints (Figure 2 structure).
+
+#include <gtest/gtest.h>
+
+#include "plan/join_graph.h"
+#include "plan/operator_tree.h"
+#include "tests/test_util.h"
+
+namespace hierdb::plan {
+namespace {
+
+JoinGraph ChainGraph(uint32_t n) {
+  std::vector<JoinEdge> edges;
+  for (uint32_t i = 1; i < n; ++i) {
+    edges.push_back({i - 1, i, 0.001});
+  }
+  return JoinGraph(n, std::move(edges));
+}
+
+TEST(JoinGraph, ValidateAcceptsTree) {
+  EXPECT_TRUE(ChainGraph(5).Validate().ok());
+}
+
+TEST(JoinGraph, ValidateRejectsDisconnected) {
+  JoinGraph g(3, {JoinEdge{0, 1, 0.5}, JoinEdge{0, 1, 0.5}});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JoinGraph, ValidateRejectsWrongEdgeCount) {
+  JoinGraph g(3, {JoinEdge{0, 1, 0.5}});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(JoinGraph, ConnectedSubsets) {
+  JoinGraph g = ChainGraph(4);  // 0-1-2-3
+  EXPECT_TRUE(g.Connected(0b0011));
+  EXPECT_TRUE(g.Connected(0b0111));
+  EXPECT_FALSE(g.Connected(0b0101));  // {0, 2} not adjacent
+  EXPECT_FALSE(g.Connected(0));
+}
+
+TEST(JoinGraph, CrossSelectivityAndEdges) {
+  JoinGraph g = ChainGraph(4);
+  EXPECT_TRUE(g.HasCrossEdge(0b0011, 0b0100));   // edge 1-2 crosses
+  EXPECT_FALSE(g.HasCrossEdge(0b0001, 0b0100));  // 0 and 2 not adjacent
+  EXPECT_DOUBLE_EQ(g.CrossSelectivity(0b0011, 0b1100), 0.001);
+}
+
+TEST(MacroExpand, Fig2StructureHolds) {
+  auto q = test::MakeFig2Query();
+  const PhysicalPlan& p = q.plan;
+  ASSERT_TRUE(p.Validate().ok());
+  // 4 relations: 4 scans, 3 builds, 3 probes.
+  EXPECT_EQ(p.num_scans(), 4u);
+  EXPECT_EQ(p.num_joins(), 3u);
+  EXPECT_EQ(p.ops.size(), 10u);
+  EXPECT_EQ(p.chains.size(), 4u);
+  EXPECT_EQ(p.chain_order.size(), 4u);
+}
+
+TEST(MacroExpand, BuildSideIsSmallerInput) {
+  auto q = test::MakeFig2Query();
+  for (const auto& op : q.plan.ops) {
+    if (!op.IsProbe()) continue;
+    const auto& build = q.plan.ops[op.build_op];
+    EXPECT_LE(build.input_card, op.input_card);
+  }
+}
+
+TEST(MacroExpand, HashConstraintsPresent) {
+  auto q = test::MakeFig2Query();
+  uint32_t hash_constraints = 0;
+  for (const auto& c : q.plan.constraints) {
+    if (c.origin == SchedConstraint::Origin::kHash) {
+      EXPECT_TRUE(q.plan.ops[c.before].IsBuild());
+      EXPECT_TRUE(q.plan.ops[c.after].IsProbe());
+      ++hash_constraints;
+    }
+  }
+  EXPECT_EQ(hash_constraints, q.plan.num_joins());
+}
+
+TEST(MacroExpand, Heuristic1BuildsPrecedeDrivingScan) {
+  auto q = test::MakeFig2Query();
+  for (const auto& c : q.plan.constraints) {
+    if (c.origin != SchedConstraint::Origin::kHeuristic1) continue;
+    EXPECT_TRUE(q.plan.ops[c.before].IsBuild());
+    EXPECT_TRUE(q.plan.ops[c.after].IsScan());
+  }
+}
+
+TEST(MacroExpand, Heuristic2SerializesChains) {
+  auto q = test::MakeFig2Query();
+  uint32_t h2 = 0;
+  for (const auto& c : q.plan.constraints) {
+    if (c.origin == SchedConstraint::Origin::kHeuristic2) ++h2;
+  }
+  EXPECT_EQ(h2, q.plan.chains.size() - 1);
+}
+
+TEST(MacroExpand, ChainsStartWithScanAndChainIndexConsistent) {
+  auto q = test::MakeFig2Query();
+  for (const auto& ch : q.plan.chains) {
+    EXPECT_TRUE(q.plan.ops[ch.ops[0]].IsScan());
+    for (OpId o : ch.ops) EXPECT_EQ(q.plan.ops[o].chain, ch.id);
+  }
+}
+
+TEST(MacroExpand, ChainOrderRespectsBuildDependencies) {
+  auto q = test::MakeFig2Query();
+  std::vector<uint32_t> pos(q.plan.chains.size());
+  for (uint32_t i = 0; i < q.plan.chain_order.size(); ++i) {
+    pos[q.plan.chain_order[i]] = i;
+  }
+  for (const auto& ch : q.plan.chains) {
+    OpId last = ch.ops.back();
+    if (q.plan.ops[last].IsBuild()) {
+      uint32_t consumer_chain = q.plan.ops[q.plan.ops[last].probe_op].chain;
+      EXPECT_LT(pos[ch.id], pos[consumer_chain]);
+    }
+  }
+}
+
+TEST(MacroExpand, RelSetsPropagate) {
+  auto q = test::MakeFig2Query();
+  for (const auto& op : q.plan.ops) {
+    if (op.IsScan()) {
+      EXPECT_EQ(op.rels, RelBit(op.rel));
+    } else if (op.IsProbe()) {
+      const auto& build = q.plan.ops[op.build_op];
+      const auto& input = q.plan.ops[op.input];
+      EXPECT_EQ(op.rels, build.rels | input.rels);
+      EXPECT_EQ(build.rels & input.rels, 0u);
+    }
+  }
+  // Root probe covers all relations.
+  for (const auto& op : q.plan.ops) {
+    if (op.IsProbe() && op.consumer == kNoOp) {
+      EXPECT_EQ(op.rels, RelSet{0b1111});
+    }
+  }
+}
+
+TEST(JoinTree, DepthAndJoins) {
+  auto q = test::MakeFig2Query();
+  EXPECT_EQ(q.tree.num_joins(), 3u);
+  EXPECT_GE(q.tree.depth(), 2u);
+  EXPECT_FALSE(q.tree.ToString(q.catalog).empty());
+}
+
+}  // namespace
+}  // namespace hierdb::plan

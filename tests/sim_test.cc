@@ -1,0 +1,132 @@
+// Unit tests for the simulation substrate: event kernel, disks, network.
+
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace hierdb::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(30, [&]() { order.push_back(3); });
+  s.ScheduleAt(10, [&]() { order.push_back(1); });
+  s.ScheduleAt(20, [&]() { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleAt(5, [&order, i]() { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, HandlersMaySchedule) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAt(1, [&]() {
+    ++fired;
+    s.ScheduleAfter(1, [&]() { ++fired; });
+  });
+  s.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.Now(), 2);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAt(10, [&]() { ++fired; });
+  s.ScheduleAt(20, [&]() { ++fired; });
+  s.RunUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.Now(), 15);
+  s.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Disk, ServiceTimeMatchesParameters) {
+  Simulator s;
+  DiskParams p;  // 17ms latency + 5ms seek + transfer at 6MB/s
+  Disk d(&s, p, 8192);
+  SimTime completed = -1;
+  d.SubmitRead(8, [&]() { completed = s.Now(); });
+  s.Run();
+  // 22 ms + 64 KiB / 6 MiB/s ~ 10.4 ms.
+  SimTime expect = p.latency + p.seek_time +
+                   static_cast<SimTime>(8.0 * 8192 /
+                                        p.transfer_bytes_per_sec * 1e9);
+  EXPECT_EQ(completed, expect);
+  EXPECT_EQ(d.pages_read(), 8u);
+}
+
+TEST(Disk, FifoQueueing) {
+  Simulator s;
+  DiskParams p;
+  Disk d(&s, p, 8192);
+  std::vector<int> order;
+  d.SubmitRead(1, [&]() { order.push_back(1); });
+  d.SubmitRead(1, [&]() { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // Second completes one service time after the first.
+  EXPECT_GT(d.busy_time(), 2 * (p.latency + p.seek_time));
+}
+
+TEST(DiskArray, RoundRobinIndexWraps) {
+  Simulator s;
+  DiskParams p;
+  DiskArray arr(&s, p, 8192, 4);
+  EXPECT_EQ(&arr.disk(0), &arr.disk(4));
+  EXPECT_EQ(arr.size(), 4u);
+}
+
+TEST(Network, DelayAndAccounting) {
+  Simulator s;
+  NetworkParams p;
+  Network n(&s, p);
+  SimTime delivered = -1;
+  n.Send(0, 1, 8192, TrafficClass::kPipeline, [&]() { delivered = s.Now(); });
+  s.Run();
+  EXPECT_EQ(delivered, p.end_to_end_delay);
+  EXPECT_EQ(n.stats().messages, 1u);
+  EXPECT_EQ(n.stats().bytes_pipeline, 8192u);
+  EXPECT_EQ(n.stats().bytes_loadbalance, 0u);
+  // CPU costs per the paper's table: 10000 instr per 8K at each end.
+  EXPECT_DOUBLE_EQ(n.SendCpuInstr(8192), 10000.0);
+  EXPECT_DOUBLE_EQ(n.RecvCpuInstr(16384), 20000.0);
+}
+
+TEST(Network, TrafficClassesSeparated) {
+  Simulator s;
+  Network n(&s, NetworkParams{});
+  n.Send(0, 1, 100, TrafficClass::kControl, []() {});
+  n.Send(0, 1, 200, TrafficClass::kLoadBalance, []() {});
+  s.Run();
+  EXPECT_EQ(n.stats().bytes_control, 100u);
+  EXPECT_EQ(n.stats().bytes_loadbalance, 200u);
+  EXPECT_EQ(n.stats().bytes_total, 300u);
+}
+
+TEST(Config, MemoryHierarchyFactor) {
+  SystemConfig cfg;
+  cfg.mips = 40.0;
+  EXPECT_DOUBLE_EQ(cfg.instr_ns(8), 25.0);
+  EXPECT_DOUBLE_EQ(cfg.instr_ns(32), 25.0);
+  EXPECT_GT(cfg.instr_ns(64), 25.0);  // AllCache contention beyond 32
+  cfg.model_memory_hierarchy = false;
+  EXPECT_DOUBLE_EQ(cfg.instr_ns(64), 25.0);
+}
+
+}  // namespace
+}  // namespace hierdb::sim

@@ -1,0 +1,472 @@
+// Tests for the paged storage substrate: slotted pages, partition files,
+// the buffer pool's read-ahead window, and partitioned tables.
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/partition_file.h"
+#include "storage/table.h"
+
+namespace hierdb::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("hierdb_storage_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+mt::Tuple T(int64_t key, int64_t payload) { return {key, payload}; }
+
+// ---------------------------------------------------------------- pages --
+
+TEST(Page, EmptyPageHasZeroTuples) {
+  Page p;
+  p.Reset(7);
+  EXPECT_EQ(p.tuple_count(), 0u);
+  EXPECT_EQ(p.header()->page_id, 7u);
+}
+
+TEST(Page, AppendAndReadBack) {
+  Page p;
+  p.Reset(0);
+  ASSERT_TRUE(p.Append(T(42, 1)));
+  ASSERT_TRUE(p.Append(T(-7, 2)));
+  EXPECT_EQ(p.tuple_count(), 2u);
+  EXPECT_EQ(p.At(0).key, 42);
+  EXPECT_EQ(p.At(1).key, -7);
+  EXPECT_EQ(p.At(1).payload, 2);
+}
+
+TEST(Page, FillsToExactCapacity) {
+  Page p;
+  p.Reset(0);
+  uint32_t n = 0;
+  while (p.Append(T(n, n))) ++n;
+  EXPECT_EQ(n, kTuplesPerPage);
+  EXPECT_EQ(p.tuple_count(), kTuplesPerPage);
+  // All tuples still intact at capacity.
+  EXPECT_EQ(p.At(kTuplesPerPage - 1).key,
+            static_cast<int64_t>(kTuplesPerPage - 1));
+}
+
+TEST(Page, SealThenVerifyOk) {
+  Page p;
+  p.Reset(3);
+  p.Append(T(1, 1));
+  p.Seal();
+  EXPECT_TRUE(p.Verify().ok());
+}
+
+TEST(Page, VerifyDetectsPayloadCorruption) {
+  Page p;
+  p.Reset(3);
+  p.Append(T(1, 1));
+  p.Seal();
+  p.payload()[5] ^= 0xff;
+  EXPECT_FALSE(p.Verify().ok());
+}
+
+TEST(Page, VerifyDetectsBadMagic) {
+  Page p;
+  p.Reset(0);
+  p.Seal();
+  p.header()->magic = 0xdeadbeef;
+  EXPECT_FALSE(p.Verify().ok());
+}
+
+TEST(Page, ChecksumChangesWithContent) {
+  Page a, b;
+  a.Reset(0);
+  b.Reset(0);
+  a.Append(T(1, 1));
+  b.Append(T(1, 2));
+  a.Seal();
+  b.Seal();
+  EXPECT_NE(a.header()->checksum, b.header()->checksum);
+}
+
+// ------------------------------------------------------ partition files --
+
+TEST(PartitionFile, RoundTripSmall) {
+  TempDir dir;
+  std::string path = dir.str() + "/p0.part";
+  PartitionWriter w(path);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(w.Append(T(i, i * 10)).ok());
+  ASSERT_TRUE(w.Finish().ok());
+
+  auto file = PartitionFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file.value()->num_tuples(), 100u);
+  EXPECT_EQ(file.value()->num_pages(), 1u);
+
+  Page p;
+  ASSERT_TRUE(file.value()->ReadPage(0, &p).ok());
+  EXPECT_EQ(p.tuple_count(), 100u);
+  EXPECT_EQ(p.At(99).payload, 990);
+}
+
+TEST(PartitionFile, RoundTripMultiPage) {
+  TempDir dir;
+  std::string path = dir.str() + "/p1.part";
+  const uint64_t n = 3 * kTuplesPerPage + 17;
+  PartitionWriter w(path);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(w.Append(T(static_cast<int64_t>(i), 0)).ok());
+  }
+  ASSERT_TRUE(w.Finish().ok());
+
+  auto file = PartitionFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file.value()->num_tuples(), n);
+  EXPECT_EQ(file.value()->num_pages(), 4u);
+  Page p;
+  ASSERT_TRUE(file.value()->ReadPage(3, &p).ok());
+  EXPECT_EQ(p.tuple_count(), 17u);
+}
+
+TEST(PartitionFile, EmptyFileHasOneEmptyPage) {
+  TempDir dir;
+  std::string path = dir.str() + "/empty.part";
+  PartitionWriter w(path);
+  ASSERT_TRUE(w.Finish().ok());
+  auto file = PartitionFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file.value()->num_tuples(), 0u);
+  EXPECT_EQ(file.value()->num_pages(), 1u);
+}
+
+TEST(PartitionFile, OpenMissingFileFails) {
+  auto file = PartitionFile::Open("/nonexistent/nope.part");
+  EXPECT_FALSE(file.ok());
+}
+
+TEST(PartitionFile, OpenTruncatedFileFails) {
+  TempDir dir;
+  std::string path = dir.str() + "/trunc.part";
+  PartitionWriter w(path);
+  w.Append(T(1, 1)).ok();
+  ASSERT_TRUE(w.Finish().ok());
+  fs::resize_file(path, kPageSize / 2);
+  auto file = PartitionFile::Open(path);
+  EXPECT_FALSE(file.ok());
+}
+
+TEST(PartitionFile, ReadDetectsCorruptedPage) {
+  TempDir dir;
+  std::string path = dir.str() + "/corrupt.part";
+  PartitionWriter w(path);
+  for (int i = 0; i < 10; ++i) w.Append(T(i, i)).ok();
+  ASSERT_TRUE(w.Finish().ok());
+  {
+    // Flip a byte in the middle of page 0's payload.
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, sizeof(PageHeader) + 3, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, sizeof(PageHeader) + 3, SEEK_SET);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+  auto file = PartitionFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  Page p;
+  EXPECT_FALSE(file.value()->ReadPage(0, &p).ok());
+}
+
+TEST(PartitionFile, ReadPastEndFails) {
+  TempDir dir;
+  std::string path = dir.str() + "/small.part";
+  PartitionWriter w(path);
+  w.Append(T(1, 1)).ok();
+  ASSERT_TRUE(w.Finish().ok());
+  auto file = PartitionFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  Page p;
+  EXPECT_FALSE(file.value()->ReadPage(1, &p).ok());
+}
+
+TEST(PartitionFile, AppendAfterFinishFails) {
+  TempDir dir;
+  PartitionWriter w(dir.str() + "/f.part");
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_FALSE(w.Append(T(1, 1)).ok());
+  EXPECT_FALSE(w.Finish().ok());
+}
+
+// ------------------------------------------------------------ scans ------
+
+class ScanTest : public ::testing::Test {
+ protected:
+  void Build(uint64_t n) {
+    path_ = dir_.str() + "/scan.part";
+    PartitionWriter w(path_);
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(w.Append(T(static_cast<int64_t>(i), ~i)).ok());
+    }
+    ASSERT_TRUE(w.Finish().ok());
+    auto file = PartitionFile::Open(path_);
+    ASSERT_TRUE(file.ok());
+    file_ = std::move(file).value();
+  }
+
+  TempDir dir_;
+  std::string path_;
+  std::unique_ptr<PartitionFile> file_;
+};
+
+TEST_F(ScanTest, FullScanSeesEveryTupleInOrder) {
+  const uint64_t n = 2 * kTuplesPerPage + 5;
+  Build(n);
+  BufferPool pool({.frames = 64, .window_pages = 8});
+  auto cursor = pool.OpenScan(file_.get());
+  ASSERT_TRUE(cursor.ok());
+  mt::Tuple t;
+  uint64_t i = 0;
+  while (cursor.value()->Next(&t)) {
+    EXPECT_EQ(t.key, static_cast<int64_t>(i));
+    ++i;
+  }
+  EXPECT_EQ(i, n);
+  EXPECT_TRUE(cursor.value()->status().ok());
+}
+
+TEST_F(ScanTest, WindowedReadAheadCountsWindows) {
+  Build(10 * kTuplesPerPage);  // 10 pages
+  BufferPool pool({.frames = 64, .window_pages = 4});
+  auto cursor = pool.OpenScan(file_.get());
+  ASSERT_TRUE(cursor.ok());
+  mt::Tuple t;
+  while (cursor.value()->Next(&t)) {
+  }
+  auto s = pool.stats();
+  EXPECT_EQ(s.reads, 10u);
+  EXPECT_EQ(s.windows, 3u);  // 4 + 4 + 2
+}
+
+TEST_F(ScanTest, PageRangeScanRespectsSeekAndLimit) {
+  Build(5 * kTuplesPerPage);
+  BufferPool pool({.frames = 64, .window_pages = 8});
+  auto cursor = pool.OpenScan(file_.get());
+  ASSERT_TRUE(cursor.ok());
+  ASSERT_TRUE(cursor.value()->SeekToPage(1).ok());
+  cursor.value()->LimitToPage(3);  // pages [1, 3)
+  mt::Tuple t;
+  uint64_t count = 0;
+  int64_t first = -1, last = -1;
+  while (cursor.value()->Next(&t)) {
+    if (first < 0) first = t.key;
+    last = t.key;
+    ++count;
+  }
+  EXPECT_EQ(count, 2ull * kTuplesPerPage);
+  EXPECT_EQ(first, static_cast<int64_t>(kTuplesPerPage));
+  EXPECT_EQ(last, static_cast<int64_t>(3 * kTuplesPerPage - 1));
+}
+
+TEST_F(ScanTest, SeekPastEndFails) {
+  Build(kTuplesPerPage);
+  BufferPool pool({.frames = 64, .window_pages = 8});
+  auto cursor = pool.OpenScan(file_.get());
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_FALSE(cursor.value()->SeekToPage(99).ok());
+}
+
+TEST_F(ScanTest, CursorReleasesFramesOnDestruction) {
+  Build(kTuplesPerPage);
+  BufferPool pool({.frames = 16, .window_pages = 8});
+  {
+    auto c1 = pool.OpenScan(file_.get());
+    ASSERT_TRUE(c1.ok());
+    auto c2 = pool.OpenScan(file_.get());
+    ASSERT_TRUE(c2.ok());
+    EXPECT_EQ(pool.frames_in_use(), 16u);
+  }
+  EXPECT_EQ(pool.frames_in_use(), 0u);
+}
+
+TEST_F(ScanTest, PoolBlocksWhenBudgetExhaustedThenRecovers) {
+  Build(kTuplesPerPage);
+  BufferPool pool({.frames = 8, .window_pages = 8});
+  auto c1 = pool.OpenScan(file_.get());
+  ASSERT_TRUE(c1.ok());
+  std::atomic<bool> opened{false};
+  std::thread waiter([&] {
+    auto c2 = pool.OpenScan(file_.get());
+    opened.store(c2.ok());
+  });
+  // Give the waiter time to block on the budget, then free it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(opened.load());
+  c1.value().reset();
+  waiter.join();
+  EXPECT_TRUE(opened.load());
+  EXPECT_GE(pool.stats().waits, 1u);
+}
+
+// ----------------------------------------------------- partitioned tables
+
+TEST(StoredTable, BuildOpenRoundTrip) {
+  TempDir dir;
+  TableBuilder b(dir.str(), {.name = "r", .nodes = 3, .disks = 2});
+  const uint64_t n = 10000;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(b.Append(T(static_cast<int64_t>(i), 1)).ok());
+  }
+  auto table = b.Finish();
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value()->num_tuples(), n);
+
+  BufferPool pool({.frames = 64, .window_pages = 8});
+  auto all = table.value()->ReadAll(&pool);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), n);
+  // Every key present exactly once.
+  std::set<int64_t> keys;
+  for (const auto& t : all.value()) keys.insert(t.key);
+  EXPECT_EQ(keys.size(), n);
+}
+
+TEST(StoredTable, HashPartitioningHomesEachKeyAtOneNode) {
+  TempDir dir;
+  const uint32_t nodes = 4;
+  TableBuilder b(dir.str(), {.name = "r", .nodes = nodes, .disks = 2});
+  for (int64_t k = 0; k < 5000; ++k) ASSERT_TRUE(b.Append(T(k, 0)).ok());
+  auto table = b.Finish();
+  ASSERT_TRUE(table.ok());
+  // Reading node n's cells must only yield keys with NodeOfKey == n.
+  BufferPool pool({.frames = 64, .window_pages = 8});
+  for (uint32_t node = 0; node < nodes; ++node) {
+    for (uint32_t d = 0; d < 2; ++d) {
+      auto cursor = pool.OpenScan(&table.value()->cell(node, d));
+      ASSERT_TRUE(cursor.ok());
+      mt::Tuple t;
+      while (cursor.value()->Next(&t)) {
+        EXPECT_EQ(NodeOfKey(t.key, nodes), node);
+      }
+    }
+  }
+}
+
+TEST(StoredTable, PartitioningIsRoughlyBalanced) {
+  TempDir dir;
+  const uint32_t nodes = 4;
+  TableBuilder b(dir.str(), {.name = "r", .nodes = nodes, .disks = 1});
+  const uint64_t n = 40000;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(b.Append(T(static_cast<int64_t>(i), 0)).ok());
+  }
+  auto table = b.Finish();
+  ASSERT_TRUE(table.ok());
+  for (uint32_t node = 0; node < nodes; ++node) {
+    uint64_t tuples = 0;
+    for (uint32_t d = 0; d < 1; ++d) {
+      tuples += table.value()->cell(node, d).num_tuples();
+    }
+    // Expect within 10% of perfect n/nodes.
+    EXPECT_NEAR(static_cast<double>(tuples), n / 4.0, 0.1 * n / 4.0);
+  }
+}
+
+TEST(StoredTable, ExplicitCellPlacementCreatesSkew) {
+  TempDir dir;
+  TableBuilder b(dir.str(), {.name = "r", .nodes = 2, .disks = 1});
+  // All tuples on node 0 — tuple placement skew.
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(b.AppendToCell(0, 0, T(k, 0)).ok());
+  }
+  auto table = b.Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->cell(0, 0).num_tuples(), 1000u);
+  EXPECT_EQ(table.value()->cell(1, 0).num_tuples(), 0u);
+}
+
+TEST(StoredTable, AppendToBadCellFails) {
+  TempDir dir;
+  TableBuilder b(dir.str(), {.name = "r", .nodes = 2, .disks = 2});
+  EXPECT_FALSE(b.AppendToCell(2, 0, T(1, 0)).ok());
+  EXPECT_FALSE(b.AppendToCell(0, 2, T(1, 0)).ok());
+}
+
+TEST(StoredTable, OpenMissingTableFails) {
+  TempDir dir;
+  auto t = StoredTable::Open(dir.str(), {.name = "ghost", .nodes = 1,
+                                         .disks = 1});
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(StoredTable, NodePagesSumsDisks) {
+  TempDir dir;
+  TableBuilder b(dir.str(), {.name = "r", .nodes = 2, .disks = 2});
+  for (uint64_t i = 0; i < 4 * kTuplesPerPage; ++i) {
+    ASSERT_TRUE(b.Append(T(static_cast<int64_t>(i), 0)).ok());
+  }
+  auto table = b.Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->node_pages(0) + table.value()->node_pages(1),
+            table.value()->num_pages());
+}
+
+// Property sweep: round-trips hold across page-boundary cardinalities and
+// window sizes.
+class StorageRoundTrip
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(StorageRoundTrip, ScanMatchesWrites) {
+  auto [n, window] = GetParam();
+  TempDir dir;
+  std::string path = dir.str() + "/rt.part";
+  std::mt19937_64 gen(n * 7919 + window);
+  std::vector<mt::Tuple> expect;
+  PartitionWriter w(path);
+  for (uint64_t i = 0; i < n; ++i) {
+    mt::Tuple t{static_cast<int64_t>(gen() % 1000000),
+                static_cast<int64_t>(i)};
+    expect.push_back(t);
+    ASSERT_TRUE(w.Append(t).ok());
+  }
+  ASSERT_TRUE(w.Finish().ok());
+
+  auto file = PartitionFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  BufferPool pool({.frames = 256, .window_pages = window});
+  auto cursor = pool.OpenScan(file.value().get());
+  ASSERT_TRUE(cursor.ok());
+  mt::Tuple t;
+  uint64_t i = 0;
+  while (cursor.value()->Next(&t)) {
+    ASSERT_LT(i, expect.size());
+    EXPECT_EQ(t.key, expect[i].key);
+    EXPECT_EQ(t.payload, expect[i].payload);
+    ++i;
+  }
+  EXPECT_EQ(i, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StorageRoundTrip,
+    ::testing::Combine(
+        ::testing::Values<uint64_t>(0, 1, kTuplesPerPage - 1, kTuplesPerPage,
+                                    kTuplesPerPage + 1, 3 * kTuplesPerPage,
+                                    5 * kTuplesPerPage + 123),
+        ::testing::Values<uint32_t>(1, 2, 8)));
+
+}  // namespace
+}  // namespace hierdb::storage

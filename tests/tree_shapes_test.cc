@@ -1,0 +1,209 @@
+// Tests for shape-constrained join-tree optimization: shape invariants,
+// cost dominance of bushy trees, and shape-preserving macro-expansion.
+
+#include "opt/tree_shapes.h"
+
+#include "catalog/catalog.h"
+#include "gtest/gtest.h"
+#include "opt/bushy_optimizer.h"
+#include "opt/query_gen.h"
+#include "plan/operator_tree.h"
+
+namespace hierdb::opt {
+namespace {
+
+using plan::JoinGraph;
+using plan::JoinTree;
+
+// Linear 6-relation chain query with mixed cardinalities.
+struct ChainQueryFixture {
+  ChainQueryFixture() {
+    std::vector<uint64_t> cards = {100000, 500, 200000, 1000, 50000, 2000};
+    for (size_t i = 0; i < cards.size(); ++i) {
+      cat.AddRelation("r" + std::to_string(i), cards[i]);
+    }
+    std::vector<plan::JoinEdge> edges;
+    for (uint32_t i = 0; i + 1 < cards.size(); ++i) {
+      double sel = 1.0 / static_cast<double>(
+                             std::max(cards[i], cards[i + 1]));
+      edges.push_back({i, i + 1, sel});
+    }
+    graph = std::make_unique<JoinGraph>(
+        static_cast<uint32_t>(cards.size()), edges);
+  }
+
+  catalog::Catalog cat;
+  std::unique_ptr<JoinGraph> graph;
+};
+
+// Star query: center relation 0 joined to 5 satellites.
+struct StarQueryFixture {
+  StarQueryFixture() {
+    cat.AddRelation("fact", 1000000);
+    for (int i = 1; i <= 5; ++i) {
+      cat.AddRelation("dim" + std::to_string(i), 1000 * i);
+    }
+    std::vector<plan::JoinEdge> edges;
+    for (uint32_t i = 1; i <= 5; ++i) {
+      edges.push_back({0, i, 1.0 / (1000.0 * i)});
+    }
+    graph = std::make_unique<JoinGraph>(6, edges);
+  }
+
+  catalog::Catalog cat;
+  std::unique_ptr<JoinGraph> graph;
+};
+
+TEST(TreeShapes, NamesAreDistinct) {
+  EXPECT_STREQ(TreeShapeName(TreeShape::kBushy), "bushy");
+  EXPECT_STREQ(TreeShapeName(TreeShape::kZigZag), "zigzag");
+  EXPECT_STREQ(TreeShapeName(TreeShape::kSegmentedRightDeep),
+               "segmented-right-deep");
+}
+
+TEST(TreeShapes, LeftDeepSatisfiesInvariant) {
+  ChainQueryFixture fx;
+  JoinTree t = ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kLeftDeep});
+  EXPECT_TRUE(IsLeftDeep(t));
+  EXPECT_TRUE(IsZigZag(t));  // left-deep is a zigzag
+  EXPECT_EQ(t.num_joins(), 5u);
+}
+
+TEST(TreeShapes, RightDeepSatisfiesInvariant) {
+  ChainQueryFixture fx;
+  JoinTree t =
+      ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kRightDeep});
+  EXPECT_TRUE(IsRightDeep(t));
+  EXPECT_TRUE(IsZigZag(t));
+  EXPECT_EQ(t.num_joins(), 5u);
+}
+
+TEST(TreeShapes, ZigZagSatisfiesInvariant) {
+  ChainQueryFixture fx;
+  JoinTree t = ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kZigZag});
+  EXPECT_TRUE(IsZigZag(t));
+}
+
+TEST(TreeShapes, SegmentedRightDeepRespectsSegmentBound) {
+  ChainQueryFixture fx;
+  for (uint32_t seg : {1u, 2u, 3u}) {
+    JoinTree t = ShapedBest(
+        *fx.graph, fx.cat,
+        {.shape = TreeShape::kSegmentedRightDeep, .segment_length = seg});
+    EXPECT_TRUE(IsSegmentedRightDeep(t, seg)) << "segment " << seg;
+    EXPECT_EQ(t.num_joins(), 5u);
+  }
+}
+
+TEST(TreeShapes, BushyDelegatesToBushyOptimizer) {
+  ChainQueryFixture fx;
+  BushyOptimizer bushy;
+  JoinTree a = ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kBushy});
+  JoinTree b = bushy.Best(*fx.graph, fx.cat);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(TreeShapes, BushyCostDominatesAllShapes) {
+  ChainQueryFixture fx;
+  double bushy =
+      ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kBushy}).cost;
+  for (TreeShape s : {TreeShape::kLeftDeep, TreeShape::kRightDeep,
+                      TreeShape::kZigZag, TreeShape::kSegmentedRightDeep}) {
+    double c = ShapedBest(*fx.graph, fx.cat, {.shape = s}).cost;
+    EXPECT_GE(c, bushy - 1e-6) << TreeShapeName(s);
+  }
+}
+
+TEST(TreeShapes, ZigZagCostDominatedByDeepShapes) {
+  // Zigzag supersedes both deep shapes, so its optimum cannot be worse.
+  ChainQueryFixture fx;
+  double zz = ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kZigZag}).cost;
+  double ld =
+      ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kLeftDeep}).cost;
+  double rd =
+      ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kRightDeep}).cost;
+  EXPECT_LE(zz, ld + 1e-6);
+  EXPECT_LE(zz, rd + 1e-6);
+}
+
+TEST(TreeShapes, SegmentCostMonotoneInSegmentLength) {
+  // Longer segments are strictly more permissive.
+  ChainQueryFixture fx;
+  double prev = std::numeric_limits<double>::infinity();
+  for (uint32_t seg : {1u, 2u, 4u}) {
+    double c = ShapedBest(*fx.graph, fx.cat,
+                          {.shape = TreeShape::kSegmentedRightDeep,
+                           .segment_length = seg})
+                   .cost;
+    EXPECT_LE(c, prev + 1e-6);
+    prev = c;
+  }
+}
+
+TEST(TreeShapes, StarQueryAllShapesValid) {
+  StarQueryFixture fx;
+  for (TreeShape s : {TreeShape::kLeftDeep, TreeShape::kRightDeep,
+                      TreeShape::kZigZag, TreeShape::kSegmentedRightDeep}) {
+    JoinTree t = ShapedBest(*fx.graph, fx.cat, {.shape = s});
+    EXPECT_EQ(t.num_joins(), 5u) << TreeShapeName(s);
+  }
+}
+
+TEST(TreeShapes, RightDeepExpandsToOneMaximalChain) {
+  ChainQueryFixture fx;
+  JoinTree t =
+      ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kRightDeep});
+  plan::ExpandOptions eo;
+  eo.build_on_right_child = true;
+  plan::PhysicalPlan p = plan::MacroExpand(t, fx.cat, eo);
+  ASSERT_TRUE(p.Validate().ok());
+  // One chain holds the driving scan plus all five probes; the other
+  // chains are bare build-feeding scans.
+  uint32_t max_chain = 0;
+  for (const auto& ch : p.chains) {
+    max_chain = std::max<uint32_t>(max_chain,
+                                   static_cast<uint32_t>(ch.ops.size()));
+  }
+  EXPECT_EQ(max_chain, 6u);  // scan + 5 probes
+}
+
+TEST(TreeShapes, LeftDeepExpandsToShortChains) {
+  ChainQueryFixture fx;
+  JoinTree t = ShapedBest(*fx.graph, fx.cat, {.shape = TreeShape::kLeftDeep});
+  plan::ExpandOptions eo;
+  eo.build_on_right_child = true;
+  plan::PhysicalPlan p = plan::MacroExpand(t, fx.cat, eo);
+  ASSERT_TRUE(p.Validate().ok());
+  // Every intermediate feeds a build, so no chain pipelines through more
+  // than one probe (chains may still end with the consuming build).
+  for (const auto& ch : p.chains) {
+    uint32_t probes = 0;
+    for (plan::OpId op : ch.ops) {
+      if (p.op(op).IsProbe()) ++probes;
+    }
+    EXPECT_LE(probes, 1u);
+  }
+}
+
+TEST(TreeShapes, GeneratedQueriesAllShapesProduceValidPlans) {
+  // Shapes must hold across the paper's random query mix.
+  QueryGenOptions qopt;
+  qopt.num_relations = 8;
+  for (uint64_t q = 0; q < 5; ++q) {
+    QueryGenerator gen(qopt, 99 + q);
+    GeneratedQuery query = gen.Generate();
+    for (TreeShape s : {TreeShape::kLeftDeep, TreeShape::kRightDeep,
+                        TreeShape::kZigZag,
+                        TreeShape::kSegmentedRightDeep}) {
+      JoinTree t = ShapedBest(query.graph, query.catalog, {.shape = s});
+      EXPECT_EQ(t.num_joins(), 7u) << TreeShapeName(s) << " q" << q;
+      plan::ExpandOptions eo;
+      eo.build_on_right_child = true;
+      plan::PhysicalPlan p = plan::MacroExpand(t, query.catalog, eo);
+      EXPECT_TRUE(p.Validate().ok()) << TreeShapeName(s) << " q" << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hierdb::opt
