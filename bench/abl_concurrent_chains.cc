@@ -38,19 +38,18 @@ int main(int argc, char** argv) {
       qo.scale = flags.scale;
       opt::QueryGenerator gen(qo, master.Next());
       auto query = gen.Generate();
-      plan::ExpandOptions eo;
-      eo.serialize_chains = serialize;
       opt::WorkloadPlan wp;
       wp.catalog = query.catalog;
-      wp.plan = plan::MacroExpand(optimizer.Best(query.graph, query.catalog),
-                                  query.catalog, eo);
-      exec::RunOptions opts;
+      wp.tree = optimizer.Best(query.graph, query.catalog);
+      wp.edges = query.graph.edges();
+      api::ExecOptions opts;
       opts.seed = flags.seed + q;
       opts.skew_theta = 0.8;
-      auto m = RunPlan(cfg, exec::Strategy::kDP, wp, opts);
-      rts.push_back(m.ResponseMs());
-      steals += m.global_steals;
-      starving += m.starving_requests;
+      opts.apply_h2 = serialize;
+      auto m = RunPlan(cfg, Strategy::kDP, wp, opts);
+      rts.push_back(m.response_ms);
+      steals += m.steals;
+      starving += m.sim->starving_requests;
     }
     std::printf("%-12s %12.0f %10llu %14llu\n",
                 serialize ? "H2 (serial)" : "concurrent", Mean(rts),

@@ -32,14 +32,14 @@ int main(int argc, char** argv) {
     uint64_t steals = 0;
     double lb_mb = 0.0;
     for (size_t i = 0; i < plans.size(); ++i) {
-      exec::RunOptions opts;
+      api::ExecOptions opts;
       opts.seed = flags.seed + plans[i].query_index * 131;
       opts.skew_theta = 0.8;
-      auto m = RunPlan(cfg, exec::Strategy::kDP, plans[i], opts);
-      if (base_rt[i] == 0.0) base_rt[i] = m.ResponseMs();
-      ratio.push_back(m.ResponseMs() / base_rt[i]);
-      steals += m.global_steals;
-      lb_mb += static_cast<double>(m.net.bytes_loadbalance) / (1 << 20);
+      auto m = RunPlan(cfg, Strategy::kDP, plans[i], opts);
+      if (base_rt[i] == 0.0) base_rt[i] = m.response_ms;
+      ratio.push_back(m.response_ms / base_rt[i]);
+      steals += m.steals;
+      lb_mb += static_cast<double>(m.lb_bytes) / (1 << 20);
     }
     std::printf("%-10u %12.3f %10llu %12.2f\n", buckets, Mean(ratio),
                 static_cast<unsigned long long>(steals), lb_mb);

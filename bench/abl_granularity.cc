@@ -31,13 +31,13 @@ int main(int argc, char** argv) {
     std::vector<double> ratio;
     uint64_t acts = 0;
     for (size_t i = 0; i < plans.size(); ++i) {
-      exec::RunOptions opts;
+      api::ExecOptions opts;
       opts.seed = flags.seed + plans[i].query_index * 131;
       opts.skew_theta = 0.5;
-      auto m = RunPlan(cfg, exec::Strategy::kDP, plans[i], opts);
-      if (base_rt[i] == 0.0) base_rt[i] = m.ResponseMs();
-      ratio.push_back(m.ResponseMs() / base_rt[i]);
-      acts += m.activations_processed;
+      auto m = RunPlan(cfg, Strategy::kDP, plans[i], opts);
+      if (base_rt[i] == 0.0) base_rt[i] = m.response_ms;
+      ratio.push_back(m.response_ms / base_rt[i]);
+      acts += m.activations;
     }
     std::printf("%-12u %12.3f %14llu\n", batch, Mean(ratio),
                 static_cast<unsigned long long>(acts));

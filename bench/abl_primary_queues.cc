@@ -30,12 +30,12 @@ int main(int argc, char** argv) {
       std::vector<double> rts;
       uint64_t nonprimary = 0;
       for (const auto& wp : plans) {
-        exec::RunOptions opts;
+        api::ExecOptions opts;
         opts.seed = flags.seed + wp.query_index * 131;
         opts.skew_theta = theta;
-        auto m = RunPlan(cfg, exec::Strategy::kDP, wp, opts);
-        rts.push_back(m.ResponseMs());
-        nonprimary += m.nonprimary_consumptions;
+        auto m = RunPlan(cfg, Strategy::kDP, wp, opts);
+        rts.push_back(m.response_ms);
+        nonprimary += m.sim->nonprimary_consumptions;
       }
       std::printf("%-10s %-10.1f %12.0f %16llu\n",
                   affinity ? "on" : "off", theta, Mean(rts),

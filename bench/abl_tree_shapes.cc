@@ -1,8 +1,9 @@
 // Ablation: join-tree shape (Section 2.2 discussion). The paper settles
 // on bushy trees for their smaller intermediates and richer parallelism;
 // this bench quantifies that choice by optimizing each generated query
-// under every shape constraint (opt/tree_shapes.h), macro-expanding with
-// shape-preserving build sides, and executing under DP on one SM-node.
+// under every shape constraint (opt/tree_shapes.h) and executing it under
+// DP on one SM-node through the unified api::Session (which expands
+// shaped trees with shape-preserving build sides).
 //
 // Expected shape: bushy <= zigzag <= right-deep/left-deep in optimizer
 // cost; in response time right-deep benefits from its single maximal
@@ -15,7 +16,6 @@
 #include "common/stats.h"
 #include "opt/query_gen.h"
 #include "opt/tree_shapes.h"
-#include "plan/operator_tree.h"
 
 using namespace hierdb;
 using namespace hierdb::bench;
@@ -46,35 +46,41 @@ int main(int argc, char** argv) {
     opt::QueryGenerator gen(qo, flags.seed + q);
     opt::GeneratedQuery query = gen.Generate();
 
-    double bushy_cost = 0.0;
-    SimTime bushy_rt = 0;
+    api::Session db;
+    for (const auto& rel : query.catalog.relations()) {
+      db.AddRelation(rel.name, rel.cardinality, rel.tuple_bytes);
+    }
+
+    double bushy_cost = 0.0, bushy_rt = 0.0;
     for (int s = 0; s < 5; ++s) {
       opt::ShapeOptions so;
       so.shape = shapes[s];
       so.segment_length = 3;
       plan::JoinTree tree = opt::ShapedBest(query.graph, query.catalog, so);
-      plan::ExpandOptions eo;
-      eo.build_on_right_child = true;
-      plan::PhysicalPlan pplan =
-          plan::MacroExpand(tree, query.catalog, eo);
-      exec::Engine engine(cfg, exec::Strategy::kDP);
-      exec::RunOptions ro;
-      ro.seed = flags.seed + q;
-      auto result = engine.Run(pplan, query.catalog, ro);
-      if (!result.status.ok()) {
+
+      api::QueryBuilder qb = db.NewQuery();
+      for (const auto& e : query.graph.edges()) {
+        qb.Join(e.a, e.b, e.selectivity);
+      }
+      qb.Shape(shapes[s], so.segment_length);
+      api::ExecOptions opts;
+      opts.backend = api::Backend::kSimulated;
+      opts.strategy = Strategy::kDP;
+      opts.sim_config = cfg;
+      opts.seed = flags.seed + q;
+      auto result = db.Execute(qb.Build(), opts);
+      if (!result.ok()) {
         std::fprintf(stderr, "query %u shape %s failed: %s\n", q,
                      opt::TreeShapeName(shapes[s]),
-                     result.status.ToString().c_str());
+                     result.status().ToString().c_str());
         return 1;
       }
       if (s == 0) {
         bushy_cost = tree.cost;
-        bushy_rt = result.metrics.response_time;
+        bushy_rt = result.value().response_ms;
       }
       cost_ratio[s].push_back(tree.cost / bushy_cost);
-      rt_ratio[s].push_back(
-          static_cast<double>(result.metrics.response_time) /
-          static_cast<double>(bushy_rt));
+      rt_ratio[s].push_back(result.value().response_ms / bushy_rt);
     }
   }
   for (int s = 0; s < 5; ++s) {

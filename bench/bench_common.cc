@@ -43,18 +43,29 @@ std::vector<opt::WorkloadPlan> MakeBenchWorkload(const Flags& flags) {
   return opt::MakeWorkload(wo);
 }
 
-exec::RunMetrics RunPlan(const sim::SystemConfig& cfg, exec::Strategy strat,
-                         const opt::WorkloadPlan& wp,
-                         const exec::RunOptions& opts) {
-  exec::Engine engine(cfg, strat);
-  exec::RunResult r = engine.Run(wp.plan, wp.catalog, opts);
-  if (!r.status.ok()) {
+api::ExecutionReport RunPlan(const sim::SystemConfig& cfg, Strategy strat,
+                             const opt::WorkloadPlan& wp,
+                             const api::ExecOptions& base) {
+  api::Session db;
+  for (const auto& rel : wp.catalog.relations()) {
+    db.AddRelation(rel.name, rel.cardinality, rel.tuple_bytes);
+  }
+  api::QueryBuilder qb = db.NewQuery();
+  for (const auto& e : wp.edges) qb.Join(e.a, e.b, e.selectivity);
+  qb.Tree(wp.tree);
+
+  api::ExecOptions opts = base;
+  opts.backend = api::Backend::kSimulated;
+  opts.strategy = strat;
+  opts.sim_config = cfg;
+  auto r = db.Execute(qb.Build(), opts);
+  if (!r.ok()) {
     std::fprintf(stderr, "run failed (%s, query %u tree %u): %s\n",
-                 exec::StrategyName(strat), wp.query_index, wp.tree_rank,
-                 r.status.ToString().c_str());
+                 StrategyName(strat), wp.query_index, wp.tree_rank,
+                 r.status().ToString().c_str());
     std::exit(1);
   }
-  return r.metrics;
+  return std::move(r).value();
 }
 
 void PrintParameterTables(const sim::SystemConfig& cfg) {

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "exec/engine.h"
+#include "api/session.h"
 #include "opt/workload.h"
 #include "sim/config.h"
 
@@ -34,10 +34,13 @@ struct Flags {
 /// Builds the benchmark workload per the flags.
 std::vector<opt::WorkloadPlan> MakeBenchWorkload(const Flags& flags);
 
-/// Runs one plan; aborts the bench with a diagnostic on failure.
-exec::RunMetrics RunPlan(const sim::SystemConfig& cfg, exec::Strategy strat,
-                         const opt::WorkloadPlan& wp,
-                         const exec::RunOptions& opts);
+/// Runs one workload plan through the unified api::Session on the
+/// simulated backend (`base` carries seed/skew/error knobs; backend,
+/// strategy and machine shape are overridden from the arguments). Aborts
+/// the bench with a diagnostic on failure.
+api::ExecutionReport RunPlan(const sim::SystemConfig& cfg, Strategy strat,
+                             const opt::WorkloadPlan& wp,
+                             const api::ExecOptions& base);
 
 /// Prints the paper's Section 5.1.1 parameter tables (T1/T2).
 void PrintParameterTables(const sim::SystemConfig& cfg);

@@ -27,11 +27,11 @@ int main(int argc, char** argv) {
     cfg.procs_per_node = procs;
     std::vector<double> dp_ratio, fp_ratio;
     for (const auto& wp : plans) {
-      exec::RunOptions opts;
+      api::ExecOptions opts;
       opts.seed = flags.seed + wp.query_index * 131 + wp.tree_rank;
-      double sp = RunPlan(cfg, exec::Strategy::kSP, wp, opts).ResponseMs();
-      double dp = RunPlan(cfg, exec::Strategy::kDP, wp, opts).ResponseMs();
-      double fp = RunPlan(cfg, exec::Strategy::kFP, wp, opts).ResponseMs();
+      double sp = RunPlan(cfg, Strategy::kSP, wp, opts).response_ms;
+      double dp = RunPlan(cfg, Strategy::kDP, wp, opts).response_ms;
+      double fp = RunPlan(cfg, Strategy::kFP, wp, opts).response_ms;
       dp_ratio.push_back(dp / sp);
       fp_ratio.push_back(fp / sp);
     }

@@ -35,16 +35,16 @@ int main(int argc, char** argv) {
       cfg.procs_per_node = procs;
       std::vector<double> ratio;
       for (const auto& wp : plans) {
-        exec::RunOptions opts;
+        api::ExecOptions opts;
         opts.seed = flags.seed + wp.query_index * 131 + wp.tree_rank;
-        double sp = RunPlan(cfg, exec::Strategy::kSP, wp, opts).ResponseMs();
+        double sp = RunPlan(cfg, Strategy::kSP, wp, opts).response_ms;
         // Three random distortions per plan and error rate.
         for (uint64_t d = 0; d < 3; ++d) {
-          exec::RunOptions fopts = opts;
+          api::ExecOptions fopts = opts;
           fopts.fp_error_rate = r;
           fopts.seed = opts.seed + 7919 * (d + 1);
           double fp =
-              RunPlan(cfg, exec::Strategy::kFP, wp, fopts).ResponseMs();
+              RunPlan(cfg, Strategy::kFP, wp, fopts).response_ms;
           ratio.push_back(fp / sp);
           if (r == 0.0) break;  // no randomness at r=0
         }

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
 
   auto plans = MakeBenchWorkload(flags);
   const uint32_t kProcs[] = {1, 8, 16, 32, 48, 64};
-  const exec::Strategy kStrats[] = {exec::Strategy::kSP, exec::Strategy::kDP,
-                                    exec::Strategy::kFP};
+  const exec::Strategy kStrats[] = {Strategy::kSP, Strategy::kDP,
+                                    Strategy::kFP};
 
   // rt[strategy][procs][plan]
   std::map<exec::Strategy, std::map<uint32_t, std::vector<double>>> rt;
@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
       sim::SystemConfig cfg = base;
       cfg.procs_per_node = procs;
       for (const auto& wp : plans) {
-        exec::RunOptions opts;
+        api::ExecOptions opts;
         opts.seed = flags.seed + wp.query_index * 131 + wp.tree_rank;
-        rt[s][procs].push_back(RunPlan(cfg, s, wp, opts).ResponseMs());
+        rt[s][procs].push_back(RunPlan(cfg, s, wp, opts).response_ms);
       }
     }
   }

@@ -24,9 +24,9 @@ int main(int argc, char** argv) {
   // Baselines at theta = 0.
   std::vector<double> base_rt;
   for (const auto& wp : plans) {
-    exec::RunOptions opts;
+    api::ExecOptions opts;
     opts.seed = flags.seed + wp.query_index * 131 + wp.tree_rank;
-    base_rt.push_back(RunPlan(cfg, exec::Strategy::kDP, wp, opts).ResponseMs());
+    base_rt.push_back(RunPlan(cfg, Strategy::kDP, wp, opts).response_ms);
   }
 
   std::printf("%-8s %12s %16s\n", "zipf", "rel. perf", "nonprimary cons.");
@@ -34,13 +34,13 @@ int main(int argc, char** argv) {
     std::vector<double> ratio;
     uint64_t nonprimary = 0;
     for (size_t i = 0; i < plans.size(); ++i) {
-      exec::RunOptions opts;
+      api::ExecOptions opts;
       opts.seed = flags.seed + plans[i].query_index * 131 +
                   plans[i].tree_rank;
       opts.skew_theta = theta;
-      auto m = RunPlan(cfg, exec::Strategy::kDP, plans[i], opts);
-      ratio.push_back(m.ResponseMs() / base_rt[i]);
-      nonprimary += m.nonprimary_consumptions;
+      auto m = RunPlan(cfg, Strategy::kDP, plans[i], opts);
+      ratio.push_back(m.response_ms / base_rt[i]);
+      nonprimary += m.sim->nonprimary_consumptions;
     }
     std::printf("%-8.1f %12.3f %16llu\n", theta, Mean(ratio),
                 static_cast<unsigned long long>(nonprimary));

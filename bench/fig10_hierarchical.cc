@@ -30,16 +30,16 @@ int main(int argc, char** argv) {
     std::vector<double> ratio, dp_idle, fp_idle;
     double dp_lb = 0, fp_lb = 0;
     for (const auto& wp : plans) {
-      exec::RunOptions opts;
+      api::ExecOptions opts;
       opts.seed = flags.seed + wp.query_index * 131 + wp.tree_rank;
       opts.skew_theta = 0.6;
-      auto dm = RunPlan(cfg, exec::Strategy::kDP, wp, opts);
-      auto fm = RunPlan(cfg, exec::Strategy::kFP, wp, opts);
-      ratio.push_back(fm.ResponseMs() / dm.ResponseMs());
-      dp_idle.push_back(dm.IdleFraction() * 100.0);
-      fp_idle.push_back(fm.IdleFraction() * 100.0);
-      dp_lb += static_cast<double>(dm.net.bytes_loadbalance) / (1 << 20);
-      fp_lb += static_cast<double>(fm.net.bytes_loadbalance) / (1 << 20);
+      auto dm = RunPlan(cfg, Strategy::kDP, wp, opts);
+      auto fm = RunPlan(cfg, Strategy::kFP, wp, opts);
+      ratio.push_back(fm.response_ms / dm.response_ms);
+      dp_idle.push_back(dm.idle_fraction * 100.0);
+      fp_idle.push_back(fm.idle_fraction * 100.0);
+      dp_lb += static_cast<double>(dm.lb_bytes) / (1 << 20);
+      fp_lb += static_cast<double>(fm.lb_bytes) / (1 << 20);
     }
     std::printf("4x%-6u %8.3f %8.3f %9.1f%% %9.1f%% %12.2f %12.2f\n", procs,
                 1.0, Mean(ratio), Mean(dp_idle), Mean(fp_idle),

@@ -1,6 +1,7 @@
 // Real-thread counterpart of Section 5.3 / Figure 10: DP versus FP on a
 // hierarchical cluster (thread-group SM-nodes coupled by the message
-// fabric), running a pipeline chain under tuple-placement skew.
+// fabric), running a pipeline chain under tuple-placement skew — through
+// the unified api::Session.
 //
 // Reported per strategy: wall time, data moved by pipelined
 // redistribution, data moved by global load balancing (the paper measures
@@ -8,15 +9,13 @@
 //
 // Flags: --nodes=N --threads=T --joins=K --rows=R --skew=S
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
-#include "cluster/cluster_executor.h"
+#include "api/session.h"
 
 using namespace hierdb;
-using namespace hierdb::cluster;
 
 namespace {
 
@@ -54,31 +53,31 @@ int main(int argc, char** argv) {
               args.nodes, args.threads, args.joins,
               static_cast<unsigned long>(args.rows), args.skew);
 
-  // Workload: fact with one FK column per join, dims hash-partitioned on
-  // their keys, fact placed with Zipf(skew) across nodes.
-  mt::Table fact = mt::MakeTable("fact", args.rows, args.joins + 1, 2000, 7);
-  std::vector<mt::Table> dims;
+  // Workload: fact with one FK column per join; the session partitions the
+  // fact with Zipf(skew) placement across nodes and hash-declusters the
+  // dimensions on their keys.
+  api::Session db;
+  api::RelId fact = db.AddTable(
+      mt::MakeTable("fact", args.rows, args.joins + 1, 2000, 7));
+  api::QueryBuilder qb = db.NewQuery();
+  qb.Scan(fact);
   for (uint32_t j = 0; j < args.joins; ++j) {
-    dims.push_back(mt::MakeTable("dim", 2000, 2, 100, 17 + j));
+    api::RelId dim = db.AddTable(mt::MakeTable("dim", 2000, 2, 100, 17 + j));
+    qb.Probe(dim, j + 1, 0);
   }
-  PartitionedTable fact_parts =
-      PartitionWithPlacementSkew(fact, args.nodes, args.skew, 3);
-  std::vector<PartitionedTable> dim_parts;
-  for (uint32_t j = 0; j < args.joins; ++j) {
-    dim_parts.push_back(PartitionByHash(dims[j], args.nodes, 0));
-  }
-  ChainQuery q;
-  q.input = &fact_parts;
-  for (uint32_t j = 0; j < args.joins; ++j) {
-    q.joins.push_back({&dim_parts[j], j + 1, 0});
-  }
-  auto ref = ReferenceExecute(q).ValueOrDie();
+  api::Query query = qb.Build();
 
   std::printf("%-4s %9s %12s %12s %8s %9s %10s %10s\n", "", "wall(s)",
               "dataflow MB", "LB MB", "steals", "stolen", "idle", "imbal");
   double dp_lb = 0, fp_lb = 0, dp_wall = 0, fp_wall = 0;
-  for (auto strat : {mt::LocalStrategy::kDP, mt::LocalStrategy::kFP}) {
-    ClusterOptions o;
+  // The reference executes once (first strategy); the second run is
+  // checked against its digest.
+  uint64_t ref_rows = 0, ref_sum = 0;
+  bool have_ref = false;
+  for (auto strat : {Strategy::kDP, Strategy::kFP}) {
+    api::ExecOptions o;
+    o.backend = api::Backend::kCluster;
+    o.strategy = strat;
     o.nodes = args.nodes;
     o.threads_per_node = args.threads;
     o.buckets = 256;
@@ -86,33 +85,37 @@ int main(int argc, char** argv) {
     o.batch_rows = 512;
     o.queue_capacity = 512;
     o.steal_batch = 32;
-    o.strategy = strat;
-    ClusterExecutor exec(o);
-    ClusterStats stats;
-    auto t0 = std::chrono::steady_clock::now();
-    auto got = exec.Execute(q, &stats);
-    double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    if (!got.ok() || !(got.value() == ref)) {
+    o.skew_theta = args.skew;
+    o.seed = 3;
+    o.validate = !have_ref;
+    auto got = db.Execute(query, o);
+    bool correct =
+        got.ok() && (have_ref ? got.value().result_rows == ref_rows &&
+                                    got.value().result_checksum == ref_sum
+                              : got.value().reference_match);
+    if (!correct) {
       std::fprintf(stderr, "%s: wrong result or failure\n",
-                   mt::LocalStrategyName(strat));
+                   StrategyName(strat));
       return 1;
     }
-    uint64_t idle = 0;
-    for (uint64_t i : stats.idle_waits_per_node) idle += i;
+    const api::ExecutionReport& m = got.value();
+    if (!have_ref) {
+      ref_rows = m.result_rows;
+      ref_sum = m.result_checksum;
+      have_ref = true;
+    }
     std::printf("%-4s %9.3f %12.2f %12.3f %8lu %9lu %10lu %10.2f\n",
-                mt::LocalStrategyName(strat), wall,
-                stats.dataflow_bytes / 1e6, stats.lb_bytes / 1e6,
-                static_cast<unsigned long>(stats.steals),
-                static_cast<unsigned long>(stats.stolen_activations),
-                static_cast<unsigned long>(idle), stats.NodeImbalance());
-    if (strat == mt::LocalStrategy::kDP) {
-      dp_lb = static_cast<double>(stats.lb_bytes);
-      dp_wall = wall;
+                StrategyName(strat), m.wall_seconds,
+                m.pipeline_bytes / 1e6, m.lb_bytes / 1e6,
+                static_cast<unsigned long>(m.steals),
+                static_cast<unsigned long>(m.stolen_activations),
+                static_cast<unsigned long>(m.idle_waits), m.imbalance);
+    if (strat == Strategy::kDP) {
+      dp_lb = static_cast<double>(m.lb_bytes);
+      dp_wall = m.wall_seconds;
     } else {
-      fp_lb = static_cast<double>(stats.lb_bytes);
-      fp_wall = wall;
+      fp_lb = static_cast<double>(m.lb_bytes);
+      fp_wall = m.wall_seconds;
     }
   }
   if (dp_lb > 0) {

@@ -1,39 +1,46 @@
 // Real-executor scaling: star-join throughput of the multithreaded
-// mini-executor versus thread count on this host, with and without key
-// skew — the "mini executor" counterpart of Fig 8's speedup study.
+// executor versus thread count on this host, with and without key skew —
+// the real-thread counterpart of Fig 8's speedup study, through the
+// unified api::Session.
 
 #include <chrono>
 #include <cstdio>
 #include <thread>
 
-#include "mt/executor.h"
+#include "api/session.h"
 
-using namespace hierdb::mt;
+using namespace hierdb;
 
 namespace {
 
 double RunOnce(uint32_t threads, double theta) {
-  auto fact = MakeZipfRelation(400'000, 20'000, theta, 1);
-  auto d1 = MakeUniformRelation(100'000, 20'000, 2);
-  auto d2 = MakeUniformRelation(50'000, 20'000, 3);
-  ExecutorOptions opts;
-  opts.threads = threads;
-  StarJoinExecutor ex(opts);
-  auto t0 = std::chrono::steady_clock::now();
-  auto r = ex.Execute(fact, {&d1, &d2});
-  double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  api::Session db;
+  api::RelId fact =
+      theta > 0
+          ? db.AddTable(mt::MakeSkewedTable("fact", 400'000, 3, 20'000, 1,
+                                            theta, 1))
+          : db.AddTable(mt::MakeTable("fact", 400'000, 3, 20'000, 1));
+  api::RelId d1 = db.AddTable(mt::MakeTable("d1", 100'000, 2, 20'000, 2));
+  api::RelId d2 = db.AddTable(mt::MakeTable("d2", 50'000, 2, 20'000, 3));
+  api::Query q =
+      db.NewQuery().Scan(fact).Probe(d1, 1, 0).Probe(d2, 2, 0).Build();
+
+  api::ExecOptions opts;
+  opts.backend = api::Backend::kThreads;
+  opts.strategy = Strategy::kDP;
+  opts.threads_per_node = threads;
+  opts.buckets = 512;
+  auto r = db.Execute(q, opts);
   if (!r.ok()) return -1.0;
-  return secs;
+  return r.value().wall_seconds;
 }
 
 }  // namespace
 
 int main() {
   const uint32_t hw = std::max(2u, std::thread::hardware_concurrency());
-  std::printf("=== real mini-executor: star-join scaling (host has %u "
-              "hardware threads) ===\n",
+  std::printf("=== real executor: star-join scaling through api::Session "
+              "(host has %u hardware threads) ===\n",
               hw);
   std::printf("%-8s %12s %12s %10s %14s\n", "threads", "uniform(s)",
               "zipf0.9(s)", "speedup", "skew penalty");
@@ -49,7 +56,8 @@ int main() {
     std::printf("%-8u %12.3f %12.3f %9.2fx %13.2fx\n", t, u, z, base_u / u,
                 z / u);
   }
-  std::printf("expected shape: near-linear speedup on a multi-core host (flat on one core); "
-              "small thanks to fragmentation + stealing.\n");
+  std::printf("expected shape: near-linear speedup on a multi-core host "
+              "(flat on one core); small skew penalty thanks to "
+              "fragmentation + stealing.\n");
   return 0;
 }

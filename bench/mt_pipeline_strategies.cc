@@ -1,6 +1,7 @@
 // Real-thread counterpart of Figures 6 and 8: SP, DP and FP executing the
 // same multi-join pipeline on one shared-memory node (this host), with
-// wall-clock speedup versus thread count and the effect of skew.
+// wall-clock speedup versus thread count and the effect of skew — all
+// through the unified api::Session.
 //
 // Flags: --rows=R --dims=K --maxthreads=T --skew=S
 
@@ -8,10 +9,9 @@
 #include <cstdio>
 #include <thread>
 
-#include "mt/pipeline_executor.h"
+#include "api/session.h"
 
 using namespace hierdb;
-using namespace hierdb::mt;
 
 namespace {
 
@@ -36,24 +36,36 @@ Args Parse(int argc, char** argv) {
   return a;
 }
 
-double RunOnce(LocalStrategy s, uint32_t threads, const PipelinePlan& plan,
-               const std::vector<const Table*>& tables,
-               const ResultDigest& ref) {
-  PipelineOptions o;
-  o.threads = threads;
+struct RefDigest {
+  uint64_t rows = 0;
+  uint64_t checksum = 0;
+  bool set = false;
+};
+
+// The single-threaded reference runs once (first call); every later run
+// is checked against its digest without re-executing it.
+double RunOnce(const api::Session& db, const api::Query& query, Strategy s,
+               uint32_t threads, RefDigest* ref) {
+  api::ExecOptions o;
+  o.backend = api::Backend::kThreads;
+  o.strategy = s;
+  o.threads_per_node = threads;
   o.buckets = 64;
   o.morsel_rows = 8192;
   o.batch_rows = 4096;
   o.queue_capacity = 256;
-  o.strategy = s;
-  PipelineExecutor exec(o);
-  auto t0 = std::chrono::steady_clock::now();
-  auto got = exec.Execute(plan, tables);
-  double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  if (!got.ok() || !(got.value() == ref)) return -1.0;
-  return wall;
+  o.validate = !ref->set;
+  auto got = db.Execute(query, o);
+  if (!got.ok()) return -1.0;
+  const api::ExecutionReport& m = got.value();
+  if (!ref->set) {
+    if (!m.reference_match) return -1.0;
+    *ref = {m.result_rows, m.result_checksum, true};
+  } else if (m.result_rows != ref->rows ||
+             m.result_checksum != ref->checksum) {
+    return -1.0;
+  }
+  return m.wall_seconds;
 }
 
 }  // namespace
@@ -71,31 +83,31 @@ int main(int argc, char** argv) {
               "engine benches (fig06/fig08) carry the paper's speedup "
               "results.\n\n");
 
-  std::vector<Table> tables;
+  api::Session db;
+  api::RelId fact;
   if (args.skew > 0) {
-    tables.push_back(MakeSkewedTable("fact", args.rows, args.dims + 1, 3000,
-                                     1, args.skew, 7));
+    fact = db.AddTable(mt::MakeSkewedTable("fact", args.rows, args.dims + 1,
+                                           3000, 1, args.skew, 7));
   } else {
-    tables.push_back(MakeTable("fact", args.rows, args.dims + 1, 3000, 7));
+    fact = db.AddTable(
+        mt::MakeTable("fact", args.rows, args.dims + 1, 3000, 7));
   }
-  std::vector<uint32_t> dim_ids, probe_cols;
+  api::QueryBuilder qb = db.NewQuery();
+  qb.Scan(fact);
   for (uint32_t d = 0; d < args.dims; ++d) {
-    tables.push_back(MakeTable("dim", 3000, 2, 100, 17 + d));
-    dim_ids.push_back(d + 1);
-    probe_cols.push_back(d + 1);
+    api::RelId dim = db.AddTable(mt::MakeTable("dim", 3000, 2, 100, 17 + d));
+    qb.Probe(dim, d + 1, 0);
   }
-  std::vector<const Table*> tablev;
-  for (const auto& t : tables) tablev.push_back(&t);
-  PipelinePlan plan = MakeRightDeepPlan(0, dim_ids, probe_cols);
-  auto ref = ReferenceExecute(plan, tablev).ValueOrDie();
+  api::Query query = qb.Build();
 
   std::printf("%-8s %10s %10s %10s %12s %12s\n", "threads", "SP(s)",
               "DP(s)", "FP(s)", "DP speedup", "DP/SP");
   double dp1 = 0;
+  RefDigest ref;
   for (uint32_t t = 1; t <= args.maxthreads; t *= 2) {
-    double sp = RunOnce(LocalStrategy::kSP, t, plan, tablev, ref);
-    double dp = RunOnce(LocalStrategy::kDP, t, plan, tablev, ref);
-    double fp = RunOnce(LocalStrategy::kFP, t, plan, tablev, ref);
+    double sp = RunOnce(db, query, Strategy::kSP, t, &ref);
+    double dp = RunOnce(db, query, Strategy::kDP, t, &ref);
+    double fp = RunOnce(db, query, Strategy::kFP, t, &ref);
     if (sp < 0 || dp < 0 || fp < 0) {
       std::fprintf(stderr, "run failed at %u threads\n", t);
       return 1;

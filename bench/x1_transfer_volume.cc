@@ -31,9 +31,11 @@ opt::WorkloadPlan MakeChainPlan(double scale) {
     double cd = static_cast<double>(wp.catalog.relation(i).cardinality);
     edges.push_back({0, i, std::max(cf, cd) / (cf * cd)});
   }
-  plan::JoinGraph graph(5, std::move(edges));
+  plan::JoinGraph graph(5, edges);
   opt::BushyOptimizer optz;
-  wp.plan = plan::MacroExpand(optz.Best(graph, wp.catalog), wp.catalog);
+  wp.tree = optz.Best(graph, wp.catalog);
+  wp.edges = std::move(edges);
+  wp.plan = plan::MacroExpand(wp.tree, wp.catalog);
   return wp;
 }
 
@@ -53,18 +55,18 @@ int main(int argc, char** argv) {
 
   std::printf("%-6s %10s %10s %10s %10s %10s %10s\n", "strat", "rt(ms)",
               "lb-MB", "pipe-MB", "ctl-MB", "steals", "idle%");
-  for (auto s : {exec::Strategy::kDP, exec::Strategy::kFP}) {
-    exec::RunOptions opts;
+  for (auto s : {Strategy::kDP, Strategy::kFP}) {
+    api::ExecOptions opts;
     opts.seed = flags.seed;
     opts.skew_theta = 0.8;
     auto m = RunPlan(cfg, s, wp, opts);
     std::printf("%-6s %10.0f %10.2f %10.2f %10.3f %10llu %9.1f%%\n",
-                exec::StrategyName(s), m.ResponseMs(),
-                static_cast<double>(m.net.bytes_loadbalance) / (1 << 20),
-                static_cast<double>(m.net.bytes_pipeline) / (1 << 20),
-                static_cast<double>(m.net.bytes_control) / (1 << 20),
-                static_cast<unsigned long long>(m.global_steals),
-                m.IdleFraction() * 100.0);
+                StrategyName(s), m.response_ms,
+                static_cast<double>(m.lb_bytes) / (1 << 20),
+                static_cast<double>(m.pipeline_bytes) / (1 << 20),
+                static_cast<double>(m.sim->net.bytes_control) / (1 << 20),
+                static_cast<unsigned long long>(m.steals),
+                m.idle_fraction * 100.0);
   }
   std::printf("paper shape: FP moves several times more data than DP "
               "(paper: 9 MB vs 2.5 MB) because idle FP processors steal "

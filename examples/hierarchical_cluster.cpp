@@ -1,75 +1,65 @@
-// Example: executing a pipeline chain on a real hierarchical cluster.
+// Example: executing a pipeline chain on a real hierarchical cluster,
+// through the unified api::Session.
 //
 // Four SM-nodes (thread groups) coupled only by message passing run a
-// three-join chain. The fact table is placed with heavy skew so the
-// lightly loaded nodes starve and acquire probe activations plus hash-
-// table fragments from the loaded node — the paper's global load
-// balancing in action. Compare the printed transfer and steal counters
-// between the DP and FP strategies.
+// three-join chain. The fact table is placed with heavy skew
+// (ExecOptions::skew_theta) so the lightly loaded nodes starve and acquire
+// probe activations plus hash-table fragments from the loaded node — the
+// paper's global load balancing in action. Compare the printed transfer
+// and steal counters between the DP and FP strategies.
 //
-// Build & run:  ./build/examples/hierarchical_cluster
+// Build & run:  ./build/hierarchical_cluster
 
 #include <cstdio>
 
-#include "cluster/cluster_executor.h"
+#include "api/session.h"
 
 using namespace hierdb;
-using namespace hierdb::cluster;
 
 int main() {
-  const uint32_t kNodes = 4;
+  // fact(key, fk1, fk2, fk3) — 200k rows; three dimension tables joined on
+  // their keys. The session owns the real tuples.
+  api::Session db;
+  auto fact = db.AddTable(mt::MakeTable("fact", 200000, 4, 1000, 1));
+  auto d1 = db.AddTable(mt::MakeTable("d1", 1000, 2, 50, 2));
+  auto d2 = db.AddTable(mt::MakeTable("d2", 1000, 2, 50, 3));
+  auto d3 = db.AddTable(mt::MakeTable("d3", 1000, 2, 50, 4));
 
-  // fact(key, fk1, fk2, fk3) — 200k rows, Zipf(0.9) placement across
-  // nodes; three dimension tables hash-partitioned on their keys.
-  mt::Table fact = mt::MakeTable("fact", 200000, 4, 1000, 1);
-  mt::Table d1 = mt::MakeTable("d1", 1000, 2, 50, 2);
-  mt::Table d2 = mt::MakeTable("d2", 1000, 2, 50, 3);
-  mt::Table d3 = mt::MakeTable("d3", 1000, 2, 50, 4);
+  api::Query query = db.NewQuery()
+                         .Scan(fact)
+                         .Probe(d1, 1, 0)
+                         .Probe(d2, 2, 0)
+                         .Probe(d3, 3, 0)
+                         .Build();
 
-  PartitionedTable fact_parts =
-      PartitionWithPlacementSkew(fact, kNodes, /*theta=*/0.9, /*seed=*/5);
-  PartitionedTable d1_parts = PartitionByHash(d1, kNodes, 0);
-  PartitionedTable d2_parts = PartitionByHash(d2, kNodes, 0);
-  PartitionedTable d3_parts = PartitionByHash(d3, kNodes, 0);
+  std::printf("3-join chain over %zu fact rows, 4 nodes x 2 threads, "
+              "placement skew 0.9\n\n",
+              db.table(fact)->rows());
 
-  ChainQuery query;
-  query.input = &fact_parts;
-  query.joins.push_back({&d1_parts, 1, 0});
-  query.joins.push_back({&d2_parts, 2, 0});
-  query.joins.push_back({&d3_parts, 3, 0});
-
-  std::printf("fact rows per node:");
-  for (const auto& p : fact_parts.parts) {
-    std::printf(" %zu", p.rows());
-  }
-  std::printf("  (placement skew)\n\n");
-
-  auto ref = ReferenceExecute(query).ValueOrDie();
-  std::printf("reference result: %llu rows\n\n",
-              static_cast<unsigned long long>(ref.count));
-
-  for (auto strategy : {mt::LocalStrategy::kDP, mt::LocalStrategy::kFP}) {
-    ClusterOptions options;
-    options.nodes = kNodes;
-    options.threads_per_node = 2;
-    options.buckets = 128;
-    options.strategy = strategy;
-    ClusterExecutor executor(options);
-    ClusterStats stats;
-    auto result = executor.Execute(query, &stats);
+  for (auto strategy : {Strategy::kDP, Strategy::kFP}) {
+    api::ExecOptions opts;
+    opts.backend = api::Backend::kCluster;
+    opts.strategy = strategy;
+    opts.nodes = 4;
+    opts.threads_per_node = 2;
+    opts.buckets = 128;
+    opts.skew_theta = 0.9;  // Zipf tuple placement across nodes
+    opts.seed = 5;
+    opts.validate = true;
+    auto result = db.Execute(query, opts);
     if (!result.ok()) {
       std::fprintf(stderr, "execution failed: %s\n",
                    result.status().ToString().c_str());
       return 1;
     }
+    const api::ExecutionReport& m = result.value();
     std::printf("[%s] rows=%llu (%s)  redistribution=%.2f MB  "
                 "load-balancing=%.3f MB  steals=%llu  imbalance=%.2f\n",
-                mt::LocalStrategyName(strategy),
-                static_cast<unsigned long long>(result.value().count),
-                result.value() == ref ? "matches reference" : "MISMATCH",
-                stats.dataflow_bytes / 1e6, stats.lb_bytes / 1e6,
-                static_cast<unsigned long long>(stats.steals),
-                stats.NodeImbalance());
+                StrategyName(strategy),
+                static_cast<unsigned long long>(m.result_rows),
+                m.reference_match ? "matches reference" : "MISMATCH",
+                m.pipeline_bytes / 1e6, m.lb_bytes / 1e6,
+                static_cast<unsigned long long>(m.steals), m.imbalance);
   }
   std::printf("\nDP steals only when an entire node starves; FP's "
               "per-processor starving produces more load-balancing "

@@ -1,20 +1,20 @@
 // Example: optimizing one query under every join-tree shape and printing
-// the resulting parallel execution plans.
+// the resulting execution plans through Session::Explain.
 //
 // Shows the optimizer pipeline end to end: random query generation
 // (Section 5.1.2 methodology), shape-constrained join-tree optimization
 // (bushy / zigzag / right-deep / left-deep / segmented right-deep), and
 // macro-expansion into an operator tree with pipeline chains and
-// scheduling constraints (Figure 2).
+// scheduling constraints (Figure 2) — all rendered by the unified
+// api::Session.
 //
-// Build & run:  ./build/examples/optimizer_explain [seed]
+// Build & run:  ./build/optimizer_explain [seed]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/session.h"
 #include "opt/query_gen.h"
-#include "opt/tree_shapes.h"
-#include "plan/operator_tree.h"
 
 using namespace hierdb;
 
@@ -27,6 +27,11 @@ int main(int argc, char** argv) {
   opt::QueryGenerator gen(qo, seed);
   opt::GeneratedQuery query = gen.Generate();
 
+  api::Session db;
+  for (const auto& rel : query.catalog.relations()) {
+    db.AddRelation(rel.name, rel.cardinality, rel.tuple_bytes);
+  }
+
   std::printf("generated query over %u relations (seed %llu):\n",
               qo.num_relations, static_cast<unsigned long long>(seed));
   for (uint32_t r = 0; r < qo.num_relations; ++r) {
@@ -37,22 +42,29 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  api::ExecOptions opts;
+  opts.backend = api::Backend::kSimulated;
+  opts.strategy = Strategy::kDP;
+  opts.nodes = 2;
+  opts.threads_per_node = 4;
+
   for (opt::TreeShape shape :
        {opt::TreeShape::kBushy, opt::TreeShape::kZigZag,
         opt::TreeShape::kRightDeep, opt::TreeShape::kLeftDeep,
         opt::TreeShape::kSegmentedRightDeep}) {
-    opt::ShapeOptions so;
-    so.shape = shape;
-    so.segment_length = 2;
-    plan::JoinTree tree = opt::ShapedBest(query.graph, query.catalog, so);
-    std::printf("---- %s (cost %.3g) ----\n", opt::TreeShapeName(shape),
-                tree.cost);
-    std::printf("%s", tree.ToString(query.catalog).c_str());
-
-    plan::ExpandOptions eo;
-    eo.build_on_right_child = true;
-    plan::PhysicalPlan pplan = plan::MacroExpand(tree, query.catalog, eo);
-    std::printf("%s\n", pplan.ToString().c_str());
+    api::QueryBuilder qb = db.NewQuery();
+    for (const auto& e : query.graph.edges()) {
+      qb.Join(e.a, e.b, e.selectivity);
+    }
+    qb.Shape(shape, /*segment_length=*/2);
+    auto text = db.Explain(qb.Build(), opts);
+    if (!text.ok()) {
+      std::fprintf(stderr, "explain failed: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("---- %s ----\n%s\n", opt::TreeShapeName(shape),
+                text.value().c_str());
   }
   std::printf("bushy minimizes intermediate results; right-deep maximizes "
               "pipeline length; left-deep blocks after every join "

@@ -1,80 +1,91 @@
-// Quickstart: build the paper's Figure 2 query (four relations, bushy
-// tree) by hand, run it under the dynamic-processing execution model on a
-// 2-node x 4-processor hierarchical machine, and print the execution
-// summary.
+// Quickstart: the unified hierdb::api::Session front door.
+//
+// Declares the paper's Figure 2 query (four relations, bushy tree), prints
+// the execution plan with Session::Explain, runs it under the
+// dynamic-processing model on a simulated 2-node x 4-processor
+// hierarchical machine, and then runs the very same query on real threads
+// and real tuples — one Query, one ExecOptions, two backends.
 //
 //   $ ./quickstart
 
-#include <algorithm>
 #include <cstdio>
 
-#include "exec/engine.h"
-#include "opt/bushy_optimizer.h"
-#include "plan/operator_tree.h"
+#include "api/session.h"
 
 using namespace hierdb;
 
 int main() {
-  // 1. Declare the relations (R, S, T, U of Figure 2).
-  catalog::Catalog cat;
-  auto r = cat.AddRelation("R", 20'000);
-  auto s = cat.AddRelation("S", 80'000);
-  auto t = cat.AddRelation("T", 40'000);
-  auto u = cat.AddRelation("U", 160'000);
+  // 1. Declare the relations (R, S, T, U of Figure 2) and the predicate
+  //    graph R-S, S-T, T-U. Selectivities default to the paper's FK model
+  //    (each join result about the size of its larger input).
+  api::Session db;
+  auto r = db.AddRelation("R", 20'000);
+  auto s = db.AddRelation("S", 80'000);
+  auto t = db.AddRelation("T", 40'000);
+  auto u = db.AddRelation("U", 160'000);
+  api::Query query = db.NewQuery().Join(r, s).Join(s, t).Join(t, u).Build();
 
-  // 2. The predicate graph: R-S, S-T, T-U, with selectivities that keep
-  //    each join result near the larger input (the paper's methodology).
-  auto sel = [&](catalog::RelId a, catalog::RelId b) {
-    double ca = static_cast<double>(cat.relation(a).cardinality);
-    double cb = static_cast<double>(cat.relation(b).cardinality);
-    return std::max(ca, cb) / (ca * cb);
-  };
-  plan::JoinGraph graph(4, {{r, s, sel(r, s)},
-                            {s, t, sel(s, t)},
-                            {t, u, sel(t, u)}});
-
-  // 3. Optimize into a bushy tree and macro-expand it into a parallel
-  //    execution plan (scan/build/probe operators, pipeline chains,
-  //    scheduling heuristics H1 + H2).
-  opt::BushyOptimizer optimizer;
-  plan::JoinTree tree = optimizer.Best(graph, cat);
-  plan::PhysicalPlan plan = plan::MacroExpand(tree, cat);
-  std::printf("join tree: %s\n", tree.ToString(cat).c_str());
-  std::printf("%s\n", plan.ToString().c_str());
-
-  // 4. Configure a hierarchical machine: 2 shared-memory nodes x 4
-  //    processors, the paper's network and disk parameter tables.
-  sim::SystemConfig cfg;
-  cfg.num_nodes = 2;
-  cfg.procs_per_node = 4;
-
-  // 5. Execute under dynamic processing (DP).
-  exec::Engine engine(cfg, exec::Strategy::kDP);
-  exec::RunOptions opts;
+  // 2. Configure the run: simulated backend, dynamic processing, a 2-node
+  //    x 4-processor hierarchical machine.
+  api::ExecOptions opts;
+  opts.backend = api::Backend::kSimulated;
+  opts.strategy = Strategy::kDP;
+  opts.nodes = 2;
+  opts.threads_per_node = 4;
   opts.seed = 2024;
-  exec::RunResult result = engine.Run(plan, cat, opts);
-  if (!result.status.ok()) {
-    std::fprintf(stderr, "execution failed: %s\n",
-                 result.status.ToString().c_str());
+
+  // 3. Explain: the optimized bushy tree, its macro-expansion into
+  //    scan/build/probe operators and pipeline chains, and the plan the
+  //    real backends would run.
+  auto explained = db.Explain(query, opts);
+  if (!explained.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 explained.status().ToString().c_str());
     return 1;
   }
+  std::printf("%s\n", explained.value().c_str());
 
-  const exec::RunMetrics& m = result.metrics;
-  std::printf("\nresponse time      : %.1f ms\n", m.ResponseMs());
-  std::printf("processor idle     : %.1f %%\n", m.IdleFraction() * 100.0);
-  std::printf("activations        : %llu\n",
-              static_cast<unsigned long long>(m.activations_processed));
-  std::printf("tuples processed   : %llu\n",
-              static_cast<unsigned long long>(m.tuples_processed));
-  std::printf("pipeline bytes     : %.2f MB across nodes\n",
-              static_cast<double>(m.net.bytes_pipeline) / (1 << 20));
-  std::printf("blocking escapes   : %llu queue, %llu I/O\n",
-              static_cast<unsigned long long>(m.suspensions_queue),
-              static_cast<unsigned long long>(m.suspensions_io));
-  std::printf("per-operator completion:\n");
-  for (const auto& op : plan.ops) {
-    std::printf("  %-12s ends at %8.1f ms\n", op.label.c_str(),
-                ToMillis(m.op_end_time[op.id]));
+  // 4. Execute on the simulated hierarchical machine.
+  auto sim = db.Execute(query, opts);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 sim.status().ToString().c_str());
+    return 1;
   }
+  const api::ExecutionReport& m = sim.value();
+  std::printf("simulated run (%s):\n", StrategyName(m.strategy));
+  std::printf("  response time    : %.1f ms\n", m.response_ms);
+  std::printf("  processor idle   : %.1f %%\n", m.idle_fraction * 100.0);
+  std::printf("  activations      : %llu\n",
+              static_cast<unsigned long long>(m.activations));
+  std::printf("  tuples processed : %llu\n",
+              static_cast<unsigned long long>(m.tuples));
+  std::printf("  pipeline bytes   : %.2f MB across nodes\n",
+              static_cast<double>(m.pipeline_bytes) / (1 << 20));
+  std::printf("  per-operator completion:\n");
+  for (size_t i = 0; i < m.op_labels.size(); ++i) {
+    std::printf("    %-12s ends at %8.1f ms\n", m.op_labels[i].c_str(),
+                m.op_end_ms[i]);
+  }
+
+  // 5. The same query on real threads: tables are synthesized at 5% of
+  //    the catalog cardinalities and the result is validated against the
+  //    single-threaded reference.
+  opts.backend = api::Backend::kThreads;
+  opts.nodes = 1;
+  opts.bind_scale = 0.05;
+  opts.validate = true;
+  auto real = db.Execute(query, opts);
+  if (!real.ok()) {
+    std::fprintf(stderr, "threads run failed: %s\n",
+                 real.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nthreads run (%u threads): %llu result rows in %.3f s (%s)\n",
+              opts.threads_per_node,
+              static_cast<unsigned long long>(real.value().result_rows),
+              real.value().wall_seconds,
+              real.value().reference_match ? "matches reference"
+                                           : "MISMATCH");
   return 0;
 }

@@ -1,77 +1,81 @@
-// The real multithreaded mini-executor: an actual star join over
-// generated tuples, executed with the paper's dynamic-processing design
-// (self-contained activations, per-thread queues with stealing, bucket
-// fragmentation, flow-control escapes) on this machine's cores. The
-// result is validated against a single-threaded reference.
+// A real multithreaded star join over generated tuples, executed with the
+// paper's dynamic-processing design (self-contained activations,
+// per-thread queues with stealing, bucket fragmentation, flow-control
+// escapes) on this machine's cores — through the unified api::Session.
+// The result is validated against a single-threaded reference.
 //
 //   $ ./real_executor_join [threads]
 
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 
-#include "mt/executor.h"
+#include "api/session.h"
 
-using namespace hierdb::mt;
+using namespace hierdb;
 
 int main(int argc, char** argv) {
   const uint32_t threads =
       argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1]))
                : std::max(2u, std::thread::hardware_concurrency() / 2);
 
-  // A skewed fact relation (Zipf keys = attribute-value skew) and three
-  // uniform dimensions.
-  auto fact = MakeZipfRelation(500'000, 50'000, 0.5, 1);
-  auto customers = MakeUniformRelation(200'000, 50'000, 2);
-  auto products = MakeUniformRelation(100'000, 50'000, 3);
-  auto stores = MakeUniformRelation(50'000, 50'000, 4);
-  std::vector<const Relation*> dims = {&customers, &products, &stores};
+  // A skewed fact relation (Zipf keys on every FK column = attribute-value
+  // skew) and three uniform dimensions, registered as real session data.
+  api::Session db;
+  auto fact = db.AddTable(
+      mt::MakeSkewedTable("fact", 500'000, 4, 50'000, 1, 0.5, 1));
+  auto customers = db.AddTable(mt::MakeTable("customers", 200'000, 2,
+                                             50'000, 2));
+  auto products = db.AddTable(mt::MakeTable("products", 100'000, 2,
+                                            50'000, 3));
+  auto stores = db.AddTable(mt::MakeTable("stores", 50'000, 2, 50'000, 4));
 
-  std::printf("fact=%zu tuples (zipf 0.5), dims=%zu/%zu/%zu, %u threads\n",
-              fact.size(), customers.size(), products.size(), stores.size(),
-              threads);
+  std::printf("fact=%zu tuples (zipf 0.5 on fk1), dims=%zu/%zu/%zu, %u "
+              "threads\n",
+              db.table(fact)->rows(), db.table(customers)->rows(),
+              db.table(products)->rows(), db.table(stores)->rows(), threads);
 
-  ExecutorOptions opts;
-  opts.threads = threads;
+  // Star chain: fact probes each dimension's key column. Dimension keys
+  // are dense in [0, rows), so only FKs below the dimension size match.
+  api::Query query = db.NewQuery()
+                         .Scan(fact)
+                         .Probe(customers, 1, 0)
+                         .Probe(products, 2, 0)
+                         .Probe(stores, 3, 0)
+                         .Build();
+
+  api::ExecOptions opts;
+  opts.backend = api::Backend::kThreads;
+  opts.strategy = Strategy::kDP;
+  opts.threads_per_node = threads;
   opts.buckets = 512;
-  StarJoinExecutor executor(opts);
-  ExecutorStats stats;
+  opts.validate = true;  // run the single-threaded reference too
 
-  auto t0 = std::chrono::steady_clock::now();
-  auto result = executor.Execute(fact, dims, &stats);
-  double secs = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+  auto result = db.Execute(query, opts);
   if (!result.ok()) {
     std::fprintf(stderr, "join failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
-
+  const api::ExecutionReport& m = result.value();
   std::printf("parallel join : %llu result tuples in %.3f s (%.1f M "
               "fact-tuples/s)\n",
-              static_cast<unsigned long long>(result.value().count), secs,
-              fact.size() / secs / 1e6);
-  std::printf("activations   : %llu (%llu stolen from other queues, %llu "
-              "full-queue escapes)\n",
-              static_cast<unsigned long long>(stats.activations),
-              static_cast<unsigned long long>(stats.nonprimary_consumptions),
-              static_cast<unsigned long long>(stats.full_queue_escapes));
-
-  auto t1 = std::chrono::steady_clock::now();
-  JoinResult ref = ReferenceStarJoin(fact, dims);
-  double ref_secs = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t1)
-                        .count();
-  std::printf("reference     : %llu tuples in %.3f s (single thread)\n",
-              static_cast<unsigned long long>(ref.count), ref_secs);
-  if (ref.count != result.value().count ||
-      ref.checksum != result.value().checksum) {
-    std::fprintf(stderr, "MISMATCH against reference!\n");
+              static_cast<unsigned long long>(m.result_rows), m.wall_seconds,
+              db.table(fact)->rows() / m.wall_seconds / 1e6);
+  std::printf("activations   : %llu (%llu consumed from non-primary "
+              "queues, %llu full-queue escapes)\n",
+              static_cast<unsigned long long>(m.activations),
+              static_cast<unsigned long long>(m.stolen_activations),
+              static_cast<unsigned long long>(m.threads->escapes));
+  if (!m.reference_match) {
+    std::fprintf(stderr, "MISMATCH against reference (%llu rows)!\n",
+                 static_cast<unsigned long long>(m.reference_rows));
     return 1;
   }
-  std::printf("validation    : count and checksum match the reference\n");
+  std::printf("validation    : count and checksum match the reference "
+              "(%llu rows)\n",
+              static_cast<unsigned long long>(m.reference_rows));
   if (std::thread::hardware_concurrency() <= 1) {
     std::printf("note          : this host exposes a single core; thread "
                 "scaling cannot show here.\n");

@@ -1,13 +1,14 @@
 // Skew-resilience demo (the Section 5.2.2 claim): sweep the
 // redistribution-skew factor and show that DP's response time barely
 // moves, while the static FP model degrades — on the same plan, same
-// machine.
+// machine, through the unified api::Session.
 //
 //   $ ./skew_resilience
 
 #include <cstdio>
+#include <utility>
 
-#include "exec/engine.h"
+#include "api/session.h"
 #include "opt/workload.h"
 
 using namespace hierdb;
@@ -23,35 +24,42 @@ int main() {
   wo.seed = 99;
   opt::WorkloadPlan wp = std::move(opt::MakeWorkload(wo)[0]);
 
-  sim::SystemConfig cfg;
-  cfg.num_nodes = 1;
-  cfg.procs_per_node = 16;
+  api::Session db;
+  for (const auto& rel : wp.catalog.relations()) {
+    db.AddRelation(rel.name, rel.cardinality, rel.tuple_bytes);
+  }
+  api::QueryBuilder qb = db.NewQuery();
+  for (const auto& e : wp.edges) qb.Join(e.a, e.b, e.selectivity);
+  api::Query query = qb.Tree(wp.tree).Build();
 
   std::printf("12-relation query, 16 processors, one shared-memory node\n");
   std::printf("%-8s %14s %14s %18s\n", "zipf", "DP rt(ms)", "FP rt(ms)",
               "DP non-primary");
   double dp_base = 0.0, fp_base = 0.0;
   for (double theta : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    exec::RunOptions opts;
+    api::ExecOptions opts;
+    opts.backend = api::Backend::kSimulated;
+    opts.nodes = 1;
+    opts.threads_per_node = 16;
     opts.seed = 5;
     opts.skew_theta = theta;
-    exec::Engine dp(cfg, exec::Strategy::kDP);
-    auto dm = dp.Run(wp.plan, wp.catalog, opts);
-    exec::Engine fp(cfg, exec::Strategy::kFP);
-    auto fm = fp.Run(wp.plan, wp.catalog, opts);
-    if (!dm.status.ok() || !fm.status.ok()) {
+    opts.strategy = Strategy::kDP;
+    auto dm = db.Execute(query, opts);
+    opts.strategy = Strategy::kFP;
+    auto fm = db.Execute(query, opts);
+    if (!dm.ok() || !fm.ok()) {
       std::fprintf(stderr, "run failed\n");
       return 1;
     }
     if (theta == 0.0) {
-      dp_base = dm.metrics.ResponseMs();
-      fp_base = fm.metrics.ResponseMs();
+      dp_base = dm.value().response_ms;
+      fp_base = fm.value().response_ms;
     }
     std::printf("%-8.1f %9.0f (%4.2fx) %8.0f (%4.2fx) %18llu\n", theta,
-                dm.metrics.ResponseMs(), dm.metrics.ResponseMs() / dp_base,
-                fm.metrics.ResponseMs(), fm.metrics.ResponseMs() / fp_base,
+                dm.value().response_ms, dm.value().response_ms / dp_base,
+                fm.value().response_ms, fm.value().response_ms / fp_base,
                 static_cast<unsigned long long>(
-                    dm.metrics.nonprimary_consumptions));
+                    dm.value().sim->nonprimary_consumptions));
   }
   std::printf("\nDP absorbs skew by letting threads drain each other's "
               "queues (non-primary consumptions\ngrow with skew while the "

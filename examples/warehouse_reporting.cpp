@@ -3,71 +3,59 @@
 // with several dimensions — on a 4-node x 8-processor cluster, with
 // skewed data. Compares dynamic processing (DP) against the static
 // fixed-processing baseline (FP) and reports the global load-balancing
-// traffic each needs.
+// traffic each needs. Everything runs through the unified api::Session.
 //
 //   $ ./warehouse_reporting [zipf_theta]
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
-#include "exec/engine.h"
-#include "opt/bushy_optimizer.h"
-#include "plan/operator_tree.h"
+#include "api/session.h"
 
 using namespace hierdb;
 
 int main(int argc, char** argv) {
   const double theta = argc > 1 ? std::atof(argv[1]) : 0.6;
 
-  catalog::Catalog cat;
-  auto sales = cat.AddRelation("sales", 1'000'000);
-  auto customers = cat.AddRelation("customers", 120'000);
-  auto products = cat.AddRelation("products", 60'000);
-  auto stores = cat.AddRelation("stores", 15'000);
-  auto dates = cat.AddRelation("dates", 10'000);
+  api::Session db;
+  auto sales = db.AddRelation("sales", 1'000'000);
+  auto customers = db.AddRelation("customers", 120'000);
+  auto products = db.AddRelation("products", 60'000);
+  auto stores = db.AddRelation("stores", 15'000);
+  auto dates = db.AddRelation("dates", 10'000);
 
-  auto sel = [&](catalog::RelId a, catalog::RelId b) {
-    double ca = static_cast<double>(cat.relation(a).cardinality);
-    double cb = static_cast<double>(cat.relation(b).cardinality);
-    return std::max(ca, cb) / (ca * cb);
-  };
-  plan::JoinGraph graph(5, {{sales, customers, sel(sales, customers)},
-                            {sales, products, sel(sales, products)},
-                            {sales, stores, sel(sales, stores)},
-                            {sales, dates, sel(sales, dates)}});
-
-  opt::BushyOptimizer optimizer;
-  plan::PhysicalPlan plan =
-      plan::MacroExpand(optimizer.Best(graph, cat), cat);
-
-  sim::SystemConfig cfg;
-  cfg.num_nodes = 4;
-  cfg.procs_per_node = 8;
+  api::Query query = db.NewQuery()
+                         .Join(sales, customers)
+                         .Join(sales, products)
+                         .Join(sales, stores)
+                         .Join(sales, dates)
+                         .Build();
 
   std::printf("star query over %u relations, skew theta = %.2f, 4x8 "
               "hierarchical machine\n\n",
-              cat.size(), theta);
+              db.catalog().size(), theta);
   std::printf("%-6s %12s %8s %10s %12s %10s\n", "model", "response(ms)",
               "idle%", "steals", "lb-MB", "pipe-MB");
-  for (auto strat : {exec::Strategy::kDP, exec::Strategy::kFP}) {
-    exec::Engine engine(cfg, strat);
-    exec::RunOptions opts;
+  for (auto strat : {Strategy::kDP, Strategy::kFP}) {
+    api::ExecOptions opts;
+    opts.backend = api::Backend::kSimulated;
+    opts.strategy = strat;
+    opts.nodes = 4;
+    opts.threads_per_node = 8;
     opts.seed = 7;
     opts.skew_theta = theta;
-    exec::RunResult result = engine.Run(plan, cat, opts);
-    if (!result.status.ok()) {
+    auto result = db.Execute(query, opts);
+    if (!result.ok()) {
       std::fprintf(stderr, "run failed: %s\n",
-                   result.status.ToString().c_str());
+                   result.status().ToString().c_str());
       return 1;
     }
-    const auto& m = result.metrics;
+    const api::ExecutionReport& m = result.value();
     std::printf("%-6s %12.0f %7.1f%% %10llu %12.2f %10.2f\n",
-                exec::StrategyName(strat), m.ResponseMs(),
-                m.IdleFraction() * 100.0,
-                static_cast<unsigned long long>(m.global_steals),
-                static_cast<double>(m.net.bytes_loadbalance) / (1 << 20),
-                static_cast<double>(m.net.bytes_pipeline) / (1 << 20));
+                StrategyName(strat), m.response_ms, m.idle_fraction * 100.0,
+                static_cast<unsigned long long>(m.steals),
+                static_cast<double>(m.lb_bytes) / (1 << 20),
+                static_cast<double>(m.pipeline_bytes) / (1 << 20));
   }
   std::printf("\nDP lets any processor run any operator of its node, so an "
               "SM-node only asks others for\nwork when it is entirely "

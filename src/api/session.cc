@@ -1,0 +1,649 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "mt/plan.h"
+#include "mt/query_bind.h"
+
+namespace hierdb::api {
+
+namespace {
+
+double WallSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Default FK selectivity: each join result about the larger input.
+double DefaultSelectivity(uint64_t ca, uint64_t cb) {
+  double a = static_cast<double>(ca), b = static_cast<double>(cb);
+  if (a <= 0 || b <= 0) return 1.0;
+  return std::max(a, b) / (a * b);
+}
+
+}  // namespace
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kSimulated: return "simulated";
+    case Backend::kThreads: return "threads";
+    case Backend::kCluster: return "cluster";
+  }
+  return "?";
+}
+
+std::string ExecutionReport::ToString() const {
+  std::ostringstream os;
+  os << "ExecutionReport{" << BackendName(backend) << "/"
+     << StrategyName(strategy) << " rt=" << response_ms << "ms";
+  if (backend == Backend::kSimulated) {
+    os << " idle=" << idle_fraction * 100.0 << "%";
+  } else {
+    os << " idle_waits=" << idle_waits;
+  }
+  os << " acts=" << activations;
+  if (tuples > 0) os << " tuples=" << tuples;
+  if (has_result) os << " rows=" << result_rows;
+  os << " pipe_bytes=" << pipeline_bytes << " lb_bytes=" << lb_bytes
+     << " steals=" << steals;
+  if (imbalance > 0) os << " imbalance=" << imbalance;
+  if (validated) os << (reference_match ? " ref=match" : " ref=MISMATCH");
+  os << "}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// QueryBuilder
+
+QueryBuilder& QueryBuilder::Join(RelId a, RelId b, double selectivity) {
+  q_.edges_.push_back({a, b, selectivity, 0, 0, false});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::JoinOn(RelId a, uint32_t col_a, RelId b,
+                                   uint32_t col_b, double selectivity) {
+  q_.edges_.push_back({a, b, selectivity, col_a, col_b, true});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Tree(plan::JoinTree tree) {
+  q_.tree_ = std::move(tree);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Shape(opt::TreeShape shape,
+                                  uint32_t segment_length) {
+  q_.shape_.shape = shape;
+  q_.shape_.segment_length = segment_length;
+  q_.shape_set_ = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Scan(RelId input) {
+  q_.chain_ = true;
+  q_.has_input_ = true;
+  q_.input_ = input;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Probe(RelId build, uint32_t probe_col,
+                                  uint32_t build_col, double selectivity) {
+  q_.chain_ = true;
+  q_.steps_.push_back({build, probe_col, build_col, selectivity});
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+
+RelId Session::AddRelation(std::string name, uint64_t cardinality,
+                           uint32_t tuple_bytes) {
+  RelId id = catalog_.AddRelation(std::move(name), cardinality, tuple_bytes);
+  tables_.emplace_back(std::nullopt);
+  return id;
+}
+
+RelId Session::AddTable(mt::Table table) {
+  RelId id = catalog_.AddRelation(
+      table.name, table.rows(),
+      table.width() * static_cast<uint32_t>(sizeof(int64_t)));
+  tables_.emplace_back(std::move(table));
+  return id;
+}
+
+const mt::Table* Session::table(RelId id) const {
+  if (id >= tables_.size() || !tables_[id].has_value()) return nullptr;
+  return &*tables_[id];
+}
+
+/// The bridged representations of one planned query: the local (dense)
+/// catalog over the query's relations, the chosen join tree, the simulated
+/// physical plan, and — when real data is available or synthesizable — the
+/// table set and pipeline plan the real backends execute.
+struct Session::Planned {
+  catalog::Catalog cat;               ///< local catalog (dense rel ids)
+  std::vector<RelId> to_global;       ///< local rel id -> session rel id
+  plan::JoinTree tree;
+  plan::PhysicalPlan pplan;
+
+  bool has_real = false;
+  std::string real_gap;               ///< why real execution is unavailable
+  std::vector<mt::Table> owned;       ///< synthesized tables (if any)
+  std::vector<const mt::Table*> tables;  ///< local rel id -> data
+  mt::PipelinePlan mtplan;
+};
+
+Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
+                          bool want_real, Planned* out) const {
+  if (q.edges_.empty() && q.steps_.empty()) {
+    return Status::InvalidArgument("query has no joins");
+  }
+  if (q.chain_ && !q.edges_.empty()) {
+    return Status::InvalidArgument(
+        "query mixes chain form (Scan/Probe) and graph form (Join)");
+  }
+  if (q.chain_ && !q.has_input_) {
+    return Status::InvalidArgument("chain query has no Scan()");
+  }
+
+  // Collect the referenced relations and build the dense local catalog.
+  std::vector<RelId> rels;
+  auto touch = [&](RelId r) { rels.push_back(r); };
+  if (q.chain_) {
+    touch(q.input_);
+    for (const auto& s : q.steps_) touch(s.build);
+  } else {
+    for (const auto& e : q.edges_) {
+      touch(e.a);
+      touch(e.b);
+    }
+  }
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+  for (RelId r : rels) {
+    if (r >= catalog_.size()) {
+      return Status::InvalidArgument("query references unknown relation id " +
+                                     std::to_string(r));
+    }
+  }
+  if (rels.size() > 64) {
+    return Status::InvalidArgument("queries support at most 64 relations");
+  }
+  std::unordered_map<RelId, uint32_t> to_local;
+  for (RelId r : rels) {
+    const auto& rel = catalog_.relation(r);
+    to_local[r] = out->cat.AddRelation(rel.name, rel.cardinality,
+                                       rel.tuple_bytes);
+    out->to_global.push_back(r);
+  }
+  auto local = [&](RelId r) { return to_local.at(r); };
+  auto card = [&](RelId r) {
+    return catalog_.relation(r).cardinality;
+  };
+
+  // Predicate graph over the local relations.
+  std::vector<plan::JoinEdge> edges;
+  if (q.chain_) {
+    // Map each probe_col back to the relation whose columns occupy that
+    // range of the pipelined row (input columns first, then each build's
+    // columns appended in step order), so snowflake chains — a probe on a
+    // previous build's column — model the right edge. Catalog-only
+    // relations have unknown widths and fall back to the driving input.
+    struct Range {
+      RelId rel;
+      uint32_t begin, end;
+    };
+    std::vector<Range> ranges;
+    uint32_t width = 0;
+    auto push_range = [&](RelId r) {
+      const mt::Table* t = table(r);
+      uint32_t w = t ? t->width() : 0;
+      ranges.push_back({r, width, width + w});
+      width += w;
+    };
+    push_range(q.input_);
+    for (const auto& s : q.steps_) {
+      RelId probe_rel = q.input_;
+      for (const auto& rg : ranges) {
+        if (rg.begin <= s.probe_col && s.probe_col < rg.end) {
+          probe_rel = rg.rel;
+          break;
+        }
+      }
+      double sel = s.selectivity > 0
+                       ? s.selectivity
+                       : DefaultSelectivity(card(probe_rel), card(s.build));
+      edges.push_back({local(probe_rel), local(s.build), sel});
+      push_range(s.build);
+    }
+  } else {
+    for (const auto& e : q.edges_) {
+      double sel = e.selectivity > 0
+                       ? e.selectivity
+                       : DefaultSelectivity(card(e.a), card(e.b));
+      edges.push_back({local(e.a), local(e.b), sel});
+    }
+  }
+  plan::JoinGraph graph(static_cast<uint32_t>(rels.size()), edges);
+  // Chain queries may probe the same build relation twice; such graphs are
+  // not simple trees, so only graph-form queries are validated here.
+  if (!q.chain_) {
+    HIERDB_RETURN_NOT_OK(graph.Validate());
+  }
+
+  // Choose the join tree: explicit > chain spine > shaped optimization.
+  if (q.tree_.has_value()) {
+    // Remap the caller's tree (session rel ids) onto local ids.
+    plan::JoinTree tree = *q.tree_;
+    if (tree.root < 0 ||
+        static_cast<size_t>(tree.root) >= tree.nodes.size()) {
+      return Status::InvalidArgument("explicit tree is empty or malformed");
+    }
+    for (auto& node : tree.nodes) {
+      if (node.IsLeaf()) {
+        auto it = to_local.find(node.rel);
+        if (it == to_local.end()) {
+          return Status::InvalidArgument(
+              "explicit tree references a relation outside the join graph");
+        }
+        node.rel = it->second;
+        node.rels = plan::RelBit(node.rel);
+      } else if (node.left < 0 || node.right < 0 ||
+                 static_cast<size_t>(node.left) >= tree.nodes.size() ||
+                 static_cast<size_t>(node.right) >= tree.nodes.size()) {
+        return Status::InvalidArgument(
+            "explicit tree has a child index out of range");
+      }
+    }
+    // Recompute subtree relation sets bottom-up (children precede parents
+    // is not guaranteed, so walk from the root). A node reached twice
+    // means the "tree" shares nodes or contains a cycle.
+    std::vector<char> seen(tree.nodes.size(), 0);
+    bool malformed = false;
+    std::function<plan::RelSet(int32_t)> rebuild =
+        [&](int32_t idx) -> plan::RelSet {
+      if (malformed) return 0;
+      if (seen[idx]) {
+        malformed = true;
+        return 0;
+      }
+      seen[idx] = 1;
+      auto& node = tree.nodes[idx];
+      if (!node.IsLeaf()) {
+        node.rels = rebuild(node.left) | rebuild(node.right);
+      }
+      return node.rels;
+    };
+    rebuild(tree.root);
+    if (malformed) {
+      return Status::InvalidArgument(
+          "explicit tree shares nodes or contains a cycle");
+    }
+    out->tree = std::move(tree);
+  } else if (q.chain_) {
+    // Left-deep spine with the builds as right children: macro-expansion
+    // with build_on_right_child keeps it one maximal pipeline chain.
+    plan::JoinTree tree;
+    auto add_leaf = [&](uint32_t r) {
+      plan::JoinTreeNode n;
+      n.rel = r;
+      n.rels = plan::RelBit(r);
+      n.card = static_cast<double>(out->cat.relation(r).cardinality);
+      tree.nodes.push_back(n);
+      return static_cast<int32_t>(tree.nodes.size() - 1);
+    };
+    int32_t cur = add_leaf(local(q.input_));
+    for (size_t i = 0; i < q.steps_.size(); ++i) {
+      int32_t leaf = add_leaf(local(q.steps_[i].build));
+      plan::JoinTreeNode n;
+      n.left = cur;
+      n.right = leaf;
+      n.rels = tree.nodes[cur].rels | tree.nodes[leaf].rels;
+      n.card = tree.nodes[cur].card * tree.nodes[leaf].card *
+               edges[i].selectivity;
+      tree.nodes.push_back(n);
+      cur = static_cast<int32_t>(tree.nodes.size() - 1);
+      tree.cost += n.card;
+    }
+    tree.root = cur;
+    out->tree = std::move(tree);
+  } else {
+    out->tree = opt::ShapedBest(graph, out->cat, q.shape_);
+  }
+
+  // Bridge 1: the simulated backend's parallel execution plan.
+  plan::ExpandOptions eo;
+  eo.apply_h1 = opts.apply_h1;
+  eo.serialize_chains = opts.apply_h2;
+  // Chain queries and explicitly shape-constrained trees build on the
+  // right child so the macro-expansion preserves the requested pipeline
+  // structure (right-deep => one maximal chain, left-deep => blocking
+  // ladder); an explicit Shape(kBushy) gets the same treatment so shape
+  // comparisons share one expansion convention.
+  eo.build_on_right_child =
+      q.chain_ || (!q.tree_.has_value() && q.shape_set_);
+  out->pplan = plan::MacroExpand(out->tree, out->cat, eo);
+  HIERDB_RETURN_NOT_OK(out->pplan.Validate());
+
+  // Bridge 2: the real-data pipeline plan (threads/cluster backends).
+  // The simulated backend never touches it, so skip the table synthesis.
+  if (!want_real) return Status::OK();
+  if (q.chain_) {
+    // Chain queries execute the registered rows verbatim.
+    std::string missing;
+    for (RelId r : rels) {
+      if (table(r) == nullptr) missing = catalog_.relation(r).name;
+    }
+    if (!missing.empty()) {
+      out->real_gap = "relation '" + missing +
+                      "' has no registered data (chain queries run on real "
+                      "tables; use Session::AddTable)";
+      return Status::OK();
+    }
+    for (RelId r : out->to_global) out->tables.push_back(table(r));
+    mt::Chain chain;
+    chain.input = mt::Source::OfTable(local(q.input_));
+    for (const auto& s : q.steps_) {
+      chain.joins.push_back(
+          {mt::Source::OfTable(local(s.build)), s.probe_col, s.build_col});
+    }
+    out->mtplan.chains.push_back(std::move(chain));
+    HIERDB_RETURN_NOT_OK(out->mtplan.Validate(out->tables));
+    out->has_real = true;
+    return Status::OK();
+  }
+
+  // Graph form: run on registered tables when every edge carries explicit
+  // join columns and every relation has data; otherwise synthesize tables
+  // that track the catalog cardinalities (paper methodology).
+  bool all_cols = true, all_data = true;
+  for (const auto& e : q.edges_) all_cols = all_cols && e.has_cols;
+  for (RelId r : rels) all_data = all_data && table(r) != nullptr;
+  if (all_cols && all_data) {
+    for (RelId r : out->to_global) out->tables.push_back(table(r));
+    std::vector<mt::EdgeColumns> cols;
+    for (const auto& e : q.edges_) cols.push_back({e.col_a, e.col_b});
+    auto plan = mt::TranslateJoinTree(out->tree, graph, out->tables, cols);
+    HIERDB_RETURN_NOT_OK(plan.status());
+    out->mtplan = std::move(plan).value();
+    out->has_real = true;
+  } else {
+    mt::BindOptions bo;
+    bo.scale = opts.bind_scale;
+    bo.seed = opts.seed;
+    bo.min_rows = opts.bind_min_rows;
+    auto bound = mt::BindJoinTree(out->tree, graph, out->cat, bo);
+    HIERDB_RETURN_NOT_OK(bound.status());
+    out->owned = std::move(bound.value().tables);
+    for (const auto& t : out->owned) out->tables.push_back(&t);
+    out->mtplan = std::move(bound.value().plan);
+    out->has_real = true;
+  }
+  return Status::OK();
+}
+
+Result<ExecutionReport> Session::Execute(const Query& q,
+                                         const ExecOptions& opts) const {
+  if (opts.strategy == Strategy::kSP && opts.nodes > 1) {
+    return Status::InvalidArgument(
+        "SP (synchronous pipelining) is shared-memory only: nodes must be 1");
+  }
+  if (opts.backend == Backend::kCluster &&
+      opts.strategy == Strategy::kSP) {
+    return Status::InvalidArgument(
+        "the cluster backend supports DP and FP only");
+  }
+  if (opts.backend == Backend::kThreads && opts.nodes != 1) {
+    return Status::InvalidArgument(
+        "the threads backend is one SM-node (nodes must be 1); use "
+        "Backend::kCluster for multi-node runs");
+  }
+  if (opts.nodes == 0 || opts.threads_per_node == 0) {
+    return Status::InvalidArgument("machine shape must be at least 1x1");
+  }
+
+  Planned p;
+  HIERDB_RETURN_NOT_OK(
+      PlanQuery(q, opts, opts.backend != Backend::kSimulated, &p));
+  switch (opts.backend) {
+    case Backend::kSimulated: return RunSimulated(p, opts);
+    case Backend::kThreads: return RunThreads(p, opts);
+    case Backend::kCluster: return RunCluster(p, opts);
+  }
+  return Status::Internal("unknown backend");
+}
+
+Result<ExecutionReport> Session::RunSimulated(const Planned& p,
+                                              const ExecOptions& opts) const {
+  sim::SystemConfig cfg;
+  if (opts.sim_config.has_value()) {
+    cfg = *opts.sim_config;
+  } else {
+    cfg.num_nodes = opts.nodes;
+    cfg.procs_per_node = opts.threads_per_node;
+    cfg.enable_global_lb = opts.global_lb;
+    if (opts.buckets) cfg.buckets_per_operator = opts.buckets;
+    if (opts.batch_rows) cfg.activation_batch_tuples = opts.batch_rows;
+    if (opts.queue_capacity) cfg.queue_capacity = opts.queue_capacity;
+  }
+  if (opts.strategy == Strategy::kSP && cfg.num_nodes > 1) {
+    return Status::InvalidArgument(
+        "SP (synchronous pipelining) is shared-memory only: nodes must be 1");
+  }
+
+  exec::Engine engine(cfg, opts.strategy);
+  exec::RunOptions ro;
+  ro.skew_theta = opts.skew_theta;
+  ro.fp_error_rate = opts.fp_error_rate;
+  ro.seed = opts.seed;
+  ro.max_events = opts.max_events;
+  ro.timeline_bucket = opts.timeline_bucket;
+  exec::RunResult rr = engine.Run(p.pplan, p.cat, ro);
+  if (!rr.status.ok()) return rr.status;
+
+  const exec::RunMetrics& m = rr.metrics;
+  ExecutionReport rep;
+  rep.backend = Backend::kSimulated;
+  rep.strategy = opts.strategy;
+  rep.response_ms = m.ResponseMs();
+  rep.idle_fraction = m.IdleFraction();
+  rep.activations = m.activations_processed;
+  rep.tuples = m.tuples_processed;
+  rep.pipeline_bytes = m.net.bytes_pipeline;
+  rep.lb_bytes = m.net.bytes_loadbalance;
+  rep.steals = m.global_steals;
+  rep.stolen_activations = m.stolen_activations;
+  for (const auto& op : p.pplan.ops) {
+    rep.op_labels.push_back(op.label);
+    rep.op_end_ms.push_back(ToMillis(m.op_end_time[op.id]));
+  }
+  rep.sim = m;
+  return rep;
+}
+
+Result<ExecutionReport> Session::RunThreads(const Planned& p,
+                                            const ExecOptions& opts) const {
+  if (!p.has_real) return Status::InvalidArgument(p.real_gap);
+
+  mt::PipelineOptions po;
+  po.threads = opts.threads_per_node;
+  po.strategy = opts.strategy;
+  po.apply_h1 = opts.apply_h1;
+  po.apply_h2 = opts.apply_h2;
+  if (opts.buckets) po.buckets = opts.buckets;
+  if (opts.morsel_rows) po.morsel_rows = opts.morsel_rows;
+  if (opts.batch_rows) po.batch_rows = opts.batch_rows;
+  if (opts.queue_capacity) po.queue_capacity = opts.queue_capacity;
+  if (opts.strategy == Strategy::kFP && opts.fp_error_rate > 0) {
+    uint32_t ops = mt::PipelineExecutor::CompiledOpCount(p.mtplan);
+    Rng rng(opts.seed ^ 0x9E3779B97F4A7C15ULL);
+    po.fp_cost_distortion.resize(ops);
+    for (double& d : po.fp_cost_distortion) {
+      d = 1.0 + opts.fp_error_rate * (2.0 * rng.NextDouble() - 1.0);
+    }
+  }
+
+  mt::PipelineExecutor executor(po);
+  mt::PipelineStats stats;
+  auto t0 = std::chrono::steady_clock::now();
+  auto got = executor.Execute(p.mtplan, p.tables, &stats);
+  double wall = WallSince(t0);
+  if (!got.ok()) return got.status();
+
+  ExecutionReport rep;
+  rep.backend = Backend::kThreads;
+  rep.strategy = opts.strategy;
+  rep.wall_seconds = wall;
+  rep.response_ms = wall * 1000.0;
+  rep.activations = stats.morsels + stats.data_activations;
+  rep.has_result = true;
+  rep.result_rows = got.value().count;
+  rep.result_checksum = got.value().checksum;
+  rep.idle_waits = stats.idle_waits;
+  rep.stolen_activations = stats.nonprimary;
+  rep.imbalance = stats.Imbalance();
+  rep.threads = stats;
+  if (opts.validate) {
+    auto ref = mt::ReferenceExecute(p.mtplan, p.tables);
+    HIERDB_RETURN_NOT_OK(ref.status());
+    rep.validated = true;
+    rep.reference_rows = ref.value().count;
+    rep.reference_match = ref.value() == got.value();
+  }
+  return rep;
+}
+
+Result<ExecutionReport> Session::RunCluster(const Planned& p,
+                                            const ExecOptions& opts) const {
+  if (!p.has_real) return Status::InvalidArgument(p.real_gap);
+
+  // Bridge the (possibly bushy, multi-chain) pipeline plan to the cluster's
+  // single distributed chain: every earlier chain whose output feeds the
+  // final chain is materialized locally by the reference executor, then
+  // partitioned like a base relation. Distributing the intermediate chains
+  // themselves is an open item (ROADMAP).
+  const mt::PipelinePlan& plan = p.mtplan;
+  const mt::Chain& last = plan.chains.back();
+
+  std::vector<mt::Table> materialized;
+  auto materialize = [&](uint32_t chain_idx) -> Result<mt::Table> {
+    mt::PipelinePlan prefix;
+    prefix.chains.assign(plan.chains.begin(),
+                         plan.chains.begin() + chain_idx + 1);
+    auto batch = mt::ReferenceMaterialize(prefix, p.tables);
+    HIERDB_RETURN_NOT_OK(batch.status());
+    mt::Table t;
+    t.name = "chain" + std::to_string(chain_idx);
+    t.batch = std::move(batch).value();
+    return t;
+  };
+  auto resolve = [&](const mt::Source& src) -> Result<const mt::Table*> {
+    if (src.kind == mt::Source::Kind::kTable) return p.tables[src.index];
+    auto t = materialize(src.index);
+    HIERDB_RETURN_NOT_OK(t.status());
+    materialized.push_back(std::move(t).value());
+    return &materialized.back();
+  };
+  // Reserve so the Table pointers handed out by resolve() stay stable.
+  materialized.reserve(last.joins.size() + 1);
+
+  auto input = resolve(last.input);
+  HIERDB_RETURN_NOT_OK(input.status());
+  std::vector<cluster::PartitionedTable> parts;
+  parts.reserve(last.joins.size() + 1);
+  parts.push_back(
+      opts.skew_theta > 0
+          ? cluster::PartitionWithPlacementSkew(*input.value(), opts.nodes,
+                                                opts.skew_theta, opts.seed)
+          : cluster::PartitionRoundRobin(*input.value(), opts.nodes));
+
+  cluster::ChainQuery query;
+  query.input = &parts.front();
+  for (const auto& j : last.joins) {
+    auto build = resolve(j.build);
+    HIERDB_RETURN_NOT_OK(build.status());
+    parts.push_back(
+        cluster::PartitionByHash(*build.value(), opts.nodes, j.build_col));
+    query.joins.push_back({&parts.back(), j.probe_col, j.build_col});
+  }
+  HIERDB_RETURN_NOT_OK(query.Validate(opts.nodes));
+
+  cluster::ClusterOptions co;
+  co.nodes = opts.nodes;
+  co.threads_per_node = opts.threads_per_node;
+  co.strategy = opts.strategy;
+  co.global_lb = opts.global_lb;
+  if (opts.buckets) co.buckets = opts.buckets;
+  if (opts.morsel_rows) co.morsel_rows = opts.morsel_rows;
+  if (opts.batch_rows) co.batch_rows = opts.batch_rows;
+  if (opts.queue_capacity) co.queue_capacity = opts.queue_capacity;
+  if (opts.steal_batch) co.steal_batch = opts.steal_batch;
+  if (opts.min_steal) co.min_steal = opts.min_steal;
+
+  cluster::ClusterExecutor executor(co);
+  cluster::ClusterStats stats;
+  auto t0 = std::chrono::steady_clock::now();
+  auto got = executor.Execute(query, &stats);
+  double wall = WallSince(t0);
+  if (!got.ok()) return got.status();
+
+  ExecutionReport rep;
+  rep.backend = Backend::kCluster;
+  rep.strategy = opts.strategy;
+  rep.wall_seconds = wall;
+  rep.response_ms = wall * 1000.0;
+  rep.has_result = true;
+  rep.result_rows = got.value().count;
+  rep.result_checksum = got.value().checksum;
+  rep.pipeline_bytes = stats.dataflow_bytes;
+  rep.lb_bytes = stats.lb_bytes;
+  rep.steals = stats.steals;
+  rep.stolen_activations = stats.stolen_activations;
+  for (uint64_t w : stats.idle_waits_per_node) rep.idle_waits += w;
+  for (uint64_t b : stats.busy_per_node) rep.activations += b;
+  rep.imbalance = stats.NodeImbalance();
+  rep.cluster = stats;
+  if (opts.validate) {
+    auto ref = cluster::ReferenceExecute(query);
+    HIERDB_RETURN_NOT_OK(ref.status());
+    rep.validated = true;
+    rep.reference_rows = ref.value().count;
+    rep.reference_match = ref.value() == got.value();
+  }
+  return rep;
+}
+
+Result<std::string> Session::Explain(const Query& q,
+                                     const ExecOptions& opts) const {
+  Planned p;
+  HIERDB_RETURN_NOT_OK(PlanQuery(q, opts, /*want_real=*/true, &p));
+
+  std::ostringstream os;
+  os << "query: " << p.cat.size() << " relations, " << p.tree.num_joins()
+     << " joins (" << (q.is_chain() ? "chain" : "graph") << " form)\n";
+  os << "backend: " << BackendName(opts.backend) << ", strategy "
+     << StrategyName(opts.strategy) << ", machine " << opts.nodes << "x"
+     << opts.threads_per_node << "\n\n";
+  os << "join tree (cost " << p.tree.cost << "):\n"
+     << p.tree.ToString(p.cat) << "\n";
+  os << "parallel execution plan (simulated backend):\n"
+     << p.pplan.ToString() << "\n";
+  os << "pipeline plan (threads/cluster backends):\n";
+  if (p.has_real) {
+    os << p.mtplan.ToString();
+    if (opts.backend == Backend::kCluster && p.mtplan.chains.size() > 1) {
+      os << "cluster note: chains 0.." << p.mtplan.chains.size() - 2
+         << " are materialized locally; the final chain is distributed\n";
+    }
+  } else {
+    os << "unavailable: " << p.real_gap << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hierdb::api

@@ -1,0 +1,316 @@
+// hierdb::api::Session — the unified front door over the three executor
+// backends.
+//
+// The paper evaluates one execution model (DP vs FP vs SP on a
+// hierarchical machine) through three lenses this repo implements as three
+// stacks: the deterministic simulator (exec::Engine), the real-thread
+// SM-node executor (mt::PipelineExecutor) and the multi-node cluster
+// executor (cluster::ClusterExecutor). The Session collapses their three
+// front doors into one:
+//
+//   api::Session db;
+//   auto fact = db.AddTable(mt::MakeTable("fact", 100000, 4, 2000, 1));
+//   auto dim  = db.AddTable(mt::MakeTable("dim", 2000, 2, 100, 2));
+//   api::Query q = db.NewQuery().Scan(fact).Probe(dim, 1, 0).Build();
+//   api::ExecOptions opts;
+//   opts.backend = api::Backend::kThreads;
+//   opts.strategy = Strategy::kDP;
+//   auto report = db.Execute(q, opts);
+//
+// A Query is backend-neutral: either a predicate (join) graph with
+// selectivities — optionally with an explicit join tree or a shape
+// constraint — or an explicit pipeline chain over registered tables. The
+// Session optimizes it once into a bushy join tree and bridges that single
+// logical plan into each backend's representation:
+//
+//   kSimulated   plan::MacroExpand + exec::Engine on the simulated
+//                hierarchical machine (the paper's evaluation vehicle);
+//   kThreads     mt::PipelinePlan + mt::PipelineExecutor on one SM-node of
+//                real threads and real tuples;
+//   kCluster     cluster::ChainQuery + cluster::ClusterExecutor across
+//                message-coupled SM-nodes.
+//
+// ExecutionReport normalizes the three metrics structs (response time,
+// idle measures, activations, tuples, pipeline/steal bytes, per-operator
+// end times where available) and keeps the raw backend metrics for
+// white-box consumers.
+
+#ifndef HIERDB_API_SESSION_H_
+#define HIERDB_API_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cluster/cluster_executor.h"
+#include "common/status.h"
+#include "common/strategy.h"
+#include "common/units.h"
+#include "exec/engine.h"
+#include "mt/pipeline_executor.h"
+#include "mt/row.h"
+#include "opt/tree_shapes.h"
+#include "plan/join_graph.h"
+#include "plan/operator_tree.h"
+#include "sim/config.h"
+
+namespace hierdb::api {
+
+using catalog::RelId;
+
+/// Which executor stack runs the query.
+enum class Backend { kSimulated, kThreads, kCluster };
+
+const char* BackendName(Backend b);
+
+/// One options struct for every backend. Knobs that a backend does not
+/// implement are ignored there (see per-field comments); 0 means "backend
+/// default" for the granularity knobs.
+struct ExecOptions {
+  Backend backend = Backend::kSimulated;
+  Strategy strategy = Strategy::kDP;
+
+  /// Machine shape: SM-nodes x processors-per-node. kThreads is a single
+  /// SM-node and requires nodes == 1; kSP requires nodes == 1 everywhere
+  /// (synchronous pipelining is shared-memory only).
+  uint32_t nodes = 1;
+  uint32_t threads_per_node = 4;
+
+  /// Seed for every per-run randomness (bucket shuffles, data synthesis,
+  /// FP cost distortion, placement skew).
+  uint64_t seed = 1;
+
+  /// Skew: kSimulated — redistribution skew (Zipf theta, Section 5.2.2);
+  /// kCluster — tuple-placement skew of the driving input (Section 5.3).
+  /// kThreads injects skew through the data instead (register a table made
+  /// with mt::MakeSkewedTable).
+  double skew_theta = 0.0;
+
+  /// FP only: cost-model error rate r; per-operator cost estimates are
+  /// distorted by factors in [1-r, 1+r] before allocation (Figure 7).
+  /// Honored by kSimulated and kThreads.
+  double fp_error_rate = 0.0;
+
+  /// Shared fragmentation / granularity knobs; 0 = backend default.
+  uint32_t buckets = 0;          ///< degree of fragmentation per operator
+  uint32_t morsel_rows = 0;      ///< trigger-activation granularity (real)
+  uint32_t batch_rows = 0;       ///< data-activation granularity (real)
+  uint32_t queue_capacity = 0;   ///< flow control (activations per queue)
+
+  bool global_lb = true;   ///< inter-node load sharing (kSimulated/kCluster)
+  bool apply_h1 = true;    ///< H1: chain scan waits for its hash tables
+  bool apply_h2 = true;    ///< H2: chains execute one at a time
+
+  /// kCluster steal knobs; 0 = backend default.
+  uint32_t steal_batch = 0;  ///< max activations per acquisition
+  uint32_t min_steal = 0;    ///< provider offers only above this depth
+
+  /// Real backends only: catalog-only relations (no registered table) are
+  /// synthesized at `bind_scale` of their catalog cardinality.
+  double bind_scale = 0.01;
+  uint64_t bind_min_rows = 16;
+
+  /// Real backends: also run the single-threaded reference execution and
+  /// record the comparison in the report.
+  bool validate = false;
+
+  /// kSimulated: full machine override; when set, nodes/threads_per_node
+  /// above are ignored and this config is used verbatim.
+  std::optional<sim::SystemConfig> sim_config;
+  /// kSimulated: simulation-event safety valve.
+  uint64_t max_events = 2'000'000'000ULL;
+  /// kSimulated: utilization-timeline bucket width (0 = off).
+  SimTime timeline_bucket = 0;
+};
+
+/// Backend-normalized execution metrics. Fields a backend cannot measure
+/// stay at their zero value; the raw per-backend metrics are kept in the
+/// optional members for white-box consumers.
+struct ExecutionReport {
+  Backend backend = Backend::kSimulated;
+  Strategy strategy = Strategy::kDP;
+
+  /// Virtual response time (kSimulated) or wall-clock time (real backends).
+  double response_ms = 0.0;
+  /// Real backends: measured wall-clock seconds (== response_ms / 1000).
+  double wall_seconds = 0.0;
+
+  /// kSimulated: fraction of processor-time spent idle.
+  double idle_fraction = 0.0;
+  /// Real backends: waits with no runnable work (summed over threads/nodes).
+  uint64_t idle_waits = 0;
+
+  uint64_t activations = 0;  ///< activations processed (all backends)
+  uint64_t tuples = 0;       ///< kSimulated: tuples processed
+
+  /// Real backends: order-independent digest of the final result.
+  bool has_result = false;
+  uint64_t result_rows = 0;
+  uint64_t result_checksum = 0;
+
+  /// Inter-node traffic. kThreads is a single node: both stay 0.
+  uint64_t pipeline_bytes = 0;  ///< pipelined redistribution (dataflow)
+  uint64_t lb_bytes = 0;        ///< global load-balancing traffic
+
+  uint64_t steals = 0;              ///< successful global acquisitions
+  uint64_t stolen_activations = 0;
+
+  /// Load imbalance: max over threads (kThreads) or nodes (kCluster) of
+  /// busy / mean busy; 1.0 = perfectly balanced, 0 = not measured.
+  double imbalance = 0.0;
+
+  /// kSimulated: per-operator labels and global end times.
+  std::vector<std::string> op_labels;
+  std::vector<double> op_end_ms;
+
+  /// Set when ExecOptions::validate was on (real backends).
+  bool validated = false;
+  bool reference_match = false;
+  uint64_t reference_rows = 0;
+
+  /// Raw backend metrics.
+  std::optional<exec::RunMetrics> sim;
+  std::optional<mt::PipelineStats> threads;
+  std::optional<cluster::ClusterStats> cluster;
+
+  std::string ToString() const;
+};
+
+class Session;
+
+/// A backend-neutral query: either a predicate graph over the session's
+/// relations (optionally with an explicit join tree or shape constraint),
+/// or an explicit pipeline chain over registered tables. Build one with
+/// Session::NewQuery().
+class Query {
+ public:
+  Query() = default;
+
+  bool is_chain() const { return chain_; }
+  uint32_t num_joins() const {
+    return static_cast<uint32_t>(chain_ ? steps_.size() : edges_.size());
+  }
+
+ private:
+  friend class QueryBuilder;
+  friend class Session;
+
+  struct Edge {
+    RelId a = 0;
+    RelId b = 0;
+    double selectivity = 0.0;  ///< <= 0: default FK selectivity
+    uint32_t col_a = 0;
+    uint32_t col_b = 0;
+    bool has_cols = false;  ///< explicit join columns (real-data execution)
+  };
+  std::vector<Edge> edges_;
+  std::optional<plan::JoinTree> tree_;  ///< explicit tree override
+  opt::ShapeOptions shape_;             ///< used when no explicit tree
+  bool shape_set_ = false;              ///< Shape() was called explicitly
+
+  bool chain_ = false;
+  bool has_input_ = false;  ///< Scan() was called
+  RelId input_ = 0;
+  struct Step {
+    RelId build = 0;
+    uint32_t probe_col = 0;  ///< column in the pipelined row
+    uint32_t build_col = 0;  ///< column in the build relation
+    double selectivity = 0.0;
+  };
+  std::vector<Step> steps_;
+};
+
+/// Fluent builder. Graph form:
+///   db.NewQuery().Join(a, b).Join(b, c, sel).Shape(kRightDeep).Build()
+/// Chain form (explicit pipeline over registered tables):
+///   db.NewQuery().Scan(fact).Probe(d1, 1, 0).Probe(d2, 2, 0).Build()
+class QueryBuilder {
+ public:
+  QueryBuilder() = default;
+
+  /// Adds a join predicate a-b. selectivity <= 0 picks the FK default
+  /// max(|A|,|B|) / (|A|*|B|) (each result about the larger input).
+  QueryBuilder& Join(RelId a, RelId b, double selectivity = 0.0);
+
+  /// Join predicate with explicit join columns; when every edge carries
+  /// columns and every relation has registered data, the real backends run
+  /// on the registered tables instead of synthesized ones.
+  QueryBuilder& JoinOn(RelId a, uint32_t col_a, RelId b, uint32_t col_b,
+                       double selectivity = 0.0);
+
+  /// Overrides the optimizer with an explicit join tree.
+  QueryBuilder& Tree(plan::JoinTree tree);
+
+  /// Constrains the optimizer's tree shape (default: bushy).
+  QueryBuilder& Shape(opt::TreeShape shape, uint32_t segment_length = 3);
+
+  /// Chain form: the driving scan.
+  QueryBuilder& Scan(RelId input);
+
+  /// Chain form: one hash-join step. `probe_col` indexes the pipelined
+  /// row (input columns, then each build's columns appended in step
+  /// order); `build_col` indexes the build relation.
+  QueryBuilder& Probe(RelId build, uint32_t probe_col,
+                      uint32_t build_col = 0, double selectivity = 0.0);
+
+  Query Build() const { return q_; }
+
+ private:
+  Query q_;
+};
+
+/// The session: owns the catalog (and any registered real data), plans
+/// queries once, and executes them on the backend selected in ExecOptions.
+class Session {
+ public:
+  Session() = default;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Declares a catalog-only relation (cardinality + tuple width). Real
+  /// backends synthesize data for it on demand (ExecOptions::bind_scale).
+  RelId AddRelation(std::string name, uint64_t cardinality,
+                    uint32_t tuple_bytes = 100);
+
+  /// Registers real data; the catalog entry (name, cardinality, width) is
+  /// derived from the table. Real backends run on these rows verbatim.
+  RelId AddTable(mt::Table table);
+
+  const catalog::Catalog& catalog() const { return catalog_; }
+  /// Registered data for `id`, or nullptr for catalog-only relations.
+  const mt::Table* table(RelId id) const;
+
+  QueryBuilder NewQuery() const { return QueryBuilder(); }
+
+  /// Plans `q` once and executes it on the selected backend.
+  Result<ExecutionReport> Execute(const Query& q,
+                                  const ExecOptions& opts) const;
+
+  /// Renders the chosen join tree, its chain decomposition and the
+  /// per-backend plan bridges for `q` under `opts`.
+  Result<std::string> Explain(const Query& q, const ExecOptions& opts) const;
+
+ private:
+  struct Planned;
+
+  /// `want_real` additionally builds the real-data bridge (tables +
+  /// pipeline plan); the simulated backend skips that work.
+  Status PlanQuery(const Query& q, const ExecOptions& opts, bool want_real,
+                   Planned* out) const;
+  Result<ExecutionReport> RunSimulated(const Planned& p,
+                                       const ExecOptions& opts) const;
+  Result<ExecutionReport> RunThreads(const Planned& p,
+                                     const ExecOptions& opts) const;
+  Result<ExecutionReport> RunCluster(const Planned& p,
+                                     const ExecOptions& opts) const;
+
+  catalog::Catalog catalog_;
+  std::vector<std::optional<mt::Table>> tables_;  ///< aligned with RelIds
+};
+
+}  // namespace hierdb::api
+
+#endif  // HIERDB_API_SESSION_H_

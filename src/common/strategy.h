@@ -1,0 +1,31 @@
+// The execution strategies compared throughout the paper (Section 5).
+//
+// One definition shared by every backend: the deterministic simulator
+// (exec::Engine), the real-thread SM-node executor (mt::PipelineExecutor)
+// and the multi-node cluster executor (cluster::ClusterExecutor) all accept
+// the same three strategies, so the enum lives in common/ and the backend
+// headers alias it.
+
+#ifndef HIERDB_COMMON_STRATEGY_H_
+#define HIERDB_COMMON_STRATEGY_H_
+
+namespace hierdb {
+
+/// Execution strategies compared in Section 5:
+///   kDP — dynamic processing (the paper's model);
+///   kFP — fixed processing (static processor-to-operator allocation);
+///   kSP — synchronous pipelining (shared-memory only).
+enum class Strategy { kDP, kFP, kSP };
+
+inline const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kDP: return "DP";
+    case Strategy::kFP: return "FP";
+    case Strategy::kSP: return "SP";
+  }
+  return "?";
+}
+
+}  // namespace hierdb
+
+#endif  // HIERDB_COMMON_STRATEGY_H_

@@ -6,15 +6,6 @@
 
 namespace hierdb::exec {
 
-const char* StrategyName(Strategy s) {
-  switch (s) {
-    case Strategy::kDP: return "DP";
-    case Strategy::kFP: return "FP";
-    case Strategy::kSP: return "SP";
-  }
-  return "?";
-}
-
 std::string RunMetrics::ToString() const {
   std::ostringstream os;
   os << "RunMetrics{rt=" << ResponseMs() << "ms threads=" << threads

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "common/strategy.h"
 #include "plan/operator_tree.h"
 
 namespace hierdb::exec {
@@ -24,13 +25,10 @@ using plan::OpId;
 using plan::kNoOp;
 using NodeId = uint32_t;
 
-/// Execution strategies compared in Section 5:
-///   kDP — dynamic processing (the paper's model);
-///   kFP — fixed processing (static processor-to-operator allocation);
-///   kSP — synchronous pipelining (shared-memory only).
-enum class Strategy { kDP, kFP, kSP };
-
-const char* StrategyName(Strategy s);
+/// The strategy enum is shared by all backends (common/strategy.h); these
+/// aliases keep the historical exec::Strategy spelling working.
+using hierdb::Strategy;
+using hierdb::StrategyName;
 
 /// One unit of sequential work.
 struct Activation {

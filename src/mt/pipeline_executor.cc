@@ -8,15 +8,6 @@
 
 namespace hierdb::mt {
 
-const char* LocalStrategyName(LocalStrategy s) {
-  switch (s) {
-    case LocalStrategy::kDP: return "DP";
-    case LocalStrategy::kFP: return "FP";
-    case LocalStrategy::kSP: return "SP";
-  }
-  return "?";
-}
-
 double PipelineStats::Imbalance() const {
   if (busy_per_thread.empty()) return 1.0;
   uint64_t max = 0, sum = 0;

@@ -42,15 +42,20 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/strategy.h"
 #include "mt/hash_table.h"
 #include "mt/plan.h"
 #include "mt/row.h"
 
 namespace hierdb::mt {
 
-enum class LocalStrategy { kDP, kFP, kSP };
+/// The strategy enum is shared by all backends (common/strategy.h); these
+/// aliases keep the historical mt::LocalStrategy spelling working.
+using LocalStrategy = hierdb::Strategy;
 
-const char* LocalStrategyName(LocalStrategy s);
+inline const char* LocalStrategyName(LocalStrategy s) {
+  return StrategyName(s);
+}
 
 struct PipelineOptions {
   uint32_t threads = 4;

@@ -22,67 +22,40 @@ struct RelSchema {
 
 }  // namespace
 
-Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
-                                const plan::JoinGraph& graph,
-                                const catalog::Catalog& cat,
-                                const BindOptions& options) {
+Result<PipelinePlan> TranslateJoinTree(
+    const plan::JoinTree& tree, const plan::JoinGraph& graph,
+    const std::vector<const Table*>& tables,
+    const std::vector<EdgeColumns>& cols) {
   if (tree.root < 0) return Status::InvalidArgument("empty join tree");
   const auto& edges = graph.edges();
-  const uint32_t n = graph.num_relations();
-
-  // Scaled cardinalities.
-  std::vector<uint64_t> rows(n);
-  for (uint32_t r = 0; r < n; ++r) {
-    rows[r] = std::max<uint64_t>(
-        options.min_rows,
-        static_cast<uint64_t>(
-            static_cast<double>(cat.relation(r).cardinality) *
-            options.scale));
+  if (cols.size() != edges.size()) {
+    return Status::InvalidArgument("one EdgeColumns entry per edge required");
   }
-
-  // Orient each edge child -> parent: the smaller side is the parent (its
-  // keys are the FK target), matching sel ~ 1/max(|A|,|B|).
-  // Build schemas: parents are probed/built on their key column; children
-  // carry one FK column per incident edge where they are the child.
-  std::vector<RelSchema> schema(n);
-  std::vector<RelId> edge_parent(edges.size());
-  for (uint32_t e = 0; e < edges.size(); ++e) {
-    RelId parent = rows[edges[e].a] <= rows[edges[e].b] ? edges[e].a
-                                                        : edges[e].b;
-    RelId child = parent == edges[e].a ? edges[e].b : edges[e].a;
-    edge_parent[e] = parent;
-    schema[child].fk_col[e] = schema[child].width++;
-    // Parent side joins on its key: column 0, no new column needed.
+  if (tables.size() < graph.num_relations()) {
+    return Status::InvalidArgument("one table per relation required");
   }
-
-  // Synthesize tables.
-  BoundQuery out;
-  out.tables.reserve(n);
-  Rng rng(options.seed);
-  for (uint32_t r = 0; r < n; ++r) {
-    Table t;
-    t.name = cat.relation(r).name;
-    t.batch = Batch(schema[r].width);
-    t.batch.Reserve(rows[r]);
-    std::vector<int64_t> row(schema[r].width);
-    for (uint64_t i = 0; i < rows[r]; ++i) {
-      row[0] = static_cast<int64_t>(i);
-      for (const auto& [e, col] : schema[r].fk_col) {
-        row[col] = static_cast<int64_t>(
-            rng.NextBounded(rows[edge_parent[e]]));
+  for (uint32_t r = 0; r < graph.num_relations(); ++r) {
+    if (tables[r] == nullptr) return Status::InvalidArgument("null table");
+  }
+  for (const auto& node : tree.nodes) {
+    if (node.IsLeaf()) {
+      if (node.rel >= graph.num_relations()) {
+        return Status::InvalidArgument(
+            "tree leaf references an unknown relation");
       }
-      t.batch.AppendRow(row.data());
+    } else if (node.left < 0 || node.right < 0 ||
+               static_cast<size_t>(node.left) >= tree.nodes.size() ||
+               static_cast<size_t>(node.right) >= tree.nodes.size()) {
+      return Status::InvalidArgument("tree child index out of range");
     }
-    out.tables.push_back(std::move(t));
+  }
+  if (static_cast<size_t>(tree.root) >= tree.nodes.size()) {
+    return Status::InvalidArgument("tree root out of range");
   }
 
-  // Column of relation `r` for edge `e` (key col for the parent side, FK
-  // col for the child side).
+  // Column of relation `r` for edge `e`.
   auto edge_col = [&](RelId r, uint32_t e) -> uint32_t {
-    if (edge_parent[e] == r) return 0;
-    auto it = schema[r].fk_col.find(e);
-    HIERDB_CHECK(it != schema[r].fk_col.end(), "edge not incident");
-    return it->second;
+    return r == edges[e].a ? cols[e].col_a : cols[e].col_b;
   };
 
   // Translate the tree. A "stream" is an in-construction pipeline chain:
@@ -97,15 +70,23 @@ Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
     uint32_t width = 0;
   };
 
-  PipelinePlan& plan = out.plan;
+  PipelinePlan plan;
+  bool cross_product = false;
+  bool revisit = false;  // node reached twice: shared subtree or cycle
+  std::vector<char> seen(tree.nodes.size(), 0);
   std::function<Stream(int32_t)> expand = [&](int32_t idx) -> Stream {
+    if (revisit || seen[idx]) {
+      revisit = true;
+      return Stream{};
+    }
+    seen[idx] = 1;
     const JoinTreeNode& node = tree.nodes[idx];
     if (node.IsLeaf()) {
       Stream s;
       s.input = Source::OfTable(node.rel);
       s.rels = plan::RelBit(node.rel);
       s.base[node.rel] = 0;
-      s.width = schema[node.rel].width;
+      s.width = tables[node.rel]->width();
       return s;
     }
     // Left child continues the pipeline; right child is the build side.
@@ -140,7 +121,10 @@ Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
         break;
       }
     }
-    HIERDB_CHECK(edge_idx != UINT32_MAX, "no crossing edge (cross product)");
+    if (edge_idx == UINT32_MAX) {
+      cross_product = true;
+      return probe;
+    }
     RelId probe_rel = ((probe.rels >> edges[edge_idx].a) & 1)
                           ? edges[edge_idx].a
                           : edges[edge_idx].b;
@@ -165,13 +149,82 @@ Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
   };
 
   Stream root = expand(tree.root);
+  if (revisit) {
+    return Status::InvalidArgument("tree shares nodes or contains a cycle");
+  }
+  if (cross_product) {
+    return Status::InvalidArgument("no crossing edge (cross product)");
+  }
   Chain final_chain;
   final_chain.input = root.input;
   final_chain.joins = std::move(root.joins);
   plan.chains.push_back(std::move(final_chain));
 
-  auto ptrs = out.TablePtrs();
-  HIERDB_RETURN_NOT_OK(plan.Validate(ptrs));
+  HIERDB_RETURN_NOT_OK(plan.Validate(tables));
+  return plan;
+}
+
+Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
+                                const plan::JoinGraph& graph,
+                                const catalog::Catalog& cat,
+                                const BindOptions& options) {
+  if (tree.root < 0) return Status::InvalidArgument("empty join tree");
+  const auto& edges = graph.edges();
+  const uint32_t n = graph.num_relations();
+
+  // Scaled cardinalities.
+  std::vector<uint64_t> rows(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    rows[r] = std::max<uint64_t>(
+        options.min_rows,
+        static_cast<uint64_t>(
+            static_cast<double>(cat.relation(r).cardinality) *
+            options.scale));
+  }
+
+  // Orient each edge child -> parent: the smaller side is the parent (its
+  // keys are the FK target), matching sel ~ 1/max(|A|,|B|).
+  // Build schemas: parents are probed/built on their key column; children
+  // carry one FK column per incident edge where they are the child.
+  std::vector<RelSchema> schema(n);
+  std::vector<RelId> edge_parent(edges.size());
+  std::vector<EdgeColumns> cols(edges.size());
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    RelId parent = rows[edges[e].a] <= rows[edges[e].b] ? edges[e].a
+                                                        : edges[e].b;
+    RelId child = parent == edges[e].a ? edges[e].b : edges[e].a;
+    edge_parent[e] = parent;
+    uint32_t fk = schema[child].width++;
+    schema[child].fk_col[e] = fk;
+    // Parent side joins on its key: column 0, no new column needed.
+    cols[e].col_a = edges[e].a == child ? fk : 0;
+    cols[e].col_b = edges[e].b == child ? fk : 0;
+  }
+
+  // Synthesize tables.
+  BoundQuery out;
+  out.tables.reserve(n);
+  Rng rng(options.seed);
+  for (uint32_t r = 0; r < n; ++r) {
+    Table t;
+    t.name = cat.relation(r).name;
+    t.batch = Batch(schema[r].width);
+    t.batch.Reserve(rows[r]);
+    std::vector<int64_t> row(schema[r].width);
+    for (uint64_t i = 0; i < rows[r]; ++i) {
+      row[0] = static_cast<int64_t>(i);
+      for (const auto& [e, col] : schema[r].fk_col) {
+        row[col] = static_cast<int64_t>(
+            rng.NextBounded(rows[edge_parent[e]]));
+      }
+      t.batch.AppendRow(row.data());
+    }
+    out.tables.push_back(std::move(t));
+  }
+
+  auto plan = TranslateJoinTree(tree, graph, out.TablePtrs(), cols);
+  HIERDB_RETURN_NOT_OK(plan.status());
+  out.plan = std::move(plan).value();
   return out;
 }
 

@@ -61,6 +61,23 @@ Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
                                 const catalog::Catalog& cat,
                                 const BindOptions& options);
 
+/// Join-column binding of one graph edge: the column of relation `a` and
+/// of relation `b` carrying the predicate (same order as the edge).
+struct EdgeColumns {
+  uint32_t col_a = 0;
+  uint32_t col_b = 0;
+};
+
+/// Translates `tree` into a pipeline plan over caller-provided tables
+/// (one per catalog relation, indexed by RelId) using explicit join
+/// columns per graph edge. This is the plan-translation half of
+/// BindJoinTree, generalized so user-registered real data can run the
+/// same optimized trees.
+Result<PipelinePlan> TranslateJoinTree(const plan::JoinTree& tree,
+                                       const plan::JoinGraph& graph,
+                                       const std::vector<const Table*>& tables,
+                                       const std::vector<EdgeColumns>& cols);
+
 }  // namespace hierdb::mt
 
 #endif  // HIERDB_MT_QUERY_BIND_H_

@@ -72,6 +72,8 @@ std::vector<WorkloadPlan> MakeWorkload(const WorkloadOptions& options) {
       wp.tree_rank = t;
       wp.catalog = query->catalog;
       wp.plan = plan::MacroExpand(trees[t], query->catalog);
+      wp.tree = trees[t];
+      wp.edges = query->graph.edges();
       HIERDB_CHECK(wp.plan.Validate().ok(), "workload plan must validate");
       out.push_back(std::move(wp));
     }

@@ -14,11 +14,17 @@
 namespace hierdb::opt {
 
 /// One executable workload entry: a plan plus the catalog it references.
+/// The join tree and predicate edges it came from are retained so the
+/// entry can be replanned through the unified api::Session; `plan` is the
+/// default-options MacroExpand of `tree` (what the Session produces when
+/// H1/H2 are left on), kept for white-box engine tests.
 struct WorkloadPlan {
   uint32_t query_index = 0;  ///< which generated query this plan came from
   uint32_t tree_rank = 0;    ///< 0 = best tree, 1 = second best
   catalog::Catalog catalog;
   plan::PhysicalPlan plan;
+  plan::JoinTree tree;
+  std::vector<plan::JoinEdge> edges;  ///< the query's predicate graph
 };
 
 struct WorkloadOptions {

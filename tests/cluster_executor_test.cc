@@ -12,6 +12,7 @@ namespace hierdb::cluster {
 namespace {
 
 using mt::LocalStrategy;
+using mt::LocalStrategyName;
 using mt::MakeSkewedTable;
 using mt::MakeTable;
 
