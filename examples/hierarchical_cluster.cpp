@@ -3,7 +3,7 @@
 //
 // Four SM-nodes (thread groups) coupled only by message passing run a
 // three-join chain. The fact table is placed with heavy skew
-// (ExecOptions::skew_theta) so the lightly loaded nodes starve and acquire
+// (ExecOptions::placement_theta) so the lightly loaded nodes starve and acquire
 // probe activations plus hash-table fragments from the loaded node — the
 // paper's global load balancing in action. Compare the printed transfer
 // and steal counters between the DP and FP strategies.
@@ -43,7 +43,7 @@ int main() {
     opts.nodes = 4;
     opts.threads_per_node = 2;
     opts.buckets = 128;
-    opts.skew_theta = 0.9;  // Zipf tuple placement across nodes
+    opts.placement_theta = 0.9;  // Zipf tuple placement across nodes
     opts.seed = 5;
     opts.validate = true;
     auto result = db.Execute(query, opts);

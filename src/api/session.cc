@@ -51,6 +51,10 @@ std::string ExecutionReport::ToString() const {
   if (has_result) os << " rows=" << result_rows;
   os << " pipe_bytes=" << pipeline_bytes << " lb_bytes=" << lb_bytes
      << " steals=" << steals;
+  if (intermediate_rows > 0) {
+    os << " inter_rows=" << intermediate_rows
+       << " inter_bytes=" << intermediate_bytes;
+  }
   if (imbalance > 0) os << " imbalance=" << imbalance;
   if (validated) os << (reference_match ? " ref=match" : " ref=MISMATCH");
   os << "}";
@@ -164,13 +168,25 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     }
   }
   std::sort(rels.begin(), rels.end());
-  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
   for (RelId r : rels) {
     if (r >= catalog_.size()) {
       return Status::InvalidArgument("query references unknown relation id " +
                                      std::to_string(r));
     }
   }
+  if (q.chain_) {
+    // A relation scanned or probed twice would duplicate its leaf bit in
+    // the join tree and break every RelSet invariant downstream; reject
+    // it by name (self-joins need table aliases, which are unsupported).
+    auto dup = std::adjacent_find(rels.begin(), rels.end());
+    if (dup != rels.end()) {
+      return Status::InvalidArgument(
+          "relation '" + catalog_.relation(*dup).name +
+          "' appears more than once in the chain; self-joins are "
+          "unsupported (register the table twice to alias it)");
+    }
+  }
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
   if (rels.size() > 64) {
     return Status::InvalidArgument("queries support at most 64 relations");
   }
@@ -230,11 +246,9 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     }
   }
   plan::JoinGraph graph(static_cast<uint32_t>(rels.size()), edges);
-  // Chain queries may probe the same build relation twice; such graphs are
-  // not simple trees, so only graph-form queries are validated here.
-  if (!q.chain_) {
-    HIERDB_RETURN_NOT_OK(graph.Validate());
-  }
+  // With duplicate chain relations rejected above, both query forms build
+  // acyclic connected predicate graphs and share one validation.
+  HIERDB_RETURN_NOT_OK(graph.Validate());
 
   // Choose the join tree: explicit > chain spine > shaped optimization.
   if (q.tree_.has_value()) {
@@ -377,6 +391,7 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     bo.scale = opts.bind_scale;
     bo.seed = opts.seed;
     bo.min_rows = opts.bind_min_rows;
+    bo.skew_theta = opts.skew_theta;
     auto bound = mt::BindJoinTree(out->tree, graph, out->cat, bo);
     HIERDB_RETURN_NOT_OK(bound.status());
     out->owned = std::move(bound.value().tables);
@@ -522,55 +537,49 @@ Result<ExecutionReport> Session::RunCluster(const Planned& p,
                                             const ExecOptions& opts) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
 
-  // Bridge the (possibly bushy, multi-chain) pipeline plan to the cluster's
-  // single distributed chain: every earlier chain whose output feeds the
-  // final chain is materialized locally by the reference executor, then
-  // partitioned like a base relation. Distributing the intermediate chains
-  // themselves is an open item (ROADMAP).
-  const mt::PipelinePlan& plan = p.mtplan;
-  const mt::Chain& last = plan.chains.back();
+  // Bridge the (possibly bushy, multi-chain) pipeline plan straight onto
+  // the cluster: the chain DAG executes end-to-end on the node/thread
+  // topology; a non-final chain's output stays distributed (each node
+  // keeps the rows its probes produced) and is repartitioned to the
+  // consuming join by tuple-batch shipping. No intermediate ever funnels
+  // through one machine.
+  cluster::PlanQuery query;
+  query.plan = p.mtplan;
 
-  std::vector<mt::Table> materialized;
-  auto materialize = [&](uint32_t chain_idx) -> Result<mt::Table> {
-    mt::PipelinePlan prefix;
-    prefix.chains.assign(plan.chains.begin(),
-                         plan.chains.begin() + chain_idx + 1);
-    auto batch = mt::ReferenceMaterialize(prefix, p.tables);
-    HIERDB_RETURN_NOT_OK(batch.status());
-    mt::Table t;
-    t.name = "chain" + std::to_string(chain_idx);
-    t.batch = std::move(batch).value();
-    return t;
+  // Partition each base relation by its first use in plan order: driving
+  // scan inputs are placed round-robin (or with Zipf placement skew when
+  // requested); build relations hash-decluster on their build column (the
+  // paper's assumption). Placement only affects locality — the bucket
+  // routing re-scatters rows regardless — so any first-use rule is
+  // correct.
+  std::vector<cluster::PartitionedTable> parts(p.tables.size());
+  std::vector<char> placed(p.tables.size(), 0);
+  auto place_input = [&](uint32_t idx) {
+    if (placed[idx]) return;
+    placed[idx] = 1;
+    parts[idx] =
+        opts.placement_theta > 0
+            ? cluster::PartitionWithPlacementSkew(
+                  *p.tables[idx], opts.nodes, opts.placement_theta, opts.seed)
+            : cluster::PartitionRoundRobin(*p.tables[idx], opts.nodes);
   };
-  auto resolve = [&](const mt::Source& src) -> Result<const mt::Table*> {
-    if (src.kind == mt::Source::Kind::kTable) return p.tables[src.index];
-    auto t = materialize(src.index);
-    HIERDB_RETURN_NOT_OK(t.status());
-    materialized.push_back(std::move(t).value());
-    return &materialized.back();
+  auto place_build = [&](uint32_t idx, uint32_t col) {
+    if (placed[idx]) return;
+    placed[idx] = 1;
+    parts[idx] = cluster::PartitionByHash(*p.tables[idx], opts.nodes, col);
   };
-  // Reserve so the Table pointers handed out by resolve() stay stable.
-  materialized.reserve(last.joins.size() + 1);
-
-  auto input = resolve(last.input);
-  HIERDB_RETURN_NOT_OK(input.status());
-  std::vector<cluster::PartitionedTable> parts;
-  parts.reserve(last.joins.size() + 1);
-  parts.push_back(
-      opts.skew_theta > 0
-          ? cluster::PartitionWithPlacementSkew(*input.value(), opts.nodes,
-                                                opts.skew_theta, opts.seed)
-          : cluster::PartitionRoundRobin(*input.value(), opts.nodes));
-
-  cluster::ChainQuery query;
-  query.input = &parts.front();
-  for (const auto& j : last.joins) {
-    auto build = resolve(j.build);
-    HIERDB_RETURN_NOT_OK(build.status());
-    parts.push_back(
-        cluster::PartitionByHash(*build.value(), opts.nodes, j.build_col));
-    query.joins.push_back({&parts.back(), j.probe_col, j.build_col});
+  for (const mt::Chain& chain : p.mtplan.chains) {
+    if (chain.input.kind == mt::Source::Kind::kTable) {
+      place_input(chain.input.index);
+    }
+    for (const mt::JoinStep& j : chain.joins) {
+      if (j.build.kind == mt::Source::Kind::kTable) {
+        place_build(j.build.index, j.build_col);
+      }
+    }
   }
+  for (uint32_t i = 0; i < parts.size(); ++i) place_input(i);  // leftovers
+  for (const auto& pt : parts) query.tables.push_back(&pt);
   HIERDB_RETURN_NOT_OK(query.Validate(opts.nodes));
 
   cluster::ClusterOptions co;
@@ -578,12 +587,21 @@ Result<ExecutionReport> Session::RunCluster(const Planned& p,
   co.threads_per_node = opts.threads_per_node;
   co.strategy = opts.strategy;
   co.global_lb = opts.global_lb;
+  co.serialize_chains = opts.apply_h2;
   if (opts.buckets) co.buckets = opts.buckets;
   if (opts.morsel_rows) co.morsel_rows = opts.morsel_rows;
   if (opts.batch_rows) co.batch_rows = opts.batch_rows;
   if (opts.queue_capacity) co.queue_capacity = opts.queue_capacity;
   if (opts.steal_batch) co.steal_batch = opts.steal_batch;
   if (opts.min_steal) co.min_steal = opts.min_steal;
+  if (opts.strategy == Strategy::kFP && opts.fp_error_rate > 0) {
+    uint32_t ops = cluster::ClusterExecutor::CompiledOpCount(query);
+    Rng rng(opts.seed ^ 0x9E3779B97F4A7C15ULL);
+    co.fp_cost_distortion.resize(ops);
+    for (double& d : co.fp_cost_distortion) {
+      d = 1.0 + opts.fp_error_rate * (2.0 * rng.NextDouble() - 1.0);
+    }
+  }
 
   cluster::ClusterExecutor executor(co);
   cluster::ClusterStats stats;
@@ -604,6 +622,8 @@ Result<ExecutionReport> Session::RunCluster(const Planned& p,
   rep.lb_bytes = stats.lb_bytes;
   rep.steals = stats.steals;
   rep.stolen_activations = stats.stolen_activations;
+  rep.intermediate_rows = stats.intermediate_rows;
+  rep.intermediate_bytes = stats.intermediate_bytes;
   for (uint64_t w : stats.idle_waits_per_node) rep.idle_waits += w;
   for (uint64_t b : stats.busy_per_node) rep.activations += b;
   rep.imbalance = stats.NodeImbalance();
@@ -637,8 +657,11 @@ Result<std::string> Session::Explain(const Query& q,
   if (p.has_real) {
     os << p.mtplan.ToString();
     if (opts.backend == Backend::kCluster && p.mtplan.chains.size() > 1) {
-      os << "cluster note: chains 0.." << p.mtplan.chains.size() - 2
-         << " are materialized locally; the final chain is distributed\n";
+      os << "cluster note: all " << p.mtplan.chains.size()
+         << " chains execute distributed ("
+         << (opts.apply_h2 ? "back-to-back" : "concurrent where independent")
+         << "); intermediates stay on their producing nodes and repartition "
+            "to the consuming join via tuple-batch shipping\n";
     }
   } else {
     os << "unavailable: " << p.real_gap << "\n";

@@ -27,8 +27,10 @@
 //                hierarchical machine (the paper's evaluation vehicle);
 //   kThreads     mt::PipelinePlan + mt::PipelineExecutor on one SM-node of
 //                real threads and real tuples;
-//   kCluster     cluster::ChainQuery + cluster::ClusterExecutor across
-//                message-coupled SM-nodes.
+//   kCluster     cluster::PlanQuery + cluster::ClusterExecutor across
+//                message-coupled SM-nodes: the whole chain DAG runs on the
+//                cluster, with every chain's output kept distributed and
+//                repartitioned to its consumer by tuple-batch shipping.
 //
 // ExecutionReport normalizes the three metrics structs (response time,
 // idle measures, activations, tuples, pipeline/steal bytes, per-operator
@@ -82,15 +84,22 @@ struct ExecOptions {
   /// FP cost distortion, placement skew).
   uint64_t seed = 1;
 
-  /// Skew: kSimulated — redistribution skew (Zipf theta, Section 5.2.2);
-  /// kCluster — tuple-placement skew of the driving input (Section 5.3).
-  /// kThreads injects skew through the data instead (register a table made
-  /// with mt::MakeSkewedTable).
+  /// Attribute-value skew (Zipf theta, Section 5.2.2) — one meaning on
+  /// every backend: kSimulated models it as redistribution skew over the
+  /// bucket space; the real backends draw synthesized foreign-key columns
+  /// Zipf(theta)-distributed (graph-form queries over catalog-only
+  /// relations). Registered tables carry their own distribution — build
+  /// them with mt::MakeSkewedTable to inject skew there.
   double skew_theta = 0.0;
+
+  /// kCluster only: tuple-placement skew — driving scan inputs are placed
+  /// across nodes in Zipf(theta)-sized shares instead of round-robin
+  /// (Section 5.3's load-imbalance experiments).
+  double placement_theta = 0.0;
 
   /// FP only: cost-model error rate r; per-operator cost estimates are
   /// distorted by factors in [1-r, 1+r] before allocation (Figure 7).
-  /// Honored by kSimulated and kThreads.
+  /// Honored by every backend.
   double fp_error_rate = 0.0;
 
   /// Shared fragmentation / granularity knobs; 0 = backend default.
@@ -101,7 +110,11 @@ struct ExecOptions {
 
   bool global_lb = true;   ///< inter-node load sharing (kSimulated/kCluster)
   bool apply_h1 = true;    ///< H1: chain scan waits for its hash tables
-  bool apply_h2 = true;    ///< H2: chains execute one at a time
+  /// H2: chains execute one at a time. On kCluster this selects staged
+  /// chain scheduling (the default): chains run back-to-back in plan
+  /// order; false lets independent chains whose inputs are all complete
+  /// execute concurrently on the same node/thread topology.
+  bool apply_h2 = true;
 
   /// kCluster steal knobs; 0 = backend default.
   uint32_t steal_batch = 0;  ///< max activations per acquisition
@@ -153,6 +166,12 @@ struct ExecutionReport {
   /// Inter-node traffic. kThreads is a single node: both stay 0.
   uint64_t pipeline_bytes = 0;  ///< pipelined redistribution (dataflow)
   uint64_t lb_bytes = 0;        ///< global load-balancing traffic
+
+  /// kCluster, multi-chain plans: total rows/bytes of the distributed
+  /// intermediates (non-final chain outputs, summed over nodes); zero for
+  /// single-chain plans. Per-chain detail in cluster->per_chain.
+  uint64_t intermediate_rows = 0;
+  uint64_t intermediate_bytes = 0;
 
   uint64_t steals = 0;              ///< successful global acquisitions
   uint64_t stolen_activations = 0;

@@ -89,25 +89,59 @@ Status ChainQuery::Validate(uint32_t nodes) const {
   return Status::OK();
 }
 
+Status PlanQuery::Validate(uint32_t nodes) const {
+  std::vector<uint32_t> widths;
+  widths.reserve(tables.size());
+  for (const PartitionedTable* t : tables) {
+    if (t == nullptr) return Status::InvalidArgument("null table");
+    if (t->parts.size() != nodes) {
+      return Status::InvalidArgument("table partition count != nodes");
+    }
+    widths.push_back(t->width);
+  }
+  HIERDB_RETURN_NOT_OK(plan.ValidateWidths(widths));
+  for (const mt::Chain& c : plan.chains) {
+    if (c.joins.empty()) {
+      return Status::InvalidArgument("every chain needs at least one join");
+    }
+  }
+  // Every non-final chain must feed a later chain: an unconsumed output
+  // would have nowhere to materialize and be dropped silently.
+  std::vector<bool> mat = plan.MaterializedChains();
+  for (size_t c = 0; c + 1 < plan.chains.size(); ++c) {
+    if (!mat[c]) {
+      return Status::InvalidArgument(
+          "chain " + std::to_string(c) +
+          " is not the final chain and no later chain consumes its output");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+mt::Table Gather(const PartitionedTable& pt) {
+  mt::Table t;
+  t.batch = Batch(pt.width);
+  for (const Batch& p : pt.parts) {
+    t.batch.data().insert(t.batch.data().end(), p.data().begin(),
+                          p.data().end());
+  }
+  return t;
+}
+
+}  // namespace
+
 Result<ResultDigest> ReferenceExecute(const ChainQuery& query) {
   HIERDB_RETURN_NOT_OK(
       query.Validate(static_cast<uint32_t>(query.input->parts.size())));
-  auto gather = [](const PartitionedTable& pt) {
-    mt::Table t;
-    t.batch = Batch(pt.width);
-    for (const Batch& p : pt.parts) {
-      t.batch.data().insert(t.batch.data().end(), p.data().begin(),
-                            p.data().end());
-    }
-    return t;
-  };
   std::vector<mt::Table> tables;
-  tables.push_back(gather(*query.input));
+  tables.push_back(Gather(*query.input));
   mt::PipelinePlan plan;
   mt::Chain chain;
   chain.input = mt::Source::OfTable(0);
   for (const auto& j : query.joins) {
-    tables.push_back(gather(*j.build));
+    tables.push_back(Gather(*j.build));
     chain.joins.push_back({mt::Source::OfTable(
                                static_cast<uint32_t>(tables.size() - 1)),
                            j.probe_col, j.build_col});
@@ -116,6 +150,19 @@ Result<ResultDigest> ReferenceExecute(const ChainQuery& query) {
   std::vector<const mt::Table*> ptrs;
   for (const auto& t : tables) ptrs.push_back(&t);
   return mt::ReferenceExecute(plan, ptrs);
+}
+
+Result<ResultDigest> ReferenceExecute(const PlanQuery& query) {
+  HIERDB_RETURN_NOT_OK(query.Validate(
+      query.tables.empty()
+          ? 0
+          : static_cast<uint32_t>(query.tables.front()->parts.size())));
+  std::vector<mt::Table> tables;
+  tables.reserve(query.tables.size());
+  for (const PartitionedTable* pt : query.tables) tables.push_back(Gather(*pt));
+  std::vector<const mt::Table*> ptrs;
+  for (const auto& t : tables) ptrs.push_back(&t);
+  return mt::ReferenceExecute(query.plan, ptrs);
 }
 
 double ClusterStats::NodeImbalance() const {
@@ -174,36 +221,96 @@ class BQueue {
 };
 
 constexpr uint32_t kAnyOp = UINT32_MAX;
+constexpr int64_t kMorselsUnknown = -1;  // trigger source chain still running
 
 }  // namespace
 
 struct ClusterExecutor::Impl {
   // ---- static query shape ----
+  //
+  // The op space concatenates per-chain blocks. Chain c with k joins owns
+  // ops [op_base, op_base + 3k]:
+  //   op_base + j          buildscan of join j   (trigger)
+  //   op_base + k + j      build of join j       (data)
+  //   op_base + 2k         scan                  (trigger)
+  //   op_base + 2k + 1 + j probe of join j       (data)
+  // Joins are likewise numbered globally (join_base + j) to index the
+  // per-join hash-table and stolen-fragment state.
   const ClusterOptions& opt;
-  const ChainQuery* query = nullptr;
-  uint32_t k = 0;          // joins
-  uint32_t nops = 0;       // 3k + 1
-  uint32_t scan_op = 0;    // 2k
-  std::vector<uint32_t> width_at;  // pipelined width entering probe j
+  const PlanQuery* query = nullptr;
+  uint32_t nops = 0;
+  uint32_t njoins = 0;
+
+  struct ChainInfo {
+    uint32_t k = 0;          // joins
+    uint32_t op_base = 0;
+    uint32_t join_base = 0;
+    uint32_t terminal = 0;   // last probe op
+    uint32_t out_width = 0;
+    bool materialized = false;  // consumed by a later chain
+    int32_t input_gate = -1;    // terminal op of the input's source chain
+    int32_t stage_gate = -1;    // previous chain's terminal (serialize mode)
+  };
+  std::vector<ChainInfo> chains;
+  std::vector<uint32_t> op_chain;  // op id -> chain index
+
+  // Per global join: the pipelined probe column, the build column, the
+  // build source (table or chain) and its width.
+  std::vector<uint32_t> jn_probe_col, jn_build_col, jn_build_width;
+  std::vector<mt::Source> jn_build_src;
+  std::vector<int32_t> jn_build_gate;  // build source chain's terminal op
+
+  std::vector<uint32_t> probe_ops;  // all probe ops (steal candidates)
+  // Trigger ops whose morsel count resolves only once their source chain
+  // terminates: (trigger op, source chain).
+  std::vector<std::pair<uint32_t, uint32_t>> deferred_triggers;
+  // Destination ops receiving a chain's repartitioned intermediate, per
+  // source chain (to attribute kTupleBatch traffic in the stats).
+  std::vector<std::vector<uint32_t>> repart_dst_ops;
 
   net::Fabric fabric;
 
   explicit Impl(const ClusterOptions& o)
       : opt(o), fabric({.nodes = o.nodes}) {}
 
-  uint32_t buildscan_op(uint32_t j) const { return j; }
-  uint32_t build_op(uint32_t j) const { return k + j; }
-  uint32_t probe_op(uint32_t j) const { return 2 * k + 1 + j; }
-  bool is_probe(uint32_t op) const { return op > 2 * k; }
-  bool is_build(uint32_t op) const { return op >= k && op < 2 * k; }
-  bool is_trigger(uint32_t op) const { return op < k || op == 2 * k; }
+  uint32_t chain_of(uint32_t op) const { return op_chain[op]; }
+  uint32_t build_op(uint32_t c, uint32_t j) const {
+    return chains[c].op_base + chains[c].k + j;
+  }
+  uint32_t scan_op(uint32_t c) const {
+    return chains[c].op_base + 2 * chains[c].k;
+  }
+  uint32_t probe_op(uint32_t c, uint32_t j) const {
+    return chains[c].op_base + 2 * chains[c].k + 1 + j;
+  }
+  bool is_probe(uint32_t op) const {
+    const ChainInfo& ci = chains[op_chain[op]];
+    return op - ci.op_base > 2 * ci.k;
+  }
+  bool is_build(uint32_t op) const {
+    const ChainInfo& ci = chains[op_chain[op]];
+    uint32_t rel = op - ci.op_base;
+    return rel >= ci.k && rel < 2 * ci.k;
+  }
+  bool is_trigger(uint32_t op) const {
+    const ChainInfo& ci = chains[op_chain[op]];
+    uint32_t rel = op - ci.op_base;
+    return rel < ci.k || rel == 2 * ci.k;
+  }
+  /// Global join index of a buildscan/build/probe op.
   uint32_t join_of(uint32_t op) const {
-    return is_build(op) ? op - k : op - 2 * k - 1;
+    const ChainInfo& ci = chains[op_chain[op]];
+    uint32_t rel = op - ci.op_base;
+    if (rel < ci.k) return ci.join_base + rel;                    // buildscan
+    if (rel < 2 * ci.k) return ci.join_base + rel - ci.k;         // build
+    return ci.join_base + rel - 2 * ci.k - 1;                     // probe
   }
   uint32_t producer_of(uint32_t op) const {
-    if (is_build(op)) return buildscan_op(op - k);
-    uint32_t j = join_of(op);
-    return j == 0 ? scan_op : probe_op(j - 1);
+    const ChainInfo& ci = chains[op_chain[op]];
+    uint32_t rel = op - ci.op_base;
+    if (rel < 2 * ci.k) return op - ci.k;  // build <- its buildscan
+    // Probe j <- probe j-1, probe 0 <- scan; both are op - 1.
+    return op - 1;
   }
   uint32_t home_of(uint32_t bucket) const { return bucket % opt.nodes; }
 
@@ -224,8 +331,17 @@ struct ClusterExecutor::Impl {
     std::vector<std::unordered_map<uint32_t, std::unique_ptr<RowTable>>>
         stolen;
     std::vector<std::unique_ptr<std::shared_mutex>> stolen_mu;  // per join
-    // Buckets whose fragments we cached, per op (the Section 4 list).
-    std::vector<std::unordered_set<uint32_t>> cached_buckets;  // per join
+    // Buckets whose fragments we cached, per join (the Section 4 list).
+    std::vector<std::unordered_set<uint32_t>> cached_buckets;
+
+    // Distributed intermediates: this node's share of each materialized
+    // chain's output (appended by the chain's terminal probe, frozen once
+    // the chain globally terminates, then scanned by consuming triggers).
+    std::vector<Batch> inter;                            // per chain
+    std::vector<std::unique_ptr<std::mutex>> inter_mu;   // per chain
+    // Intermediate rows this node shipped to a remote home while
+    // repartitioning, per source chain.
+    std::vector<std::atomic<uint64_t>> repart_rows;
 
     // Steal protocol (scheduler-owned unless noted).
     std::atomic<bool> starving{false};                 // DP: set by workers
@@ -290,15 +406,74 @@ struct ClusterExecutor::Impl {
   // ------------------------------------------------------------------
   // Setup.
 
-  void Compile(const ChainQuery& q) {
+  void Compile(const PlanQuery& q) {
     query = &q;
-    k = static_cast<uint32_t>(q.joins.size());
-    nops = 3 * k + 1;
-    scan_op = 2 * k;
-    width_at.clear();
-    width_at.push_back(q.input->width);
-    for (const auto& j : q.joins) {
-      width_at.push_back(width_at.back() + j.build->width);
+    const auto& pchains = q.plan.chains;
+    const uint32_t C = static_cast<uint32_t>(pchains.size());
+
+    chains.clear();
+    op_chain.clear();
+    jn_probe_col.clear();
+    jn_build_col.clear();
+    jn_build_width.clear();
+    jn_build_src.clear();
+    jn_build_gate.clear();
+    probe_ops.clear();
+    deferred_triggers.clear();
+    repart_dst_ops.assign(C, {});
+    nops = 0;
+    njoins = 0;
+
+    auto src_width = [&](const mt::Source& s) -> uint32_t {
+      return s.kind == mt::Source::Kind::kTable ? q.tables[s.index]->width
+                                                : chains[s.index].out_width;
+    };
+    std::vector<bool> mat = q.plan.MaterializedChains();
+    for (uint32_t c = 0; c < C; ++c) {
+      ChainInfo ci;
+      ci.k = static_cast<uint32_t>(pchains[c].joins.size());
+      ci.op_base = nops;
+      ci.join_base = njoins;
+      ci.terminal = ci.op_base + 3 * ci.k;  // last probe
+      ci.materialized = mat[c];
+      ci.out_width = src_width(pchains[c].input);
+      if (pchains[c].input.kind == mt::Source::Kind::kChain) {
+        ci.input_gate =
+            static_cast<int32_t>(chains[pchains[c].input.index].terminal);
+      }
+      if (opt.serialize_chains && c > 0) {
+        ci.stage_gate = static_cast<int32_t>(chains[c - 1].terminal);
+      }
+      for (uint32_t j = 0; j < ci.k; ++j) {
+        const mt::JoinStep& js = pchains[c].joins[j];
+        jn_probe_col.push_back(js.probe_col);
+        jn_build_col.push_back(js.build_col);
+        jn_build_width.push_back(src_width(js.build));
+        jn_build_src.push_back(js.build);
+        jn_build_gate.push_back(
+            js.build.kind == mt::Source::Kind::kChain
+                ? static_cast<int32_t>(chains[js.build.index].terminal)
+                : -1);
+        ci.out_width += jn_build_width.back();
+      }
+      nops += 3 * ci.k + 1;
+      njoins += ci.k;
+      chains.push_back(ci);
+      op_chain.resize(nops, c);
+      for (uint32_t j = 0; j < ci.k; ++j) probe_ops.push_back(probe_op(c, j));
+      // Triggers over chain intermediates: morsel counts resolve when the
+      // source chain terminates; also record the repartition destination.
+      if (pchains[c].input.kind == mt::Source::Kind::kChain) {
+        deferred_triggers.push_back({scan_op(c), pchains[c].input.index});
+        repart_dst_ops[pchains[c].input.index].push_back(probe_op(c, 0));
+      }
+      for (uint32_t j = 0; j < ci.k; ++j) {
+        const mt::Source& b = pchains[c].joins[j].build;
+        if (b.kind == mt::Source::Kind::kChain) {
+          deferred_triggers.push_back({ci.op_base + j, b.index});
+          repart_dst_ops[b.index].push_back(build_op(c, j));
+        }
+      }
     }
 
     coord_reports.assign(nops, 0);
@@ -327,20 +502,27 @@ struct ClusterExecutor::Impl {
         ns->terminated[i].store(false);
         ns->fp_starving[i].store(false);
       }
-      ns->tables.resize(k);
-      ns->bucket_mu.resize(k);
-      ns->stolen.resize(k);
-      ns->stolen_mu.resize(k);
-      ns->cached_buckets.resize(k);
-      for (uint32_t j = 0; j < k; ++j) {
-        ns->tables[j].resize(B);
-        ns->bucket_mu[j].resize(B);
-        ns->stolen_mu[j] = std::make_unique<std::shared_mutex>();
+      ns->tables.resize(njoins);
+      ns->bucket_mu.resize(njoins);
+      ns->stolen.resize(njoins);
+      ns->stolen_mu.resize(njoins);
+      ns->cached_buckets.resize(njoins);
+      for (uint32_t g = 0; g < njoins; ++g) {
+        ns->tables[g].resize(B);
+        ns->bucket_mu[g].resize(B);
+        ns->stolen_mu[g] = std::make_unique<std::shared_mutex>();
         for (uint32_t b = 0; b < B; ++b) {
-          ns->tables[j][b].Init(q.joins[j].build->width,
-                                q.joins[j].build_col);
-          ns->bucket_mu[j][b] = std::make_unique<std::mutex>();
+          ns->tables[g][b].Init(jn_build_width[g], jn_build_col[g]);
+          ns->bucket_mu[g][b] = std::make_unique<std::mutex>();
         }
+      }
+      ns->inter.resize(C);
+      ns->inter_mu.resize(C);
+      ns->repart_rows = std::vector<std::atomic<uint64_t>>(C);
+      for (uint32_t c = 0; c < C; ++c) {
+        if (chains[c].materialized) ns->inter[c] = Batch(chains[c].out_width);
+        ns->inter_mu[c] = std::make_unique<std::mutex>();
+        ns->repart_rows[c].store(0);
       }
       ns->reported.assign(nops, false);
       ns->drain_requested.assign(nops, false);
@@ -350,25 +532,59 @@ struct ClusterExecutor::Impl {
       ns->outbox.resize(T);
       ns->scratch_pool.resize(T);
       ns->scratch_depth.assign(T, 0);
-      // Trigger morsel counts over local partitions.
-      for (uint32_t j = 0; j < k; ++j) {
-        size_t rows = q.joins[j].build->parts[n].rows();
-        ns->morsels_left[buildscan_op(j)].store(static_cast<int64_t>(
-            (rows + opt.morsel_rows - 1) / opt.morsel_rows));
+      // Trigger morsel counts: known now for base-table sources, resolved
+      // at source-chain termination for intermediate sources.
+      auto morsels = [&](size_t rows) {
+        return static_cast<int64_t>((rows + opt.morsel_rows - 1) /
+                                    opt.morsel_rows);
+      };
+      for (uint32_t c = 0; c < C; ++c) {
+        const mt::Chain& chain = pchains[c];
+        if (chain.input.kind == mt::Source::Kind::kTable) {
+          ns->morsels_left[scan_op(c)].store(
+              morsels(q.tables[chain.input.index]->parts[n].rows()));
+        } else {
+          ns->morsels_left[scan_op(c)].store(kMorselsUnknown);
+        }
+        for (uint32_t j = 0; j < chains[c].k; ++j) {
+          const mt::Source& b = chain.joins[j].build;
+          if (b.kind == mt::Source::Kind::kTable) {
+            ns->morsels_left[chains[c].op_base + j].store(
+                morsels(q.tables[b.index]->parts[n].rows()));
+          } else {
+            ns->morsels_left[chains[c].op_base + j].store(kMorselsUnknown);
+          }
+        }
       }
-      size_t rows = q.input->parts[n].rows();
-      ns->morsels_left[scan_op].store(static_cast<int64_t>(
-          (rows + opt.morsel_rows - 1) / opt.morsel_rows));
       if (opt.strategy == LocalStrategy::kFP) ComputeFpRanges(*ns, n);
       node_state.push_back(std::move(ns));
     }
   }
 
-  // FP: two static stages — builds (buildscan_j + build_j), then the
-  // probe chain (scan + probe_j). Threads allocated by local cost.
+  /// Local row-count estimate for a source at `node`: exact for base
+  /// tables; for a chain intermediate (unknown until it runs) the chain's
+  /// own input estimate stands in — crude, but FP's static allocation is
+  /// exactly the discretization weakness the paper measures.
+  double EstimateSourceRows(uint32_t node, const mt::Source& s) const {
+    if (s.kind == mt::Source::Kind::kTable) {
+      return static_cast<double>(query->tables[s.index]->parts[node].rows());
+    }
+    return EstimateSourceRows(node, query->plan.chains[s.index].input);
+  }
+
+  // FP: per chain, two static stages — builds (buildscan_j + build_j),
+  // then the probe chain (scan + probe_j). Threads allocated by local
+  // (optionally distorted) cost; each chain apportions the full thread
+  // range, so under serialized chains this matches single-chain FP and
+  // under concurrent chains a thread may serve several chains' stages.
   void ComputeFpRanges(NodeState& ns, uint32_t n) {
     const uint32_t T = opt.threads_per_node;
     ns.fp_range.assign(nops, 0);
+    auto distort = [&](uint32_t op, double c) {
+      return op < opt.fp_cost_distortion.size()
+                 ? c * opt.fp_cost_distortion[op]
+                 : c;
+    };
     auto apportion = [&](const std::vector<std::pair<uint32_t, double>>&
                              ops_with_cost) {
       if (ops_with_cost.empty()) return;
@@ -409,22 +625,27 @@ struct ClusterExecutor::Impl {
         t += alloc[i];
       }
     };
-    std::vector<std::pair<uint32_t, double>> stage_a;
-    for (uint32_t j = 0; j < k; ++j) {
-      double c =
-          static_cast<double>(query->joins[j].build->parts[n].rows()) + 1;
-      stage_a.push_back({buildscan_op(j), c});
-      stage_a.push_back({build_op(j), c});
+    for (uint32_t c = 0; c < chains.size(); ++c) {
+      const ChainInfo& ci = chains[c];
+      std::vector<std::pair<uint32_t, double>> stage_a;
+      for (uint32_t j = 0; j < ci.k; ++j) {
+        double cost =
+            EstimateSourceRows(n, query->plan.chains[c].joins[j].build) + 1;
+        stage_a.push_back(
+            {ci.op_base + j, distort(ci.op_base + j, cost)});
+        stage_a.push_back({build_op(c, j), distort(build_op(c, j), cost)});
+      }
+      apportion(stage_a);
+      std::vector<std::pair<uint32_t, double>> stage_b;
+      double scan_cost =
+          EstimateSourceRows(n, query->plan.chains[c].input) + 1;
+      stage_b.push_back({scan_op(c), distort(scan_op(c), scan_cost)});
+      for (uint32_t j = 0; j < ci.k; ++j) {
+        stage_b.push_back(
+            {probe_op(c, j), distort(probe_op(c, j), scan_cost)});
+      }
+      apportion(stage_b);
     }
-    apportion(stage_a);
-    std::vector<std::pair<uint32_t, double>> stage_b;
-    double scan_cost =
-        static_cast<double>(query->input->parts[n].rows()) + 1;
-    stage_b.push_back({scan_op, scan_cost});
-    for (uint32_t j = 0; j < k; ++j) {
-      stage_b.push_back({probe_op(j), scan_cost});
-    }
-    apportion(stage_b);
   }
 
   NodeState::Scratch& AcquireScratch(NodeState& ns, uint32_t t) {
@@ -447,19 +668,52 @@ struct ClusterExecutor::Impl {
   }
 
   bool Consumable(const NodeState& ns, uint32_t op) const {
-    if (is_trigger(op)) {
-      if (op == scan_op) {
-        for (uint32_t j = 0; j < k; ++j) {
-          if (!ns.terminated[build_op(j)].load(std::memory_order_acquire)) {
-            return false;
-          }
+    const ChainInfo& ci = chains[op_chain[op]];
+    uint32_t rel = op - ci.op_base;
+    if (rel >= ci.k && rel < 2 * ci.k) return true;  // build
+    if (rel > 2 * ci.k) {                            // probe
+      return ns.terminated[build_op(op_chain[op], rel - 2 * ci.k - 1)].load(
+          std::memory_order_acquire);
+    }
+    // Trigger ops: the H2 stage gate (serialized chains), then the
+    // source-chain gate (an intermediate is scannable only once its
+    // producer globally terminated).
+    if (ci.stage_gate >= 0 &&
+        !ns.terminated[ci.stage_gate].load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (rel == 2 * ci.k) {  // scan: H1 — wait for this chain's hash tables
+      if (ci.input_gate >= 0 &&
+          !ns.terminated[ci.input_gate].load(std::memory_order_acquire)) {
+        return false;
+      }
+      for (uint32_t j = 0; j < ci.k; ++j) {
+        if (!ns.terminated[build_op(op_chain[op], j)].load(
+                std::memory_order_acquire)) {
+          return false;
         }
       }
       return true;
     }
-    if (is_build(op)) return true;
-    return ns.terminated[build_op(join_of(op))].load(
-        std::memory_order_acquire);
+    // Buildscan j.
+    int32_t gate = jn_build_gate[ci.join_base + rel];
+    return gate < 0 ||
+           ns.terminated[gate].load(std::memory_order_acquire);
+  }
+
+  /// The rows a trigger op scans at `node`: a base-table partition or the
+  /// node-local share of a chain intermediate (frozen before it becomes
+  /// consumable, so reads need no lock).
+  const Batch& TriggerSource(uint32_t node, uint32_t op) const {
+    const ChainInfo& ci = chains[op_chain[op]];
+    uint32_t rel = op - ci.op_base;
+    const mt::Source& src =
+        rel == 2 * ci.k ? query->plan.chains[op_chain[op]].input
+                        : jn_build_src[ci.join_base + rel];
+    if (src.kind == mt::Source::Kind::kTable) {
+      return query->tables[src.index]->parts[node];
+    }
+    return node_state[node]->inter[src.index];
   }
 
   // ------------------------------------------------------------------
@@ -484,8 +738,7 @@ struct ClusterExecutor::Impl {
   void MarkStarving(NodeState& ns, uint32_t t) {
     if (opt.strategy == LocalStrategy::kFP) {
       // FP: the thread's probe operator has no local work.
-      for (uint32_t j = 0; j < k; ++j) {
-        uint32_t op = probe_op(j);
+      for (uint32_t op : probe_ops) {
         if (ThreadMayRun(ns, t, op) && Consumable(ns, op) &&
             !ns.terminated[op].load()) {
           ns.fp_starving[op].store(true, std::memory_order_relaxed);
@@ -535,9 +788,7 @@ struct ClusterExecutor::Impl {
 
   bool ClaimMorsel(uint32_t node, uint32_t t, uint32_t op) {
     NodeState& ns = *node_state[node];
-    const Batch& src = op == scan_op
-                           ? query->input->parts[node]
-                           : query->joins[op].build->parts[node];
+    const Batch& src = TriggerSource(node, op);
     size_t begin = ns.cursor[op].fetch_add(opt.morsel_rows);
     if (begin >= src.rows()) return false;
     size_t end = std::min<size_t>(begin + opt.morsel_rows, src.rows());
@@ -550,19 +801,38 @@ struct ClusterExecutor::Impl {
   // Scatter a trigger morsel into per-bucket batches and route them.
   void ExecuteMorsel(uint32_t node, uint32_t t, uint32_t op,
                      const Batch& src, size_t begin, size_t end) {
+    const uint32_t c = op_chain[op];
+    const ChainInfo& ci = chains[c];
+    const uint32_t rel = op - ci.op_base;
     uint32_t dst_op, col;
-    if (op == scan_op) {
-      dst_op = probe_op(0);
-      col = query->joins[0].probe_col;
+    int32_t src_chain = -1;  // repartitioning a chain intermediate?
+    if (rel == 2 * ci.k) {
+      dst_op = probe_op(c, 0);
+      col = jn_probe_col[ci.join_base];
+      const mt::Source& in = query->plan.chains[c].input;
+      if (in.kind == mt::Source::Kind::kChain) {
+        src_chain = static_cast<int32_t>(in.index);
+      }
     } else {
-      dst_op = build_op(op);
-      col = query->joins[op].build_col;
+      dst_op = build_op(c, rel);
+      col = jn_build_col[ci.join_base + rel];
+      const mt::Source& b = jn_build_src[ci.join_base + rel];
+      if (b.kind == mt::Source::Kind::kChain) {
+        src_chain = static_cast<int32_t>(b.index);
+      }
     }
     const uint32_t B = opt.buckets;
     NodeState& ns = *node_state[node];
     auto& sc = AcquireScratch(ns, t);
     auto& scratch = sc.bucket;
     auto& hit = sc.hit;
+    auto flush = [&](uint32_t bucket, Batch&& rows) {
+      if (src_chain >= 0 && home_of(bucket) != node) {
+        ns.repart_rows[src_chain].fetch_add(rows.rows(),
+                                            std::memory_order_relaxed);
+      }
+      Route(node, t, dst_op, bucket, std::move(rows));
+    };
     for (size_t i = begin; i < end; ++i) {
       const int64_t* row = src.row(i);
       uint32_t bucket = static_cast<uint32_t>(mt::HashKey(row[col]) % B);
@@ -571,13 +841,13 @@ struct ClusterExecutor::Impl {
       if (b.empty()) hit.push_back(bucket);
       b.AppendRow(row);
       if (b.rows() >= opt.batch_rows) {
-        Route(node, t, dst_op, bucket, std::move(b));
+        flush(bucket, std::move(b));
         scratch[bucket] = Batch();
         hit.erase(std::find(hit.begin(), hit.end(), bucket));
       }
     }
     for (uint32_t bucket : hit) {
-      Route(node, t, dst_op, bucket, std::move(scratch[bucket]));
+      flush(bucket, std::move(scratch[bucket]));
       scratch[bucket] = Batch();
     }
     hit.clear();
@@ -617,31 +887,36 @@ struct ClusterExecutor::Impl {
   void ExecuteData(uint32_t node, uint32_t t, Activation&& act) {
     NodeState& ns = *node_state[node];
     ++ns.busy[t];
-    uint32_t j = join_of(act.op);
+    const uint32_t c = op_chain[act.op];
+    const ChainInfo& ci = chains[c];
+    const uint32_t g = join_of(act.op);
     if (is_build(act.op)) {
-      std::lock_guard<std::mutex> lock(*ns.bucket_mu[j][act.bucket]);
-      ns.tables[j][act.bucket].InsertBatch(act.rows);
+      std::lock_guard<std::mutex> lock(*ns.bucket_mu[g][act.bucket]);
+      ns.tables[g][act.bucket].InsertBatch(act.rows);
       ns.pending[act.op].fetch_sub(1);
       return;
     }
     // Probe.
     const RowTable* table = nullptr;
     if (home_of(act.bucket) == node) {
-      table = &ns.tables[j][act.bucket];
+      table = &ns.tables[g][act.bucket];
     } else {
-      std::shared_lock<std::shared_mutex> lock(*ns.stolen_mu[j]);
-      auto it = ns.stolen[j].find(act.bucket);
-      if (it != ns.stolen[j].end()) table = it->second.get();
+      std::shared_lock<std::shared_mutex> lock(*ns.stolen_mu[g]);
+      auto it = ns.stolen[g].find(act.bucket);
+      if (it != ns.stolen[g].end()) table = it->second.get();
     }
     if (table == nullptr) {
       ns.failed.store(true);
       ns.pending[act.op].fetch_sub(1);
       return;
     }
-    const auto& js = query->joins[j];
+    const uint32_t probe_col = jn_probe_col[g];
+    const uint32_t build_w = jn_build_width[g];
     const uint32_t in_w = act.rows.width();
-    const uint32_t out_w = in_w + js.build->width;
-    const bool last = j + 1 == k;
+    const uint32_t out_w = in_w + build_w;
+    const uint32_t j = act.op - ci.op_base - 2 * ci.k - 1;
+    const bool last = j + 1 == ci.k;
+    const bool final_chain = c + 1 == chains.size();
     std::vector<int64_t> out_row(out_w);
     const uint32_t B = opt.buckets;
     auto& sc = AcquireScratch(ns, t);
@@ -650,16 +925,24 @@ struct ClusterExecutor::Impl {
     uint32_t next_col = 0;
     uint32_t next_op = 0;
     if (!last) {
-      next_col = query->joins[j + 1].probe_col;
-      next_op = probe_op(j + 1);
+      next_col = jn_probe_col[g + 1];
+      next_op = act.op + 1;
     }
+    // A non-final chain's terminal probe materializes into this node's
+    // share of the distributed intermediate (batched per activation).
+    Batch local_out;
+    if (last && !final_chain) local_out = Batch(out_w);
     for (size_t i = 0; i < act.rows.rows(); ++i) {
       const int64_t* row = act.rows.row(i);
-      table->ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
+      table->ForEachMatch(row[probe_col], [&](const int64_t* brow) {
         std::copy(row, row + in_w, out_row.begin());
-        std::copy(brow, brow + js.build->width, out_row.begin() + in_w);
+        std::copy(brow, brow + build_w, out_row.begin() + in_w);
         if (last) {
-          ns.digests[t].Add(out_row.data(), out_w);
+          if (final_chain) {
+            ns.digests[t].Add(out_row.data(), out_w);
+          } else {
+            local_out.AppendRow(out_row.data());
+          }
           return;
         }
         uint32_t bucket =
@@ -681,6 +964,12 @@ struct ClusterExecutor::Impl {
     }
     hit.clear();
     ReleaseScratch(ns, t);
+    if (last && !final_chain && !local_out.empty()) {
+      std::lock_guard<std::mutex> lock(*ns.inter_mu[c]);
+      ns.inter[c].data().insert(ns.inter[c].data().end(),
+                                local_out.data().begin(),
+                                local_out.data().end());
+    }
     ns.pending[act.op].fetch_sub(1);
   }
 
@@ -796,6 +1085,7 @@ struct ClusterExecutor::Impl {
       if (!ns.reported[op]) {
         bool ready;
         if (is_trigger(op)) {
+          // kMorselsUnknown (source chain still running) never reads 0.
           ready = ns.morsels_left[op].load() == 0;
         } else {
           ready = ns.terminated[producer_of(op)].load() &&
@@ -828,8 +1118,7 @@ struct ClusterExecutor::Impl {
     if (ns.steal_in_progress) return false;
     uint32_t want_op = kAnyOp;
     if (opt.strategy == LocalStrategy::kFP) {
-      for (uint32_t j = 0; j < k; ++j) {
-        uint32_t op = probe_op(j);
+      for (uint32_t op : probe_ops) {
         if (ns.fp_starving[op].load(std::memory_order_relaxed) &&
             !ns.terminated[op].load()) {
           want_op = op;
@@ -842,8 +1131,11 @@ struct ClusterExecutor::Impl {
       if (!ns.starving.load(std::memory_order_relaxed)) return false;
       // Only bother when some probe operator is still alive somewhere.
       bool alive = false;
-      for (uint32_t j = 0; j < k && !alive; ++j) {
-        alive = !ns.terminated[probe_op(j)].load();
+      for (uint32_t op : probe_ops) {
+        if (!ns.terminated[op].load()) {
+          alive = true;
+          break;
+        }
       }
       if (!alive) return false;
       ns.starving.store(false, std::memory_order_relaxed);
@@ -940,12 +1232,26 @@ struct ClusterExecutor::Impl {
         // arg == 0: coordinator requests a drain ack for op.
         if (m.arg == 0) ns.drain_requested[m.op] = true;
         break;
-      case MsgType::kOpTerminated:
+      case MsgType::kOpTerminated: {
+        // A chain terminal freezes its distributed intermediate: resolve
+        // the morsel counts of every trigger scanning it at this node
+        // (before the terminated flag releases those triggers).
+        for (const auto& [trigger, src_chain] : deferred_triggers) {
+          if (chains[src_chain].terminal != m.op) continue;
+          size_t rows;
+          {
+            std::lock_guard<std::mutex> lock(*ns.inter_mu[src_chain]);
+            rows = ns.inter[src_chain].rows();
+          }
+          ns.morsels_left[trigger].store(static_cast<int64_t>(
+              (rows + opt.morsel_rows - 1) / opt.morsel_rows));
+        }
         ns.terminated[m.op].store(true, std::memory_order_release);
-        if (m.op == probe_op(k - 1) || (k == 0 && m.op == scan_op)) {
+        if (m.op == chains.back().terminal) {
           ns.done.store(true, std::memory_order_release);
         }
         break;
+      }
       case MsgType::kStarving:
         HandleStarving(node, m);
         break;
@@ -972,8 +1278,7 @@ struct ClusterExecutor::Impl {
     const uint32_t T = opt.threads_per_node;
     uint32_t best_op = kAnyOp;
     uint64_t best_count = 0;
-    for (uint32_t j = 0; j < k; ++j) {
-      uint32_t op = probe_op(j);
+    for (uint32_t op : probe_ops) {
       if (m.op != kAnyOp && m.op != op) continue;
       if (!Consumable(ns, op) || ns.terminated[op].load()) continue;
       uint64_t count = 0;
@@ -1025,8 +1330,8 @@ struct ClusterExecutor::Impl {
       req.type = MsgType::kAcquire;
       req.op = ns.best_op;
       if (opt.cache_stolen_fragments) {
-        uint32_t j = join_of(ns.best_op);
-        for (uint32_t b : ns.cached_buckets[j]) {
+        uint32_t g = join_of(ns.best_op);
+        for (uint32_t b : ns.cached_buckets[g]) {
           net::PutU32(&req.payload, b);
         }
       }
@@ -1038,7 +1343,7 @@ struct ClusterExecutor::Impl {
     NodeState& ns = *node_state[node];
     const uint32_t T = opt.threads_per_node;
     uint32_t op = m.op;
-    uint32_t j = join_of(op);
+    uint32_t g = join_of(op);
     std::unordered_set<uint32_t> requester_cached;
     {
       net::Reader r(m.payload);
@@ -1060,11 +1365,11 @@ struct ClusterExecutor::Impl {
           // this activation was itself acquired earlier.
           const RowTable* table = nullptr;
           if (home_of(act.bucket) == node) {
-            table = &ns.tables[j][act.bucket];
+            table = &ns.tables[g][act.bucket];
           } else {
-            std::shared_lock<std::shared_mutex> lock(*ns.stolen_mu[j]);
-            auto it = ns.stolen[j].find(act.bucket);
-            if (it != ns.stolen[j].end()) table = it->second.get();
+            std::shared_lock<std::shared_mutex> lock(*ns.stolen_mu[g]);
+            auto it = ns.stolen[g].find(act.bucket);
+            if (it != ns.stolen[g].end()) table = it->second.get();
           }
           if (table == nullptr) {
             // Cannot supply the hash table: keep the activation local.
@@ -1117,16 +1422,16 @@ struct ClusterExecutor::Impl {
       return;
     }
     uint32_t op = bundle.value().op;
-    uint32_t j = join_of(op);
+    uint32_t g = join_of(op);
     {
-      std::unique_lock<std::shared_mutex> lock(*ns.stolen_mu[j]);
+      std::unique_lock<std::shared_mutex> lock(*ns.stolen_mu[g]);
       for (auto& frag : bundle.value().fragments) {
-        if (ns.stolen[j].count(frag.bucket)) continue;
-        auto table = std::make_unique<RowTable>(
-            frag.build_rows.width(), query->joins[j].build_col);
+        if (ns.stolen[g].count(frag.bucket)) continue;
+        auto table = std::make_unique<RowTable>(frag.build_rows.width(),
+                                                jn_build_col[g]);
         table->InsertBatch(frag.build_rows);
-        ns.stolen[j][frag.bucket] = std::move(table);
-        ns.cached_buckets[j].insert(frag.bucket);
+        ns.stolen[g][frag.bucket] = std::move(table);
+        ns.cached_buckets[g].insert(frag.bucket);
       }
     }
     ns.steals.fetch_add(1, std::memory_order_relaxed);
@@ -1157,12 +1462,37 @@ ClusterExecutor::ClusterExecutor(const ClusterOptions& options)
 
 ClusterExecutor::~ClusterExecutor() = default;
 
+uint32_t ClusterExecutor::CompiledOpCount(const PlanQuery& query) {
+  uint32_t nops = 0;
+  for (const mt::Chain& c : query.plan.chains) {
+    nops += 3 * static_cast<uint32_t>(c.joins.size()) + 1;
+  }
+  return nops;
+}
+
 Result<ResultDigest> ClusterExecutor::Execute(const ChainQuery& query,
                                               ClusterStats* stats) {
   HIERDB_RETURN_NOT_OK(query.Validate(options_.nodes));
   if (query.joins.empty()) {
     return Status::InvalidArgument("chain query needs at least one join");
   }
+  PlanQuery pq;
+  pq.tables.push_back(query.input);
+  mt::Chain chain;
+  chain.input = mt::Source::OfTable(0);
+  for (const auto& j : query.joins) {
+    pq.tables.push_back(j.build);
+    chain.joins.push_back(
+        {mt::Source::OfTable(static_cast<uint32_t>(pq.tables.size() - 1)),
+         j.probe_col, j.build_col});
+  }
+  pq.plan.chains.push_back(std::move(chain));
+  return Execute(pq, stats);
+}
+
+Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
+                                              ClusterStats* stats) {
+  HIERDB_RETURN_NOT_OK(query.Validate(options_.nodes));
   impl_ = std::make_unique<Impl>(options_);
   Impl& im = *impl_;
   im.Compile(query);
@@ -1212,6 +1542,25 @@ Result<ResultDigest> ClusterExecutor::Execute(const ChainQuery& query,
       uint64_t busy = 0;
       for (uint64_t b : ns->busy) busy += b;
       stats->busy_per_node.push_back(busy);
+    }
+    // Distributed intermediates: size per chain, repartition traffic
+    // attributed through the per-op kTupleBatch accounting.
+    const uint32_t C = static_cast<uint32_t>(im.chains.size());
+    stats->per_chain.assign(C, {});
+    for (uint32_t c = 0; c < C; ++c) {
+      auto& pc = stats->per_chain[c];
+      for (auto& ns : im.node_state) {
+        pc.intermediate_rows += ns->inter[c].rows();
+        pc.intermediate_bytes += ns->inter[c].bytes();
+        pc.repartition_rows += ns->repart_rows[c].load();
+      }
+      for (uint32_t dst : im.repart_dst_ops[c]) {
+        if (dst < stats->fabric.tuple_bytes_by_op.size()) {
+          pc.repartition_bytes += stats->fabric.tuple_bytes_by_op[dst];
+        }
+      }
+      stats->intermediate_rows += pc.intermediate_rows;
+      stats->intermediate_bytes += pc.intermediate_bytes;
     }
   }
   impl_.reset();

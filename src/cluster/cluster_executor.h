@@ -4,7 +4,7 @@
 // The cluster is a set of SM-nodes (thread groups) coupled only by the
 // message-passing Fabric; each node owns partitions of every relation and
 // a slice of the global bucket space (bucket home = bucket mod nodes).
-// A pipeline chain of hash joins executes exactly as in Sections 3 and 4:
+// A multi-chain plan of hash joins executes exactly as in Sections 3 and 4:
 //
 //   local level    one thread per processor; one activation queue per
 //                  (operator x thread); primary-queue affinity; under DP
@@ -32,6 +32,20 @@
 //                  (covering in-flight steals), then broadcasts
 //                  kOpTerminated, which unblocks dependent operators.
 //
+//   chains         a bushy plan decomposes into pipeline chains whose
+//                  build (or input) sides may be earlier chains' outputs.
+//                  Every chain runs on the full node/thread topology; a
+//                  non-final chain's output stays distributed — each node
+//                  keeps the intermediate rows its own probes produced —
+//                  and the consuming chain's trigger re-scatters them by
+//                  its join key through the normal bucket routing, so the
+//                  repartition ships as kTupleBatch traffic and no
+//                  intermediate ever funnels through a single machine.
+//                  With ClusterOptions::serialize_chains (the paper's H2,
+//                  the default) chains execute back-to-back in plan order;
+//                  without it, chains whose inputs are all terminated
+//                  execute concurrently.
+//
 // Strategy semantics for the Figure 10 / Section 5.3 comparison:
 //   kDP   global load sharing fires only when the *whole node* starves;
 //   kFP   an idle thread (its operator has no local work) immediately
@@ -48,6 +62,7 @@
 
 #include "common/status.h"
 #include "mt/pipeline_executor.h"
+#include "mt/plan.h"
 #include "mt/row.h"
 #include "net/fabric.h"
 
@@ -76,7 +91,9 @@ PartitionedTable PartitionWithPlacementSkew(const mt::Table& table,
                                             uint32_t nodes, double theta,
                                             uint64_t seed);
 
-/// A pipeline chain query: input scanned and piped through hash joins.
+/// A single pipeline chain query: input scanned and piped through hash
+/// joins. Kept as the convenience front door for chain-only workloads;
+/// execution wraps it into a one-chain PlanQuery.
 struct ChainQuery {
   const PartitionedTable* input = nullptr;
   struct Join {
@@ -89,8 +106,23 @@ struct ChainQuery {
   Status Validate(uint32_t nodes) const;
 };
 
-/// Single-threaded reference (gathers all partitions, runs the join).
+/// A multi-chain plan query: the cluster mirror of mt::PipelinePlan.
+/// `plan` is a DAG of pipeline chains whose table sources
+/// (mt::Source::OfTable) index `tables` and whose chain sources
+/// (mt::Source::OfChain) reference earlier chains' distributed outputs.
+/// The final chain's output is the query result.
+struct PlanQuery {
+  std::vector<const PartitionedTable*> tables;  ///< base relations
+  mt::PipelinePlan plan;
+
+  /// Structural validation: plan shape (via mt::PipelinePlan), every chain
+  /// has at least one join, every table non-null with one part per node.
+  Status Validate(uint32_t nodes) const;
+};
+
+/// Single-threaded reference (gathers all partitions, runs the joins).
 Result<mt::ResultDigest> ReferenceExecute(const ChainQuery& query);
+Result<mt::ResultDigest> ReferenceExecute(const PlanQuery& query);
 
 struct ClusterOptions {
   uint32_t nodes = 4;
@@ -104,6 +136,15 @@ struct ClusterOptions {
   bool cache_stolen_fragments = true;  ///< Section 4 stolen-queue list
   uint32_t steal_batch = 16;     ///< max activations per acquisition
   uint32_t min_steal = 2;        ///< provider offers only above this depth
+  /// Chain scheduling (multi-chain plans): true applies the paper's H2 —
+  /// chains execute back-to-back in plan order; false lets chains whose
+  /// source chains have all terminated run concurrently (triggers of a
+  /// chain unblock as soon as its own inputs are complete).
+  bool serialize_chains = true;
+  /// FP only: multiplicative distortion applied to per-operator cost
+  /// estimates, indexed by compiled cluster op id (see
+  /// ClusterExecutor::CompiledOpCount); empty = exact estimates.
+  std::vector<double> fp_cost_distortion;
 };
 
 struct ClusterStats {
@@ -119,6 +160,19 @@ struct ClusterStats {
   std::vector<uint64_t> idle_waits_per_node;
   std::vector<uint64_t> busy_per_node;   ///< activations executed per node
 
+  /// Per-chain distributed intermediates, indexed by chain. The final
+  /// chain's entry stays zero (its rows become the result digest); a
+  /// single-chain plan therefore reports all-zero intermediates.
+  struct ChainIntermediate {
+    uint64_t intermediate_rows = 0;   ///< rows materialized across nodes
+    uint64_t intermediate_bytes = 0;  ///< their in-memory bytes
+    uint64_t repartition_rows = 0;    ///< intermediate rows shipped cross-node
+    uint64_t repartition_bytes = 0;   ///< their kTupleBatch wire bytes
+  };
+  std::vector<ChainIntermediate> per_chain;
+  uint64_t intermediate_rows = 0;   ///< totals over all non-final chains
+  uint64_t intermediate_bytes = 0;
+
   /// Max over nodes of busy / mean busy (1.0 = perfectly balanced).
   double NodeImbalance() const;
 };
@@ -133,6 +187,12 @@ class ClusterExecutor {
 
   Result<mt::ResultDigest> Execute(const ChainQuery& query,
                                    ClusterStats* stats = nullptr);
+  Result<mt::ResultDigest> Execute(const PlanQuery& query,
+                                   ClusterStats* stats = nullptr);
+
+  /// Number of compiled operators for the given plan (to size
+  /// fp_cost_distortion before Execute): 3k+1 per chain of k joins.
+  static uint32_t CompiledOpCount(const PlanQuery& query);
 
  private:
   struct Impl;

@@ -6,10 +6,18 @@
 namespace hierdb::mt {
 
 Status PipelinePlan::Validate(const std::vector<const Table*>& tables) const {
+  std::vector<uint32_t> widths;
+  widths.reserve(tables.size());
+  for (const Table* t : tables) widths.push_back(t->width());
+  return ValidateWidths(widths);
+}
+
+Status PipelinePlan::ValidateWidths(
+    const std::vector<uint32_t>& table_widths) const {
   if (chains.empty()) return Status::InvalidArgument("plan has no chains");
   auto check_source = [&](const Source& s, uint32_t chain) -> Status {
     if (s.kind == Source::Kind::kTable) {
-      if (s.index >= tables.size()) {
+      if (s.index >= table_widths.size()) {
         return Status::OutOfRange("table index " + std::to_string(s.index));
       }
     } else {
@@ -23,8 +31,8 @@ Status PipelinePlan::Validate(const std::vector<const Table*>& tables) const {
   };
   auto source_width = [&](const Source& s) -> uint32_t {
     return s.kind == Source::Kind::kTable
-               ? tables[s.index]->width()
-               : OutputWidth(tables, s.index);
+               ? table_widths[s.index]
+               : OutputWidthFrom(table_widths, s.index);
   };
   for (uint32_t c = 0; c < chains.size(); ++c) {
     const Chain& chain = chains[c];
@@ -50,10 +58,19 @@ Status PipelinePlan::Validate(const std::vector<const Table*>& tables) const {
 
 uint32_t PipelinePlan::OutputWidth(const std::vector<const Table*>& tables,
                                    uint32_t chain) const {
+  std::vector<uint32_t> widths;
+  widths.reserve(tables.size());
+  for (const Table* t : tables) widths.push_back(t->width());
+  return OutputWidthFrom(widths, chain);
+}
+
+uint32_t PipelinePlan::OutputWidthFrom(
+    const std::vector<uint32_t>& table_widths, uint32_t chain) const {
   const Chain& c = chains[chain];
   auto source_width = [&](const Source& s) -> uint32_t {
-    return s.kind == Source::Kind::kTable ? tables[s.index]->width()
-                                          : OutputWidth(tables, s.index);
+    return s.kind == Source::Kind::kTable
+               ? table_widths[s.index]
+               : OutputWidthFrom(table_widths, s.index);
   };
   uint32_t width = source_width(c.input);
   for (const JoinStep& j : c.joins) width += source_width(j.build);

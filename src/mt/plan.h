@@ -56,9 +56,16 @@ struct PipelinePlan {
   /// widths they apply to.
   Status Validate(const std::vector<const Table*>& tables) const;
 
+  /// Same validation against bare table widths — for executors that bind
+  /// the plan to something other than mt::Table (the cluster executor
+  /// binds it to partitioned relations).
+  Status ValidateWidths(const std::vector<uint32_t>& table_widths) const;
+
   /// Row width flowing out of `chain` (input width + sum of build widths).
   uint32_t OutputWidth(const std::vector<const Table*>& tables,
                        uint32_t chain) const;
+  uint32_t OutputWidthFrom(const std::vector<uint32_t>& table_widths,
+                           uint32_t chain) const;
 
   /// Chains whose output is consumed as a later build source (must be
   /// materialized). The final chain never needs materialization.

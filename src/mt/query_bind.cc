@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <unordered_map>
+
+#include "common/zipf.h"
 
 namespace hierdb::mt {
 
@@ -201,10 +204,19 @@ Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
     cols[e].col_b = edges[e].b == child ? fk : 0;
   }
 
-  // Synthesize tables.
+  // Synthesize tables. With skew_theta > 0 every FK column is drawn
+  // Zipf(theta) over its parent's key range — attribute-value skew that a
+  // parent-side probe or build concentrates on a few buckets.
   BoundQuery out;
   out.tables.reserve(n);
   Rng rng(options.seed);
+  std::vector<std::unique_ptr<ZipfSampler>> samplers(edges.size());
+  if (options.skew_theta > 0.0) {
+    for (uint32_t e = 0; e < edges.size(); ++e) {
+      samplers[e] = std::make_unique<ZipfSampler>(
+          static_cast<uint32_t>(rows[edge_parent[e]]), options.skew_theta);
+    }
+  }
   for (uint32_t r = 0; r < n; ++r) {
     Table t;
     t.name = cat.relation(r).name;
@@ -214,8 +226,10 @@ Result<BoundQuery> BindJoinTree(const plan::JoinTree& tree,
     for (uint64_t i = 0; i < rows[r]; ++i) {
       row[0] = static_cast<int64_t>(i);
       for (const auto& [e, col] : schema[r].fk_col) {
-        row[col] = static_cast<int64_t>(
-            rng.NextBounded(rows[edge_parent[e]]));
+        row[col] = samplers[e] != nullptr
+                       ? static_cast<int64_t>(samplers[e]->Sample(&rng))
+                       : static_cast<int64_t>(
+                             rng.NextBounded(rows[edge_parent[e]]));
       }
       t.batch.AppendRow(row.data());
     }

@@ -52,6 +52,12 @@ struct BindOptions {
   uint64_t seed = 1;
   /// Floor for scaled cardinalities.
   uint64_t min_rows = 16;
+  /// Attribute-value skew: synthesized foreign-key columns are drawn
+  /// Zipf(theta) over the parent's key range instead of uniformly (0 =
+  /// uniform). This is the one skew knob shared by every backend: the
+  /// simulator models the same skew at the bucket level, and the real
+  /// executors inherit it through the data synthesized here.
+  double skew_theta = 0.0;
 };
 
 /// Synthesizes real tables for the query's relations and translates

@@ -67,6 +67,12 @@ Status Fabric::Send(uint32_t from, uint32_t to, Message m) {
     stats_.bytes += m.wire_bytes();
     ++stats_.by_type[static_cast<size_t>(m.type)];
     stats_.bytes_by_type[static_cast<size_t>(m.type)] += m.wire_bytes();
+    if (m.type == MsgType::kTupleBatch) {
+      if (stats_.tuple_bytes_by_op.size() <= m.op) {
+        stats_.tuple_bytes_by_op.resize(m.op + 1, 0);
+      }
+      stats_.tuple_bytes_by_op[m.op] += m.wire_bytes();
+    }
   }
   if (options_.delay.count() > 0) {
     std::this_thread::sleep_for(options_.delay);

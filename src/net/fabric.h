@@ -38,6 +38,11 @@ struct FabricStats {
   /// Per message-type counts and wire bytes, indexed by MsgType.
   std::vector<uint64_t> by_type;
   std::vector<uint64_t> bytes_by_type;
+  /// kTupleBatch wire bytes per destination operator (grown on demand), so
+  /// executors can split the dataflow traffic per consumer — e.g. the
+  /// cluster executor attributes inter-chain repartition traffic to the
+  /// chain whose intermediate was shipped.
+  std::vector<uint64_t> tuple_bytes_by_op;
 };
 
 /// Blocking MPSC mailbox: many senders, one receiver (the node scheduler).

@@ -23,7 +23,11 @@
 //
 //   dataflow:
 //     kTupleBatch        pipelined tuples whose consumer lives on another
-//                        node (only when operator homes differ).
+//                        node (only when operator homes differ). Also
+//                        carries inter-chain repartition traffic: when a
+//                        chain scans a prior chain's distributed
+//                        intermediate, the rows rehash by the consuming
+//                        join's key and remotely-homed buckets ship here.
 //
 // Payloads are flat byte buffers with explicit little-endian encoding; the
 // envelope counts bytes so experiments can report transfer volumes

@@ -80,6 +80,30 @@ Status JoinGraph::Validate() const {
   return Status::OK();
 }
 
+int32_t JoinTree::AddLeaf(RelId rel, double card) {
+  JoinTreeNode n;
+  n.rel = rel;
+  n.rels = RelBit(rel);
+  n.card = card;
+  nodes.push_back(n);
+  root = static_cast<int32_t>(nodes.size() - 1);
+  return root;
+}
+
+int32_t JoinTree::AddJoin(int32_t left, int32_t right, double card) {
+  JoinTreeNode n;
+  n.left = left;
+  n.right = right;
+  n.card = card;
+  if (left >= 0 && static_cast<size_t>(left) < nodes.size() &&
+      right >= 0 && static_cast<size_t>(right) < nodes.size()) {
+    n.rels = nodes[left].rels | nodes[right].rels;
+  }
+  nodes.push_back(n);
+  root = static_cast<int32_t>(nodes.size() - 1);
+  return root;
+}
+
 uint32_t JoinTree::num_joins() const {
   uint32_t n = 0;
   for (const auto& node : nodes) {

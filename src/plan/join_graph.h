@@ -75,6 +75,13 @@ struct JoinTree {
   int32_t root = -1;
   double cost = 0.0;
 
+  /// Appends a leaf node for `rel` and returns its index — for callers
+  /// assembling explicit trees (Session queries with a Tree() override).
+  int32_t AddLeaf(RelId rel, double card = 0.0);
+  /// Appends an inner node joining two existing nodes; returns its index.
+  /// The last node added is the root unless `root` is set explicitly.
+  int32_t AddJoin(int32_t left, int32_t right, double card = 0.0);
+
   uint32_t num_joins() const;
   /// Maximum number of leaves on any root-to-leaf path (tree "bushiness").
   uint32_t depth() const;

@@ -302,26 +302,9 @@ TEST(SessionTreeOverride, ExplicitTreeRuns) {
   auto s = db.AddRelation("S", 8000);
   auto t = db.AddRelation("T", 2000);
   plan::JoinTree tree;
-  auto leaf = [&](RelId rel, double card) {
-    plan::JoinTreeNode n;
-    n.rel = rel;
-    n.rels = plan::RelBit(rel);
-    n.card = card;
-    tree.nodes.push_back(n);
-    return static_cast<int32_t>(tree.nodes.size() - 1);
-  };
-  int32_t lr = leaf(r, 4000), ls = leaf(s, 8000), lt = leaf(t, 2000);
-  plan::JoinTreeNode j1;
-  j1.left = ls;
-  j1.right = lt;
-  j1.card = 8000;
-  tree.nodes.push_back(j1);
-  plan::JoinTreeNode j2;
-  j2.left = static_cast<int32_t>(tree.nodes.size() - 1);
-  j2.right = lr;
-  j2.card = 8000;
-  tree.nodes.push_back(j2);
-  tree.root = static_cast<int32_t>(tree.nodes.size() - 1);
+  int32_t lr = tree.AddLeaf(r, 4000), ls = tree.AddLeaf(s, 8000),
+          lt = tree.AddLeaf(t, 2000);
+  tree.AddJoin(tree.AddJoin(ls, lt, 8000), lr, 8000);
 
   Query q = db.NewQuery().Join(r, s).Join(s, t).Tree(tree).Build();
   auto got = db.Execute(q, Opts(Backend::kSimulated, Strategy::kDP, 1, 2));
@@ -329,20 +312,198 @@ TEST(SessionTreeOverride, ExplicitTreeRuns) {
   EXPECT_GT(got.value().tuples, 0u);
 }
 
-// The unified skew knob: placement skew on the cluster moves load-
-// balancing traffic; redistribution skew on the simulator stays correct.
-TEST(SessionSkew, SkewKnobReachesBackends) {
+// Bushy plans run end-to-end on the cluster: a 2-chain (3-join) and a
+// 3-chain (4-join) bushy query must produce identical digests on threads
+// and cluster, and the cluster must report distributed-intermediate
+// shipping (nonzero for bushy plans, zero for a single chain).
+
+// 4 relations R,S,T,U with a bushy tree ((U ⋈ T) ⋈ (S ⋈ R)): chain0 is
+// S ⋈ R, the final chain scans U, probes T, probes chain0's output.
+struct BushySessionFixture {
+  Session db;
+  RelId r, s, t, u;
+  Query query;
+
+  explicit BushySessionFixture(size_t u_rows = 10000, uint64_t seed = 51) {
+    r = db.AddTable(mt::MakeTable("R", 100, 2, 10, seed));
+    s = db.AddTable(mt::MakeTable("S", 400, 2, 100, seed + 1));
+    t = db.AddTable(mt::MakeTable("T", 400, 2, 10, seed + 2));
+    u = db.AddTable(mt::MakeTable("U", u_rows, 3, 400, seed + 3));
+    plan::JoinTree tree;
+    int32_t lr = tree.AddLeaf(r, 100), ls = tree.AddLeaf(s, 400);
+    int32_t lt = tree.AddLeaf(t, 400), lu = tree.AddLeaf(u, double(u_rows));
+    int32_t jsr = tree.AddJoin(ls, lr, 400);
+    int32_t jut = tree.AddJoin(lu, lt, double(u_rows));
+    tree.AddJoin(jut, jsr, double(u_rows));
+    query = db.NewQuery()
+                .JoinOn(s, 1, r, 0)
+                .JoinOn(u, 1, t, 0)
+                .JoinOn(u, 2, s, 0)
+                .Tree(tree)
+                .Build();
+  }
+};
+
+TEST(SessionBushy, TwoChainPlanAgreesAcrossRealBackends) {
+  BushySessionFixture fx;
+  auto threads =
+      fx.db.Execute(fx.query, Opts(Backend::kThreads, Strategy::kDP, 1, 4));
+  ASSERT_TRUE(threads.ok()) << threads.status().ToString();
+  EXPECT_TRUE(threads.value().reference_match);
+  EXPECT_EQ(threads.value().result_rows, 10000u);
+
+  auto cl =
+      fx.db.Execute(fx.query, Opts(Backend::kCluster, Strategy::kDP, 3, 2));
+  ASSERT_TRUE(cl.ok()) << cl.status().ToString();
+  EXPECT_TRUE(cl.value().reference_match);
+  EXPECT_EQ(cl.value().result_rows, threads.value().result_rows);
+  EXPECT_EQ(cl.value().result_checksum, threads.value().result_checksum);
+
+  // chain0's |S| = 400 intermediate rows stayed distributed, and a share
+  // of them shipped cross-node while repartitioning to the consumer.
+  EXPECT_EQ(cl.value().intermediate_rows, 400u);
+  EXPECT_GT(cl.value().intermediate_bytes, 0u);
+  ASSERT_TRUE(cl.value().cluster.has_value());
+  ASSERT_EQ(cl.value().cluster->per_chain.size(), 2u);
+  EXPECT_EQ(cl.value().cluster->per_chain[0].intermediate_rows, 400u);
+  EXPECT_GT(cl.value().cluster->per_chain[0].repartition_rows, 0u);
+  EXPECT_GT(cl.value().cluster->per_chain[0].repartition_bytes, 0u);
+
+  // FP on the same bushy plan agrees too.
+  auto fp =
+      fx.db.Execute(fx.query, Opts(Backend::kCluster, Strategy::kFP, 2, 2));
+  ASSERT_TRUE(fp.ok()) << fp.status().ToString();
+  EXPECT_EQ(fp.value().result_checksum, threads.value().result_checksum);
+}
+
+TEST(SessionBushy, SingleChainReportsZeroIntermediates) {
+  StarFixture fx(6000);
+  auto cl =
+      fx.db.Execute(fx.query, Opts(Backend::kCluster, Strategy::kDP, 3, 2));
+  ASSERT_TRUE(cl.ok()) << cl.status().ToString();
+  EXPECT_TRUE(cl.value().reference_match);
+  EXPECT_EQ(cl.value().intermediate_rows, 0u);
+  EXPECT_EQ(cl.value().intermediate_bytes, 0u);
+  ASSERT_TRUE(cl.value().cluster.has_value());
+  ASSERT_EQ(cl.value().cluster->per_chain.size(), 1u);
+  EXPECT_EQ(cl.value().cluster->per_chain[0].repartition_rows, 0u);
+}
+
+TEST(SessionBushy, ThreeChainPlanAgreesAcrossRealBackendsAndSchedules) {
+  // chain0 = B ⋈ A, chain1 = D ⋈ C, final = scan F, probe both outputs.
+  Session db;
+  auto a = db.AddTable(mt::MakeTable("A", 100, 2, 10, 61));
+  auto b = db.AddTable(mt::MakeTable("B", 300, 2, 100, 62));
+  auto c = db.AddTable(mt::MakeTable("C", 80, 2, 10, 63));
+  auto d = db.AddTable(mt::MakeTable("D", 300, 2, 80, 64));
+  auto f = db.AddTable(mt::MakeTable("F", 8000, 3, 300, 65));
+  plan::JoinTree tree;
+  int32_t jab = tree.AddJoin(tree.AddLeaf(b, 300), tree.AddLeaf(a, 100), 300);
+  int32_t jcd = tree.AddJoin(tree.AddLeaf(d, 300), tree.AddLeaf(c, 80), 300);
+  int32_t jf = tree.AddJoin(tree.AddLeaf(f, 8000), jab, 8000);
+  tree.AddJoin(jf, jcd, 8000);
+  Query q = db.NewQuery()
+                .JoinOn(b, 1, a, 0)
+                .JoinOn(d, 1, c, 0)
+                .JoinOn(f, 1, b, 0)
+                .JoinOn(f, 2, d, 0)
+                .Tree(tree)
+                .Build();
+
+  auto threads = db.Execute(q, Opts(Backend::kThreads, Strategy::kDP, 1, 3));
+  ASSERT_TRUE(threads.ok()) << threads.status().ToString();
+  EXPECT_TRUE(threads.value().reference_match);
+  EXPECT_EQ(threads.value().result_rows, 8000u);
+
+  // Staged (H2) and concurrent chain scheduling both agree with threads.
+  for (bool h2 : {true, false}) {
+    ExecOptions o = Opts(Backend::kCluster, Strategy::kDP, 3, 2);
+    o.apply_h2 = h2;
+    auto cl = db.Execute(q, o);
+    ASSERT_TRUE(cl.ok()) << cl.status().ToString();
+    EXPECT_EQ(cl.value().result_rows, threads.value().result_rows);
+    EXPECT_EQ(cl.value().result_checksum, threads.value().result_checksum);
+    EXPECT_EQ(cl.value().intermediate_rows, 600u);  // two 300-row chains
+    ASSERT_TRUE(cl.value().cluster.has_value());
+    ASSERT_EQ(cl.value().cluster->per_chain.size(), 3u);
+  }
+}
+
+// A relation probed twice in a chain breaks the join-tree invariants
+// (duplicate leaf RelSet bits): reject with the table's name.
+TEST(SessionValidation, RejectsDuplicateChainRelation) {
+  StarFixture fx(1000);
+  Query dup = fx.db.NewQuery()
+                  .Scan(fx.fact)
+                  .Probe(fx.d1, 1, 0)
+                  .Probe(fx.d1, 2, 0)
+                  .Build();
+  for (Backend b : {Backend::kSimulated, Backend::kThreads,
+                    Backend::kCluster}) {
+    auto got = fx.db.Execute(dup, Opts(b, Strategy::kDP,
+                                       b == Backend::kCluster ? 2 : 1, 2));
+    ASSERT_FALSE(got.ok()) << BackendName(b);
+    EXPECT_NE(got.status().ToString().find("d1"), std::string::npos)
+        << got.status().ToString();
+  }
+  // Scanning the probed relation is equally rejected.
+  Query scan_dup =
+      fx.db.NewQuery().Scan(fx.d1).Probe(fx.d1, 1, 0).Build();
+  EXPECT_FALSE(
+      fx.db.Execute(scan_dup, Opts(Backend::kThreads, Strategy::kDP, 1, 2))
+          .ok());
+}
+
+// The unified skew knob: skew_theta drives attribute-value skew on every
+// backend. Synthesized (catalog-only) runs stay correct and identical
+// across the two real backends under skew.
+TEST(SessionSkew, AttributeSkewDrivesSynthesizedRuns) {
+  Session db;
+  auto r = db.AddRelation("R", 30000);
+  auto s = db.AddRelation("S", 120000);
+  auto t = db.AddRelation("T", 60000);
+  Query q = db.NewQuery().Join(r, s).Join(s, t).Build();
+  ExecOptions to = Opts(Backend::kThreads, Strategy::kDP, 1, 4);
+  to.bind_scale = 0.05;
+  to.skew_theta = 0.9;
+  auto threads = db.Execute(q, to);
+  ASSERT_TRUE(threads.ok()) << threads.status().ToString();
+  EXPECT_TRUE(threads.value().reference_match);
+
+  ExecOptions co = Opts(Backend::kCluster, Strategy::kDP, 3, 2);
+  co.bind_scale = 0.05;
+  co.skew_theta = 0.9;
+  auto cl = db.Execute(q, co);
+  ASSERT_TRUE(cl.ok()) << cl.status().ToString();
+  EXPECT_TRUE(cl.value().reference_match);
+  EXPECT_EQ(cl.value().result_rows, threads.value().result_rows);
+  EXPECT_EQ(cl.value().result_checksum, threads.value().result_checksum);
+
+  // The simulator keeps modeling the same knob as redistribution skew.
+  ExecOptions so = Opts(Backend::kSimulated, Strategy::kDP, 2, 2);
+  so.skew_theta = 0.9;
+  auto sim = db.Execute(q, so);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+}
+
+// Cluster placement skew moved to its own knob.
+TEST(SessionSkew, PlacementSkewKnobStaysCorrect) {
   StarFixture fx(30000);
   ExecOptions o = Opts(Backend::kCluster, Strategy::kDP, 3, 2);
-  o.skew_theta = 0.9;
+  o.placement_theta = 0.9;
   auto skewed = fx.db.Execute(fx.query, o);
   ASSERT_TRUE(skewed.ok()) << skewed.status().ToString();
   EXPECT_TRUE(skewed.value().reference_match);
+}
 
-  ExecOptions so = Opts(Backend::kSimulated, Strategy::kDP, 2, 2);
-  so.skew_theta = 0.8;
-  auto sim = fx.db.Execute(fx.query, so);
-  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+// fp_error_rate now reaches the cluster backend's FP allocation.
+TEST(SessionFpError, CostErrorHonoredOnCluster) {
+  StarFixture fx(15000);
+  ExecOptions o = Opts(Backend::kCluster, Strategy::kFP, 2, 3);
+  o.fp_error_rate = 0.5;
+  auto got = fx.db.Execute(fx.query, o);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got.value().reference_match);
 }
 
 // Unified strategy enum: the aliases stay interchangeable.

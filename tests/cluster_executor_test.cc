@@ -335,6 +335,193 @@ TEST(Cluster, NoLeftoverPendingAfterExecution) {
   EXPECT_GT(busy, 0u);
 }
 
+// ------------------------------------------------- multi-chain plans -----
+
+// Bushy 3-join fixture: chain0 = S ⋈ R (materialized, distributed), final
+// chain = scan U, probe T, probe chain0. Every U row matches exactly one
+// T and one chain0 row, so the result has |U| rows.
+struct BushyFixture {
+  mt::Table r, s, t, u;
+  PartitionedTable rp, sp, tp, up;
+  PlanQuery query;
+
+  explicit BushyFixture(uint32_t nodes, size_t u_rows = 12000,
+                        uint64_t seed = 5) {
+    r = MakeTable("R", 100, 2, 10, seed);
+    s = MakeTable("S", 400, 2, 100, seed + 1);   // S.fk -> R.key
+    t = MakeTable("T", 400, 2, 10, seed + 2);
+    u = MakeTable("U", u_rows, 3, 400, seed + 3);  // U.fk1->T, U.fk2->S
+    rp = PartitionByHash(r, nodes, 0);
+    sp = PartitionRoundRobin(s, nodes);
+    tp = PartitionByHash(t, nodes, 0);
+    up = PartitionRoundRobin(u, nodes);
+    query.tables = {&rp, &sp, &tp, &up};
+    mt::Chain c0;
+    c0.input = mt::Source::OfTable(1);
+    c0.joins.push_back({mt::Source::OfTable(0), 1, 0});
+    mt::Chain fin;
+    fin.input = mt::Source::OfTable(3);
+    fin.joins.push_back({mt::Source::OfTable(2), 1, 0});
+    fin.joins.push_back({mt::Source::OfChain(0), 2, 0});
+    query.plan.chains.push_back(std::move(c0));
+    query.plan.chains.push_back(std::move(fin));
+  }
+};
+
+TEST(MultiChain, BushyPlanMatchesReferenceDP) {
+  BushyFixture fx(3);
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  EXPECT_EQ(ref.count, 12000u);
+  ClusterExecutor exec(Opts(3, 2));
+  ClusterStats stats;
+  auto got = exec.Execute(fx.query, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+  // chain0's output stayed distributed: |S| rows materialized across the
+  // nodes, a share of them repartitioned cross-node to the consuming join.
+  ASSERT_EQ(stats.per_chain.size(), 2u);
+  EXPECT_EQ(stats.per_chain[0].intermediate_rows, 400u);
+  EXPECT_EQ(stats.per_chain[0].intermediate_bytes,
+            400u * 4 * sizeof(int64_t));
+  EXPECT_GT(stats.per_chain[0].repartition_rows, 0u);
+  EXPECT_GT(stats.per_chain[0].repartition_bytes, 0u);
+  EXPECT_EQ(stats.per_chain[1].intermediate_rows, 0u);
+  EXPECT_EQ(stats.intermediate_rows, 400u);
+  EXPECT_GT(stats.dataflow_bytes, 0u);
+}
+
+TEST(MultiChain, BushyPlanMatchesReferenceFP) {
+  BushyFixture fx(2, 8000, 9);
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  ClusterExecutor exec(Opts(2, 3, LocalStrategy::kFP));
+  ClusterStats stats;
+  auto got = exec.Execute(fx.query, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+  EXPECT_EQ(stats.intermediate_rows, 400u);
+}
+
+TEST(MultiChain, ConcurrentChainsMatchReference) {
+  // serialize_chains off: chain0 and the final chain's builds overlap;
+  // the probe over chain0's intermediate still waits for its termination.
+  BushyFixture fx(3, 10000, 13);
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  for (LocalStrategy s : {LocalStrategy::kDP, LocalStrategy::kFP}) {
+    ClusterOptions o = Opts(3, 2, s);
+    o.serialize_chains = false;
+    ClusterExecutor exec(o);
+    auto got = exec.Execute(fx.query);
+    ASSERT_TRUE(got.ok()) << LocalStrategyName(s) << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(got.value(), ref) << LocalStrategyName(s);
+  }
+}
+
+TEST(MultiChain, ThreeChainPlanMatchesReference) {
+  // chain0 = B ⋈ A, chain1 = D ⋈ C, final = scan F, probe both.
+  const uint32_t nodes = 3;
+  mt::Table a = MakeTable("A", 100, 2, 10, 31);
+  mt::Table b = MakeTable("B", 300, 2, 100, 32);
+  mt::Table c = MakeTable("C", 80, 2, 10, 33);
+  mt::Table d = MakeTable("D", 300, 2, 80, 34);
+  mt::Table f = MakeTable("F", 9000, 3, 300, 35);
+  PartitionedTable ap = PartitionByHash(a, nodes, 0);
+  PartitionedTable bp = PartitionRoundRobin(b, nodes);
+  PartitionedTable cp = PartitionByHash(c, nodes, 0);
+  PartitionedTable dp = PartitionRoundRobin(d, nodes);
+  PartitionedTable fp = PartitionRoundRobin(f, nodes);
+  PlanQuery q;
+  q.tables = {&ap, &bp, &cp, &dp, &fp};
+  mt::Chain c0;
+  c0.input = mt::Source::OfTable(1);
+  c0.joins.push_back({mt::Source::OfTable(0), 1, 0});
+  mt::Chain c1;
+  c1.input = mt::Source::OfTable(3);
+  c1.joins.push_back({mt::Source::OfTable(2), 1, 0});
+  mt::Chain fin;
+  fin.input = mt::Source::OfTable(4);
+  fin.joins.push_back({mt::Source::OfChain(0), 1, 0});  // F.fk1 -> B.key
+  fin.joins.push_back({mt::Source::OfChain(1), 2, 0});  // F.fk2 -> D.key
+  q.plan.chains.push_back(std::move(c0));
+  q.plan.chains.push_back(std::move(c1));
+  q.plan.chains.push_back(std::move(fin));
+  auto ref = ReferenceExecute(q).ValueOrDie();
+  EXPECT_EQ(ref.count, 9000u);
+  for (bool serialize : {true, false}) {
+    ClusterOptions o = Opts(nodes, 2);
+    o.serialize_chains = serialize;
+    ClusterExecutor exec(o);
+    ClusterStats stats;
+    auto got = exec.Execute(q, &stats);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), ref);
+    ASSERT_EQ(stats.per_chain.size(), 3u);
+    EXPECT_EQ(stats.per_chain[0].intermediate_rows, 300u);
+    EXPECT_EQ(stats.per_chain[1].intermediate_rows, 300u);
+    EXPECT_EQ(stats.intermediate_rows, 600u);
+  }
+}
+
+TEST(MultiChain, SingleChainReportsZeroIntermediates) {
+  ChainFixture fx(2, 2, 6000, 200);
+  ClusterExecutor exec(Opts(2, 2));
+  ClusterStats stats;
+  auto got = exec.Execute(fx.query, &stats);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(stats.per_chain.size(), 1u);
+  EXPECT_EQ(stats.per_chain[0].intermediate_rows, 0u);
+  EXPECT_EQ(stats.per_chain[0].repartition_rows, 0u);
+  EXPECT_EQ(stats.intermediate_rows, 0u);
+  EXPECT_EQ(stats.intermediate_bytes, 0u);
+}
+
+TEST(MultiChain, LoadBalancingOnBushyPlanStaysCorrect) {
+  // Final-chain input all at node 0: the other nodes starve into the
+  // global protocol while chain0's intermediate is already distributed.
+  BushyFixture fx(3, 20000, 17);
+  PartitionedTable all_at_zero;
+  all_at_zero.width = fx.u.width();
+  all_at_zero.parts.assign(3, mt::Batch(fx.u.width()));
+  for (size_t i = 0; i < fx.u.rows(); ++i) {
+    all_at_zero.parts[0].AppendRow(fx.u.batch.row(i));
+  }
+  fx.query.tables[3] = &all_at_zero;
+  auto ref = ReferenceExecute(fx.query).ValueOrDie();
+  ClusterOptions o = Opts(3, 2);
+  o.queue_capacity = 256;
+  ClusterExecutor exec(o);
+  ClusterStats stats;
+  auto got = exec.Execute(fx.query, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
+  if (stats.steals > 0) {
+    EXPECT_GT(stats.stolen_activations, 0u);
+    EXPECT_GT(stats.lb_bytes, 0u);
+  }
+}
+
+TEST(MultiChain, ValidateRejectsMalformedPlans) {
+  BushyFixture fx(2);
+  ClusterExecutor exec(Opts(2, 1));
+  // Chain with no joins.
+  PlanQuery no_joins = fx.query;
+  no_joins.plan.chains[0].joins.clear();
+  EXPECT_FALSE(exec.Execute(no_joins).ok());
+  // Forward chain reference.
+  PlanQuery forward = fx.query;
+  forward.plan.chains[0].joins[0].build = mt::Source::OfChain(1);
+  EXPECT_FALSE(exec.Execute(forward).ok());
+  // Partition count mismatch.
+  PartitionedTable wrong = PartitionRoundRobin(fx.u, 3);
+  PlanQuery bad_parts = fx.query;
+  bad_parts.tables[3] = &wrong;
+  EXPECT_FALSE(exec.Execute(bad_parts).ok());
+  // Non-final chain whose output nothing consumes.
+  PlanQuery unconsumed = fx.query;
+  unconsumed.plan.chains[1].joins.pop_back();  // drop the probe of chain0
+  EXPECT_FALSE(exec.Execute(unconsumed).ok());
+}
+
 // --------------------------------------------------------- sweeps --------
 
 class ClusterSweep

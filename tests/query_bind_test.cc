@@ -4,6 +4,8 @@
 
 #include "mt/query_bind.h"
 
+#include <algorithm>
+
 #include "gtest/gtest.h"
 #include "mt/pipeline_executor.h"
 #include "opt/bushy_optimizer.h"
@@ -136,6 +138,45 @@ TEST(QueryBind, RejectsEmptyTree) {
   opt::GeneratedQuery q = gen.Generate();
   plan::JoinTree empty;
   EXPECT_FALSE(BindJoinTree(empty, q.graph, q.catalog, {}).ok());
+}
+
+// BindOptions::skew_theta draws FK columns Zipf-distributed over the
+// parent key range — the unified attribute-value skew knob. The heaviest
+// value must be far above the uniform expectation, and execution must
+// still match the reference.
+TEST(QueryBind, SkewThetaConcentratesForeignKeys) {
+  catalog::Catalog cat;
+  cat.AddRelation("child", 5000, 100);
+  cat.AddRelation("parent", 100, 100);
+  plan::JoinGraph graph(2, {{0, 1, 0.01}});
+  plan::JoinTree tree;
+  tree.AddJoin(tree.AddLeaf(0, 5000), tree.AddLeaf(1, 100), 5000);
+
+  BindOptions bo{.scale = 1.0, .seed = 3, .min_rows = 16, .skew_theta = 0.9};
+  auto bound = BindJoinTree(tree, graph, cat, bo);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const Table& child = bound.value().tables[0];
+  ASSERT_EQ(child.rows(), 5000u);
+  std::vector<uint64_t> freq(100, 0);
+  for (size_t i = 0; i < child.rows(); ++i) {
+    int64_t fk = child.batch.at(i, 1);
+    ASSERT_GE(fk, 0);
+    ASSERT_LT(fk, 100);
+    ++freq[static_cast<size_t>(fk)];
+  }
+  uint64_t top = *std::max_element(freq.begin(), freq.end());
+  EXPECT_GT(top, 150u);  // uniform expectation is 50 per parent key
+
+  auto tables = bound.value().TablePtrs();
+  auto ref = ReferenceExecute(bound.value().plan, tables).ValueOrDie();
+  EXPECT_EQ(ref.count, 5000u);
+  PipelineOptions o;
+  o.threads = 3;
+  o.buckets = 32;
+  PipelineExecutor exec(o);
+  auto got = exec.Execute(bound.value().plan, tables);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), ref);
 }
 
 }  // namespace
