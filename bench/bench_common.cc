@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/stats.h"
+
 namespace hierdb::bench {
 
 Flags Flags::Parse(int argc, char** argv) {
@@ -66,6 +68,44 @@ api::ExecutionReport RunPlan(const sim::SystemConfig& cfg, Strategy strat,
     std::exit(1);
   }
   return std::move(r).value();
+}
+
+ThroughputSummary Summarize(const std::vector<double>& latencies_ms,
+                            double makespan_ms) {
+  ThroughputSummary s;
+  s.queries = static_cast<uint32_t>(latencies_ms.size());
+  s.makespan_ms = makespan_ms;
+  if (latencies_ms.empty()) return s;
+  s.mean_ms = Mean(latencies_ms);
+  s.p50_ms = Percentile(latencies_ms, 50.0);
+  s.p95_ms = Percentile(latencies_ms, 95.0);
+  if (makespan_ms > 0) s.qps = s.queries / (makespan_ms / 1000.0);
+  return s;
+}
+
+ThroughputSummary Summarize(const api::StreamReport& report) {
+  // RunStream already computed these from the same exec_ms values; copy
+  // rather than recompute so the two summaries cannot drift.
+  ThroughputSummary s;
+  s.queries = report.succeeded;
+  s.qps = report.qps;
+  s.makespan_ms = report.makespan_ms;
+  s.mean_ms = report.mean_ms;
+  s.p50_ms = report.p50_ms;
+  s.p95_ms = report.p95_ms;
+  return s;
+}
+
+void PrintThroughputHeader() {
+  std::printf("%-34s %8s %10s %10s %10s %10s\n", "stream", "qps",
+              "makespan", "mean", "p50", "p95");
+}
+
+void PrintThroughputRow(const std::string& label,
+                        const ThroughputSummary& s) {
+  std::printf("%-34s %8.1f %8.1fms %8.1fms %8.1fms %8.1fms\n",
+              label.c_str(), s.qps, s.makespan_ms, s.mean_ms, s.p50_ms,
+              s.p95_ms);
 }
 
 void PrintParameterTables(const sim::SystemConfig& cfg) {

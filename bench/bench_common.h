@@ -42,6 +42,29 @@ api::ExecutionReport RunPlan(const sim::SystemConfig& cfg, Strategy strat,
                              const opt::WorkloadPlan& wp,
                              const api::ExecOptions& base);
 
+/// Latency/throughput summary shared by the multi-query stream benches:
+/// queries/sec plus latency percentiles over one stream's per-query
+/// execution latencies (built on hierdb::Percentile, common/stats.h).
+struct ThroughputSummary {
+  uint32_t queries = 0;
+  double qps = 0.0;
+  double makespan_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+ThroughputSummary Summarize(const std::vector<double>& latencies_ms,
+                            double makespan_ms);
+
+/// Summary straight from a Session stream run.
+ThroughputSummary Summarize(const api::StreamReport& report);
+
+/// One aligned row for a throughput table (pair with PrintThroughputHeader).
+void PrintThroughputHeader();
+void PrintThroughputRow(const std::string& label,
+                        const ThroughputSummary& s);
+
 /// Prints the paper's Section 5.1.1 parameter tables (T1/T2).
 void PrintParameterTables(const sim::SystemConfig& cfg);
 

@@ -44,7 +44,7 @@ struct RefDigest {
 
 // The single-threaded reference runs once (first call); every later run
 // is checked against its digest without re-executing it.
-double RunOnce(const api::Session& db, const api::Query& query, Strategy s,
+double RunOnce(api::Session& db, const api::Query& query, Strategy s,
                uint32_t threads, RefDigest* ref) {
   api::ExecOptions o;
   o.backend = api::Backend::kThreads;

@@ -1,0 +1,220 @@
+#include "api/scheduler.h"
+
+#include <algorithm>
+
+namespace hierdb::api {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryHandle
+
+void QueryHandle::Wait() const {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] {
+    return state_->phase == internal::QueryState::Phase::kDone;
+  });
+}
+
+bool QueryHandle::Done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->phase == internal::QueryState::Phase::kDone;
+}
+
+bool QueryHandle::Cancel() {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->phase != internal::QueryState::Phase::kQueued) return false;
+  state_->phase = internal::QueryState::Phase::kDone;
+  state_->run = nullptr;
+  state_->result = Status::Cancelled("query cancelled before dispatch");
+  if (state_->cancel_count != nullptr) {
+    state_->cancel_count->fetch_add(1, std::memory_order_relaxed);
+  }
+  state_->cv.notify_all();
+  return true;
+}
+
+Result<QueryResult> QueryHandle::Take() {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("Take on an empty QueryHandle");
+  }
+  Wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->taken) {
+    return Status::FailedPrecondition("query result already taken");
+  }
+  state_->taken = true;
+  return *std::move(state_->result);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+namespace {
+
+// A zero concurrency limit would admit queries no worker ever pops (Take
+// would hang forever), and a zero queue depth would reject every Submit —
+// even on an idle session — because dispatch always passes through the
+// queue. Treat both as 1, the minimal working configuration.
+SessionOptions Normalize(SessionOptions o) {
+  if (o.max_concurrent_queries == 0) o.max_concurrent_queries = 1;
+  if (o.max_queued == 0) o.max_queued = 1;
+  return o;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const SessionOptions& options)
+    : options_(Normalize(options)) {}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  // Workers drain the queue before exiting, so joining them waits for
+  // every admitted query (cancelled entries are dropped on the way).
+  for (auto& w : workers_) w.join();
+}
+
+QueryHandle Scheduler::Completed(Result<QueryResult> result) {
+  auto state = std::make_shared<internal::QueryState>();
+  state->phase = internal::QueryState::Phase::kDone;
+  state->result = std::move(result);
+  return QueryHandle(std::move(state));
+}
+
+QueryHandle Scheduler::Submit(double plan_cost,
+                              std::function<Result<QueryResult>()> run) {
+  auto state = std::make_shared<internal::QueryState>();
+  state->plan_cost = plan_cost;
+  state->run = std::move(run);
+  state->submitted = std::chrono::steady_clock::now();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Entries cancelled while queued still sit in queue_ until a worker
+    // would pop them; purge before judging capacity so cancellations free
+    // their admission slots immediately. (Cancel itself accounted them in
+    // cancel_count_; dropping here is pure bookkeeping.)
+    std::erase_if(queue_, [&](const auto& st) {
+      std::lock_guard<std::mutex> slock(st->mu);
+      return st->phase == internal::QueryState::Phase::kDone;
+    });
+    if (queue_.size() >= options_.max_queued) {
+      ++stats_.rejected;
+      return Completed(Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(options_.max_queued) +
+          " queued)"));
+    }
+    state->seq = next_seq_++;
+    state->cancel_count = cancel_count_;
+    ++stats_.submitted;
+    queue_.push_back(state);
+    if (workers_.size() < options_.max_concurrent_queries) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  work_cv_.notify_one();
+  return QueryHandle(std::move(state));
+}
+
+std::shared_ptr<internal::QueryState> Scheduler::PopLocked() {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    if (options_.admission == AdmissionPolicy::kShortestCostFirst) {
+      it = std::min_element(queue_.begin(), queue_.end(),
+                            [](const auto& a, const auto& b) {
+                              if (a->plan_cost != b->plan_cost) {
+                                return a->plan_cost < b->plan_cost;
+                              }
+                              return a->seq < b->seq;
+                            });
+    }
+    std::shared_ptr<internal::QueryState> state = *it;
+    queue_.erase(it);
+    std::lock_guard<std::mutex> slock(state->mu);
+    if (state->phase == internal::QueryState::Phase::kQueued) {
+      state->phase = internal::QueryState::Phase::kRunning;
+      return state;
+    }
+    // Cancelled while queued (already accounted): drop and keep looking.
+  }
+  return nullptr;
+}
+
+void Scheduler::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<internal::QueryState> state;
+    uint64_t dispatch_seq = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      state = PopLocked();
+      if (state == nullptr) {
+        if (stop_) return;
+        continue;  // everything queued was cancelled; wait again
+      }
+      dispatch_seq = next_dispatch_++;
+      ++in_flight_;
+      stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+    }
+
+    auto dispatched = std::chrono::steady_clock::now();
+    Result<QueryResult> result = state->run();
+    state->run = nullptr;  // release the captured plan
+    auto finished = std::chrono::steady_clock::now();
+    if (result.ok()) {
+      QueryResult& qr = result.value();
+      qr.queue_ms = MsBetween(state->submitted, dispatched);
+      qr.exec_ms = MsBetween(dispatched, finished);
+      qr.dispatch_seq = dispatch_seq;
+    }
+
+    // Commit the scheduler counters before publishing to the handle, so a
+    // caller reading scheduler_stats() right after Take() sees this query
+    // accounted for.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (result.ok()) {
+        ++stats_.completed;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> slock(state->mu);
+      state->result = std::move(result);
+      state->phase = internal::QueryState::Phase::kDone;
+      state->cv.notify_all();
+    }
+  }
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats s = stats_;
+  s.cancelled = cancel_count_->load(std::memory_order_relaxed);
+  s.in_flight = in_flight_;
+  // Entries cancelled but not yet swept are done, not waiting.
+  s.queued = 0;
+  for (const auto& st : queue_) {
+    std::lock_guard<std::mutex> slock(st->mu);
+    if (st->phase == internal::QueryState::Phase::kQueued) ++s.queued;
+  }
+  return s;
+}
+
+}  // namespace hierdb::api

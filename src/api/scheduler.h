@@ -1,0 +1,105 @@
+// api::Scheduler — the session's admission controller and dispatcher
+// (internal; the public surface is QueryHandle/SessionOptions in
+// session.h).
+//
+// Submit hands the scheduler an already-planned query as a closure plus
+// its optimizer plan cost. The scheduler admits it into a bounded queue
+// (ResourceExhausted beyond SessionOptions::max_queued), and a fixed pool
+// of max_concurrent_queries dispatcher threads pops queued queries in
+// admission order — FIFO or shortest-cost-first — and runs them. The
+// worker pool is the reusable per-backend resource: executors themselves
+// are per-run objects, so queries running on different workers share
+// nothing but the session's immutable catalog/tables and genuinely
+// overlap.
+//
+// Cancellation races are resolved by the per-query state mutex: Cancel
+// wins only while the query is still queued; a popped query is kRunning
+// first, so at most one of {cancel, dispatch} ever fires.
+
+#ifndef HIERDB_API_SCHEDULER_H_
+#define HIERDB_API_SCHEDULER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "common/status.h"
+
+namespace hierdb::api {
+
+namespace internal {
+
+/// Shared state behind one QueryHandle.
+struct QueryState {
+  std::mutex mu;
+  std::condition_variable cv;
+  enum class Phase { kQueued, kRunning, kDone } phase = Phase::kQueued;
+  bool taken = false;
+  std::optional<Result<QueryResult>> result;
+
+  double plan_cost = 0.0;  ///< optimizer cost (shortest-cost-first key)
+  uint64_t seq = 0;        ///< admission order (FIFO key, tie-break)
+  std::function<Result<QueryResult>()> run;
+  std::chrono::steady_clock::time_point submitted;
+  /// The owning scheduler's cancellation counter (shared so Cancel can
+  /// account eagerly even if it outlives the scheduler).
+  std::shared_ptr<std::atomic<uint64_t>> cancel_count;
+};
+
+}  // namespace internal
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SessionOptions& options);
+  /// Drains: refuses new work and waits for every admitted query.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits `run` (cost `plan_cost`) or completes the returned handle
+  /// immediately with ResourceExhausted when the queue is full.
+  QueryHandle Submit(double plan_cost,
+                     std::function<Result<QueryResult>()> run);
+
+  /// A handle already carrying `result` — for validation/planning errors
+  /// that never reach the queue.
+  static QueryHandle Completed(Result<QueryResult> result);
+
+  SchedulerStats stats() const;
+
+ private:
+  void WorkerLoop();
+  /// Pops the next dispatchable query per the admission policy; entries
+  /// cancelled while queued are dropped (and counted) on the way.
+  /// Pre: lock on mu_ held.
+  std::shared_ptr<internal::QueryState> PopLocked();
+
+  const SessionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: queue non-empty or stop
+  std::deque<std::shared_ptr<internal::QueryState>> queue_;
+  std::vector<std::thread> workers_;  ///< spawned on first Submit
+  uint64_t next_seq_ = 1;
+  uint64_t next_dispatch_ = 1;
+  uint32_t in_flight_ = 0;
+  bool stop_ = false;
+  SchedulerStats stats_;  ///< cancelled lives in cancel_count_ instead
+  /// Bumped by QueryHandle::Cancel the instant it wins, so stats() never
+  /// under-reports cancellations that a worker has not yet swept.
+  std::shared_ptr<std::atomic<uint64_t>> cancel_count_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+};
+
+}  // namespace hierdb::api
+
+#endif  // HIERDB_API_SCHEDULER_H_

@@ -6,7 +6,9 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "api/scheduler.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "mt/plan.h"
 #include "mt/query_bind.h"
 
@@ -51,13 +53,30 @@ std::string ExecutionReport::ToString() const {
   if (has_result) os << " rows=" << result_rows;
   os << " pipe_bytes=" << pipeline_bytes << " lb_bytes=" << lb_bytes
      << " steals=" << steals;
-  if (intermediate_rows > 0) {
+  // Multi-chain cluster plans always show their distributed-intermediate
+  // totals (even when zero) so reports stay self-describing.
+  if (intermediate_rows > 0 ||
+      (cluster.has_value() && cluster->per_chain.size() > 1)) {
     os << " inter_rows=" << intermediate_rows
        << " inter_bytes=" << intermediate_bytes;
+  }
+  if (materialized) {
+    os << " mat_rows=" << materialized_rows
+       << " mat_bytes=" << materialized_bytes;
   }
   if (imbalance > 0) os << " imbalance=" << imbalance;
   if (validated) os << (reference_match ? " ref=match" : " ref=MISMATCH");
   os << "}";
+  return os.str();
+}
+
+std::string StreamReport::ToString() const {
+  std::ostringstream os;
+  os << "StreamReport{" << submitted << " submitted, " << succeeded
+     << " ok, " << failed << " failed; makespan=" << makespan_ms
+     << "ms serial=" << serial_ms << "ms qps=" << qps
+     << " mean=" << mean_ms << "ms p50=" << p50_ms << "ms p95=" << p95_ms
+     << "ms}";
   return os.str();
 }
 
@@ -104,6 +123,13 @@ QueryBuilder& QueryBuilder::Probe(RelId build, uint32_t probe_col,
 
 // ---------------------------------------------------------------------------
 // Session
+
+Session::Session() : Session(SessionOptions{}) {}
+
+Session::Session(const SessionOptions& options)
+    : scheduler_(std::make_unique<Scheduler>(options)) {}
+
+Session::~Session() = default;
 
 RelId Session::AddRelation(std::string name, uint64_t cardinality,
                            uint32_t tuple_bytes) {
@@ -402,8 +428,7 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
   return Status::OK();
 }
 
-Result<ExecutionReport> Session::Execute(const Query& q,
-                                         const ExecOptions& opts) const {
+Status Session::ValidateOptions(const ExecOptions& opts) const {
   if (opts.strategy == Strategy::kSP && opts.nodes > 1) {
     return Status::InvalidArgument(
         "SP (synchronous pipelining) is shared-memory only: nodes must be 1");
@@ -421,10 +446,72 @@ Result<ExecutionReport> Session::Execute(const Query& q,
   if (opts.nodes == 0 || opts.threads_per_node == 0) {
     return Status::InvalidArgument("machine shape must be at least 1x1");
   }
+  if (opts.materialize && opts.backend == Backend::kSimulated) {
+    return Status::InvalidArgument(
+        "the simulated backend has no rows to materialize (use "
+        "Backend::kThreads or Backend::kCluster)");
+  }
+  return Status::OK();
+}
 
-  Planned p;
-  HIERDB_RETURN_NOT_OK(
-      PlanQuery(q, opts, opts.backend != Backend::kSimulated, &p));
+QueryHandle Session::Submit(const Query& q, const ExecOptions& opts) {
+  Status bad = ValidateOptions(opts);
+  if (!bad.ok()) return Scheduler::Completed(bad);
+  auto planned = std::make_shared<Planned>();
+  Status st =
+      PlanQuery(q, opts, opts.backend != Backend::kSimulated, planned.get());
+  if (!st.ok()) return Scheduler::Completed(st);
+  // Planned owns its synthesized tables and is immutable from here on;
+  // the closure runs on a scheduler worker, possibly concurrently with
+  // other queries (the session state it reads is registration-frozen).
+  double cost = planned->tree.cost;
+  return scheduler_->Submit(cost, [this, planned, opts] {
+    return RunPlanned(*planned, opts);
+  });
+}
+
+Result<ExecutionReport> Session::Execute(const Query& q,
+                                         const ExecOptions& opts) {
+  auto got = Submit(q, opts).Take();
+  if (!got.ok()) return got.status();
+  return std::move(got).value().report;
+}
+
+StreamReport Session::RunStream(const std::vector<Query>& queries,
+                                const ExecOptions& opts) {
+  StreamReport sr;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<QueryHandle> handles;
+  handles.reserve(queries.size());
+  for (const Query& q : queries) handles.push_back(Submit(q, opts));
+
+  std::vector<double> latencies;
+  for (QueryHandle& h : handles) {
+    ++sr.submitted;
+    Result<QueryResult> r = h.Take();
+    if (r.ok()) {
+      ++sr.succeeded;
+      latencies.push_back(r.value().exec_ms);
+      sr.serial_ms += r.value().exec_ms;
+    } else {
+      ++sr.failed;
+    }
+    sr.results.push_back(std::move(r));
+  }
+  sr.makespan_ms = WallSince(t0) * 1000.0;
+  if (!latencies.empty()) {
+    sr.mean_ms = Mean(latencies);
+    sr.p50_ms = Percentile(latencies, 50.0);
+    sr.p95_ms = Percentile(latencies, 95.0);
+  }
+  if (sr.makespan_ms > 0) sr.qps = sr.succeeded / (sr.makespan_ms / 1000.0);
+  return sr;
+}
+
+SchedulerStats Session::scheduler_stats() const { return scheduler_->stats(); }
+
+Result<QueryResult> Session::RunPlanned(const Planned& p,
+                                        const ExecOptions& opts) const {
   switch (opts.backend) {
     case Backend::kSimulated: return RunSimulated(p, opts);
     case Backend::kThreads: return RunThreads(p, opts);
@@ -433,8 +520,8 @@ Result<ExecutionReport> Session::Execute(const Query& q,
   return Status::Internal("unknown backend");
 }
 
-Result<ExecutionReport> Session::RunSimulated(const Planned& p,
-                                              const ExecOptions& opts) const {
+Result<QueryResult> Session::RunSimulated(const Planned& p,
+                                          const ExecOptions& opts) const {
   sim::SystemConfig cfg;
   if (opts.sim_config.has_value()) {
     cfg = *opts.sim_config;
@@ -442,6 +529,8 @@ Result<ExecutionReport> Session::RunSimulated(const Planned& p,
     cfg.num_nodes = opts.nodes;
     cfg.procs_per_node = opts.threads_per_node;
     cfg.enable_global_lb = opts.global_lb;
+    cfg.primary_queue_affinity = opts.primary_queue_affinity;
+    cfg.model_memory_hierarchy = opts.model_memory_hierarchy;
     if (opts.buckets) cfg.buckets_per_operator = opts.buckets;
     if (opts.batch_rows) cfg.activation_batch_tuples = opts.batch_rows;
     if (opts.queue_capacity) cfg.queue_capacity = opts.queue_capacity;
@@ -451,6 +540,9 @@ Result<ExecutionReport> Session::RunSimulated(const Planned& p,
         "SP (synchronous pipelining) is shared-memory only: nodes must be 1");
   }
 
+  // One simulated query at a time: the discrete-event run is deterministic
+  // per query, and serializing keeps concurrent submissions reproducible.
+  std::lock_guard<std::mutex> sim_lock(sim_mu_);
   exec::Engine engine(cfg, opts.strategy);
   exec::RunOptions ro;
   ro.skew_theta = opts.skew_theta;
@@ -478,11 +570,13 @@ Result<ExecutionReport> Session::RunSimulated(const Planned& p,
     rep.op_end_ms.push_back(ToMillis(m.op_end_time[op.id]));
   }
   rep.sim = m;
-  return rep;
+  QueryResult qr;
+  qr.report = std::move(rep);
+  return qr;
 }
 
-Result<ExecutionReport> Session::RunThreads(const Planned& p,
-                                            const ExecOptions& opts) const {
+Result<QueryResult> Session::RunThreads(const Planned& p,
+                                        const ExecOptions& opts) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
 
   mt::PipelineOptions po;
@@ -505,8 +599,10 @@ Result<ExecutionReport> Session::RunThreads(const Planned& p,
 
   mt::PipelineExecutor executor(po);
   mt::PipelineStats stats;
+  QueryResult qr;
   auto t0 = std::chrono::steady_clock::now();
-  auto got = executor.Execute(p.mtplan, p.tables, &stats);
+  auto got = executor.Execute(p.mtplan, p.tables, &stats,
+                              opts.materialize ? &qr.rows : nullptr);
   double wall = WallSince(t0);
   if (!got.ok()) return got.status();
 
@@ -530,11 +626,18 @@ Result<ExecutionReport> Session::RunThreads(const Planned& p,
     rep.reference_rows = ref.value().count;
     rep.reference_match = ref.value() == got.value();
   }
-  return rep;
+  if (opts.materialize) {
+    qr.materialized = true;
+    rep.materialized = true;
+    rep.materialized_rows = qr.rows.rows();
+    rep.materialized_bytes = qr.rows.bytes();
+  }
+  qr.report = std::move(rep);
+  return qr;
 }
 
-Result<ExecutionReport> Session::RunCluster(const Planned& p,
-                                            const ExecOptions& opts) const {
+Result<QueryResult> Session::RunCluster(const Planned& p,
+                                        const ExecOptions& opts) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
 
   // Bridge the (possibly bushy, multi-chain) pipeline plan straight onto
@@ -587,6 +690,7 @@ Result<ExecutionReport> Session::RunCluster(const Planned& p,
   co.threads_per_node = opts.threads_per_node;
   co.strategy = opts.strategy;
   co.global_lb = opts.global_lb;
+  co.cache_stolen_fragments = opts.cache_stolen_fragments;
   co.serialize_chains = opts.apply_h2;
   if (opts.buckets) co.buckets = opts.buckets;
   if (opts.morsel_rows) co.morsel_rows = opts.morsel_rows;
@@ -605,8 +709,10 @@ Result<ExecutionReport> Session::RunCluster(const Planned& p,
 
   cluster::ClusterExecutor executor(co);
   cluster::ClusterStats stats;
+  QueryResult qr;
   auto t0 = std::chrono::steady_clock::now();
-  auto got = executor.Execute(query, &stats);
+  auto got = executor.Execute(query, &stats,
+                              opts.materialize ? &qr.rows : nullptr);
   double wall = WallSince(t0);
   if (!got.ok()) return got.status();
 
@@ -635,11 +741,19 @@ Result<ExecutionReport> Session::RunCluster(const Planned& p,
     rep.reference_rows = ref.value().count;
     rep.reference_match = ref.value() == got.value();
   }
-  return rep;
+  if (opts.materialize) {
+    qr.materialized = true;
+    rep.materialized = true;
+    rep.materialized_rows = qr.rows.rows();
+    rep.materialized_bytes = qr.rows.bytes();
+  }
+  qr.report = std::move(rep);
+  return qr;
 }
 
 Result<std::string> Session::Explain(const Query& q,
                                      const ExecOptions& opts) const {
+  HIERDB_RETURN_NOT_OK(ValidateOptions(opts));
   Planned p;
   HIERDB_RETURN_NOT_OK(PlanQuery(q, opts, /*want_real=*/true, &p));
 

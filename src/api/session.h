@@ -17,6 +17,25 @@
 //   opts.strategy = Strategy::kDP;
 //   auto report = db.Execute(q, opts);
 //
+// Queries execute asynchronously: Submit plans the query on the calling
+// thread, passes it through the session's admission controller
+// (SessionOptions: concurrency limit, queue depth, FIFO or
+// shortest-cost-first order using the optimizer's plan cost) and returns a
+// future-like QueryHandle. Independent queries on the kThreads and
+// kCluster backends genuinely overlap up to max_concurrent_queries; the
+// deterministic simulator serializes internally but flows through the same
+// API. Execute is a one-line wrapper over Submit+Take; RunStream submits a
+// whole batch and reports throughput (queries/sec, makespan, p50/p95):
+//
+//   api::Session db(api::SessionOptions{.max_concurrent_queries = 4});
+//   api::QueryHandle h = db.Submit(q, opts);
+//   ... overlap with other submissions ...
+//   auto result = h.Take();              // waits; QueryResult
+//
+// ExecOptions::materialize additionally carries the result rows back in
+// QueryResult::rows (threads: parallel partial collection; cluster:
+// tuple-batch gather of each node's final rows).
+//
 // A Query is backend-neutral: either a predicate (join) graph with
 // selectivities — optionally with an explicit join tree or a shape
 // constraint — or an explicit pipeline chain over registered tables. The
@@ -41,6 +60,8 @@
 #define HIERDB_API_SESSION_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -108,6 +129,12 @@ struct ExecOptions {
   uint32_t batch_rows = 0;       ///< data-activation granularity (real)
   uint32_t queue_capacity = 0;   ///< flow control (activations per queue)
 
+  /// Real backends: materialize the final result rows into
+  /// QueryResult::rows (kThreads: per-thread partial collection merged at
+  /// chain end; kCluster: tuple-batch gather of each node's final rows).
+  /// The simulated backend has no rows and rejects this flag.
+  bool materialize = false;
+
   bool global_lb = true;   ///< inter-node load sharing (kSimulated/kCluster)
   bool apply_h1 = true;    ///< H1: chain scan waits for its hash tables
   /// H2: chains execute one at a time. On kCluster this selects staged
@@ -119,6 +146,20 @@ struct ExecOptions {
   /// kCluster steal knobs; 0 = backend default.
   uint32_t steal_batch = 0;  ///< max activations per acquisition
   uint32_t min_steal = 0;    ///< provider offers only above this depth
+
+  /// kCluster only: cache hash-table fragments shipped by steals (the
+  /// Section 4 stolen-queue list) so repeated starving reuses them.
+  /// Ignored by kSimulated and kThreads.
+  bool cache_stolen_fragments = true;
+  /// kSimulated only: primary-queue preference ablation — false lets any
+  /// processor consume any consumable queue with no locality preference.
+  /// Ignored by the real backends (and when sim_config is set, which is
+  /// used verbatim).
+  bool primary_queue_affinity = true;
+  /// kSimulated only: model the SM-node memory-contention slowdown above
+  /// 32 processors. Ignored by the real backends (and when sim_config is
+  /// set).
+  bool model_memory_hierarchy = true;
 
   /// Real backends only: catalog-only relations (no registered table) are
   /// synthesized at `bind_scale` of their catalog cardinality.
@@ -189,10 +230,122 @@ struct ExecutionReport {
   bool reference_match = false;
   uint64_t reference_rows = 0;
 
+  /// Set when ExecOptions::materialize was on: size of the materialized
+  /// result (the rows themselves travel in QueryResult::rows).
+  bool materialized = false;
+  uint64_t materialized_rows = 0;
+  uint64_t materialized_bytes = 0;
+
   /// Raw backend metrics.
   std::optional<exec::RunMetrics> sim;
   std::optional<mt::PipelineStats> threads;
   std::optional<cluster::ClusterStats> cluster;
+
+  std::string ToString() const;
+};
+
+/// What a finished query hands back: the normalized report, the optional
+/// materialized row set, and the scheduler's timing breakdown.
+struct QueryResult {
+  ExecutionReport report;
+
+  /// Set when ExecOptions::materialize was on: the final result rows
+  /// (order unspecified — executions are parallel; the digest in `report`
+  /// is the order-independent identity).
+  bool materialized = false;
+  mt::Batch rows;
+
+  double queue_ms = 0.0;  ///< admission wait (submit -> dispatch)
+  double exec_ms = 0.0;   ///< execution (dispatch -> completion)
+  /// Order this query was dispatched in by its session's scheduler
+  /// (1-based); exposes the admission policy's decisions to tests/benches.
+  uint64_t dispatch_seq = 0;
+};
+
+/// Order in which the admission controller dispatches queued queries.
+enum class AdmissionPolicy {
+  kFifo,  ///< submission order
+  /// Cheapest optimizer plan cost first (ties: FIFO). Minimizes mean
+  /// latency but has no aging: a sustained stream of cheaper submissions
+  /// can starve an expensive queued query indefinitely — use kFifo when
+  /// per-query completion must be bounded.
+  kShortestCostFirst,
+};
+
+/// Per-session scheduling limits (fixed at Session construction).
+struct SessionOptions {
+  /// Queries executing at once; queries beyond this wait in the admission
+  /// queue. 1 (the default) serializes — the pre-async behavior. 0 is
+  /// treated as 1 (a zero-worker scheduler could never complete a query).
+  uint32_t max_concurrent_queries = 1;
+  /// Queries waiting for dispatch before Submit rejects with
+  /// ResourceExhausted (handles complete immediately with that status).
+  /// 0 is treated as 1 (every dispatch passes through the queue).
+  uint32_t max_queued = 256;
+  AdmissionPolicy admission = AdmissionPolicy::kFifo;
+};
+
+/// Counters the session's scheduler maintains across its lifetime, plus a
+/// snapshot of the current queue state.
+struct SchedulerStats {
+  uint64_t submitted = 0;  ///< admitted into the queue
+  uint64_t completed = 0;  ///< finished OK
+  uint64_t failed = 0;     ///< finished with an error status
+  uint64_t cancelled = 0;  ///< cancelled before dispatch
+  uint64_t rejected = 0;   ///< refused admission (queue full)
+  uint32_t max_in_flight = 0;  ///< high-water mark of concurrent queries
+  uint32_t in_flight = 0;      ///< snapshot: currently executing
+  uint32_t queued = 0;         ///< snapshot: waiting for dispatch
+};
+
+namespace internal {
+struct QueryState;
+}  // namespace internal
+
+class Scheduler;
+
+/// Future-like handle to a submitted query. Handles are cheap to copy
+/// (shared state) and may outlive their Session: destroying the session
+/// drains the scheduler, so every handle completes first.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the query completes (or was cancelled/rejected).
+  void Wait() const;
+  /// True once the result is available (non-blocking).
+  bool Done() const;
+  /// Cancels the query if it has not been dispatched yet; the handle then
+  /// completes with a Cancelled status. Returns false when the query is
+  /// already running or finished (execution is not interrupted).
+  bool Cancel();
+  /// Waits and moves the result out. A second Take (or Take on an empty
+  /// handle) returns FailedPrecondition.
+  Result<QueryResult> Take();
+
+ private:
+  friend class Scheduler;
+  explicit QueryHandle(std::shared_ptr<internal::QueryState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<internal::QueryState> state_;
+};
+
+/// Throughput report for a stream of queries run through Submit/Take.
+struct StreamReport {
+  uint32_t submitted = 0;
+  uint32_t succeeded = 0;
+  uint32_t failed = 0;  ///< rejected, cancelled or errored
+
+  double makespan_ms = 0.0;  ///< first Submit -> last completion
+  double serial_ms = 0.0;    ///< sum of per-query execution latencies
+  double qps = 0.0;          ///< succeeded / makespan
+  double mean_ms = 0.0;      ///< mean per-query execution latency
+  double p50_ms = 0.0;       ///< median execution latency
+  double p95_ms = 0.0;
+
+  std::vector<Result<QueryResult>> results;  ///< in submission order
 
   std::string ToString() const;
 };
@@ -281,10 +434,17 @@ class QueryBuilder {
 };
 
 /// The session: owns the catalog (and any registered real data), plans
-/// queries once, and executes them on the backend selected in ExecOptions.
+/// queries once, and executes them on the backend selected in ExecOptions
+/// through a per-session scheduler with admission control.
+///
+/// Thread safety: Submit/Execute/RunStream/Explain may be called from any
+/// thread; registering relations or tables while queries are in flight is
+/// not supported (table storage may move).
 class Session {
  public:
-  Session() = default;
+  Session();
+  explicit Session(const SessionOptions& options);
+  ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -304,30 +464,55 @@ class Session {
 
   QueryBuilder NewQuery() const { return QueryBuilder(); }
 
-  /// Plans `q` once and executes it on the selected backend.
-  Result<ExecutionReport> Execute(const Query& q,
-                                  const ExecOptions& opts) const;
+  /// Plans `q` on the calling thread and submits it for execution on the
+  /// selected backend. Validation and planning errors come back through
+  /// the returned handle (already completed); admitted queries dispatch
+  /// when the admission controller grants them a slot.
+  QueryHandle Submit(const Query& q, const ExecOptions& opts);
+
+  /// Synchronous convenience: Submit + Take, report only. Queues behind
+  /// other in-flight queries like any submission.
+  Result<ExecutionReport> Execute(const Query& q, const ExecOptions& opts);
+
+  /// Submits every query, waits for all, and summarizes throughput.
+  StreamReport RunStream(const std::vector<Query>& queries,
+                         const ExecOptions& opts);
+
+  /// Lifetime counters + queue snapshot of this session's scheduler.
+  SchedulerStats scheduler_stats() const;
 
   /// Renders the chosen join tree, its chain decomposition and the
   /// per-backend plan bridges for `q` under `opts`.
   Result<std::string> Explain(const Query& q, const ExecOptions& opts) const;
 
  private:
+  friend class Scheduler;
   struct Planned;
 
   /// `want_real` additionally builds the real-data bridge (tables +
   /// pipeline plan); the simulated backend skips that work.
   Status PlanQuery(const Query& q, const ExecOptions& opts, bool want_real,
                    Planned* out) const;
-  Result<ExecutionReport> RunSimulated(const Planned& p,
-                                       const ExecOptions& opts) const;
-  Result<ExecutionReport> RunThreads(const Planned& p,
-                                     const ExecOptions& opts) const;
-  Result<ExecutionReport> RunCluster(const Planned& p,
-                                     const ExecOptions& opts) const;
+  /// Backend-shape checks shared by Submit and Explain.
+  Status ValidateOptions(const ExecOptions& opts) const;
+  /// Runs a planned query on its backend (called from scheduler workers).
+  Result<QueryResult> RunPlanned(const Planned& p,
+                                 const ExecOptions& opts) const;
+  Result<QueryResult> RunSimulated(const Planned& p,
+                                   const ExecOptions& opts) const;
+  Result<QueryResult> RunThreads(const Planned& p,
+                                 const ExecOptions& opts) const;
+  Result<QueryResult> RunCluster(const Planned& p,
+                                 const ExecOptions& opts) const;
 
   catalog::Catalog catalog_;
   std::vector<std::optional<mt::Table>> tables_;  ///< aligned with RelIds
+  /// The deterministic simulator runs one query at a time (so concurrent
+  /// submissions stay reproducible); real backends overlap freely.
+  mutable std::mutex sim_mu_;
+  /// Declared last: destroyed first, draining in-flight queries before the
+  /// catalog/tables they reference go away.
+  std::unique_ptr<Scheduler> scheduler_;
 };
 
 }  // namespace hierdb::api

@@ -240,6 +240,9 @@ struct ClusterExecutor::Impl {
   const PlanQuery* query = nullptr;
   uint32_t nops = 0;
   uint32_t njoins = 0;
+  // Keep the final chain's output rows (per node, in inter[]) so Execute
+  // can gather them into a materialized result. Set before Compile().
+  bool materialize_final = false;
 
   struct ChainInfo {
     uint32_t k = 0;          // joins
@@ -520,7 +523,10 @@ struct ClusterExecutor::Impl {
       ns->inter_mu.resize(C);
       ns->repart_rows = std::vector<std::atomic<uint64_t>>(C);
       for (uint32_t c = 0; c < C; ++c) {
-        if (chains[c].materialized) ns->inter[c] = Batch(chains[c].out_width);
+        if (chains[c].materialized ||
+            (materialize_final && c + 1 == C)) {
+          ns->inter[c] = Batch(chains[c].out_width);
+        }
         ns->inter_mu[c] = std::make_unique<std::mutex>();
         ns->repart_rows[c].store(0);
       }
@@ -929,20 +935,19 @@ struct ClusterExecutor::Impl {
       next_op = act.op + 1;
     }
     // A non-final chain's terminal probe materializes into this node's
-    // share of the distributed intermediate (batched per activation).
+    // share of the distributed intermediate (batched per activation); the
+    // final chain's does the same when the result is being materialized.
+    const bool keep_rows = !final_chain || materialize_final;
     Batch local_out;
-    if (last && !final_chain) local_out = Batch(out_w);
+    if (last && keep_rows) local_out = Batch(out_w);
     for (size_t i = 0; i < act.rows.rows(); ++i) {
       const int64_t* row = act.rows.row(i);
       table->ForEachMatch(row[probe_col], [&](const int64_t* brow) {
         std::copy(row, row + in_w, out_row.begin());
         std::copy(brow, brow + build_w, out_row.begin() + in_w);
         if (last) {
-          if (final_chain) {
-            ns.digests[t].Add(out_row.data(), out_w);
-          } else {
-            local_out.AppendRow(out_row.data());
-          }
+          if (final_chain) ns.digests[t].Add(out_row.data(), out_w);
+          if (keep_rows) local_out.AppendRow(out_row.data());
           return;
         }
         uint32_t bucket =
@@ -964,7 +969,7 @@ struct ClusterExecutor::Impl {
     }
     hit.clear();
     ReleaseScratch(ns, t);
-    if (last && !final_chain && !local_out.empty()) {
+    if (last && keep_rows && !local_out.empty()) {
       std::lock_guard<std::mutex> lock(*ns.inter_mu[c]);
       ns.inter[c].data().insert(ns.inter[c].data().end(),
                                 local_out.data().begin(),
@@ -1471,7 +1476,8 @@ uint32_t ClusterExecutor::CompiledOpCount(const PlanQuery& query) {
 }
 
 Result<ResultDigest> ClusterExecutor::Execute(const ChainQuery& query,
-                                              ClusterStats* stats) {
+                                              ClusterStats* stats,
+                                              mt::Batch* materialized) {
   HIERDB_RETURN_NOT_OK(query.Validate(options_.nodes));
   if (query.joins.empty()) {
     return Status::InvalidArgument("chain query needs at least one join");
@@ -1487,14 +1493,16 @@ Result<ResultDigest> ClusterExecutor::Execute(const ChainQuery& query,
          j.probe_col, j.build_col});
   }
   pq.plan.chains.push_back(std::move(chain));
-  return Execute(pq, stats);
+  return Execute(pq, stats, materialized);
 }
 
 Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
-                                              ClusterStats* stats) {
+                                              ClusterStats* stats,
+                                              mt::Batch* materialized) {
   HIERDB_RETURN_NOT_OK(query.Validate(options_.nodes));
   impl_ = std::make_unique<Impl>(options_);
   Impl& im = *impl_;
+  im.materialize_final = materialized != nullptr;
   im.Compile(query);
 
   std::vector<std::thread> threads;
@@ -1550,8 +1558,13 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
     for (uint32_t c = 0; c < C; ++c) {
       auto& pc = stats->per_chain[c];
       for (auto& ns : im.node_state) {
-        pc.intermediate_rows += ns->inter[c].rows();
-        pc.intermediate_bytes += ns->inter[c].bytes();
+        // The final chain's inter[] slot holds the materialized result
+        // (when requested), not a distributed intermediate: keep the
+        // documented all-zero final entry.
+        if (c + 1 < C) {
+          pc.intermediate_rows += ns->inter[c].rows();
+          pc.intermediate_bytes += ns->inter[c].bytes();
+        }
         pc.repartition_rows += ns->repart_rows[c].load();
       }
       for (uint32_t dst : im.repart_dst_ops[c]) {
@@ -1562,6 +1575,20 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
       stats->intermediate_rows += pc.intermediate_rows;
       stats->intermediate_bytes += pc.intermediate_bytes;
     }
+  }
+  if (materialized != nullptr) {
+    // Gather each node's share of the final chain's rows (the tuple-batch
+    // collection): plain concatenation — the digest is order-independent.
+    const uint32_t last = static_cast<uint32_t>(im.chains.size()) - 1;
+    Batch out(im.chains[last].out_width);
+    size_t total = 0;
+    for (auto& ns : im.node_state) total += ns->inter[last].rows();
+    out.Reserve(total);
+    for (auto& ns : im.node_state) {
+      out.data().insert(out.data().end(), ns->inter[last].data().begin(),
+                        ns->inter[last].data().end());
+    }
+    *materialized = std::move(out);
   }
   impl_.reset();
   return digest;

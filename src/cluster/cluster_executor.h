@@ -185,10 +185,16 @@ class ClusterExecutor {
   ClusterExecutor(const ClusterExecutor&) = delete;
   ClusterExecutor& operator=(const ClusterExecutor&) = delete;
 
+  /// Executes the query. When `materialized` is non-null the final chain's
+  /// output rows — normally digested and dropped node-locally — are kept as
+  /// each node's tuple batches and gathered into `*materialized` after the
+  /// run (stolen activations contribute on their executing node).
   Result<mt::ResultDigest> Execute(const ChainQuery& query,
-                                   ClusterStats* stats = nullptr);
+                                   ClusterStats* stats = nullptr,
+                                   mt::Batch* materialized = nullptr);
   Result<mt::ResultDigest> Execute(const PlanQuery& query,
-                                   ClusterStats* stats = nullptr);
+                                   ClusterStats* stats = nullptr,
+                                   mt::Batch* materialized = nullptr);
 
   /// Number of compiled operators for the given plan (to size
   /// fp_cost_distortion before Execute): 3k+1 per chain of k joins.

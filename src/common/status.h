@@ -25,6 +25,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kCancelled,
 };
 
 /// Lightweight status object carrying a code and (on error) a message.
@@ -59,6 +60,9 @@ class Status {
   static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
   }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +84,7 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }

@@ -196,10 +196,10 @@ uint32_t PipelineExecutor::CompiledOpCount(const PipelinePlan& plan) {
 
 Result<ResultDigest> PipelineExecutor::Execute(
     const PipelinePlan& plan, const std::vector<const Table*>& tables,
-    PipelineStats* stats) {
+    PipelineStats* stats, Batch* materialized) {
   HIERDB_RETURN_NOT_OK(plan.Validate(tables));
   if (options_.strategy == LocalStrategy::kSP) {
-    return ExecuteSP(plan, tables, stats);
+    return ExecuteSP(plan, tables, stats, materialized);
   }
 
   shared_ = std::make_unique<Shared>();
@@ -212,6 +212,9 @@ Result<ResultDigest> PipelineExecutor::Execute(
   // Assign op ids chain by chain: B(c,0..k-1), S(c), P(c,0..k-1).
   sh.chain_terminal.resize(plan.chains.size());
   sh.materialized = plan.MaterializedChains();
+  // Result materialization rides the existing chain-output machinery: treat
+  // the final chain as materialized and hand its merged output back.
+  if (materialized != nullptr) sh.materialized.back() = true;
   sh.width_at.resize(plan.chains.size());
   uint32_t njoins_total = 0;
   std::vector<uint32_t> scan_of_chain(plan.chains.size());
@@ -400,6 +403,9 @@ Result<ResultDigest> PipelineExecutor::Execute(
 
   ResultDigest digest;
   for (const auto& d : sh.thread_digests) digest.Merge(d);
+  if (materialized != nullptr) {
+    *materialized = std::move(sh.chain_outputs.back());
+  }
 
   if (stats != nullptr) {
     stats->morsels = sh.stat_morsels.load();
@@ -458,8 +464,11 @@ void PipelineExecutor::OnOpEnded(uint32_t op_id) {
       }
     }
     if (!ready) continue;
-    other.consumable.store(true);
     if (other.kind != COp::kProbe) {
+      // Resolve the source BEFORE publishing consumable: workers read
+      // src_batch/total_rows right after observing consumable == true
+      // (the seq_cst store below is the release edge they synchronize
+      // with), so these plain fields must be complete first.
       other.src_batch = other.src.kind == Source::Kind::kTable
                             ? &sh.tables[other.src.index]->batch
                             : &sh.chain_outputs[other.src.index];
@@ -467,11 +476,13 @@ void PipelineExecutor::OnOpEnded(uint32_t op_id) {
       size_t morsels = (other.total_rows + options_.morsel_rows - 1) /
                        options_.morsel_rows;
       other.morsels_left.store(static_cast<int64_t>(morsels));
-      if (morsels == 0) {
-        other.scatter_done.store(true);
-        if (other.data_pending.load() == 0) newly_ended.push_back(i);
+      if (morsels == 0) other.scatter_done.store(true);
+      other.consumable.store(true);
+      if (morsels == 0 && other.data_pending.load() == 0) {
+        newly_ended.push_back(i);
       }
     } else {
+      other.consumable.store(true);
       // A probe unblocked after its producer already ended with nothing
       // pending is itself finished.
       if (sh.ops[other.producer]->ended.load() &&
@@ -961,10 +972,11 @@ bool PipelineExecutor::RunAllowedWhileStuck(uint32_t self,
 
 Result<ResultDigest> PipelineExecutor::ExecuteSP(
     const PipelinePlan& plan, const std::vector<const Table*>& tables,
-    PipelineStats* stats) {
+    PipelineStats* stats, Batch* out_rows) {
   const uint32_t T = options_.threads;
   const uint32_t B = options_.buckets;
   std::vector<bool> materialized = plan.MaterializedChains();
+  if (out_rows != nullptr) materialized.back() = true;
   std::vector<Batch> chain_outputs(plan.chains.size());
   std::vector<ResultDigest> digests(T);
   std::vector<uint64_t> busy(T, 0);
@@ -1098,6 +1110,7 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
 
   ResultDigest digest;
   for (const auto& d : digests) digest.Merge(d);
+  if (out_rows != nullptr) *out_rows = std::move(chain_outputs.back());
   if (stats != nullptr) {
     *stats = PipelineStats{};
     stats->morsels = morsel_count;

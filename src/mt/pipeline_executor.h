@@ -95,9 +95,14 @@ class PipelineExecutor {
   PipelineExecutor(const PipelineExecutor&) = delete;
   PipelineExecutor& operator=(const PipelineExecutor&) = delete;
 
+  /// Executes the plan. When `materialized` is non-null the final chain's
+  /// output rows are additionally collected (per-thread partials, merged at
+  /// chain end — the same machinery that materializes non-final chains)
+  /// and moved into `*materialized`.
   Result<ResultDigest> Execute(const PipelinePlan& plan,
                                const std::vector<const Table*>& tables,
-                               PipelineStats* stats = nullptr);
+                               PipelineStats* stats = nullptr,
+                               Batch* materialized = nullptr);
 
   /// Number of compiled operators for the given plan (to size
   /// fp_cost_distortion before Execute).
@@ -128,7 +133,7 @@ class PipelineExecutor {
 
   Result<ResultDigest> ExecuteSP(const PipelinePlan& plan,
                                  const std::vector<const Table*>& tables,
-                                 PipelineStats* stats);
+                                 PipelineStats* stats, Batch* materialized);
 };
 
 }  // namespace hierdb::mt

@@ -193,6 +193,11 @@ TEST(SessionValidation, RejectsBadOptionsAndQueries) {
   EXPECT_FALSE(
       fx.db.Execute(fx.query, Opts(Backend::kSimulated, Strategy::kSP, 2, 2))
           .ok());
+  // Explain shares the option validation: it must not render a plan for a
+  // machine shape Execute would reject.
+  EXPECT_FALSE(
+      fx.db.Explain(fx.query, Opts(Backend::kSimulated, Strategy::kSP, 2, 2))
+          .ok());
   EXPECT_FALSE(
       fx.db.Execute(fx.query, Opts(Backend::kCluster, Strategy::kSP, 1, 2))
           .ok());
@@ -363,6 +368,9 @@ TEST(SessionBushy, TwoChainPlanAgreesAcrossRealBackends) {
   // of them shipped cross-node while repartitioning to the consumer.
   EXPECT_EQ(cl.value().intermediate_rows, 400u);
   EXPECT_GT(cl.value().intermediate_bytes, 0u);
+  // Multi-chain reports describe their intermediates in ToString.
+  EXPECT_NE(cl.value().ToString().find("inter_rows=400"), std::string::npos)
+      << cl.value().ToString();
   ASSERT_TRUE(cl.value().cluster.has_value());
   ASSERT_EQ(cl.value().cluster->per_chain.size(), 2u);
   EXPECT_EQ(cl.value().cluster->per_chain[0].intermediate_rows, 400u);
