@@ -108,6 +108,63 @@ void PrintThroughputRow(const std::string& label,
               s.p95_ms);
 }
 
+JsonBaseline& JsonBaseline::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonBaseline& JsonBaseline::Str(const std::string& key,
+                                const std::string& value) {
+  rows_.back().push_back("\"" + JsonEscape(key) + "\": \"" +
+                         JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonBaseline& JsonBaseline::Num(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  rows_.back().push_back("\"" + JsonEscape(key) + "\": " + buf);
+  return *this;
+}
+
+JsonBaseline& JsonBaseline::Num(const std::string& key, uint64_t value) {
+  rows_.back().push_back("\"" + JsonEscape(key) + "\": " +
+                         std::to_string(value));
+  return *this;
+}
+
+bool JsonBaseline::Write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    std::fprintf(f, "  {");
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      std::fprintf(f, "%s%s", j == 0 ? "" : ", ", rows_[i][j].c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
 void PrintParameterTables(const sim::SystemConfig& cfg) {
   std::printf("T1 network parameters: bandwidth=infinite delay=%.1fms "
               "send=%.0finstr/8K recv=%.0finstr/8K\n",

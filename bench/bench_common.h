@@ -65,6 +65,29 @@ void PrintThroughputHeader();
 void PrintThroughputRow(const std::string& label,
                         const ThroughputSummary& s);
 
+/// Minimal JSON baseline emitter (an array of flat objects) so stream
+/// benches can drop machine-readable results next to their tables, e.g.
+/// BENCH_streams.json:
+///
+///   bench::JsonBaseline json;
+///   json.Row().Str("sweep", "pool_vs_spawn").Num("qps", s.qps);
+///   json.Write("BENCH_streams.json");
+class JsonBaseline {
+ public:
+  /// Starts a new object; subsequent Str/Num calls add its fields.
+  JsonBaseline& Row();
+  JsonBaseline& Str(const std::string& key, const std::string& value);
+  JsonBaseline& Num(const std::string& key, double value);
+  JsonBaseline& Num(const std::string& key, uint64_t value);
+
+  /// Writes the array to `path`; returns false (with a stderr note) on
+  /// I/O failure.
+  bool Write(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  ///< rendered "key": value
+};
+
 /// Prints the paper's Section 5.1.1 parameter tables (T1/T2).
 void PrintParameterTables(const sim::SystemConfig& cfg);
 

@@ -1,15 +1,28 @@
 // Concurrent query streams through the async Session front door: a batch
 // of independent star-join queries submitted together, swept over the
 // admission controller's concurrency limit on the kThreads and kCluster
-// backends, plus a FIFO vs shortest-cost-first comparison on a mixed
-// (small/large) stream. Reports queries/sec, makespan and latency
-// percentiles via the shared bench_common helpers.
+// backends, a FIFO vs shortest-cost-first comparison on a mixed
+// (small/large) stream, and the two PR-4 throughput levers:
+//
+//   pool vs spawn    the same oversubscribed stream (max_concurrent x
+//                    threads_per_node >= 2x hardware cores) on the
+//                    session-wide worker pool vs the legacy
+//                    spawn-per-query path, with total threads created;
+//   shared build     the same stream with the build-side reuse cache on
+//                    vs off (hit/miss counts from StreamReport).
+//
+// Reports queries/sec, makespan and latency percentiles via the shared
+// bench_common helpers and drops a machine-readable baseline in
+// BENCH_streams.json.
 //
 // Flags: --queries=N stream length (default 8)
 //        --rows=R    fact rows per query (default 60000)
 //        --seed=N    master seed
+//        --quick     CI smoke: 4 queries x 6000 rows
+//        --out=PATH  JSON baseline path (default BENCH_streams.json)
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +38,8 @@ struct Args {
   uint32_t queries = 8;
   uint64_t rows = 60000;
   uint64_t seed = 42;
+  uint32_t tpn = 0;  ///< pool-vs-spawn threads_per_node; 0 = from hw cores
+  std::string out = "BENCH_streams.json";
 };
 
 Args Parse(int argc, char** argv) {
@@ -33,6 +48,16 @@ Args Parse(int argc, char** argv) {
     if (sscanf(argv[i], "--queries=%u", &a.queries) == 1) continue;
     if (sscanf(argv[i], "--rows=%lu", &a.rows) == 1) continue;
     if (sscanf(argv[i], "--seed=%lu", &a.seed) == 1) continue;
+    if (sscanf(argv[i], "--tpn=%u", &a.tpn) == 1) continue;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      a.out = argv[i] + 6;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      a.queries = 4;
+      a.rows = 6000;
+      continue;
+    }
   }
   return a;
 }
@@ -65,6 +90,18 @@ std::vector<api::Query> MakeStream(api::Session& db, const Schema& s,
   return qs;
 }
 
+// Uniform heavy stream for the A/B sweeps: every query probes all three
+// dimensions, so the pool and reuse baselines measure one workload.
+std::vector<api::Query> MakeUniformStarStream(api::Session& db,
+                                              const Schema& s, uint32_t n) {
+  return std::vector<api::Query>(n, db.NewQuery()
+                                        .Scan(s.fact)
+                                        .Probe(s.d1, 1, 0)
+                                        .Probe(s.d2, 2, 0)
+                                        .Probe(s.d3, 3, 0)
+                                        .Build());
+}
+
 api::ExecOptions Opts(api::Backend backend, uint64_t seed) {
   api::ExecOptions o;
   o.backend = backend;
@@ -75,7 +112,8 @@ api::ExecOptions Opts(api::Backend backend, uint64_t seed) {
   return o;
 }
 
-void SweepConcurrency(api::Backend backend, const Args& args) {
+void SweepConcurrency(api::Backend backend, const Args& args,
+                      bench::JsonBaseline& json) {
   std::printf("--- %s backend: admission-concurrency sweep ---\n",
               api::BackendName(backend));
   bench::PrintThroughputHeader();
@@ -95,15 +133,24 @@ void SweepConcurrency(api::Backend backend, const Args& args) {
       }
       return;
     }
+    bench::ThroughputSummary sum = bench::Summarize(rep);
     bench::PrintThroughputRow(
         "max_concurrent=" + std::to_string(mc) + " serial=" +
             std::to_string(static_cast<int>(rep.serial_ms)) + "ms",
-        bench::Summarize(rep));
+        sum);
+    json.Row()
+        .Str("sweep", "concurrency")
+        .Str("backend", api::BackendName(backend))
+        .Num("max_concurrent", static_cast<uint64_t>(mc))
+        .Num("qps", sum.qps)
+        .Num("makespan_ms", sum.makespan_ms)
+        .Num("p50_ms", sum.p50_ms)
+        .Num("p95_ms", sum.p95_ms);
   }
   std::printf("\n");
 }
 
-void ComparePolicies(const Args& args) {
+void ComparePolicies(const Args& args, bench::JsonBaseline& json) {
   std::printf(
       "--- admission policy on a mixed stream (threads backend) ---\n");
   bench::PrintThroughputHeader();
@@ -124,9 +171,100 @@ void ComparePolicies(const Args& args) {
     }
     api::StreamReport rep =
         db.RunStream(queries, Opts(api::Backend::kThreads, args.seed));
+    const char* label =
+        policy == api::AdmissionPolicy::kFifo ? "fifo" : "shortest-cost-first";
+    bench::ThroughputSummary sum = bench::Summarize(rep);
+    bench::PrintThroughputRow(label, sum);
+    json.Row()
+        .Str("sweep", "policy")
+        .Str("policy", label)
+        .Num("qps", sum.qps)
+        .Num("p50_ms", sum.p50_ms)
+        .Num("p95_ms", sum.p95_ms);
+  }
+  std::printf("\n");
+}
+
+// The PR-4 tentpole A/B: an oversubscribed stream (max_concurrent x
+// threads_per_node chosen >= 2x hardware cores) on the legacy
+// spawn-per-query path vs the session-wide worker pool, same queries,
+// same seed. Reports qps/p95 plus total executor threads created.
+void PoolVsSpawn(const Args& args, bench::JsonBaseline& json) {
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const uint32_t mc = 4;
+  // threads_per_node such that mc * tpn >= 2 * hw cores.
+  const uint32_t tpn =
+      args.tpn != 0 ? args.tpn : std::max(2u, (2 * hw + mc - 1) / mc);
+  std::printf(
+      "--- pool vs spawn (threads backend, %u concurrent x %u threads "
+      "= %u logical workers on %u cores) ---\n",
+      mc, tpn, mc * tpn, hw);
+  bench::PrintThroughputHeader();
+  for (bool pooled : {false, true}) {
+    api::SessionOptions so;
+    so.max_concurrent_queries = mc;
+    api::Session db(so);
+    Schema s = Register(db, args.rows, args.seed);
+    std::vector<api::Query> queries =
+        MakeUniformStarStream(db, s, args.queries);
+    api::ExecOptions opts = Opts(api::Backend::kThreads, args.seed);
+    opts.threads_per_node = tpn;
+    opts.use_shared_pool = pooled;
+    opts.reuse_builds = false;  // isolate the pool effect
+    api::StreamReport rep = db.RunStream(queries, opts);
+    api::PoolStats ps = db.pool_stats();
+    const uint64_t created =
+        pooled ? ps.pool_threads + ps.gang_threads : ps.spawned_threads;
+    bench::ThroughputSummary sum = bench::Summarize(rep);
     bench::PrintThroughputRow(
-        policy == api::AdmissionPolicy::kFifo ? "fifo" : "shortest-cost-first",
-        bench::Summarize(rep));
+        std::string(pooled ? "shared pool" : "spawn-per-query") +
+            " threads_created=" + std::to_string(created) +
+            (pooled ? " steals=" + std::to_string(ps.foreign_steals) : ""),
+        sum);
+    json.Row()
+        .Str("sweep", "pool_vs_spawn")
+        .Str("mode", pooled ? "pool" : "spawn")
+        .Num("qps", sum.qps)
+        .Num("makespan_ms", sum.makespan_ms)
+        .Num("p95_ms", sum.p95_ms)
+        .Num("threads_created", created)
+        .Num("foreign_steals", pooled ? ps.foreign_steals : 0);
+  }
+  std::printf("\n");
+}
+
+// The reuse-cache A/B: every query probes the same three dimensions, so
+// with the cache on only the first wave builds hash tables and the rest
+// hit. Reports qps/p95 plus the stream's hit/miss totals.
+void SharedBuildVsRebuild(const Args& args, bench::JsonBaseline& json) {
+  std::printf("--- shared build vs rebuild (threads backend, %u queries "
+              "over one star schema) ---\n",
+              args.queries);
+  bench::PrintThroughputHeader();
+  for (bool reuse : {false, true}) {
+    api::SessionOptions so;
+    so.max_concurrent_queries = 4;
+    api::Session db(so);
+    Schema s = Register(db, args.rows, args.seed);
+    std::vector<api::Query> queries =
+        MakeUniformStarStream(db, s, args.queries);
+    api::ExecOptions opts = Opts(api::Backend::kThreads, args.seed);
+    opts.reuse_builds = reuse;
+    api::StreamReport rep = db.RunStream(queries, opts);
+    bench::ThroughputSummary sum = bench::Summarize(rep);
+    bench::PrintThroughputRow(
+        std::string(reuse ? "reuse_builds" : "rebuild") + " cache=" +
+            std::to_string(rep.build_cache_hits) + "/" +
+            std::to_string(rep.build_cache_hits + rep.build_cache_misses),
+        sum);
+    json.Row()
+        .Str("sweep", "shared_build")
+        .Str("mode", reuse ? "reuse" : "rebuild")
+        .Num("qps", sum.qps)
+        .Num("makespan_ms", sum.makespan_ms)
+        .Num("p95_ms", sum.p95_ms)
+        .Num("cache_hits", rep.build_cache_hits)
+        .Num("cache_misses", rep.build_cache_misses);
   }
   std::printf("\n");
 }
@@ -141,8 +279,14 @@ int main(int argc, char** argv) {
               args.queries, static_cast<unsigned long>(args.rows),
               std::thread::hardware_concurrency());
 
-  SweepConcurrency(api::Backend::kThreads, args);
-  SweepConcurrency(api::Backend::kCluster, args);
-  ComparePolicies(args);
+  bench::JsonBaseline json;
+  SweepConcurrency(api::Backend::kThreads, args, json);
+  SweepConcurrency(api::Backend::kCluster, args, json);
+  ComparePolicies(args, json);
+  PoolVsSpawn(args, json);
+  SharedBuildVsRebuild(args, json);
+  if (json.Write(args.out)) {
+    std::printf("baseline written to %s\n", args.out.c_str());
+  }
   return 0;
 }

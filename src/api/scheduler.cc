@@ -33,15 +33,31 @@ bool QueryHandle::Done() const {
 bool QueryHandle::Cancel() {
   if (state_ == nullptr) return false;
   std::lock_guard<std::mutex> lock(state_->mu);
-  if (state_->phase != internal::QueryState::Phase::kQueued) return false;
-  state_->phase = internal::QueryState::Phase::kDone;
-  state_->run = nullptr;
-  state_->result = Status::Cancelled("query cancelled before dispatch");
-  if (state_->cancel_count != nullptr) {
-    state_->cancel_count->fetch_add(1, std::memory_order_relaxed);
+  if (state_->cancel_requested) return false;  // only one cancel wins
+  if (state_->phase == internal::QueryState::Phase::kQueued) {
+    state_->cancel_requested = true;
+    state_->phase = internal::QueryState::Phase::kDone;
+    state_->run = nullptr;
+    state_->result = Status::Cancelled("query cancelled before dispatch");
+    if (state_->cancel_count != nullptr) {
+      state_->cancel_count->fetch_add(1, std::memory_order_relaxed);
+    }
+    state_->cv.notify_all();
+    return true;
   }
-  state_->cv.notify_all();
-  return true;
+  if (state_->phase == internal::QueryState::Phase::kRunning) {
+    // Cooperative: raise the stop token; the executor's workers observe
+    // it per activation batch and the run returns Status::Cancelled. If
+    // the query finishes first, its result is delivered anyway
+    // (best-effort cancellation).
+    state_->cancel_requested = true;
+    state_->stop.store(true, std::memory_order_release);
+    if (state_->cancel_count != nullptr) {
+      state_->cancel_count->fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  return false;  // already done
 }
 
 Result<QueryResult> QueryHandle::Take() {
@@ -95,8 +111,9 @@ QueryHandle Scheduler::Completed(Result<QueryResult> result) {
   return QueryHandle(std::move(state));
 }
 
-QueryHandle Scheduler::Submit(double plan_cost,
-                              std::function<Result<QueryResult>()> run) {
+QueryHandle Scheduler::Submit(
+    double plan_cost,
+    std::function<Result<QueryResult>(const std::atomic<bool>&)> run) {
   auto state = std::make_shared<internal::QueryState>();
   state->plan_cost = plan_cost;
   state->run = std::move(run);
@@ -134,9 +151,22 @@ std::shared_ptr<internal::QueryState> Scheduler::PopLocked() {
   while (!queue_.empty()) {
     auto it = queue_.begin();
     if (options_.admission == AdmissionPolicy::kShortestCostFirst) {
+      // Aging: an entry queued longer than scf_aging_ms outranks cost
+      // ordering and dispatches FIFO among its aged peers, so a sustained
+      // stream of cheap submissions can delay an expensive query by at
+      // most the aging bound instead of starving it. Fresh entries keep
+      // the cheapest-plan-cost-first order (ties FIFO); scf_aging_ms == 0
+      // restores the pure (starvable) comparator.
+      const auto now = std::chrono::steady_clock::now();
+      const double aging = options_.scf_aging_ms;
+      auto aged = [&](const auto& st) {
+        return aging > 0 && MsBetween(st->submitted, now) >= aging;
+      };
       it = std::min_element(queue_.begin(), queue_.end(),
-                            [](const auto& a, const auto& b) {
-                              if (a->plan_cost != b->plan_cost) {
+                            [&](const auto& a, const auto& b) {
+                              bool aa = aged(a), ab = aged(b);
+                              if (aa != ab) return aa;  // aged first
+                              if (!aa && a->plan_cost != b->plan_cost) {
                                 return a->plan_cost < b->plan_cost;
                               }
                               return a->seq < b->seq;
@@ -172,7 +202,7 @@ void Scheduler::WorkerLoop() {
     }
 
     auto dispatched = std::chrono::steady_clock::now();
-    Result<QueryResult> result = state->run();
+    Result<QueryResult> result = state->run(state->stop);
     state->run = nullptr;  // release the captured plan
     auto finished = std::chrono::steady_clock::now();
     if (result.ok()) {
@@ -184,18 +214,28 @@ void Scheduler::WorkerLoop() {
 
     // Commit the scheduler counters before publishing to the handle, so a
     // caller reading scheduler_stats() right after Take() sees this query
-    // accounted for.
+    // accounted for. A run stopped by Cancel counts as cancelled (already
+    // accounted eagerly by Cancel itself), not failed.
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
       if (result.ok()) {
         ++stats_.completed;
-      } else {
+      } else if (result.status().code() != StatusCode::kCancelled) {
         ++stats_.failed;
       }
     }
     {
       std::lock_guard<std::mutex> slock(state->mu);
+      if (state->cancel_requested &&
+          result.status().code() != StatusCode::kCancelled) {
+        // The cancel lost the race: the query completed (or failed on its
+        // own) before any worker observed the stop token, and was counted
+        // as completed/failed above. Undo the eager cancellation count so
+        // the terminal outcomes (completed/failed/cancelled/rejected)
+        // stay reconciled with submissions.
+        state->cancel_count->fetch_sub(1, std::memory_order_relaxed);
+      }
       state->result = std::move(result);
       state->phase = internal::QueryState::Phase::kDone;
       state->cv.notify_all();

@@ -12,9 +12,12 @@
 // nothing but the session's immutable catalog/tables and genuinely
 // overlap.
 //
-// Cancellation races are resolved by the per-query state mutex: Cancel
-// wins only while the query is still queued; a popped query is kRunning
-// first, so at most one of {cancel, dispatch} ever fires.
+// Cancellation races are resolved by the per-query state mutex: a queued
+// query cancels instantly (the worker sweeps the dead entry); a running
+// query gets its stop token raised and completes with Status::Cancelled
+// once the executor's workers observe it (checked per activation batch).
+// A cancel that races completion may still deliver the finished result —
+// cancellation is best-effort by design.
 
 #ifndef HIERDB_API_SCHEDULER_H_
 #define HIERDB_API_SCHEDULER_H_
@@ -43,11 +46,16 @@ struct QueryState {
   std::condition_variable cv;
   enum class Phase { kQueued, kRunning, kDone } phase = Phase::kQueued;
   bool taken = false;
+  bool cancel_requested = false;  ///< a Cancel already won on this query
   std::optional<Result<QueryResult>> result;
+
+  /// Cooperative stop token, threaded into the executors' worker loops;
+  /// raised by QueryHandle::Cancel on a running query.
+  std::atomic<bool> stop{false};
 
   double plan_cost = 0.0;  ///< optimizer cost (shortest-cost-first key)
   uint64_t seq = 0;        ///< admission order (FIFO key, tie-break)
-  std::function<Result<QueryResult>()> run;
+  std::function<Result<QueryResult>(const std::atomic<bool>& stop)> run;
   std::chrono::steady_clock::time_point submitted;
   /// The owning scheduler's cancellation counter (shared so Cancel can
   /// account eagerly even if it outlives the scheduler).
@@ -66,9 +74,11 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Admits `run` (cost `plan_cost`) or completes the returned handle
-  /// immediately with ResourceExhausted when the queue is full.
-  QueryHandle Submit(double plan_cost,
-                     std::function<Result<QueryResult>()> run);
+  /// immediately with ResourceExhausted when the queue is full. `run`
+  /// receives the query's stop token (cooperative cancellation).
+  QueryHandle Submit(
+      double plan_cost,
+      std::function<Result<QueryResult>(const std::atomic<bool>&)> run);
 
   /// A handle already carrying `result` — for validation/planning errors
   /// that never reach the queue.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <functional>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "api/scheduler.h"
@@ -26,6 +28,17 @@ double DefaultSelectivity(uint64_t ca, uint64_t cb) {
   double a = static_cast<double>(ca), b = static_cast<double>(cb);
   if (a <= 0 || b <= 0) return 1.0;
   return std::max(a, b) / (a * b);
+}
+
+uint64_t MixU64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h == 0 ? 1 : h;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
 }
 
 }  // namespace
@@ -64,6 +77,10 @@ std::string ExecutionReport::ToString() const {
     os << " mat_rows=" << materialized_rows
        << " mat_bytes=" << materialized_bytes;
   }
+  if (build_cache_hits > 0 || build_cache_misses > 0) {
+    os << " build_cache=" << build_cache_hits << "/"
+       << (build_cache_hits + build_cache_misses);
+  }
   if (imbalance > 0) os << " imbalance=" << imbalance;
   if (validated) os << (reference_match ? " ref=match" : " ref=MISMATCH");
   os << "}";
@@ -76,7 +93,12 @@ std::string StreamReport::ToString() const {
      << " ok, " << failed << " failed; makespan=" << makespan_ms
      << "ms serial=" << serial_ms << "ms qps=" << qps
      << " mean=" << mean_ms << "ms p50=" << p50_ms << "ms p95=" << p95_ms
-     << "ms}";
+     << "ms";
+  if (build_cache_hits > 0 || build_cache_misses > 0) {
+    os << " build_cache=" << build_cache_hits << "/"
+       << (build_cache_hits + build_cache_misses);
+  }
+  os << "}";
   return os.str();
 }
 
@@ -127,14 +149,17 @@ QueryBuilder& QueryBuilder::Probe(RelId build, uint32_t probe_col,
 Session::Session() : Session(SessionOptions{}) {}
 
 Session::Session(const SessionOptions& options)
-    : scheduler_(std::make_unique<Scheduler>(options)) {}
+    : pool_threads_(options.pool_threads != 0
+                        ? options.pool_threads
+                        : std::max(1u, std::thread::hardware_concurrency())),
+      scheduler_(std::make_unique<Scheduler>(options)) {}
 
 Session::~Session() = default;
 
 RelId Session::AddRelation(std::string name, uint64_t cardinality,
                            uint32_t tuple_bytes) {
   RelId id = catalog_.AddRelation(std::move(name), cardinality, tuple_bytes);
-  tables_.emplace_back(std::nullopt);
+  tables_.emplace_back();
   return id;
 }
 
@@ -142,13 +167,23 @@ RelId Session::AddTable(mt::Table table) {
   RelId id = catalog_.AddRelation(
       table.name, table.rows(),
       table.width() * static_cast<uint32_t>(sizeof(int64_t)));
-  tables_.emplace_back(std::move(table));
+  TableSlot slot;
+  // Hashed once at registration (one linear pass, amortized over every
+  // query that may later share this table's builds through the cache).
+  slot.content_hash = mt::TableContentHash(table.batch);
+  slot.table = std::move(table);
+  tables_.push_back(std::move(slot));
+  // Conservative invalidation: registration changes what "the same
+  // table" means, so drop every cached build (in-flight executions keep
+  // their shared_ptrs; content-hash keys would remain correct, clearing
+  // just bounds memory and keeps the contract simple).
+  build_cache_.Clear();
   return id;
 }
 
 const mt::Table* Session::table(RelId id) const {
-  if (id >= tables_.size() || !tables_[id].has_value()) return nullptr;
-  return &*tables_[id];
+  if (id >= tables_.size() || !tables_[id].table.has_value()) return nullptr;
+  return &*tables_[id].table;
 }
 
 /// The bridged representations of one planned query: the local (dense)
@@ -166,6 +201,12 @@ struct Session::Planned {
   std::vector<mt::Table> owned;       ///< synthesized tables (if any)
   std::vector<const mt::Table*> tables;  ///< local rel id -> data
   mt::PipelinePlan mtplan;
+
+  /// Build-cache identities aligned with `tables` (0 = uncacheable), plus
+  /// the synthesis identity (seed/skew/bind parameters) folded into every
+  /// key when the tables were synthesized rather than registered.
+  std::vector<uint64_t> cache_ids;
+  uint64_t cache_seed_skew = 0;
 };
 
 Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
@@ -373,6 +414,11 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
   // Bridge 2: the real-data pipeline plan (threads/cluster backends).
   // The simulated backend never touches it, so skip the table synthesis.
   if (!want_real) return Status::OK();
+  // Build-cache identities are only consumed by the threads backend
+  // (RunThreads wires the cache); other backends skip even the cheap id
+  // copies and, for synthesized tables, the O(rows) content hashing.
+  const bool want_cache =
+      opts.reuse_builds && opts.backend == Backend::kThreads;
   if (q.chain_) {
     // Chain queries execute the registered rows verbatim.
     std::string missing;
@@ -385,7 +431,12 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
                       "tables; use Session::AddTable)";
       return Status::OK();
     }
-    for (RelId r : out->to_global) out->tables.push_back(table(r));
+    for (RelId r : out->to_global) {
+      out->tables.push_back(table(r));
+      if (want_cache) {
+        out->cache_ids.push_back(tables_[r].content_hash);
+      }
+    }
     mt::Chain chain;
     chain.input = mt::Source::OfTable(local(q.input_));
     for (const auto& s : q.steps_) {
@@ -405,7 +456,12 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
   for (const auto& e : q.edges_) all_cols = all_cols && e.has_cols;
   for (RelId r : rels) all_data = all_data && table(r) != nullptr;
   if (all_cols && all_data) {
-    for (RelId r : out->to_global) out->tables.push_back(table(r));
+    for (RelId r : out->to_global) {
+      out->tables.push_back(table(r));
+      if (want_cache) {
+        out->cache_ids.push_back(tables_[r].content_hash);
+      }
+    }
     std::vector<mt::EdgeColumns> cols;
     for (const auto& e : q.edges_) cols.push_back({e.col_a, e.col_b});
     auto plan = mt::TranslateJoinTree(out->tree, graph, out->tables, cols);
@@ -421,6 +477,22 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     auto bound = mt::BindJoinTree(out->tree, graph, out->cat, bo);
     HIERDB_RETURN_NOT_OK(bound.status());
     out->owned = std::move(bound.value().tables);
+    // Synthesized tables are cacheable on their contents plus the
+    // synthesis identity: two queries share a build only when the data
+    // really is byte-identical and was drawn under the same seed/skew/
+    // bind parameters (the key's "seed, skew" component). The per-query
+    // O(rows) hashing of synthesized tables is skipped when reuse is off
+    // (registered tables were hashed once at AddTable).
+    if (want_cache) {
+      uint64_t seed_skew = MixU64(0xA24BAED4963EE407ULL, opts.seed);
+      seed_skew = MixU64(seed_skew, DoubleBits(opts.skew_theta));
+      seed_skew = MixU64(seed_skew, DoubleBits(opts.bind_scale));
+      seed_skew = MixU64(seed_skew, opts.bind_min_rows);
+      out->cache_seed_skew = seed_skew;
+      for (const auto& t : out->owned) {
+        out->cache_ids.push_back(mt::TableContentHash(t.batch));
+      }
+    }
     for (const auto& t : out->owned) out->tables.push_back(&t);
     out->mtplan = std::move(bound.value().plan);
     out->has_real = true;
@@ -463,11 +535,13 @@ QueryHandle Session::Submit(const Query& q, const ExecOptions& opts) {
   if (!st.ok()) return Scheduler::Completed(st);
   // Planned owns its synthesized tables and is immutable from here on;
   // the closure runs on a scheduler worker, possibly concurrently with
-  // other queries (the session state it reads is registration-frozen).
+  // other queries, and touches no session containers — only plan-time
+  // snapshots (so registration stays safe while queries are in flight).
   double cost = planned->tree.cost;
-  return scheduler_->Submit(cost, [this, planned, opts] {
-    return RunPlanned(*planned, opts);
-  });
+  return scheduler_->Submit(
+      cost, [this, planned, opts](const std::atomic<bool>& stop) {
+        return RunPlanned(*planned, opts, stop);
+      });
 }
 
 Result<ExecutionReport> Session::Execute(const Query& q,
@@ -493,6 +567,8 @@ StreamReport Session::RunStream(const std::vector<Query>& queries,
       ++sr.succeeded;
       latencies.push_back(r.value().exec_ms);
       sr.serial_ms += r.value().exec_ms;
+      sr.build_cache_hits += r.value().report.build_cache_hits;
+      sr.build_cache_misses += r.value().report.build_cache_misses;
     } else {
       ++sr.failed;
     }
@@ -510,18 +586,46 @@ StreamReport Session::RunStream(const std::vector<Query>& queries,
 
 SchedulerStats Session::scheduler_stats() const { return scheduler_->stats(); }
 
+WorkerPool& Session::EnsurePool() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(pool_threads_);
+  return *pool_;
+}
+
+PoolStats Session::pool_stats() const {
+  PoolStats s;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (pool_ != nullptr) s = pool_->stats();
+  }
+  s.spawned_threads = spawned_threads_.load(std::memory_order_relaxed);
+  return s;
+}
+
+mt::BuildCache::Stats Session::build_cache_stats() const {
+  return build_cache_.stats();
+}
+
 Result<QueryResult> Session::RunPlanned(const Planned& p,
-                                        const ExecOptions& opts) const {
+                                        const ExecOptions& opts,
+                                        const std::atomic<bool>& stop) const {
   switch (opts.backend) {
-    case Backend::kSimulated: return RunSimulated(p, opts);
-    case Backend::kThreads: return RunThreads(p, opts);
-    case Backend::kCluster: return RunCluster(p, opts);
+    case Backend::kSimulated: return RunSimulated(p, opts, stop);
+    case Backend::kThreads: return RunThreads(p, opts, stop);
+    case Backend::kCluster: return RunCluster(p, opts, stop);
   }
   return Status::Internal("unknown backend");
 }
 
-Result<QueryResult> Session::RunSimulated(const Planned& p,
-                                          const ExecOptions& opts) const {
+std::unique_ptr<ExecContext> Session::MakeContext(
+    const ExecOptions& opts, const std::atomic<bool>& stop) const {
+  if (opts.use_shared_pool) return EnsurePool().Rent(&stop);
+  return std::make_unique<ThreadSpawnContext>(&stop, &spawned_threads_);
+}
+
+Result<QueryResult> Session::RunSimulated(
+    const Planned& p, const ExecOptions& opts,
+    const std::atomic<bool>& stop) const {
   sim::SystemConfig cfg;
   if (opts.sim_config.has_value()) {
     cfg = *opts.sim_config;
@@ -543,6 +647,11 @@ Result<QueryResult> Session::RunSimulated(const Planned& p,
   // One simulated query at a time: the discrete-event run is deterministic
   // per query, and serializing keeps concurrent submissions reproducible.
   std::lock_guard<std::mutex> sim_lock(sim_mu_);
+  // A cancel that landed while this query waited behind other simulated
+  // runs wins here; the engine also checks the token per event batch.
+  if (stop.load(std::memory_order_acquire)) {
+    return Status::Cancelled("query cancelled during execution");
+  }
   exec::Engine engine(cfg, opts.strategy);
   exec::RunOptions ro;
   ro.skew_theta = opts.skew_theta;
@@ -550,6 +659,7 @@ Result<QueryResult> Session::RunSimulated(const Planned& p,
   ro.seed = opts.seed;
   ro.max_events = opts.max_events;
   ro.timeline_bucket = opts.timeline_bucket;
+  ro.stop = &stop;
   exec::RunResult rr = engine.Run(p.pplan, p.cat, ro);
   if (!rr.status.ok()) return rr.status;
 
@@ -576,14 +686,22 @@ Result<QueryResult> Session::RunSimulated(const Planned& p,
 }
 
 Result<QueryResult> Session::RunThreads(const Planned& p,
-                                        const ExecOptions& opts) const {
+                                        const ExecOptions& opts,
+                                        const std::atomic<bool>& stop) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
 
+  std::unique_ptr<ExecContext> ctx = MakeContext(opts, stop);
   mt::PipelineOptions po;
   po.threads = opts.threads_per_node;
   po.strategy = opts.strategy;
   po.apply_h1 = opts.apply_h1;
   po.apply_h2 = opts.apply_h2;
+  po.ctx = ctx.get();
+  if (opts.reuse_builds) {
+    po.build_cache = &build_cache_;
+    po.table_cache_ids = p.cache_ids;
+    po.cache_seed_skew = p.cache_seed_skew;
+  }
   if (opts.buckets) po.buckets = opts.buckets;
   if (opts.morsel_rows) po.morsel_rows = opts.morsel_rows;
   if (opts.batch_rows) po.batch_rows = opts.batch_rows;
@@ -618,6 +736,8 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   rep.idle_waits = stats.idle_waits;
   rep.stolen_activations = stats.nonprimary;
   rep.imbalance = stats.Imbalance();
+  rep.build_cache_hits = stats.build_cache_hits;
+  rep.build_cache_misses = stats.build_cache_misses;
   rep.threads = stats;
   if (opts.validate) {
     auto ref = mt::ReferenceExecute(p.mtplan, p.tables);
@@ -637,8 +757,10 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
 }
 
 Result<QueryResult> Session::RunCluster(const Planned& p,
-                                        const ExecOptions& opts) const {
+                                        const ExecOptions& opts,
+                                        const std::atomic<bool>& stop) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
+  std::unique_ptr<ExecContext> ctx = MakeContext(opts, stop);
 
   // Bridge the (possibly bushy, multi-chain) pipeline plan straight onto
   // the cluster: the chain DAG executes end-to-end on the node/thread
@@ -689,6 +811,7 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   co.nodes = opts.nodes;
   co.threads_per_node = opts.threads_per_node;
   co.strategy = opts.strategy;
+  co.ctx = ctx.get();
   co.global_lb = opts.global_lb;
   co.cache_stolen_fragments = opts.cache_stolen_fragments;
   co.serialize_chains = opts.apply_h2;

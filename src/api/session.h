@@ -36,6 +36,16 @@
 // QueryResult::rows (threads: parallel partial collection; cluster:
 // tuple-batch gather of each node's final rows).
 //
+// Concurrent real-backend queries rent their workers from one
+// session-wide pool sized to the machine (SessionOptions::pool_threads;
+// ExecOptions::use_shared_pool) — total executor threads stay bounded no
+// matter how many queries overlap, and idle workers steal activations
+// across query boundaries, extending the paper's load-balancing
+// hierarchy to the whole stream. Queries over the same tables also share
+// build-side hash tables through the session's build cache
+// (ExecOptions::reuse_builds); QueryHandle::Cancel stops even a running
+// query cooperatively.
+//
 // A Query is backend-neutral: either a predicate (join) graph with
 // selectivities — optionally with an explicit join tree or a shape
 // constraint — or an explicit pipeline chain over registered tables. The
@@ -59,19 +69,23 @@
 #ifndef HIERDB_API_SESSION_H_
 #define HIERDB_API_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "api/worker_pool.h"
 #include "catalog/catalog.h"
 #include "cluster/cluster_executor.h"
 #include "common/status.h"
 #include "common/strategy.h"
 #include "common/units.h"
 #include "exec/engine.h"
+#include "mt/build_cache.h"
 #include "mt/pipeline_executor.h"
 #include "mt/row.h"
 #include "opt/tree_shapes.h"
@@ -166,6 +180,21 @@ struct ExecOptions {
   double bind_scale = 0.01;
   uint64_t bind_min_rows = 16;
 
+  /// Real backends: rent workers from the session-wide pool
+  /// (SessionOptions::pool_threads) instead of spawning
+  /// threads_per_node (x nodes) fresh threads for this query. Pooled
+  /// queries park idle workers into cross-query activation stealing;
+  /// false keeps the legacy spawn-per-query path for A/B comparison.
+  /// Ignored by kSimulated.
+  bool use_shared_pool = true;
+
+  /// kThreads only: share build-side hash tables across queries through
+  /// the session's build cache, keyed on (table contents, build column,
+  /// buckets, seed/skew). A query hitting the cache skips that build's
+  /// scatter and inserts entirely; a miss publishes the finished tables
+  /// for overlapping/later queries. Invalidated by Session::AddTable.
+  bool reuse_builds = true;
+
   /// Real backends: also run the single-threaded reference execution and
   /// record the comparison in the report.
   bool validate = false;
@@ -236,6 +265,11 @@ struct ExecutionReport {
   uint64_t materialized_rows = 0;
   uint64_t materialized_bytes = 0;
 
+  /// kThreads with ExecOptions::reuse_builds: builds satisfied from the
+  /// session build cache vs cacheable builds executed (and published).
+  uint64_t build_cache_hits = 0;
+  uint64_t build_cache_misses = 0;
+
   /// Raw backend metrics.
   std::optional<exec::RunMetrics> sim;
   std::optional<mt::PipelineStats> threads;
@@ -265,10 +299,11 @@ struct QueryResult {
 /// Order in which the admission controller dispatches queued queries.
 enum class AdmissionPolicy {
   kFifo,  ///< submission order
-  /// Cheapest optimizer plan cost first (ties: FIFO). Minimizes mean
-  /// latency but has no aging: a sustained stream of cheaper submissions
-  /// can starve an expensive queued query indefinitely — use kFifo when
-  /// per-query completion must be bounded.
+  /// Cheapest optimizer plan cost first (ties: FIFO), with an aging
+  /// escape hatch: entries queued longer than SessionOptions::scf_aging_ms
+  /// outrank cost ordering (FIFO among themselves), so sustained cheap
+  /// traffic delays an expensive queued query by at most the aging bound
+  /// instead of starving it.
   kShortestCostFirst,
 };
 
@@ -283,6 +318,19 @@ struct SessionOptions {
   /// 0 is treated as 1 (every dispatch passes through the queue).
   uint32_t max_queued = 256;
   AdmissionPolicy admission = AdmissionPolicy::kFifo;
+  /// Size of the session-wide worker pool real-backend queries rent from
+  /// (ExecOptions::use_shared_pool); 0 = hardware_concurrency. Where the
+  /// spawn path creates max_concurrent_queries x threads_per_node (x
+  /// nodes) threads, the pool keeps total executor threads at this fixed
+  /// machine-sized count, with idle workers stealing activations across
+  /// query boundaries.
+  uint32_t pool_threads = 0;
+  /// kShortestCostFirst aging bound: a query queued longer than this
+  /// outranks cost ordering and dispatches FIFO among its aged peers, so
+  /// sustained cheap traffic delays an expensive queued query by at most
+  /// this bound instead of starving it. 0 disables aging (pure,
+  /// starvable shortest-cost-first).
+  double scf_aging_ms = 10000.0;
 };
 
 /// Counters the session's scheduler maintains across its lifetime, plus a
@@ -291,7 +339,9 @@ struct SchedulerStats {
   uint64_t submitted = 0;  ///< admitted into the queue
   uint64_t completed = 0;  ///< finished OK
   uint64_t failed = 0;     ///< finished with an error status
-  uint64_t cancelled = 0;  ///< cancelled before dispatch
+  /// Cancelled before dispatch or stopped while running; a cancel that
+  /// races completion (result delivered) is not counted here.
+  uint64_t cancelled = 0;
   uint64_t rejected = 0;   ///< refused admission (queue full)
   uint32_t max_in_flight = 0;  ///< high-water mark of concurrent queries
   uint32_t in_flight = 0;      ///< snapshot: currently executing
@@ -317,9 +367,13 @@ class QueryHandle {
   void Wait() const;
   /// True once the result is available (non-blocking).
   bool Done() const;
-  /// Cancels the query if it has not been dispatched yet; the handle then
-  /// completes with a Cancelled status. Returns false when the query is
-  /// already running or finished (execution is not interrupted).
+  /// Cancels the query. Before dispatch the handle completes immediately
+  /// with a Cancelled status; a *running* query is stopped cooperatively
+  /// (its executor workers check a stop token once per activation batch)
+  /// and the handle completes with Cancelled shortly after. Returns false
+  /// when the query already finished or a cancel already won. A cancel
+  /// racing completion may still deliver the finished result (counted as
+  /// completed, not cancelled, in SchedulerStats).
   bool Cancel();
   /// Waits and moves the result out. A second Take (or Take on an empty
   /// handle) returns FailedPrecondition.
@@ -344,6 +398,11 @@ struct StreamReport {
   double mean_ms = 0.0;      ///< mean per-query execution latency
   double p50_ms = 0.0;       ///< median execution latency
   double p95_ms = 0.0;
+
+  /// Build-side reuse over the whole stream (kThreads + reuse_builds):
+  /// totals of the per-query ExecutionReport counters.
+  uint64_t build_cache_hits = 0;
+  uint64_t build_cache_misses = 0;
 
   std::vector<Result<QueryResult>> results;  ///< in submission order
 
@@ -435,11 +494,18 @@ class QueryBuilder {
 
 /// The session: owns the catalog (and any registered real data), plans
 /// queries once, and executes them on the backend selected in ExecOptions
-/// through a per-session scheduler with admission control.
+/// through a per-session scheduler with admission control. Real-backend
+/// queries rent workers from a session-wide pool sized to the machine
+/// (SessionOptions::pool_threads) and share build-side hash tables
+/// through the session build cache; see ExecOptions::use_shared_pool and
+/// ExecOptions::reuse_builds.
 ///
 /// Thread safety: Submit/Execute/RunStream/Explain may be called from any
-/// thread; registering relations or tables while queries are in flight is
-/// not supported (table storage may move).
+/// thread. Registering relations or tables while previously submitted
+/// queries are still executing is supported (table storage is
+/// pointer-stable and executions reference plan-time snapshots), but
+/// registration must not race a concurrent Submit/Execute/Explain *call*
+/// on another thread (planning reads the catalog unlocked).
 class Session {
  public:
   Session();
@@ -481,6 +547,13 @@ class Session {
   /// Lifetime counters + queue snapshot of this session's scheduler.
   SchedulerStats scheduler_stats() const;
 
+  /// Worker-pool counters (pool size, tasks run, cross-query steals) plus
+  /// the thread count created by legacy spawn-path executions.
+  PoolStats pool_stats() const;
+
+  /// Build-side reuse cache counters (hits/misses/entries/bytes).
+  mt::BuildCache::Stats build_cache_stats() const;
+
   /// Renders the chosen join tree, its chain decomposition and the
   /// per-backend plan bridges for `q` under `opts`.
   Result<std::string> Explain(const Query& q, const ExecOptions& opts) const;
@@ -495,23 +568,47 @@ class Session {
                    Planned* out) const;
   /// Backend-shape checks shared by Submit and Explain.
   Status ValidateOptions(const ExecOptions& opts) const;
-  /// Runs a planned query on its backend (called from scheduler workers).
-  Result<QueryResult> RunPlanned(const Planned& p,
-                                 const ExecOptions& opts) const;
-  Result<QueryResult> RunSimulated(const Planned& p,
-                                   const ExecOptions& opts) const;
-  Result<QueryResult> RunThreads(const Planned& p,
-                                 const ExecOptions& opts) const;
-  Result<QueryResult> RunCluster(const Planned& p,
-                                 const ExecOptions& opts) const;
+  /// Runs a planned query on its backend (called from scheduler workers;
+  /// `stop` is the query's cooperative-cancellation token).
+  Result<QueryResult> RunPlanned(const Planned& p, const ExecOptions& opts,
+                                 const std::atomic<bool>& stop) const;
+  Result<QueryResult> RunSimulated(const Planned& p, const ExecOptions& opts,
+                                   const std::atomic<bool>& stop) const;
+  Result<QueryResult> RunThreads(const Planned& p, const ExecOptions& opts,
+                                 const std::atomic<bool>& stop) const;
+  Result<QueryResult> RunCluster(const Planned& p, const ExecOptions& opts,
+                                 const std::atomic<bool>& stop) const;
+  /// The query's worker provider per ExecOptions::use_shared_pool.
+  std::unique_ptr<ExecContext> MakeContext(const ExecOptions& opts,
+                                           const std::atomic<bool>& stop) const;
 
   catalog::Catalog catalog_;
-  std::vector<std::optional<mt::Table>> tables_;  ///< aligned with RelIds
+  /// Registered data, aligned with RelIds. A deque never relocates
+  /// existing elements on registration, so executing queries' table
+  /// pointers stay valid while new tables are added (see the class
+  /// thread-safety note).
+  struct TableSlot {
+    std::optional<mt::Table> table;
+    uint64_t content_hash = 0;  ///< build-cache identity (0 = catalog-only)
+  };
+  std::deque<TableSlot> tables_;
   /// The deterministic simulator runs one query at a time (so concurrent
   /// submissions stay reproducible); real backends overlap freely.
   mutable std::mutex sim_mu_;
+  /// Session-wide worker pool (rented by pooled executions; created
+  /// lazily on first rental so simulated-only or spawn-only sessions
+  /// never pay for pool threads) and the shared build-side cache.
+  /// Declared before the scheduler: in-flight queries use both, so the
+  /// scheduler must drain first on destruction.
+  WorkerPool& EnsurePool() const;
+  uint32_t pool_threads_ = 0;  ///< normalized SessionOptions::pool_threads
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<WorkerPool> pool_;
+  /// Threads created by spawn-path executions (merged into pool_stats()).
+  mutable std::atomic<uint64_t> spawned_threads_{0};
+  mutable mt::BuildCache build_cache_;
   /// Declared last: destroyed first, draining in-flight queries before the
-  /// catalog/tables they reference go away.
+  /// catalog/tables/pool/cache they reference go away.
   std::unique_ptr<Scheduler> scheduler_;
 };
 

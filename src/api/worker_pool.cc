@@ -1,0 +1,234 @@
+#include "api/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hierdb::api {
+
+// ---------------------------------------------------------------------------
+// The per-execution rented context.
+
+class WorkerPool::Context final : public ExecContext {
+ public:
+  Context(WorkerPool* pool, const std::atomic<bool>* stop)
+      : pool_(pool), stop_(stop) {
+    std::lock_guard<std::mutex> lock(pool_->mu_);
+    pool_->renters_.push_back(this);
+  }
+
+  ~Context() override {
+    std::unique_lock<std::mutex> lock(pool_->mu_);
+    if (hook_) --pool_->hooked_renters_;
+    hook_ = nullptr;
+    auto& rs = pool_->renters_;
+    rs.erase(std::find(rs.begin(), rs.end(), this));
+    pool_->hook_cv_.wait(lock, [&] { return hook_inflight_ == 0; });
+  }
+
+  void SpawnWorkers(uint32_t n, const std::function<void(uint32_t)>& body,
+                    bool gang) override {
+    if (n == 0) return;
+    if (gang) {
+      // Gang bodies (the cluster's node loops) are mutually dependent:
+      // claiming them one at a time from a shared pool can deadlock the
+      // moment fewer threads than bodies are available, so they get
+      // dedicated threads. They still Park into cross-query stealing and
+      // still honor the stop token; pool-reserved gang scheduling is a
+      // recorded follow-up.
+      {
+        std::lock_guard<std::mutex> lock(pool_->mu_);
+        pool_->gang_threads_ += n;
+      }
+      std::vector<std::thread> threads;
+      threads.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        threads.emplace_back([&body, i] { body(i); });
+      }
+      for (auto& t : threads) t.join();
+      return;
+    }
+    auto team = std::make_shared<Team>();
+    team->body = &body;
+    team->total = n;
+    team->unfinished = n;
+    {
+      std::lock_guard<std::mutex> lock(pool_->mu_);
+      pool_->teams_.push_back(team);
+    }
+    pool_->work_cv_.notify_all();
+    // The renting caller participates: it keeps claiming its own team's
+    // slots until none are unclaimed. This guarantees every execution at
+    // least one thread regardless of pool load (a fully busy pool simply
+    // leaves all n slots to the caller, which runs them in sequence —
+    // bodies of an already-finished execution return immediately).
+    for (;;) {
+      uint32_t idx;
+      {
+        std::lock_guard<std::mutex> lock(pool_->mu_);
+        if (team->next >= team->total) break;
+        idx = team->next++;
+      }
+      body(idx);
+      std::lock_guard<std::mutex> lock(pool_->mu_);
+      ++pool_->caller_tasks_;
+      if (--team->unfinished == 0) pool_->team_cv_.notify_all();
+    }
+    std::unique_lock<std::mutex> lock(pool_->mu_);
+    pool_->team_cv_.wait(lock, [&] { return team->unfinished == 0; });
+    auto& ts = pool_->teams_;
+    ts.erase(std::find(ts.begin(), ts.end(), team));
+  }
+
+  bool Park() override { return pool_->StealForeign(this); }
+
+  void SetStealHook(std::function<bool()> hook) override {
+    {
+      std::lock_guard<std::mutex> lock(pool_->mu_);
+      // Track hooked-renter transitions in both directions (setting a
+      // null hook unpublishes, though only ClearStealHook also drains
+      // in-flight calls).
+      if (hook_ && !hook) --pool_->hooked_renters_;
+      if (!hook_ && hook) ++pool_->hooked_renters_;
+      hook_ = std::move(hook);
+    }
+    // Idle pool threads park indefinitely when nothing is stealable;
+    // a new hook is new potential work.
+    pool_->work_cv_.notify_all();
+  }
+
+  void ClearStealHook() override {
+    std::unique_lock<std::mutex> lock(pool_->mu_);
+    if (hook_) --pool_->hooked_renters_;
+    hook_ = nullptr;
+    pool_->hook_cv_.wait(lock, [&] { return hook_inflight_ == 0; });
+  }
+
+  uint32_t GuestSlots() const override {
+    // Possible concurrent hook callers: every pool thread plus parked
+    // workers of other executions (each runs on a pool thread or on a
+    // renting caller). A small headroom over the pool size covers the
+    // caller threads; an exhausted slot set just makes a steal attempt
+    // return false.
+    return pool_->threads() + 8;
+  }
+
+  bool StopRequested() const override {
+    return stop_ != nullptr && stop_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class WorkerPool;
+
+  WorkerPool* pool_;
+  const std::atomic<bool>* stop_;
+  // Guarded by pool_->mu_.
+  std::function<bool()> hook_;
+  uint32_t hook_inflight_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Pool.
+
+WorkerPool::WorkerPool(uint32_t threads) {
+  if (threads == 0) threads = 1;
+  threads_.reserve(threads);
+  for (uint32_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { ThreadLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+PoolStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolStats s;
+  s.pool_threads = static_cast<uint32_t>(threads_.size());
+  s.pool_tasks = pool_tasks_;
+  s.caller_tasks = caller_tasks_;
+  s.foreign_steals = foreign_steals_;
+  s.gang_threads = gang_threads_;
+  return s;
+}
+
+std::unique_ptr<ExecContext> WorkerPool::Rent(const std::atomic<bool>* stop) {
+  return std::make_unique<Context>(this, stop);
+}
+
+void WorkerPool::ThreadLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // Claim a worker slot, FIFO across teams (admission order).
+    std::shared_ptr<Team> team;
+    uint32_t idx = 0;
+    for (auto& t : teams_) {
+      if (t->next < t->total) {
+        team = t;
+        idx = t->next++;
+        break;
+      }
+    }
+    if (team != nullptr) {
+      ++pool_tasks_;
+      lock.unlock();
+      (*team->body)(idx);
+      lock.lock();
+      if (--team->unfinished == 0) team_cv_.notify_all();
+      continue;
+    }
+    // No unclaimed slots. With no steal hooks registered either, there is
+    // nothing a pool thread could possibly do: park until a team or hook
+    // arrives (an idle session burns no CPU). Otherwise lend the beat to
+    // some in-flight execution and poll at a steal cadence.
+    if (hooked_renters_ == 0) {
+      work_cv_.wait(lock, [&] {
+        if (stop_ || hooked_renters_ > 0) return true;
+        for (auto& t : teams_) {
+          if (t->next < t->total) return true;
+        }
+        return false;
+      });
+      continue;
+    }
+    lock.unlock();
+    bool stole = StealForeign(nullptr);
+    lock.lock();
+    if (stole) continue;
+    work_cv_.wait_for(lock, std::chrono::microseconds(500));
+  }
+}
+
+bool WorkerPool::StealForeign(const Context* skip) {
+  Context* target = nullptr;
+  std::function<bool()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = renters_.size();
+    for (size_t i = 0; i < n && target == nullptr; ++i) {
+      Context* c = renters_[steal_rr_++ % n];
+      if (c == skip || !c->hook_) continue;
+      target = c;
+      hook = c->hook_;  // copy: survives a concurrent ClearStealHook
+      ++c->hook_inflight_;
+    }
+  }
+  if (target == nullptr) return false;
+  // The target context cannot be destroyed while hook_inflight_ > 0 (its
+  // destructor and ClearStealHook wait on hook_cv_), so calling the hook
+  // and decrementing below are safe.
+  bool ran = hook();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--target->hook_inflight_ == 0) hook_cv_.notify_all();
+    if (ran) ++foreign_steals_;
+  }
+  return ran;
+}
+
+}  // namespace hierdb::api

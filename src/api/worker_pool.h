@@ -1,0 +1,121 @@
+// api::WorkerPool — the session-wide worker pool behind
+// ExecOptions::use_shared_pool.
+//
+// One pool, sized to the machine (SessionOptions::pool_threads, default
+// hardware_concurrency), serves every concurrent query of a session.
+// Executions *rent* workers instead of spawning threads:
+//
+//   - Rent() returns a per-query ExecContext. Its SpawnWorkers(n, body)
+//     registers a "team" of n worker slots; pool threads claim and run
+//     slots FIFO across teams, and the renting caller (the scheduler's
+//     dispatcher thread) claims its own team's slots too — so every query
+//     always owns at least one thread and progress never depends on pool
+//     capacity. Total OS threads stay ~pool size + dispatchers no matter
+//     how many queries overlap, where the spawn path creates
+//     queries x threads_per_node. Gang teams (SpawnWorkers(..., gang =
+//     true): the cluster's mutually dependent node loops) are the
+//     exception — sharing pooled threads one slot at a time could
+//     deadlock them, so they run on dedicated threads (counted in
+//     PoolStats::gang_threads) while still parking/stealing through the
+//     context.
+//
+//   - Cross-query load balancing: an execution publishes a steal hook
+//     ("run one of my activations"); idle pool threads and parked workers
+//     of *other* executions invoke it. This extends the paper's
+//     intra-query load-balancing hierarchy (local queues, then global
+//     steals) with a third, cross-query level: a lone query can soak up
+//     the whole pool even when it rented few workers, and a finished
+//     query's threads immediately drain its neighbors' queues.
+//
+// Teardown contract: the pool outlives every context it rented (the
+// Session destroys its scheduler — draining all queries — before the
+// pool). ClearStealHook / context destruction block until in-flight hook
+// calls drain, so an executor may free its run state right after.
+
+#ifndef HIERDB_API_WORKER_POOL_H_
+#define HIERDB_API_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/exec_context.h"
+
+namespace hierdb::api {
+
+/// Lifetime counters of a session's worker pool (plus the legacy spawn
+/// path's thread count, for the pool-vs-spawn A/B in benches).
+struct PoolStats {
+  uint32_t pool_threads = 0;   ///< fixed pool size
+  uint64_t pool_tasks = 0;     ///< worker bodies run by pool threads
+  uint64_t caller_tasks = 0;   ///< worker bodies run by renting callers
+  uint64_t foreign_steals = 0; ///< cross-query activations stolen
+  /// Dedicated threads created for gang teams (cluster node loops, whose
+  /// mutually dependent bodies cannot share pooled threads safely).
+  uint64_t gang_threads = 0;
+  /// Threads created by ThreadSpawnContext executions of the same session
+  /// (ExecOptions::use_shared_pool = false); the pool itself creates
+  /// pool_threads threads once, ever. Maintained by the session (the
+  /// spawn path never touches the pool), merged in Session::pool_stats.
+  uint64_t spawned_threads = 0;
+};
+
+class WorkerPool {
+ public:
+  /// `threads` == 0 is normalized to 1.
+  explicit WorkerPool(uint32_t threads);
+  ~WorkerPool();  // joins; requires all rented contexts destroyed
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  uint32_t threads() const { return static_cast<uint32_t>(threads_.size()); }
+  PoolStats stats() const;
+
+  /// A per-execution context renting this pool's workers. `stop` is the
+  /// execution's cancellation token (may be null).
+  std::unique_ptr<ExecContext> Rent(const std::atomic<bool>* stop);
+
+ private:
+  class Context;
+
+  /// One SpawnWorkers call: n slots, claimed by pool threads and the
+  /// renting caller; `unfinished` counts bodies not yet returned.
+  struct Team {
+    const std::function<void(uint32_t)>* body = nullptr;
+    uint32_t total = 0;
+    uint32_t next = 0;  ///< next unclaimed slot
+    uint32_t unfinished = 0;
+  };
+
+  void ThreadLoop();
+  /// Runs one foreign activation via some renter's steal hook (skipping
+  /// `skip`, the caller's own context). Returns true iff work ran.
+  bool StealForeign(const Context* skip);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< pool threads: slots or stop
+  std::condition_variable team_cv_;  ///< renters: team completion
+  std::condition_variable hook_cv_;  ///< hook-drain waiters
+  std::vector<std::shared_ptr<Team>> teams_;
+  std::vector<Context*> renters_;
+  uint32_t hooked_renters_ = 0;  ///< renters with a registered steal hook
+  size_t steal_rr_ = 0;  ///< round-robin cursor over renters
+  bool stop_ = false;
+
+  uint64_t pool_tasks_ = 0;
+  uint64_t caller_tasks_ = 0;
+  uint64_t foreign_steals_ = 0;
+  uint64_t gang_threads_ = 0;
+
+  std::vector<std::thread> threads_;  ///< declared last: joined first
+};
+
+}  // namespace hierdb::api
+
+#endif  // HIERDB_API_WORKER_POOL_H_

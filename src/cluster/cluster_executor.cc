@@ -273,8 +273,22 @@ struct ClusterExecutor::Impl {
 
   net::Fabric fabric;
 
+  // Worker provider + cooperative cancellation for this run.
+  ExecContext* ctx = nullptr;
+  std::atomic<bool> cancelled{false};
+
   explicit Impl(const ClusterOptions& o)
       : opt(o), fabric({.nodes = o.nodes}) {}
+
+  /// First stop-observer tears the whole run down: every node's done flag
+  /// releases its workers, and schedulers exit on `cancelled`.
+  void CancelAll() {
+    cancelled.store(true, std::memory_order_release);
+    for (auto& ns : node_state) {
+      ns->done.store(true, std::memory_order_release);
+      ns->wake_cv.notify_all();
+    }
+  }
 
   uint32_t chain_of(uint32_t op) const { return op_chain[op]; }
   uint32_t build_op(uint32_t c, uint32_t j) const {
@@ -728,6 +742,11 @@ struct ClusterExecutor::Impl {
   void WorkerLoop(uint32_t node, uint32_t t) {
     NodeState& ns = *node_state[node];
     while (!ns.done.load(std::memory_order_acquire)) {
+      // Cooperative cancellation, checked once per activation.
+      if (ctx->StopRequested()) {
+        CancelAll();
+        break;
+      }
       if (!ns.outbox[t].empty()) FlushOutbox(node, t);
       if (RunOne(node, t)) {
         FlushOutbox(node, t);
@@ -735,6 +754,9 @@ struct ClusterExecutor::Impl {
       } else {
         ns.idle.fetch_add(1, std::memory_order_relaxed);
         MarkStarving(ns, t);
+        // Lend the idle beat to another in-flight query before napping
+        // (cross-query steal through the session pool).
+        if (ctx->Park()) continue;
         std::unique_lock<std::mutex> lock(ns.wake_mu);
         ns.wake_cv.wait_for(lock, std::chrono::microseconds(500));
       }
@@ -1048,6 +1070,11 @@ struct ClusterExecutor::Impl {
     NodeState& ns = *node_state[node];
     const uint32_t T = opt.threads_per_node;
     while (true) {
+      if (cancelled.load(std::memory_order_acquire)) return;
+      if (ctx->StopRequested()) {
+        CancelAll();
+        return;
+      }
       bool worked = false;
       // 1. Route queued overflow from earlier messages.
       for (size_t i = 0; i < ns.route_overflow.size();) {
@@ -1503,17 +1530,32 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
   impl_ = std::make_unique<Impl>(options_);
   Impl& im = *impl_;
   im.materialize_final = materialized != nullptr;
+  ThreadSpawnContext fallback_ctx;
+  im.ctx = options_.ctx != nullptr ? options_.ctx : &fallback_ctx;
   im.Compile(query);
 
-  std::vector<std::thread> threads;
-  for (uint32_t n = 0; n < options_.nodes; ++n) {
-    threads.emplace_back([&im, n] { im.SchedulerLoop(n); });
-    for (uint32_t t = 0; t < options_.threads_per_node; ++t) {
-      threads.emplace_back([&im, n, t] { im.WorkerLoop(n, t); });
-    }
-  }
-  for (auto& t : threads) t.join();
+  // Rent one body per node scheduler plus one per node worker; slot k
+  // maps to node k / (T+1), role k % (T+1) (0 = scheduler).
+  // Gang mode: the node loops are mutually dependent (no body exits until
+  // the query terminates globally), so every body needs its own thread.
+  const uint32_t per_node = options_.threads_per_node + 1;
+  im.ctx->SpawnWorkers(
+      options_.nodes * per_node,
+      [&im, per_node](uint32_t k) {
+        const uint32_t node = k / per_node;
+        const uint32_t role = k % per_node;
+        if (role == 0) {
+          im.SchedulerLoop(node);
+        } else {
+          im.WorkerLoop(node, role - 1);
+        }
+      },
+      /*gang=*/true);
 
+  if (im.cancelled.load()) {
+    impl_.reset();
+    return Status::Cancelled("query cancelled during execution");
+  }
   bool failed = false;
   for (auto& ns : im.node_state) failed |= ns->failed.load();
   if (failed) {

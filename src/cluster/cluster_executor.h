@@ -60,6 +60,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "mt/pipeline_executor.h"
 #include "mt/plan.h"
@@ -145,6 +146,16 @@ struct ClusterOptions {
   /// estimates, indexed by compiled cluster op id (see
   /// ClusterExecutor::CompiledOpCount); empty = exact estimates.
   std::vector<double> fp_cost_distortion;
+
+  /// Where the nodes' worker/scheduler threads come from: null spawns
+  /// nodes x (threads_per_node + 1) std::threads per Execute (the legacy
+  /// path); a session-provided context supplies gang workers (the node
+  /// loops are mutually dependent, so each body keeps a dedicated
+  /// thread), lends idle beats to other in-flight queries (Park) and
+  /// carries the cooperative cancellation token. The cluster publishes
+  /// no steal hook of its own: its activations are node-homed, so
+  /// foreign threads help through Park rather than one-shot steals.
+  ExecContext* ctx = nullptr;
 };
 
 struct ClusterStats {

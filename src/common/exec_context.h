@@ -1,0 +1,119 @@
+// ExecContext — where an executor's worker threads come from.
+//
+// The real-thread backends (mt::PipelineExecutor, cluster::ClusterExecutor)
+// historically spawned their own std::threads per query, so a session
+// running max_concurrent_queries x threads_per_node queries oversubscribed
+// the host and the paper's dynamic load balancing stopped at the
+// single-query boundary. The ExecContext interface decouples "how many
+// workers does this execution want" from "which OS threads run them":
+//
+//   SpawnWorkers(n, body)   runs body(0..n-1) to completion and returns
+//                           when every body has returned. The legacy
+//                           ThreadSpawnContext spawns n threads; the
+//                           session's WorkerPool context *rents* pooled
+//                           threads instead (the renting caller always
+//                           participates, so every execution owns at
+//                           least one thread and can never deadlock
+//                           waiting for a saturated pool).
+//
+//   Park()                  called by a worker that found no runnable
+//                           work. A pooling context uses the idle beat to
+//                           steal one activation from another in-flight
+//                           query (SetStealHook below) — the paper's
+//                           load-balancing hierarchy extended across
+//                           query boundaries. Returns true if foreign
+//                           work ran; false means "nap briefly yourself".
+//
+//   SetStealHook(fn)        an executor publishes "run one of my
+//                           activations" so idle threads of *other*
+//                           executions (and idle pool threads) can help.
+//                           ClearStealHook() blocks until in-flight hook
+//                           calls drain, so the executor may tear down
+//                           its run state right after.
+//
+//   GuestSlots()            how many foreign threads may be inside the
+//                           steal hook at once — executors provision that
+//                           many extra per-worker state slots.
+//
+//   StopRequested()         cooperative cancellation token, checked by
+//                           workers once per activation/morsel. A stopped
+//                           execution returns Status::Cancelled.
+//
+// Contexts are per-execution objects: cheap, not thread-safe to share
+// across concurrent Execute calls (each query rents its own).
+
+#ifndef HIERDB_COMMON_EXEC_CONTEXT_H_
+#define HIERDB_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace hierdb {
+
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  /// Runs body(0), ..., body(n-1) to completion and returns once all of
+  /// them returned.
+  ///
+  /// `gang` declares the scheduling contract the bodies need:
+  ///   false  cooperative — any single body, run alone, still completes
+  ///          (mt::PipelineExecutor workers: one thread can finish the
+  ///          whole query). The context may run bodies sequentially on
+  ///          however many threads it has to spare.
+  ///   true   gang — bodies are mutually dependent and must all run
+  ///          concurrently (the cluster's per-node scheduler/worker
+  ///          loops: no body exits until the query terminates globally).
+  ///          The context must give every body its own thread.
+  virtual void SpawnWorkers(uint32_t n,
+                            const std::function<void(uint32_t)>& body,
+                            bool gang = false) = 0;
+
+  /// Idle-worker hook: may run one activation of another in-flight
+  /// execution. Returns true iff foreign work was executed.
+  virtual bool Park() { return false; }
+
+  /// Publishes this execution's cross-query steal entry point. The hook
+  /// runs at most one activation and returns whether it did.
+  virtual void SetStealHook(std::function<bool()> hook) { (void)hook; }
+  /// Unpublishes the hook and waits for in-flight calls to drain.
+  virtual void ClearStealHook() {}
+
+  /// Upper bound on concurrent foreign callers of the steal hook.
+  virtual uint32_t GuestSlots() const { return 0; }
+
+  /// Cooperative cancellation: true once the owner asked this execution
+  /// to stop (checked per activation batch).
+  virtual bool StopRequested() const { return false; }
+};
+
+/// The legacy spawn-per-query context: SpawnWorkers starts n dedicated
+/// std::threads and joins them. Kept behind ExecOptions::use_shared_pool =
+/// false for A/B benchmarking, and as the default when an executor is used
+/// white-box with no context at all.
+class ThreadSpawnContext final : public ExecContext {
+ public:
+  /// `stop` (optional) is the cancellation token; `spawn_counter`
+  /// (optional) is bumped once per thread created, so benches can report
+  /// total threads spawned by the legacy path.
+  explicit ThreadSpawnContext(const std::atomic<bool>* stop = nullptr,
+                              std::atomic<uint64_t>* spawn_counter = nullptr)
+      : stop_(stop), spawn_counter_(spawn_counter) {}
+
+  void SpawnWorkers(uint32_t n, const std::function<void(uint32_t)>& body,
+                    bool gang = false) override;
+
+  bool StopRequested() const override {
+    return stop_ != nullptr && stop_->load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::atomic<bool>* stop_;
+  std::atomic<uint64_t>* spawn_counter_;
+};
+
+}  // namespace hierdb
+
+#endif  // HIERDB_COMMON_EXEC_CONTEXT_H_

@@ -102,6 +102,14 @@ RunResult Engine::Run(const plan::PhysicalPlan& pplan,
 
   uint64_t events = 0;
   while (!done_ && !sim_.Empty() && events < opts.max_events) {
+    // Cooperative cancellation, once per event batch.
+    if (opts.stop != nullptr &&
+        opts.stop->load(std::memory_order_acquire)) {
+      FinalizeMetrics();
+      result.status = Status::Cancelled("query cancelled during simulation");
+      result.metrics = metrics_;
+      return result;
+    }
     events += sim_.Run(1024);
     if (done_) break;
   }

@@ -29,6 +29,7 @@
 #ifndef HIERDB_EXEC_ENGINE_H_
 #define HIERDB_EXEC_ENGINE_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -230,6 +231,9 @@ struct RunOptions {
   uint64_t seed = 1;
   /// Safety valve for tests: abort after this many simulation events.
   uint64_t max_events = 2'000'000'000ULL;
+  /// Cooperative cancellation: when set, the event loop checks it once
+  /// per event batch and aborts the run with Status::Cancelled.
+  const std::atomic<bool>* stop = nullptr;
   /// When > 0, record a processor-utilization timeline with this bucket
   /// width (virtual time).
   SimTime timeline_bucket = 0;

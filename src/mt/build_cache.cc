@@ -1,0 +1,51 @@
+#include "mt/build_cache.h"
+
+namespace hierdb::mt {
+
+uint64_t TableContentHash(const Batch& batch) {
+  // FNV-1a over the raw row data, seeded with the width so two tables
+  // holding the same flat values at different widths hash apart.
+  uint64_t h = 0xCBF29CE484222325ULL ^ batch.width();
+  for (int64_t v : batch.data()) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 0x100000001B3ULL;
+  }
+  // A zero hash is reserved for "uncacheable".
+  return h == 0 ? 1 : h;
+}
+
+std::shared_ptr<const BucketTables> BuildCache::Lookup(const BuildKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void BuildCache::Insert(const BuildKey& key,
+                        std::shared_ptr<const BucketTables> tables) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.insertions;
+  map_[key] = std::move(tables);
+}
+
+void BuildCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.invalidations;
+  map_.clear();
+}
+
+BuildCache::Stats BuildCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = map_.size();
+  for (const auto& [key, tables] : map_) {
+    for (const RowTable& t : *tables) s.bytes += t.bytes();
+  }
+  return s;
+}
+
+}  // namespace hierdb::mt

@@ -1,0 +1,106 @@
+// Shared build-side reuse across concurrent queries.
+//
+// Concurrent queries probing the same dimension/fact tables each used to
+// scatter and hash the build side independently — pure repeated work (FDB
+// [Bakibayev12] makes the general case for factoring repeated computation
+// out of a query engine). The BuildCache keys a completed per-bucket hash
+// table set on
+//
+//     (table, column, buckets, seed/skew)
+//
+// where `table` is a content hash of the build relation's rows (so the
+// key is valid independent of registration order or table storage), and
+// `seed/skew` folds in the synthesis parameters for catalog-only
+// relations bound at plan time (two queries share a synthesized build
+// only when seed, skew and bind scale all match). A session owns one
+// cache; mt::PipelineExecutor consults it for every build whose source is
+// a base table:
+//
+//   hit   the build operator is born finished — no scatter, no inserts —
+//         and probes read the shared (immutable) bucket tables;
+//   miss  the build runs normally and the finished bucket tables are
+//         published for later/overlapping queries (the bucket tables own
+//         their rows, so entries outlive the source table).
+//
+// Two queries missing the same key concurrently both build and the last
+// insert wins — correct, just unshared; in a stream the first wave pays
+// and the rest hit. Session::AddTable clears the cache (conservative
+// invalidation; content-hash keys would stay correct, clearing bounds
+// memory and keeps the documented contract simple). In-flight executions
+// hold shared_ptr references, so Clear never frees tables under a
+// running probe.
+
+#ifndef HIERDB_MT_BUILD_CACHE_H_
+#define HIERDB_MT_BUILD_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mt/row.h"
+#include "mt/row_table.h"
+
+namespace hierdb::mt {
+
+/// Order-sensitive content hash of a batch (identical rows in identical
+/// order => identical hash). Computed once per registered table and once
+/// per synthesized table at plan time.
+uint64_t TableContentHash(const Batch& batch);
+
+struct BuildKey {
+  uint64_t table = 0;      ///< content hash of the build relation
+  uint32_t column = 0;     ///< build (key) column
+  uint32_t buckets = 0;    ///< degree of fragmentation
+  uint64_t seed_skew = 0;  ///< synthesis identity; 0 for registered tables
+
+  bool operator==(const BuildKey&) const = default;
+};
+
+struct BuildKeyHash {
+  size_t operator()(const BuildKey& k) const {
+    uint64_t h = k.table;
+    h ^= (static_cast<uint64_t>(k.column) << 32 | k.buckets) +
+         0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h ^= k.seed_skew + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One join's per-bucket hash tables, sized to BuildKey::buckets.
+using BucketTables = std::vector<RowTable>;
+
+class BuildCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t invalidations = 0;  ///< Clear() calls
+    uint64_t entries = 0;        ///< snapshot
+    uint64_t bytes = 0;          ///< snapshot: resident hash-table bytes
+  };
+
+  /// Returns the cached tables or nullptr (counting a hit or miss).
+  std::shared_ptr<const BucketTables> Lookup(const BuildKey& key);
+
+  /// Publishes a completed build (last writer wins on duplicate keys).
+  void Insert(const BuildKey& key, std::shared_ptr<const BucketTables> tables);
+
+  /// Drops every entry (in-flight readers keep their shared_ptrs alive).
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<BuildKey, std::shared_ptr<const BucketTables>,
+                     BuildKeyHash>
+      map_;
+  Stats stats_;
+};
+
+}  // namespace hierdb::mt
+
+#endif  // HIERDB_MT_BUILD_CACHE_H_

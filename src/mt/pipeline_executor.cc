@@ -67,6 +67,29 @@ class PipelineExecutor::BoundedQueue {
 // probe ops run one join step and forward or finalize.
 enum class COp : uint8_t { kScan, kBuild, kProbe };
 
+namespace {
+
+// The one definition of which builds are cacheable and what they key on,
+// shared by the DP/FP compile loop and the SP build phase (the two paths
+// must stay field-for-field identical or they stop sharing entries).
+bool BuildCacheKeyFor(const PipelineOptions& options, uint32_t buckets,
+                      const Source& build, uint32_t build_col,
+                      BuildKey* key) {
+  if (options.build_cache == nullptr ||
+      build.kind != Source::Kind::kTable ||
+      build.index >= options.table_cache_ids.size() ||
+      options.table_cache_ids[build.index] == 0) {
+    return false;
+  }
+  key->table = options.table_cache_ids[build.index];
+  key->column = build_col;
+  key->buckets = buckets;
+  key->seed_skew = options.cache_seed_skew;
+  return true;
+}
+
+}  // namespace
+
 struct PipelineExecutor::OpState {
   COp kind = COp::kScan;
   uint32_t chain = 0;
@@ -89,6 +112,7 @@ struct PipelineExecutor::OpState {
   std::atomic<bool> consumable{false};
   std::atomic<bool> scatter_done{false};  // all morsels executed
   std::atomic<bool> ended{false};
+  bool prebuilt = false;  // build satisfied from the shared cache
 
   double cost_estimate = 0.0;  // FP allocation weight
   uint32_t chain_pos = 0;      // scan = 0, probe j = j + 1 (builds = 0)
@@ -101,6 +125,10 @@ struct PipelineExecutor::Shared {
   const PipelinePlan* plan = nullptr;
   std::vector<const Table*> tables;
 
+  // Worker provider + cancellation token for this run; never null.
+  ExecContext* ctx = nullptr;
+  std::atomic<bool> cancelled{false};
+
   std::vector<std::unique_ptr<OpState>> ops;
   std::vector<uint32_t> chain_terminal;  // terminal op per chain
   std::vector<bool> materialized;        // chain output kept?
@@ -112,6 +140,27 @@ struct PipelineExecutor::Shared {
   // tables_by_join[join][bucket]; join ids are assigned per (chain, step).
   std::vector<std::vector<RowTable>> join_tables;
   std::vector<std::vector<std::unique_ptr<std::mutex>>> bucket_mu;
+
+  // Shared build-side reuse: prebuilt[join] set (cache hit, or a local
+  // build published at build end) makes probes read the shared immutable
+  // tables instead of join_tables. offer_key[join] records the cache key
+  // a missed cacheable build publishes under.
+  std::vector<std::shared_ptr<const BucketTables>> prebuilt;
+  std::vector<char> offer_pending;
+  std::vector<BuildKey> offer_key;
+  uint64_t cache_hits = 0;    // resolved at compile time
+  uint64_t cache_misses = 0;
+
+  const RowTable& JoinTable(uint32_t join, uint32_t bucket) const {
+    const auto& sp = prebuilt[join];
+    return sp != nullptr ? (*sp)[bucket] : join_tables[join][bucket];
+  }
+
+  // Guest slots for cross-query stealers: per-worker state (busy, outbox,
+  // scratch, digests, partials) is sized threads + guests; a foreign
+  // thread borrows a free slot for the duration of one activation.
+  std::mutex guest_mu;
+  std::vector<uint32_t> guest_free;
 
   // Chain outputs: per-chain per-thread partials merged at chain end.
   std::vector<std::vector<Batch>> chain_partials;    // [chain][thread]
@@ -202,10 +251,16 @@ Result<ResultDigest> PipelineExecutor::Execute(
     return ExecuteSP(plan, tables, stats, materialized);
   }
 
+  // Workers come from the injected context (session pool) or, white-box,
+  // from a one-off spawn-per-query context.
+  ThreadSpawnContext fallback_ctx;
+  ExecContext* ctx = options_.ctx != nullptr ? options_.ctx : &fallback_ctx;
+
   shared_ = std::make_unique<Shared>();
   Shared& sh = *shared_;
   sh.plan = &plan;
   sh.tables = tables;
+  sh.ctx = ctx;
   const uint32_t T = options_.threads;
   const uint32_t B = options_.buckets;
 
@@ -320,8 +375,39 @@ Result<ResultDigest> PipelineExecutor::Execute(
     }
   }
 
-  // Shared structures.
+  // Shared build-side reuse: resolve every cacheable base-table build
+  // against the session cache. A hit makes the build op born-finished
+  // (prebuilt); a miss records the key the finished tables publish under.
+  sh.prebuilt.assign(njoins_total, nullptr);
+  sh.offer_pending.assign(njoins_total, 0);
+  sh.offer_key.assign(njoins_total, BuildKey{});
+  if (options_.build_cache != nullptr) {
+    for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+      for (uint32_t j = 0; j < plan.chains[c].joins.size(); ++j) {
+        OpState& op = *sh.ops[build_of[c][j]];
+        BuildKey key;
+        if (!BuildCacheKeyFor(options_, B, plan.chains[c].joins[j].build,
+                              plan.chains[c].joins[j].build_col, &key)) {
+          continue;
+        }
+        if (auto cached = options_.build_cache->Lookup(key)) {
+          sh.prebuilt[op.join] = std::move(cached);
+          op.prebuilt = true;
+          ++sh.cache_hits;
+        } else {
+          sh.offer_pending[op.join] = 1;
+          sh.offer_key[op.join] = key;
+          ++sh.cache_misses;
+        }
+      }
+    }
+  }
+
+  // Shared structures. Per-worker state is sized threads + guest slots so
+  // cross-query stealers get private scratch/digest/outbox slots.
   const uint32_t nops = static_cast<uint32_t>(sh.ops.size());
+  const uint32_t slots = T + ctx->GuestSlots();
+  for (uint32_t g = T; g < slots; ++g) sh.guest_free.push_back(g);
   sh.queues.reserve(static_cast<size_t>(nops) * T);
   for (uint32_t i = 0; i < nops * T; ++i) {
     sh.queues.push_back(std::make_unique<BoundedQueue>());
@@ -331,6 +417,7 @@ Result<ResultDigest> PipelineExecutor::Execute(
   uint32_t join_id = 0;
   for (uint32_t c = 0; c < plan.chains.size(); ++c) {
     for (uint32_t j = 0; j < plan.chains[c].joins.size(); ++j, ++join_id) {
+      if (sh.prebuilt[join_id] != nullptr) continue;  // shared tables
       const Source& b = plan.chains[c].joins[j].build;
       uint32_t bw = b.kind == Source::Kind::kTable
                         ? tables[b.index]->width()
@@ -346,14 +433,14 @@ Result<ResultDigest> PipelineExecutor::Execute(
   }
   sh.chain_partials.assign(plan.chains.size(), {});
   for (auto& partials : sh.chain_partials) {
-    partials.resize(T);
+    partials.resize(slots);
   }
   sh.chain_outputs.resize(plan.chains.size());
-  sh.thread_digests.assign(T, {});
-  sh.busy.assign(T, 0);
-  sh.outbox.resize(T);
-  sh.scratch_pool.resize(T);
-  sh.scratch_depth.assign(T, 0);
+  sh.thread_digests.assign(slots, {});
+  sh.busy.assign(slots, 0);
+  sh.outbox.resize(slots);
+  sh.scratch_pool.resize(slots);
+  sh.scratch_depth.assign(slots, 0);
   sh.fp_range = std::vector<std::atomic<uint64_t>>(nops);
   for (auto& a : sh.fp_range) a.store(0);
   sh.ops_remaining.store(nops);
@@ -365,22 +452,13 @@ Result<ResultDigest> PipelineExecutor::Execute(
       OpState& op = *sh.ops[i];
       if (op.blockers.empty()) {
         op.consumable.store(true);
-        if (op.kind != COp::kProbe) {
-          op.src_batch = op.src.kind == Source::Kind::kTable
-                             ? &tables[op.src.index]->batch
-                             : &sh.chain_outputs[op.src.index];
-          op.total_rows = op.src_batch->rows();
-          size_t morsels =
-              (op.total_rows + options_.morsel_rows - 1) / options_.morsel_rows;
-          op.morsels_left.store(static_cast<int64_t>(morsels));
-          if (morsels == 0) op.scatter_done.store(true);
-        }
+        if (op.kind != COp::kProbe) ResolveSourceLocked(op);
       }
     }
     if (options_.strategy == LocalStrategy::kFP) RecomputeFpAssignment();
   }
-  // Ops that are born finished (empty sources) must end before workers
-  // start so the dependency cascade is primed.
+  // Ops that are born finished (empty or prebuilt sources) must end before
+  // workers start so the dependency cascade is primed.
   for (uint32_t i = 0; i < nops; ++i) {
     OpState& op = *sh.ops[i];
     if (op.consumable.load() && !op.ended.load() && op.scatter_done.load() &&
@@ -389,14 +467,19 @@ Result<ResultDigest> PipelineExecutor::Execute(
     }
   }
 
-  // Run.
-  std::vector<std::thread> workers;
-  workers.reserve(T);
-  for (uint32_t t = 0; t < T; ++t) {
-    workers.emplace_back([this, t] { WorkerLoop(t); });
+  // Run: rent workers from the context (or spawn, white-box). The steal
+  // hook lets idle threads of other executions run our activations; FP
+  // pins threads to operators, so only DP publishes one.
+  if (options_.strategy == LocalStrategy::kDP) {
+    ctx->SetStealHook([this] { return RunOneForeign(); });
   }
-  for (auto& w : workers) w.join();
+  ctx->SpawnWorkers(T, [this](uint32_t t) { WorkerLoop(t); });
+  ctx->ClearStealHook();
 
+  if (sh.cancelled.load()) {
+    shared_.reset();
+    return Status::Cancelled("query cancelled during execution");
+  }
   if (sh.failed.load()) {
     return Status::Internal("pipeline execution failed");
   }
@@ -415,10 +498,60 @@ Result<ResultDigest> PipelineExecutor::Execute(
     stats->nonprimary = sh.stat_nonprimary.load();
     stats->idle_waits = sh.stat_idle.load();
     stats->fp_safety_escapes = sh.stat_fp_safety.load();
-    stats->busy_per_thread = sh.busy;
+    stats->build_cache_hits = sh.cache_hits;
+    stats->build_cache_misses = sh.cache_misses;
+    // Guest slots (cross-query helpers) are excluded: busy_per_thread
+    // drives the per-worker imbalance measure of this query's rental.
+    stats->busy_per_thread.assign(sh.busy.begin(), sh.busy.begin() + T);
   }
   shared_.reset();
   return digest;
+}
+
+size_t PipelineExecutor::ResolveSourceLocked(OpState& op) {
+  Shared& sh = *shared_;
+  if (op.prebuilt) {
+    // Build satisfied from the shared cache: nothing to scatter or
+    // insert; the op is born finished and probes read the cached tables.
+    op.total_rows = 0;
+    op.morsels_left.store(0);
+    op.scatter_done.store(true);
+    return 0;
+  }
+  op.src_batch = op.src.kind == Source::Kind::kTable
+                     ? &sh.tables[op.src.index]->batch
+                     : &sh.chain_outputs[op.src.index];
+  op.total_rows = op.src_batch->rows();
+  size_t morsels =
+      (op.total_rows + options_.morsel_rows - 1) / options_.morsel_rows;
+  op.morsels_left.store(static_cast<int64_t>(morsels));
+  if (morsels == 0) op.scatter_done.store(true);
+  return morsels;
+}
+
+// Cross-query steal hook: a foreign thread (idle pool worker or a parked
+// worker of another execution) borrows a guest slot and runs at most one
+// activation of this query — the paper's consumption hierarchy extended
+// past the query boundary.
+bool PipelineExecutor::RunOneForeign() {
+  Shared* shp = shared_.get();
+  if (shp == nullptr) return false;
+  Shared& sh = *shp;
+  if (sh.done.load(std::memory_order_acquire)) return false;
+  uint32_t slot;
+  {
+    std::lock_guard<std::mutex> lock(sh.guest_mu);
+    if (sh.guest_free.empty()) return false;
+    slot = sh.guest_free.back();
+    sh.guest_free.pop_back();
+  }
+  bool ran = RunOne(slot);
+  if (ran) FlushOutbox(slot);
+  {
+    std::lock_guard<std::mutex> lock(sh.guest_mu);
+    sh.guest_free.push_back(slot);
+  }
+  return ran;
 }
 
 // ---------------------------------------------------------------------
@@ -431,6 +564,20 @@ void PipelineExecutor::OnOpEnded(uint32_t op_id) {
   if (op.ended.load()) return;
   op.ended.store(true);
   sh.ops_remaining.fetch_sub(1);
+
+  // A finished cacheable build publishes its bucket tables: moved into a
+  // shared entry (probes of this run read it via JoinTable) and inserted
+  // into the session cache for overlapping/later queries. Safe under
+  // state_mu — probes of this join only become consumable in the cascade
+  // below, after the move.
+  if (op.kind == COp::kBuild && sh.offer_pending[op.join]) {
+    sh.offer_pending[op.join] = 0;
+    auto published =
+        std::make_shared<BucketTables>(std::move(sh.join_tables[op.join]));
+    sh.join_tables[op.join] = BucketTables{};
+    sh.prebuilt[op.join] = published;
+    options_.build_cache->Insert(sh.offer_key[op.join], std::move(published));
+  }
 
   // Merge chain partials when a terminal op ends.
   if (sh.chain_terminal[op.chain] == op_id) {
@@ -469,14 +616,7 @@ void PipelineExecutor::OnOpEnded(uint32_t op_id) {
       // src_batch/total_rows right after observing consumable == true
       // (the seq_cst store below is the release edge they synchronize
       // with), so these plain fields must be complete first.
-      other.src_batch = other.src.kind == Source::Kind::kTable
-                            ? &sh.tables[other.src.index]->batch
-                            : &sh.chain_outputs[other.src.index];
-      other.total_rows = other.src_batch->rows();
-      size_t morsels = (other.total_rows + options_.morsel_rows - 1) /
-                       options_.morsel_rows;
-      other.morsels_left.store(static_cast<int64_t>(morsels));
-      if (morsels == 0) other.scatter_done.store(true);
+      size_t morsels = ResolveSourceLocked(other);
       other.consumable.store(true);
       if (morsels == 0 && other.data_pending.load() == 0) {
         newly_ended.push_back(i);
@@ -581,12 +721,27 @@ bool PipelineExecutor::ThreadMayRun(uint32_t self, uint32_t op_id) const {
 
 void PipelineExecutor::WorkerLoop(uint32_t self) {
   Shared& sh = *shared_;
+  ExecContext* ctx = sh.ctx;
   while (!sh.done.load(std::memory_order_acquire)) {
+    // Cooperative cancellation, checked once per activation: the first
+    // observer halts the whole run (Execute returns Status::Cancelled).
+    if (ctx->StopRequested()) {
+      sh.cancelled.store(true);
+      {
+        std::lock_guard<std::mutex> lock(sh.state_mu);
+        sh.done.store(true);
+      }
+      sh.work_cv.notify_all();
+      break;
+    }
     if (!sh.outbox[self].empty()) FlushOutbox(self);
     if (RunOne(self)) {
       FlushOutbox(self);
     } else {
       sh.stat_idle.fetch_add(1, std::memory_order_relaxed);
+      // Nothing runnable here: lend this beat to another in-flight query
+      // (cross-query steal) before napping.
+      if (ctx->Park()) continue;
       std::unique_lock<std::mutex> lock(sh.state_mu);
       sh.work_cv.wait_for(lock, std::chrono::microseconds(200));
     }
@@ -600,6 +755,9 @@ bool PipelineExecutor::RunOne(uint32_t self) {
   Shared& sh = *shared_;
   const uint32_t T = options_.threads;
   const uint32_t nops = static_cast<uint32_t>(sh.ops.size());
+  // Queues only exist for the T rented workers; a guest slot (self >= T,
+  // cross-query stealer) adopts a column as its primary.
+  const uint32_t primary = self % T;
 
   // Pass 1: primary queues (this thread's column), then morsel claims.
   for (uint32_t k = 0; k < nops; ++k) {
@@ -608,7 +766,7 @@ bool PipelineExecutor::RunOne(uint32_t self) {
     if (!op.consumable.load() || op.ended.load()) continue;
     if (!ThreadMayRun(self, op_id)) continue;
     Activation act;
-    if (sh.queues[op_id * T + self]->TryPopFront(&act)) {
+    if (sh.queues[op_id * T + primary]->TryPopFront(&act)) {
       ExecuteData(self, std::move(act));
       return true;
     }
@@ -629,7 +787,7 @@ bool PipelineExecutor::RunOne(uint32_t self) {
     if (!op.consumable.load() || op.ended.load()) continue;
     if (!ThreadMayRun(self, op_id)) continue;
     for (uint32_t d = 1; d < T; ++d) {
-      uint32_t t = (self + d) % T;
+      uint32_t t = (primary + d) % T;
       Activation act;
       if (sh.queues[op_id * T + t]->TryPopBack(&act)) {
         sh.stat_nonprimary.fetch_add(1, std::memory_order_relaxed);
@@ -751,9 +909,9 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
     return;
   }
 
-  // Probe step.
+  // Probe step. JoinTable resolves shared (cached) vs locally built.
   const JoinStep& js = chain.joins[op.step];
-  const RowTable& table = sh.join_tables[op.join][act.bucket];
+  const RowTable& table = sh.JoinTable(op.join, act.bucket);
   const uint32_t in_width = act.rows.width();
   const bool last_step = op.step + 1 == chain.joins.size();
   const bool final_chain = op.chain + 1 == plan.chains.size();
@@ -869,6 +1027,10 @@ void PipelineExecutor::FlushOutbox(uint32_t self) {
   auto& outbox = sh.outbox[self];
   uint32_t stalls = 0;
   while (!outbox.empty()) {
+    // A cancelled run abandons staged activations (the whole execution
+    // is being torn down); normal completion never reaches done with a
+    // non-empty outbox (pending activations keep their op alive).
+    if (sh.cancelled.load(std::memory_order_relaxed)) return;
     // Try to push every staged activation once.
     size_t n = outbox.size();
     bool progressed = false;
@@ -973,6 +1135,8 @@ bool PipelineExecutor::RunAllowedWhileStuck(uint32_t self,
 Result<ResultDigest> PipelineExecutor::ExecuteSP(
     const PipelinePlan& plan, const std::vector<const Table*>& tables,
     PipelineStats* stats, Batch* out_rows) {
+  ThreadSpawnContext fallback_ctx;
+  ExecContext* ctx = options_.ctx != nullptr ? options_.ctx : &fallback_ctx;
   const uint32_t T = options_.threads;
   const uint32_t B = options_.buckets;
   std::vector<bool> materialized = plan.MaterializedChains();
@@ -981,65 +1145,77 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
   std::vector<ResultDigest> digests(T);
   std::vector<uint64_t> busy(T, 0);
   uint64_t morsel_count = 0;
+  uint64_t cache_hits = 0, cache_misses = 0;
 
   auto batch_of = [&](const Source& s) -> const Batch& {
     return s.kind == Source::Kind::kTable ? tables[s.index]->batch
                                           : chain_outputs[s.index];
+  };
+  auto cache_key_of = [&](const JoinStep& js, BuildKey* key) {
+    return BuildCacheKeyFor(options_, B, js.build, js.build_col, key);
   };
 
   for (uint32_t c = 0; c < plan.chains.size(); ++c) {
     const Chain& chain = plan.chains[c];
     const bool final_chain = c + 1 == plan.chains.size();
 
-    // Build phase: threads cooperate on every build source, morsel-wise,
-    // inserting under per-bucket locks.
-    std::vector<std::vector<RowTable>> join_tables(chain.joins.size());
-    std::vector<std::vector<std::unique_ptr<std::mutex>>> bucket_mu(
+    // Build phase: every join's bucket tables are either taken shared
+    // from the session cache or built cooperatively (threads claim
+    // morsels, insert under per-bucket locks) and then published.
+    std::vector<std::shared_ptr<const BucketTables>> join_tables(
         chain.joins.size());
     for (size_t j = 0; j < chain.joins.size(); ++j) {
+      BuildKey key;
+      const bool cacheable = cache_key_of(chain.joins[j], &key);
+      if (cacheable) {
+        if (auto cached = options_.build_cache->Lookup(key)) {
+          join_tables[j] = std::move(cached);
+          ++cache_hits;
+          continue;
+        }
+        ++cache_misses;
+      }
       const Batch& build = batch_of(chain.joins[j].build);
-      join_tables[j].resize(B);
-      bucket_mu[j].resize(B);
+      auto built = std::make_shared<BucketTables>(B);
+      std::vector<std::unique_ptr<std::mutex>> bucket_mu(B);
       for (uint32_t b = 0; b < B; ++b) {
-        join_tables[j][b].Init(build.width(), chain.joins[j].build_col);
-        bucket_mu[j][b] = std::make_unique<std::mutex>();
+        (*built)[b].Init(build.width(), chain.joins[j].build_col);
+        bucket_mu[b] = std::make_unique<std::mutex>();
       }
-    }
-    for (size_t j = 0; j < chain.joins.size(); ++j) {
-      const Batch& build = batch_of(chain.joins[j].build);
       std::atomic<size_t> cursor{0};
-      std::vector<std::thread> workers;
-      for (uint32_t t = 0; t < T; ++t) {
-        workers.emplace_back([&, t] {
-          // Scatter each morsel into local per-bucket batches, then take
-          // each bucket lock once per morsel (amortized locking).
-          std::vector<Batch> local(B);
-          std::vector<uint32_t> touched;
-          while (true) {
-            size_t begin = cursor.fetch_add(options_.morsel_rows);
-            if (begin >= build.rows()) break;
-            size_t end =
-                std::min<size_t>(begin + options_.morsel_rows, build.rows());
-            for (size_t i = begin; i < end; ++i) {
-              const int64_t* row = build.row(i);
-              uint32_t bucket = static_cast<uint32_t>(
-                  HashKey(row[chain.joins[j].build_col]) % B);
-              Batch& b = local[bucket];
-              if (b.width() == 0) b = Batch(build.width());
-              if (b.empty()) touched.push_back(bucket);
-              b.AppendRow(row);
-            }
-            for (uint32_t bucket : touched) {
-              std::lock_guard<std::mutex> lock(*bucket_mu[j][bucket]);
-              join_tables[j][bucket].InsertBatch(local[bucket]);
-              local[bucket].Clear();
-            }
-            touched.clear();
-            ++busy[t];
+      ctx->SpawnWorkers(T, [&](uint32_t t) {
+        // Scatter each morsel into local per-bucket batches, then take
+        // each bucket lock once per morsel (amortized locking).
+        std::vector<Batch> local(B);
+        std::vector<uint32_t> touched;
+        while (!ctx->StopRequested()) {
+          size_t begin = cursor.fetch_add(options_.morsel_rows);
+          if (begin >= build.rows()) break;
+          size_t end =
+              std::min<size_t>(begin + options_.morsel_rows, build.rows());
+          for (size_t i = begin; i < end; ++i) {
+            const int64_t* row = build.row(i);
+            uint32_t bucket = static_cast<uint32_t>(
+                HashKey(row[chain.joins[j].build_col]) % B);
+            Batch& b = local[bucket];
+            if (b.width() == 0) b = Batch(build.width());
+            if (b.empty()) touched.push_back(bucket);
+            b.AppendRow(row);
           }
-        });
+          for (uint32_t bucket : touched) {
+            std::lock_guard<std::mutex> lock(*bucket_mu[bucket]);
+            (*built)[bucket].InsertBatch(local[bucket]);
+            local[bucket].Clear();
+          }
+          touched.clear();
+          ++busy[t];
+        }
+      });
+      if (ctx->StopRequested()) {
+        return Status::Cancelled("query cancelled during execution");
       }
-      for (auto& w : workers) w.join();
+      if (cacheable) options_.build_cache->Insert(key, built);
+      join_tables[j] = std::move(built);
       morsel_count +=
           (build.rows() + options_.morsel_rows - 1) / options_.morsel_rows;
     }
@@ -1053,48 +1229,47 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
     }
     std::vector<Batch> partials(T);
     std::atomic<size_t> cursor{0};
-    std::vector<std::thread> workers;
-    for (uint32_t t = 0; t < T; ++t) {
-      workers.emplace_back([&, t] {
-        std::vector<int64_t> row_buf(out_width);
-        // Recursive pipeline walker: step j consumes the prefix of
-        // row_buf filled so far.
-        auto walk = [&](auto&& self_fn, size_t step,
-                        uint32_t filled) -> void {
-          if (step == chain.joins.size()) {
-            if (final_chain) digests[t].Add(row_buf.data(), filled);
-            if (materialized[c]) {
-              Batch& part = partials[t];
-              if (part.width() == 0) part = Batch(out_width);
-              part.AppendRow(row_buf.data());
-            }
-            return;
+    ctx->SpawnWorkers(T, [&](uint32_t t) {
+      std::vector<int64_t> row_buf(out_width);
+      // Recursive pipeline walker: step j consumes the prefix of
+      // row_buf filled so far.
+      auto walk = [&](auto&& self_fn, size_t step,
+                      uint32_t filled) -> void {
+        if (step == chain.joins.size()) {
+          if (final_chain) digests[t].Add(row_buf.data(), filled);
+          if (materialized[c]) {
+            Batch& part = partials[t];
+            if (part.width() == 0) part = Batch(out_width);
+            part.AppendRow(row_buf.data());
           }
-          const JoinStep& js = chain.joins[step];
-          uint32_t bucket = static_cast<uint32_t>(
-              HashKey(row_buf[js.probe_col]) % B);
-          const RowTable& table = join_tables[step][bucket];
-          table.ForEachMatch(row_buf[js.probe_col], [&](const int64_t* brow) {
-            std::copy(brow, brow + table.width(),
-                      row_buf.begin() + filled);
-            self_fn(self_fn, step + 1, filled + table.width());
-          });
-        };
-        while (true) {
-          size_t begin = cursor.fetch_add(options_.morsel_rows);
-          if (begin >= input.rows()) break;
-          size_t end =
-              std::min<size_t>(begin + options_.morsel_rows, input.rows());
-          for (size_t i = begin; i < end; ++i) {
-            std::copy(input.row(i), input.row(i) + input.width(),
-                      row_buf.begin());
-            walk(walk, 0, input.width());
-          }
-          ++busy[t];
+          return;
         }
-      });
+        const JoinStep& js = chain.joins[step];
+        uint32_t bucket = static_cast<uint32_t>(
+            HashKey(row_buf[js.probe_col]) % B);
+        const RowTable& table = (*join_tables[step])[bucket];
+        table.ForEachMatch(row_buf[js.probe_col], [&](const int64_t* brow) {
+          std::copy(brow, brow + table.width(),
+                    row_buf.begin() + filled);
+          self_fn(self_fn, step + 1, filled + table.width());
+        });
+      };
+      while (!ctx->StopRequested()) {
+        size_t begin = cursor.fetch_add(options_.morsel_rows);
+        if (begin >= input.rows()) break;
+        size_t end =
+            std::min<size_t>(begin + options_.morsel_rows, input.rows());
+        for (size_t i = begin; i < end; ++i) {
+          std::copy(input.row(i), input.row(i) + input.width(),
+                    row_buf.begin());
+          walk(walk, 0, input.width());
+        }
+        ++busy[t];
+      }
+    });
+    if (ctx->StopRequested()) {
+      return Status::Cancelled("query cancelled during execution");
     }
-    for (auto& w : workers) w.join();
     morsel_count +=
         (input.rows() + options_.morsel_rows - 1) / options_.morsel_rows;
 
@@ -1114,6 +1289,8 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
   if (stats != nullptr) {
     *stats = PipelineStats{};
     stats->morsels = morsel_count;
+    stats->build_cache_hits = cache_hits;
+    stats->build_cache_misses = cache_misses;
     stats->busy_per_thread = busy;
   }
   return digest;

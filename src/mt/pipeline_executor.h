@@ -41,8 +41,10 @@
 #include <mutex>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "common/strategy.h"
+#include "mt/build_cache.h"
 #include "mt/hash_table.h"
 #include "mt/plan.h"
 #include "mt/row.h"
@@ -69,6 +71,21 @@ struct PipelineOptions {
   /// FP only: multiplicative distortion applied to per-operator cost
   /// estimates, indexed by compiled op id; empty = exact estimates.
   std::vector<double> fp_cost_distortion;
+
+  /// Where worker threads come from: null spawns `threads` std::threads
+  /// per Execute (the legacy path); a session-provided context rents
+  /// pooled workers, parks idle ones into cross-query stealing, and
+  /// carries the cooperative-cancellation token (common/exec_context.h).
+  ExecContext* ctx = nullptr;
+
+  /// Shared build-side reuse: when set, builds whose source is a base
+  /// table with a nonzero entry in `table_cache_ids` (aligned with
+  /// Execute's `tables` argument) are looked up in — and on miss
+  /// published to — the cache under (table id, build col, buckets,
+  /// cache_seed_skew). Null disables reuse.
+  BuildCache* build_cache = nullptr;
+  std::vector<uint64_t> table_cache_ids;
+  uint64_t cache_seed_skew = 0;
 };
 
 struct PipelineStats {
@@ -79,7 +96,10 @@ struct PipelineStats {
   uint64_t nonprimary = 0;        ///< consumptions from non-primary queues
   uint64_t idle_waits = 0;        ///< waits with no runnable work
   uint64_t fp_safety_escapes = 0; ///< FP deadlock valve firings (should be 0)
-  std::vector<uint64_t> busy_per_thread;  ///< activations per thread
+  uint64_t build_cache_hits = 0;  ///< builds satisfied from the shared cache
+  uint64_t build_cache_misses = 0;///< cacheable builds executed locally
+  /// Activations per rented worker (cross-query guest helpers excluded).
+  std::vector<uint64_t> busy_per_thread;
 
   /// Load imbalance: max over threads of busy / mean busy (1.0 = perfect).
   double Imbalance() const;
@@ -120,6 +140,11 @@ class PipelineExecutor {
   // --- execution machinery (defined in .cc) ---
   void WorkerLoop(uint32_t self);
   bool RunOne(uint32_t self);
+  /// Cross-query steal hook: runs at most one activation on a guest slot.
+  bool RunOneForeign();
+  /// Resolves a trigger op's source (or marks a prebuilt build finished)
+  /// and returns its morsel count. Pre: lock on state_mu held.
+  size_t ResolveSourceLocked(OpState& op);
   bool ClaimMorsel(uint32_t self, uint32_t op_id);
   void ExecuteData(uint32_t self, Activation&& act);
   void ExecuteMorsel(uint32_t self, uint32_t op_id, size_t begin, size_t end);

@@ -268,6 +268,9 @@ TEST(StreamAdmission, ShortestCostFirstReordersQueue) {
   SessionOptions so;
   so.max_concurrent_queries = 1;
   so.admission = AdmissionPolicy::kShortestCostFirst;
+  // Pin pure cost ordering: a slow host (or a sanitizer build) must not
+  // age both queued entries past the bound and flip them to FIFO.
+  so.scf_aging_ms = 0.0;
   StreamFixture fx(so, 150000);
   ExecOptions opts = Opts(Backend::kThreads);
 
@@ -283,6 +286,82 @@ TEST(StreamAdmission, ShortestCostFirstReordersQueue) {
   EXPECT_EQ(rb.value().dispatch_seq, 1u);
   EXPECT_LT(rc.value().dispatch_seq, re.value().dispatch_seq)
       << "cheap query should jump the queue under shortest-cost-first";
+}
+
+// Admission aging: an expensive query that has waited past the aging
+// bound outranks cost ordering, so sustained cheap traffic can no longer
+// starve it. Deterministic in every timing: if the blocker finishes
+// before the cheap queries are submitted, the expensive entry dispatches
+// alone (trivially first); if it is still running, the expensive entry
+// has aged past the bound while the cheap ones are fresh, and the aged
+// entry wins the pop regardless of cost.
+TEST(StreamAdmission, AgingStopsCheapTrafficFromStarvingExpensiveQuery) {
+  SessionOptions so;
+  so.max_concurrent_queries = 1;
+  so.admission = AdmissionPolicy::kShortestCostFirst;
+  so.scf_aging_ms = 200.0;
+  StreamFixture fx(so, 300000);
+  ExecOptions opts = Opts(Backend::kThreads);
+
+  QueryHandle blocker = fx.db.Submit(fx.ChainQuery(3), opts);
+  ASSERT_TRUE(WaitForInFlight(fx.db, 1));
+  QueryHandle expensive = fx.db.Submit(fx.ChainQuery(3), opts);
+  // Let the expensive entry age past the bound, then pile on the cheap
+  // traffic that pure shortest-cost-first would dispatch ahead of it.
+  std::this_thread::sleep_for(milliseconds(500));
+  std::vector<QueryHandle> cheap;
+  for (int i = 0; i < 3; ++i) {
+    cheap.push_back(fx.db.Submit(fx.ChainQuery(1), opts));
+  }
+
+  auto re = expensive.Take();
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  for (auto& h : cheap) {
+    auto rc = h.Take();
+    ASSERT_TRUE(rc.ok()) << rc.status().ToString();
+    EXPECT_LT(re.value().dispatch_seq, rc.value().dispatch_seq)
+        << "aged expensive query must dispatch before fresh cheap traffic";
+  }
+  EXPECT_TRUE(blocker.Take().ok());
+}
+
+// The acceptance check for the pooled path: a concurrent stream with the
+// shared worker pool and the build-reuse cache enabled (the defaults)
+// produces digests identical to serial spawn-path execution, and later
+// queries actually hit the cache.
+TEST(StreamConsistency, PooledStreamWithReuseMatchesSpawnSerial) {
+  SessionOptions so;
+  so.max_concurrent_queries = 3;
+  StreamFixture fx(so);
+
+  std::vector<Query> queries;
+  for (uint32_t i = 0; i < 9; ++i) queries.push_back(fx.ChainQuery(i % 3 + 1));
+
+  ExecOptions spawn = Opts(Backend::kThreads);
+  spawn.use_shared_pool = false;
+  spawn.reuse_builds = false;
+  std::vector<std::pair<uint64_t, uint64_t>> serial;
+  for (const Query& q : queries) {
+    auto r = fx.db.Execute(q, spawn);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    serial.emplace_back(r.value().result_rows, r.value().result_checksum);
+  }
+
+  ExecOptions pooled = Opts(Backend::kThreads);
+  ASSERT_TRUE(pooled.use_shared_pool);  // the defaults are the point
+  ASSERT_TRUE(pooled.reuse_builds);
+  StreamReport sr = fx.db.RunStream(queries, pooled);
+  ASSERT_EQ(sr.succeeded, 9u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& rep = sr.results[i].value().report;
+    EXPECT_EQ(rep.result_rows, serial[i].first) << i;
+    EXPECT_EQ(rep.result_checksum, serial[i].second) << i;
+  }
+  // With max 3 concurrent queries, the later waves find the first wave's
+  // builds published: the stream must record hits.
+  EXPECT_GT(sr.build_cache_hits, 0u);
+  EXPECT_GT(sr.build_cache_misses, 0u);
+  EXPECT_NE(sr.ToString().find("build_cache="), std::string::npos);
 }
 
 // Materialized rows match mt::ReferenceMaterialize row-for-row (after
