@@ -1,0 +1,193 @@
+// Parallel GROUP BY/aggregation scaling on the real-thread backend: a
+// star-join reporting query (3-join chain + scan filter + grouped
+// aggregates) swept over
+//
+//   groups    the group-key cardinality (few fat groups vs many thin
+//             ones — the partial tables grow with it, the merge phase's
+//             partitioned work too);
+//   skew      Zipf theta on the group-key column (attribute-value skew:
+//             heavy groups concentrate partial updates, the two-phase
+//             shape absorbs it because partials are per-worker);
+//   threads   worker count for the DP strategy (phase-1 accumulate and
+//             phase-2 partitioned merge both parallel).
+//
+// One kCluster row per groups setting shows the distributed path
+// (per-node agg, group-hash repartition, per-node merge) next to the
+// shared-memory numbers. Drops a machine-readable baseline in
+// BENCH_agg_scaling.json via bench::JsonBaseline.
+//
+// Flags: --rows=R     fact rows (default 200000)
+//        --seed=N     master seed (default 42)
+//        --tpn=N      max threads in the thread sweep (default 8)
+//        --quick      CI smoke: 20000 rows, threads {1,2}, 2 group counts
+//        --out=PATH   JSON baseline path (default BENCH_agg_scaling.json)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "mt/row.h"
+
+using namespace hierdb;
+
+namespace {
+
+struct Args {
+  uint64_t rows = 200000;
+  uint64_t seed = 42;
+  uint32_t tpn = 8;
+  bool quick = false;
+  std::string out = "BENCH_agg_scaling.json";
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (sscanf(argv[i], "--rows=%lu", &a.rows) == 1) continue;
+    if (sscanf(argv[i], "--seed=%lu", &a.seed) == 1) continue;
+    if (sscanf(argv[i], "--tpn=%u", &a.tpn) == 1) continue;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      a.out = argv[i] + 6;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      a.quick = true;
+      a.rows = 20000;
+      a.tpn = 2;
+      continue;
+    }
+  }
+  return a;
+}
+
+struct Scenario {
+  api::Session* db = nullptr;
+  api::RelId fact, dim;
+  api::Query query;
+};
+
+/// Registers fact(key, g, fk2, fk3) — column 1 the group key over
+/// [0, groups), Zipf(theta)-skewed on demand — plus a dimension keyed on
+/// the group values, and builds the reporting query: filtered scan, one
+/// probe, GROUP BY a dimension attribute, count/sum/max aggregates.
+Scenario MakeScenario(api::Session& db, uint64_t rows, int64_t groups,
+                      double theta, uint64_t seed) {
+  Scenario s;
+  s.db = &db;
+  mt::Table fact =
+      theta > 0
+          ? mt::MakeSkewedTable("fact", rows, 4, groups, 1, theta, seed)
+          : mt::MakeTable("fact", rows, 4, groups, seed);
+  s.fact = db.AddTable(std::move(fact));
+  s.dim = db.AddTable(
+      mt::MakeTable("dim", static_cast<size_t>(groups), 2, 64, seed + 1));
+  s.query = db.NewQuery()
+                .Scan(s.fact)
+                .Probe(s.dim, 1, 0)
+                .Where(s.fact, 0, api::CmpOp::kGe,
+                       static_cast<int64_t>(rows / 10))  // drop 10%
+                .GroupBy(s.fact, 1)
+                .Count()
+                .Agg(api::AggFn::kSum, s.fact, 0)
+                .Agg(api::AggFn::kMax, s.fact, 0)
+                .Build();
+  return s;
+}
+
+struct Row {
+  double ms = 0.0;
+  uint64_t groups_out = 0, partials = 0, filtered = 0, repart = 0;
+};
+
+Row RunOne(Scenario& s, api::Backend backend, uint32_t nodes,
+           uint32_t threads) {
+  api::ExecOptions o;
+  o.backend = backend;
+  o.strategy = Strategy::kDP;
+  o.nodes = nodes;
+  o.threads_per_node = threads;
+  auto r = s.db->Execute(s.query, o);
+  if (!r.ok()) {
+    std::fprintf(stderr, "agg bench run failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  Row out;
+  out.ms = r.value().response_ms;
+  out.groups_out = r.value().agg_groups;
+  out.partials = r.value().agg_partials;
+  out.filtered = r.value().rows_filtered;
+  out.repart = r.value().agg_repartition_bytes;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  bench::JsonBaseline json;
+
+  std::vector<int64_t> group_counts =
+      args.quick ? std::vector<int64_t>{64, 4096}
+                 : std::vector<int64_t>{64, 1024, 16384, 131072};
+  std::vector<double> thetas =
+      args.quick ? std::vector<double>{0.0, 0.8}
+                 : std::vector<double>{0.0, 0.5, 0.9};
+  std::vector<uint32_t> threads;
+  for (uint32_t t = 1; t <= args.tpn; t *= 2) threads.push_back(t);
+
+  std::printf("mt_agg_scaling: %lu fact rows, filter + GROUP BY + "
+              "count/sum/max, DP strategy\n\n",
+              static_cast<unsigned long>(args.rows));
+  std::printf("%-9s %-6s %-8s %10s %10s %10s %10s\n", "groups", "theta",
+              "threads", "ms", "out", "partials", "filtered");
+
+  for (int64_t groups : group_counts) {
+    for (double theta : thetas) {
+      api::Session db;
+      Scenario s = MakeScenario(db, args.rows, groups, theta, args.seed);
+      for (uint32_t t : threads) {
+        Row r = RunOne(s, api::Backend::kThreads, 1, t);
+        std::printf("%-9lld %-6.2f %-8u %10.2f %10llu %10llu %10llu\n",
+                    static_cast<long long>(groups), theta, t, r.ms,
+                    static_cast<unsigned long long>(r.groups_out),
+                    static_cast<unsigned long long>(r.partials),
+                    static_cast<unsigned long long>(r.filtered));
+        json.Row()
+            .Str("sweep", "threads")
+            .Num("groups", static_cast<uint64_t>(groups))
+            .Num("theta", theta)
+            .Num("threads", static_cast<uint64_t>(t))
+            .Num("ms", r.ms)
+            .Num("groups_out", r.groups_out)
+            .Num("agg_partials", r.partials)
+            .Num("rows_filtered", r.filtered);
+      }
+      // The distributed path: per-node local agg, group-hash repartition
+      // through tuple-batch shipping, per-node merge.
+      Row c = RunOne(s, api::Backend::kCluster, 2,
+                     std::max(1u, args.tpn / 2));
+      std::printf("%-9lld %-6.2f %-8s %10.2f %10llu %10llu %10llu"
+                  "  (cluster 2x%u, repart=%llu B)\n",
+                  static_cast<long long>(groups), theta, "2-node", c.ms,
+                  static_cast<unsigned long long>(c.groups_out),
+                  static_cast<unsigned long long>(c.partials),
+                  static_cast<unsigned long long>(c.filtered),
+                  std::max(1u, args.tpn / 2),
+                  static_cast<unsigned long long>(c.repart));
+      json.Row()
+          .Str("sweep", "cluster")
+          .Num("groups", static_cast<uint64_t>(groups))
+          .Num("theta", theta)
+          .Num("ms", c.ms)
+          .Num("groups_out", c.groups_out)
+          .Num("agg_repartition_bytes", c.repart);
+    }
+  }
+
+  json.Write(args.out);
+  std::printf("\nwrote %s\n", args.out.c_str());
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <functional>
 #include <sstream>
@@ -81,6 +82,13 @@ std::string ExecutionReport::ToString() const {
     os << " build_cache=" << build_cache_hits << "/"
        << (build_cache_hits + build_cache_misses);
   }
+  if (rows_filtered > 0) os << " filtered=" << rows_filtered;
+  if (aggregated) {
+    os << " groups=" << agg_groups << " agg_partials=" << agg_partials;
+    if (agg_repartition_bytes > 0) {
+      os << " agg_repart_bytes=" << agg_repartition_bytes;
+    }
+  }
   if (imbalance > 0) os << " imbalance=" << imbalance;
   if (validated) os << (reference_match ? " ref=match" : " ref=MISMATCH");
   os << "}";
@@ -97,6 +105,10 @@ std::string StreamReport::ToString() const {
   if (build_cache_hits > 0 || build_cache_misses > 0) {
     os << " build_cache=" << build_cache_hits << "/"
        << (build_cache_hits + build_cache_misses);
+  }
+  if (rows_filtered > 0) os << " filtered=" << rows_filtered;
+  if (agg_groups > 0 || agg_partials > 0) {
+    os << " groups=" << agg_groups << " agg_partials=" << agg_partials;
   }
   os << "}";
   return os.str();
@@ -143,6 +155,27 @@ QueryBuilder& QueryBuilder::Probe(RelId build, uint32_t probe_col,
   return *this;
 }
 
+QueryBuilder& QueryBuilder::Where(RelId rel, uint32_t col, CmpOp cmp,
+                                  int64_t value) {
+  q_.filters_.push_back({rel, col, cmp, value});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(RelId rel, uint32_t col) {
+  q_.group_by_.push_back({rel, col});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Agg(AggFn fn, RelId rel, uint32_t col) {
+  q_.agg_items_.push_back({fn, rel, col, /*has_col=*/fn != AggFn::kCount});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Count() {
+  q_.agg_items_.push_back({AggFn::kCount, 0, 0, /*has_col=*/false});
+  return *this;
+}
+
 // ---------------------------------------------------------------------------
 // Session
 
@@ -152,7 +185,9 @@ Session::Session(const SessionOptions& options)
     : pool_threads_(options.pool_threads != 0
                         ? options.pool_threads
                         : std::max(1u, std::thread::hardware_concurrency())),
-      scheduler_(std::make_unique<Scheduler>(options)) {}
+      scheduler_(std::make_unique<Scheduler>(options)) {
+  build_cache_.SetByteBudget(options.build_cache_bytes);
+}
 
 Session::~Session() = default;
 
@@ -201,6 +236,12 @@ struct Session::Planned {
   std::vector<mt::Table> owned;       ///< synthesized tables (if any)
   std::vector<const mt::Table*> tables;  ///< local rel id -> data
   mt::PipelinePlan mtplan;
+
+  bool has_agg = false;
+  /// Admission cost (SCF ordering): the join tree's cost plus the
+  /// estimated aggregation work for GroupBy/Agg queries, over the
+  /// filter-adjusted cardinalities.
+  double plan_cost = 0.0;
 
   /// Build-cache identities aligned with `tables` (0 = uncacheable), plus
   /// the synthesis identity (seed/skew/bind parameters) folded into every
@@ -265,8 +306,79 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     out->to_global.push_back(r);
   }
   auto local = [&](RelId r) { return to_local.at(r); };
+
+  // Resolve scan-level filters: map the (rel, col) predicates onto local
+  // table indexes and estimate per-relation pass fractions (System R
+  // defaults: 1/10 for equality, 1/3 for ranges, 9/10 for inequality) so
+  // the optimizer, the SCF admission cost and the simulator all price
+  // filtered scans.
+  std::vector<std::vector<mt::Predicate>> filters(rels.size());
+  std::vector<double> filter_sel(rels.size(), 1.0);
+  for (const auto& f : q.filters_) {
+    auto it = to_local.find(f.rel);
+    if (it == to_local.end()) {
+      return Status::InvalidArgument(
+          "Where references relation id " + std::to_string(f.rel) +
+          ", which the query does not join");
+    }
+    const mt::Table* t = table(f.rel);
+    if (t != nullptr && f.col >= t->width()) {
+      return Status::OutOfRange(
+          "Where column " + std::to_string(f.col) + " >= width " +
+          std::to_string(t->width()) + " of relation '" +
+          catalog_.relation(f.rel).name + "'");
+    }
+    filters[it->second].push_back({f.col, f.cmp, f.value});
+    double s = f.cmp == CmpOp::kEq ? 0.1
+               : f.cmp == CmpOp::kNe ? 0.9
+                                     : 1.0 / 3.0;
+    filter_sel[it->second] = std::max(1e-4, filter_sel[it->second] * s);
+  }
+  // The GroupBy/Agg references must join-in, and columns into registered
+  // tables are bounds-checked here so the simulated backend rejects the
+  // same typos the real ones do (catalog-only relations carry no column
+  // schema — their references are checked against the synthesized widths
+  // on the real path only).
+  out->has_agg = q.has_agg();
+  auto check_colref = [&](const char* what, RelId rel,
+                          uint32_t col) -> Status {
+    if (to_local.find(rel) == to_local.end()) {
+      return Status::InvalidArgument(
+          std::string(what) + " references relation id " +
+          std::to_string(rel) + ", which the query does not join");
+    }
+    const mt::Table* t = table(rel);
+    if (t != nullptr && col >= t->width()) {
+      return Status::OutOfRange(
+          std::string(what) + " column " + std::to_string(col) +
+          " >= width " + std::to_string(t->width()) + " of relation '" +
+          catalog_.relation(rel).name + "'");
+    }
+    return Status::OK();
+  };
+  for (const auto& g : q.group_by_) {
+    HIERDB_RETURN_NOT_OK(check_colref("GroupBy", g.rel, g.col));
+  }
+  for (const auto& a : q.agg_items_) {
+    if (a.has_col) {
+      HIERDB_RETURN_NOT_OK(check_colref("Agg", a.rel, a.col));
+    }
+  }
+
+  // Planning catalog with filter-adjusted cardinality estimates: the tree
+  // choice, edge-selectivity defaults and plan cost see the filters, while
+  // synthesis and the simulator's scan inputs keep the true catalog.
+  catalog::Catalog fcat;
+  for (RelId r : rels) {
+    const auto& rel = catalog_.relation(r);
+    uint64_t est = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               static_cast<double>(rel.cardinality) *
+               filter_sel[to_local.at(r)])));
+    fcat.AddRelation(rel.name, est, rel.tuple_bytes);
+  }
   auto card = [&](RelId r) {
-    return catalog_.relation(r).cardinality;
+    return fcat.relation(to_local.at(r)).cardinality;
   };
 
   // Predicate graph over the local relations.
@@ -374,7 +486,7 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
       plan::JoinTreeNode n;
       n.rel = r;
       n.rels = plan::RelBit(r);
-      n.card = static_cast<double>(out->cat.relation(r).cardinality);
+      n.card = static_cast<double>(fcat.relation(r).cardinality);
       tree.nodes.push_back(n);
       return static_cast<int32_t>(tree.nodes.size() - 1);
     };
@@ -394,13 +506,29 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     tree.root = cur;
     out->tree = std::move(tree);
   } else {
-    out->tree = opt::ShapedBest(graph, out->cat, q.shape_);
+    out->tree = opt::ShapedBest(graph, fcat, q.shape_);
   }
+
+  // Estimated result cardinality and group count (sqrt-of-output default
+  // for want of distinct-value statistics): prices the aggregation for
+  // the simulator's AggPartial/AggMerge ops and the SCF admission cost.
+  const double root_card =
+      std::max(0.0, out->tree.nodes[out->tree.root].card);
+  const double est_groups =
+      !out->has_agg ? 0.0
+      : q.group_by_.empty()
+          ? 1.0
+          : std::max(1.0, std::sqrt(root_card));
+  out->plan_cost =
+      out->tree.cost + (out->has_agg ? root_card + est_groups : 0.0);
 
   // Bridge 1: the simulated backend's parallel execution plan.
   plan::ExpandOptions eo;
   eo.apply_h1 = opts.apply_h1;
   eo.serialize_chains = opts.apply_h2;
+  eo.scan_filter_sel = filter_sel;  // indexed by local rel id
+  eo.aggregate = out->has_agg;
+  eo.agg_groups_est = est_groups;
   // Chain queries and explicitly shape-constrained trees build on the
   // right child so the macro-expansion preserves the requested pipeline
   // structure (right-deep => one maximal chain, left-deep => blocking
@@ -414,6 +542,53 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
   // Bridge 2: the real-data pipeline plan (threads/cluster backends).
   // The simulated backend never touches it, so skip the table synthesis.
   if (!want_real) return Status::OK();
+
+  // Attaches the filters and the aggregation spec to the finished
+  // pipeline plan: table indexes equal local rel ids in every bridge
+  // path, and the (rel, col) references resolve to offsets in the final
+  // chain's output row via the plan's layout. Ends with the structural
+  // validation (which bounds-checks filter/agg columns against the bound
+  // tables — registered or synthesized).
+  auto attach_filters_and_agg = [&]() -> Status {
+    out->mtplan.table_filters = filters;
+    if (out->has_agg) {
+      std::vector<uint32_t> widths;
+      widths.reserve(out->tables.size());
+      for (const mt::Table* t : out->tables) widths.push_back(t->width());
+      std::vector<uint32_t> offsets = out->mtplan.FinalLayout(widths);
+      auto resolve = [&](RelId rel, uint32_t col, const char* what,
+                         uint32_t* slot) -> Status {
+        uint32_t l = local(rel);
+        if (offsets[l] == UINT32_MAX) {
+          return Status::Internal("relation missing from the final output");
+        }
+        if (col >= widths[l]) {
+          return Status::OutOfRange(
+              std::string(what) + " column " + std::to_string(col) +
+              " >= width " + std::to_string(widths[l]) + " of relation '" +
+              catalog_.relation(rel).name + "'");
+        }
+        *slot = offsets[l] + col;
+        return Status::OK();
+      };
+      mt::AggSpec spec;
+      for (const auto& g : q.group_by_) {
+        uint32_t slot = 0;
+        HIERDB_RETURN_NOT_OK(resolve(g.rel, g.col, "GroupBy", &slot));
+        spec.group_cols.push_back(slot);
+      }
+      for (const auto& a : q.agg_items_) {
+        uint32_t slot = 0;
+        if (a.has_col) {
+          HIERDB_RETURN_NOT_OK(resolve(a.rel, a.col, "Agg", &slot));
+        }
+        spec.aggs.push_back({a.fn, slot});
+      }
+      out->mtplan.agg = std::move(spec);
+    }
+    return out->mtplan.Validate(out->tables);
+  };
+
   // Build-cache identities are only consumed by the threads backend
   // (RunThreads wires the cache); other backends skip even the cheap id
   // copies and, for synthesized tables, the O(rows) content hashing.
@@ -444,7 +619,7 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
           {mt::Source::OfTable(local(s.build)), s.probe_col, s.build_col});
     }
     out->mtplan.chains.push_back(std::move(chain));
-    HIERDB_RETURN_NOT_OK(out->mtplan.Validate(out->tables));
+    HIERDB_RETURN_NOT_OK(attach_filters_and_agg());
     out->has_real = true;
     return Status::OK();
   }
@@ -467,6 +642,7 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     auto plan = mt::TranslateJoinTree(out->tree, graph, out->tables, cols);
     HIERDB_RETURN_NOT_OK(plan.status());
     out->mtplan = std::move(plan).value();
+    HIERDB_RETURN_NOT_OK(attach_filters_and_agg());
     out->has_real = true;
   } else {
     mt::BindOptions bo;
@@ -495,6 +671,7 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     }
     for (const auto& t : out->owned) out->tables.push_back(&t);
     out->mtplan = std::move(bound.value().plan);
+    HIERDB_RETURN_NOT_OK(attach_filters_and_agg());
     out->has_real = true;
   }
   return Status::OK();
@@ -537,7 +714,7 @@ QueryHandle Session::Submit(const Query& q, const ExecOptions& opts) {
   // the closure runs on a scheduler worker, possibly concurrently with
   // other queries, and touches no session containers — only plan-time
   // snapshots (so registration stays safe while queries are in flight).
-  double cost = planned->tree.cost;
+  double cost = planned->plan_cost;
   return scheduler_->Submit(
       cost, [this, planned, opts](const std::atomic<bool>& stop) {
         return RunPlanned(*planned, opts, stop);
@@ -569,6 +746,10 @@ StreamReport Session::RunStream(const std::vector<Query>& queries,
       sr.serial_ms += r.value().exec_ms;
       sr.build_cache_hits += r.value().report.build_cache_hits;
       sr.build_cache_misses += r.value().report.build_cache_misses;
+      sr.rows_filtered += r.value().report.rows_filtered;
+      sr.agg_groups += r.value().report.agg_groups;
+      sr.agg_partials += r.value().report.agg_partials;
+      sr.agg_repartition_bytes += r.value().report.agg_repartition_bytes;
     } else {
       ++sr.failed;
     }
@@ -738,6 +919,10 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   rep.imbalance = stats.Imbalance();
   rep.build_cache_hits = stats.build_cache_hits;
   rep.build_cache_misses = stats.build_cache_misses;
+  rep.rows_filtered = stats.rows_filtered;
+  rep.aggregated = p.has_agg;
+  rep.agg_groups = stats.agg_groups;
+  rep.agg_partials = stats.agg_partials;
   rep.threads = stats;
   if (opts.validate) {
     auto ref = mt::ReferenceExecute(p.mtplan, p.tables);
@@ -856,6 +1041,11 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   for (uint64_t w : stats.idle_waits_per_node) rep.idle_waits += w;
   for (uint64_t b : stats.busy_per_node) rep.activations += b;
   rep.imbalance = stats.NodeImbalance();
+  rep.rows_filtered = stats.rows_filtered;
+  rep.aggregated = p.has_agg;
+  rep.agg_groups = stats.agg_groups;
+  rep.agg_partials = stats.agg_partials;
+  rep.agg_repartition_bytes = stats.agg_repartition_bytes;
   rep.cluster = stats;
   if (opts.validate) {
     auto ref = cluster::ReferenceExecute(query);
@@ -882,7 +1072,10 @@ Result<std::string> Session::Explain(const Query& q,
 
   std::ostringstream os;
   os << "query: " << p.cat.size() << " relations, " << p.tree.num_joins()
-     << " joins (" << (q.is_chain() ? "chain" : "graph") << " form)\n";
+     << " joins (" << (q.is_chain() ? "chain" : "graph") << " form)";
+  if (!q.filters_.empty()) os << ", " << q.filters_.size() << " filters";
+  if (p.has_agg) os << ", aggregated";
+  os << "\n";
   os << "backend: " << BackendName(opts.backend) << ", strategy "
      << StrategyName(opts.strategy) << ", machine " << opts.nodes << "x"
      << opts.threads_per_node << "\n\n";

@@ -85,6 +85,7 @@
 #include "common/strategy.h"
 #include "common/units.h"
 #include "exec/engine.h"
+#include "mt/agg.h"
 #include "mt/build_cache.h"
 #include "mt/pipeline_executor.h"
 #include "mt/row.h"
@@ -96,6 +97,11 @@
 namespace hierdb::api {
 
 using catalog::RelId;
+
+/// Filter comparison and aggregate-function enums, shared with the
+/// executor layer (mt/agg.h).
+using CmpOp = mt::CmpOp;
+using AggFn = mt::AggFn;
 
 /// Which executor stack runs the query.
 enum class Backend { kSimulated, kThreads, kCluster };
@@ -270,6 +276,18 @@ struct ExecutionReport {
   uint64_t build_cache_hits = 0;
   uint64_t build_cache_misses = 0;
 
+  /// Real backends: rows dropped by scan-level Where predicates.
+  uint64_t rows_filtered = 0;
+
+  /// Set for queries with GroupBy/Agg: result groups, partial-table
+  /// entries merged by the global phase, and (kCluster) the wire bytes of
+  /// partials repartitioned to their home node. The result digest and any
+  /// materialized rows are the aggregate rows.
+  bool aggregated = false;
+  uint64_t agg_groups = 0;
+  uint64_t agg_partials = 0;
+  uint64_t agg_repartition_bytes = 0;
+
   /// Raw backend metrics.
   std::optional<exec::RunMetrics> sim;
   std::optional<mt::PipelineStats> threads;
@@ -331,6 +349,12 @@ struct SessionOptions {
   /// this bound instead of starving it. 0 disables aging (pure,
   /// starvable shortest-cost-first).
   double scf_aging_ms = 10000.0;
+  /// Byte budget for the session's build-side cache
+  /// (ExecOptions::reuse_builds): publishing a build evicts
+  /// least-recently-hit entries until resident hash-table bytes fit, so
+  /// long-lived sessions cycling many (buckets, seed) configurations stay
+  /// bounded. 0 (the default) = unbounded (AddTable still clears).
+  uint64_t build_cache_bytes = 0;
 };
 
 /// Counters the session's scheduler maintains across its lifetime, plus a
@@ -404,6 +428,13 @@ struct StreamReport {
   uint64_t build_cache_hits = 0;
   uint64_t build_cache_misses = 0;
 
+  /// Filter/aggregation totals over the stream (per-query counters
+  /// summed; zero when the stream carries no Where/GroupBy queries).
+  uint64_t rows_filtered = 0;
+  uint64_t agg_groups = 0;
+  uint64_t agg_partials = 0;
+  uint64_t agg_repartition_bytes = 0;
+
   std::vector<Result<QueryResult>> results;  ///< in submission order
 
   std::string ToString() const;
@@ -451,6 +482,32 @@ class Query {
     double selectivity = 0.0;
   };
   std::vector<Step> steps_;
+
+  /// Scan-level filters and the optional GROUP BY/aggregation, shared by
+  /// both query forms. Columns are relation-qualified (rel, col) so the
+  /// query stays valid whatever join tree the optimizer chooses.
+  struct FilterSpec {
+    RelId rel = 0;
+    uint32_t col = 0;
+    CmpOp cmp = CmpOp::kEq;
+    int64_t value = 0;
+  };
+  struct GroupColSpec {
+    RelId rel = 0;
+    uint32_t col = 0;
+  };
+  struct AggSpecItem {
+    AggFn fn = AggFn::kCount;
+    RelId rel = 0;
+    uint32_t col = 0;
+    bool has_col = false;  ///< false: COUNT(*) — no column referenced
+  };
+  std::vector<FilterSpec> filters_;
+  std::vector<GroupColSpec> group_by_;
+  std::vector<AggSpecItem> agg_items_;
+
+ public:
+  bool has_agg() const { return !group_by_.empty() || !agg_items_.empty(); }
 };
 
 /// Fluent builder. Graph form:
@@ -485,6 +542,26 @@ class QueryBuilder {
   /// order); `build_col` indexes the build relation.
   QueryBuilder& Probe(RelId build, uint32_t probe_col,
                       uint32_t build_col = 0, double selectivity = 0.0);
+
+  /// Scan-level filter: keep only `rel` rows whose column `col` compares
+  /// `cmp` against `value`. Applied where the relation's rows enter the
+  /// pipeline (the driving scan or a build's scatter) on every backend;
+  /// multiple Where calls on one relation conjoin. Works with both query
+  /// forms; `rel` must be joined by the query.
+  QueryBuilder& Where(RelId rel, uint32_t col, CmpOp cmp, int64_t value);
+
+  /// GROUP BY column `col` of relation `rel` (multiple calls build a
+  /// compound key). The result rows become [group values..., aggregates
+  /// ...]; with no GroupBy the aggregates reduce to a single global group.
+  QueryBuilder& GroupBy(RelId rel, uint32_t col);
+
+  /// Aggregate `fn` over column `col` of relation `rel`. COUNT ignores
+  /// the column (use Count() for the argument-free spelling). GroupBy
+  /// with no aggregates yields the distinct group combinations.
+  QueryBuilder& Agg(AggFn fn, RelId rel, uint32_t col = 0);
+
+  /// COUNT(*) — rows per group.
+  QueryBuilder& Count();
 
   Query Build() const { return q_; }
 

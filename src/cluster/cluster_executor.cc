@@ -243,6 +243,11 @@ struct ClusterExecutor::Impl {
   // Keep the final chain's output rows (per node, in inter[]) so Execute
   // can gather them into a materialized result. Set before Compile().
   bool materialize_final = false;
+  // Distributed aggregation over the final chain's rows (set by Compile
+  // from the plan): the final rows are kept per node as aggregation input
+  // and the per-thread digests are skipped — the result identity comes
+  // from the merged aggregate rows instead.
+  const mt::AggSpec* agg = nullptr;
 
   struct ChainInfo {
     uint32_t k = 0;          // joins
@@ -356,6 +361,11 @@ struct ClusterExecutor::Impl {
     // the chain globally terminates, then scanned by consuming triggers).
     std::vector<Batch> inter;                            // per chain
     std::vector<std::unique_ptr<std::mutex>> inter_mu;   // per chain
+
+    // Distributed aggregation, phase 1: per-thread partial group tables
+    // fed directly by the final chain's terminal probe (the join result
+    // is never buffered — memory stays O(groups) per thread).
+    std::vector<mt::AggTable> agg_partials;              // per thread
     // Intermediate rows this node shipped to a remote home while
     // repartitioning, per source chain.
     std::vector<std::atomic<uint64_t>> repart_rows;
@@ -399,6 +409,8 @@ struct ClusterExecutor::Impl {
     std::atomic<uint64_t> steal_reqs{0};
     std::atomic<uint64_t> cache_hits{0};
     std::atomic<uint64_t> shipped_rows{0};
+    std::atomic<uint64_t> filtered{0};
+    std::atomic<uint64_t> agg_repart_rows{0};
 
     // Per-worker outboxes for full local queues.
     std::vector<std::deque<Activation>> outbox;
@@ -425,6 +437,7 @@ struct ClusterExecutor::Impl {
 
   void Compile(const PlanQuery& q) {
     query = &q;
+    agg = q.plan.agg.has_value() ? &*q.plan.agg : nullptr;
     const auto& pchains = q.plan.chains;
     const uint32_t C = static_cast<uint32_t>(pchains.size());
 
@@ -537,12 +550,19 @@ struct ClusterExecutor::Impl {
       ns->inter_mu.resize(C);
       ns->repart_rows = std::vector<std::atomic<uint64_t>>(C);
       for (uint32_t c = 0; c < C; ++c) {
+        // Under aggregation the final chain's rows fold into the partial
+        // tables instead of materializing (agg output is gathered
+        // separately).
         if (chains[c].materialized ||
-            (materialize_final && c + 1 == C)) {
+            (materialize_final && agg == nullptr && c + 1 == C)) {
           ns->inter[c] = Batch(chains[c].out_width);
         }
         ns->inter_mu[c] = std::make_unique<std::mutex>();
         ns->repart_rows[c].store(0);
+      }
+      if (agg != nullptr) {
+        ns->agg_partials.resize(T);
+        for (mt::AggTable& t : ns->agg_partials) t.Init(agg);
       }
       ns->reported.assign(nops, false);
       ns->drain_requested.assign(nops, false);
@@ -834,21 +854,25 @@ struct ClusterExecutor::Impl {
     const uint32_t rel = op - ci.op_base;
     uint32_t dst_op, col;
     int32_t src_chain = -1;  // repartitioning a chain intermediate?
+    const mt::Source& trigger_src = rel == 2 * ci.k
+                                        ? query->plan.chains[c].input
+                                        : jn_build_src[ci.join_base + rel];
     if (rel == 2 * ci.k) {
       dst_op = probe_op(c, 0);
       col = jn_probe_col[ci.join_base];
-      const mt::Source& in = query->plan.chains[c].input;
-      if (in.kind == mt::Source::Kind::kChain) {
-        src_chain = static_cast<int32_t>(in.index);
-      }
     } else {
       dst_op = build_op(c, rel);
       col = jn_build_col[ci.join_base + rel];
-      const mt::Source& b = jn_build_src[ci.join_base + rel];
-      if (b.kind == mt::Source::Kind::kChain) {
-        src_chain = static_cast<int32_t>(b.index);
-      }
     }
+    if (trigger_src.kind == mt::Source::Kind::kChain) {
+      src_chain = static_cast<int32_t>(trigger_src.index);
+    }
+    // Scan-level predicates of base tables, applied as the rows enter the
+    // pipeline (chain intermediates were filtered at their own scans).
+    const std::vector<mt::Predicate>* preds =
+        trigger_src.kind == mt::Source::Kind::kTable
+            ? query->plan.FiltersFor(trigger_src.index)
+            : nullptr;
     const uint32_t B = opt.buckets;
     NodeState& ns = *node_state[node];
     auto& sc = AcquireScratch(ns, t);
@@ -863,6 +887,10 @@ struct ClusterExecutor::Impl {
     };
     for (size_t i = begin; i < end; ++i) {
       const int64_t* row = src.row(i);
+      if (preds != nullptr && !mt::MatchesAll(*preds, row)) {
+        ns.filtered.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       uint32_t bucket = static_cast<uint32_t>(mt::HashKey(row[col]) % B);
       Batch& b = scratch[bucket];
       if (b.width() == 0) b = Batch(src.width());
@@ -959,15 +987,26 @@ struct ClusterExecutor::Impl {
     // A non-final chain's terminal probe materializes into this node's
     // share of the distributed intermediate (batched per activation); the
     // final chain's does the same when the result is being materialized.
-    const bool keep_rows = !final_chain || materialize_final;
+    // Under aggregation the final rows fold straight into this thread's
+    // partial table (phase 1 of the distributed aggregation) — never
+    // buffered — and the digest comes from the merged aggregate rows.
+    const bool to_agg = final_chain && agg != nullptr;
+    const bool keep_rows =
+        !final_chain || (materialize_final && agg == nullptr);
     Batch local_out;
     if (last && keep_rows) local_out = Batch(out_w);
+    mt::AggTable* agg_part =
+        last && to_agg ? &ns.agg_partials[t] : nullptr;
     for (size_t i = 0; i < act.rows.rows(); ++i) {
       const int64_t* row = act.rows.row(i);
       table->ForEachMatch(row[probe_col], [&](const int64_t* brow) {
         std::copy(row, row + in_w, out_row.begin());
         std::copy(brow, brow + build_w, out_row.begin() + in_w);
         if (last) {
+          if (agg_part != nullptr) {
+            agg_part->Accumulate(out_row.data());
+            return;
+          }
           if (final_chain) ns.digests[t].Add(out_row.data(), out_w);
           if (keep_rows) local_out.AppendRow(out_row.data());
           return;
@@ -1443,6 +1482,106 @@ struct ClusterExecutor::Impl {
     fabric.Send(node, m.from, std::move(reply)).ok();
   }
 
+  // ------------------------------------------------------------------
+  // Distributed aggregation (runs after the chain DAG terminated).
+  //
+  // Phase 1 already happened inside the chain run: every worker folded
+  // the final-chain rows it produced into its private partial table
+  // (NodeState::agg_partials), so the join result was never buffered.
+  // Phase A here repartitions those partials by group-key hash —
+  // partition p is homed at node p % nodes — shipping remote partitions
+  // as kTupleBatch messages (partial rows are flat int64 rows, so the
+  // join dataflow's encoding carries them verbatim). Phase B (after
+  // every node finished sending): each node merges its own partitions
+  // plus everything in its mailbox and finalizes the disjoint group set
+  // it owns. The SpawnWorkers calls run on the same ExecContext as the
+  // main run, so the pool and the stop token cover aggregation
+  // unchanged.
+  Status RunDistributedAgg(std::vector<Batch>* agg_out,
+                           std::vector<ResultDigest>* agg_digests,
+                           uint64_t* partial_entries) {
+    const uint32_t N = opt.nodes;
+    // Partition count: bounded like the thread backend's merge (every
+    // partition re-scans the partial tables), never below the node count.
+    const uint32_t P = std::max(
+        N, std::min(opt.buckets, std::max(16u, 4 * opt.threads_per_node)));
+    const uint32_t agg_op = nops;  // sentinel op id for traffic accounting
+    std::vector<std::vector<Batch>> kept(N);  // locally homed partitions
+    std::atomic<bool> agg_cancelled{false};
+
+    for (const auto& ns : node_state) {
+      for (const mt::AggTable& t : ns->agg_partials) {
+        *partial_entries += t.groups();
+      }
+    }
+
+    ctx->SpawnWorkers(N, [&](uint32_t n) {
+      NodeState& ns = *node_state[n];
+      for (uint32_t p = 0; p < P; ++p) {
+        if (ctx->StopRequested()) {
+          agg_cancelled.store(true);
+          return;
+        }
+        Batch part;
+        for (const mt::AggTable& t : ns.agg_partials) {
+          t.EmitPartials(p, P, &part);
+        }
+        if (part.rows() == 0) continue;
+        uint32_t home = p % N;
+        if (home == n) {
+          kept[n].push_back(std::move(part));
+        } else {
+          ns.agg_repart_rows.fetch_add(part.rows(),
+                                       std::memory_order_relaxed);
+          Message m;
+          m.type = MsgType::kTupleBatch;
+          m.op = agg_op;
+          m.bucket = p;
+          m.payload = net::EncodeBatch(part);
+          fabric.Send(n, home, std::move(m)).ok();
+        }
+      }
+    });
+    if (agg_cancelled.load() || ctx->StopRequested()) {
+      return Status::Cancelled("query cancelled during aggregation");
+    }
+
+    // Every node finished sending (the SpawnWorkers barrier), so each
+    // mailbox now holds all partials its node will ever receive.
+    ctx->SpawnWorkers(N, [&](uint32_t n) {
+      NodeState& ns = *node_state[n];
+      mt::AggTable merged(agg);
+      for (const Batch& part : kept[n]) {
+        for (size_t i = 0; i < part.rows(); ++i) {
+          merged.MergePartial(part.row(i));
+        }
+      }
+      Message m;
+      while (fabric.mailbox(n).TryPop(&m)) {
+        if (ctx->StopRequested()) {
+          agg_cancelled.store(true);
+          return;
+        }
+        // Stale end-of-run protocol messages may linger; only the agg
+        // sentinel batches matter here.
+        if (m.type != MsgType::kTupleBatch || m.op != agg_op) continue;
+        auto rows = net::DecodeBatch(m.payload);
+        if (!rows.ok()) {
+          ns.failed.store(true);
+          return;
+        }
+        for (size_t i = 0; i < rows.value().rows(); ++i) {
+          merged.MergePartial(rows.value().row(i));
+        }
+      }
+      merged.EmitFinal(&(*agg_out)[n], &(*agg_digests)[n]);
+    });
+    if (agg_cancelled.load() || ctx->StopRequested()) {
+      return Status::Cancelled("query cancelled during aggregation");
+    }
+    return Status::OK();
+  }
+
   void HandleWork(uint32_t node, const Message& m) {
     NodeState& ns = *node_state[node];
     const uint32_t T = opt.threads_per_node;
@@ -1563,10 +1702,30 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
     return Status::Internal("cluster execution failed");
   }
 
+  // Distributed aggregation over the final chain's kept rows. Runs before
+  // the stats snapshot so its repartition traffic is accounted.
+  std::vector<Batch> agg_out(options_.nodes);
+  std::vector<ResultDigest> agg_digests(options_.nodes);
+  uint64_t agg_partial_entries = 0;
+  if (im.agg != nullptr) {
+    Status st = im.RunDistributedAgg(&agg_out, &agg_digests,
+                                     &agg_partial_entries);
+    if (!st.ok()) {
+      impl_.reset();
+      return st;
+    }
+    for (auto& ns : im.node_state) failed |= ns->failed.load();
+    if (failed) {
+      impl_.reset();
+      return Status::Internal("cluster aggregation failed");
+    }
+  }
+
   ResultDigest digest;
   for (auto& ns : im.node_state) {
     for (const auto& d : ns->digests) digest.Merge(d);
   }
+  for (const auto& d : agg_digests) digest.Merge(d);
   if (stats != nullptr) {
     *stats = ClusterStats{};
     stats->fabric = im.fabric.stats();
@@ -1588,10 +1747,22 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
       stats->stolen_activations += ns->stolen_acts.load();
       stats->shipped_fragment_rows += ns->shipped_rows.load();
       stats->fragment_cache_hits += ns->cache_hits.load();
+      stats->rows_filtered += ns->filtered.load();
+      stats->agg_repartition_rows += ns->agg_repart_rows.load();
       stats->idle_waits_per_node.push_back(ns->idle.load());
       uint64_t busy = 0;
       for (uint64_t b : ns->busy) busy += b;
       stats->busy_per_node.push_back(busy);
+    }
+    if (im.agg != nullptr) {
+      stats->agg_partials = agg_partial_entries;
+      for (const auto& d : agg_digests) stats->agg_groups += d.count;
+      // The agg sentinel op's kTupleBatch bytes are the repartition wire
+      // traffic (also counted in dataflow_bytes).
+      if (im.nops < stats->fabric.tuple_bytes_by_op.size()) {
+        stats->agg_repartition_bytes =
+            stats->fabric.tuple_bytes_by_op[im.nops];
+      }
     }
     // Distributed intermediates: size per chain, repartition traffic
     // attributed through the per-op kTupleBatch accounting.
@@ -1619,18 +1790,29 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
     }
   }
   if (materialized != nullptr) {
-    // Gather each node's share of the final chain's rows (the tuple-batch
-    // collection): plain concatenation — the digest is order-independent.
-    const uint32_t last = static_cast<uint32_t>(im.chains.size()) - 1;
-    Batch out(im.chains[last].out_width);
-    size_t total = 0;
-    for (auto& ns : im.node_state) total += ns->inter[last].rows();
-    out.Reserve(total);
-    for (auto& ns : im.node_state) {
-      out.data().insert(out.data().end(), ns->inter[last].data().begin(),
-                        ns->inter[last].data().end());
+    if (im.agg != nullptr) {
+      // Aggregated plans gather each node's finalized group rows.
+      Batch out(im.agg->OutputWidth());
+      for (Batch& part : agg_out) {
+        out.data().insert(out.data().end(), part.data().begin(),
+                          part.data().end());
+      }
+      *materialized = std::move(out);
+    } else {
+      // Gather each node's share of the final chain's rows (the
+      // tuple-batch collection): plain concatenation — the digest is
+      // order-independent.
+      const uint32_t last = static_cast<uint32_t>(im.chains.size()) - 1;
+      Batch out(im.chains[last].out_width);
+      size_t total = 0;
+      for (auto& ns : im.node_state) total += ns->inter[last].rows();
+      out.Reserve(total);
+      for (auto& ns : im.node_state) {
+        out.data().insert(out.data().end(), ns->inter[last].data().begin(),
+                          ns->inter[last].data().end());
+      }
+      *materialized = std::move(out);
     }
-    *materialized = std::move(out);
   }
   impl_.reset();
   return digest;

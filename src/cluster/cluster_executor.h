@@ -184,6 +184,18 @@ struct ClusterStats {
   uint64_t intermediate_rows = 0;   ///< totals over all non-final chains
   uint64_t intermediate_bytes = 0;
 
+  /// Rows dropped by scan-level predicates (summed over nodes).
+  uint64_t rows_filtered = 0;
+
+  /// Distributed aggregation (plans with an AggSpec): per-node local
+  /// partial-table entries, the partial rows shipped to their partition's
+  /// home node (kTupleBatch traffic, also included in dataflow_bytes),
+  /// and the final group count.
+  uint64_t agg_partials = 0;
+  uint64_t agg_repartition_rows = 0;
+  uint64_t agg_repartition_bytes = 0;
+  uint64_t agg_groups = 0;
+
   /// Max over nodes of busy / mean busy (1.0 = perfectly balanced).
   double NodeImbalance() const;
 };
@@ -200,6 +212,13 @@ class ClusterExecutor {
   /// output rows — normally digested and dropped node-locally — are kept as
   /// each node's tuple batches and gathered into `*materialized` after the
   /// run (stolen activations contribute on their executing node).
+  ///
+  /// Plans carrying an AggSpec run distributed aggregation after the chain
+  /// DAG terminates: each node folds its share of the final rows into a
+  /// local partial table, partials repartition by group-key hash to their
+  /// home node via the same tuple-batch shipping as the join dataflow, and
+  /// each node merges and finalizes its disjoint partitions. The digest
+  /// (and any materialized rows) are then the aggregate rows.
   Result<mt::ResultDigest> Execute(const ChainQuery& query,
                                    ClusterStats* stats = nullptr,
                                    mt::Batch* materialized = nullptr);

@@ -56,13 +56,18 @@ void CompiledPlan::ComputeCards() {
     switch (d.kind) {
       case plan::OpKind::kScan:
         cop.in_tuples = cat_->relation(d.rel).cardinality;
-        cop.out_tuples = cop.in_tuples;  // scan selectivity 1.0
+        // Scan-level filters: the scan reads its full input and emits the
+        // passing fraction.
+        cop.out_tuples = static_cast<uint64_t>(std::llround(
+            static_cast<double>(cop.in_tuples) * d.filter_sel));
         break;
       case plan::OpKind::kBuild:
+      case plan::OpKind::kAggMerge:
         cop.in_tuples = ops_[d.input].out_tuples;
-        cop.out_tuples = 0;
+        cop.out_tuples = 0;  // blocking terminal
         break;
-      case plan::OpKind::kProbe: {
+      case plan::OpKind::kProbe:
+      case plan::OpKind::kAggPartial: {
         cop.in_tuples = ops_[d.input].out_tuples;
         double expansion =
             d.input_card > 0.0 ? d.output_card / d.input_card : 0.0;
@@ -100,6 +105,22 @@ void CompiledPlan::ComputeShares(Rng* rng) {
           mean_share / std::max(1u, cfg_->pipeline_flush_chunks), 1,
           cfg_->activation_batch_tuples);
     }
+  }
+  // Aggregation ops consume data activations like probes do: give them
+  // bucket shares (group-hash partitions) and flush thresholds so the
+  // generic ledger/dataflow machinery prices them. Aggregation hashes on
+  // the group key — uncorrelated with the join hash — so each op draws a
+  // fresh permutation.
+  for (auto& cop : ops_) {
+    if (!cop.def.IsAgg()) continue;
+    OpId o = cop.def.id;
+    std::vector<uint32_t> perm = RandomPermutation(nb, rng);
+    ops_[o].in_shares =
+        Permute(ZipfApportion(ops_[o].in_tuples, nb, skew_theta_), perm);
+    uint64_t mean_share = std::max<uint64_t>(1, ops_[o].in_tuples / nb);
+    ops_[o].flush_threshold = std::clamp<uint64_t>(
+        mean_share / std::max(1u, cfg_->pipeline_flush_chunks), 1,
+        cfg_->activation_batch_tuples);
   }
 }
 
@@ -177,7 +198,7 @@ void CompiledPlan::ComputeSpChains() {
         case plan::OpKind::kScan:
           st.instr_per_tuple =
               cost.scan_instr_per_tuple + cost.result_instr_per_tuple;
-          st.expansion = 1.0;
+          st.expansion = cop.def.filter_sel;
           break;
         case plan::OpKind::kProbe:
           st.expansion =
@@ -187,8 +208,19 @@ void CompiledPlan::ComputeSpChains() {
           st.instr_per_tuple = cost.probe_instr_per_tuple +
                                st.expansion * cost.result_instr_per_tuple;
           break;
+        case plan::OpKind::kAggPartial:
+          st.expansion =
+              cop.in_tuples > 0 ? static_cast<double>(cop.out_tuples) /
+                                      static_cast<double>(cop.in_tuples)
+                                : 0.0;
+          st.instr_per_tuple = cost.agg_update_instr_per_tuple;
+          break;
         case plan::OpKind::kBuild:
           st.instr_per_tuple = cost.build_instr_per_tuple;
+          st.expansion = 0.0;
+          break;
+        case plan::OpKind::kAggMerge:
+          st.instr_per_tuple = cost.agg_merge_instr_per_tuple;
           st.expansion = 0.0;
           break;
       }
@@ -241,6 +273,17 @@ std::vector<double> CompiledPlan::EstimateOpCosts(
             static_cast<double>(cop.out_tuples) * factor(d.id);
         out[d.id] = in * cost.probe_instr_per_tuple +
                     produced * cost.result_instr_per_tuple;
+        break;
+      }
+      case plan::OpKind::kAggPartial: {
+        double in = static_cast<double>(cop.in_tuples) * factor(d.input);
+        out[d.id] = in * cost.agg_update_instr_per_tuple;
+        break;
+      }
+      case plan::OpKind::kAggMerge: {
+        double in = static_cast<double>(cop.in_tuples) * factor(d.input);
+        out[d.id] = in * cost.agg_merge_instr_per_tuple +
+                    in * cost.result_instr_per_tuple;
         break;
       }
     }

@@ -340,6 +340,21 @@ bool Worker::StepFrame(Frame& f, double* instr) {
                       cost.probe_instr_per_tuple;
             break;
           }
+          case plan::OpKind::kAggPartial: {
+            // Hash + accumulate into the local partial group table.
+            *instr += static_cast<double>(f.act.tuples) *
+                      cost.agg_update_instr_per_tuple;
+            break;
+          }
+          case plan::OpKind::kAggMerge: {
+            // Merge repartitioned partials; result-group formation is
+            // charged here (the merge is the blocking terminal).
+            *instr += static_cast<double>(f.act.tuples) *
+                      (cost.agg_merge_instr_per_tuple +
+                       cost.result_instr_per_tuple);
+            f.pc = 3;
+            break;
+          }
         }
         if (f.pc == 3) break;  // build: no output
         // Emit output via the operator's ledger.

@@ -1,6 +1,25 @@
 #include "mt/build_cache.h"
 
+#include <chrono>
+
 namespace hierdb::mt {
+
+namespace {
+
+/// Poll cadence while waiting on another query's in-flight build (also
+/// bounds how stale a cancelled waiter can be) and the liveness valve: a
+/// waiter that has seen no publish/abandon for this long proceeds solo, so
+/// a lost builder can delay but never wedge other queries.
+constexpr auto kWaitPoll = std::chrono::milliseconds(2);
+constexpr auto kWaitCap = std::chrono::seconds(5);
+
+uint64_t TablesBytes(const BucketTables& tables) {
+  uint64_t b = 0;
+  for (const RowTable& t : tables) b += t.bytes();
+  return b;
+}
+
+}  // namespace
 
 uint64_t TableContentHash(const Batch& batch) {
   // FNV-1a over the raw row data, seeded with the width so two tables
@@ -14,36 +33,115 @@ uint64_t TableContentHash(const Batch& batch) {
   return h == 0 ? 1 : h;
 }
 
-std::shared_ptr<const BucketTables> BuildCache::Lookup(const BuildKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++stats_.misses;
-    return nullptr;
+BuildCache::Acquired BuildCache::Acquire(
+    const BuildKey& key, const std::function<bool()>& cancelled,
+    bool allow_wait) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Acquired out;
+  const auto deadline = std::chrono::steady_clock::now() + kWaitCap;
+  for (;;) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      // First miss: the caller becomes this key's builder.
+      Entry e;
+      e.building = true;
+      map_.emplace(key, std::move(e));
+      ++stats_.misses;
+      out.builder = true;
+      return out;
+    }
+    if (!it->second.building) {
+      ++stats_.hits;
+      if (out.waited) ++stats_.dedup_waits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      out.tables = it->second.tables;
+      return out;
+    }
+    if (!allow_wait) {
+      // The caller holds an unpublished builder entry: waiting here could
+      // stall against another query doing the same in the opposite key
+      // order. Build solo instead.
+      ++stats_.misses;
+      return out;
+    }
+    // Another query is building this key right now: wait for its publish
+    // instead of duplicating the work.
+    out.waited = true;
+    cv_.wait_for(lock, kWaitPoll);
+    if ((cancelled != nullptr && cancelled()) ||
+        std::chrono::steady_clock::now() >= deadline) {
+      // Proceed solo: build locally, publish nothing.
+      ++stats_.misses;
+      return out;
+    }
   }
-  ++stats_.hits;
-  return it->second;
 }
 
-void BuildCache::Insert(const BuildKey& key,
-                        std::shared_ptr<const BucketTables> tables) {
+void BuildCache::Publish(const BuildKey& key,
+                         std::shared_ptr<const BucketTables> tables) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.insertions;
-  map_[key] = std::move(tables);
+  auto [it, inserted] = map_.try_emplace(key);
+  Entry& e = it->second;
+  if (!inserted && !e.building) {
+    // Duplicate publish (two solo builds raced): last writer wins.
+    resident_bytes_ -= e.bytes;
+    lru_.erase(e.lru);
+  }
+  e.building = false;
+  e.bytes = TablesBytes(*tables);
+  e.tables = std::move(tables);
+  lru_.push_front(key);
+  e.lru = lru_.begin();
+  resident_bytes_ += e.bytes;
+  EvictLocked(key);
+  cv_.notify_all();
+}
+
+void BuildCache::Abandon(const BuildKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() || !it->second.building) return;
+  map_.erase(it);
+  cv_.notify_all();
+}
+
+void BuildCache::SetByteBudget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = bytes;
+}
+
+void BuildCache::EvictLocked(const BuildKey& keep) {
+  if (budget_bytes_ == 0) return;
+  while (resident_bytes_ > budget_bytes_ && !lru_.empty()) {
+    BuildKey victim = lru_.back();
+    if (victim == keep) break;  // never evict the just-published entry
+    auto it = map_.find(victim);
+    resident_bytes_ -= it->second.bytes;
+    lru_.pop_back();
+    map_.erase(it);
+    ++stats_.evictions;
+  }
 }
 
 void BuildCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
+  // In-flight entries go too: their waiters re-acquire as builders, and a
+  // late Publish simply re-inserts under the (content-hash) key.
   map_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+  cv_.notify_all();
 }
 
 BuildCache::Stats BuildCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = stats_;
-  s.entries = map_.size();
-  for (const auto& [key, tables] : map_) {
-    for (const RowTable& t : *tables) s.bytes += t.bytes();
+  for (const auto& [key, e] : map_) {
+    if (e.building) continue;
+    ++s.entries;
+    s.bytes += e.bytes;
   }
   return s;
 }

@@ -6,34 +6,53 @@
 // out of a query engine). The BuildCache keys a completed per-bucket hash
 // table set on
 //
-//     (table, column, buckets, seed/skew)
+//     (table, column, buckets, seed/skew, filters)
 //
 // where `table` is a content hash of the build relation's rows (so the
-// key is valid independent of registration order or table storage), and
+// key is valid independent of registration order or table storage),
 // `seed/skew` folds in the synthesis parameters for catalog-only
 // relations bound at plan time (two queries share a synthesized build
-// only when seed, skew and bind scale all match). A session owns one
-// cache; mt::PipelineExecutor consults it for every build whose source is
-// a base table:
+// only when seed, skew and bind scale all match), and `filters` hashes
+// the scan-level predicates applied to the build rows (a filtered build
+// never aliases an unfiltered one). A session owns one cache;
+// mt::PipelineExecutor consults it for every build whose source is a base
+// table through a promise-based protocol:
 //
-//   hit   the build operator is born finished — no scatter, no inserts —
-//         and probes read the shared (immutable) bucket tables;
-//   miss  the build runs normally and the finished bucket tables are
-//         published for later/overlapping queries (the bucket tables own
-//         their rows, so entries outlive the source table).
+//   Acquire   returns the published tables (hit), marks the caller the
+//             *builder* of a fresh in-flight entry (first miss), or —
+//             when another query's build of the same key is already in
+//             flight — waits for that build to publish instead of
+//             duplicating the work (counted in Stats::dedup_waits). A
+//             waiter whose query is cancelled, or that waits out the
+//             safety timeout, proceeds solo: it builds locally and does
+//             not publish.
 //
-// Two queries missing the same key concurrently both build and the last
-// insert wins — correct, just unshared; in a stream the first wave pays
-// and the rest hit. Session::AddTable clears the cache (conservative
-// invalidation; content-hash keys would stay correct, clearing bounds
-// memory and keeps the documented contract simple). In-flight executions
-// hold shared_ptr references, so Clear never frees tables under a
-// running probe.
+//   Publish   installs the builder's finished bucket tables; every waiter
+//             wakes with a hit. Probes of the building run read them via
+//             the executor's shared-entry indirection.
+//
+//   Abandon   removes an in-flight entry whose builder will never publish
+//             (cancelled or failed execution); the next waiter to wake
+//             becomes the new builder.
+//
+// Capacity is bounded by an optional byte budget (SetByteBudget,
+// SessionOptions::build_cache_bytes): published entries are kept on an
+// LRU list ordered by last hit, and publishing evicts least-recently-hit
+// entries until the resident hash-table bytes fit the budget again (the
+// newest entry itself is never evicted, so a single oversized build still
+// serves its own stream). Session::AddTable clears the cache
+// (conservative invalidation; content-hash keys would stay correct,
+// clearing bounds memory and keeps the documented contract simple).
+// In-flight executions hold shared_ptr references, so Clear and eviction
+// never free tables under a running probe.
 
 #ifndef HIERDB_MT_BUILD_CACHE_H_
 #define HIERDB_MT_BUILD_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -54,6 +73,7 @@ struct BuildKey {
   uint32_t column = 0;     ///< build (key) column
   uint32_t buckets = 0;    ///< degree of fragmentation
   uint64_t seed_skew = 0;  ///< synthesis identity; 0 for registered tables
+  uint64_t filters = 0;    ///< PredicatesHash of the build's scan filters
 
   bool operator==(const BuildKey&) const = default;
 };
@@ -64,6 +84,7 @@ struct BuildKeyHash {
     h ^= (static_cast<uint64_t>(k.column) << 32 | k.buckets) +
          0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
     h ^= k.seed_skew + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h ^= k.filters + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
     return static_cast<size_t>(h);
   }
 };
@@ -78,26 +99,71 @@ class BuildCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t invalidations = 0;  ///< Clear() calls
-    uint64_t entries = 0;        ///< snapshot
+    uint64_t dedup_waits = 0;    ///< acquisitions served by waiting on an
+                                 ///< in-flight build instead of rebuilding
+    uint64_t evictions = 0;      ///< entries dropped by the byte budget
+    uint64_t entries = 0;        ///< snapshot: published entries
     uint64_t bytes = 0;          ///< snapshot: resident hash-table bytes
   };
 
-  /// Returns the cached tables or nullptr (counting a hit or miss).
-  std::shared_ptr<const BucketTables> Lookup(const BuildKey& key);
+  /// What Acquire resolved the key to.
+  struct Acquired {
+    /// Non-null: a published entry (hit — possibly after waiting out
+    /// another query's in-flight build).
+    std::shared_ptr<const BucketTables> tables;
+    /// True: the caller owns the in-flight entry and must Publish or
+    /// Abandon it. False with null tables: build solo, do not publish
+    /// (the wait was cancelled or timed out).
+    bool builder = false;
+    bool waited = false;  ///< blocked behind another query's build
+  };
 
-  /// Publishes a completed build (last writer wins on duplicate keys).
-  void Insert(const BuildKey& key, std::shared_ptr<const BucketTables> tables);
+  /// Resolves `key` per the protocol above. `cancelled` (optional) is
+  /// polled while waiting so a cancelled query stops blocking promptly.
+  /// `allow_wait = false` turns an in-flight entry into an immediate solo
+  /// miss instead of waiting — callers that already hold an unpublished
+  /// builder entry MUST pass false, or two queries acquiring overlapping
+  /// key sets in different orders stall on each other (hold-and-wait:
+  /// neither can publish before it starts executing).
+  Acquired Acquire(const BuildKey& key,
+                   const std::function<bool()>& cancelled = nullptr,
+                   bool allow_wait = true);
 
-  /// Drops every entry (in-flight readers keep their shared_ptrs alive).
+  /// Publishes a builder's completed tables and wakes the key's waiters.
+  void Publish(const BuildKey& key,
+               std::shared_ptr<const BucketTables> tables);
+
+  /// Drops an in-flight entry whose builder will not publish; the next
+  /// waiter becomes the builder. No-op once the key is published.
+  void Abandon(const BuildKey& key);
+
+  /// LRU byte budget over published entries (0 = unbounded, the default).
+  void SetByteBudget(uint64_t bytes);
+
+  /// Drops every entry (in-flight readers keep their shared_ptrs alive;
+  /// waiters on in-flight builds re-acquire as builders).
   void Clear();
 
   Stats stats() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const BucketTables> tables;  ///< null while building
+    bool building = true;
+    uint64_t bytes = 0;
+    std::list<BuildKey>::iterator lru;  ///< valid once published
+  };
+
+  /// Pre: lock held. Evicts least-recently-hit entries (never `keep`)
+  /// until resident bytes fit the budget.
+  void EvictLocked(const BuildKey& keep);
+
   mutable std::mutex mu_;
-  std::unordered_map<BuildKey, std::shared_ptr<const BucketTables>,
-                     BuildKeyHash>
-      map_;
+  std::condition_variable cv_;
+  std::unordered_map<BuildKey, Entry, BuildKeyHash> map_;
+  std::list<BuildKey> lru_;  ///< published keys, most recently hit first
+  uint64_t budget_bytes_ = 0;
+  uint64_t resident_bytes_ = 0;
   Stats stats_;
 };
 

@@ -72,9 +72,9 @@ namespace {
 // The one definition of which builds are cacheable and what they key on,
 // shared by the DP/FP compile loop and the SP build phase (the two paths
 // must stay field-for-field identical or they stop sharing entries).
-bool BuildCacheKeyFor(const PipelineOptions& options, uint32_t buckets,
-                      const Source& build, uint32_t build_col,
-                      BuildKey* key) {
+bool BuildCacheKeyFor(const PipelineOptions& options, const PipelinePlan& plan,
+                      uint32_t buckets, const Source& build,
+                      uint32_t build_col, BuildKey* key) {
   if (options.build_cache == nullptr ||
       build.kind != Source::Kind::kTable ||
       build.index >= options.table_cache_ids.size() ||
@@ -85,6 +85,10 @@ bool BuildCacheKeyFor(const PipelineOptions& options, uint32_t buckets,
   key->column = build_col;
   key->buckets = buckets;
   key->seed_skew = options.cache_seed_skew;
+  // Scan-level predicates change the built rows: a filtered build must
+  // never alias an unfiltered (or differently filtered) one.
+  const std::vector<Predicate>* preds = plan.FiltersFor(build.index);
+  key->filters = preds != nullptr ? PredicatesHash(*preds) : 0;
   return true;
 }
 
@@ -166,6 +170,19 @@ struct PipelineExecutor::Shared {
   std::vector<std::vector<Batch>> chain_partials;    // [chain][thread]
   std::vector<Batch> chain_outputs;                  // merged
   std::vector<ResultDigest> thread_digests;          // final-chain digest
+
+  // Two-phase aggregation (plans with an AggSpec): every slot folds the
+  // final-chain rows it produces into a private partial table; phase 2
+  // claims group-hash partitions off agg_cursor and merges every slot's
+  // share of the partition into one final table (disjoint partitions, so
+  // the merge needs no locks).
+  const AggSpec* agg = nullptr;
+  std::vector<AggTable> agg_partials;     // per slot
+  std::atomic<uint32_t> agg_cursor{0};    // next unclaimed partition
+  std::vector<AggTable> agg_finals;       // per partition
+  std::vector<Batch> agg_rows;            // per partition (materialize)
+  std::vector<ResultDigest> agg_digests;  // per partition
+  std::atomic<uint64_t> stat_filtered{0};
 
   // Pipelined row widths per (chain, step boundary).
   std::vector<std::vector<uint32_t>> width_at;  // [chain][0..joins]
@@ -267,9 +284,14 @@ Result<ResultDigest> PipelineExecutor::Execute(
   // Assign op ids chain by chain: B(c,0..k-1), S(c), P(c,0..k-1).
   sh.chain_terminal.resize(plan.chains.size());
   sh.materialized = plan.MaterializedChains();
+  sh.agg = plan.agg.has_value() ? &*plan.agg : nullptr;
   // Result materialization rides the existing chain-output machinery: treat
-  // the final chain as materialized and hand its merged output back.
-  if (materialized != nullptr) sh.materialized.back() = true;
+  // the final chain as materialized and hand its merged output back. Under
+  // aggregation the final chain's rows feed the partial tables instead and
+  // the merge phase produces the materialized (aggregate) rows.
+  if (materialized != nullptr && sh.agg == nullptr) {
+    sh.materialized.back() = true;
+  }
   sh.width_at.resize(plan.chains.size());
   uint32_t njoins_total = 0;
   std::vector<uint32_t> scan_of_chain(plan.chains.size());
@@ -377,26 +399,41 @@ Result<ResultDigest> PipelineExecutor::Execute(
 
   // Shared build-side reuse: resolve every cacheable base-table build
   // against the session cache. A hit makes the build op born-finished
-  // (prebuilt); a miss records the key the finished tables publish under.
+  // (prebuilt); the first misser becomes the key's builder and records the
+  // key the finished tables publish under; a concurrent misser waits for
+  // that publish instead of duplicating the build (or proceeds solo when
+  // its query is cancelled while waiting).
   sh.prebuilt.assign(njoins_total, nullptr);
   sh.offer_pending.assign(njoins_total, 0);
   sh.offer_key.assign(njoins_total, BuildKey{});
   if (options_.build_cache != nullptr) {
+    auto cancelled = [ctx] { return ctx->StopRequested(); };
+    // Once this query owns an in-flight builder entry it must not wait on
+    // other queries' builds: its own publishes only happen during
+    // execution, so waiting would be hold-and-wait (two queries acquiring
+    // overlapping keys in opposite orders would stall each other out).
+    bool holds_builder = false;
     for (uint32_t c = 0; c < plan.chains.size(); ++c) {
       for (uint32_t j = 0; j < plan.chains[c].joins.size(); ++j) {
         OpState& op = *sh.ops[build_of[c][j]];
         BuildKey key;
-        if (!BuildCacheKeyFor(options_, B, plan.chains[c].joins[j].build,
+        if (!BuildCacheKeyFor(options_, plan, B,
+                              plan.chains[c].joins[j].build,
                               plan.chains[c].joins[j].build_col, &key)) {
           continue;
         }
-        if (auto cached = options_.build_cache->Lookup(key)) {
-          sh.prebuilt[op.join] = std::move(cached);
+        auto got = options_.build_cache->Acquire(
+            key, cancelled, /*allow_wait=*/!holds_builder);
+        if (got.tables != nullptr) {
+          sh.prebuilt[op.join] = std::move(got.tables);
           op.prebuilt = true;
           ++sh.cache_hits;
         } else {
-          sh.offer_pending[op.join] = 1;
-          sh.offer_key[op.join] = key;
+          if (got.builder) {
+            holds_builder = true;
+            sh.offer_pending[op.join] = 1;
+            sh.offer_key[op.join] = key;
+          }
           ++sh.cache_misses;
         }
       }
@@ -437,6 +474,10 @@ Result<ResultDigest> PipelineExecutor::Execute(
   }
   sh.chain_outputs.resize(plan.chains.size());
   sh.thread_digests.assign(slots, {});
+  if (sh.agg != nullptr) {
+    sh.agg_partials.resize(slots);
+    for (AggTable& t : sh.agg_partials) t.Init(sh.agg);
+  }
   sh.busy.assign(slots, 0);
   sh.outbox.resize(slots);
   sh.scratch_pool.resize(slots);
@@ -477,16 +518,58 @@ Result<ResultDigest> PipelineExecutor::Execute(
   ctx->ClearStealHook();
 
   if (sh.cancelled.load()) {
+    AbandonPendingOffers();
     shared_.reset();
     return Status::Cancelled("query cancelled during execution");
   }
   if (sh.failed.load()) {
+    AbandonPendingOffers();
     return Status::Internal("pipeline execution failed");
+  }
+
+  // Phase 2 of aggregation: merge the per-slot partial tables, one
+  // group-hash partition per claim, on workers rented through the same
+  // context (pooled stealing and the stop token apply unchanged).
+  uint64_t agg_groups = 0, agg_partial_entries = 0;
+  if (sh.agg != nullptr) {
+    for (const AggTable& t : sh.agg_partials) agg_partial_entries += t.groups();
+    // Merge partitions: enough for parallelism (a few per worker), but
+    // clamped below the join fragmentation degree — every partition
+    // re-scans every slot's partial table, so the scan work grows with P.
+    const uint32_t P = std::min(options_.buckets, std::max(16u, 4 * T));
+    sh.agg_finals.resize(P);
+    for (AggTable& t : sh.agg_finals) t.Init(sh.agg);
+    sh.agg_rows.assign(P, Batch());
+    sh.agg_digests.assign(P, {});
+    sh.agg_cursor.store(0);
+    const bool want_rows = materialized != nullptr;
+    ctx->SpawnWorkers(T, [this, want_rows](uint32_t) {
+      AggMergeWorker(want_rows);
+    });
+    if (sh.cancelled.load()) {
+      shared_.reset();
+      return Status::Cancelled("query cancelled during aggregation");
+    }
+    for (const AggTable& t : sh.agg_finals) agg_groups += t.groups();
   }
 
   ResultDigest digest;
   for (const auto& d : sh.thread_digests) digest.Merge(d);
-  if (materialized != nullptr) {
+  if (sh.agg != nullptr) {
+    for (const auto& d : sh.agg_digests) digest.Merge(d);
+    if (materialized != nullptr) {
+      Batch out(sh.agg->OutputWidth());
+      size_t total = 0;
+      for (const Batch& part : sh.agg_rows) total += part.rows();
+      out.Reserve(total);
+      for (Batch& part : sh.agg_rows) {
+        out.data().insert(out.data().end(), part.data().begin(),
+                          part.data().end());
+        part.Clear();
+      }
+      *materialized = std::move(out);
+    }
+  } else if (materialized != nullptr) {
     *materialized = std::move(sh.chain_outputs.back());
   }
 
@@ -500,12 +583,45 @@ Result<ResultDigest> PipelineExecutor::Execute(
     stats->fp_safety_escapes = sh.stat_fp_safety.load();
     stats->build_cache_hits = sh.cache_hits;
     stats->build_cache_misses = sh.cache_misses;
+    stats->rows_filtered = sh.stat_filtered.load();
+    stats->agg_groups = agg_groups;
+    stats->agg_partials = agg_partial_entries;
     // Guest slots (cross-query helpers) are excluded: busy_per_thread
     // drives the per-worker imbalance measure of this query's rental.
     stats->busy_per_thread.assign(sh.busy.begin(), sh.busy.begin() + T);
   }
   shared_.reset();
   return digest;
+}
+
+void PipelineExecutor::AggMergeWorker(bool want_rows) {
+  Shared& sh = *shared_;
+  const uint32_t P = static_cast<uint32_t>(sh.agg_finals.size());
+  for (;;) {
+    if (sh.ctx->StopRequested()) {
+      sh.cancelled.store(true);
+      return;
+    }
+    uint32_t p = sh.agg_cursor.fetch_add(1, std::memory_order_relaxed);
+    if (p >= P) return;
+    AggTable& dst = sh.agg_finals[p];
+    for (const AggTable& part : sh.agg_partials) {
+      part.ForEachPartial(p, P, [&](const int64_t* row) {
+        dst.MergePartial(row);
+      });
+    }
+    dst.EmitFinal(want_rows ? &sh.agg_rows[p] : nullptr, &sh.agg_digests[p]);
+  }
+}
+
+void PipelineExecutor::AbandonPendingOffers() {
+  Shared& sh = *shared_;
+  if (options_.build_cache == nullptr) return;
+  for (size_t j = 0; j < sh.offer_pending.size(); ++j) {
+    if (sh.offer_pending[j]) {
+      options_.build_cache->Abandon(sh.offer_key[j]);
+    }
+  }
 }
 
 size_t PipelineExecutor::ResolveSourceLocked(OpState& op) {
@@ -576,7 +692,7 @@ void PipelineExecutor::OnOpEnded(uint32_t op_id) {
         std::make_shared<BucketTables>(std::move(sh.join_tables[op.join]));
     sh.join_tables[op.join] = BucketTables{};
     sh.prebuilt[op.join] = published;
-    options_.build_cache->Insert(sh.offer_key[op.join], std::move(published));
+    options_.build_cache->Publish(sh.offer_key[op.join], std::move(published));
   }
 
   // Merge chain partials when a terminal op ends.
@@ -828,6 +944,17 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
   const PipelinePlan& plan = *sh.plan;
   const Chain& chain = plan.chains[op.chain];
 
+  // Scan-level predicates: a base table's rows are filtered where they
+  // enter the pipeline, so rejected rows never cost a queue operation.
+  const std::vector<Predicate>* preds =
+      op.src.kind == Source::Kind::kTable ? plan.FiltersFor(op.src.index)
+                                          : nullptr;
+  auto passes = [&](const int64_t* row) {
+    if (preds == nullptr || MatchesAll(*preds, row)) return true;
+    sh.stat_filtered.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  };
+
   if (op.kind == COp::kBuild) {
     // Scatter build rows into per-bucket insert batches.
     const JoinStep& js = chain.joins[op.step];
@@ -836,6 +963,7 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
     auto& hit = sc.hit;
     for (size_t i = begin; i < end; ++i) {
       const int64_t* row = src.row(i);
+      if (!passes(row)) continue;
       uint32_t bucket =
           static_cast<uint32_t>(HashKey(row[js.build_col]) % B);
       Batch& b = scratch[bucket];
@@ -856,8 +984,14 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
   // first probe's buckets.
   if (chain.joins.empty()) {
     const bool final_chain = op.chain + 1 == plan.chains.size();
+    const bool to_agg = final_chain && sh.agg != nullptr;
     for (size_t i = begin; i < end; ++i) {
       const int64_t* row = src.row(i);
+      if (!passes(row)) continue;
+      if (to_agg) {
+        sh.agg_partials[self].Accumulate(row);
+        continue;
+      }
       if (final_chain) sh.thread_digests[self].Add(row, src.width());
       if (sh.materialized[op.chain]) {
         Batch& part = sh.chain_partials[op.chain][self];
@@ -873,6 +1007,7 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
   auto& hit = sc.hit;
   for (size_t i = begin; i < end; ++i) {
     const int64_t* row = src.row(i);
+    if (!passes(row)) continue;
     uint32_t bucket = static_cast<uint32_t>(HashKey(row[js.probe_col]) % B);
     Batch& b = scratch[bucket];
     if (b.width() == 0) b = Batch(src.width());
@@ -918,17 +1053,25 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
   const uint32_t out_width = in_width + table.width();
 
   if (last_step) {
+    const bool to_agg = final_chain && sh.agg != nullptr;
     Batch* part = nullptr;
     if (sh.materialized[op.chain]) {
       part = &sh.chain_partials[op.chain][self];
       if (part->width() == 0) *part = Batch(out_width);
     }
+    AggTable* agg_part = to_agg ? &sh.agg_partials[self] : nullptr;
     std::vector<int64_t> out_row(out_width);
     for (size_t i = 0; i < act.rows.rows(); ++i) {
       const int64_t* row = act.rows.row(i);
       table.ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
         std::copy(row, row + in_width, out_row.begin());
         std::copy(brow, brow + table.width(), out_row.begin() + in_width);
+        if (agg_part != nullptr) {
+          // Phase 1 of the two-phase aggregation: fold the result row
+          // into this slot's private partial table.
+          agg_part->Accumulate(out_row.data());
+          return;
+        }
         if (final_chain) {
           sh.thread_digests[self].Add(out_row.data(), out_width);
         }
@@ -1139,21 +1282,33 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
   ExecContext* ctx = options_.ctx != nullptr ? options_.ctx : &fallback_ctx;
   const uint32_t T = options_.threads;
   const uint32_t B = options_.buckets;
+  const AggSpec* agg = plan.agg.has_value() ? &*plan.agg : nullptr;
   std::vector<bool> materialized = plan.MaterializedChains();
-  if (out_rows != nullptr) materialized.back() = true;
+  if (out_rows != nullptr && agg == nullptr) materialized.back() = true;
   std::vector<Batch> chain_outputs(plan.chains.size());
   std::vector<ResultDigest> digests(T);
+  std::vector<AggTable> agg_partials;
+  if (agg != nullptr) {
+    agg_partials.resize(T);
+    for (AggTable& t : agg_partials) t.Init(agg);
+  }
   std::vector<uint64_t> busy(T, 0);
   uint64_t morsel_count = 0;
   uint64_t cache_hits = 0, cache_misses = 0;
+  std::atomic<uint64_t> filtered{0};
 
   auto batch_of = [&](const Source& s) -> const Batch& {
     return s.kind == Source::Kind::kTable ? tables[s.index]->batch
                                           : chain_outputs[s.index];
   };
-  auto cache_key_of = [&](const JoinStep& js, BuildKey* key) {
-    return BuildCacheKeyFor(options_, B, js.build, js.build_col, key);
+  auto filters_of = [&](const Source& s) -> const std::vector<Predicate>* {
+    return s.kind == Source::Kind::kTable ? plan.FiltersFor(s.index)
+                                          : nullptr;
   };
+  auto cache_key_of = [&](const JoinStep& js, BuildKey* key) {
+    return BuildCacheKeyFor(options_, plan, B, js.build, js.build_col, key);
+  };
+  auto cache_cancelled = [ctx] { return ctx->StopRequested(); };
 
   for (uint32_t c = 0; c < plan.chains.size(); ++c) {
     const Chain& chain = plan.chains[c];
@@ -1161,20 +1316,27 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
 
     // Build phase: every join's bucket tables are either taken shared
     // from the session cache or built cooperatively (threads claim
-    // morsels, insert under per-bucket locks) and then published.
+    // morsels, insert under per-bucket locks) and then published. A
+    // concurrent query already building the same key is waited on
+    // instead of duplicating the work (see BuildCache::Acquire).
     std::vector<std::shared_ptr<const BucketTables>> join_tables(
         chain.joins.size());
     for (size_t j = 0; j < chain.joins.size(); ++j) {
       BuildKey key;
       const bool cacheable = cache_key_of(chain.joins[j], &key);
+      bool publish = false;
       if (cacheable) {
-        if (auto cached = options_.build_cache->Lookup(key)) {
-          join_tables[j] = std::move(cached);
+        auto got = options_.build_cache->Acquire(key, cache_cancelled);
+        if (got.tables != nullptr) {
+          join_tables[j] = std::move(got.tables);
           ++cache_hits;
           continue;
         }
+        publish = got.builder;
         ++cache_misses;
       }
+      const std::vector<Predicate>* build_preds =
+          filters_of(chain.joins[j].build);
       const Batch& build = batch_of(chain.joins[j].build);
       auto built = std::make_shared<BucketTables>(B);
       std::vector<std::unique_ptr<std::mutex>> bucket_mu(B);
@@ -1195,6 +1357,10 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
               std::min<size_t>(begin + options_.morsel_rows, build.rows());
           for (size_t i = begin; i < end; ++i) {
             const int64_t* row = build.row(i);
+            if (build_preds != nullptr && !MatchesAll(*build_preds, row)) {
+              filtered.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
             uint32_t bucket = static_cast<uint32_t>(
                 HashKey(row[chain.joins[j].build_col]) % B);
             Batch& b = local[bucket];
@@ -1212,9 +1378,10 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
         }
       });
       if (ctx->StopRequested()) {
+        if (publish) options_.build_cache->Abandon(key);
         return Status::Cancelled("query cancelled during execution");
       }
-      if (cacheable) options_.build_cache->Insert(key, built);
+      if (publish) options_.build_cache->Publish(key, built);
       join_tables[j] = std::move(built);
       morsel_count +=
           (build.rows() + options_.morsel_rows - 1) / options_.morsel_rows;
@@ -1222,11 +1389,13 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
 
     // Probe phase: every thread drives scan morsels through the whole
     // chain with nested procedure calls.
+    const std::vector<Predicate>* input_preds = filters_of(chain.input);
     const Batch& input = batch_of(chain.input);
     uint32_t out_width = input.width();
     for (const JoinStep& j : chain.joins) {
       out_width += batch_of(j.build).width();
     }
+    const bool to_agg = final_chain && agg != nullptr;
     std::vector<Batch> partials(T);
     std::atomic<size_t> cursor{0};
     ctx->SpawnWorkers(T, [&](uint32_t t) {
@@ -1236,6 +1405,10 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
       auto walk = [&](auto&& self_fn, size_t step,
                       uint32_t filled) -> void {
         if (step == chain.joins.size()) {
+          if (to_agg) {
+            agg_partials[t].Accumulate(row_buf.data());
+            return;
+          }
           if (final_chain) digests[t].Add(row_buf.data(), filled);
           if (materialized[c]) {
             Batch& part = partials[t];
@@ -1260,6 +1433,11 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
         size_t end =
             std::min<size_t>(begin + options_.morsel_rows, input.rows());
         for (size_t i = begin; i < end; ++i) {
+          if (input_preds != nullptr &&
+              !MatchesAll(*input_preds, input.row(i))) {
+            filtered.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
           std::copy(input.row(i), input.row(i) + input.width(),
                     row_buf.begin());
           walk(walk, 0, input.width());
@@ -1283,14 +1461,68 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
     }
   }
 
+  // Phase 2 of aggregation, mirroring the DP/FP merge: workers claim
+  // group-hash partitions and merge every thread's share of them.
+  uint64_t agg_groups = 0, agg_partial_entries = 0;
+  std::vector<ResultDigest> agg_digests;
+  std::vector<Batch> agg_rows;
+  if (agg != nullptr) {
+    for (const AggTable& t : agg_partials) agg_partial_entries += t.groups();
+    // Same partition clamp as the DP/FP merge (see Execute).
+    const uint32_t P = std::min(B, std::max(16u, 4 * T));
+    std::vector<AggTable> finals(P);
+    for (AggTable& t : finals) t.Init(agg);
+    agg_digests.assign(P, {});
+    agg_rows.assign(P, Batch());
+    const bool want_rows = out_rows != nullptr;
+    std::atomic<uint32_t> part_cursor{0};
+    std::atomic<bool> merge_cancelled{false};
+    ctx->SpawnWorkers(T, [&](uint32_t) {
+      for (;;) {
+        if (ctx->StopRequested()) {
+          merge_cancelled.store(true);
+          return;
+        }
+        uint32_t p = part_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (p >= P) return;
+        for (const AggTable& part : agg_partials) {
+          part.ForEachPartial(p, P, [&](const int64_t* row) {
+            finals[p].MergePartial(row);
+          });
+        }
+        finals[p].EmitFinal(want_rows ? &agg_rows[p] : nullptr,
+                            &agg_digests[p]);
+      }
+    });
+    if (merge_cancelled.load()) {
+      return Status::Cancelled("query cancelled during aggregation");
+    }
+    for (const AggTable& t : finals) agg_groups += t.groups();
+  }
+
   ResultDigest digest;
   for (const auto& d : digests) digest.Merge(d);
-  if (out_rows != nullptr) *out_rows = std::move(chain_outputs.back());
+  for (const auto& d : agg_digests) digest.Merge(d);
+  if (out_rows != nullptr) {
+    if (agg != nullptr) {
+      Batch out(agg->OutputWidth());
+      for (Batch& part : agg_rows) {
+        out.data().insert(out.data().end(), part.data().begin(),
+                          part.data().end());
+      }
+      *out_rows = std::move(out);
+    } else {
+      *out_rows = std::move(chain_outputs.back());
+    }
+  }
   if (stats != nullptr) {
     *stats = PipelineStats{};
     stats->morsels = morsel_count;
     stats->build_cache_hits = cache_hits;
     stats->build_cache_misses = cache_misses;
+    stats->rows_filtered = filtered.load();
+    stats->agg_groups = agg_groups;
+    stats->agg_partials = agg_partial_entries;
     stats->busy_per_thread = busy;
   }
   return digest;

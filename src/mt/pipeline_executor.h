@@ -98,6 +98,9 @@ struct PipelineStats {
   uint64_t fp_safety_escapes = 0; ///< FP deadlock valve firings (should be 0)
   uint64_t build_cache_hits = 0;  ///< builds satisfied from the shared cache
   uint64_t build_cache_misses = 0;///< cacheable builds executed locally
+  uint64_t rows_filtered = 0;     ///< rows dropped by scan-level predicates
+  uint64_t agg_groups = 0;        ///< result groups (plans with agg)
+  uint64_t agg_partials = 0;      ///< partial-table entries merged in phase 2
   /// Activations per rented worker (cross-query guest helpers excluded).
   std::vector<uint64_t> busy_per_thread;
 
@@ -118,7 +121,11 @@ class PipelineExecutor {
   /// Executes the plan. When `materialized` is non-null the final chain's
   /// output rows are additionally collected (per-thread partials, merged at
   /// chain end — the same machinery that materializes non-final chains)
-  /// and moved into `*materialized`.
+  /// and moved into `*materialized`. Plans carrying an AggSpec return the
+  /// aggregate rows instead: every worker folds the final-chain rows it
+  /// produces into a private partial hash table, and a second phase on the
+  /// same ExecContext merges disjoint group-hash partitions in parallel
+  /// (so pooled stealing and cancellation cover aggregation unchanged).
   Result<ResultDigest> Execute(const PipelinePlan& plan,
                                const std::vector<const Table*>& tables,
                                PipelineStats* stats = nullptr,
@@ -155,6 +162,11 @@ class PipelineExecutor {
   void OnOpEnded(uint32_t op_id);
   void RecomputeFpAssignment();
   bool ThreadMayRun(uint32_t self, uint32_t op_id) const;
+  /// Phase-2 aggregation: claims group-hash partitions and merges every
+  /// slot's partials for them (runs on SpawnWorkers bodies).
+  void AggMergeWorker(bool want_rows);
+  /// Abandons build-cache offers a torn-down run will never publish.
+  void AbandonPendingOffers();
 
   Result<ResultDigest> ExecuteSP(const PipelinePlan& plan,
                                  const std::vector<const Table*>& tables,

@@ -53,6 +53,25 @@ Status PipelinePlan::ValidateWidths(
       width += bw;
     }
   }
+  for (size_t t = 0; t < table_filters.size(); ++t) {
+    if (table_filters[t].empty()) continue;
+    if (t >= table_widths.size()) {
+      return Status::OutOfRange("filters reference table index " +
+                                std::to_string(t));
+    }
+    for (const Predicate& p : table_filters[t]) {
+      if (p.col >= table_widths[t]) {
+        return Status::OutOfRange(
+            "filter column " + std::to_string(p.col) + " >= width " +
+            std::to_string(table_widths[t]) + " of table " +
+            std::to_string(t));
+      }
+    }
+  }
+  if (agg.has_value()) {
+    HIERDB_RETURN_NOT_OK(agg->Validate(OutputWidthFrom(
+        table_widths, static_cast<uint32_t>(chains.size() - 1))));
+  }
   return Status::OK();
 }
 
@@ -75,6 +94,27 @@ uint32_t PipelinePlan::OutputWidthFrom(
   uint32_t width = source_width(c.input);
   for (const JoinStep& j : c.joins) width += source_width(j.build);
   return width;
+}
+
+std::vector<uint32_t> PipelinePlan::FinalLayout(
+    const std::vector<uint32_t>& table_widths) const {
+  std::vector<uint32_t> offsets(table_widths.size(), UINT32_MAX);
+  uint32_t pos = 0;
+  // A chain's output row is its input row followed by each build's columns
+  // in step order; chain sources expand recursively in place, so a
+  // depth-first walk from the final chain assigns every table one span.
+  auto expand = [&](auto&& self, const Source& s) -> void {
+    if (s.kind == Source::Kind::kTable) {
+      offsets[s.index] = pos;
+      pos += table_widths[s.index];
+      return;
+    }
+    const Chain& c = chains[s.index];
+    self(self, c.input);
+    for (const JoinStep& j : c.joins) self(self, j.build);
+  };
+  expand(expand, Source::OfChain(static_cast<uint32_t>(chains.size() - 1)));
+  return offsets;
 }
 
 std::vector<bool> PipelinePlan::MaterializedChains() const {
@@ -102,6 +142,15 @@ std::string PipelinePlan::ToString() const {
     }
     os << "\n";
   }
+  for (size_t t = 0; t < table_filters.size(); ++t) {
+    if (table_filters[t].empty()) continue;
+    os << "filter T" << t << ":";
+    for (const Predicate& p : table_filters[t]) {
+      os << " c" << p.col << CmpOpName(p.cmp) << p.value;
+    }
+    os << "\n";
+  }
+  if (agg.has_value()) os << "agg: " << agg->ToString() << "\n";
   return os.str();
 }
 
@@ -167,11 +216,28 @@ class RefTable {
 Result<std::vector<Batch>> MaterializeAll(
     const PipelinePlan& plan, const std::vector<const Table*>& tables) {
   HIERDB_RETURN_NOT_OK(plan.Validate(tables));
+  // Scan-level filters: materialize filtered copies of the tables that
+  // carry predicates, so every consumer below sees only passing rows.
+  std::vector<Batch> filtered(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const std::vector<Predicate>* preds =
+        plan.FiltersFor(static_cast<uint32_t>(t));
+    if (preds == nullptr) continue;
+    Batch out(tables[t]->width());
+    for (size_t i = 0; i < tables[t]->rows(); ++i) {
+      const int64_t* row = tables[t]->batch.row(i);
+      if (MatchesAll(*preds, row)) out.AppendRow(row);
+    }
+    filtered[t] = std::move(out);
+  }
   std::vector<Batch> outputs;
   outputs.reserve(plan.chains.size());
   auto batch_of = [&](const Source& s) -> const Batch& {
-    return s.kind == Source::Kind::kTable ? tables[s.index]->batch
-                                          : outputs[s.index];
+    if (s.kind == Source::Kind::kTable) {
+      return plan.FiltersFor(s.index) != nullptr ? filtered[s.index]
+                                                 : tables[s.index]->batch;
+    }
+    return outputs[s.index];
   };
   for (uint32_t c = 0; c < plan.chains.size(); ++c) {
     const Chain& chain = plan.chains[c];
@@ -205,7 +271,10 @@ Result<ResultDigest> ReferenceExecute(
     const PipelinePlan& plan, const std::vector<const Table*>& tables) {
   auto outputs = MaterializeAll(plan, tables);
   if (!outputs.ok()) return outputs.status();
-  const Batch& final_out = outputs.value().back();
+  Batch final_out = std::move(outputs.value().back());
+  if (plan.agg.has_value()) {
+    final_out = ReferenceAggregate(final_out, *plan.agg);
+  }
   ResultDigest digest;
   for (size_t i = 0; i < final_out.rows(); ++i) {
     digest.Add(final_out.row(i), final_out.width());
@@ -217,6 +286,9 @@ Result<Batch> ReferenceMaterialize(const PipelinePlan& plan,
                                    const std::vector<const Table*>& tables) {
   auto outputs = MaterializeAll(plan, tables);
   if (!outputs.ok()) return outputs.status();
+  if (plan.agg.has_value()) {
+    return ReferenceAggregate(outputs.value().back(), *plan.agg);
+  }
   return std::move(outputs.value().back());
 }
 

@@ -15,10 +15,12 @@
 #define HIERDB_MT_PLAN_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "mt/agg.h"
 #include "mt/row.h"
 
 namespace hierdb::mt {
@@ -51,9 +53,29 @@ struct Chain {
 struct PipelinePlan {
   std::vector<Chain> chains;  ///< executed in this order (under H2)
 
+  /// Scan-level filters, indexed by base-table index (may be shorter than
+  /// the table set; missing or empty entries mean "all rows pass"). A
+  /// table's predicates apply where its rows enter the pipeline — the
+  /// driving scan's morsels or a build's scatter — on every backend,
+  /// including the single-threaded reference.
+  std::vector<std::vector<Predicate>> table_filters;
+
+  /// GROUP BY / aggregation over the final chain's output rows (two-phase
+  /// parallel execution in the real backends; the result digest and any
+  /// materialized rows are then the aggregate rows, not the join rows).
+  std::optional<AggSpec> agg;
+
+  /// The filters for `table`, or nullptr when it has none.
+  const std::vector<Predicate>* FiltersFor(uint32_t table) const {
+    if (table >= table_filters.size() || table_filters[table].empty()) {
+      return nullptr;
+    }
+    return &table_filters[table];
+  }
+
   /// Structural validation against a table binding: source indexes in
   /// range, chains reference only earlier chains, join columns inside the
-  /// widths they apply to.
+  /// widths they apply to, filter and aggregation columns in bounds.
   Status Validate(const std::vector<const Table*>& tables) const;
 
   /// Same validation against bare table widths — for executors that bind
@@ -70,6 +92,14 @@ struct PipelinePlan {
   /// Chains whose output is consumed as a later build source (must be
   /// materialized). The final chain never needs materialization.
   std::vector<bool> MaterializedChains() const;
+
+  /// Offset of each base table's columns inside the final chain's output
+  /// row (every table's columns appear exactly once in a join result).
+  /// Entries stay UINT32_MAX for tables the final output does not contain
+  /// — possible only in malformed plans, since PlanQuery-level validation
+  /// requires every chain to feed the final one.
+  std::vector<uint32_t> FinalLayout(
+      const std::vector<uint32_t>& table_widths) const;
 
   std::string ToString() const;
 };

@@ -12,7 +12,8 @@ double EstimateSequentialSeconds(const catalog::Catalog& cat,
   // Mirrors the defaults of sim::CostModel / sim::DiskParams; kept local
   // so the optimizer layer does not depend on the simulator.
   constexpr double kScan = 2000.0, kBuild = 600.0, kProbe = 1500.0,
-                   kResult = 400.0, kMips = 40.0;
+                   kResult = 400.0, kAggUpdate = 800.0, kAggMerge = 500.0,
+                   kMips = 40.0;
   double instr = 0.0;
   for (const auto& op : pplan.ops) {
     switch (op.kind) {
@@ -24,6 +25,12 @@ double EstimateSequentialSeconds(const catalog::Catalog& cat,
         break;
       case plan::OpKind::kProbe:
         instr += op.input_card * kProbe + op.output_card * kResult;
+        break;
+      case plan::OpKind::kAggPartial:
+        instr += op.input_card * kAggUpdate;
+        break;
+      case plan::OpKind::kAggMerge:
+        instr += op.input_card * (kAggMerge + kResult);
         break;
     }
   }

@@ -13,6 +13,8 @@ const char* OpKindName(OpKind k) {
     case OpKind::kScan: return "Scan";
     case OpKind::kBuild: return "Build";
     case OpKind::kProbe: return "Probe";
+    case OpKind::kAggPartial: return "AggPartial";
+    case OpKind::kAggMerge: return "AggMerge";
   }
   return "?";
 }
@@ -55,10 +57,12 @@ Status PhysicalPlan::Validate() const {
         return Status::Internal("op/chain index mismatch");
       }
     }
-    // Interior ops must be probes; the terminal may be a build.
+    // Interior ops must pipeline (probes or the partial-agg stage); the
+    // terminal may be blocking (a build or the aggregation merge).
     for (size_t i = 1; i + 1 < ch.ops.size(); ++i) {
-      if (!ops[ch.ops[i]].IsProbe()) {
-        return Status::Internal("chain interior must be probes");
+      if (!ops[ch.ops[i]].IsProbe() &&
+          ops[ch.ops[i]].kind != OpKind::kAggPartial) {
+        return Status::Internal("chain interior must pipeline");
       }
     }
   }
@@ -76,11 +80,11 @@ Status PhysicalPlan::Validate() const {
         return Status::Internal("build/probe back-link mismatch");
       }
     }
-    if (o.IsBuild() && o.output_card != 0.0) {
-      return Status::Internal("build output must be blocking (no tuples)");
+    if (o.IsBlocking() && o.output_card != 0.0) {
+      return Status::Internal("blocking output must carry no tuples");
     }
     if (!o.IsScan() && o.input == kNoOp) {
-      return Status::Internal("build/probe must have a dataflow input");
+      return Status::Internal("non-scan op must have a dataflow input");
     }
   }
   for (const auto& c : constraints) {
@@ -133,7 +137,8 @@ class Expander {
 
   PhysicalPlan Run() {
     HIERDB_CHECK(tree_.root >= 0, "empty join tree");
-    Expand(tree_.root);
+    ExpandResult root = Expand(tree_.root);
+    if (options_.aggregate) AppendAggregation(root);
     BuildChains();
     OrderChains();
     AddConstraints();
@@ -150,6 +155,26 @@ class Expander {
     return plan_.ops.back().id;
   }
 
+  /// Two-phase aggregation over the root's output: a pipelined partial
+  /// stage (consumes every result tuple, emits the estimated partial
+  /// groups) and a blocking merge terminal.
+  void AppendAggregation(const ExpandResult& root) {
+    double groups = std::max(1.0, options_.agg_groups_est);
+    groups = std::min(groups, std::max(1.0, root.out_card));
+    OpId ap = NewOp(OpKind::kAggPartial, "AggPartial");
+    OpId am = NewOp(OpKind::kAggMerge, "AggMerge");
+    plan_.ops[ap].input = root.out_op;
+    plan_.ops[ap].input_card = root.out_card;
+    plan_.ops[ap].output_card = groups;
+    plan_.ops[ap].rels = plan_.ops[root.out_op].rels;
+    plan_.ops[ap].consumer = am;
+    plan_.ops[root.out_op].consumer = ap;
+    plan_.ops[am].input = ap;
+    plan_.ops[am].input_card = groups;
+    plan_.ops[am].output_card = 0.0;  // blocking terminal
+    plan_.ops[am].rels = plan_.ops[ap].rels;
+  }
+
   ExpandResult Expand(int32_t tn) {
     const JoinTreeNode& node = tree_.nodes[tn];
     if (node.IsLeaf()) {
@@ -157,8 +182,12 @@ class Expander {
                                         ")");
       plan_.ops[s].rel = node.rel;
       plan_.ops[s].rels = RelBit(node.rel);
+      double sel = node.rel < options_.scan_filter_sel.size()
+                       ? options_.scan_filter_sel[node.rel]
+                       : 1.0;
+      plan_.ops[s].filter_sel = sel;
       plan_.ops[s].output_card =
-          static_cast<double>(cat_.relation(node.rel).cardinality);
+          static_cast<double>(cat_.relation(node.rel).cardinality) * sel;
       return {s, plan_.ops[s].output_card};
     }
 
@@ -202,7 +231,7 @@ class Expander {
       while (true) {
         ch.ops.push_back(cur);
         plan_.ops[cur].chain = ch.id;
-        if (plan_.ops[cur].IsBuild()) break;  // blocking output ends chain
+        if (plan_.ops[cur].IsBlocking()) break;  // blocking output ends chain
         OpId next = plan_.ops[cur].consumer;
         if (next == kNoOp) break;  // root probe
         if (plan_.ops[next].IsProbe() &&

@@ -26,7 +26,12 @@ namespace hierdb::plan {
 using OpId = uint32_t;
 constexpr OpId kNoOp = UINT32_MAX;
 
-enum class OpKind { kScan, kBuild, kProbe };
+/// Operator kinds. kAggPartial/kAggMerge are the two-phase aggregation
+/// appended after the root join: the partial pipelines (any thread folds
+/// result tuples into local partial groups), the merge is blocking like a
+/// build (it consumes the repartitioned partials and emits nothing
+/// downstream — its completed groups are the query result).
+enum class OpKind { kScan, kBuild, kProbe, kAggPartial, kAggMerge };
 
 const char* OpKindName(OpKind k);
 
@@ -48,9 +53,21 @@ struct Operator {
 
   uint32_t chain = 0;        ///< pipeline chain index
 
+  /// Scan only: fraction of scanned tuples passing the scan-level filter
+  /// predicates (1.0 = no filter). The scan reads its full input and
+  /// emits input * filter_sel.
+  double filter_sel = 1.0;
+
   bool IsScan() const { return kind == OpKind::kScan; }
   bool IsBuild() const { return kind == OpKind::kBuild; }
   bool IsProbe() const { return kind == OpKind::kProbe; }
+  bool IsAgg() const {
+    return kind == OpKind::kAggPartial || kind == OpKind::kAggMerge;
+  }
+  /// Blocking terminal: emits no pipelined output.
+  bool IsBlocking() const {
+    return kind == OpKind::kBuild || kind == OpKind::kAggMerge;
+  }
 };
 
 /// A maximal pipeline chain: a driving scan followed by pipelined probes,
@@ -107,6 +124,17 @@ struct ExpandOptions {
   /// more simultaneously-executable operators, improving load-balancing
   /// opportunities at the price of memory consumption.
   bool serialize_chains = true;
+
+  /// Scan-level filter selectivity per relation id (empty or short =
+  /// unfiltered). Applied to the scan's output cardinality; the scan
+  /// still reads its full input.
+  std::vector<double> scan_filter_sel;
+
+  /// Appends a two-phase aggregation (AggPartial -> AggMerge) after the
+  /// root join, with `agg_groups_est` estimated result groups pricing the
+  /// partial phase's output and the merge phase's input.
+  bool aggregate = false;
+  double agg_groups_est = 1.0;
 };
 
 /// Expands a join tree into a parallel execution plan. The build side of

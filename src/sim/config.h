@@ -51,6 +51,10 @@ struct CostModel {
   double build_instr_per_tuple = 600.0;   ///< hash-table insert
   double probe_instr_per_tuple = 1500.0;  ///< hash probe
   double result_instr_per_tuple = 400.0;  ///< result-tuple formation
+  /// Aggregation (two-phase GROUP BY): per-tuple partial-table update and
+  /// per-partial merge into the final group table.
+  double agg_update_instr_per_tuple = 800.0;
+  double agg_merge_instr_per_tuple = 500.0;
   /// Queue operation (enqueue or dequeue of one activation).
   double queue_op_instr = 150.0;
   /// Extra latch cost when a thread touches a queue that is not one of its

@@ -1,0 +1,215 @@
+// Tests for the session build cache's concurrent-miss deduplication
+// (promise-based entries) and the LRU byte budget.
+
+#include "mt/build_cache.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "gtest/gtest.h"
+#include "mt/row.h"
+
+namespace hierdb::mt {
+namespace {
+
+BuildKey Key(uint64_t table) {
+  BuildKey k;
+  k.table = table;
+  k.column = 0;
+  k.buckets = 4;
+  return k;
+}
+
+/// Bucket tables holding `rows` two-column rows (known, nonzero bytes).
+std::shared_ptr<const BucketTables> MakeTables(size_t rows) {
+  auto out = std::make_shared<BucketTables>(4);
+  for (RowTable& t : *out) t.Init(2, 0);
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t row[2] = {static_cast<int64_t>(i), 1};
+    (*out)[i % 4].Insert(row);
+  }
+  return out;
+}
+
+TEST(BuildCacheDedup, SecondMisserWaitsForTheBuilder) {
+  BuildCache cache;
+  auto first = cache.Acquire(Key(1));
+  ASSERT_TRUE(first.builder);
+  ASSERT_EQ(first.tables, nullptr);
+
+  std::atomic<bool> waiter_done{false};
+  BuildCache::Acquired second;
+  std::thread waiter([&] {
+    second = cache.Acquire(Key(1));
+    waiter_done.store(true);
+  });
+  // The waiter must block while the build is in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(waiter_done.load());
+
+  cache.Publish(Key(1), MakeTables(16));
+  waiter.join();
+  ASSERT_NE(second.tables, nullptr);
+  EXPECT_FALSE(second.builder);
+  EXPECT_TRUE(second.waited);
+
+  auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.dedup_waits, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(BuildCacheDedup, AbandonPromotesAWaiterToBuilder) {
+  BuildCache cache;
+  auto first = cache.Acquire(Key(2));
+  ASSERT_TRUE(first.builder);
+
+  BuildCache::Acquired second;
+  std::thread waiter([&] { second = cache.Acquire(Key(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cache.Abandon(Key(2));
+  waiter.join();
+  EXPECT_TRUE(second.builder);
+  EXPECT_EQ(second.tables, nullptr);
+  EXPECT_TRUE(second.waited);
+}
+
+TEST(BuildCacheDedup, CancelledWaiterProceedsSolo) {
+  BuildCache cache;
+  auto first = cache.Acquire(Key(3));
+  ASSERT_TRUE(first.builder);
+  auto second = cache.Acquire(Key(3), [] { return true; });
+  EXPECT_FALSE(second.builder);
+  EXPECT_EQ(second.tables, nullptr);
+  EXPECT_TRUE(second.waited);
+  // The original builder still owns the entry.
+  cache.Publish(Key(3), MakeTables(4));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(BuildCacheLru, ByteBudgetEvictsLeastRecentlyHit) {
+  BuildCache cache;
+  auto tables = MakeTables(64);
+  uint64_t one = 0;
+  for (const RowTable& t : *tables) one += t.bytes();
+  cache.SetByteBudget(one * 2 + one / 2);  // room for two entries
+
+  auto a = cache.Acquire(Key(10));
+  ASSERT_TRUE(a.builder);
+  cache.Publish(Key(10), tables);
+  auto b = cache.Acquire(Key(11));
+  ASSERT_TRUE(b.builder);
+  cache.Publish(Key(11), MakeTables(64));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch key 10 so key 11 is the least recently hit, then overflow.
+  EXPECT_NE(cache.Acquire(Key(10)).tables, nullptr);
+  auto c = cache.Acquire(Key(12));
+  ASSERT_TRUE(c.builder);
+  cache.Publish(Key(12), MakeTables(64));
+
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_LE(s.bytes, one * 2 + one / 2);
+  EXPECT_NE(cache.Acquire(Key(10)).tables, nullptr);  // survivor
+  EXPECT_NE(cache.Acquire(Key(12)).tables, nullptr);  // newest
+  EXPECT_TRUE(cache.Acquire(Key(11)).builder);        // evicted
+}
+
+TEST(BuildCacheLru, OversizedEntryIsKeptAlone) {
+  BuildCache cache;
+  cache.SetByteBudget(1);  // smaller than any real entry
+  auto a = cache.Acquire(Key(20));
+  ASSERT_TRUE(a.builder);
+  cache.Publish(Key(20), MakeTables(32));
+  // The just-published entry is never evicted by its own publish.
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_NE(cache.Acquire(Key(20)).tables, nullptr);
+  // The next publish displaces it.
+  auto b = cache.Acquire(Key(21));
+  ASSERT_TRUE(b.builder);
+  cache.Publish(Key(21), MakeTables(32));
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GE(s.evictions, 1u);
+}
+
+TEST(BuildCacheDedup, ClearWakesWaitersAsBuilders) {
+  BuildCache cache;
+  auto first = cache.Acquire(Key(30));
+  ASSERT_TRUE(first.builder);
+  BuildCache::Acquired second;
+  std::thread waiter([&] { second = cache.Acquire(Key(30)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cache.Clear();
+  waiter.join();
+  EXPECT_TRUE(second.builder);
+}
+
+// Session-level integration: concurrent identical queries across a
+// 4-way stream deduplicate their builds — the three dimension builds are
+// published exactly once, every other acquisition is a hit.
+TEST(BuildCacheSession, ConcurrentStreamsDeduplicateMisses) {
+  api::SessionOptions so;
+  so.max_concurrent_queries = 4;
+  so.pool_threads = 4;
+  api::Session db(so);
+  auto fact = db.AddTable(MakeTable("fact", 20000, 4, 500, 7));
+  auto d1 = db.AddTable(MakeTable("d1", 500, 2, 50, 8));
+  auto d2 = db.AddTable(MakeTable("d2", 500, 2, 50, 9));
+  auto d3 = db.AddTable(MakeTable("d3", 500, 2, 50, 10));
+  api::Query q = db.NewQuery()
+                     .Scan(fact)
+                     .Probe(d1, 1, 0)
+                     .Probe(d2, 2, 0)
+                     .Probe(d3, 3, 0)
+                     .Build();
+  api::ExecOptions o;
+  o.backend = api::Backend::kThreads;
+  o.threads_per_node = 2;
+  o.reuse_builds = true;
+  std::vector<api::Query> queries(4, q);
+  api::StreamReport sr = db.RunStream(queries, o);
+  ASSERT_EQ(sr.succeeded, 4u);
+
+  auto s = db.build_cache_stats();
+  // 4 queries x 3 cacheable builds; exactly one build per key runs.
+  EXPECT_EQ(s.hits + s.misses, 12u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.entries, 3u);
+}
+
+// Session-level LRU: a tiny byte budget keeps a long stream of distinct
+// (buckets) configurations bounded.
+TEST(BuildCacheSession, ByteBudgetBoundsASession) {
+  api::SessionOptions so;
+  so.build_cache_bytes = 8 * 1024;
+  api::Session db(so);
+  auto fact = db.AddTable(MakeTable("fact", 4000, 2, 200, 3));
+  auto dim = db.AddTable(MakeTable("dim", 200, 2, 20, 4));
+  api::Query q = db.NewQuery().Scan(fact).Probe(dim, 1, 0).Build();
+  for (uint32_t buckets : {16u, 32u, 48u, 64u, 80u, 96u}) {
+    api::ExecOptions o;
+    o.backend = api::Backend::kThreads;
+    o.threads_per_node = 2;
+    o.buckets = buckets;  // distinct cache key per run
+    auto r = db.Execute(q, o);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  auto s = db.build_cache_stats();
+  // The cache never holds more than the newest entry plus whatever fits
+  // the budget (an oversized newest entry may stand alone above it).
+  EXPECT_LE(s.entries, 2u);
+  EXPECT_GE(s.evictions, 4u);
+}
+
+}  // namespace
+}  // namespace hierdb::mt
