@@ -52,6 +52,7 @@ struct ThroughputSummary {
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 ThroughputSummary Summarize(const std::vector<double>& latencies_ms,

@@ -2,9 +2,17 @@
 // executor versus thread count on this host, with and without key skew —
 // the real-thread counterpart of Fig 8's speedup study, through the
 // unified api::Session.
+//
+// Flags:
+//   --quick   small tables and two thread points (1 and hw) — the fast
+//             smoke configuration CI and the tracing-overhead comparison
+//             use (run it with and without --trace and compare uniform(s));
+//   --trace   enable ExecOptions::trace on every run, to measure the cost
+//             of tracing against a --quick baseline without it.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "api/session.h"
@@ -13,15 +21,23 @@ using namespace hierdb;
 
 namespace {
 
-double RunOnce(uint32_t threads, double theta) {
+struct Args {
+  bool quick = false;
+  bool trace = false;
+};
+
+double RunOnce(uint32_t threads, double theta, const Args& args) {
+  const uint64_t fact_rows = args.quick ? 100'000 : 400'000;
+  const uint64_t d1_rows = args.quick ? 25'000 : 100'000;
+  const uint64_t d2_rows = args.quick ? 12'500 : 50'000;
   api::Session db;
   api::RelId fact =
       theta > 0
-          ? db.AddTable(mt::MakeSkewedTable("fact", 400'000, 3, 20'000, 1,
+          ? db.AddTable(mt::MakeSkewedTable("fact", fact_rows, 3, 20'000, 1,
                                             theta, 1))
-          : db.AddTable(mt::MakeTable("fact", 400'000, 3, 20'000, 1));
-  api::RelId d1 = db.AddTable(mt::MakeTable("d1", 100'000, 2, 20'000, 2));
-  api::RelId d2 = db.AddTable(mt::MakeTable("d2", 50'000, 2, 20'000, 3));
+          : db.AddTable(mt::MakeTable("fact", fact_rows, 3, 20'000, 1));
+  api::RelId d1 = db.AddTable(mt::MakeTable("d1", d1_rows, 2, 20'000, 2));
+  api::RelId d2 = db.AddTable(mt::MakeTable("d2", d2_rows, 2, 20'000, 3));
   api::Query q =
       db.NewQuery().Scan(fact).Probe(d1, 1, 0).Probe(d2, 2, 0).Build();
 
@@ -30,6 +46,7 @@ double RunOnce(uint32_t threads, double theta) {
   opts.strategy = Strategy::kDP;
   opts.threads_per_node = threads;
   opts.buckets = 512;
+  opts.trace = args.trace;
   auto r = db.Execute(q, opts);
   if (!r.ok()) return -1.0;
   return r.value().wall_seconds;
@@ -37,22 +54,29 @@ double RunOnce(uint32_t threads, double theta) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) args.quick = true;
+    if (std::strcmp(argv[i], "--trace") == 0) args.trace = true;
+  }
   const uint32_t hw = std::max(2u, std::thread::hardware_concurrency());
   std::printf("=== real executor: star-join scaling through api::Session "
-              "(host has %u hardware threads) ===\n",
-              hw);
+              "(host has %u hardware threads%s%s) ===\n",
+              hw, args.quick ? ", quick" : "",
+              args.trace ? ", tracing on" : "");
   std::printf("%-8s %12s %12s %10s %14s\n", "threads", "uniform(s)",
               "zipf0.9(s)", "speedup", "skew penalty");
   double base_u = 0.0;
   for (uint32_t t = 1; t <= hw; t *= 2) {
-    double u = RunOnce(t, 0.0);
-    double z = RunOnce(t, 0.9);
+    if (args.quick && t != 1 && t * 2 <= hw) continue;  // 1 and max only
+    double u = RunOnce(t, 0.0, args);
+    double z = RunOnce(t, 0.9, args);
     if (u < 0 || z < 0) {
       std::fprintf(stderr, "run failed\n");
       return 1;
     }
-    if (t == 1) base_u = u;
+    if (base_u == 0.0) base_u = u;
     std::printf("%-8u %12.3f %12.3f %9.2fx %13.2fx\n", t, u, z, base_u / u,
                 z / u);
   }

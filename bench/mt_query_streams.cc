@@ -145,7 +145,8 @@ void SweepConcurrency(api::Backend backend, const Args& args,
         .Num("qps", sum.qps)
         .Num("makespan_ms", sum.makespan_ms)
         .Num("p50_ms", sum.p50_ms)
-        .Num("p95_ms", sum.p95_ms);
+        .Num("p95_ms", sum.p95_ms)
+        .Num("p99_ms", sum.p99_ms);
   }
   std::printf("\n");
 }
@@ -180,7 +181,8 @@ void ComparePolicies(const Args& args, bench::JsonBaseline& json) {
         .Str("policy", label)
         .Num("qps", sum.qps)
         .Num("p50_ms", sum.p50_ms)
-        .Num("p95_ms", sum.p95_ms);
+        .Num("p95_ms", sum.p95_ms)
+        .Num("p99_ms", sum.p99_ms);
   }
   std::printf("\n");
 }
@@ -227,6 +229,7 @@ void PoolVsSpawn(const Args& args, bench::JsonBaseline& json) {
         .Num("qps", sum.qps)
         .Num("makespan_ms", sum.makespan_ms)
         .Num("p95_ms", sum.p95_ms)
+        .Num("p99_ms", sum.p99_ms)
         .Num("threads_created", created)
         .Num("foreign_steals", pooled ? ps.foreign_steals : 0);
   }
@@ -263,6 +266,7 @@ void SharedBuildVsRebuild(const Args& args, bench::JsonBaseline& json) {
         .Num("qps", sum.qps)
         .Num("makespan_ms", sum.makespan_ms)
         .Num("p95_ms", sum.p95_ms)
+        .Num("p99_ms", sum.p99_ms)
         .Num("cache_hits", rep.build_cache_hits)
         .Num("cache_misses", rep.build_cache_misses);
   }

@@ -1,0 +1,129 @@
+// Observability walkthrough: trace a 2-join + GROUP BY reporting query on
+// every backend, export each run as Chrome trace-event JSON (load the
+// file at chrome://tracing or https://ui.perfetto.dev) and as an
+// annotated Graphviz plan, and finish with the session's continuous
+// metrics snapshot.
+//
+// Self-validating: every exported Chrome trace is checked with
+// obs::ValidateChromeTraceJson, every trace must carry spans, and the
+// span timeline must fit the reported response time — the process exits
+// non-zero otherwise, so scripts/check.sh can run it as a smoke test.
+//
+//   $ ./observability_trace
+//   trace_threads.json  trace_cluster.json  trace_sim.json
+//   plan_threads.dot    (render: dot -Tsvg plan_threads.dot -o plan.svg)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "api/session.h"
+#include "obs/export.h"
+
+using namespace hierdb;
+
+namespace {
+
+void WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << body;
+}
+
+}  // namespace
+
+int main() {
+  // A small star schema with real rows: fact(id, fk1, fk2) probing two
+  // dimensions, filtered, grouped by a dimension attribute.
+  api::Session db;
+  auto fact = db.AddTable(mt::MakeTable("fact", 60'000, 3, 800, 1));
+  auto d1 = db.AddTable(mt::MakeTable("d1", 800, 2, 64, 2));
+  auto d2 = db.AddTable(mt::MakeTable("d2", 800, 2, 64, 3));
+  api::Query query = db.NewQuery()
+                         .Scan(fact)
+                         .Probe(d1, 1, 0)
+                         .Probe(d2, 2, 0)
+                         .Where(fact, 1, api::CmpOp::kLt, 600)
+                         .GroupBy(d1, 1)
+                         .Count()
+                         .HavingCount(api::CmpOp::kGt, 10)
+                         .Build();
+
+  struct Run {
+    const char* name;
+    api::Backend backend;
+    uint32_t nodes, threads;
+  };
+  const Run runs[] = {
+      {"threads", api::Backend::kThreads, 1, 4},
+      {"cluster", api::Backend::kCluster, 2, 2},
+      {"sim", api::Backend::kSimulated, 2, 2},
+  };
+
+  for (const Run& run : runs) {
+    api::ExecOptions opts;
+    opts.backend = run.backend;
+    opts.strategy = Strategy::kDP;
+    opts.nodes = run.nodes;
+    opts.threads_per_node = run.threads;
+    opts.trace = true;
+
+    auto r = db.Execute(query, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s: %s\n", run.name, r.status().ToString().c_str());
+      return 1;
+    }
+    const api::ExecutionReport& rep = r.value();
+    if (rep.trace == nullptr || rep.trace->events.empty()) {
+      std::fprintf(stderr, "%s: trace missing or empty\n", run.name);
+      return 1;
+    }
+
+    // Export + validate the Chrome trace.
+    std::string json = obs::ChromeTraceJson(*rep.trace);
+    Status ok = obs::ValidateChromeTraceJson(json);
+    if (!ok.ok()) {
+      std::fprintf(stderr, "%s: invalid Chrome trace: %s\n", run.name,
+                   ok.ToString().c_str());
+      return 1;
+    }
+    WriteFile(std::string("trace_") + run.name + ".json", json);
+    WriteFile(std::string("plan_") + run.name + ".dot",
+              obs::PlanDot(*rep.trace));
+
+    // Sanity: the span timeline must fit inside the reported response
+    // time (small overhead margin for the real backends' drain window).
+    double span_ms = static_cast<double>(rep.trace->MaxEndNs()) / 1e6;
+    if (span_ms > rep.response_ms * 1.5 + 5.0) {
+      std::fprintf(stderr, "%s: spans (%.2fms) exceed response (%.2fms)\n",
+                   run.name, span_ms, rep.response_ms);
+      return 1;
+    }
+
+    std::printf("%-8s rt=%8.2fms  spans_end=%8.2fms  events=%5zu  ops=%zu",
+                run.name, rep.response_ms, span_ms, rep.trace->events.size(),
+                rep.trace->ops.size());
+    for (const auto& cc : rep.chain_cards) {
+      std::printf("  chain%u est=%.0f", cc.chain, cc.est_rows);
+      if (cc.has_actual) std::printf(" act=%llu",
+                                     (unsigned long long)cc.actual_rows);
+    }
+    std::printf("\n");
+  }
+
+  // The continuous metrics the session accumulated across the three runs.
+  api::SessionMetrics m = db.MetricsSnapshot();
+  std::printf("\n%s\n", m.ToString().c_str());
+  if (m.queries != 3) {
+    std::fprintf(stderr, "expected 3 recorded queries, got %llu\n",
+                 (unsigned long long)m.queries);
+    return 1;
+  }
+  std::printf("\nwrote trace_{threads,cluster,sim}.json (open in "
+              "chrome://tracing) and plan_*.dot (render with graphviz)\n");
+  return 0;
+}

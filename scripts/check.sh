@@ -4,3 +4,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 cmake -B build -S . && cmake --build build -j && cd build && \
   ctest --output-on-failure -j
+
+# Trace smoke: run the observability walkthrough in a scratch dir. It
+# executes a traced 2-join + GROUP BY query on all three backends and
+# self-validates the exported Chrome traces, plan DOTs and the session
+# metrics snapshot (non-zero exit on any failure).
+smoke_dir="$(mktemp -d)"
+(cd "$smoke_dir" && "$OLDPWD/observability_trace")
+rm -rf "$smoke_dir"

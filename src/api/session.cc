@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <sstream>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "common/stats.h"
 #include "mt/plan.h"
 #include "mt/query_bind.h"
+#include "obs/export.h"
 
 namespace hierdb::api {
 
@@ -40,6 +42,245 @@ uint64_t DoubleBits(double d) {
   uint64_t u = 0;
   std::memcpy(&u, &d, sizeof(u));
   return u;
+}
+
+// ---------------------------------------------------------------------
+// Cardinality estimation and trace-plan builders (shared by the report's
+// chain_cards, the traced QueryTrace plan graphs, and ExplainDot).
+
+/// FK-default join selectivity over already-estimated (double) inputs.
+double JoinSelD(double a, double b) {
+  if (a <= 0 || b <= 0) return 1.0;
+  return std::max(a, b) / (a * b);
+}
+
+/// Pass fraction of a scan-filter list under the System R defaults — the
+/// same constants PlanQuery folds into the planning catalog.
+double PassFraction(const std::vector<mt::Predicate>* preds) {
+  if (preds == nullptr || preds->empty()) return 1.0;
+  double s = 1.0;
+  for (const auto& p : *preds) {
+    s *= p.cmp == mt::CmpOp::kEq ? 0.1
+         : p.cmp == mt::CmpOp::kNe ? 0.9
+                                   : 1.0 / 3.0;
+  }
+  return std::max(1e-4, s);
+}
+
+/// Estimated rows entering the pipeline from `s`: filtered table size for
+/// base relations, the producing chain's estimate for chain sources.
+double SourceEst(const mt::PipelinePlan& plan,
+                 const std::vector<const mt::Table*>& tables,
+                 const std::vector<double>& chain_est, const mt::Source& s) {
+  if (s.kind == mt::Source::Kind::kTable) {
+    return static_cast<double>(tables[s.index]->rows()) *
+           PassFraction(plan.FiltersFor(s.index));
+  }
+  return s.index < chain_est.size() ? chain_est[s.index] : 0.0;
+}
+
+/// System R estimate walk over the bound pipeline plan: the estimated
+/// output cardinality of every chain, in chain order.
+std::vector<double> EstimateChainRows(
+    const mt::PipelinePlan& plan,
+    const std::vector<const mt::Table*>& tables) {
+  std::vector<double> est;
+  for (const mt::Chain& chain : plan.chains) {
+    double e = SourceEst(plan, tables, est, chain.input);
+    for (const mt::JoinStep& j : chain.joins) {
+      double b = SourceEst(plan, tables, est, j.build);
+      e = e * b * JoinSelD(e, b);
+    }
+    est.push_back(e);
+  }
+  return est;
+}
+
+std::vector<obs::ChainCard> MakeChainCards(
+    const std::vector<double>& est, const std::vector<uint64_t>* actual) {
+  std::vector<obs::ChainCard> cards;
+  for (uint32_t c = 0; c < est.size(); ++c) {
+    obs::ChainCard card;
+    card.chain = c;
+    card.est_rows = est[c];
+    if (actual != nullptr && c < actual->size()) {
+      card.actual_rows = (*actual)[c];
+      card.has_actual = true;
+    }
+    cards.push_back(card);
+  }
+  return cards;
+}
+
+std::string SourceName(const catalog::Catalog& cat, const mt::Source& s) {
+  if (s.kind == mt::Source::Kind::kTable) return cat.relation(s.index).name;
+  return "chain" + std::to_string(s.index);
+}
+
+/// Trace-plan graph matching mt::PipelineExecutor's compiled layout (per
+/// chain of k joins: builds at base..base+k-1, scan at base+k, probes at
+/// base+k+1..base+2k). When `actual` is non-empty each chain's terminal
+/// op is annotated with its measured output rows.
+std::vector<obs::TraceOp> ThreadsTraceOps(
+    const mt::PipelinePlan& plan, const std::vector<const mt::Table*>& tables,
+    const catalog::Catalog& cat, const std::vector<double>& chain_est,
+    const std::vector<uint64_t>& actual) {
+  std::vector<obs::TraceOp> ops;
+  std::vector<uint32_t> terminal;  ///< per chain: its last dataflow op
+  uint32_t base = 0;
+  for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+    const mt::Chain& chain = plan.chains[c];
+    const uint32_t k = static_cast<uint32_t>(chain.joins.size());
+    for (uint32_t j = 0; j < k; ++j) {
+      const mt::Source& src = chain.joins[j].build;
+      obs::TraceOp op;
+      op.id = base + j;
+      op.kind = "build";
+      op.label = "build " + SourceName(cat, src);
+      op.chain = static_cast<int32_t>(c);
+      op.est_rows = SourceEst(plan, tables, chain_est, src);
+      if (src.kind == mt::Source::Kind::kChain) {
+        op.inputs.push_back(terminal[src.index]);
+      }
+      ops.push_back(std::move(op));
+    }
+    obs::TraceOp scan;
+    scan.id = base + k;
+    scan.kind = "scan";
+    scan.label = "scan " + SourceName(cat, chain.input);
+    scan.chain = static_cast<int32_t>(c);
+    scan.est_rows = SourceEst(plan, tables, chain_est, chain.input);
+    if (chain.input.kind == mt::Source::Kind::kChain) {
+      scan.inputs.push_back(terminal[chain.input.index]);
+    }
+    double e = scan.est_rows;
+    ops.push_back(std::move(scan));
+    uint32_t prev = base + k;
+    for (uint32_t j = 0; j < k; ++j) {
+      obs::TraceOp op;
+      op.id = base + k + 1 + j;
+      op.kind = "probe";
+      op.label = "probe " + SourceName(cat, chain.joins[j].build);
+      op.chain = static_cast<int32_t>(c);
+      double b = SourceEst(plan, tables, chain_est, chain.joins[j].build);
+      e = e * b * JoinSelD(e, b);
+      op.est_rows = e;
+      op.inputs = {prev, base + j};
+      prev = op.id;
+      ops.push_back(std::move(op));
+    }
+    terminal.push_back(prev);
+    if (c < actual.size()) ops[prev].actual_rows = actual[c];
+    base += 1 + 2 * k;
+  }
+  return ops;
+}
+
+/// Trace-plan graph matching cluster::ClusterExecutor's compiled layout
+/// (per chain of k joins: buildscan triggers at base..base+k-1, builds at
+/// base+k..base+2k-1, scan trigger at base+2k, probes at base+2k+1..
+/// base+3k). Aggregated plans append the distributed-aggregation sentinel
+/// op (id = compiled op count) the executor's agg-phase spans reference.
+std::vector<obs::TraceOp> ClusterTraceOps(
+    const mt::PipelinePlan& plan, const std::vector<const mt::Table*>& tables,
+    const catalog::Catalog& cat, const std::vector<double>& chain_est,
+    const std::vector<uint64_t>& actual) {
+  std::vector<obs::TraceOp> ops;
+  std::vector<uint32_t> terminal;
+  uint32_t base = 0;
+  for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+    const mt::Chain& chain = plan.chains[c];
+    const uint32_t k = static_cast<uint32_t>(chain.joins.size());
+    for (uint32_t j = 0; j < k; ++j) {
+      const mt::Source& src = chain.joins[j].build;
+      obs::TraceOp op;
+      op.id = base + j;
+      op.kind = "buildscan";
+      op.label = "buildscan " + SourceName(cat, src);
+      op.chain = static_cast<int32_t>(c);
+      op.est_rows = SourceEst(plan, tables, chain_est, src);
+      if (src.kind == mt::Source::Kind::kChain) {
+        op.inputs.push_back(terminal[src.index]);
+      }
+      ops.push_back(std::move(op));
+    }
+    for (uint32_t j = 0; j < k; ++j) {
+      obs::TraceOp op;
+      op.id = base + k + j;
+      op.kind = "build";
+      op.label = "build " + SourceName(cat, chain.joins[j].build);
+      op.chain = static_cast<int32_t>(c);
+      op.est_rows = SourceEst(plan, tables, chain_est, chain.joins[j].build);
+      op.inputs.push_back(base + j);
+      ops.push_back(std::move(op));
+    }
+    obs::TraceOp scan;
+    scan.id = base + 2 * k;
+    scan.kind = "scan";
+    scan.label = "scan " + SourceName(cat, chain.input);
+    scan.chain = static_cast<int32_t>(c);
+    scan.est_rows = SourceEst(plan, tables, chain_est, chain.input);
+    if (chain.input.kind == mt::Source::Kind::kChain) {
+      scan.inputs.push_back(terminal[chain.input.index]);
+    }
+    double e = scan.est_rows;
+    ops.push_back(std::move(scan));
+    uint32_t prev = base + 2 * k;
+    for (uint32_t j = 0; j < k; ++j) {
+      obs::TraceOp op;
+      op.id = base + 2 * k + 1 + j;
+      op.kind = "probe";
+      op.label = "probe " + SourceName(cat, chain.joins[j].build);
+      op.chain = static_cast<int32_t>(c);
+      double b = SourceEst(plan, tables, chain_est, chain.joins[j].build);
+      e = e * b * JoinSelD(e, b);
+      op.est_rows = e;
+      op.inputs = {prev, base + k + j};
+      prev = op.id;
+      ops.push_back(std::move(op));
+    }
+    terminal.push_back(prev);
+    if (c < actual.size()) ops[prev].actual_rows = actual[c];
+    base += 3 * k + 1;
+  }
+  if (plan.agg.has_value()) {
+    obs::TraceOp op;
+    op.id = base;  // the executor's agg-phase sentinel (== compiled ops)
+    op.kind = "agg";
+    op.label = "aggregate";
+    op.est_rows = plan.agg->group_cols.empty()
+                      ? 1.0
+                      : std::max(1.0, std::sqrt(chain_est.empty()
+                                                    ? 0.0
+                                                    : chain_est.back()));
+    if (!terminal.empty()) op.inputs.push_back(terminal.back());
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Trace-plan graph of the simulator's physical plan (operators map 1:1).
+std::vector<obs::TraceOp> SimTraceOps(const plan::PhysicalPlan& pplan) {
+  std::vector<obs::TraceOp> ops;
+  for (const plan::Operator& op : pplan.ops) {
+    obs::TraceOp o;
+    o.id = op.id;
+    o.label = op.label;
+    switch (op.kind) {
+      case plan::OpKind::kScan: o.kind = "scan"; break;
+      case plan::OpKind::kBuild: o.kind = "build"; break;
+      case plan::OpKind::kProbe: o.kind = "probe"; break;
+      case plan::OpKind::kAggPartial:
+      case plan::OpKind::kAggMerge: o.kind = "agg"; break;
+    }
+    o.chain = static_cast<int32_t>(op.chain);
+    o.est_rows =
+        op.kind == plan::OpKind::kBuild ? op.input_card : op.output_card;
+    if (op.input != plan::kNoOp) o.inputs.push_back(op.input);
+    if (op.build_op != plan::kNoOp) o.inputs.push_back(op.build_op);
+    ops.push_back(std::move(o));
+  }
+  return ops;
 }
 
 }  // namespace
@@ -101,7 +342,8 @@ std::string StreamReport::ToString() const {
      << " ok, " << failed << " failed; makespan=" << makespan_ms
      << "ms serial=" << serial_ms << "ms qps=" << qps
      << " mean=" << mean_ms << "ms p50=" << p50_ms << "ms p95=" << p95_ms
-     << "ms";
+     << "ms p99=" << p99_ms << "ms";
+  if (mean_card_error > 0) os << " card_err=" << mean_card_error;
   if (build_cache_hits > 0 || build_cache_misses > 0) {
     os << " build_cache=" << build_cache_hits << "/"
        << (build_cache_hits + build_cache_misses);
@@ -111,6 +353,49 @@ std::string StreamReport::ToString() const {
     os << " groups=" << agg_groups << " agg_partials=" << agg_partials;
   }
   os << "}";
+  return os.str();
+}
+
+std::string SessionMetrics::ToJson() const {
+  std::ostringstream os;
+  os << "{\"queries\":" << queries << ",\"exec_ms\":{\"mean\":" << exec_mean_ms
+     << ",\"p50\":" << exec_p50_ms << ",\"p95\":" << exec_p95_ms
+     << ",\"p99\":" << exec_p99_ms << "},\"queue_ms\":{\"mean\":"
+     << queue_mean_ms << ",\"p50\":" << queue_p50_ms
+     << ",\"p95\":" << queue_p95_ms << ",\"p99\":" << queue_p99_ms
+     << "},\"scheduler\":{\"submitted\":" << scheduler.submitted
+     << ",\"completed\":" << scheduler.completed
+     << ",\"failed\":" << scheduler.failed
+     << ",\"cancelled\":" << scheduler.cancelled
+     << ",\"rejected\":" << scheduler.rejected
+     << ",\"max_in_flight\":" << scheduler.max_in_flight
+     << ",\"in_flight\":" << scheduler.in_flight
+     << ",\"queued\":" << scheduler.queued
+     << "},\"pool\":{\"threads\":" << pool.pool_threads
+     << ",\"tasks\":" << pool.pool_tasks
+     << ",\"caller_tasks\":" << pool.caller_tasks
+     << ",\"foreign_steals\":" << pool.foreign_steals
+     << ",\"spawned_threads\":" << pool.spawned_threads
+     << "},\"build_cache\":{\"hits\":" << build_cache.hits
+     << ",\"misses\":" << build_cache.misses
+     << ",\"evictions\":" << build_cache.evictions
+     << ",\"entries\":" << build_cache.entries
+     << ",\"bytes\":" << build_cache.bytes << "}}";
+  return os.str();
+}
+
+std::string SessionMetrics::ToString() const {
+  std::ostringstream os;
+  os << "SessionMetrics{" << queries << " queries; exec mean="
+     << exec_mean_ms << "ms p50=" << exec_p50_ms << "ms p95=" << exec_p95_ms
+     << "ms p99=" << exec_p99_ms << "ms; queue mean=" << queue_mean_ms
+     << "ms p99=" << queue_p99_ms << "ms; sched " << scheduler.completed
+     << " ok/" << scheduler.failed << " failed/" << scheduler.cancelled
+     << " cancelled, max_in_flight=" << scheduler.max_in_flight
+     << "; pool tasks=" << pool.pool_tasks
+     << " steals=" << pool.foreign_steals
+     << "; build_cache=" << build_cache.hits << "/"
+     << (build_cache.hits + build_cache.misses) << "}";
   return os.str();
 }
 
@@ -176,6 +461,26 @@ QueryBuilder& QueryBuilder::Count() {
   return *this;
 }
 
+QueryBuilder& QueryBuilder::Having(AggFn fn, RelId rel, uint32_t col,
+                                   CmpOp cmp, int64_t value) {
+  q_.having_.push_back({/*on_agg=*/true, fn, rel, col,
+                        /*has_col=*/fn != AggFn::kCount, cmp, value});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Having(RelId rel, uint32_t col, CmpOp cmp,
+                                   int64_t value) {
+  q_.having_.push_back(
+      {/*on_agg=*/false, AggFn::kCount, rel, col, false, cmp, value});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::HavingCount(CmpOp cmp, int64_t value) {
+  q_.having_.push_back(
+      {/*on_agg=*/true, AggFn::kCount, 0, 0, false, cmp, value});
+  return *this;
+}
+
 // ---------------------------------------------------------------------------
 // Session
 
@@ -185,11 +490,17 @@ Session::Session(const SessionOptions& options)
     : pool_threads_(options.pool_threads != 0
                         ? options.pool_threads
                         : std::max(1u, std::thread::hardware_concurrency())),
+      session_options_(options),
       scheduler_(std::make_unique<Scheduler>(options)) {
   build_cache_.SetByteBudget(options.build_cache_bytes);
 }
 
-Session::~Session() = default;
+Session::~Session() {
+  // Drain in-flight queries first so the final snapshot counts every
+  // completion, then flush one last metrics line.
+  scheduler_.reset();
+  if (!session_options_.metrics_export_path.empty()) ExportMetricsLine();
+}
 
 RelId Session::AddRelation(std::string name, uint64_t cardinality,
                            uint32_t tuple_bytes) {
@@ -363,6 +674,48 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     if (a.has_col) {
       HIERDB_RETURN_NOT_OK(check_colref("Agg", a.rel, a.col));
     }
+  }
+  // HAVING resolves against the declared grouping/aggregate items: the
+  // output row is [group values..., aggregates...], so a matched GroupBy
+  // is its index and a matched Agg is group count + its index. Resolved
+  // here (not in the real-data bridge) so the simulated backend rejects
+  // the same mistakes the real ones do.
+  std::vector<mt::Predicate> having_preds;
+  for (const auto& h : q.having_) {
+    if (!out->has_agg) {
+      return Status::InvalidArgument(
+          "Having requires a GroupBy/Agg query (it filters aggregate "
+          "output rows)");
+    }
+    uint32_t slot = UINT32_MAX;
+    if (h.on_agg) {
+      for (size_t i = 0; i < q.agg_items_.size(); ++i) {
+        const auto& a = q.agg_items_[i];
+        if (a.fn != h.fn || a.has_col != h.has_col) continue;
+        if (a.has_col && (a.rel != h.rel || a.col != h.col)) continue;
+        slot = static_cast<uint32_t>(q.group_by_.size() + i);
+        break;
+      }
+      if (slot == UINT32_MAX) {
+        return Status::InvalidArgument(
+            std::string("Having references aggregate ") + AggFnName(h.fn) +
+            (h.has_col ? "(col)" : "(*)") +
+            ", which no Agg()/Count() call declares");
+      }
+    } else {
+      for (size_t i = 0; i < q.group_by_.size(); ++i) {
+        if (q.group_by_[i].rel == h.rel && q.group_by_[i].col == h.col) {
+          slot = static_cast<uint32_t>(i);
+          break;
+        }
+      }
+      if (slot == UINT32_MAX) {
+        return Status::InvalidArgument(
+            "Having references a grouping column that no GroupBy() call "
+            "declares");
+      }
+    }
+    having_preds.push_back({slot, h.cmp, h.value});
   }
 
   // Planning catalog with filter-adjusted cardinality estimates: the tree
@@ -584,6 +937,7 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
         }
         spec.aggs.push_back({a.fn, slot});
       }
+      spec.having = having_preds;
       out->mtplan.agg = std::move(spec);
     }
     return out->mtplan.Validate(out->tables);
@@ -715,9 +1069,17 @@ QueryHandle Session::Submit(const Query& q, const ExecOptions& opts) {
   // other queries, and touches no session containers — only plan-time
   // snapshots (so registration stays safe while queries are in flight).
   double cost = planned->plan_cost;
+  auto submit_t = std::chrono::steady_clock::now();
   return scheduler_->Submit(
-      cost, [this, planned, opts](const std::atomic<bool>& stop) {
-        return RunPlanned(*planned, opts, stop);
+      cost, [this, planned, opts, submit_t](const std::atomic<bool>& stop) {
+        // The closure runs at dispatch: the gap since submission is the
+        // admission-queue wait, the rest is execution — both feed the
+        // session's continuous latency histograms whatever the outcome.
+        double queue_ms = WallSince(submit_t) * 1000.0;
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = RunPlanned(*planned, opts, stop);
+        RecordCompletion(queue_ms, WallSince(t0) * 1000.0);
+        return r;
       });
 }
 
@@ -737,6 +1099,8 @@ StreamReport Session::RunStream(const std::vector<Query>& queries,
   for (const Query& q : queries) handles.push_back(Submit(q, opts));
 
   std::vector<double> latencies;
+  double card_err_sum = 0.0;
+  uint64_t card_err_n = 0;
   for (QueryHandle& h : handles) {
     ++sr.submitted;
     Result<QueryResult> r = h.Take();
@@ -750,6 +1114,13 @@ StreamReport Session::RunStream(const std::vector<Query>& queries,
       sr.agg_groups += r.value().report.agg_groups;
       sr.agg_partials += r.value().report.agg_partials;
       sr.agg_repartition_bytes += r.value().report.agg_repartition_bytes;
+      for (const obs::ChainCard& cc : r.value().report.chain_cards) {
+        if (!cc.has_actual) continue;
+        card_err_sum += std::abs(static_cast<double>(cc.actual_rows) -
+                                 cc.est_rows) /
+                        std::max(cc.est_rows, 1.0);
+        ++card_err_n;
+      }
     } else {
       ++sr.failed;
     }
@@ -760,6 +1131,10 @@ StreamReport Session::RunStream(const std::vector<Query>& queries,
     sr.mean_ms = Mean(latencies);
     sr.p50_ms = Percentile(latencies, 50.0);
     sr.p95_ms = Percentile(latencies, 95.0);
+    sr.p99_ms = Percentile(latencies, 99.0);
+  }
+  if (card_err_n > 0) {
+    sr.mean_card_error = card_err_sum / static_cast<double>(card_err_n);
   }
   if (sr.makespan_ms > 0) sr.qps = sr.succeeded / (sr.makespan_ms / 1000.0);
   return sr;
@@ -861,6 +1236,57 @@ Result<QueryResult> Session::RunSimulated(
     rep.op_end_ms.push_back(ToMillis(m.op_end_time[op.id]));
   }
   rep.sim = m;
+  // Estimate-only chain cards: the simulator has no rows to count.
+  for (uint32_t c = 0; c < p.pplan.chains.size(); ++c) {
+    const plan::PipelineChain& ch = p.pplan.chains[c];
+    obs::ChainCard cc;
+    cc.chain = c;
+    if (!ch.ops.empty()) {
+      const plan::Operator& last = p.pplan.ops[ch.ops.back()];
+      cc.est_rows = last.kind == plan::OpKind::kBuild ? last.input_card
+                                                      : last.output_card;
+    }
+    rep.chain_cards.push_back(cc);
+  }
+  if (opts.trace) {
+    // Virtual-time spans reconstructed from the engine's per-operator end
+    // times and busy totals — no simulator instrumentation needed, and
+    // SimTime is already nanoseconds, so the trace schema lines up.
+    auto qt = std::make_shared<obs::QueryTrace>();
+    qt->backend = "sim";
+    qt->strategy = StrategyName(opts.strategy);
+    qt->response_ms = rep.response_ms;
+    qt->nodes = cfg.num_nodes;
+    qt->workers_per_node = cfg.procs_per_node;
+    qt->virtual_time = true;
+    qt->ops = SimTraceOps(p.pplan);
+    qt->chains = rep.chain_cards;
+    for (const auto& op : p.pplan.ops) {
+      if (op.id >= m.op_end_time.size()) continue;
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kSpan;
+      ev.op = static_cast<int32_t>(op.id);
+      ev.end_ns = static_cast<uint64_t>(
+          std::max<SimTime>(0, m.op_end_time[op.id]));
+      uint64_t busy = op.id < m.op_busy_ns.size()
+                          ? static_cast<uint64_t>(
+                                std::max(0.0, m.op_busy_ns[op.id]))
+                          : 0;
+      ev.start_ns = ev.end_ns > busy ? ev.end_ns - busy : 0;
+      ev.detail = busy;
+      ev.activations = 1;
+      if (op.id < m.op_tuples_in.size()) ev.rows_in = m.op_tuples_in[op.id];
+      qt->events.push_back(ev);
+    }
+    // Match TraceSink::Drain's ordering contract. Note a virtual span's
+    // busy time sums over every processor that worked the operator, so it
+    // may exceed the span's wall extent — consumers see virtual_time.
+    std::sort(qt->events.begin(), qt->events.end(),
+              [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                return a.start_ns < b.start_ns;
+              });
+    rep.trace = std::move(qt);
+  }
   QueryResult qr;
   qr.report = std::move(rep);
   return qr;
@@ -896,6 +1322,16 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
     }
   }
 
+  obs::TraceSink sink;
+  if (opts.trace) {
+    po.trace = &sink;
+    obs::TraceEvent rent;
+    rent.kind = obs::EventKind::kPoolRent;
+    rent.start_ns = rent.end_ns = sink.NowNs();
+    rent.detail = opts.use_shared_pool ? 1 : 0;
+    sink.RecordShared(rent);
+  }
+
   mt::PipelineExecutor executor(po);
   mt::PipelineStats stats;
   QueryResult qr;
@@ -903,6 +1339,13 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   auto got = executor.Execute(p.mtplan, p.tables, &stats,
                               opts.materialize ? &qr.rows : nullptr);
   double wall = WallSince(t0);
+  if (opts.trace) {
+    obs::TraceEvent ret;
+    ret.kind = obs::EventKind::kPoolReturn;
+    ret.start_ns = ret.end_ns = sink.NowNs();
+    ret.detail = opts.use_shared_pool ? 1 : 0;
+    sink.RecordShared(ret);
+  }
   if (!got.ok()) return got.status();
 
   ExecutionReport rep;
@@ -924,6 +1367,21 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   rep.agg_groups = stats.agg_groups;
   rep.agg_partials = stats.agg_partials;
   rep.threads = stats;
+  std::vector<double> est = EstimateChainRows(p.mtplan, p.tables);
+  rep.chain_cards = MakeChainCards(est, &stats.rows_per_chain);
+  if (opts.trace) {
+    auto qt = std::make_shared<obs::QueryTrace>();
+    qt->backend = "threads";
+    qt->strategy = StrategyName(opts.strategy);
+    qt->response_ms = rep.response_ms;
+    qt->nodes = 1;
+    qt->workers_per_node = po.threads;
+    qt->ops =
+        ThreadsTraceOps(p.mtplan, p.tables, p.cat, est, stats.rows_per_chain);
+    qt->chains = rep.chain_cards;
+    qt->events = sink.Drain();
+    rep.trace = std::move(qt);
+  }
   if (opts.validate) {
     auto ref = mt::ReferenceExecute(p.mtplan, p.tables);
     HIERDB_RETURN_NOT_OK(ref.status());
@@ -1015,6 +1473,16 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
     }
   }
 
+  obs::TraceSink sink;
+  if (opts.trace) {
+    co.trace = &sink;
+    obs::TraceEvent rent;
+    rent.kind = obs::EventKind::kPoolRent;
+    rent.start_ns = rent.end_ns = sink.NowNs();
+    rent.detail = opts.use_shared_pool ? 1 : 0;
+    sink.RecordShared(rent);
+  }
+
   cluster::ClusterExecutor executor(co);
   cluster::ClusterStats stats;
   QueryResult qr;
@@ -1022,6 +1490,13 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   auto got = executor.Execute(query, &stats,
                               opts.materialize ? &qr.rows : nullptr);
   double wall = WallSince(t0);
+  if (opts.trace) {
+    obs::TraceEvent ret;
+    ret.kind = obs::EventKind::kPoolReturn;
+    ret.start_ns = ret.end_ns = sink.NowNs();
+    ret.detail = opts.use_shared_pool ? 1 : 0;
+    sink.RecordShared(ret);
+  }
   if (!got.ok()) return got.status();
 
   ExecutionReport rep;
@@ -1047,6 +1522,21 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   rep.agg_partials = stats.agg_partials;
   rep.agg_repartition_bytes = stats.agg_repartition_bytes;
   rep.cluster = stats;
+  std::vector<double> est = EstimateChainRows(p.mtplan, p.tables);
+  rep.chain_cards = MakeChainCards(est, &stats.rows_per_chain);
+  if (opts.trace) {
+    auto qt = std::make_shared<obs::QueryTrace>();
+    qt->backend = "cluster";
+    qt->strategy = StrategyName(opts.strategy);
+    qt->response_ms = rep.response_ms;
+    qt->nodes = co.nodes;
+    qt->workers_per_node = co.threads_per_node;
+    qt->ops =
+        ClusterTraceOps(p.mtplan, p.tables, p.cat, est, stats.rows_per_chain);
+    qt->chains = rep.chain_cards;
+    qt->events = sink.Drain();
+    rep.trace = std::move(qt);
+  }
   if (opts.validate) {
     auto ref = cluster::ReferenceExecute(query);
     HIERDB_RETURN_NOT_OK(ref.status());
@@ -1097,6 +1587,70 @@ Result<std::string> Session::Explain(const Query& q,
     os << "unavailable: " << p.real_gap << "\n";
   }
   return os.str();
+}
+
+Result<std::string> Session::ExplainDot(const Query& q,
+                                        const ExecOptions& opts) const {
+  HIERDB_RETURN_NOT_OK(ValidateOptions(opts));
+  Planned p;
+  HIERDB_RETURN_NOT_OK(
+      PlanQuery(q, opts, opts.backend != Backend::kSimulated, &p));
+
+  // An estimate-only QueryTrace (no events): the same plan graph a traced
+  // execution carries, so the DOT shape matches what PlanDot renders from
+  // ExecutionReport::trace — minus the actuals and span annotations.
+  obs::QueryTrace qt;
+  qt.backend = BackendName(opts.backend);
+  qt.strategy = StrategyName(opts.strategy);
+  qt.nodes = opts.nodes;
+  qt.workers_per_node = opts.threads_per_node;
+  if (opts.backend == Backend::kSimulated) {
+    qt.ops = SimTraceOps(p.pplan);
+  } else {
+    if (!p.has_real) return Status::InvalidArgument(p.real_gap);
+    std::vector<double> est = EstimateChainRows(p.mtplan, p.tables);
+    qt.ops = opts.backend == Backend::kThreads
+                 ? ThreadsTraceOps(p.mtplan, p.tables, p.cat, est, {})
+                 : ClusterTraceOps(p.mtplan, p.tables, p.cat, est, {});
+    qt.chains = MakeChainCards(est, nullptr);
+  }
+  return obs::PlanDot(qt);
+}
+
+SessionMetrics Session::MetricsSnapshot() const {
+  SessionMetrics m;
+  if (scheduler_ != nullptr) m.scheduler = scheduler_->stats();
+  m.pool = pool_stats();
+  m.build_cache = build_cache_.stats();
+  m.queries = exec_hist_.Count();
+  m.exec_mean_ms = exec_hist_.MeanMs();
+  m.exec_p50_ms = exec_hist_.PercentileMs(0.50);
+  m.exec_p95_ms = exec_hist_.PercentileMs(0.95);
+  m.exec_p99_ms = exec_hist_.PercentileMs(0.99);
+  m.queue_mean_ms = queue_hist_.MeanMs();
+  m.queue_p50_ms = queue_hist_.PercentileMs(0.50);
+  m.queue_p95_ms = queue_hist_.PercentileMs(0.95);
+  m.queue_p99_ms = queue_hist_.PercentileMs(0.99);
+  return m;
+}
+
+void Session::RecordCompletion(double queue_ms, double exec_ms) const {
+  queue_hist_.Record(queue_ms);
+  exec_hist_.Record(exec_ms);
+  uint64_t n = completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!session_options_.metrics_export_path.empty()) {
+    uint32_t every = std::max(1u, session_options_.metrics_export_every);
+    if (n % every == 0) ExportMetricsLine();
+  }
+}
+
+void Session::ExportMetricsLine() const {
+  // Serialized so concurrent completions never interleave partial lines;
+  // append mode keeps the file a growing JSONL log across snapshots.
+  std::lock_guard<std::mutex> lock(metrics_export_mu_);
+  std::ofstream out(session_options_.metrics_export_path, std::ios::app);
+  if (!out) return;
+  out << MetricsSnapshot().ToJson() << "\n";
 }
 
 }  // namespace hierdb::api

@@ -89,6 +89,8 @@
 #include "mt/build_cache.h"
 #include "mt/pipeline_executor.h"
 #include "mt/row.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/tree_shapes.h"
 #include "plan/join_graph.h"
 #include "plan/operator_tree.h"
@@ -205,6 +207,14 @@ struct ExecOptions {
   /// record the comparison in the report.
   bool validate = false;
 
+  /// Per-operator execution tracing: collect spans (per operator, worker
+  /// and node) plus steal/cache/pool/fabric instants into
+  /// ExecutionReport::trace, exportable as Chrome trace-event JSON or an
+  /// annotated plan (obs/export.h). kSimulated synthesizes spans from the
+  /// simulator's per-operator virtual times. Off (the default) the only
+  /// cost on the execution path is one null-pointer check per activation.
+  bool trace = false;
+
   /// kSimulated: full machine override; when set, nodes/threads_per_node
   /// above are ignored and this config is used verbatim.
   std::optional<sim::SystemConfig> sim_config;
@@ -288,6 +298,17 @@ struct ExecutionReport {
   uint64_t agg_partials = 0;
   uint64_t agg_repartition_bytes = 0;
 
+  /// Estimated vs actual output cardinality per pipeline chain. Estimates
+  /// come from the optimizer's System R defaults over the bound table
+  /// sizes; actuals are measured by the real backends (has_actual false on
+  /// kSimulated). Always present, tracing on or off.
+  std::vector<obs::ChainCard> chain_cards;
+
+  /// Set when ExecOptions::trace was on: the unified per-operator trace
+  /// (operator tree + spans + instants), exportable via
+  /// obs::ChromeTraceJson / obs::PlanDot / obs::PlanJson.
+  std::shared_ptr<const obs::QueryTrace> trace;
+
   /// Raw backend metrics.
   std::optional<exec::RunMetrics> sim;
   std::optional<mt::PipelineStats> threads;
@@ -355,6 +376,12 @@ struct SessionOptions {
   /// long-lived sessions cycling many (buckets, seed) configurations stay
   /// bounded. 0 (the default) = unbounded (AddTable still clears).
   uint64_t build_cache_bytes = 0;
+  /// Continuous metrics export: when non-empty, the session appends one
+  /// SessionMetrics::ToJson() line to this file every
+  /// `metrics_export_every` completed queries and once more on
+  /// destruction (JSONL — one snapshot object per line).
+  std::string metrics_export_path;
+  uint32_t metrics_export_every = 16;
 };
 
 /// Counters the session's scheduler maintains across its lifetime, plus a
@@ -370,6 +397,32 @@ struct SchedulerStats {
   uint32_t max_in_flight = 0;  ///< high-water mark of concurrent queries
   uint32_t in_flight = 0;      ///< snapshot: currently executing
   uint32_t queued = 0;         ///< snapshot: waiting for dispatch
+};
+
+/// One consistent-enough snapshot of everything the session measures
+/// continuously: scheduler lifetime counters, worker-pool and build-cache
+/// state, and histogram-backed latency quantiles over every completed
+/// query (execution and admission-queue delay separately). Readable at
+/// any time without stopping in-flight queries.
+struct SessionMetrics {
+  SchedulerStats scheduler;
+  PoolStats pool;
+  mt::BuildCache::Stats build_cache;
+
+  uint64_t queries = 0;        ///< latency samples (completed queries)
+  double exec_mean_ms = 0.0;
+  double exec_p50_ms = 0.0;
+  double exec_p95_ms = 0.0;
+  double exec_p99_ms = 0.0;
+  double queue_mean_ms = 0.0;
+  double queue_p50_ms = 0.0;
+  double queue_p95_ms = 0.0;
+  double queue_p99_ms = 0.0;
+
+  /// One JSON object (single line, no trailing newline) — the JSONL record
+  /// the periodic export appends.
+  std::string ToJson() const;
+  std::string ToString() const;
 };
 
 namespace internal {
@@ -422,6 +475,12 @@ struct StreamReport {
   double mean_ms = 0.0;      ///< mean per-query execution latency
   double p50_ms = 0.0;       ///< median execution latency
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  /// Mean relative cardinality-estimation error over every (query, chain)
+  /// with a measured actual: |actual - estimated| / max(estimated, 1).
+  /// 0 when no chain reported an actual (e.g. a simulated stream).
+  double mean_card_error = 0.0;
 
   /// Build-side reuse over the whole stream (kThreads + reuse_builds):
   /// totals of the per-query ExecutionReport counters.
@@ -506,6 +565,20 @@ class Query {
   std::vector<GroupColSpec> group_by_;
   std::vector<AggSpecItem> agg_items_;
 
+  /// Post-aggregation (HAVING) predicate: over an aggregate (`on_agg`,
+  /// matched against agg_items_) or a grouping column (matched against
+  /// group_by_). Resolved to an output-row column at plan time.
+  struct HavingSpec {
+    bool on_agg = false;
+    AggFn fn = AggFn::kCount;
+    RelId rel = 0;
+    uint32_t col = 0;
+    bool has_col = false;  ///< false with on_agg: COUNT(*)
+    CmpOp cmp = CmpOp::kEq;
+    int64_t value = 0;
+  };
+  std::vector<HavingSpec> having_;
+
  public:
   bool has_agg() const { return !group_by_.empty() || !agg_items_.empty(); }
 };
@@ -562,6 +635,18 @@ class QueryBuilder {
 
   /// COUNT(*) — rows per group.
   QueryBuilder& Count();
+
+  /// HAVING over an aggregate: keep only groups whose `fn(rel.col)` value
+  /// compares `cmp` against `value`. The aggregate must also appear in an
+  /// Agg() call (HAVING filters the output rows; it never adds columns).
+  /// Multiple Having calls conjoin. Applied identically on every backend
+  /// as the groups are finalized — digests and materialized rows agree.
+  QueryBuilder& Having(AggFn fn, RelId rel, uint32_t col, CmpOp cmp,
+                       int64_t value);
+  /// HAVING over a grouping column (must appear in a GroupBy() call).
+  QueryBuilder& Having(RelId rel, uint32_t col, CmpOp cmp, int64_t value);
+  /// HAVING COUNT(*) `cmp` `value` (requires a Count() aggregate).
+  QueryBuilder& HavingCount(CmpOp cmp, int64_t value);
 
   Query Build() const { return q_; }
 
@@ -635,6 +720,17 @@ class Session {
   /// per-backend plan bridges for `q` under `opts`.
   Result<std::string> Explain(const Query& q, const ExecOptions& opts) const;
 
+  /// Graphviz DOT of `q`'s operator tree under `opts` (the plan the
+  /// selected backend would run), annotated with estimated cardinalities.
+  /// Tracing a real execution and feeding ExecutionReport::trace to
+  /// obs::PlanDot yields the same graph with actuals and span timings.
+  Result<std::string> ExplainDot(const Query& q, const ExecOptions& opts) const;
+
+  /// Continuous session metrics: scheduler/pool/cache counters plus
+  /// latency quantiles over every query completed so far. Cheap and safe
+  /// to call at any time (histogram reads don't stop writers).
+  SessionMetrics MetricsSnapshot() const;
+
  private:
   friend class Scheduler;
   struct Planned;
@@ -684,6 +780,16 @@ class Session {
   /// Threads created by spawn-path executions (merged into pool_stats()).
   mutable std::atomic<uint64_t> spawned_threads_{0};
   mutable mt::BuildCache build_cache_;
+  /// Continuous latency metrics, recorded at query completion (any
+  /// outcome that executed) and read by MetricsSnapshot.
+  SessionOptions session_options_;
+  mutable obs::LatencyHistogram exec_hist_;
+  mutable obs::LatencyHistogram queue_hist_;
+  mutable std::atomic<uint64_t> completions_{0};
+  mutable std::mutex metrics_export_mu_;
+  /// Records one completed query and drives the periodic JSONL export.
+  void RecordCompletion(double queue_ms, double exec_ms) const;
+  void ExportMetricsLine() const;
   /// Declared last: destroyed first, draining in-flight queries before the
   /// catalog/tables/pool/cache they reference go away.
   std::unique_ptr<Scheduler> scheduler_;

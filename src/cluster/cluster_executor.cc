@@ -282,6 +282,49 @@ struct ClusterExecutor::Impl {
   ExecContext* ctx = nullptr;
   std::atomic<bool> cancelled{false};
 
+  // ---- tracing (null disables the feature; see ClusterOptions) ----
+  // Slot s belongs exclusively to gang body s = node * (T+1) + role, so
+  // span cells need no synchronization; Drain happens after the gang
+  // barrier.
+  obs::TraceSink* trace = nullptr;
+  uint32_t trace_slots = 0;
+  std::vector<obs::OpSpanAgg> trace_cells;  // [slot * nops + op]
+
+  uint32_t slot_of(uint32_t node, uint32_t role) const {
+    return node * (opt.threads_per_node + 1) + role;
+  }
+  /// Folds one activation into worker t's span cell. Pre: trace != null.
+  void TraceActivation(uint32_t node, uint32_t t, uint32_t op, uint64_t t0,
+                       uint64_t rows_in, uint64_t rows_out) {
+    trace_cells[static_cast<size_t>(slot_of(node, t + 1)) * nops + op].Add(
+        t0, trace->NowNs(), rows_in, rows_out);
+  }
+  /// Emits accumulated span cells into the sink. Runs after the gang
+  /// barrier (every exit path, cancelled/failed runs included).
+  void EmitTraceCells() {
+    if (trace == nullptr) return;
+    const uint32_t per_node = opt.threads_per_node + 1;
+    for (uint32_t s = 0; s < trace_slots; ++s) {
+      for (uint32_t op = 0; op < nops; ++op) {
+        const obs::OpSpanAgg& cell =
+            trace_cells[static_cast<size_t>(s) * nops + op];
+        if (cell.empty()) continue;
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kSpan;
+        ev.node = static_cast<int32_t>(s / per_node);
+        ev.worker = static_cast<int32_t>(s % per_node) - 1;  // -1 = scheduler
+        ev.op = static_cast<int32_t>(op);
+        ev.start_ns = cell.first_ns;
+        ev.end_ns = cell.last_ns;
+        ev.activations = cell.activations;
+        ev.rows_in = cell.rows_in;
+        ev.rows_out = cell.rows_out;
+        ev.detail = cell.busy_ns;
+        trace->Record(s, ev);
+      }
+    }
+  }
+
   explicit Impl(const ClusterOptions& o)
       : opt(o), fabric({.nodes = o.nodes}) {}
 
@@ -403,6 +446,9 @@ struct ClusterExecutor::Impl {
     // Results and stats.
     std::vector<ResultDigest> digests;          // per thread
     std::vector<uint64_t> busy;                 // per thread
+    // Rows produced by each chain's terminal probe: [chain * T + t],
+    // written only by worker t (always measured, tracing on or off).
+    std::vector<uint64_t> chain_rows;
     std::atomic<uint64_t> idle{0};
     std::atomic<uint64_t> stolen_acts{0};
     std::atomic<uint64_t> steals{0};
@@ -569,6 +615,7 @@ struct ClusterExecutor::Impl {
       ns->drain_acked.assign(nops, false);
       ns->digests.assign(T, {});
       ns->busy.assign(T, 0);
+      ns->chain_rows.assign(static_cast<size_t>(C) * T, 0);
       ns->outbox.resize(T);
       ns->scratch_pool.resize(T);
       ns->scratch_depth.assign(T, 0);
@@ -598,6 +645,14 @@ struct ClusterExecutor::Impl {
       }
       if (opt.strategy == LocalStrategy::kFP) ComputeFpRanges(*ns, n);
       node_state.push_back(std::move(ns));
+    }
+
+    if (opt.trace != nullptr) {
+      trace = opt.trace;
+      trace_slots = opt.nodes * (T + 1);
+      trace->EnsureSlots(trace_slots);
+      trace_cells.assign(static_cast<size_t>(trace_slots) * nops,
+                         obs::OpSpanAgg{});
     }
   }
 
@@ -875,6 +930,8 @@ struct ClusterExecutor::Impl {
             : nullptr;
     const uint32_t B = opt.buckets;
     NodeState& ns = *node_state[node];
+    const uint64_t tr0 = trace != nullptr ? trace->NowNs() : 0;
+    uint64_t kept = 0;
     auto& sc = AcquireScratch(ns, t);
     auto& scratch = sc.bucket;
     auto& hit = sc.hit;
@@ -891,6 +948,7 @@ struct ClusterExecutor::Impl {
         ns.filtered.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
+      ++kept;
       uint32_t bucket = static_cast<uint32_t>(mt::HashKey(row[col]) % B);
       Batch& b = scratch[bucket];
       if (b.width() == 0) b = Batch(src.width());
@@ -908,6 +966,7 @@ struct ClusterExecutor::Impl {
     }
     hit.clear();
     ReleaseScratch(ns, t);
+    if (trace != nullptr) TraceActivation(node, t, op, tr0, end - begin, kept);
   }
 
   // Routes one data activation to the bucket's home node: local queue via
@@ -933,6 +992,16 @@ struct ClusterExecutor::Impl {
     m.op = dst_op;
     m.bucket = bucket;
     m.payload = net::EncodeBatch(rows);
+    if (trace != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kFabricSend;
+      ev.node = static_cast<int32_t>(node);
+      ev.worker = static_cast<int32_t>(t);
+      ev.op = static_cast<int32_t>(dst_op);
+      ev.start_ns = ev.end_ns = trace->NowNs();
+      ev.detail = rows.rows();
+      trace->Record(slot_of(node, t + 1), ev);
+    }
     fabric.Send(node, home, std::move(m)).ok();
   }
 
@@ -943,12 +1012,19 @@ struct ClusterExecutor::Impl {
   void ExecuteData(uint32_t node, uint32_t t, Activation&& act) {
     NodeState& ns = *node_state[node];
     ++ns.busy[t];
+    const uint64_t tr0 = trace != nullptr ? trace->NowNs() : 0;
+    const uint64_t rows_in = act.rows.rows();
     const uint32_t c = op_chain[act.op];
     const ChainInfo& ci = chains[c];
     const uint32_t g = join_of(act.op);
     if (is_build(act.op)) {
-      std::lock_guard<std::mutex> lock(*ns.bucket_mu[g][act.bucket]);
-      ns.tables[g][act.bucket].InsertBatch(act.rows);
+      {
+        std::lock_guard<std::mutex> lock(*ns.bucket_mu[g][act.bucket]);
+        ns.tables[g][act.bucket].InsertBatch(act.rows);
+      }
+      if (trace != nullptr) {
+        TraceActivation(node, t, act.op, tr0, rows_in, rows_in);
+      }
       ns.pending[act.op].fetch_sub(1);
       return;
     }
@@ -997,9 +1073,11 @@ struct ClusterExecutor::Impl {
     if (last && keep_rows) local_out = Batch(out_w);
     mt::AggTable* agg_part =
         last && to_agg ? &ns.agg_partials[t] : nullptr;
+    uint64_t produced = 0;
     for (size_t i = 0; i < act.rows.rows(); ++i) {
       const int64_t* row = act.rows.row(i);
       table->ForEachMatch(row[probe_col], [&](const int64_t* brow) {
+        ++produced;
         std::copy(row, row + in_w, out_row.begin());
         std::copy(brow, brow + build_w, out_row.begin() + in_w);
         if (last) {
@@ -1035,6 +1113,10 @@ struct ClusterExecutor::Impl {
       ns.inter[c].data().insert(ns.inter[c].data().end(),
                                 local_out.data().begin(),
                                 local_out.data().end());
+    }
+    if (last) ns.chain_rows[c * opt.threads_per_node + t] += produced;
+    if (trace != nullptr) {
+      TraceActivation(node, t, act.op, tr0, rows_in, produced);
     }
     ns.pending[act.op].fetch_sub(1);
   }
@@ -1459,6 +1541,15 @@ struct ClusterExecutor::Impl {
           bundle.fragments.push_back(std::move(frag));
         } else if (requester_cached.count(act.bucket)) {
           ns.cache_hits.fetch_add(1, std::memory_order_relaxed);
+          if (trace != nullptr) {
+            obs::TraceEvent ev;
+            ev.kind = obs::EventKind::kCacheHit;
+            ev.node = static_cast<int32_t>(node);
+            ev.op = static_cast<int32_t>(op);
+            ev.start_ns = ev.end_ns = trace->NowNs();
+            ev.detail = act.bucket;
+            trace->Record(slot_of(node, 0), ev);
+          }
         }
         ++popped;
         net::RowActivation ra;
@@ -1517,6 +1608,8 @@ struct ClusterExecutor::Impl {
 
     ctx->SpawnWorkers(N, [&](uint32_t n) {
       NodeState& ns = *node_state[n];
+      const uint64_t tr0 = trace != nullptr ? trace->NowNs() : 0;
+      uint64_t repart = 0;
       for (uint32_t p = 0; p < P; ++p) {
         if (ctx->StopRequested()) {
           agg_cancelled.store(true);
@@ -1533,6 +1626,7 @@ struct ClusterExecutor::Impl {
         } else {
           ns.agg_repart_rows.fetch_add(part.rows(),
                                        std::memory_order_relaxed);
+          repart += part.rows();
           Message m;
           m.type = MsgType::kTupleBatch;
           m.op = agg_op;
@@ -1540,6 +1634,19 @@ struct ClusterExecutor::Impl {
           m.payload = net::EncodeBatch(part);
           fabric.Send(n, home, std::move(m)).ok();
         }
+      }
+      // One span per node for the repartition phase (the agg sentinel op;
+      // these bodies run on arbitrary pool threads, hence RecordShared).
+      if (trace != nullptr) {
+        obs::TraceEvent ev;
+        ev.node = static_cast<int32_t>(n);
+        ev.op = static_cast<int32_t>(agg_op);
+        ev.start_ns = tr0;
+        ev.end_ns = trace->NowNs();
+        ev.activations = 1;
+        ev.rows_out = repart;
+        ev.detail = ev.end_ns - ev.start_ns;
+        trace->RecordShared(ev);
       }
     });
     if (agg_cancelled.load() || ctx->StopRequested()) {
@@ -1550,6 +1657,7 @@ struct ClusterExecutor::Impl {
     // mailbox now holds all partials its node will ever receive.
     ctx->SpawnWorkers(N, [&](uint32_t n) {
       NodeState& ns = *node_state[n];
+      const uint64_t tr0 = trace != nullptr ? trace->NowNs() : 0;
       mt::AggTable merged(agg);
       for (const Batch& part : kept[n]) {
         for (size_t i = 0; i < part.rows(); ++i) {
@@ -1575,6 +1683,17 @@ struct ClusterExecutor::Impl {
         }
       }
       merged.EmitFinal(&(*agg_out)[n], &(*agg_digests)[n]);
+      if (trace != nullptr) {
+        obs::TraceEvent ev;
+        ev.node = static_cast<int32_t>(n);
+        ev.op = static_cast<int32_t>(agg_op);
+        ev.start_ns = tr0;
+        ev.end_ns = trace->NowNs();
+        ev.activations = 1;
+        ev.rows_out = (*agg_out)[n].rows();
+        ev.detail = ev.end_ns - ev.start_ns;
+        trace->RecordShared(ev);
+      }
     });
     if (agg_cancelled.load() || ctx->StopRequested()) {
       return Status::Cancelled("query cancelled during aggregation");
@@ -1608,6 +1727,15 @@ struct ClusterExecutor::Impl {
     ns.steals.fetch_add(1, std::memory_order_relaxed);
     ns.stolen_acts.fetch_add(bundle.value().activations.size(),
                              std::memory_order_relaxed);
+    if (trace != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kSteal;
+      ev.node = static_cast<int32_t>(node);
+      ev.op = static_cast<int32_t>(op);
+      ev.start_ns = ev.end_ns = trace->NowNs();
+      ev.detail = bundle.value().activations.size();
+      trace->Record(slot_of(node, 0), ev);
+    }
     for (auto& ra : bundle.value().activations) {
       ns.pending[op].fetch_add(1);
       Activation act{op, ra.bucket, std::move(ra.rows)};
@@ -1691,6 +1819,10 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
       },
       /*gang=*/true);
 
+  // Every gang body has exited, so the span cells are complete; emitting
+  // here covers the cancelled and failed exits below too.
+  im.EmitTraceCells();
+
   if (im.cancelled.load()) {
     impl_.reset();
     return Status::Cancelled("query cancelled during execution");
@@ -1768,6 +1900,15 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
     // attributed through the per-op kTupleBatch accounting.
     const uint32_t C = static_cast<uint32_t>(im.chains.size());
     stats->per_chain.assign(C, {});
+    stats->rows_per_chain.assign(C, 0);
+    const uint32_t T = options_.threads_per_node;
+    for (uint32_t c = 0; c < C; ++c) {
+      for (auto& ns : im.node_state) {
+        for (uint32_t t = 0; t < T; ++t) {
+          stats->rows_per_chain[c] += ns->chain_rows[c * T + t];
+        }
+      }
+    }
     for (uint32_t c = 0; c < C; ++c) {
       auto& pc = stats->per_chain[c];
       for (auto& ns : im.node_state) {

@@ -66,6 +66,7 @@
 #include "mt/plan.h"
 #include "mt/row.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 
 namespace hierdb::cluster {
 
@@ -156,6 +157,14 @@ struct ClusterOptions {
   /// no steal hook of its own: its activations are node-homed, so
   /// foreign threads help through Park rather than one-shot steals.
   ExecContext* ctx = nullptr;
+
+  /// Per-operator execution tracing: when set, every gang body keeps
+  /// per-(slot, op) span aggregates (slot = node x (T+1) + role) and the
+  /// executor emits them — plus steal, fragment-cache and fabric-send
+  /// instants, all tagged with their node — into the sink at run end,
+  /// cancelled and failed runs included. Null disables the feature down
+  /// to one pointer check per activation.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct ClusterStats {
@@ -186,6 +195,11 @@ struct ClusterStats {
 
   /// Rows dropped by scan-level predicates (summed over nodes).
   uint64_t rows_filtered = 0;
+
+  /// Rows produced by each chain's terminal probe, summed over nodes (the
+  /// chain's actual output cardinality; for aggregated plans the final
+  /// entry counts the pre-aggregation join rows). Always measured.
+  std::vector<uint64_t> rows_per_chain;
 
   /// Distributed aggregation (plans with an AggSpec): per-node local
   /// partial-table entries, the partial rows shipped to their partition's

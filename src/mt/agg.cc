@@ -79,6 +79,13 @@ Status AggSpec::Validate(uint32_t input_width) const {
                                 std::to_string(input_width));
     }
   }
+  for (const Predicate& h : having) {
+    if (h.col >= OutputWidth()) {
+      return Status::OutOfRange("having column " + std::to_string(h.col) +
+                                " >= aggregate output width " +
+                                std::to_string(OutputWidth()));
+    }
+  }
   return Status::OK();
 }
 
@@ -99,6 +106,10 @@ std::string AggSpec::ToString() const {
     }
   }
   s += "]";
+  for (const Predicate& h : having) {
+    s += " having c" + std::to_string(h.col) + " " + CmpOpName(h.cmp) + " " +
+         std::to_string(h.value);
+  }
   return s;
 }
 
@@ -253,6 +264,9 @@ void AggTable::EmitFinal(Batch* out, ResultDigest* digest) const {
       } else {
         row[o++] = p[s++];
       }
+    }
+    if (!spec_->having.empty() && !MatchesAll(spec_->having, row.data())) {
+      continue;
     }
     if (out != nullptr) {
       if (out->width() == 0) *out = Batch(ow);

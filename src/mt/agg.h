@@ -106,6 +106,13 @@ struct AggSpec {
   std::vector<uint32_t> group_cols;
   std::vector<AggExpr> aggs;
 
+  /// HAVING: predicates over the *output* row (group values then
+  /// aggregates, so col < OutputWidth()), applied as groups are finalized
+  /// — EmitFinal skips non-matching groups in both the row and the digest,
+  /// which keeps every backend's funnel (thread merge, cluster node merge,
+  /// SP, the reference) bit-identical.
+  std::vector<Predicate> having;
+
   /// Internal partial-row width: group values + accumulator slots (AVG
   /// carries sum and count; every other aggregate one slot).
   uint32_t PartialWidth() const;

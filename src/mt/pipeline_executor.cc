@@ -200,6 +200,16 @@ struct PipelineExecutor::Shared {
   // than operators per stage, so sharing is the degenerate case).
   std::vector<std::atomic<uint64_t>> fp_range;
 
+  // Tracing: null = off (the only cost is this check). Cells are
+  // per-(slot, op) aggregates owned exclusively by the slot's holder;
+  // they flush into the sink at run end (EmitTraceCells), so cancelled
+  // runs still drain. chain_rows is unconditional: the per-chain actual
+  // output cardinality (rows produced by each chain's terminal op).
+  obs::TraceSink* trace = nullptr;
+  uint32_t slots = 0;
+  std::vector<obs::OpSpanAgg> trace_cells;  // [slot * nops + op]
+  std::vector<uint64_t> chain_rows;         // [chain * slots + slot]
+
   // Stats.
   std::vector<uint64_t> busy;  // per thread, padded access is fine here
   std::atomic<uint64_t> stat_morsels{0};
@@ -436,6 +446,14 @@ Result<ResultDigest> PipelineExecutor::Execute(
           }
           ++sh.cache_misses;
         }
+        if (options_.trace != nullptr) {
+          obs::TraceEvent ev;
+          ev.kind = op.prebuilt ? obs::EventKind::kCacheHit
+                                : obs::EventKind::kCacheMiss;
+          ev.op = static_cast<int32_t>(build_of[c][j]);
+          ev.start_ns = ev.end_ns = options_.trace->NowNs();
+          options_.trace->RecordShared(ev);
+        }
       }
     }
   }
@@ -482,6 +500,14 @@ Result<ResultDigest> PipelineExecutor::Execute(
   sh.outbox.resize(slots);
   sh.scratch_pool.resize(slots);
   sh.scratch_depth.assign(slots, 0);
+  sh.slots = slots;
+  sh.chain_rows.assign(plan.chains.size() * slots, 0);
+  if (options_.trace != nullptr) {
+    sh.trace = options_.trace;
+    sh.trace->EnsureSlots(slots);
+    sh.trace_cells.assign(static_cast<size_t>(slots) * nops,
+                          obs::OpSpanAgg{});
+  }
   sh.fp_range = std::vector<std::atomic<uint64_t>>(nops);
   for (auto& a : sh.fp_range) a.store(0);
   sh.ops_remaining.store(nops);
@@ -519,11 +545,13 @@ Result<ResultDigest> PipelineExecutor::Execute(
 
   if (sh.cancelled.load()) {
     AbandonPendingOffers();
+    EmitTraceCells();
     shared_.reset();
     return Status::Cancelled("query cancelled during execution");
   }
   if (sh.failed.load()) {
     AbandonPendingOffers();
+    EmitTraceCells();
     return Status::Internal("pipeline execution failed");
   }
 
@@ -547,6 +575,7 @@ Result<ResultDigest> PipelineExecutor::Execute(
       AggMergeWorker(want_rows);
     });
     if (sh.cancelled.load()) {
+      EmitTraceCells();
       shared_.reset();
       return Status::Cancelled("query cancelled during aggregation");
     }
@@ -589,9 +618,48 @@ Result<ResultDigest> PipelineExecutor::Execute(
     // Guest slots (cross-query helpers) are excluded: busy_per_thread
     // drives the per-worker imbalance measure of this query's rental.
     stats->busy_per_thread.assign(sh.busy.begin(), sh.busy.begin() + T);
+    stats->rows_per_chain.assign(plan.chains.size(), 0);
+    for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+      for (uint32_t s = 0; s < slots; ++s) {
+        stats->rows_per_chain[c] += sh.chain_rows[c * slots + s];
+      }
+    }
   }
+  EmitTraceCells();
   shared_.reset();
   return digest;
+}
+
+void PipelineExecutor::TraceActivation(uint32_t self, uint32_t op_id,
+                                       uint64_t t0, uint64_t rows_in,
+                                       uint64_t rows_out) {
+  Shared& sh = *shared_;
+  const size_t nops = sh.ops.size();
+  sh.trace_cells[self * nops + op_id].Add(t0, sh.trace->NowNs(), rows_in,
+                                          rows_out);
+}
+
+void PipelineExecutor::EmitTraceCells() {
+  Shared& sh = *shared_;
+  if (sh.trace == nullptr) return;
+  const size_t nops = sh.ops.size();
+  for (uint32_t s = 0; s < sh.slots; ++s) {
+    for (size_t i = 0; i < nops; ++i) {
+      const obs::OpSpanAgg& c = sh.trace_cells[s * nops + i];
+      if (c.empty()) continue;
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kSpan;
+      ev.worker = static_cast<int32_t>(s);
+      ev.op = static_cast<int32_t>(i);
+      ev.start_ns = c.first_ns;
+      ev.end_ns = c.last_ns;
+      ev.activations = c.activations;
+      ev.rows_in = c.rows_in;
+      ev.rows_out = c.rows_out;
+      ev.detail = c.busy_ns;
+      sh.trace->Record(s, ev);
+    }
+  }
 }
 
 void PipelineExecutor::AggMergeWorker(bool want_rows) {
@@ -663,6 +731,15 @@ bool PipelineExecutor::RunOneForeign() {
   }
   bool ran = RunOne(slot);
   if (ran) FlushOutbox(slot);
+  if (ran && sh.trace != nullptr) {
+    // Cross-query help is the session-level steal event.
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kSteal;
+    ev.worker = static_cast<int32_t>(slot);
+    ev.start_ns = ev.end_ns = sh.trace->NowNs();
+    ev.detail = 1;
+    sh.trace->Record(slot, ev);
+  }
   {
     std::lock_guard<std::mutex> lock(sh.guest_mu);
     sh.guest_free.push_back(slot);
@@ -943,6 +1020,8 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
   const uint32_t B = options_.buckets;
   const PipelinePlan& plan = *sh.plan;
   const Chain& chain = plan.chains[op.chain];
+  const uint64_t tr0 = sh.trace != nullptr ? sh.trace->NowNs() : 0;
+  uint64_t rows_out = 0;
 
   // Scan-level predicates: a base table's rows are filtered where they
   // enter the pipeline, so rejected rows never cost a queue operation.
@@ -970,6 +1049,7 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
       if (b.width() == 0) b = Batch(src.width());
       if (b.empty()) hit.push_back(bucket);
       b.AppendRow(row);
+      ++rows_out;
     }
     for (uint32_t bucket : hit) {
       Emit(self, op_id, bucket, std::move(scratch[bucket]));
@@ -977,6 +1057,9 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
     }
     hit.clear();
     sh.ReleaseScratch(self);
+    if (sh.trace != nullptr) {
+      TraceActivation(self, op_id, tr0, end - begin, rows_out);
+    }
     return;
   }
 
@@ -988,6 +1071,7 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
     for (size_t i = begin; i < end; ++i) {
       const int64_t* row = src.row(i);
       if (!passes(row)) continue;
+      ++rows_out;
       if (to_agg) {
         sh.agg_partials[self].Accumulate(row);
         continue;
@@ -998,6 +1082,12 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
         if (part.width() == 0) part = Batch(src.width());
         part.AppendRow(row);
       }
+    }
+    // A join-less chain's scan is its terminal op: the passing rows are
+    // the chain's actual output cardinality.
+    sh.chain_rows[op.chain * sh.slots + self] += rows_out;
+    if (sh.trace != nullptr) {
+      TraceActivation(self, op_id, tr0, end - begin, rows_out);
     }
     return;
   }
@@ -1013,6 +1103,7 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
     if (b.width() == 0) b = Batch(src.width());
     if (b.empty()) hit.push_back(bucket);
     b.AppendRow(row);
+    ++rows_out;
     if (b.rows() >= options_.batch_rows) {
       Emit(self, op.consumer, bucket, std::move(b));
       scratch[bucket] = Batch();
@@ -1025,6 +1116,9 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
   }
   hit.clear();
   sh.ReleaseScratch(self);
+  if (sh.trace != nullptr) {
+    TraceActivation(self, op_id, tr0, end - begin, rows_out);
+  }
 }
 
 void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
@@ -1035,11 +1129,18 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
   const Chain& chain = plan.chains[op.chain];
   sh.stat_data.fetch_add(1, std::memory_order_relaxed);
   ++sh.busy[self];
+  const uint64_t tr0 = sh.trace != nullptr ? sh.trace->NowNs() : 0;
+  const uint64_t rows_in = act.rows.rows();
 
   if (op.kind == COp::kBuild) {
-    RowTable& table = sh.join_tables[op.join][act.bucket];
-    std::lock_guard<std::mutex> lock(*sh.bucket_mu[op.join][act.bucket]);
-    table.InsertBatch(act.rows);
+    {
+      RowTable& table = sh.join_tables[op.join][act.bucket];
+      std::lock_guard<std::mutex> lock(*sh.bucket_mu[op.join][act.bucket]);
+      table.InsertBatch(act.rows);
+    }
+    if (sh.trace != nullptr) {
+      TraceActivation(self, act.op, tr0, rows_in, rows_in);
+    }
     FinishActivation(act.op);
     return;
   }
@@ -1061,11 +1162,13 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
     }
     AggTable* agg_part = to_agg ? &sh.agg_partials[self] : nullptr;
     std::vector<int64_t> out_row(out_width);
+    uint64_t produced = 0;
     for (size_t i = 0; i < act.rows.rows(); ++i) {
       const int64_t* row = act.rows.row(i);
       table.ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
         std::copy(row, row + in_width, out_row.begin());
         std::copy(brow, brow + table.width(), out_row.begin() + in_width);
+        ++produced;
         if (agg_part != nullptr) {
           // Phase 1 of the two-phase aggregation: fold the result row
           // into this slot's private partial table.
@@ -1078,6 +1181,12 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
         if (part != nullptr) part->AppendRow(out_row.data());
       });
     }
+    // The last probe is its chain's terminal op: its output rows are the
+    // chain's actual cardinality (pre-aggregation on agg plans).
+    sh.chain_rows[op.chain * sh.slots + self] += produced;
+    if (sh.trace != nullptr) {
+      TraceActivation(self, act.op, tr0, rows_in, produced);
+    }
     FinishActivation(act.op);
     return;
   }
@@ -1087,11 +1196,13 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
   auto& scratch = sc.bucket;
   auto& hit = sc.hit;
   std::vector<int64_t> out_row(out_width);
+  uint64_t produced = 0;
   for (size_t i = 0; i < act.rows.rows(); ++i) {
     const int64_t* row = act.rows.row(i);
     table.ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
       std::copy(row, row + in_width, out_row.begin());
       std::copy(brow, brow + table.width(), out_row.begin() + in_width);
+      ++produced;
       uint32_t bucket =
           static_cast<uint32_t>(HashKey(out_row[next.probe_col]) % B);
       Batch& b = scratch[bucket];
@@ -1111,6 +1222,9 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
   }
   hit.clear();
   sh.ReleaseScratch(self);
+  if (sh.trace != nullptr) {
+    TraceActivation(self, act.op, tr0, rows_in, produced);
+  }
   FinishActivation(act.op);
 }
 
@@ -1297,6 +1411,22 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
   uint64_t cache_hits = 0, cache_misses = 0;
   std::atomic<uint64_t> filtered{0};
 
+  // Tracing: SP has no per-activation queues, so spans are coarse — one
+  // per (thread, phase): build phases on the build op's id, the fused
+  // scan+probe walk on the scan op's id, using the same compiled-op
+  // numbering as DP/FP (B(c,*), S(c), P(c,*)).
+  obs::TraceSink* trace = options_.trace;
+  if (trace != nullptr) trace->EnsureSlots(T);
+  std::vector<uint32_t> op_base(plan.chains.size());
+  {
+    uint32_t base = 0;
+    for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+      op_base[c] = base;
+      base += 1 + 2 * static_cast<uint32_t>(plan.chains[c].joins.size());
+    }
+  }
+  std::vector<uint64_t> chain_rows(plan.chains.size() * T, 0);
+
   auto batch_of = [&](const Source& s) -> const Batch& {
     return s.kind == Source::Kind::kTable ? tables[s.index]->batch
                                           : chain_outputs[s.index];
@@ -1327,7 +1457,16 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
       bool publish = false;
       if (cacheable) {
         auto got = options_.build_cache->Acquire(key, cache_cancelled);
-        if (got.tables != nullptr) {
+        const bool hit = got.tables != nullptr;
+        if (trace != nullptr) {
+          obs::TraceEvent ev;
+          ev.kind = hit ? obs::EventKind::kCacheHit
+                        : obs::EventKind::kCacheMiss;
+          ev.op = static_cast<int32_t>(op_base[c] + j);
+          ev.start_ns = ev.end_ns = trace->NowNs();
+          trace->RecordShared(ev);
+        }
+        if (hit) {
           join_tables[j] = std::move(got.tables);
           ++cache_hits;
           continue;
@@ -1350,6 +1489,8 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
         // each bucket lock once per morsel (amortized locking).
         std::vector<Batch> local(B);
         std::vector<uint32_t> touched;
+        const uint64_t tr0 = trace != nullptr ? trace->NowNs() : 0;
+        uint64_t acts = 0, rin = 0, rout = 0;
         while (!ctx->StopRequested()) {
           size_t begin = cursor.fetch_add(options_.morsel_rows);
           if (begin >= build.rows()) break;
@@ -1367,6 +1508,7 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
             if (b.width() == 0) b = Batch(build.width());
             if (b.empty()) touched.push_back(bucket);
             b.AppendRow(row);
+            ++rout;
           }
           for (uint32_t bucket : touched) {
             std::lock_guard<std::mutex> lock(*bucket_mu[bucket]);
@@ -1375,6 +1517,20 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
           }
           touched.clear();
           ++busy[t];
+          ++acts;
+          rin += end - begin;
+        }
+        if (trace != nullptr && acts > 0) {
+          obs::TraceEvent ev;
+          ev.worker = static_cast<int32_t>(t);
+          ev.op = static_cast<int32_t>(op_base[c] + j);
+          ev.start_ns = tr0;
+          ev.end_ns = trace->NowNs();
+          ev.activations = acts;
+          ev.rows_in = rin;
+          ev.rows_out = rout;
+          ev.detail = ev.end_ns - ev.start_ns;
+          trace->Record(t, ev);
         }
       });
       if (ctx->StopRequested()) {
@@ -1400,11 +1556,15 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
     std::atomic<size_t> cursor{0};
     ctx->SpawnWorkers(T, [&](uint32_t t) {
       std::vector<int64_t> row_buf(out_width);
+      const uint64_t tr0 = trace != nullptr ? trace->NowNs() : 0;
+      uint64_t acts = 0, rin = 0;
+      uint64_t produced = 0;
       // Recursive pipeline walker: step j consumes the prefix of
       // row_buf filled so far.
       auto walk = [&](auto&& self_fn, size_t step,
                       uint32_t filled) -> void {
         if (step == chain.joins.size()) {
+          ++produced;
           if (to_agg) {
             agg_partials[t].Accumulate(row_buf.data());
             return;
@@ -1443,6 +1603,23 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
           walk(walk, 0, input.width());
         }
         ++busy[t];
+        ++acts;
+        rin += end - begin;
+      }
+      chain_rows[c * T + t] += produced;
+      if (trace != nullptr && acts > 0) {
+        // The fused scan+probe walk reports on the chain's scan op.
+        obs::TraceEvent ev;
+        ev.worker = static_cast<int32_t>(t);
+        ev.op = static_cast<int32_t>(
+            op_base[c] + static_cast<uint32_t>(chain.joins.size()));
+        ev.start_ns = tr0;
+        ev.end_ns = trace->NowNs();
+        ev.activations = acts;
+        ev.rows_in = rin;
+        ev.rows_out = produced;
+        ev.detail = ev.end_ns - ev.start_ns;
+        trace->Record(t, ev);
       }
     });
     if (ctx->StopRequested()) {
@@ -1524,6 +1701,12 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
     stats->agg_groups = agg_groups;
     stats->agg_partials = agg_partial_entries;
     stats->busy_per_thread = busy;
+    stats->rows_per_chain.assign(plan.chains.size(), 0);
+    for (uint32_t c = 0; c < plan.chains.size(); ++c) {
+      for (uint32_t t = 0; t < T; ++t) {
+        stats->rows_per_chain[c] += chain_rows[c * T + t];
+      }
+    }
   }
   return digest;
 }

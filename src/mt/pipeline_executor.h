@@ -48,6 +48,7 @@
 #include "mt/hash_table.h"
 #include "mt/plan.h"
 #include "mt/row.h"
+#include "obs/trace.h"
 
 namespace hierdb::mt {
 
@@ -86,6 +87,13 @@ struct PipelineOptions {
   BuildCache* build_cache = nullptr;
   std::vector<uint64_t> table_cache_ids;
   uint64_t cache_seed_skew = 0;
+
+  /// Per-operator execution tracing: when set, every worker keeps
+  /// per-(slot, op) span aggregates (two clock reads per activation) and
+  /// the executor emits them — plus cache and steal instants — into the
+  /// sink at run end, cancelled and failed runs included. Null (the
+  /// default) reduces the entire feature to one pointer check.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct PipelineStats {
@@ -103,6 +111,10 @@ struct PipelineStats {
   uint64_t agg_partials = 0;      ///< partial-table entries merged in phase 2
   /// Activations per rented worker (cross-query guest helpers excluded).
   std::vector<uint64_t> busy_per_thread;
+  /// Rows produced by each chain's terminal operator (the chain's actual
+  /// output cardinality; for aggregated plans the final entry counts the
+  /// pre-aggregation join rows). Always measured, tracing on or off.
+  std::vector<uint64_t> rows_per_chain;
 
   /// Load imbalance: max over threads of busy / mean busy (1.0 = perfect).
   double Imbalance() const;
@@ -165,6 +177,13 @@ class PipelineExecutor {
   /// Phase-2 aggregation: claims group-hash partitions and merges every
   /// slot's partials for them (runs on SpawnWorkers bodies).
   void AggMergeWorker(bool want_rows);
+  /// Folds one activation into the per-(slot, op) trace cell. Pre:
+  /// tracing is on (shared_->trace != nullptr).
+  void TraceActivation(uint32_t self, uint32_t op_id, uint64_t t0,
+                       uint64_t rows_in, uint64_t rows_out);
+  /// Emits the accumulated span cells into the sink (every exit path of
+  /// Execute, cancelled/failed runs included).
+  void EmitTraceCells();
   /// Abandons build-cache offers a torn-down run will never publish.
   void AbandonPendingOffers();
 

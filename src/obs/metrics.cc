@@ -1,0 +1,30 @@
+#include "obs/metrics.h"
+
+namespace hierdb::obs {
+
+double LatencyHistogram::PercentileMs(double p) const {
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Snapshot the counts (writers may race; each bucket read is atomic).
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the target sample (1-based), clamped to [1, total].
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      return static_cast<double>(BucketValue(b)) / 1000.0;
+    }
+  }
+  return static_cast<double>(BucketValue(kBuckets - 1)) / 1000.0;
+}
+
+}  // namespace hierdb::obs

@@ -1,0 +1,75 @@
+// Observability: histogram-backed latency metrics.
+//
+// A LatencyHistogram is a fixed-size log-bucketed histogram over
+// microsecond latencies: 8 sub-buckets per power-of-two octave across the
+// whole uint64 range, each an atomic counter, so Record is one atomic
+// increment from any thread and Percentile(p) is a bounded-error
+// (< ~12.5%) estimate read without stopping writers — the substrate for
+// Session::MetricsSnapshot's continuous p50/p95/p99 over a long-lived
+// query stream.
+
+#ifndef HIERDB_OBS_METRICS_H_
+#define HIERDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace hierdb::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr uint32_t kSubBits = 3;  // 8 sub-buckets per octave
+  static constexpr uint32_t kBuckets = 64 << kSubBits;
+
+  void Record(double ms) {
+    if (ms < 0) ms = 0;
+    const uint64_t us = static_cast<uint64_t>(ms * 1000.0);
+    buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+    // Exact running sum (in microseconds) for the mean.
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  double MeanMs() const {
+    const uint64_t n = Count();
+    if (n == 0) return 0.0;
+    return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+           static_cast<double>(n) / 1000.0;
+  }
+
+  /// Estimated latency (ms) at quantile `p` in [0, 1]; 0 with no samples.
+  double PercentileMs(double p) const;
+
+ private:
+  static uint32_t BucketOf(uint64_t us) {
+    if (us < (1u << kSubBits)) return static_cast<uint32_t>(us);
+    // Octave = position of the highest set bit; sub-bucket = next kSubBits
+    // bits below it.
+    const uint32_t msb = 63 - static_cast<uint32_t>(__builtin_clzll(us));
+    const uint32_t sub =
+        static_cast<uint32_t>(us >> (msb - kSubBits)) & ((1u << kSubBits) - 1);
+    return ((msb - kSubBits + 1) << kSubBits) + sub;
+  }
+
+  /// Representative value (us) of a bucket: its lower bound.
+  static uint64_t BucketValue(uint32_t b) {
+    if (b < (1u << kSubBits)) return b;
+    const uint32_t octave = (b >> kSubBits) + kSubBits - 1;
+    const uint32_t sub = b & ((1u << kSubBits) - 1);
+    return (1ull << octave) |
+           (static_cast<uint64_t>(sub) << (octave - kSubBits));
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+}  // namespace hierdb::obs
+
+#endif  // HIERDB_OBS_METRICS_H_

@@ -1,0 +1,56 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace hierdb::obs {
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kSpan: return "span";
+    case EventKind::kSteal: return "steal";
+    case EventKind::kCacheHit: return "cache_hit";
+    case EventKind::kCacheMiss: return "cache_miss";
+    case EventKind::kPoolRent: return "pool_rent";
+    case EventKind::kPoolReturn: return "pool_return";
+    case EventKind::kFabricSend: return "fabric_send";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceSink::Drain() {
+  std::vector<TraceEvent> out;
+  size_t total = 0;
+  for (const auto& v : per_slot_) total += v.size();
+  {
+    std::lock_guard<std::mutex> lock(shared_mu_);
+    total += shared_.size();
+    out.reserve(total);
+    for (auto& v : per_slot_) {
+      out.insert(out.end(), v.begin(), v.end());
+      v.clear();
+    }
+    out.insert(out.end(), shared_.begin(), shared_.end());
+    shared_.clear();
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+uint64_t QueryTrace::TotalBusyNs() const {
+  uint64_t busy = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::kSpan) busy += e.detail;
+  }
+  return busy;
+}
+
+uint64_t QueryTrace::MaxEndNs() const {
+  uint64_t end = 0;
+  for (const TraceEvent& e : events) end = std::max(end, e.end_ns);
+  return end;
+}
+
+}  // namespace hierdb::obs
