@@ -1,0 +1,263 @@
+// Columnar data plane A/B: the same star-join queries with
+// ExecOptions::vectorized on vs off — selection-vector filters, one-pass
+// hash columns and batched probes against the row-at-a-time scalar loops.
+//
+// Sweeps:
+//   selectivity   1-probe filtered join on the threads backend across
+//                 Where selectivities (the filter kernel's regime sweep);
+//   batch size    data-activation granularity at fixed selectivity (the
+//                 batching the vectorized kernels amortize over);
+//   backend       the filtered GROUP BY reporting query on kThreads and
+//                 kCluster — on the cluster the vectorized run also prunes
+//                 unreferenced columns off the repartition wire, so the
+//                 kTupleBatch bytes drop alongside the speedup.
+//
+// Reports scalar and vectorized rows/sec (fact rows / wall time, best of
+// --reps) and drops a machine-readable baseline in BENCH_vectorized.json.
+//
+// Flags: --rows=R    fact rows per query (default 200000)
+//        --reps=N    repetitions per configuration, best kept (default 3)
+//        --seed=N    master seed
+//        --quick     CI smoke: 20000 rows x 2 reps
+//        --check     exit nonzero unless vectorized >= 0.9x scalar rows/sec
+//                    at the highest filter selectivity (threads backend)
+//        --out=PATH  JSON baseline path (default BENCH_vectorized.json)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "mt/row.h"
+
+using namespace hierdb;
+
+namespace {
+
+struct Args {
+  uint64_t rows = 200000;
+  uint32_t reps = 3;
+  uint64_t seed = 42;
+  bool check = false;
+  std::string out = "BENCH_vectorized.json";
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (sscanf(argv[i], "--rows=%lu", &a.rows) == 1) continue;
+    if (sscanf(argv[i], "--reps=%u", &a.reps) == 1) continue;
+    if (sscanf(argv[i], "--seed=%lu", &a.seed) == 1) continue;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      a.out = argv[i] + 6;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      a.rows = 20000;
+      a.reps = 2;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--check") == 0) {
+      a.check = true;
+      continue;
+    }
+  }
+  if (a.reps == 0) a.reps = 1;
+  return a;
+}
+
+// fact(key, fk1, fk2, fk3) + three dimensions; fk range 1000 makes the
+// Where(fact, 1, < v) selectivity simply v / 1000.
+struct Schema {
+  api::RelId fact, d1, d2, d3;
+};
+
+Schema Register(api::Session& db, uint64_t rows, uint64_t seed) {
+  Schema s;
+  s.fact = db.AddTable(mt::MakeTable("fact", rows, 4, 1000, seed));
+  s.d1 = db.AddTable(mt::MakeTable("d1", 1000, 2, 100, seed + 1));
+  s.d2 = db.AddTable(mt::MakeTable("d2", 1000, 2, 100, seed + 2));
+  s.d3 = db.AddTable(mt::MakeTable("d3", 1000, 2, 100, seed + 3));
+  return s;
+}
+
+api::ExecOptions Opts(api::Backend backend, const Args& args, bool vectorized,
+                      uint32_t batch_rows = 0) {
+  api::ExecOptions o;
+  o.backend = backend;
+  o.strategy = Strategy::kDP;
+  o.nodes = backend == api::Backend::kCluster ? 2 : 1;
+  o.threads_per_node = backend == api::Backend::kCluster ? 2 : 4;
+  o.seed = args.seed;
+  o.vectorized = vectorized;
+  o.batch_rows = batch_rows;
+  // Every run rebuilds its hash tables: the A/B measures the data plane,
+  // not the build cache.
+  o.reuse_builds = false;
+  return o;
+}
+
+// Runs `q` reps times and returns the best fact-rows/sec (and the report
+// of that run). Aborts the bench on execution failure.
+double RunBest(api::Session& db, const api::Query& q,
+               const api::ExecOptions& opts, const Args& args,
+               api::ExecutionReport* best_rep = nullptr) {
+  double best = 0.0;
+  for (uint32_t r = 0; r < args.reps; ++r) {
+    auto got = db.Execute(q, opts);
+    if (!got.ok()) {
+      std::fprintf(stderr, "bench query failed: %s\n",
+                   got.status().ToString().c_str());
+      std::exit(1);
+    }
+    double rps = got.value().wall_seconds > 0.0
+                     ? static_cast<double>(args.rows) / got.value().wall_seconds
+                     : 0.0;
+    if (rps > best) {
+      best = rps;
+      if (best_rep != nullptr) *best_rep = got.value();
+    }
+  }
+  return best;
+}
+
+void PrintRow(const std::string& label, double scalar_rps, double vec_rps) {
+  std::printf("%-44s %12.0f %12.0f %8.2fx\n", label.c_str(), scalar_rps,
+              vec_rps, scalar_rps > 0.0 ? vec_rps / scalar_rps : 0.0);
+}
+
+// Selectivity sweep: 1-probe join, Where(fact.fk1 < v). Returns the
+// vectorized/scalar ratio at the highest selectivity for --check.
+double SweepSelectivity(const Args& args, bench::JsonBaseline& json) {
+  std::printf("--- filter selectivity sweep (threads backend, 1-probe "
+              "join, %lu rows) ---\n",
+              static_cast<unsigned long>(args.rows));
+  std::printf("%-44s %12s %12s %8s\n", "config", "scalar r/s", "vector r/s",
+              "ratio");
+  api::Session db;
+  Schema s = Register(db, args.rows, args.seed);
+  double last_ratio = 0.0;
+  for (int64_t v : {10, 100, 500, 900, 999}) {
+    api::Query q = db.NewQuery()
+                       .Scan(s.fact)
+                       .Probe(s.d1, 1, 0)
+                       .Where(s.fact, 1, api::CmpOp::kLt, v)
+                       .Build();
+    double scalar =
+        RunBest(db, q, Opts(api::Backend::kThreads, args, false), args);
+    double vec =
+        RunBest(db, q, Opts(api::Backend::kThreads, args, true), args);
+    double sel = static_cast<double>(v) / 1000.0;
+    PrintRow("selectivity=" + std::to_string(sel), scalar, vec);
+    last_ratio = scalar > 0.0 ? vec / scalar : 0.0;
+    json.Row()
+        .Str("sweep", "selectivity")
+        .Num("selectivity", sel)
+        .Num("scalar_rows_per_sec", scalar)
+        .Num("vectorized_rows_per_sec", vec)
+        .Num("ratio", last_ratio);
+  }
+  std::printf("\n");
+  return last_ratio;
+}
+
+void SweepBatchSize(const Args& args, bench::JsonBaseline& json) {
+  std::printf("--- batch-size sweep (threads backend, selectivity 0.5) "
+              "---\n");
+  std::printf("%-44s %12s %12s %8s\n", "config", "scalar r/s", "vector r/s",
+              "ratio");
+  api::Session db;
+  Schema s = Register(db, args.rows, args.seed);
+  api::Query q = db.NewQuery()
+                     .Scan(s.fact)
+                     .Probe(s.d1, 1, 0)
+                     .Where(s.fact, 1, api::CmpOp::kLt, 500)
+                     .Build();
+  for (uint32_t batch : {128u, 512u, 2048u}) {
+    double scalar = RunBest(
+        db, q, Opts(api::Backend::kThreads, args, false, batch), args);
+    double vec = RunBest(
+        db, q, Opts(api::Backend::kThreads, args, true, batch), args);
+    PrintRow("batch_rows=" + std::to_string(batch), scalar, vec);
+    json.Row()
+        .Str("sweep", "batch_size")
+        .Num("batch_rows", static_cast<uint64_t>(batch))
+        .Num("scalar_rows_per_sec", scalar)
+        .Num("vectorized_rows_per_sec", vec)
+        .Num("ratio", scalar > 0.0 ? vec / scalar : 0.0);
+  }
+  std::printf("\n");
+}
+
+void SweepBackends(const Args& args, bench::JsonBaseline& json) {
+  std::printf("--- reporting query per backend (filtered 3-probe GROUP BY) "
+              "---\n");
+  std::printf("%-44s %12s %12s %8s\n", "config", "scalar r/s", "vector r/s",
+              "ratio");
+  for (api::Backend backend :
+       {api::Backend::kThreads, api::Backend::kCluster}) {
+    api::Session db;
+    Schema s = Register(db, args.rows, args.seed);
+    api::Query q = db.NewQuery()
+                       .Scan(s.fact)
+                       .Probe(s.d1, 1, 0)
+                       .Probe(s.d2, 2, 0)
+                       .Probe(s.d3, 3, 0)
+                       .Where(s.fact, 1, api::CmpOp::kLt, 500)
+                       .GroupBy(s.d1, 1)
+                       .Count()
+                       .Agg(api::AggFn::kSum, s.fact, 0)
+                       .Build();
+    api::ExecutionReport scalar_rep, vec_rep;
+    double scalar = RunBest(db, q, Opts(backend, args, false), args,
+                            &scalar_rep);
+    double vec = RunBest(db, q, Opts(backend, args, true), args, &vec_rep);
+    std::string label = std::string("backend=") + api::BackendName(backend);
+    if (backend == api::Backend::kCluster) {
+      label += " wire=" + std::to_string(vec_rep.pipeline_bytes) + "/" +
+               std::to_string(scalar_rep.pipeline_bytes) + "B";
+    }
+    PrintRow(label, scalar, vec);
+    json.Row()
+        .Str("sweep", "backend")
+        .Str("backend", api::BackendName(backend))
+        .Num("scalar_rows_per_sec", scalar)
+        .Num("vectorized_rows_per_sec", vec)
+        .Num("ratio", scalar > 0.0 ? vec / scalar : 0.0)
+        .Num("scalar_pipeline_bytes", scalar_rep.pipeline_bytes)
+        .Num("vectorized_pipeline_bytes", vec_rep.pipeline_bytes);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  std::printf("=== columnar data plane: vectorized vs scalar ===\n");
+  std::printf("%lu fact rows, best of %u reps\n\n",
+              static_cast<unsigned long>(args.rows), args.reps);
+
+  bench::JsonBaseline json;
+  double high_sel_ratio = SweepSelectivity(args, json);
+  SweepBatchSize(args, json);
+  SweepBackends(args, json);
+  if (json.Write(args.out)) {
+    std::printf("baseline written to %s\n", args.out.c_str());
+  }
+
+  if (args.check && high_sel_ratio < 0.9) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: vectorized/scalar ratio %.3f < 0.9 at the "
+                 "highest filter selectivity\n",
+                 high_sel_ratio);
+    return 1;
+  }
+  if (args.check) {
+    std::printf("check passed: vectorized/scalar ratio %.3f >= 0.9 at high "
+                "selectivity\n",
+                high_sel_ratio);
+  }
+  return 0;
+}

@@ -12,3 +12,10 @@ cmake -B build -S . && cmake --build build -j && cd build && \
 smoke_dir="$(mktemp -d)"
 (cd "$smoke_dir" && "$OLDPWD/observability_trace")
 rm -rf "$smoke_dir"
+
+# Vectorized data-plane smoke: scalar-vs-vectorized A/B on a small
+# workload; --check fails the build if the vectorized path drops below
+# 0.9x scalar rows/sec at high filter selectivity.
+smoke_dir="$(mktemp -d)"
+(cd "$smoke_dir" && "$OLDPWD/mt_vectorized" --quick --check)
+rm -rf "$smoke_dir"

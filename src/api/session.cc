@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "mt/plan.h"
+#include "mt/prune.h"
 #include "mt/query_bind.h"
 #include "obs/export.h"
 
@@ -517,6 +518,9 @@ RelId Session::AddTable(mt::Table table) {
   // Hashed once at registration (one linear pass, amortized over every
   // query that may later share this table's builds through the cache).
   slot.content_hash = mt::TableContentHash(table.batch);
+  // Per-column min/max + KMV distinct sketches: one more linear pass,
+  // feeding the planner's always-true/always-false predicate folds.
+  slot.stats = mt::ComputeColumnStats(table.batch);
   slot.table = std::move(table);
   tables_.push_back(std::move(slot));
   // Conservative invalidation: registration changes what "the same
@@ -530,6 +534,11 @@ RelId Session::AddTable(mt::Table table) {
 const mt::Table* Session::table(RelId id) const {
   if (id >= tables_.size() || !tables_[id].table.has_value()) return nullptr;
   return &*tables_[id].table;
+}
+
+const std::vector<mt::ColumnStats>* Session::table_stats(RelId id) const {
+  if (id >= tables_.size() || !tables_[id].table.has_value()) return nullptr;
+  return &tables_[id].stats;
 }
 
 /// The bridged representations of one planned query: the local (dense)
@@ -625,6 +634,13 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
   // filtered scans.
   std::vector<std::vector<mt::Predicate>> filters(rels.size());
   std::vector<double> filter_sel(rels.size(), 1.0);
+  // Registered tables carry per-column [min, max] stats (AddTable), which
+  // fold predicates before any row is scanned: an always-true predicate is
+  // dropped outright, and an always-false one replaces the relation's
+  // whole conjunction — one impossible compare rejects every row with no
+  // further predicate evaluation. Semantics-preserving, so it applies to
+  // the scalar and vectorized paths alike.
+  std::vector<char> always_false(rels.size(), 0);
   for (const auto& f : q.filters_) {
     auto it = to_local.find(f.rel);
     if (it == to_local.end()) {
@@ -639,11 +655,28 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
           std::to_string(t->width()) + " of relation '" +
           catalog_.relation(f.rel).name + "'");
     }
-    filters[it->second].push_back({f.col, f.cmp, f.value});
+    const uint32_t lrel = it->second;
+    if (always_false[lrel]) continue;
+    const mt::Predicate pred{f.col, f.cmp, f.value};
+    const std::vector<mt::ColumnStats>* stats = table_stats(f.rel);
+    if (stats != nullptr && f.col < stats->size() && t->rows() > 0) {
+      switch (mt::ClassifyPredicate(pred, (*stats)[f.col])) {
+        case mt::PredicateFold::kAlwaysTrue:
+          continue;  // cannot reject any row: drop it
+        case mt::PredicateFold::kAlwaysFalse:
+          always_false[lrel] = 1;
+          filters[lrel].assign(1, pred);
+          filter_sel[lrel] = 1e-4;
+          continue;
+        case mt::PredicateFold::kKeep:
+          break;
+      }
+    }
+    filters[lrel].push_back(pred);
     double s = f.cmp == CmpOp::kEq ? 0.1
                : f.cmp == CmpOp::kNe ? 0.9
                                      : 1.0 / 3.0;
-    filter_sel[it->second] = std::max(1e-4, filter_sel[it->second] * s);
+    filter_sel[lrel] = std::max(1e-4, filter_sel[lrel] * s);
   }
   // The GroupBy/Agg references must join-in, and columns into registered
   // tables are bounds-checked here so the simulated backend rejects the
@@ -1297,12 +1330,25 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
                                         const std::atomic<bool>& stop) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
 
+  // Column pruning rides the vectorized data plane: aggregated plans drop
+  // base-table columns nothing downstream reads (mt/prune.h). The pruned
+  // copy is local to this execution — planner estimates and traces keep
+  // reporting the original plan.
+  mt::PipelinePlan plan = p.mtplan;
+  if (opts.vectorized) {
+    std::vector<uint32_t> widths;
+    widths.reserve(p.tables.size());
+    for (const mt::Table* t : p.tables) widths.push_back(t->width());
+    mt::PruneColumns(&plan, widths);
+  }
+
   std::unique_ptr<ExecContext> ctx = MakeContext(opts, stop);
   mt::PipelineOptions po;
   po.threads = opts.threads_per_node;
   po.strategy = opts.strategy;
   po.apply_h1 = opts.apply_h1;
   po.apply_h2 = opts.apply_h2;
+  po.vectorized = opts.vectorized;
   po.ctx = ctx.get();
   if (opts.reuse_builds) {
     po.build_cache = &build_cache_;
@@ -1314,7 +1360,7 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   if (opts.batch_rows) po.batch_rows = opts.batch_rows;
   if (opts.queue_capacity) po.queue_capacity = opts.queue_capacity;
   if (opts.strategy == Strategy::kFP && opts.fp_error_rate > 0) {
-    uint32_t ops = mt::PipelineExecutor::CompiledOpCount(p.mtplan);
+    uint32_t ops = mt::PipelineExecutor::CompiledOpCount(plan);
     Rng rng(opts.seed ^ 0x9E3779B97F4A7C15ULL);
     po.fp_cost_distortion.resize(ops);
     for (double& d : po.fp_cost_distortion) {
@@ -1336,7 +1382,7 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   mt::PipelineStats stats;
   QueryResult qr;
   auto t0 = std::chrono::steady_clock::now();
-  auto got = executor.Execute(p.mtplan, p.tables, &stats,
+  auto got = executor.Execute(plan, p.tables, &stats,
                               opts.materialize ? &qr.rows : nullptr);
   double wall = WallSince(t0);
   if (opts.trace) {
@@ -1383,7 +1429,7 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
     rep.trace = std::move(qt);
   }
   if (opts.validate) {
-    auto ref = mt::ReferenceExecute(p.mtplan, p.tables);
+    auto ref = mt::ReferenceExecute(plan, p.tables);
     HIERDB_RETURN_NOT_OK(ref.status());
     rep.validated = true;
     rep.reference_rows = ref.value().count;
@@ -1413,6 +1459,16 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   // through one machine.
   cluster::PlanQuery query;
   query.plan = p.mtplan;
+  // Column pruning (vectorized data plane): aggregated plans ship only
+  // the columns referenced downstream over the repartition wire. Tables
+  // are partitioned below with the ORIGINAL plan's columns — partitions
+  // keep full-width rows; the executor's scans emit the projected ones.
+  if (opts.vectorized) {
+    std::vector<uint32_t> widths;
+    widths.reserve(p.tables.size());
+    for (const mt::Table* t : p.tables) widths.push_back(t->width());
+    mt::PruneColumns(&query.plan, widths);
+  }
 
   // Partition each base relation by its first use in plan order: driving
   // scan inputs are placed round-robin (or with Zipf placement skew when
@@ -1458,6 +1514,7 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   co.global_lb = opts.global_lb;
   co.cache_stolen_fragments = opts.cache_stolen_fragments;
   co.serialize_chains = opts.apply_h2;
+  co.vectorized = opts.vectorized;
   if (opts.buckets) co.buckets = opts.buckets;
   if (opts.morsel_rows) co.morsel_rows = opts.morsel_rows;
   if (opts.batch_rows) co.batch_rows = opts.batch_rows;

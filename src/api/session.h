@@ -87,6 +87,7 @@
 #include "exec/engine.h"
 #include "mt/agg.h"
 #include "mt/build_cache.h"
+#include "mt/column_batch.h"
 #include "mt/pipeline_executor.h"
 #include "mt/row.h"
 #include "obs/metrics.h"
@@ -202,6 +203,16 @@ struct ExecOptions {
   /// scatter and inserts entirely; a miss publishes the finished tables
   /// for overlapping/later queries. Invalidated by Session::AddTable.
   bool reuse_builds = true;
+
+  /// Real backends: columnar data plane. Where predicates evaluate as
+  /// selection-vector compare loops, scatter/probe/GROUP BY hashing runs
+  /// one pass over a hash column, probes walk the hash chains with a
+  /// prefetch window (RowTable::ProbeBatch), and aggregated plans prune
+  /// base-table columns nothing downstream reads — on kCluster the
+  /// repartition wire ships only the kept columns. Off falls back to the
+  /// row-at-a-time scalar loops; results are digest-identical either way.
+  /// Ignored by kSimulated.
+  bool vectorized = true;
 
   /// Real backends: also run the single-threaded reference execution and
   /// record the comparison in the report.
@@ -689,6 +700,10 @@ class Session {
   const catalog::Catalog& catalog() const { return catalog_; }
   /// Registered data for `id`, or nullptr for catalog-only relations.
   const mt::Table* table(RelId id) const;
+  /// Per-column statistics (min/max + approximate distinct counts) of a
+  /// registered table, computed at AddTable; nullptr for catalog-only
+  /// relations. Indexed by column.
+  const std::vector<mt::ColumnStats>* table_stats(RelId id) const;
 
   QueryBuilder NewQuery() const { return QueryBuilder(); }
 
@@ -763,6 +778,10 @@ class Session {
   struct TableSlot {
     std::optional<mt::Table> table;
     uint64_t content_hash = 0;  ///< build-cache identity (0 = catalog-only)
+    /// Per-column min/max + approximate distinct counts, computed once at
+    /// AddTable. The planner's predicate short-circuit (always-true /
+    /// always-false Where folds) reads the [min, max] envelope.
+    std::vector<mt::ColumnStats> stats;
   };
   std::deque<TableSlot> tables_;
   /// The deterministic simulator runs one query at a time (so concurrent

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "common/zipf.h"
+#include "mt/column_batch.h"
 #include "mt/row_table.h"
 #include "net/message.h"
 
@@ -466,6 +467,11 @@ struct ClusterExecutor::Impl {
     struct Scratch {
       std::vector<Batch> bucket;
       std::vector<uint32_t> hit;
+      // Vectorized data plane: selection vector, hash column and gathered
+      // key column reused across activations (mt/column_batch.h kernels).
+      mt::SelVec sel;
+      std::vector<uint64_t> hashes;
+      std::vector<int64_t> keys;
     };
     std::vector<std::vector<std::unique_ptr<Scratch>>> scratch_pool;
     std::vector<size_t> scratch_depth;
@@ -501,8 +507,11 @@ struct ClusterExecutor::Impl {
     njoins = 0;
 
     auto src_width = [&](const mt::Source& s) -> uint32_t {
-      return s.kind == mt::Source::Kind::kTable ? q.tables[s.index]->width
-                                                : chains[s.index].out_width;
+      // Pruned base tables enter the pipeline at their projected width
+      // (scans emit only the kept columns; see ExecuteMorsel).
+      return s.kind == mt::Source::Kind::kTable
+                 ? q.plan.EffectiveTableWidth(s.index, q.tables[s.index]->width)
+                 : chains[s.index].out_width;
     };
     std::vector<bool> mat = q.plan.MaterializedChains();
     for (uint32_t c = 0; c < C; ++c) {
@@ -928,6 +937,16 @@ struct ClusterExecutor::Impl {
         trigger_src.kind == mt::Source::Kind::kTable
             ? query->plan.FiltersFor(trigger_src.index)
             : nullptr;
+    // Column pruning: a pruned base table ships only its kept columns —
+    // the repartition wire narrows with it. The plan's key column is in
+    // projected coordinates; map it back for hashing unprojected rows.
+    const std::vector<uint32_t>* proj =
+        trigger_src.kind == mt::Source::Kind::kTable
+            ? query->plan.ProjectionFor(trigger_src.index)
+            : nullptr;
+    const uint32_t out_w =
+        proj != nullptr ? static_cast<uint32_t>(proj->size()) : src.width();
+    const uint32_t key_src = proj != nullptr ? (*proj)[col] : col;
     const uint32_t B = opt.buckets;
     NodeState& ns = *node_state[node];
     const uint64_t tr0 = trace != nullptr ? trace->NowNs() : 0;
@@ -942,22 +961,47 @@ struct ClusterExecutor::Impl {
       }
       Route(node, t, dst_op, bucket, std::move(rows));
     };
-    for (size_t i = begin; i < end; ++i) {
-      const int64_t* row = src.row(i);
-      if (preds != nullptr && !mt::MatchesAll(*preds, row)) {
-        ns.filtered.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
+    auto scatter = [&](const int64_t* row, uint32_t bucket) {
       ++kept;
-      uint32_t bucket = static_cast<uint32_t>(mt::HashKey(row[col]) % B);
       Batch& b = scratch[bucket];
-      if (b.width() == 0) b = Batch(src.width());
+      if (b.width() == 0) b = Batch(out_w);
       if (b.empty()) hit.push_back(bucket);
-      b.AppendRow(row);
+      if (proj != nullptr) {
+        b.AppendRowProjected(row, *proj);
+      } else {
+        b.AppendRow(row);
+      }
       if (b.rows() >= opt.batch_rows) {
         flush(bucket, std::move(b));
         scratch[bucket] = Batch();
         hit.erase(std::find(hit.begin(), hit.end(), bucket));
+      }
+    };
+    if (opt.vectorized) {
+      // Selection vector + one-pass hash column (mt/column_batch.h).
+      const size_t n = end - begin;
+      size_t m = n;
+      const uint32_t* selp = nullptr;
+      if (preds != nullptr) {
+        m = mt::FilterBatch(src, begin, n, *preds, &sc.sel);
+        ns.filtered.fetch_add(n - m, std::memory_order_relaxed);
+        selp = sc.sel.data();
+      }
+      sc.hashes.resize(m);
+      mt::HashStrided(src.data().data() + begin * src.width() + key_src,
+                      src.width(), selp, m, sc.hashes.data());
+      for (size_t i = 0; i < m; ++i) {
+        scatter(src.row(begin + (selp != nullptr ? selp[i] : i)),
+                static_cast<uint32_t>(sc.hashes[i] % B));
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        const int64_t* row = src.row(i);
+        if (preds != nullptr && !mt::MatchesAll(*preds, row)) {
+          ns.filtered.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        scatter(row, static_cast<uint32_t>(mt::HashKey(row[key_src]) % B));
       }
     }
     for (uint32_t bucket : hit) {
@@ -1074,33 +1118,51 @@ struct ClusterExecutor::Impl {
     mt::AggTable* agg_part =
         last && to_agg ? &ns.agg_partials[t] : nullptr;
     uint64_t produced = 0;
-    for (size_t i = 0; i < act.rows.rows(); ++i) {
-      const int64_t* row = act.rows.row(i);
-      table->ForEachMatch(row[probe_col], [&](const int64_t* brow) {
-        ++produced;
-        std::copy(row, row + in_w, out_row.begin());
-        std::copy(brow, brow + build_w, out_row.begin() + in_w);
-        if (last) {
-          if (agg_part != nullptr) {
-            agg_part->Accumulate(out_row.data());
-            return;
-          }
-          if (final_chain) ns.digests[t].Add(out_row.data(), out_w);
-          if (keep_rows) local_out.AppendRow(out_row.data());
+    auto on_match = [&](const int64_t* row, const int64_t* brow) {
+      ++produced;
+      std::copy(row, row + in_w, out_row.begin());
+      std::copy(brow, brow + build_w, out_row.begin() + in_w);
+      if (last) {
+        if (agg_part != nullptr) {
+          agg_part->Accumulate(out_row.data());
           return;
         }
-        uint32_t bucket =
-            static_cast<uint32_t>(mt::HashKey(out_row[next_col]) % B);
-        Batch& b = scratch[bucket];
-        if (b.width() == 0) b = Batch(out_w);
-        if (b.empty()) hit.push_back(bucket);
-        b.AppendRow(out_row.data());
-        if (b.rows() >= opt.batch_rows) {
-          Route(node, t, next_op, bucket, std::move(b));
-          scratch[bucket] = Batch();
-          hit.erase(std::find(hit.begin(), hit.end(), bucket));
-        }
-      });
+        if (final_chain) ns.digests[t].Add(out_row.data(), out_w);
+        if (keep_rows) local_out.AppendRow(out_row.data());
+        return;
+      }
+      uint32_t bucket =
+          static_cast<uint32_t>(mt::HashKey(out_row[next_col]) % B);
+      Batch& b = scratch[bucket];
+      if (b.width() == 0) b = Batch(out_w);
+      if (b.empty()) hit.push_back(bucket);
+      b.AppendRow(out_row.data());
+      if (b.rows() >= opt.batch_rows) {
+        Route(node, t, next_op, bucket, std::move(b));
+        scratch[bucket] = Batch();
+        hit.erase(std::find(hit.begin(), hit.end(), bucket));
+      }
+    };
+    if (opt.vectorized && act.rows.rows() > 0) {
+      // Batched probe: gather the key column, hash it in one pass, walk
+      // the chains with a prefetch window (RowTable::ProbeBatch).
+      const size_t n = act.rows.rows();
+      sc.keys.resize(n);
+      sc.hashes.resize(n);
+      mt::GatherStrided(act.rows.data().data() + probe_col, in_w, nullptr, n,
+                        sc.keys.data());
+      mt::HashStrided(sc.keys.data(), 1, nullptr, n, sc.hashes.data());
+      table->ProbeBatch(sc.keys.data(), sc.hashes.data(), n,
+                        [&](size_t i, const int64_t* brow) {
+                          on_match(act.rows.row(i), brow);
+                        });
+    } else {
+      for (size_t i = 0; i < act.rows.rows(); ++i) {
+        const int64_t* row = act.rows.row(i);
+        table->ForEachMatch(row[probe_col], [&](const int64_t* brow) {
+          on_match(row, brow);
+        });
+      }
     }
     for (uint32_t bucket : hit) {
       Route(node, t, next_op, bucket, std::move(scratch[bucket]));

@@ -143,6 +143,12 @@ struct ClusterOptions {
   /// source chains have all terminated run concurrently (triggers of a
   /// chain unblock as soon as its own inputs are complete).
   bool serialize_chains = true;
+  /// Columnar data plane, mirroring mt::PipelineOptions::vectorized:
+  /// selection-vector Where evaluation, one-pass hash columns for the
+  /// scatter/repartition loops, and batched probes through
+  /// RowTable::ProbeBatch. Off falls back to the row-at-a-time loops;
+  /// results are digest-identical either way.
+  bool vectorized = true;
   /// FP only: multiplicative distortion applied to per-operator cost
   /// estimates, indexed by compiled cluster op id (see
   /// ClusterExecutor::CompiledOpCount); empty = exact estimates.

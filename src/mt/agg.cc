@@ -219,6 +219,61 @@ void AggTable::Accumulate(const int64_t* row) {
   }
 }
 
+void AggTable::AccumulateBatch(const Batch& rows, size_t begin,
+                               const uint32_t* sel, size_t n,
+                               const uint32_t* col_map,
+                               BatchScratch* scratch) {
+  if (n == 0) return;
+  const uint32_t g = static_cast<uint32_t>(spec_->group_cols.size());
+  const size_t stride = rows.width();
+  const int64_t* origin = rows.data().data() + begin * stride;
+  // Column-at-a-time gather + hash: GroupHash's per-column mix
+  //   h ^= v; h *= FNV_PRIME; h ^= h >> 29
+  // is sequential per row, so running it one column across all rows
+  // yields exactly the scalar per-row hashes.
+  scratch->hashes.assign(n, 0xCBF29CE484222325ULL);
+  scratch->keys.resize(n * g);
+  uint64_t* hashes = scratch->hashes.data();
+  int64_t* keys = scratch->keys.data();
+  for (uint32_t j = 0; j < g; ++j) {
+    uint32_t c = spec_->group_cols[j];
+    if (col_map != nullptr) c = col_map[c];
+    const int64_t* base = origin + c;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = sel == nullptr ? i : sel[i];
+      const int64_t v = base[r * stride];
+      keys[i * g + j] = v;
+      uint64_t h = hashes[i];
+      h ^= static_cast<uint64_t>(v);
+      h *= 0x100000001B3ULL;
+      h ^= h >> 29;
+      hashes[i] = h;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = sel == nullptr ? i : sel[i];
+    const int64_t* row = origin + r * stride;
+    int64_t* p = FindOrInsert(keys + i * g, hashes[i]);
+    uint32_t s = g;
+    for (const AggExpr& a : spec_->aggs) {
+      // kCount ignores its column, so only value aggregates map it.
+      const uint32_t c =
+          a.fn != AggFn::kCount && col_map != nullptr ? col_map[a.col] : a.col;
+      switch (a.fn) {
+        case AggFn::kCount: p[s] = WrapAdd(p[s], 1); ++s; break;
+        case AggFn::kSum: p[s] = WrapAdd(p[s], row[c]); ++s; break;
+        case AggFn::kMin: p[s] = std::min(p[s], row[c]); ++s; break;
+        case AggFn::kMax: p[s] = std::max(p[s], row[c]); ++s; break;
+        case AggFn::kAvg:
+          p[s] = WrapAdd(p[s], row[c]);
+          p[s + 1] = WrapAdd(p[s + 1], 1);
+          s += 2;
+          break;
+      }
+    }
+  }
+}
+
 void AggTable::MergePartial(const int64_t* partial) {
   const uint32_t g = static_cast<uint32_t>(spec_->group_cols.size());
   int64_t* p = FindOrInsert(partial, GroupHash(partial, g));

@@ -145,6 +145,24 @@ class AggTable {
   /// Phase 1: folds one final-chain output row into its group's partial.
   void Accumulate(const int64_t* row);
 
+  /// Reusable scratch for AccumulateBatch (hash column + gathered keys).
+  struct BatchScratch {
+    std::vector<uint64_t> hashes;
+    std::vector<int64_t> keys;  ///< row-major n x |group_cols| gather
+  };
+
+  /// Vectorized phase 1: folds rows begin+sel[i], i in [0, n) (sel ==
+  /// nullptr: rows begin..begin+n-1) of a row-major batch. Group keys are
+  /// gathered and their GroupHash mixed column-at-a-time — bit-identical
+  /// to the scalar per-row hash — leaving only the table lookup and
+  /// accumulator update per row. `col_map` (optional) maps the spec's
+  /// column indexes onto physical columns of `rows` (executors pass a
+  /// table's projection when accumulating straight from unprojected
+  /// source rows).
+  void AccumulateBatch(const Batch& rows, size_t begin, const uint32_t* sel,
+                       size_t n, const uint32_t* col_map,
+                       BatchScratch* scratch);
+
   /// Merge phase: folds one partial row (PartialWidth layout) produced by
   /// another table over the same spec.
   void MergePartial(const int64_t* partial);

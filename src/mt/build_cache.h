@@ -74,6 +74,10 @@ struct BuildKey {
   uint32_t buckets = 0;    ///< degree of fragmentation
   uint64_t seed_skew = 0;  ///< synthesis identity; 0 for registered tables
   uint64_t filters = 0;    ///< PredicatesHash of the build's scan filters
+  /// Identity of the build's column projection (0 = all columns): a
+  /// pruned build stores narrowed rows with remapped key columns, so it
+  /// must never alias an unpruned build of the same table.
+  uint64_t projection = 0;
 
   bool operator==(const BuildKey&) const = default;
 };
@@ -85,6 +89,7 @@ struct BuildKeyHash {
          0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
     h ^= k.seed_skew + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
     h ^= k.filters + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h ^= k.projection + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
     return static_cast<size_t>(h);
   }
 };

@@ -3,6 +3,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "mt/column_batch.h"
+
 namespace hierdb::mt {
 
 JoinResult ReferenceStarJoin(const Relation& fact,
@@ -268,16 +270,25 @@ void StarJoinExecutor::Execute(const Activation& a, uint32_t self) {
       break;
     }
     case Activation::Kind::kProbeBatch: {
+      // Vectorized probe: hash each tuple key once, then walk every
+      // dimension table with the batched (hash[], key[]) lookup — the
+      // scalar loop rehashed the same key per dimension.
+      const size_t n = a.batch.size();
+      static thread_local std::vector<int64_t> keys;
+      static thread_local std::vector<uint64_t> hashes, counts;
+      keys.resize(n);
+      hashes.resize(n);
+      counts.assign(n, 1);
+      for (size_t i = 0; i < n; ++i) keys[i] = a.batch[i].key;
+      HashStrided(keys.data(), 1, nullptr, n, hashes.data());
+      for (size_t d = 0; d < dims_.size(); ++d) {
+        tables_[d][a.bucket].MatchCountBatch(keys.data(), hashes.data(), n,
+                                             counts.data());
+      }
       uint64_t count = 0, checksum = 0;
-      for (const Tuple& t : a.batch) {
-        uint64_t c = 1;
-        for (size_t d = 0; d < dims_.size() && c != 0; ++d) {
-          c *= tables_[d][a.bucket].MatchCount(t.key);
-        }
-        if (c != 0) {
-          count += c;
-          checksum += c * HashKey(t.key);
-        }
+      for (size_t i = 0; i < n; ++i) {
+        count += counts[i];
+        checksum += counts[i] * hashes[i];
       }
       result_count_.fetch_add(count, std::memory_order_relaxed);
       result_checksum_.fetch_add(checksum, std::memory_order_relaxed);

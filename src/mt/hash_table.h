@@ -41,6 +41,32 @@ class HashTable {
     return n;
   }
 
+  /// Batched (hash[], key[]) probe: counts[i] accumulates (*=) the match
+  /// count of keys[i]. hashes[i] must be HashKey(keys[i]) — computed once
+  /// by the caller and reused across every dimension table of a probe
+  /// batch instead of rehashing per (tuple, dimension). A prefetch window
+  /// hides the chain-head misses of independent lookups.
+  void MatchCountBatch(const int64_t* keys, const uint64_t* hashes, size_t n,
+                       uint64_t* counts) const {
+    if (heads_.empty()) {
+      for (size_t i = 0; i < n; ++i) counts[i] = 0;
+      return;
+    }
+    const uint64_t mask = heads_.size() - 1;
+    constexpr size_t kPrefetch = 8;
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kPrefetch < n) {
+        __builtin_prefetch(&heads_[hashes[i + kPrefetch] & mask], 0, 1);
+      }
+      uint64_t c = 0;
+      for (uint32_t e = heads_[hashes[i] & mask]; e != kNoEntry;
+           e = entries_[e].next) {
+        c += entries_[e].key == keys[i] ? 1 : 0;
+      }
+      counts[i] *= c;
+    }
+  }
+
   size_t size() const { return entries_.size(); }
   uint64_t bytes() const {
     return entries_.size() * sizeof(Entry) + heads_.size() * sizeof(uint32_t);

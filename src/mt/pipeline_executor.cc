@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "mt/column_batch.h"
 #include "mt/row_table.h"
 
 namespace hierdb::mt {
@@ -89,6 +90,16 @@ bool BuildCacheKeyFor(const PipelineOptions& options, const PipelinePlan& plan,
   // never alias an unfiltered (or differently filtered) one.
   const std::vector<Predicate>* preds = plan.FiltersFor(build.index);
   key->filters = preds != nullptr ? PredicatesHash(*preds) : 0;
+  // Same for column projections: a pruned build stores narrowed rows.
+  key->projection = 0;
+  if (const std::vector<uint32_t>* proj = plan.ProjectionFor(build.index)) {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (uint32_t c : *proj) {
+      h ^= c;
+      h *= 0x100000001B3ULL;
+    }
+    key->projection = h == 0 ? 1 : h;
+  }
   return true;
 }
 
@@ -231,6 +242,12 @@ struct PipelineExecutor::Shared {
   struct Scratch {
     std::vector<Batch> bucket;
     std::vector<uint32_t> hit;
+    // Vectorized data plane: selection vector, hash column and gathered
+    // key column reused across activations (mt/column_batch.h kernels).
+    SelVec sel;
+    std::vector<uint64_t> hashes;
+    std::vector<int64_t> keys;
+    AggTable::BatchScratch agg;
   };
   std::vector<std::vector<std::unique_ptr<Scratch>>> scratch_pool;
   std::vector<size_t> scratch_depth;
@@ -325,10 +342,11 @@ Result<ResultDigest> PipelineExecutor::Execute(
   for (uint32_t c = 0; c < plan.chains.size(); ++c) {
     const Chain& chain = plan.chains[c];
     const uint32_t k = static_cast<uint32_t>(chain.joins.size());
-    // Width bookkeeping.
+    // Width bookkeeping (a projected table source emits only its kept
+    // columns, so the pipelined widths shrink with the plan's pruning).
     auto src_width = [&](const Source& s) -> uint32_t {
       return s.kind == Source::Kind::kTable
-                 ? tables[s.index]->width()
+                 ? plan.EffectiveTableWidth(s.index, tables[s.index]->width())
                  : plan.OutputWidth(tables, s.index);
     };
     sh.width_at[c].push_back(src_width(chain.input));
@@ -475,7 +493,8 @@ Result<ResultDigest> PipelineExecutor::Execute(
       if (sh.prebuilt[join_id] != nullptr) continue;  // shared tables
       const Source& b = plan.chains[c].joins[j].build;
       uint32_t bw = b.kind == Source::Kind::kTable
-                        ? tables[b.index]->width()
+                        ? plan.EffectiveTableWidth(b.index,
+                                                   tables[b.index]->width())
                         : plan.OutputWidth(tables, b.index);
       sh.join_tables[join_id].resize(B);
       sh.bucket_mu[join_id].resize(B);
@@ -1028,10 +1047,50 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
   const std::vector<Predicate>* preds =
       op.src.kind == Source::Kind::kTable ? plan.FiltersFor(op.src.index)
                                           : nullptr;
+  // Column pruning: a table source with a projection emits only its kept
+  // columns. Plan column references are already in projected coordinates,
+  // so key columns map back to source coordinates while reading the
+  // unprojected rows; chain sources were emitted pruned and need no map.
+  const std::vector<uint32_t>* proj =
+      op.src.kind == Source::Kind::kTable ? plan.ProjectionFor(op.src.index)
+                                          : nullptr;
+  const uint32_t out_w =
+      proj != nullptr ? static_cast<uint32_t>(proj->size()) : src.width();
+  auto src_col = [&](uint32_t col) {
+    return proj != nullptr ? (*proj)[col] : col;
+  };
+  auto append = [&](Batch& b, const int64_t* row) {
+    if (proj != nullptr) {
+      b.AppendRowProjected(row, *proj);
+    } else {
+      b.AppendRow(row);
+    }
+  };
   auto passes = [&](const int64_t* row) {
     if (preds == nullptr || MatchesAll(*preds, row)) return true;
     sh.stat_filtered.fetch_add(1, std::memory_order_relaxed);
     return false;
+  };
+  // Vectorized front end shared by the branches below: one selection
+  // vector over the morsel (per-predicate compare loops), then one hash
+  // column over the survivors' key values. Leaves sc.sel/sc.hashes set;
+  // returns the survivor count.
+  auto select_and_hash = [&](auto& sc, uint32_t key_col,
+                             bool want_hash) -> size_t {
+    const size_t n = end - begin;
+    size_t m = n;
+    const uint32_t* selp = nullptr;
+    if (preds != nullptr) {
+      m = FilterBatch(src, begin, n, *preds, &sc.sel);
+      sh.stat_filtered.fetch_add(n - m, std::memory_order_relaxed);
+      selp = sc.sel.data();
+    }
+    if (want_hash) {
+      sc.hashes.resize(m);
+      HashStrided(src.data().data() + begin * src.width() + key_col,
+                  src.width(), selp, m, sc.hashes.data());
+    }
+    return m;
   };
 
   if (op.kind == COp::kBuild) {
@@ -1040,16 +1099,30 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
     auto& sc = sh.AcquireScratch(self, B);
     auto& scratch = sc.bucket;
     auto& hit = sc.hit;
-    for (size_t i = begin; i < end; ++i) {
-      const int64_t* row = src.row(i);
-      if (!passes(row)) continue;
-      uint32_t bucket =
-          static_cast<uint32_t>(HashKey(row[js.build_col]) % B);
-      Batch& b = scratch[bucket];
-      if (b.width() == 0) b = Batch(src.width());
-      if (b.empty()) hit.push_back(bucket);
-      b.AppendRow(row);
-      ++rows_out;
+    if (options_.vectorized) {
+      const size_t m = select_and_hash(sc, src_col(js.build_col), true);
+      const uint32_t* selp = preds != nullptr ? sc.sel.data() : nullptr;
+      for (size_t i = 0; i < m; ++i) {
+        const int64_t* row = src.row(begin + (selp != nullptr ? selp[i] : i));
+        uint32_t bucket = static_cast<uint32_t>(sc.hashes[i] % B);
+        Batch& b = scratch[bucket];
+        if (b.width() == 0) b = Batch(out_w);
+        if (b.empty()) hit.push_back(bucket);
+        append(b, row);
+      }
+      rows_out = m;
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        const int64_t* row = src.row(i);
+        if (!passes(row)) continue;
+        uint32_t bucket =
+            static_cast<uint32_t>(HashKey(row[src_col(js.build_col)]) % B);
+        Batch& b = scratch[bucket];
+        if (b.width() == 0) b = Batch(out_w);
+        if (b.empty()) hit.push_back(bucket);
+        append(b, row);
+        ++rows_out;
+      }
     }
     for (uint32_t bucket : hit) {
       Emit(self, op_id, bucket, std::move(scratch[bucket]));
@@ -1068,19 +1141,60 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
   if (chain.joins.empty()) {
     const bool final_chain = op.chain + 1 == plan.chains.size();
     const bool to_agg = final_chain && sh.agg != nullptr;
-    for (size_t i = begin; i < end; ++i) {
-      const int64_t* row = src.row(i);
-      if (!passes(row)) continue;
-      ++rows_out;
+    if (options_.vectorized) {
+      auto& sc = sh.AcquireScratch(self, B);
+      const size_t m = select_and_hash(sc, 0, false);
+      const uint32_t* selp = preds != nullptr ? sc.sel.data() : nullptr;
+      rows_out = m;
       if (to_agg) {
-        sh.agg_partials[self].Accumulate(row);
-        continue;
+        // Phase 1 of the two-phase aggregation, batched: one GroupHash
+        // column plus column-at-a-time key gathers; the projection (if
+        // any) maps the spec's pruned coordinates back to source ones.
+        sh.agg_partials[self].AccumulateBatch(
+            src, begin, selp, m, proj != nullptr ? proj->data() : nullptr,
+            &sc.agg);
+      } else {
+        std::vector<int64_t> buf;
+        for (size_t i = 0; i < m; ++i) {
+          const int64_t* row =
+              src.row(begin + (selp != nullptr ? selp[i] : i));
+          if (proj != nullptr) {
+            buf.clear();
+            for (uint32_t cc : *proj) buf.push_back(row[cc]);
+            row = buf.data();
+          }
+          if (final_chain) sh.thread_digests[self].Add(row, out_w);
+          if (sh.materialized[op.chain]) {
+            Batch& part = sh.chain_partials[op.chain][self];
+            if (part.width() == 0) part = Batch(out_w);
+            part.AppendRow(row);
+          }
+        }
       }
-      if (final_chain) sh.thread_digests[self].Add(row, src.width());
-      if (sh.materialized[op.chain]) {
-        Batch& part = sh.chain_partials[op.chain][self];
-        if (part.width() == 0) part = Batch(src.width());
-        part.AppendRow(row);
+      sh.ReleaseScratch(self);
+    } else {
+      std::vector<int64_t> buf;
+      for (size_t i = begin; i < end; ++i) {
+        const int64_t* row = src.row(i);
+        if (!passes(row)) continue;
+        ++rows_out;
+        if (proj != nullptr) {
+          // The spec/digest reference projected coordinates: hand the
+          // pruned row downstream.
+          buf.clear();
+          for (uint32_t cc : *proj) buf.push_back(row[cc]);
+          row = buf.data();
+        }
+        if (to_agg) {
+          sh.agg_partials[self].Accumulate(row);
+          continue;
+        }
+        if (final_chain) sh.thread_digests[self].Add(row, out_w);
+        if (sh.materialized[op.chain]) {
+          Batch& part = sh.chain_partials[op.chain][self];
+          if (part.width() == 0) part = Batch(out_w);
+          part.AppendRow(row);
+        }
       }
     }
     // A join-less chain's scan is its terminal op: the passing rows are
@@ -1095,19 +1209,32 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
   auto& sc = sh.AcquireScratch(self, B);
   auto& scratch = sc.bucket;
   auto& hit = sc.hit;
-  for (size_t i = begin; i < end; ++i) {
-    const int64_t* row = src.row(i);
-    if (!passes(row)) continue;
-    uint32_t bucket = static_cast<uint32_t>(HashKey(row[js.probe_col]) % B);
+  auto scatter = [&](const int64_t* row, uint32_t bucket) {
     Batch& b = scratch[bucket];
-    if (b.width() == 0) b = Batch(src.width());
+    if (b.width() == 0) b = Batch(out_w);
     if (b.empty()) hit.push_back(bucket);
-    b.AppendRow(row);
-    ++rows_out;
+    append(b, row);
     if (b.rows() >= options_.batch_rows) {
       Emit(self, op.consumer, bucket, std::move(b));
       scratch[bucket] = Batch();
       hit.erase(std::find(hit.begin(), hit.end(), bucket));
+    }
+  };
+  if (options_.vectorized) {
+    const size_t m = select_and_hash(sc, src_col(js.probe_col), true);
+    const uint32_t* selp = preds != nullptr ? sc.sel.data() : nullptr;
+    for (size_t i = 0; i < m; ++i) {
+      const int64_t* row = src.row(begin + (selp != nullptr ? selp[i] : i));
+      scatter(row, static_cast<uint32_t>(sc.hashes[i] % B));
+    }
+    rows_out = m;
+  } else {
+    for (size_t i = begin; i < end; ++i) {
+      const int64_t* row = src.row(i);
+      if (!passes(row)) continue;
+      scatter(row,
+              static_cast<uint32_t>(HashKey(row[src_col(js.probe_col)]) % B));
+      ++rows_out;
     }
   }
   for (uint32_t bucket : hit) {
@@ -1163,23 +1290,43 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
     AggTable* agg_part = to_agg ? &sh.agg_partials[self] : nullptr;
     std::vector<int64_t> out_row(out_width);
     uint64_t produced = 0;
-    for (size_t i = 0; i < act.rows.rows(); ++i) {
-      const int64_t* row = act.rows.row(i);
-      table.ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
-        std::copy(row, row + in_width, out_row.begin());
-        std::copy(brow, brow + table.width(), out_row.begin() + in_width);
-        ++produced;
-        if (agg_part != nullptr) {
-          // Phase 1 of the two-phase aggregation: fold the result row
-          // into this slot's private partial table.
-          agg_part->Accumulate(out_row.data());
-          return;
-        }
-        if (final_chain) {
-          sh.thread_digests[self].Add(out_row.data(), out_width);
-        }
-        if (part != nullptr) part->AppendRow(out_row.data());
-      });
+    auto on_match = [&](const int64_t* row, const int64_t* brow) {
+      std::copy(row, row + in_width, out_row.begin());
+      std::copy(brow, brow + table.width(), out_row.begin() + in_width);
+      ++produced;
+      if (agg_part != nullptr) {
+        // Phase 1 of the two-phase aggregation: fold the result row
+        // into this slot's private partial table.
+        agg_part->Accumulate(out_row.data());
+        return;
+      }
+      if (final_chain) {
+        sh.thread_digests[self].Add(out_row.data(), out_width);
+      }
+      if (part != nullptr) part->AppendRow(out_row.data());
+    };
+    if (options_.vectorized && act.rows.rows() > 0) {
+      // Batched probe: gather the key column, hash it in one pass, then
+      // walk the chains with a prefetch window (RowTable::ProbeBatch).
+      auto& sc = sh.AcquireScratch(self, B);
+      const size_t n = act.rows.rows();
+      sc.keys.resize(n);
+      sc.hashes.resize(n);
+      GatherStrided(act.rows.data().data() + js.probe_col, in_width, nullptr,
+                    n, sc.keys.data());
+      HashStrided(sc.keys.data(), 1, nullptr, n, sc.hashes.data());
+      table.ProbeBatch(sc.keys.data(), sc.hashes.data(), n,
+                       [&](size_t i, const int64_t* brow) {
+                         on_match(act.rows.row(i), brow);
+                       });
+      sh.ReleaseScratch(self);
+    } else {
+      for (size_t i = 0; i < act.rows.rows(); ++i) {
+        const int64_t* row = act.rows.row(i);
+        table.ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
+          on_match(row, brow);
+        });
+      }
     }
     // The last probe is its chain's terminal op: its output rows are the
     // chain's actual cardinality (pre-aggregation on agg plans).
@@ -1197,24 +1344,40 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
   auto& hit = sc.hit;
   std::vector<int64_t> out_row(out_width);
   uint64_t produced = 0;
-  for (size_t i = 0; i < act.rows.rows(); ++i) {
-    const int64_t* row = act.rows.row(i);
-    table.ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
-      std::copy(row, row + in_width, out_row.begin());
-      std::copy(brow, brow + table.width(), out_row.begin() + in_width);
-      ++produced;
-      uint32_t bucket =
-          static_cast<uint32_t>(HashKey(out_row[next.probe_col]) % B);
-      Batch& b = scratch[bucket];
-      if (b.width() == 0) b = Batch(out_width);
-      if (b.empty()) hit.push_back(bucket);
-      b.AppendRow(out_row.data());
-      if (b.rows() >= options_.batch_rows) {
-        Emit(self, op.consumer, bucket, std::move(b));
-        scratch[bucket] = Batch();
-        hit.erase(std::find(hit.begin(), hit.end(), bucket));
-      }
-    });
+  auto on_match = [&](const int64_t* row, const int64_t* brow) {
+    std::copy(row, row + in_width, out_row.begin());
+    std::copy(brow, brow + table.width(), out_row.begin() + in_width);
+    ++produced;
+    uint32_t bucket =
+        static_cast<uint32_t>(HashKey(out_row[next.probe_col]) % B);
+    Batch& b = scratch[bucket];
+    if (b.width() == 0) b = Batch(out_width);
+    if (b.empty()) hit.push_back(bucket);
+    b.AppendRow(out_row.data());
+    if (b.rows() >= options_.batch_rows) {
+      Emit(self, op.consumer, bucket, std::move(b));
+      scratch[bucket] = Batch();
+      hit.erase(std::find(hit.begin(), hit.end(), bucket));
+    }
+  };
+  if (options_.vectorized && act.rows.rows() > 0) {
+    const size_t n = act.rows.rows();
+    sc.keys.resize(n);
+    sc.hashes.resize(n);
+    GatherStrided(act.rows.data().data() + js.probe_col, in_width, nullptr, n,
+                  sc.keys.data());
+    HashStrided(sc.keys.data(), 1, nullptr, n, sc.hashes.data());
+    table.ProbeBatch(sc.keys.data(), sc.hashes.data(), n,
+                     [&](size_t i, const int64_t* brow) {
+                       on_match(act.rows.row(i), brow);
+                     });
+  } else {
+    for (size_t i = 0; i < act.rows.rows(); ++i) {
+      const int64_t* row = act.rows.row(i);
+      table.ForEachMatch(row[js.probe_col], [&](const int64_t* brow) {
+        on_match(row, brow);
+      });
+    }
   }
   for (uint32_t bucket : hit) {
     Emit(self, op.consumer, bucket, std::move(scratch[bucket]));
@@ -1477,10 +1640,23 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
       const std::vector<Predicate>* build_preds =
           filters_of(chain.joins[j].build);
       const Batch& build = batch_of(chain.joins[j].build);
+      // A pruned table build stores only its kept columns; the plan's
+      // build_col indexes the projected row, so map it back to the source
+      // coordinate for hashing the unprojected rows.
+      const std::vector<uint32_t>* bproj =
+          chain.joins[j].build.kind == Source::Kind::kTable
+              ? plan.ProjectionFor(chain.joins[j].build.index)
+              : nullptr;
+      const uint32_t bw = bproj != nullptr
+                              ? static_cast<uint32_t>(bproj->size())
+                              : build.width();
+      const uint32_t key_src = bproj != nullptr
+                                   ? (*bproj)[chain.joins[j].build_col]
+                                   : chain.joins[j].build_col;
       auto built = std::make_shared<BucketTables>(B);
       std::vector<std::unique_ptr<std::mutex>> bucket_mu(B);
       for (uint32_t b = 0; b < B; ++b) {
-        (*built)[b].Init(build.width(), chain.joins[j].build_col);
+        (*built)[b].Init(bw, chain.joins[j].build_col);
         bucket_mu[b] = std::make_unique<std::mutex>();
       }
       std::atomic<size_t> cursor{0};
@@ -1489,26 +1665,51 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
         // each bucket lock once per morsel (amortized locking).
         std::vector<Batch> local(B);
         std::vector<uint32_t> touched;
+        SelVec sel;
+        std::vector<uint64_t> hashes;
         const uint64_t tr0 = trace != nullptr ? trace->NowNs() : 0;
         uint64_t acts = 0, rin = 0, rout = 0;
+        auto scatter = [&](const int64_t* row, uint32_t bucket) {
+          Batch& b = local[bucket];
+          if (b.width() == 0) b = Batch(bw);
+          if (b.empty()) touched.push_back(bucket);
+          if (bproj != nullptr) {
+            b.AppendRowProjected(row, *bproj);
+          } else {
+            b.AppendRow(row);
+          }
+          ++rout;
+        };
         while (!ctx->StopRequested()) {
           size_t begin = cursor.fetch_add(options_.morsel_rows);
           if (begin >= build.rows()) break;
           size_t end =
               std::min<size_t>(begin + options_.morsel_rows, build.rows());
-          for (size_t i = begin; i < end; ++i) {
-            const int64_t* row = build.row(i);
-            if (build_preds != nullptr && !MatchesAll(*build_preds, row)) {
-              filtered.fetch_add(1, std::memory_order_relaxed);
-              continue;
+          if (options_.vectorized) {
+            const size_t n = end - begin;
+            size_t m = n;
+            const uint32_t* selp = nullptr;
+            if (build_preds != nullptr) {
+              m = FilterBatch(build, begin, n, *build_preds, &sel);
+              filtered.fetch_add(n - m, std::memory_order_relaxed);
+              selp = sel.data();
             }
-            uint32_t bucket = static_cast<uint32_t>(
-                HashKey(row[chain.joins[j].build_col]) % B);
-            Batch& b = local[bucket];
-            if (b.width() == 0) b = Batch(build.width());
-            if (b.empty()) touched.push_back(bucket);
-            b.AppendRow(row);
-            ++rout;
+            hashes.resize(m);
+            HashStrided(build.data().data() + begin * build.width() + key_src,
+                        build.width(), selp, m, hashes.data());
+            for (size_t i = 0; i < m; ++i) {
+              scatter(build.row(begin + (selp != nullptr ? selp[i] : i)),
+                      static_cast<uint32_t>(hashes[i] % B));
+            }
+          } else {
+            for (size_t i = begin; i < end; ++i) {
+              const int64_t* row = build.row(i);
+              if (build_preds != nullptr && !MatchesAll(*build_preds, row)) {
+                filtered.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              scatter(row, static_cast<uint32_t>(HashKey(row[key_src]) % B));
+            }
           }
           for (uint32_t bucket : touched) {
             std::lock_guard<std::mutex> lock(*bucket_mu[bucket]);
@@ -1547,15 +1748,26 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
     // chain with nested procedure calls.
     const std::vector<Predicate>* input_preds = filters_of(chain.input);
     const Batch& input = batch_of(chain.input);
-    uint32_t out_width = input.width();
+    const std::vector<uint32_t>* iproj =
+        chain.input.kind == Source::Kind::kTable
+            ? plan.ProjectionFor(chain.input.index)
+            : nullptr;
+    const uint32_t in_w = iproj != nullptr
+                              ? static_cast<uint32_t>(iproj->size())
+                              : input.width();
+    uint32_t out_width = in_w;
     for (const JoinStep& j : chain.joins) {
-      out_width += batch_of(j.build).width();
+      out_width += j.build.kind == Source::Kind::kTable
+                       ? plan.EffectiveTableWidth(j.build.index,
+                                                  batch_of(j.build).width())
+                       : batch_of(j.build).width();
     }
     const bool to_agg = final_chain && agg != nullptr;
     std::vector<Batch> partials(T);
     std::atomic<size_t> cursor{0};
     ctx->SpawnWorkers(T, [&](uint32_t t) {
       std::vector<int64_t> row_buf(out_width);
+      SelVec sel;
       const uint64_t tr0 = trace != nullptr ? trace->NowNs() : 0;
       uint64_t acts = 0, rin = 0;
       uint64_t produced = 0;
@@ -1592,15 +1804,29 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
         if (begin >= input.rows()) break;
         size_t end =
             std::min<size_t>(begin + options_.morsel_rows, input.rows());
-        for (size_t i = begin; i < end; ++i) {
-          if (input_preds != nullptr &&
-              !MatchesAll(*input_preds, input.row(i))) {
+        const size_t n = end - begin;
+        size_t m = n;
+        const uint32_t* selp = nullptr;
+        if (options_.vectorized && input_preds != nullptr) {
+          m = FilterBatch(input, begin, n, *input_preds, &sel);
+          filtered.fetch_add(n - m, std::memory_order_relaxed);
+          selp = sel.data();
+        }
+        for (size_t k = 0; k < m; ++k) {
+          const int64_t* row = input.row(begin + (selp != nullptr ? selp[k] : k));
+          if (selp == nullptr && input_preds != nullptr &&
+              !MatchesAll(*input_preds, row)) {
             filtered.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
-          std::copy(input.row(i), input.row(i) + input.width(),
-                    row_buf.begin());
-          walk(walk, 0, input.width());
+          if (iproj != nullptr) {
+            for (uint32_t cc = 0; cc < in_w; ++cc) {
+              row_buf[cc] = row[(*iproj)[cc]];
+            }
+          } else {
+            std::copy(row, row + in_w, row_buf.begin());
+          }
+          walk(walk, 0, in_w);
         }
         ++busy[t];
         ++acts;

@@ -69,6 +69,12 @@ struct PipelineOptions {
   LocalStrategy strategy = LocalStrategy::kDP;
   bool apply_h1 = true;         ///< chain scan waits for its hash tables
   bool apply_h2 = true;         ///< chains execute one at a time
+  /// Columnar data plane: evaluate Where predicates as selection-vector
+  /// compare loops, batch HashKey/GroupHash computation, and probe build
+  /// tables through RowTable::ProbeBatch (mt/column_batch.h). Off falls
+  /// back to the row-at-a-time scalar loops; results are digest-identical
+  /// either way.
+  bool vectorized = true;
   /// FP only: multiplicative distortion applied to per-operator cost
   /// estimates, indexed by compiled op id; empty = exact estimates.
   std::vector<double> fp_cost_distortion;

@@ -31,9 +31,31 @@ Status PipelinePlan::ValidateWidths(
   };
   auto source_width = [&](const Source& s) -> uint32_t {
     return s.kind == Source::Kind::kTable
-               ? table_widths[s.index]
+               ? EffectiveTableWidth(s.index, table_widths[s.index])
                : OutputWidthFrom(table_widths, s.index);
   };
+  for (size_t t = 0; t < table_projections.size(); ++t) {
+    if (table_projections[t].empty()) continue;
+    if (t >= table_widths.size()) {
+      return Status::OutOfRange("projection references table index " +
+                                std::to_string(t));
+    }
+    uint32_t prev = UINT32_MAX;
+    for (uint32_t col : table_projections[t]) {
+      if (col >= table_widths[t]) {
+        return Status::OutOfRange(
+            "projection column " + std::to_string(col) + " >= width " +
+            std::to_string(table_widths[t]) + " of table " +
+            std::to_string(t));
+      }
+      if (prev != UINT32_MAX && col <= prev) {
+        return Status::InvalidArgument(
+            "projection of table " + std::to_string(t) +
+            " must list strictly increasing columns");
+      }
+      prev = col;
+    }
+  }
   for (uint32_t c = 0; c < chains.size(); ++c) {
     const Chain& chain = chains[c];
     HIERDB_RETURN_NOT_OK(check_source(chain.input, c));
@@ -88,7 +110,7 @@ uint32_t PipelinePlan::OutputWidthFrom(
   const Chain& c = chains[chain];
   auto source_width = [&](const Source& s) -> uint32_t {
     return s.kind == Source::Kind::kTable
-               ? table_widths[s.index]
+               ? EffectiveTableWidth(s.index, table_widths[s.index])
                : OutputWidthFrom(table_widths, s.index);
   };
   uint32_t width = source_width(c.input);
@@ -106,7 +128,7 @@ std::vector<uint32_t> PipelinePlan::FinalLayout(
   auto expand = [&](auto&& self, const Source& s) -> void {
     if (s.kind == Source::Kind::kTable) {
       offsets[s.index] = pos;
-      pos += table_widths[s.index];
+      pos += EffectiveTableWidth(s.index, table_widths[s.index]);
       return;
     }
     const Chain& c = chains[s.index];
@@ -148,6 +170,12 @@ std::string PipelinePlan::ToString() const {
     for (const Predicate& p : table_filters[t]) {
       os << " c" << p.col << CmpOpName(p.cmp) << p.value;
     }
+    os << "\n";
+  }
+  for (size_t t = 0; t < table_projections.size(); ++t) {
+    if (table_projections[t].empty()) continue;
+    os << "project T" << t << ":";
+    for (uint32_t c : table_projections[t]) os << " c" << c;
     os << "\n";
   }
   if (agg.has_value()) os << "agg: " << agg->ToString() << "\n";
@@ -216,17 +244,27 @@ class RefTable {
 Result<std::vector<Batch>> MaterializeAll(
     const PipelinePlan& plan, const std::vector<const Table*>& tables) {
   HIERDB_RETURN_NOT_OK(plan.Validate(tables));
-  // Scan-level filters: materialize filtered copies of the tables that
-  // carry predicates, so every consumer below sees only passing rows.
+  // Scan-level filters and column projections: materialize filtered (and
+  // projected) copies of the tables that carry either, so every consumer
+  // below sees only passing rows over the emitted columns. Predicates
+  // evaluate on the full source row; projection applies to survivors.
   std::vector<Batch> filtered(tables.size());
   for (size_t t = 0; t < tables.size(); ++t) {
     const std::vector<Predicate>* preds =
         plan.FiltersFor(static_cast<uint32_t>(t));
-    if (preds == nullptr) continue;
-    Batch out(tables[t]->width());
+    const std::vector<uint32_t>* proj =
+        plan.ProjectionFor(static_cast<uint32_t>(t));
+    if (preds == nullptr && proj == nullptr) continue;
+    Batch out(plan.EffectiveTableWidth(static_cast<uint32_t>(t),
+                                       tables[t]->width()));
     for (size_t i = 0; i < tables[t]->rows(); ++i) {
       const int64_t* row = tables[t]->batch.row(i);
-      if (MatchesAll(*preds, row)) out.AppendRow(row);
+      if (preds != nullptr && !MatchesAll(*preds, row)) continue;
+      if (proj != nullptr) {
+        out.AppendRowProjected(row, *proj);
+      } else {
+        out.AppendRow(row);
+      }
     }
     filtered[t] = std::move(out);
   }
@@ -234,8 +272,10 @@ Result<std::vector<Batch>> MaterializeAll(
   outputs.reserve(plan.chains.size());
   auto batch_of = [&](const Source& s) -> const Batch& {
     if (s.kind == Source::Kind::kTable) {
-      return plan.FiltersFor(s.index) != nullptr ? filtered[s.index]
-                                                 : tables[s.index]->batch;
+      return plan.FiltersFor(s.index) != nullptr ||
+                     plan.ProjectionFor(s.index) != nullptr
+                 ? filtered[s.index]
+                 : tables[s.index]->batch;
     }
     return outputs[s.index];
   };

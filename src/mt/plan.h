@@ -65,12 +65,38 @@ struct PipelinePlan {
   /// materialized rows are then the aggregate rows, not the join rows).
   std::optional<AggSpec> agg;
 
+  /// Column projection per base table (an absent or empty entry =
+  /// identity: emit all columns). When set — by PruneColumns, on
+  /// aggregated plans — scans and build scatters emit only the listed
+  /// source columns, in order, wherever a table's rows enter the
+  /// pipeline, and every plan column reference (probe_col, build_col,
+  /// agg group/agg columns) is in the *projected* coordinate space.
+  /// table_filters stay in source coordinates: predicates evaluate on the
+  /// full source row before projection. The cluster executor ships the
+  /// narrowed rows, which is the column-pruned kTupleBatch repartition.
+  std::vector<std::vector<uint32_t>> table_projections;
+
   /// The filters for `table`, or nullptr when it has none.
   const std::vector<Predicate>* FiltersFor(uint32_t table) const {
     if (table >= table_filters.size() || table_filters[table].empty()) {
       return nullptr;
     }
     return &table_filters[table];
+  }
+
+  /// The projection for `table`, or nullptr for identity.
+  const std::vector<uint32_t>* ProjectionFor(uint32_t table) const {
+    if (table >= table_projections.size() ||
+        table_projections[table].empty()) {
+      return nullptr;
+    }
+    return &table_projections[table];
+  }
+
+  /// Width a scan/build of `table` emits (`full_width` = physical width).
+  uint32_t EffectiveTableWidth(uint32_t table, uint32_t full_width) const {
+    const std::vector<uint32_t>* p = ProjectionFor(table);
+    return p == nullptr ? full_width : static_cast<uint32_t>(p->size());
   }
 
   /// Structural validation against a table binding: source indexes in

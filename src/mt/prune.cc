@@ -1,0 +1,153 @@
+#include "mt/prune.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/status.h"
+
+namespace hierdb::mt {
+
+namespace {
+
+/// Position of `x` in the sorted vector `v` (which must contain it).
+uint32_t IndexOf(const std::vector<uint32_t>& v, uint32_t x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  HIERDB_CHECK(it != v.end() && *it == x,
+               "pruned plan rewrite lost a required column");
+  return static_cast<uint32_t>(it - v.begin());
+}
+
+}  // namespace
+
+PruneResult PruneColumns(PipelinePlan* plan,
+                         const std::vector<uint32_t>& table_widths) {
+  PruneResult res;
+  if (!plan->agg.has_value()) return res;
+  for (const auto& p : plan->table_projections) {
+    if (!p.empty()) return res;  // already pruned
+  }
+  const size_t nchains = plan->chains.size();
+  if (nchains == 0) return res;
+
+  // --- Original-coordinate layout of every chain's output row: the input
+  // entry followed by each build entry, offsets within the output row.
+  struct Entry {
+    Source src;
+    uint32_t offset = 0;
+    uint32_t width = 0;  ///< original (unpruned) width
+  };
+  std::vector<std::vector<Entry>> entries(nchains);
+  std::vector<uint32_t> out_width(nchains, 0);
+  for (size_t c = 0; c < nchains; ++c) {
+    const Chain& chain = plan->chains[c];
+    uint32_t pos = 0;
+    auto width_of = [&](const Source& s) {
+      return s.kind == Source::Kind::kTable ? table_widths[s.index]
+                                            : out_width[s.index];
+    };
+    entries[c].push_back({chain.input, 0, width_of(chain.input)});
+    pos += entries[c].back().width;
+    for (const JoinStep& j : chain.joins) {
+      entries[c].push_back({j.build, pos, width_of(j.build)});
+      pos += entries[c].back().width;
+    }
+    out_width[c] = pos;
+  }
+
+  // --- Backward requirement pass: which original output coordinates of
+  // each chain (and which source columns of each table) feed anything
+  // downstream. Chains only reference earlier chains, so walking the
+  // chains in reverse sees every consumer before its producer.
+  std::vector<std::set<uint32_t>> chain_req(nchains);
+  std::vector<std::set<uint32_t>> table_req(table_widths.size());
+  const AggSpec& spec = *plan->agg;
+  const size_t final_chain = nchains - 1;
+  for (uint32_t g : spec.group_cols) chain_req[final_chain].insert(g);
+  for (const AggExpr& a : spec.aggs) {
+    if (a.fn != AggFn::kCount) chain_req[final_chain].insert(a.col);
+  }
+  for (size_t c = nchains; c-- > 0;) {
+    const Chain& chain = plan->chains[c];
+    std::set<uint32_t>& req = chain_req[c];
+    for (const JoinStep& j : chain.joins) req.insert(j.probe_col);
+    auto need = [&](const Source& s, uint32_t local) {
+      if (s.kind == Source::Kind::kTable) {
+        table_req[s.index].insert(local);
+      } else {
+        chain_req[s.index].insert(local);
+      }
+    };
+    for (uint32_t x : req) {
+      // Find the entry whose span contains x (entries are offset-sorted).
+      const auto& es = entries[c];
+      size_t e = es.size() - 1;
+      while (es[e].offset > x) --e;
+      need(es[e].src, x - es[e].offset);
+    }
+    for (size_t j = 0; j < chain.joins.size(); ++j) {
+      need(chain.joins[j].build, chain.joins[j].build_col);
+    }
+  }
+
+  // --- Keep lists. A table that contributes nothing (global COUNT(*))
+  // still keeps one column so its batches stay well-formed.
+  std::vector<std::vector<uint32_t>> keep(table_widths.size());
+  bool any_pruned = false;
+  for (size_t t = 0; t < table_widths.size(); ++t) {
+    if (table_req[t].empty()) table_req[t].insert(0);
+    keep[t].assign(table_req[t].begin(), table_req[t].end());
+    if (keep[t].size() < table_widths[t]) {
+      any_pruned = true;
+      res.columns_kept += keep[t].size();
+      res.columns_dropped += table_widths[t] - keep[t].size();
+    }
+  }
+  if (!any_pruned) return res;
+
+  // --- Forward pass: each chain's kept output coordinates (original
+  // coordinate space, ascending — entries are emitted in offset order and
+  // every source's keep list is sorted).
+  std::vector<std::vector<uint32_t>> chain_kept(nchains);
+  for (size_t c = 0; c < nchains; ++c) {
+    for (const Entry& e : entries[c]) {
+      const std::vector<uint32_t>& src_kept =
+          e.src.kind == Source::Kind::kTable ? keep[e.src.index]
+                                             : chain_kept[e.src.index];
+      for (uint32_t local : src_kept) {
+        chain_kept[c].push_back(e.offset + local);
+      }
+    }
+  }
+
+  // --- Rewrite every column reference into pruned coordinates. A chain's
+  // pruned prefix (entries 0..j) is a prefix of its pruned output, so a
+  // probe column's index in chain_kept is its pruned pipelined-row index.
+  for (size_t c = 0; c < nchains; ++c) {
+    for (JoinStep& j : plan->chains[c].joins) {
+      j.probe_col = IndexOf(chain_kept[c], j.probe_col);
+      const std::vector<uint32_t>& src_kept =
+          j.build.kind == Source::Kind::kTable ? keep[j.build.index]
+                                               : chain_kept[j.build.index];
+      j.build_col = IndexOf(src_kept, j.build_col);
+    }
+  }
+  AggSpec& out_spec = *plan->agg;
+  for (uint32_t& g : out_spec.group_cols) {
+    g = IndexOf(chain_kept[final_chain], g);
+  }
+  for (AggExpr& a : out_spec.aggs) {
+    a.col = a.fn == AggFn::kCount ? 0
+                                  : IndexOf(chain_kept[final_chain], a.col);
+  }
+  plan->table_projections.assign(table_widths.size(),
+                                 std::vector<uint32_t>());
+  for (size_t t = 0; t < table_widths.size(); ++t) {
+    if (keep[t].size() < table_widths[t]) {
+      plan->table_projections[t] = keep[t];
+    }
+  }
+  res.changed = true;
+  return res;
+}
+
+}  // namespace hierdb::mt

@@ -1,0 +1,45 @@
+// Plan-level column pruning (projection pushdown) for aggregated plans.
+//
+// A GROUP BY query only ever reads its join keys plus the grouped and
+// aggregated columns, yet the pipeline executors ship every base-table
+// column through the chain DAG — and on the cluster backend every one of
+// those columns rides the kTupleBatch repartition wire. PruneColumns
+// computes, per base table, the set of source columns actually referenced
+// downstream (probe/build join columns, GROUP BY columns, aggregate
+// inputs), records it in PipelinePlan::table_projections, and remaps
+// every plan column reference into the pruned coordinate space. Scans and
+// build scatters then emit only the kept columns, so chain intermediates,
+// build hash tables and cluster tuple shipping all narrow together.
+//
+// Non-aggregated plans are left untouched: their result digest covers the
+// full join rows, so every column is "referenced downstream" by
+// definition. Aggregated plans keep a bit-identical digest because the
+// aggregate output rows — the only rows digested — are computed from
+// exactly the kept columns.
+
+#ifndef HIERDB_MT_PRUNE_H_
+#define HIERDB_MT_PRUNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mt/plan.h"
+
+namespace hierdb::mt {
+
+struct PruneResult {
+  bool changed = false;        ///< any table got a proper-subset projection
+  uint64_t columns_kept = 0;   ///< summed |projection| over pruned tables
+  uint64_t columns_dropped = 0;  ///< summed dropped columns over pruned tables
+};
+
+/// In-place projection pushdown over `plan` (see file comment).
+/// `table_widths` are the physical widths of the bound tables. No-op (and
+/// `changed == false`) for non-aggregated plans, plans that already carry
+/// projections, and plans where every column is referenced.
+PruneResult PruneColumns(PipelinePlan* plan,
+                         const std::vector<uint32_t>& table_widths);
+
+}  // namespace hierdb::mt
+
+#endif  // HIERDB_MT_PRUNE_H_

@@ -40,11 +40,24 @@ class Batch {
   void AppendRow(const int64_t* cols) {
     data_.insert(data_.end(), cols, cols + width_);
   }
+  /// Bulk append of `n` contiguous rows (one memmove instead of a
+  /// per-row insert in the probe/materialize inner loops).
+  void AppendRows(const int64_t* rows, size_t n) {
+    data_.insert(data_.end(), rows, rows + n * width_);
+  }
   /// Appends the concatenation of two row fragments.
   void AppendConcat(const int64_t* a, uint32_t na, const int64_t* b,
                     uint32_t nb) {
     data_.insert(data_.end(), a, a + na);
     data_.insert(data_.end(), b, b + nb);
+  }
+  /// Appends `row[cols[0]], row[cols[1]], ...` — a column-projected copy
+  /// of one source row (cols.size() must equal width()).
+  void AppendRowProjected(const int64_t* row,
+                          const std::vector<uint32_t>& cols) {
+    size_t at = data_.size();
+    data_.resize(at + cols.size());
+    for (size_t i = 0; i < cols.size(); ++i) data_[at + i] = row[cols[i]];
   }
 
   void Reserve(size_t rows) { data_.reserve(rows * width_); }

@@ -39,6 +39,8 @@ class RowTable {
   }
 
   void InsertBatch(const Batch& batch) {
+    pool_.reserve(pool_.size() + batch.data().size());
+    next_.reserve(next_.size() + batch.rows());
     for (size_t i = 0; i < batch.rows(); ++i) Insert(batch.row(i));
   }
 
@@ -49,6 +51,30 @@ class RowTable {
     for (uint32_t e = heads_[slot]; e != kNoEntry; e = next_[e]) {
       const int64_t* row = pool_.data() + static_cast<size_t>(e) * width_;
       if (row[key_col_] == key) fn(row);
+    }
+  }
+
+  /// Batched probe over precomputed (key, hash) columns: invokes
+  /// fn(i, build_row) for every build row matching keys[i], i in [0, n).
+  /// hashes[i] must be HashKey(keys[i]) — computed once by the caller's
+  /// vectorized hash pass and reused here. A small prefetch window hides
+  /// the head-array cache misses of independent lookups.
+  template <typename Fn>
+  void ProbeBatch(const int64_t* keys, const uint64_t* hashes, size_t n,
+                  Fn&& fn) const {
+    if (heads_.empty()) return;
+    const uint64_t mask = heads_.size() - 1;
+    constexpr size_t kPrefetch = 8;
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kPrefetch < n) {
+        __builtin_prefetch(&heads_[hashes[i + kPrefetch] & mask], 0, 1);
+      }
+      const int64_t key = keys[i];
+      for (uint32_t e = heads_[hashes[i] & mask]; e != kNoEntry;
+           e = next_[e]) {
+        const int64_t* row = pool_.data() + static_cast<size_t>(e) * width_;
+        if (row[key_col_] == key) fn(i, row);
+      }
     }
   }
 

@@ -1,0 +1,614 @@
+// Columnar data plane tests: the vectorized kernels against their scalar
+// definitions, and end-to-end digest parity between ExecOptions::vectorized
+// on and off across every backend and strategy — the invariant that the
+// vectorized executor is an A/B knob, never a semantic fork. Also covers
+// column-pruned cluster shipping: the same aggregated query must move
+// strictly fewer kTupleBatch bytes with pruning active.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "api/session.h"
+#include "cluster/cluster_executor.h"
+#include "gtest/gtest.h"
+#include "mt/agg.h"
+#include "mt/column_batch.h"
+#include "mt/plan.h"
+#include "mt/prune.h"
+#include "mt/row.h"
+#include "mt/row_table.h"
+#include "mt/tuple.h"
+
+// ---------------------------------------------------------------------------
+// Kernel-level: strided filters, hash/gather, stats, batch accumulate.
+
+namespace hierdb::mt {
+namespace {
+
+Batch RandomBatch(size_t rows, uint32_t width, int64_t range, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(0, range - 1);
+  Batch b(width);
+  std::vector<int64_t> row(width);
+  for (size_t i = 0; i < rows; ++i) {
+    for (uint32_t c = 0; c < width; ++c) row[c] = dist(rng);
+    b.AppendRow(row.data());
+  }
+  return b;
+}
+
+TEST(FilterKernels, StridedMatchesScalarForEveryCmpOp) {
+  Batch b = RandomBatch(4096, 3, 100, 17);
+  const uint32_t col = 1;
+  std::vector<uint32_t> sel(b.rows());
+  for (CmpOp cmp : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe,
+                    CmpOp::kGt, CmpOp::kGe}) {
+    Predicate p{col, cmp, 42};
+    size_t m = FilterStrided(b.data().data() + col, b.width(), b.rows(), cmp,
+                             42, sel.data());
+    size_t at = 0;
+    for (size_t i = 0; i < b.rows(); ++i) {
+      if (!p.Matches(b.at(i, col))) continue;
+      ASSERT_LT(at, m);
+      EXPECT_EQ(sel[at], i);
+      ++at;
+    }
+    EXPECT_EQ(at, m);
+  }
+}
+
+TEST(FilterKernels, FilterBatchConjunctionAndEdgeCases) {
+  Batch b = RandomBatch(2000, 4, 50, 3);
+  SelVec sel;
+
+  // Empty conjunction selects everything as the identity selection.
+  size_t m = FilterBatch(b, 0, b.rows(), {}, &sel);
+  ASSERT_EQ(m, b.rows());
+  for (size_t i = 0; i < m; ++i) EXPECT_EQ(sel[i], i);
+
+  // A conjunction matches the scalar MatchesAll row loop, order preserved.
+  std::vector<Predicate> preds = {{0, CmpOp::kLt, 30},
+                                  {2, CmpOp::kGe, 10},
+                                  {3, CmpOp::kNe, 7}};
+  m = FilterBatch(b, 0, b.rows(), preds, &sel);
+  size_t at = 0;
+  for (size_t i = 0; i < b.rows(); ++i) {
+    if (!MatchesAll(preds, b.row(i))) continue;
+    ASSERT_LT(at, m);
+    EXPECT_EQ(sel[at], i);
+    ++at;
+  }
+  EXPECT_EQ(at, m);
+  EXPECT_GT(m, 0u);
+  EXPECT_LT(m, b.rows());
+
+  // A morsel offset shifts the window but keeps indexes morsel-local.
+  m = FilterBatch(b, 500, 100, preds, &sel);
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_LT(sel[i], 100u);
+    EXPECT_TRUE(MatchesAll(preds, b.row(500 + sel[i])));
+  }
+
+  // A contradictory conjunction selects nothing.
+  m = FilterBatch(b, 0, b.rows(),
+                  {{0, CmpOp::kLt, 10}, {0, CmpOp::kGe, 10}}, &sel);
+  EXPECT_EQ(m, 0u);
+  EXPECT_TRUE(sel.empty());
+}
+
+TEST(HashGatherKernels, HashAndGatherMatchScalarDefinitions) {
+  Batch b = RandomBatch(1500, 3, 1000, 5);
+  const uint32_t col = 2;
+  const int64_t* base = b.data().data() + col;
+
+  // Dense.
+  std::vector<uint64_t> hashes(b.rows());
+  HashStrided(base, b.width(), nullptr, b.rows(), hashes.data());
+  for (size_t i = 0; i < b.rows(); ++i) {
+    EXPECT_EQ(hashes[i], HashKey(b.at(i, col)));
+  }
+
+  // Through a selection vector.
+  SelVec sel;
+  std::vector<Predicate> preds = {{0, CmpOp::kLt, 500}};
+  size_t m = FilterBatch(b, 0, b.rows(), preds, &sel);
+  ASSERT_GT(m, 0u);
+  hashes.resize(m);
+  std::vector<int64_t> keys(m);
+  HashStrided(base, b.width(), sel.data(), m, hashes.data());
+  GatherStrided(base, b.width(), sel.data(), m, keys.data());
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(keys[i], b.at(sel[i], col));
+    EXPECT_EQ(hashes[i], HashKey(keys[i]));
+  }
+}
+
+TEST(ColumnBatchShim, RoundTripAndProjectedGather) {
+  Batch b = RandomBatch(600, 4, 100, 11);
+
+  // FromBatch / ToBatch is the identity on the row-major data.
+  ColumnBatch cb = ColumnBatch::FromBatch(b);
+  EXPECT_EQ(cb.width(), b.width());
+  EXPECT_EQ(cb.rows(), b.rows());
+  Batch back = cb.ToBatch();
+  EXPECT_EQ(back.data(), b.data());
+
+  // Projection + selection in one gather.
+  SelVec sel;
+  std::vector<Predicate> preds = {{1, CmpOp::kGe, 50}};
+  size_t m = FilterBatch(b, 0, b.rows(), preds, &sel);
+  ASSERT_GT(m, 0u);
+  const uint32_t cols[2] = {3, 0};
+  ColumnBatch proj;
+  proj.GatherColumns(b, 0, sel.data(), m, cols, 2);
+  ASSERT_EQ(proj.width(), 2u);
+  ASSERT_EQ(proj.rows(), m);
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(proj.col(0)[i], b.at(sel[i], 3));
+    EXPECT_EQ(proj.col(1)[i], b.at(sel[i], 0));
+  }
+}
+
+TEST(ColumnStatsTest, MinMaxAndDistinctEstimates) {
+  // Empty batch: zeroed stats.
+  Batch empty(3);
+  auto zs = ComputeColumnStats(empty);
+  ASSERT_EQ(zs.size(), 3u);
+  EXPECT_EQ(zs[0].min, 0);
+  EXPECT_EQ(zs[0].distinct_est, 0u);
+
+  // Below the sketch size the distinct count is exact.
+  Batch b(2);
+  for (int64_t i = 0; i < 5000; ++i) {
+    int64_t row[2] = {i % 40 - 7, i};
+    b.AppendRow(row);
+  }
+  auto stats = ComputeColumnStats(b);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].min, -7);
+  EXPECT_EQ(stats[0].max, 32);
+  EXPECT_EQ(stats[0].distinct_est, 40u);
+  EXPECT_EQ(stats[1].min, 0);
+  EXPECT_EQ(stats[1].max, 4999);
+  // Above it, KMV: within a loose factor of the true 5000.
+  EXPECT_GT(stats[1].distinct_est, 2500u);
+  EXPECT_LT(stats[1].distinct_est, 10000u);
+}
+
+TEST(ColumnStatsTest, ClassifyPredicateFolds) {
+  ColumnStats s{10, 20, 11};
+  using PF = PredicateFold;
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kLt, 10}, s), PF::kAlwaysFalse);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kLt, 21}, s), PF::kAlwaysTrue);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kLt, 15}, s), PF::kKeep);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kLe, 9}, s), PF::kAlwaysFalse);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kLe, 20}, s), PF::kAlwaysTrue);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kGt, 20}, s), PF::kAlwaysFalse);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kGt, 9}, s), PF::kAlwaysTrue);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kGe, 21}, s), PF::kAlwaysFalse);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kGe, 10}, s), PF::kAlwaysTrue);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kEq, 25}, s), PF::kAlwaysFalse);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kEq, 15}, s), PF::kKeep);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kNe, 25}, s), PF::kAlwaysTrue);
+  // Single-valued column: equality folds both ways.
+  ColumnStats one{4, 4, 1};
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kEq, 4}, one), PF::kAlwaysTrue);
+  EXPECT_EQ(ClassifyPredicate({0, CmpOp::kNe, 4}, one), PF::kAlwaysFalse);
+}
+
+TEST(BatchAppend, AppendRowsMatchesRowAtATime) {
+  Batch src = RandomBatch(777, 3, 100, 23);
+  Batch bulk(3), single(3);
+  bulk.AppendRows(src.data().data(), src.rows());
+  for (size_t i = 0; i < src.rows(); ++i) single.AppendRow(src.row(i));
+  EXPECT_EQ(bulk.rows(), src.rows());
+  EXPECT_EQ(bulk.data(), single.data());
+}
+
+TEST(ProbeBatchEquiv, MatchesForEachMatchWithDuplicates) {
+  // Build rows with duplicate keys so chains have length > 1.
+  RowTable table(2, 0);
+  std::mt19937_64 rng(29);
+  for (int i = 0; i < 3000; ++i) {
+    int64_t row[2] = {static_cast<int64_t>(rng() % 200), i};
+    table.Insert(row);
+  }
+  Batch probes = RandomBatch(1000, 2, 260, 31);  // some keys miss entirely
+
+  std::vector<int64_t> keys(probes.rows());
+  std::vector<uint64_t> hashes(probes.rows());
+  GatherStrided(probes.data().data(), 2, nullptr, probes.rows(), keys.data());
+  HashStrided(probes.data().data(), 2, nullptr, probes.rows(), hashes.data());
+
+  std::vector<std::pair<size_t, int64_t>> batched, scalar;
+  table.ProbeBatch(keys.data(), hashes.data(), probes.rows(),
+                   [&](size_t i, const int64_t* brow) {
+                     batched.emplace_back(i, brow[1]);
+                   });
+  for (size_t i = 0; i < probes.rows(); ++i) {
+    table.ForEachMatch(probes.at(i, 0), [&](const int64_t* brow) {
+      scalar.emplace_back(i, brow[1]);
+    });
+  }
+  EXPECT_EQ(batched, scalar);
+  EXPECT_GT(batched.size(), 0u);
+}
+
+TEST(AggBatch, AccumulateBatchMatchesScalar) {
+  AggSpec spec;
+  spec.group_cols = {1};
+  spec.aggs = {{AggFn::kCount, 0}, {AggFn::kSum, 0}, {AggFn::kMin, 2},
+               {AggFn::kMax, 2}, {AggFn::kAvg, 0}};
+  Batch rows = RandomBatch(6000, 3, 64, 37);
+
+  AggTable scalar(&spec);
+  for (size_t i = 0; i < rows.rows(); ++i) scalar.Accumulate(rows.row(i));
+
+  // Dense batch accumulate, morsel-split to exercise the begin offset.
+  AggTable dense(&spec);
+  AggTable::BatchScratch scratch;
+  dense.AccumulateBatch(rows, 0, nullptr, 2500, nullptr, &scratch);
+  dense.AccumulateBatch(rows, 2500, nullptr, rows.rows() - 2500, nullptr,
+                        &scratch);
+  ResultDigest ds, dd;
+  scalar.EmitFinal(nullptr, &ds);
+  dense.EmitFinal(nullptr, &dd);
+  EXPECT_EQ(scalar.groups(), dense.groups());
+  EXPECT_EQ(ds, dd);
+
+  // Selected accumulate equals the filtered scalar loop.
+  std::vector<Predicate> preds = {{0, CmpOp::kLt, 32}};
+  SelVec sel;
+  size_t m = FilterBatch(rows, 0, rows.rows(), preds, &sel);
+  AggTable fsel(&spec), fscalar(&spec);
+  fsel.AccumulateBatch(rows, 0, sel.data(), m, nullptr, &scratch);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    if (MatchesAll(preds, rows.row(i))) fscalar.Accumulate(rows.row(i));
+  }
+  ResultDigest a, e;
+  fsel.EmitFinal(nullptr, &a);
+  fscalar.EmitFinal(nullptr, &e);
+  EXPECT_EQ(a, e);
+
+  // col_map: accumulate straight from unprojected source rows. Physical
+  // layout (pad, c0, pad, c1, c2) with the spec written against the
+  // projected coordinates (0, 1, 2) and col_map = {1, 3, 4}.
+  Batch wide(5);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const int64_t* r = rows.row(i);
+    int64_t w[5] = {-1, r[0], -1, r[1], r[2]};
+    wide.AppendRow(w);
+  }
+  const uint32_t col_map[3] = {1, 3, 4};
+  AggTable mapped(&spec);
+  mapped.AccumulateBatch(wide, 0, nullptr, wide.rows(), col_map, &scratch);
+  ResultDigest dm;
+  mapped.EmitFinal(nullptr, &dm);
+  EXPECT_EQ(dm, ds);
+}
+
+TEST(PruneTest, RightDeepAggPlanPrunesAndKeepsDigest) {
+  // fact(5 cols) ⋈ d1(3) ⋈ d2(3), grouped on d1.attr, summing fact col 0.
+  Table fact = MakeTable("fact", 8000, 5, 300, 41);
+  Table d1 = MakeTable("d1", 300, 3, 40, 42);
+  Table d2 = MakeTable("d2", 300, 3, 40, 43);
+  std::vector<const Table*> tables = {&fact, &d1, &d2};
+
+  PipelinePlan plan = MakeRightDeepPlan(0, {1, 2}, {1, 2});
+  AggSpec spec;
+  spec.group_cols = {5 + 1};  // d1.attr in the (fact ++ d1 ++ d2) layout
+  spec.aggs = {{AggFn::kCount, 0}, {AggFn::kSum, 0}};
+  plan.agg = spec;
+  plan.table_filters = {{{3, CmpOp::kLt, 150}}};  // fact col 3: filter-only
+
+  auto ref_full = ReferenceExecute(plan, tables);
+  ASSERT_TRUE(ref_full.ok()) << ref_full.status().ToString();
+
+  PipelinePlan pruned = plan;
+  PruneResult pr = PruneColumns(&pruned, {5, 3, 3});
+  EXPECT_TRUE(pr.changed);
+  EXPECT_GT(pr.columns_dropped, 0u);
+  ASSERT_EQ(pruned.table_projections.size(), 3u);
+  // fact keeps agg col 0 and probe cols 1, 2; filter col 3 stays in source
+  // coordinates and must NOT force the column through the pipeline.
+  EXPECT_EQ(pruned.table_projections[0], (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(pruned.table_projections[1], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(pruned.table_projections[2], (std::vector<uint32_t>{0}));
+  // Filters stay in source coordinates; the group column is remapped to the
+  // narrowed layout fact{0,1,2} ++ d1{0,1} ++ d2{0}.
+  ASSERT_EQ(pruned.table_filters.size(), 1u);
+  ASSERT_EQ(pruned.table_filters[0].size(), 1u);
+  EXPECT_EQ(pruned.table_filters[0][0].col, 3u);
+  ASSERT_TRUE(pruned.agg.has_value());
+  EXPECT_EQ(pruned.agg->group_cols[0], 4u);
+
+  ASSERT_TRUE(pruned.Validate(tables).ok());
+  auto ref_pruned = ReferenceExecute(pruned, tables);
+  ASSERT_TRUE(ref_pruned.ok()) << ref_pruned.status().ToString();
+  EXPECT_EQ(ref_full.value(), ref_pruned.value());
+}
+
+}  // namespace
+}  // namespace hierdb::mt
+
+// ---------------------------------------------------------------------------
+// Cluster-level: pruning an aggregated bushy plan ships fewer wire bytes.
+
+namespace hierdb::cluster {
+namespace {
+
+TEST(ClusterPrune, BushyAggPlanShipsFewerRepartitionBytes) {
+  // chain0 = S(4) ⋈ R(4), final = scan U(5), probe T(4), probe chain0;
+  // grouped on T.attr. Only 8 of the 17 source columns are referenced, so
+  // the pruned run must move strictly fewer kTupleBatch bytes — both the
+  // base-table dataflow and chain0's cross-node repartition.
+  const uint32_t nodes = 3;
+  mt::Table r = mt::MakeTable("R", 100, 4, 10, 51);
+  mt::Table s = mt::MakeTable("S", 400, 4, 100, 52);
+  mt::Table t = mt::MakeTable("T", 400, 4, 10, 53);
+  mt::Table u = mt::MakeTable("U", 9000, 5, 400, 54);
+  PartitionedTable rp = PartitionByHash(r, nodes, 0);
+  PartitionedTable sp = PartitionRoundRobin(s, nodes);
+  PartitionedTable tp = PartitionByHash(t, nodes, 0);
+  PartitionedTable up = PartitionRoundRobin(u, nodes);
+
+  PlanQuery query;
+  query.tables = {&rp, &sp, &tp, &up};
+  mt::Chain c0;
+  c0.input = mt::Source::OfTable(1);
+  c0.joins.push_back({mt::Source::OfTable(0), 1, 0});
+  mt::Chain fin;
+  fin.input = mt::Source::OfTable(3);
+  fin.joins.push_back({mt::Source::OfTable(2), 1, 0});
+  fin.joins.push_back({mt::Source::OfChain(0), 2, 0});
+  query.plan.chains.push_back(std::move(c0));
+  query.plan.chains.push_back(std::move(fin));
+  mt::AggSpec spec;
+  spec.group_cols = {5 + 1};  // T.attr in the (U ++ T ++ S ++ R) layout
+  spec.aggs = {{mt::AggFn::kCount, 0}, {mt::AggFn::kSum, 0}};
+  query.plan.agg = spec;
+
+  PlanQuery pruned = query;
+  mt::PruneResult pr = mt::PruneColumns(&pruned.plan, {4, 4, 4, 5});
+  ASSERT_TRUE(pr.changed);
+
+  ClusterOptions opts;
+  opts.nodes = nodes;
+  opts.threads_per_node = 2;
+  // Keep activation placement deterministic: with stealing off, every probe
+  // runs on its bucket's home node, so both runs repartition the exact same
+  // intermediate rows and only the row width differs.
+  opts.global_lb = false;
+
+  ClusterStats full_stats, pruned_stats;
+  ClusterExecutor full_exec(opts);
+  auto full = full_exec.Execute(query, &full_stats);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ClusterExecutor pruned_exec(opts);
+  auto narrow = pruned_exec.Execute(pruned, &pruned_stats);
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+
+  // Aggregate digests are bit-identical: pruning kept every referenced
+  // column and the reference agrees.
+  EXPECT_EQ(full.value(), narrow.value());
+  auto ref = ReferenceExecute(query);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(narrow.value(), ref.value());
+
+  // The wire got narrower: chain0's intermediate repartition and the total
+  // dataflow both shrink (chain0 output width 8 -> 3).
+  ASSERT_EQ(pruned_stats.per_chain.size(), 2u);
+  EXPECT_GT(full_stats.per_chain[0].repartition_bytes, 0u);
+  EXPECT_GT(pruned_stats.per_chain[0].repartition_bytes, 0u);
+  EXPECT_EQ(pruned_stats.per_chain[0].repartition_rows,
+            full_stats.per_chain[0].repartition_rows);
+  EXPECT_LT(pruned_stats.per_chain[0].repartition_bytes,
+            full_stats.per_chain[0].repartition_bytes);
+  EXPECT_LT(pruned_stats.dataflow_bytes, full_stats.dataflow_bytes);
+  EXPECT_LT(pruned_stats.intermediate_bytes, full_stats.intermediate_bytes);
+}
+
+}  // namespace
+}  // namespace hierdb::cluster
+
+// ---------------------------------------------------------------------------
+// Session-level: digest parity vectorized on/off on every backend.
+
+namespace hierdb::api {
+namespace {
+
+struct StarFixture {
+  Session db;
+  RelId fact, d1, d2, d3;
+
+  explicit StarFixture(size_t fact_rows = 12000, uint64_t seed = 7,
+                       SessionOptions so = {})
+      : db(so) {
+    fact = db.AddTable(mt::MakeTable("fact", fact_rows, 4, 500, seed));
+    d1 = db.AddTable(mt::MakeTable("d1", 500, 2, 50, seed + 1));
+    d2 = db.AddTable(mt::MakeTable("d2", 500, 2, 50, seed + 2));
+    d3 = db.AddTable(mt::MakeTable("d3", 500, 2, 50, seed + 3));
+  }
+
+  QueryBuilder Joined() const {
+    return db.NewQuery().Scan(fact).Probe(d1, 1, 0).Probe(d2, 2, 0).Probe(
+        d3, 3, 0);
+  }
+};
+
+ExecOptions VOpts(Backend backend, Strategy strategy, uint32_t nodes,
+                  uint32_t threads, bool vectorized) {
+  ExecOptions o;
+  o.backend = backend;
+  o.strategy = strategy;
+  o.nodes = nodes;
+  o.threads_per_node = threads;
+  o.seed = 3;
+  o.validate = true;
+  o.vectorized = vectorized;
+  // Keep runs independent: a cached build skips its scatter, which would
+  // legitimately zero rows_filtered for build-side predicates on reruns.
+  o.reuse_builds = false;
+  return o;
+}
+
+// Runs `q` with the columnar plane on and off and asserts both match the
+// single-threaded reference and each other (rows, checksum, filter counts).
+void ExpectParity(Session& db, const Query& q, Backend backend,
+                  Strategy strategy, uint32_t nodes, uint32_t threads) {
+  auto on = db.Execute(q, VOpts(backend, strategy, nodes, threads, true));
+  auto off = db.Execute(q, VOpts(backend, strategy, nodes, threads, false));
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_TRUE(on.value().reference_match);
+  EXPECT_TRUE(off.value().reference_match);
+  EXPECT_EQ(on.value().result_rows, off.value().result_rows);
+  EXPECT_EQ(on.value().result_checksum, off.value().result_checksum);
+  EXPECT_EQ(on.value().rows_filtered, off.value().rows_filtered);
+}
+
+TEST(VectorizedParity, FilteredJoinsOnEveryBackendAndStrategy) {
+  StarFixture fx;
+  Query filtered = fx.Joined().Where(fx.fact, 1, CmpOp::kLt, 250).Build();
+  Query two_join =
+      fx.db.NewQuery().Scan(fx.fact).Probe(fx.d1, 1, 0).Probe(fx.d2, 2, 0)
+          .Where(fx.d1, 1, CmpOp::kGe, 10)
+          .Build();
+  for (const Query& q : {filtered, two_join}) {
+    ExpectParity(fx.db, q, Backend::kThreads, Strategy::kDP, 1, 4);
+    ExpectParity(fx.db, q, Backend::kThreads, Strategy::kFP, 1, 4);
+    ExpectParity(fx.db, q, Backend::kThreads, Strategy::kSP, 1, 4);
+    ExpectParity(fx.db, q, Backend::kCluster, Strategy::kDP, 3, 2);
+  }
+}
+
+TEST(VectorizedParity, GroupByHavingAndGlobalAggregate) {
+  StarFixture fx;
+  Query reporting = fx.Joined()
+                        .Where(fx.fact, 1, CmpOp::kLt, 250)
+                        .GroupBy(fx.d1, 1)
+                        .Count()
+                        .Agg(AggFn::kSum, fx.fact, 0)
+                        .Agg(AggFn::kMin, fx.fact, 0)
+                        .Agg(AggFn::kMax, fx.fact, 0)
+                        .Agg(AggFn::kAvg, fx.fact, 0)
+                        .HavingCount(CmpOp::kGt, 5)
+                        .Build();
+  Query global = fx.Joined().Count().Agg(AggFn::kSum, fx.d2, 1).Build();
+  for (const Query& q : {reporting, global}) {
+    ExpectParity(fx.db, q, Backend::kThreads, Strategy::kDP, 1, 4);
+    ExpectParity(fx.db, q, Backend::kThreads, Strategy::kFP, 1, 4);
+    ExpectParity(fx.db, q, Backend::kThreads, Strategy::kSP, 1, 4);
+    ExpectParity(fx.db, q, Backend::kCluster, Strategy::kDP, 3, 2);
+  }
+}
+
+TEST(VectorizedParity, SkewedKeysKeepDigestParity) {
+  Session db;
+  RelId fact = db.AddTable(
+      mt::MakeSkewedTable("sfact", 15000, 3, 400, /*skew_col=*/1,
+                          /*theta=*/1.0, 19));
+  RelId dim = db.AddTable(mt::MakeTable("sdim", 400, 2, 50, 20));
+  Query join = db.NewQuery().Scan(fact).Probe(dim, 1, 0).Build();
+  Query agg = db.NewQuery()
+                  .Scan(fact)
+                  .Probe(dim, 1, 0)
+                  .GroupBy(dim, 1)
+                  .Count()
+                  .Agg(AggFn::kSum, fact, 0)
+                  .Build();
+  for (const Query& q : {join, agg}) {
+    ExpectParity(db, q, Backend::kThreads, Strategy::kDP, 1, 4);
+    ExpectParity(db, q, Backend::kCluster, Strategy::kDP, 2, 2);
+  }
+}
+
+TEST(VectorizedParity, EmptyAndAllPassSelections) {
+  StarFixture fx(5000);
+  // Always-false predicate: the planner's min/max fold keeps one residual
+  // predicate, the scan's selection vectors come out empty, and every
+  // backend agrees on zero rows.
+  Query none = fx.Joined().Where(fx.fact, 0, CmpOp::kLt, 0).Build();
+  ExpectParity(fx.db, none, Backend::kThreads, Strategy::kDP, 1, 4);
+  ExpectParity(fx.db, none, Backend::kCluster, Strategy::kDP, 2, 2);
+  auto r = fx.db.Execute(none, VOpts(Backend::kThreads, Strategy::kDP, 1, 4,
+                                     true));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().result_rows, 0u);
+  EXPECT_EQ(r.value().rows_filtered, 5000u);
+
+  // Always-true predicate: folded away pre-scan — nothing is filtered and
+  // the digest matches the unfiltered query.
+  Query all = fx.Joined().Where(fx.fact, 1, CmpOp::kGe, 0).Build();
+  ExpectParity(fx.db, all, Backend::kThreads, Strategy::kDP, 1, 4);
+  auto a =
+      fx.db.Execute(all, VOpts(Backend::kThreads, Strategy::kDP, 1, 4, true));
+  auto plain = fx.db.Execute(
+      fx.Joined().Build(), VOpts(Backend::kThreads, Strategy::kDP, 1, 4, true));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(a.value().rows_filtered, 0u);
+  EXPECT_EQ(a.value().result_checksum, plain.value().result_checksum);
+}
+
+TEST(PlannerStats, TableStatsExposedAtAddTable) {
+  StarFixture fx(5000);
+  const std::vector<mt::ColumnStats>* stats = fx.db.table_stats(fx.fact);
+  ASSERT_NE(stats, nullptr);
+  ASSERT_EQ(stats->size(), 4u);
+  // Col 0 is the dense unique key.
+  EXPECT_EQ((*stats)[0].min, 0);
+  EXPECT_EQ((*stats)[0].max, 4999);
+  EXPECT_GT((*stats)[0].distinct_est, 2500u);
+  // FK columns live in [0, 500).
+  EXPECT_GE((*stats)[1].min, 0);
+  EXPECT_LT((*stats)[1].max, 500);
+  // Catalog-only relations carry no stats.
+  RelId ghost = fx.db.AddRelation("ghost", 1000);
+  EXPECT_EQ(fx.db.table_stats(ghost), nullptr);
+}
+
+TEST(ClusterShipping, ColumnPrunedRepartitionShipsFewerBytes) {
+  // GROUP BY d1.attr COUNT over fact ⋈ d1: only fact col 1 is referenced
+  // downstream, so the vectorized run ships 1-wide fact rows where the
+  // scalar run ships all 4 columns.
+  StarFixture fx(20000);
+  Query q = fx.db.NewQuery()
+                .Scan(fx.fact)
+                .Probe(fx.d1, 1, 0)
+                .GroupBy(fx.d1, 1)
+                .Count()
+                .Build();
+  auto on =
+      fx.db.Execute(q, VOpts(Backend::kCluster, Strategy::kDP, 3, 2, true));
+  auto off =
+      fx.db.Execute(q, VOpts(Backend::kCluster, Strategy::kDP, 3, 2, false));
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_TRUE(on.value().reference_match);
+  EXPECT_TRUE(off.value().reference_match);
+  EXPECT_EQ(on.value().result_rows, off.value().result_rows);
+  EXPECT_EQ(on.value().result_checksum, off.value().result_checksum);
+  EXPECT_GT(on.value().pipeline_bytes, 0u);
+  EXPECT_LT(on.value().pipeline_bytes, off.value().pipeline_bytes);
+}
+
+TEST(SimulatedBackend, VectorizedFlagIsIgnored) {
+  StarFixture fx(2000);
+  Query q = fx.Joined().Build();
+  ExecOptions on = VOpts(Backend::kSimulated, Strategy::kDP, 2, 2, true);
+  ExecOptions off = VOpts(Backend::kSimulated, Strategy::kDP, 2, 2, false);
+  on.validate = off.validate = false;
+  auto a = fx.db.Execute(q, on);
+  auto b = fx.db.Execute(q, off);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  // The simulation is deterministic; the knob must not perturb it.
+  EXPECT_EQ(a.value().response_ms, b.value().response_ms);
+}
+
+}  // namespace
+}  // namespace hierdb::api
