@@ -1,0 +1,472 @@
+// Admission-core bench: a 100k-query mixed-tenant burst through the
+// event-driven scheduler on the simulated backend, swept over the four
+// admission policies (FIFO, shortest-cost-first, EDF, cost-aware EDF).
+//
+// The stream mixes three plan-cost classes (80% small / 15% medium / 5%
+// large catalog-only joins), four tenants (default + bronze/silver/gold,
+// weights 1/1/2/4, bronze with a private queue bound so backpressure
+// fires), and 30% deadline-carrying queries. Everything is submitted
+// up front — the point is sustained overload: the snapshot right after
+// the submit loop must show >= queries/10 waiting on exactly one
+// event-loop thread, and the drain reconciles every handle into
+// completed / deadline-missed / rejected.
+//
+// Two anchor rows ride along:
+//   light_load   a small stream with generous deadlines (expected miss
+//                rate ~0) whose p99 / miss rate are the --check anchors;
+//   digest       serial-vs-concurrent digest equivalence on the threads
+//                backend under cost-aware EDF with doomed deadlines
+//                interleaved (mismatches must be 0).
+//
+// Flags: --queries=N  burst length (default 100000)
+//        --quick      CI smoke: 10000 queries
+//        --seed=N     master seed
+//        --out=PATH   JSON baseline path (default BENCH_admission.json)
+//        --check      compare the anchors against the committed baseline
+//                     at --out (generous 10x factors) instead of
+//                     rewriting it; nonzero exit on violation
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "mt/row.h"
+
+using namespace hierdb;
+
+namespace {
+
+struct Args {
+  uint32_t queries = 100000;
+  uint64_t seed = 42;
+  std::string out = "BENCH_admission.json";
+  bool check = false;
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (sscanf(argv[i], "--queries=%u", &a.queries) == 1) continue;
+    if (sscanf(argv[i], "--seed=%lu", &a.seed) == 1) continue;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      a.out = argv[i] + 6;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      a.queries = 10000;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--check") == 0) {
+      a.check = true;
+      continue;
+    }
+  }
+  if (a.queries < 100) a.queries = 100;
+  return a;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+api::ExecOptions SimOpts(uint64_t seed) {
+  api::ExecOptions o;
+  o.backend = api::Backend::kSimulated;
+  o.strategy = Strategy::kDP;
+  o.nodes = 1;
+  o.threads_per_node = 2;
+  o.seed = seed;
+  return o;
+}
+
+// Catalog-only relations for the burst: three cost classes so the
+// cost-ordered policies have real signal to act on.
+struct BurstSchema {
+  api::RelId s1, s2, s3;  ///< small 3-relation chain
+  api::RelId m1, m2;      ///< medium join
+  api::RelId l1, l2;      ///< large join
+};
+
+BurstSchema RegisterBurst(api::Session& db) {
+  BurstSchema s;
+  s.s1 = db.AddRelation("s1", 500);
+  s.s2 = db.AddRelation("s2", 200);
+  s.s3 = db.AddRelation("s3", 200);
+  s.m1 = db.AddRelation("m1", 30000);
+  s.m2 = db.AddRelation("m2", 10000);
+  s.l1 = db.AddRelation("l1", 100000);
+  s.l2 = db.AddRelation("l2", 50000);
+  return s;
+}
+
+const char* kTenantNames[4] = {"", "bronze", "silver", "gold"};
+
+const char* PolicyName(api::AdmissionPolicy p) {
+  switch (p) {
+    case api::AdmissionPolicy::kFifo: return "fifo";
+    case api::AdmissionPolicy::kShortestCostFirst: return "scf";
+    case api::AdmissionPolicy::kEarliestDeadlineFirst: return "edf";
+    case api::AdmissionPolicy::kCostAwareEdf: return "cedf";
+  }
+  return "?";
+}
+
+struct OverloadRow {
+  std::string policy;
+  uint32_t queries = 0;
+  double makespan_ms = 0.0;
+  double qps = 0.0;
+  bench::ThroughputSummary lat;   ///< end-to-end (queue + exec), completed
+  uint64_t completed = 0, missed = 0, missed_queued = 0, rejected = 0;
+  uint64_t carriers_admitted = 0, carriers_missed = 0;
+  double carrier_miss_rate = 0.0;
+  uint32_t snap_queued = 0, snap_loop = 0, snap_lanes = 0;
+  bool ok = true;  ///< snapshot invariants held
+};
+
+// One policy's burst: submit everything, snapshot the backlog, drain.
+OverloadRow RunOverload(api::AdmissionPolicy policy, const Args& args,
+                        int* failures) {
+  api::SessionOptions so;
+  so.max_concurrent_queries = 8;
+  so.max_queued = args.queries + 16;
+  so.admission = policy;
+  // bronze gets a private queue bound sized below its traffic share, so
+  // its backpressure fires while silver/gold keep admitting.
+  so.tenants = {{"bronze", 1, args.queries / 8},
+                {"silver", 2, 0},
+                {"gold", 4, 0}};
+  api::Session db(so);
+  BurstSchema s = RegisterBurst(db);
+  std::vector<api::Query> cls = {
+      db.NewQuery().Join(s.s1, s.s2).Join(s.s2, s.s3).Build(),
+      db.NewQuery().Join(s.m1, s.m2).Build(),
+      db.NewQuery().Join(s.l1, s.l2).Build(),
+  };
+  api::ExecOptions base = SimOpts(args.seed);
+
+  OverloadRow row;
+  row.policy = PolicyName(policy);
+  row.queries = args.queries;
+
+  const double t0 = NowMs();
+  std::vector<api::QueryHandle> handles;
+  std::vector<bool> carries;
+  handles.reserve(args.queries);
+  carries.reserve(args.queries);
+  for (uint32_t i = 0; i < args.queries; ++i) {
+    const uint32_t mod = i % 20;
+    const api::Query& q = mod < 16 ? cls[0] : mod < 19 ? cls[1] : cls[2];
+    api::ExecOptions o = base;
+    o.tenant = kTenantNames[i % 4];
+    const bool carrier = i % 10 < 3;
+    if (carrier) o.deadline_ms = 1000.0 + (i * 7919) % 14000;
+    handles.push_back(db.Submit(q, o));
+    carries.push_back(carrier);
+  }
+
+  api::SchedulerStats snap = db.scheduler_stats();
+  row.snap_queued = snap.queued;
+  row.snap_loop = snap.loop_threads;
+  row.snap_lanes = snap.lane_threads;
+  // The acceptance invariant: however deep the backlog, scheduling runs
+  // on exactly one event-loop thread plus a bounded lane set.
+  if (snap.loop_threads != 1 || snap.lane_threads > 8 ||
+      snap.queued < args.queries / 10) {
+    row.ok = false;
+    ++*failures;
+    std::fprintf(stderr,
+                 "FAIL[%s]: burst snapshot loop=%u lanes=%u queued=%u "
+                 "(want loop=1, lanes<=8, queued>=%u)\n",
+                 row.policy.c_str(), snap.loop_threads, snap.lane_threads,
+                 snap.queued, args.queries / 10);
+  }
+
+  std::vector<double> lat_ms;
+  lat_ms.reserve(args.queries);
+  for (uint32_t i = 0; i < handles.size(); ++i) {
+    auto r = handles[i].Take();
+    if (r.ok()) {
+      ++row.completed;
+      lat_ms.push_back(r.value().queue_ms + r.value().exec_ms);
+      if (carries[i]) ++row.carriers_admitted;
+    } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+      ++row.missed;
+      ++row.carriers_admitted;
+      ++row.carriers_missed;
+    } else if (r.status().code() == StatusCode::kResourceExhausted) {
+      ++row.rejected;
+    } else {
+      ++*failures;
+      std::fprintf(stderr, "FAIL[%s]: query %u: %s\n", row.policy.c_str(), i,
+                   r.status().ToString().c_str());
+    }
+  }
+  row.makespan_ms = NowMs() - t0;
+  row.qps = row.completed / (row.makespan_ms / 1000.0);
+  row.lat = bench::Summarize(lat_ms, row.makespan_ms);
+  api::SchedulerStats done = db.scheduler_stats();
+  row.missed_queued = done.deadline_missed_queued;
+  row.carrier_miss_rate =
+      row.carriers_admitted == 0
+          ? 0.0
+          : static_cast<double>(row.carriers_missed) / row.carriers_admitted;
+  if (done.completed != row.completed || done.deadline_missed != row.missed ||
+      done.rejected != row.rejected || done.in_flight != 0 ||
+      done.queued != 0) {
+    row.ok = false;
+    ++*failures;
+    std::fprintf(stderr, "FAIL[%s]: counters do not reconcile\n",
+                 row.policy.c_str());
+  }
+
+  std::printf("%-5s %8u q %9.0f ms %8.0f qps  p50 %7.1f  p99 %8.1f  "
+              "miss %5.1f%% (%lu queued-miss)  rej %6lu  backlog %6u on "
+              "%u loop thread(s)\n",
+              row.policy.c_str(), row.queries, row.makespan_ms, row.qps,
+              row.lat.p50_ms, row.lat.p99_ms, 100.0 * row.carrier_miss_rate,
+              static_cast<unsigned long>(row.missed_queued),
+              static_cast<unsigned long>(row.rejected), row.snap_queued,
+              row.snap_loop);
+
+  // Per-tenant accounting for the last policy printed below the sweep;
+  // here just sanity-print gold vs bronze rejection asymmetry once.
+  if (policy == api::AdmissionPolicy::kCostAwareEdf) {
+    for (const api::TenantStats& t : done.tenants) {
+      std::printf("      tenant %-8s share=%u/%u  submitted %7lu  "
+                  "rejected %6lu  missed %6lu\n",
+                  t.name.empty() ? "default" : t.name.c_str(), t.max_inflight,
+                  so.max_concurrent_queries,
+                  static_cast<unsigned long>(t.submitted),
+                  static_cast<unsigned long>(t.rejected),
+                  static_cast<unsigned long>(t.deadline_missed));
+    }
+  }
+  return row;
+}
+
+// The --check anchor: a small stream with generous deadlines. Expected
+// miss rate ~0 and a stable p99 — both compared against the committed
+// baseline with 10x slack so only order-of-magnitude regressions trip.
+struct LightRow {
+  double p99_ms = 0.0;
+  double miss_rate = 0.0;
+  uint64_t completed = 0, missed = 0;
+};
+
+LightRow RunLightLoad(const Args& args, int* failures) {
+  api::SessionOptions so;
+  so.max_concurrent_queries = 4;
+  so.max_queued = 1024;
+  so.admission = api::AdmissionPolicy::kCostAwareEdf;
+  so.tenants = {{"bronze", 1, 0}, {"silver", 2, 0}, {"gold", 4, 0}};
+  api::Session db(so);
+  BurstSchema s = RegisterBurst(db);
+  api::Query q = db.NewQuery().Join(s.s1, s.s2).Join(s.s2, s.s3).Build();
+
+  constexpr uint32_t kN = 512;
+  std::vector<api::QueryHandle> handles;
+  const double t0 = NowMs();
+  for (uint32_t i = 0; i < kN; ++i) {
+    api::ExecOptions o = SimOpts(args.seed);
+    o.tenant = kTenantNames[i % 4];
+    o.deadline_ms = 30000.0;  // generous: nothing should miss
+    handles.push_back(db.Submit(q, o));
+  }
+  LightRow row;
+  std::vector<double> lat_ms;
+  for (auto& h : handles) {
+    auto r = h.Take();
+    if (r.ok()) {
+      ++row.completed;
+      lat_ms.push_back(r.value().queue_ms + r.value().exec_ms);
+    } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+      ++row.missed;
+    } else {
+      ++*failures;
+      std::fprintf(stderr, "FAIL[light]: %s\n", r.status().ToString().c_str());
+    }
+  }
+  bench::ThroughputSummary sum = bench::Summarize(lat_ms, NowMs() - t0);
+  row.p99_ms = sum.p99_ms;
+  row.miss_rate = static_cast<double>(row.missed) / kN;
+  std::printf("light %8u q  p50 %7.1f  p99 %8.1f  miss %5.1f%%\n", kN,
+              sum.p50_ms, sum.p99_ms, 100.0 * row.miss_rate);
+  return row;
+}
+
+// Digest equivalence on the threads backend: the same queries serial and
+// concurrent (under cost-aware EDF, with doomed-deadline traffic
+// interleaved) must produce identical result digests.
+struct DigestRow {
+  uint64_t checked = 0, mismatches = 0, doomed_missed = 0;
+};
+
+DigestRow RunDigestConsistency(const Args& args, int* failures) {
+  api::SessionOptions so;
+  so.max_concurrent_queries = 4;
+  so.admission = api::AdmissionPolicy::kCostAwareEdf;
+  api::Session db(so);
+  api::RelId fact = db.AddTable(mt::MakeTable("fact", 20000, 4, 500, args.seed));
+  api::RelId d1 = db.AddTable(mt::MakeTable("d1", 500, 2, 50, args.seed + 1));
+  api::RelId d2 = db.AddTable(mt::MakeTable("d2", 500, 2, 50, args.seed + 2));
+
+  api::ExecOptions opts = SimOpts(args.seed);
+  opts.backend = api::Backend::kThreads;
+  std::vector<api::Query> queries;
+  for (uint32_t i = 0; i < 8; ++i) {
+    auto qb = db.NewQuery().Scan(fact).Probe(d1, 1, 0);
+    if (i % 2 == 0) qb.Probe(d2, 2, 0);
+    queries.push_back(qb.Build());
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> serial;
+  for (const api::Query& q : queries) {
+    auto r = db.Execute(q, opts);
+    if (!r.ok()) {
+      ++*failures;
+      std::fprintf(stderr, "FAIL[digest]: serial: %s\n",
+                   r.status().ToString().c_str());
+      return {};
+    }
+    serial.emplace_back(r.value().result_rows, r.value().result_checksum);
+  }
+
+  DigestRow row;
+  std::vector<api::QueryHandle> handles, doomed;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    api::ExecOptions live = opts;
+    live.deadline_ms = 60000.0;
+    handles.push_back(db.Submit(queries[i], live));
+    api::ExecOptions dead = opts;
+    dead.deadline_ms = 0.001;  // misses before any dispatch can happen
+    doomed.push_back(db.Submit(queries[i], dead));
+  }
+  for (size_t i = 0; i < handles.size(); ++i) {
+    auto r = handles[i].Take();
+    if (!r.ok()) {
+      ++*failures;
+      std::fprintf(stderr, "FAIL[digest]: concurrent %zu: %s\n", i,
+                   r.status().ToString().c_str());
+      continue;
+    }
+    ++row.checked;
+    if (r.value().report.result_rows != serial[i].first ||
+        r.value().report.result_checksum != serial[i].second) {
+      ++row.mismatches;
+    }
+  }
+  for (auto& h : doomed) {
+    auto r = h.Take();
+    if (!r.ok() && r.status().code() == StatusCode::kDeadlineExceeded) {
+      ++row.doomed_missed;
+    }
+  }
+  if (row.mismatches != 0) ++*failures;
+  std::printf("digest %zu/%zu serial==concurrent (threads backend), "
+              "%lu doomed missed\n",
+              static_cast<size_t>(row.checked - row.mismatches),
+              static_cast<size_t>(row.checked),
+              static_cast<unsigned long>(row.doomed_missed));
+  return row;
+}
+
+// Crude baseline reader for --check: finds the row whose "sweep" matches
+// and pulls one numeric field. The file is JsonBaseline output (one flat
+// object per line), so a line scan suffices.
+double BaselineNum(const std::string& path, const std::string& sweep,
+                   const std::string& key, double fallback) {
+  std::ifstream in(path);
+  std::string line;
+  const std::string tag = "\"sweep\": \"" + sweep + "\"";
+  const std::string field = "\"" + key + "\": ";
+  while (std::getline(in, line)) {
+    if (line.find(tag) == std::string::npos) continue;
+    size_t at = line.find(field);
+    if (at == std::string::npos) return fallback;
+    return std::atof(line.c_str() + at + field.size());
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  std::printf("=== admission core: %u-query mixed-tenant burst "
+              "(simulated backend) ===\n\n",
+              args.queries);
+
+  int failures = 0;
+  bench::JsonBaseline json;
+
+  std::printf("--- overload policy sweep (4 tenants, 30%% deadlines, "
+              "3 cost classes) ---\n");
+  for (auto policy : {api::AdmissionPolicy::kFifo,
+                      api::AdmissionPolicy::kShortestCostFirst,
+                      api::AdmissionPolicy::kEarliestDeadlineFirst,
+                      api::AdmissionPolicy::kCostAwareEdf}) {
+    OverloadRow r = RunOverload(policy, args, &failures);
+    json.Row()
+        .Str("sweep", "overload")
+        .Str("policy", r.policy)
+        .Num("queries", static_cast<uint64_t>(r.queries))
+        .Num("qps", r.qps)
+        .Num("makespan_ms", r.makespan_ms)
+        .Num("p50_ms", r.lat.p50_ms)
+        .Num("p95_ms", r.lat.p95_ms)
+        .Num("p99_ms", r.lat.p99_ms)
+        .Num("completed", r.completed)
+        .Num("deadline_missed", r.missed)
+        .Num("missed_queued", r.missed_queued)
+        .Num("rejected", r.rejected)
+        .Num("carrier_miss_rate", r.carrier_miss_rate)
+        .Num("snapshot_queued", static_cast<uint64_t>(r.snap_queued))
+        .Num("loop_threads", static_cast<uint64_t>(r.snap_loop))
+        .Num("lane_threads", static_cast<uint64_t>(r.snap_lanes));
+  }
+  std::printf("\n--- anchors ---\n");
+  LightRow light = RunLightLoad(args, &failures);
+  json.Row()
+      .Str("sweep", "light_load")
+      .Num("p99_ms", light.p99_ms)
+      .Num("miss_rate", light.miss_rate)
+      .Num("completed", light.completed);
+  DigestRow digest = RunDigestConsistency(args, &failures);
+  json.Row()
+      .Str("sweep", "digest")
+      .Num("checked", digest.checked)
+      .Num("mismatches", digest.mismatches)
+      .Num("doomed_missed", digest.doomed_missed);
+
+  if (args.check) {
+    // Generous factors: this is a smoke against order-of-magnitude
+    // regressions, not a performance gate.
+    const double base_p99 = BaselineNum(args.out, "light_load", "p99_ms", 50.0);
+    const double base_miss =
+        BaselineNum(args.out, "light_load", "miss_rate", 0.0);
+    const double p99_limit = 10.0 * std::max(base_p99, 5.0);
+    const double miss_limit = std::max(10.0 * base_miss, 0.01);
+    std::printf("\n--- check vs %s ---\n", args.out.c_str());
+    std::printf("light p99 %.1f ms (limit %.1f), miss %.4f (limit %.4f)\n",
+                light.p99_ms, p99_limit, light.miss_rate, miss_limit);
+    if (light.p99_ms > p99_limit) {
+      ++failures;
+      std::fprintf(stderr, "FAIL[check]: light-load p99 regressed\n");
+    }
+    if (light.miss_rate > miss_limit) {
+      ++failures;
+      std::fprintf(stderr, "FAIL[check]: light-load miss rate regressed\n");
+    }
+    std::printf("%s\n", failures == 0 ? "check OK" : "check FAILED");
+  } else if (json.Write(args.out)) {
+    std::printf("\nbaseline written to %s\n", args.out.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

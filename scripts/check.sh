@@ -19,3 +19,11 @@ rm -rf "$smoke_dir"
 smoke_dir="$(mktemp -d)"
 (cd "$smoke_dir" && "$OLDPWD/mt_vectorized" --quick --check)
 rm -rf "$smoke_dir"
+
+# Admission-core smoke: a 10k-query mixed-tenant burst over all four
+# admission policies, checked for the scheduler invariants (one event-loop
+# thread, deep backlog, exact counter reconciliation) and for the
+# light-load latency/miss-rate anchors against the committed
+# BENCH_admission.json (generous 10x factors). Runs from the repo root so
+# --check finds the baseline.
+(cd .. && ./build/mt_admission --quick --check)

@@ -1,6 +1,8 @@
 #include "api/scheduler.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
 
 namespace hierdb::api {
 
@@ -9,6 +11,12 @@ namespace {
 double MsBetween(std::chrono::steady_clock::time_point a,
                  std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::string FmtMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", ms);
+  return buf;
 }
 
 }  // namespace
@@ -78,7 +86,7 @@ Result<QueryResult> QueryHandle::Take() {
 
 namespace {
 
-// A zero concurrency limit would admit queries no worker ever pops (Take
+// A zero concurrency limit would admit queries no lane ever runs (Take
 // would hang forever), and a zero queue depth would reject every Submit —
 // even on an idle session — because dispatch always passes through the
 // queue. Treat both as 1, the minimal working configuration.
@@ -88,20 +96,84 @@ SessionOptions Normalize(SessionOptions o) {
   return o;
 }
 
+sched::OrderPolicy ToOrderPolicy(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kFifo:
+      return sched::OrderPolicy::kFifo;
+    case AdmissionPolicy::kShortestCostFirst:
+      return sched::OrderPolicy::kShortestCostFirst;
+    case AdmissionPolicy::kEarliestDeadlineFirst:
+      return sched::OrderPolicy::kEarliestDeadlineFirst;
+    case AdmissionPolicy::kCostAwareEdf:
+      return sched::OrderPolicy::kCostAwareEdf;
+  }
+  return sched::OrderPolicy::kFifo;
+}
+
+/// Turns SessionOptions tenants into resolved limits: the default ""
+/// tenant always exists (index 0, weight 1 unless overridden), weights
+/// divide max_concurrent_queries into floored shares of at least 1, and
+/// a zero per-tenant queue bound inherits the session's.
+std::vector<sched::TenantLimits> ResolveTenants(const SessionOptions& o) {
+  std::vector<sched::TenantLimits> out;
+  sched::TenantLimits def;
+  def.name = "";
+  def.weight = 1;
+  def.max_queued = o.max_queued;
+  out.push_back(def);
+  for (const TenantOptions& t : o.tenants) {
+    const uint32_t w = std::max<uint32_t>(t.weight, 1);
+    const uint32_t q = t.max_queued != 0 ? t.max_queued : o.max_queued;
+    if (t.name.empty()) {  // explicit override of the default tenant
+      out[0].weight = w;
+      out[0].max_queued = q;
+      continue;
+    }
+    sched::TenantLimits l;
+    l.name = t.name;
+    l.weight = w;
+    l.max_queued = q;
+    out.push_back(std::move(l));
+  }
+  uint64_t total_w = 0;
+  for (const auto& l : out) total_w += l.weight;
+  for (auto& l : out) {
+    l.max_inflight = std::max<uint32_t>(
+        1, static_cast<uint32_t>(
+               static_cast<uint64_t>(o.max_concurrent_queries) * l.weight /
+               total_w));
+  }
+  return out;
+}
+
 }  // namespace
 
 Scheduler::Scheduler(const SessionOptions& options)
-    : options_(Normalize(options)) {}
+    : options_(Normalize(options)),
+      queue_(ToOrderPolicy(options_.admission), options_.scf_aging_ms,
+             ResolveTenants(options_)),
+      alive_([](const sched::QueueItem& item) {
+        auto st = std::static_pointer_cast<internal::QueryState>(item.payload);
+        std::lock_guard<std::mutex> slock(st->mu);
+        return st->phase == internal::QueryState::Phase::kQueued;
+      }),
+      tenant_counters_(queue_.tenant_count()),
+      loop_([this](uint64_t seq) { OnTimer(seq); }) {}
 
 Scheduler::~Scheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // Completions signal drain_cv_; queued cancels and expiries can empty
+    // the queue without one, so also poll at a coarse interval.
+    while (in_flight_ != 0 || !ready_.empty() ||
+           queue_.CountLive(alive_) != 0) {
+      drain_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
     stop_ = true;
   }
-  work_cv_.notify_all();
-  // Workers drain the queue before exiting, so joining them waits for
-  // every admitted query (cancelled entries are dropped on the way).
-  for (auto& w : workers_) w.join();
+  lane_cv_.notify_all();
+  for (auto& l : lanes_) l.join();
+  // loop_ (declared last) destructs first, joining the reactor thread.
 }
 
 QueryHandle Scheduler::Completed(Result<QueryResult> result) {
@@ -111,135 +183,247 @@ QueryHandle Scheduler::Completed(Result<QueryResult> result) {
   return QueryHandle(std::move(state));
 }
 
+bool Scheduler::SchedulePumpLocked() {
+  if (pump_posted_) return false;
+  pump_posted_ = true;
+  return true;
+}
+
 QueryHandle Scheduler::Submit(
-    double plan_cost,
+    double plan_cost, double deadline_ms, const std::string& tenant,
     std::function<Result<QueryResult>(const std::atomic<bool>&)> run) {
+  int t = -1;
+  for (uint32_t i = 0; i < queue_.tenant_count(); ++i) {
+    if (queue_.limits(i).name == tenant) {
+      t = static_cast<int>(i);
+      break;
+    }
+  }
+  if (t < 0) {
+    return Completed(Status::InvalidArgument(
+        "unknown tenant \"" + tenant +
+        "\" (declare it in SessionOptions::tenants)"));
+  }
+
   auto state = std::make_shared<internal::QueryState>();
   state->plan_cost = plan_cost;
+  state->deadline_ms = deadline_ms;
+  state->tenant = static_cast<uint32_t>(t);
   state->run = std::move(run);
   state->submitted = std::chrono::steady_clock::now();
 
+  uint64_t seq = 0;
+  uint64_t deadline_ns = 0;
+  bool post_pump = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Entries cancelled while queued still sit in queue_ until a worker
-    // would pop them; purge before judging capacity so cancellations free
-    // their admission slots immediately. (Cancel itself accounted them in
-    // cancel_count_; dropping here is pure bookkeeping.)
-    std::erase_if(queue_, [&](const auto& st) {
-      std::lock_guard<std::mutex> slock(st->mu);
-      return st->phase == internal::QueryState::Phase::kDone;
-    });
-    if (queue_.size() >= options_.max_queued) {
+    const sched::TenantLimits& lim = queue_.limits(state->tenant);
+    if (queue_.queued(state->tenant) >= lim.max_queued) {
+      // Entries cancelled or deadline-expired while waiting still occupy
+      // slots until swept; reclaim before judging capacity so dead
+      // entries free their admission slots immediately.
+      queue_.SweepDead(state->tenant, alive_);
+    }
+    if (queue_.queued(state->tenant) >= lim.max_queued) {
       ++stats_.rejected;
+      ++tenant_counters_[state->tenant].rejected;
       return Completed(Status::ResourceExhausted(
-          "admission queue full (" + std::to_string(options_.max_queued) +
-          " queued)"));
+          (lim.name.empty() ? std::string("admission queue full (")
+                            : "tenant \"" + lim.name + "\" queue full (") +
+          std::to_string(lim.max_queued) + " queued)"));
     }
-    state->seq = next_seq_++;
+    seq = next_seq_++;
+    state->seq = seq;
     state->cancel_count = cancel_count_;
-    ++stats_.submitted;
-    queue_.push_back(state);
-    if (workers_.size() < options_.max_concurrent_queries) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+    const uint64_t now_ns = loop_.NowNs();
+    if (deadline_ms > 0) {
+      deadline_ns = now_ns + static_cast<uint64_t>(deadline_ms * 1e6);
+      state->deadline_ns = deadline_ns;
+      armed_.emplace(seq, state);
     }
+    sched::QueueItem item;
+    item.seq = seq;
+    item.tenant = state->tenant;
+    item.cost = plan_cost;
+    item.cost_ms = plan_cost * ms_per_cost_;
+    item.deadline_ns = deadline_ns;
+    item.submit_ns = now_ns;
+    item.payload = state;
+    queue_.Push(std::move(item));
+    ++stats_.submitted;
+    ++tenant_counters_[state->tenant].submitted;
+    post_pump = SchedulePumpLocked();
   }
-  work_cv_.notify_one();
+  loop_.Start();
+  // Arm after releasing mu_: if the timer fires before armed_ would have
+  // the entry, OnTimer simply finds the seq (inserted above, under the
+  // lock) — and a completion that raced ahead erased it, making the fire
+  // a no-op.
+  if (deadline_ns != 0) loop_.ArmTimer(seq, deadline_ns);
+  if (post_pump) loop_.Post([this] { Pump(); });
   return QueryHandle(std::move(state));
 }
 
-std::shared_ptr<internal::QueryState> Scheduler::PopLocked() {
-  while (!queue_.empty()) {
-    auto it = queue_.begin();
-    if (options_.admission == AdmissionPolicy::kShortestCostFirst) {
-      // Aging: an entry queued longer than scf_aging_ms outranks cost
-      // ordering and dispatches FIFO among its aged peers, so a sustained
-      // stream of cheap submissions can delay an expensive query by at
-      // most the aging bound instead of starving it. Fresh entries keep
-      // the cheapest-plan-cost-first order (ties FIFO); scf_aging_ms == 0
-      // restores the pure (starvable) comparator.
-      const auto now = std::chrono::steady_clock::now();
-      const double aging = options_.scf_aging_ms;
-      auto aged = [&](const auto& st) {
-        return aging > 0 && MsBetween(st->submitted, now) >= aging;
-      };
-      it = std::min_element(queue_.begin(), queue_.end(),
-                            [&](const auto& a, const auto& b) {
-                              bool aa = aged(a), ab = aged(b);
-                              if (aa != ab) return aa;  // aged first
-                              if (!aa && a->plan_cost != b->plan_cost) {
-                                return a->plan_cost < b->plan_cost;
-                              }
-                              return a->seq < b->seq;
-                            });
+void Scheduler::Pump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pump_posted_ = false;
+  while (in_flight_ < options_.max_concurrent_queries) {
+    std::optional<sched::QueueItem> item =
+        queue_.PopBest(loop_.NowNs(), alive_);
+    if (!item.has_value()) break;
+    auto state =
+        std::static_pointer_cast<internal::QueryState>(item->payload);
+    bool dispatch = false;
+    {
+      std::lock_guard<std::mutex> slock(state->mu);
+      // Re-check under the state lock: a Cancel can complete the entry
+      // between the pop's alive test and here.
+      if (state->phase == internal::QueryState::Phase::kQueued) {
+        state->phase = internal::QueryState::Phase::kRunning;
+        state->dispatch_seq = next_dispatch_++;
+        state->dispatched = std::chrono::steady_clock::now();
+        dispatch = true;
+      }
     }
-    std::shared_ptr<internal::QueryState> state = *it;
-    queue_.erase(it);
-    std::lock_guard<std::mutex> slock(state->mu);
-    if (state->phase == internal::QueryState::Phase::kQueued) {
-      state->phase = internal::QueryState::Phase::kRunning;
-      return state;
+    if (!dispatch) continue;
+    ++in_flight_;
+    stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+    queue_.OnDispatch(item->tenant);
+    ready_.push_back(std::move(state));
+    // Lanes never exit until shutdown, so keeping lanes_.size() >=
+    // in_flight_ (bounded by the concurrency limit) guarantees a lane
+    // per dispatched query.
+    if (lanes_.size() < in_flight_) {
+      lanes_.emplace_back([this] { LaneLoop(); });
     }
-    // Cancelled while queued (already accounted): drop and keep looking.
+    lane_cv_.notify_one();
   }
-  return nullptr;
 }
 
-void Scheduler::WorkerLoop() {
+void Scheduler::OnTimer(uint64_t seq) {
+  std::shared_ptr<internal::QueryState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = armed_.find(seq);
+    if (it == armed_.end()) return;  // completed first — deadline lost
+    state = std::move(it->second);
+    armed_.erase(it);
+  }
+  bool expired_queued = false;
+  {
+    std::lock_guard<std::mutex> slock(state->mu);
+    using Phase = internal::QueryState::Phase;
+    if (state->phase == Phase::kQueued) {
+      // Never dispatched: complete right here on the loop thread. The
+      // dead queue entry is swept lazily by the pump / Submit.
+      state->phase = Phase::kDone;
+      state->run = nullptr;
+      state->result = Status::DeadlineExceeded(
+          "deadline (" + FmtMs(state->deadline_ms) +
+          " ms) expired while queued");
+      state->cv.notify_all();
+      expired_queued = true;
+    } else if (state->phase == Phase::kRunning) {
+      // Raise the cooperative stop token; the lane translates the
+      // executor's Cancelled into DeadlineExceeded via deadline_fired.
+      state->deadline_fired.store(true, std::memory_order_release);
+      state->stop.store(true, std::memory_order_release);
+    }
+    // kDone: lost the race to completion/cancel — nothing to do.
+  }
+  if (expired_queued) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deadline_missed;
+    ++stats_.deadline_missed_queued;
+    ++tenant_counters_[state->tenant].deadline_missed;
+    drain_cv_.notify_all();
+  }
+}
+
+void Scheduler::LaneLoop() {
   for (;;) {
     std::shared_ptr<internal::QueryState> state;
-    uint64_t dispatch_seq = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      state = PopLocked();
-      if (state == nullptr) {
-        if (stop_) return;
-        continue;  // everything queued was cancelled; wait again
-      }
-      dispatch_seq = next_dispatch_++;
-      ++in_flight_;
-      stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+      lane_cv_.wait(lock, [&] { return stop_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stop_ and fully drained
+      state = std::move(ready_.front());
+      ready_.pop_front();
     }
 
-    auto dispatched = std::chrono::steady_clock::now();
+    const auto dispatched = state->dispatched;
     Result<QueryResult> result = state->run(state->stop);
     state->run = nullptr;  // release the captured plan
-    auto finished = std::chrono::steady_clock::now();
+    const auto finished = std::chrono::steady_clock::now();
+    const double exec_ms = MsBetween(dispatched, finished);
     if (result.ok()) {
       QueryResult& qr = result.value();
       qr.queue_ms = MsBetween(state->submitted, dispatched);
-      qr.exec_ms = MsBetween(dispatched, finished);
-      qr.dispatch_seq = dispatch_seq;
+      qr.exec_ms = exec_ms;
+      qr.dispatch_seq = state->dispatch_seq;
+    }
+
+    // A run stopped by the deadline timer surfaces as Cancelled from the
+    // executors; translate. A user Cancel that also won keeps Cancelled
+    // (the user asked first — the eager cancel count already holds it).
+    {
+      std::lock_guard<std::mutex> slock(state->mu);
+      if (!result.ok() &&
+          result.status().code() == StatusCode::kCancelled &&
+          state->deadline_fired.load(std::memory_order_acquire) &&
+          !state->cancel_requested) {
+        result = Status::DeadlineExceeded(
+            "deadline (" + FmtMs(state->deadline_ms) +
+            " ms) exceeded mid-execution: " + result.status().message());
+      }
     }
 
     // Commit the scheduler counters before publishing to the handle, so a
     // caller reading scheduler_stats() right after Take() sees this query
     // accounted for. A run stopped by Cancel counts as cancelled (already
-    // accounted eagerly by Cancel itself), not failed.
+    // accounted eagerly by Cancel itself), not failed; a deadline miss
+    // counts as deadline_missed, not failed.
+    bool post_pump = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
+      queue_.OnComplete(state->tenant);
+      if (state->deadline_ns != 0) armed_.erase(state->seq);
       if (result.ok()) {
         ++stats_.completed;
+        // Calibrate cost-aware EDF's run-time estimate from what actually
+        // happened (first sample snaps, then a 0.9/0.1 EWMA).
+        const double per = exec_ms / std::max(state->plan_cost, 1.0);
+        ms_per_cost_ =
+            cost_samples_ == 0 ? per : 0.9 * ms_per_cost_ + 0.1 * per;
+        ++cost_samples_;
+      } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadline_missed;
+        ++tenant_counters_[state->tenant].deadline_missed;
       } else if (result.status().code() != StatusCode::kCancelled) {
         ++stats_.failed;
       }
+      post_pump = SchedulePumpLocked();
+      drain_cv_.notify_all();
     }
+    if (state->deadline_ns != 0) loop_.CancelTimer(state->seq);
+
     {
       std::lock_guard<std::mutex> slock(state->mu);
       if (state->cancel_requested &&
           result.status().code() != StatusCode::kCancelled) {
-        // The cancel lost the race: the query completed (or failed on its
-        // own) before any worker observed the stop token, and was counted
-        // as completed/failed above. Undo the eager cancellation count so
-        // the terminal outcomes (completed/failed/cancelled/rejected)
-        // stay reconciled with submissions.
+        // The cancel lost the race: the query completed (or failed, or
+        // missed its deadline) before any worker observed the stop token,
+        // and was counted under that outcome above. Undo the eager
+        // cancellation count so the terminal outcomes stay reconciled
+        // with submissions.
         state->cancel_count->fetch_sub(1, std::memory_order_relaxed);
       }
       state->result = std::move(result);
       state->phase = internal::QueryState::Phase::kDone;
       state->cv.notify_all();
     }
+    if (post_pump) loop_.Post([this] { Pump(); });
   }
 }
 
@@ -248,11 +432,26 @@ SchedulerStats Scheduler::stats() const {
   SchedulerStats s = stats_;
   s.cancelled = cancel_count_->load(std::memory_order_relaxed);
   s.in_flight = in_flight_;
-  // Entries cancelled but not yet swept are done, not waiting.
-  s.queued = 0;
-  for (const auto& st : queue_) {
-    std::lock_guard<std::mutex> slock(st->mu);
-    if (st->phase == internal::QueryState::Phase::kQueued) ++s.queued;
+  // Entries cancelled/expired but not yet swept are done, not waiting.
+  s.queued = static_cast<uint32_t>(queue_.CountLive(alive_));
+  s.loop_threads = loop_.started() ? 1 : 0;
+  s.lane_threads = static_cast<uint32_t>(lanes_.size());
+  const sched::EventLoop::Stats ls = loop_.stats();
+  s.loop_wakeups = ls.wakeups;
+  s.timers_fired = ls.timers_fired;
+  s.tenants.reserve(queue_.tenant_count());
+  for (uint32_t t = 0; t < queue_.tenant_count(); ++t) {
+    const sched::TenantLimits& lim = queue_.limits(t);
+    TenantStats ts;
+    ts.name = lim.name;
+    ts.max_inflight = lim.max_inflight;
+    ts.max_queued = lim.max_queued;
+    ts.in_flight = queue_.inflight(t);
+    ts.queued = static_cast<uint32_t>(queue_.CountLive(t, alive_));
+    ts.submitted = tenant_counters_[t].submitted;
+    ts.rejected = tenant_counters_[t].rejected;
+    ts.deadline_missed = tenant_counters_[t].deadline_missed;
+    s.tenants.push_back(std::move(ts));
   }
   return s;
 }

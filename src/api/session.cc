@@ -55,41 +55,36 @@ double JoinSelD(double a, double b) {
   return std::max(a, b) / (a * b);
 }
 
-/// Pass fraction of a scan-filter list under the System R defaults — the
-/// same constants PlanQuery folds into the planning catalog.
-double PassFraction(const std::vector<mt::Predicate>* preds) {
-  if (preds == nullptr || preds->empty()) return 1.0;
-  double s = 1.0;
-  for (const auto& p : *preds) {
-    s *= p.cmp == mt::CmpOp::kEq ? 0.1
-         : p.cmp == mt::CmpOp::kNe ? 0.9
-                                   : 1.0 / 3.0;
-  }
-  return std::max(1e-4, s);
+/// Per-relation filter pass fraction from the plan-time estimates
+/// (Planned::filter_pass — stats-driven where column statistics exist,
+/// System R defaults otherwise); relations outside the vector (or with
+/// predicates already pushed into their bind) pass everything.
+double PassOf(const std::vector<double>& filter_pass, uint32_t idx) {
+  return idx < filter_pass.size() ? filter_pass[idx] : 1.0;
 }
 
 /// Estimated rows entering the pipeline from `s`: filtered table size for
 /// base relations, the producing chain's estimate for chain sources.
-double SourceEst(const mt::PipelinePlan& plan,
+double SourceEst(const std::vector<double>& filter_pass,
                  const std::vector<const mt::Table*>& tables,
                  const std::vector<double>& chain_est, const mt::Source& s) {
   if (s.kind == mt::Source::Kind::kTable) {
     return static_cast<double>(tables[s.index]->rows()) *
-           PassFraction(plan.FiltersFor(s.index));
+           PassOf(filter_pass, s.index);
   }
   return s.index < chain_est.size() ? chain_est[s.index] : 0.0;
 }
 
-/// System R estimate walk over the bound pipeline plan: the estimated
+/// Cardinality-estimate walk over the bound pipeline plan: the estimated
 /// output cardinality of every chain, in chain order.
 std::vector<double> EstimateChainRows(
-    const mt::PipelinePlan& plan,
+    const mt::PipelinePlan& plan, const std::vector<double>& filter_pass,
     const std::vector<const mt::Table*>& tables) {
   std::vector<double> est;
   for (const mt::Chain& chain : plan.chains) {
-    double e = SourceEst(plan, tables, est, chain.input);
+    double e = SourceEst(filter_pass, tables, est, chain.input);
     for (const mt::JoinStep& j : chain.joins) {
-      double b = SourceEst(plan, tables, est, j.build);
+      double b = SourceEst(filter_pass, tables, est, j.build);
       e = e * b * JoinSelD(e, b);
     }
     est.push_back(e);
@@ -123,8 +118,9 @@ std::string SourceName(const catalog::Catalog& cat, const mt::Source& s) {
 /// base+k+1..base+2k). When `actual` is non-empty each chain's terminal
 /// op is annotated with its measured output rows.
 std::vector<obs::TraceOp> ThreadsTraceOps(
-    const mt::PipelinePlan& plan, const std::vector<const mt::Table*>& tables,
-    const catalog::Catalog& cat, const std::vector<double>& chain_est,
+    const mt::PipelinePlan& plan, const std::vector<double>& filter_pass,
+    const std::vector<const mt::Table*>& tables, const catalog::Catalog& cat,
+    const std::vector<double>& chain_est,
     const std::vector<uint64_t>& actual) {
   std::vector<obs::TraceOp> ops;
   std::vector<uint32_t> terminal;  ///< per chain: its last dataflow op
@@ -139,7 +135,7 @@ std::vector<obs::TraceOp> ThreadsTraceOps(
       op.kind = "build";
       op.label = "build " + SourceName(cat, src);
       op.chain = static_cast<int32_t>(c);
-      op.est_rows = SourceEst(plan, tables, chain_est, src);
+      op.est_rows = SourceEst(filter_pass, tables, chain_est, src);
       if (src.kind == mt::Source::Kind::kChain) {
         op.inputs.push_back(terminal[src.index]);
       }
@@ -150,7 +146,7 @@ std::vector<obs::TraceOp> ThreadsTraceOps(
     scan.kind = "scan";
     scan.label = "scan " + SourceName(cat, chain.input);
     scan.chain = static_cast<int32_t>(c);
-    scan.est_rows = SourceEst(plan, tables, chain_est, chain.input);
+    scan.est_rows = SourceEst(filter_pass, tables, chain_est, chain.input);
     if (chain.input.kind == mt::Source::Kind::kChain) {
       scan.inputs.push_back(terminal[chain.input.index]);
     }
@@ -163,7 +159,7 @@ std::vector<obs::TraceOp> ThreadsTraceOps(
       op.kind = "probe";
       op.label = "probe " + SourceName(cat, chain.joins[j].build);
       op.chain = static_cast<int32_t>(c);
-      double b = SourceEst(plan, tables, chain_est, chain.joins[j].build);
+      double b = SourceEst(filter_pass, tables, chain_est, chain.joins[j].build);
       e = e * b * JoinSelD(e, b);
       op.est_rows = e;
       op.inputs = {prev, base + j};
@@ -183,8 +179,9 @@ std::vector<obs::TraceOp> ThreadsTraceOps(
 /// base+3k). Aggregated plans append the distributed-aggregation sentinel
 /// op (id = compiled op count) the executor's agg-phase spans reference.
 std::vector<obs::TraceOp> ClusterTraceOps(
-    const mt::PipelinePlan& plan, const std::vector<const mt::Table*>& tables,
-    const catalog::Catalog& cat, const std::vector<double>& chain_est,
+    const mt::PipelinePlan& plan, const std::vector<double>& filter_pass,
+    const std::vector<const mt::Table*>& tables, const catalog::Catalog& cat,
+    const std::vector<double>& chain_est,
     const std::vector<uint64_t>& actual) {
   std::vector<obs::TraceOp> ops;
   std::vector<uint32_t> terminal;
@@ -199,7 +196,7 @@ std::vector<obs::TraceOp> ClusterTraceOps(
       op.kind = "buildscan";
       op.label = "buildscan " + SourceName(cat, src);
       op.chain = static_cast<int32_t>(c);
-      op.est_rows = SourceEst(plan, tables, chain_est, src);
+      op.est_rows = SourceEst(filter_pass, tables, chain_est, src);
       if (src.kind == mt::Source::Kind::kChain) {
         op.inputs.push_back(terminal[src.index]);
       }
@@ -211,7 +208,7 @@ std::vector<obs::TraceOp> ClusterTraceOps(
       op.kind = "build";
       op.label = "build " + SourceName(cat, chain.joins[j].build);
       op.chain = static_cast<int32_t>(c);
-      op.est_rows = SourceEst(plan, tables, chain_est, chain.joins[j].build);
+      op.est_rows = SourceEst(filter_pass, tables, chain_est, chain.joins[j].build);
       op.inputs.push_back(base + j);
       ops.push_back(std::move(op));
     }
@@ -220,7 +217,7 @@ std::vector<obs::TraceOp> ClusterTraceOps(
     scan.kind = "scan";
     scan.label = "scan " + SourceName(cat, chain.input);
     scan.chain = static_cast<int32_t>(c);
-    scan.est_rows = SourceEst(plan, tables, chain_est, chain.input);
+    scan.est_rows = SourceEst(filter_pass, tables, chain_est, chain.input);
     if (chain.input.kind == mt::Source::Kind::kChain) {
       scan.inputs.push_back(terminal[chain.input.index]);
     }
@@ -233,7 +230,7 @@ std::vector<obs::TraceOp> ClusterTraceOps(
       op.kind = "probe";
       op.label = "probe " + SourceName(cat, chain.joins[j].build);
       op.chain = static_cast<int32_t>(c);
-      double b = SourceEst(plan, tables, chain_est, chain.joins[j].build);
+      double b = SourceEst(filter_pass, tables, chain_est, chain.joins[j].build);
       e = e * b * JoinSelD(e, b);
       op.est_rows = e;
       op.inputs = {prev, base + k + j};
@@ -325,6 +322,7 @@ std::string ExecutionReport::ToString() const {
        << (build_cache_hits + build_cache_misses);
   }
   if (rows_filtered > 0) os << " filtered=" << rows_filtered;
+  if (rows_prefiltered > 0) os << " prefiltered=" << rows_prefiltered;
   if (aggregated) {
     os << " groups=" << agg_groups << " agg_partials=" << agg_partials;
     if (agg_repartition_bytes > 0) {
@@ -369,10 +367,26 @@ std::string SessionMetrics::ToJson() const {
      << ",\"failed\":" << scheduler.failed
      << ",\"cancelled\":" << scheduler.cancelled
      << ",\"rejected\":" << scheduler.rejected
+     << ",\"deadline_missed\":" << scheduler.deadline_missed
+     << ",\"deadline_missed_queued\":" << scheduler.deadline_missed_queued
      << ",\"max_in_flight\":" << scheduler.max_in_flight
      << ",\"in_flight\":" << scheduler.in_flight
      << ",\"queued\":" << scheduler.queued
-     << "},\"pool\":{\"threads\":" << pool.pool_threads
+     << ",\"loop_threads\":" << scheduler.loop_threads
+     << ",\"lane_threads\":" << scheduler.lane_threads
+     << ",\"loop_wakeups\":" << scheduler.loop_wakeups
+     << ",\"timers_fired\":" << scheduler.timers_fired
+     << ",\"tenants\":[";
+  for (size_t i = 0; i < scheduler.tenants.size(); ++i) {
+    const TenantStats& t = scheduler.tenants[i];
+    os << (i ? "," : "") << "{\"name\":\"" << t.name
+       << "\",\"max_inflight\":" << t.max_inflight
+       << ",\"max_queued\":" << t.max_queued
+       << ",\"in_flight\":" << t.in_flight << ",\"queued\":" << t.queued
+       << ",\"submitted\":" << t.submitted << ",\"rejected\":" << t.rejected
+       << ",\"deadline_missed\":" << t.deadline_missed << "}";
+  }
+  os << "]},\"pool\":{\"threads\":" << pool.pool_threads
      << ",\"tasks\":" << pool.pool_tasks
      << ",\"caller_tasks\":" << pool.caller_tasks
      << ",\"foreign_steals\":" << pool.foreign_steals
@@ -558,10 +572,20 @@ struct Session::Planned {
   mt::PipelinePlan mtplan;
 
   bool has_agg = false;
-  /// Admission cost (SCF ordering): the join tree's cost plus the
-  /// estimated aggregation work for GroupBy/Agg queries, over the
+  /// Admission cost (cost-ordered policies): the join tree's cost plus
+  /// the estimated aggregation work for GroupBy/Agg queries, over the
   /// filter-adjusted cardinalities.
   double plan_cost = 0.0;
+
+  /// Per-local-relation filter pass fractions (stats-driven where column
+  /// statistics exist, System R defaults otherwise; 1.0 once a filter was
+  /// pushed into the bind) — the single source the chain-card estimates
+  /// and trace plans read, so they stay consistent with the planning
+  /// catalog.
+  std::vector<double> filter_pass;
+  /// Rows dropped at bind time by pushing Where predicates into the
+  /// synthesized tables (ExecutionReport::rows_prefiltered).
+  uint64_t prefiltered_rows = 0;
 
   /// Build-cache identities aligned with `tables` (0 = uncacheable), plus
   /// the synthesis identity (seed/skew/bind parameters) folded into every
@@ -673,9 +697,18 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
       }
     }
     filters[lrel].push_back(pred);
-    double s = f.cmp == CmpOp::kEq ? 0.1
-               : f.cmp == CmpOp::kNe ? 0.9
-                                     : 1.0 / 3.0;
+    // Pass fraction: the KMV distinct counts and [min, max] envelopes
+    // from AddTable price the predicate against the actual data
+    // distribution; the System R constants (1/10 equality, 1/3 range,
+    // 9/10 inequality) remain the fallback for catalog-only relations.
+    double s;
+    if (stats != nullptr && f.col < stats->size() && t->rows() > 0) {
+      s = mt::EstimateSelectivity(pred, (*stats)[f.col]);
+    } else {
+      s = f.cmp == CmpOp::kEq ? 0.1
+          : f.cmp == CmpOp::kNe ? 0.9
+                                : 1.0 / 3.0;
+    }
     filter_sel[lrel] = std::max(1e-4, filter_sel[lrel] * s);
   }
   // The GroupBy/Agg references must join-in, and columns into registered
@@ -895,16 +928,37 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     out->tree = opt::ShapedBest(graph, fcat, q.shape_);
   }
 
-  // Estimated result cardinality and group count (sqrt-of-output default
-  // for want of distinct-value statistics): prices the aggregation for
-  // the simulator's AggPartial/AggMerge ops and the SCF admission cost.
+  // Estimated result cardinality and group count: prices the aggregation
+  // for the simulator's AggPartial/AggMerge ops and the admission cost.
+  // When every grouping column carries distinct-count statistics (KMV
+  // sketches from AddTable) the group count is bounded by the product of
+  // per-column distincts capped at the output cardinality; the
+  // sqrt-of-output default covers unstatted columns.
   const double root_card =
       std::max(0.0, out->tree.nodes[out->tree.root].card);
-  const double est_groups =
-      !out->has_agg ? 0.0
-      : q.group_by_.empty()
-          ? 1.0
-          : std::max(1.0, std::sqrt(root_card));
+  double est_groups = 0.0;
+  if (out->has_agg) {
+    if (q.group_by_.empty()) {
+      est_groups = 1.0;
+    } else {
+      double distinct_prod = 1.0;
+      bool all_stats = true;
+      for (const auto& g : q.group_by_) {
+        const std::vector<mt::ColumnStats>* st = table_stats(g.rel);
+        if (st == nullptr || g.col >= st->size()) {
+          all_stats = false;
+          break;
+        }
+        distinct_prod *= static_cast<double>(
+            std::max<uint64_t>((*st)[g.col].distinct_est, 1));
+      }
+      est_groups =
+          all_stats
+              ? std::max(1.0, std::min(std::max(root_card, 1.0),
+                                       distinct_prod))
+              : std::max(1.0, std::sqrt(root_card));
+    }
+  }
   out->plan_cost =
       out->tree.cost + (out->has_agg ? root_card + est_groups : 0.0);
 
@@ -924,6 +978,7 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
       q.chain_ || (!q.tree_.has_value() && q.shape_set_);
   out->pplan = plan::MacroExpand(out->tree, out->cat, eo);
   HIERDB_RETURN_NOT_OK(out->pplan.Validate());
+  out->filter_pass = filter_sel;
 
   // Bridge 2: the real-data pipeline plan (threads/cluster backends).
   // The simulated backend never touches it, so skip the table synthesis.
@@ -1040,6 +1095,33 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
     auto bound = mt::BindJoinTree(out->tree, graph, out->cat, bo);
     HIERDB_RETURN_NOT_OK(bound.status());
     out->owned = std::move(bound.value().tables);
+    // Filter pushdown into the synthesized bind: Where predicates on
+    // these relations evaluate once here, so the executors scan
+    // pre-filtered tables instead of re-testing every row (the bound
+    // tables are this query's private copies — registered tables are
+    // never touched). The planning catalog keeps pricing the unfiltered
+    // cardinalities; filter_pass flips to 1.0 because the scanned tables
+    // themselves already shrank.
+    for (uint32_t l = 0; l < filters.size(); ++l) {
+      if (filters[l].empty()) continue;
+      mt::Batch& b = out->owned[l].batch;
+      for (const mt::Predicate& pr : filters[l]) {
+        if (pr.col >= b.width()) {
+          return Status::OutOfRange(
+              "Where column " + std::to_string(pr.col) + " >= width " +
+              std::to_string(b.width()) + " of relation '" +
+              catalog_.relation(out->to_global[l]).name + "'");
+        }
+      }
+      mt::Batch kept(b.width());
+      for (size_t r = 0; r < b.rows(); ++r) {
+        if (mt::MatchesAll(filters[l], b.row(r))) kept.AppendRow(b.row(r));
+      }
+      out->prefiltered_rows += b.rows() - kept.rows();
+      b = std::move(kept);
+      filters[l].clear();
+      out->filter_pass[l] = 1.0;
+    }
     // Synthesized tables are cacheable on their contents plus the
     // synthesis identity: two queries share a build only when the data
     // really is byte-identical and was drawn under the same seed/skew/
@@ -1104,13 +1186,14 @@ QueryHandle Session::Submit(const Query& q, const ExecOptions& opts) {
   double cost = planned->plan_cost;
   auto submit_t = std::chrono::steady_clock::now();
   return scheduler_->Submit(
-      cost, [this, planned, opts, submit_t](const std::atomic<bool>& stop) {
+      cost, opts.deadline_ms, opts.tenant,
+      [this, planned, opts, submit_t](const std::atomic<bool>& stop) {
         // The closure runs at dispatch: the gap since submission is the
         // admission-queue wait, the rest is execution — both feed the
         // session's continuous latency histograms whatever the outcome.
         double queue_ms = WallSince(submit_t) * 1000.0;
         auto t0 = std::chrono::steady_clock::now();
-        auto r = RunPlanned(*planned, opts, stop);
+        auto r = RunPlanned(*planned, opts, queue_ms, stop);
         RecordCompletion(queue_ms, WallSince(t0) * 1000.0);
         return r;
       });
@@ -1197,11 +1280,12 @@ mt::BuildCache::Stats Session::build_cache_stats() const {
 
 Result<QueryResult> Session::RunPlanned(const Planned& p,
                                         const ExecOptions& opts,
+                                        double queue_wait_ms,
                                         const std::atomic<bool>& stop) const {
   switch (opts.backend) {
     case Backend::kSimulated: return RunSimulated(p, opts, stop);
-    case Backend::kThreads: return RunThreads(p, opts, stop);
-    case Backend::kCluster: return RunCluster(p, opts, stop);
+    case Backend::kThreads: return RunThreads(p, opts, queue_wait_ms, stop);
+    case Backend::kCluster: return RunCluster(p, opts, queue_wait_ms, stop);
   }
   return Status::Internal("unknown backend");
 }
@@ -1250,7 +1334,18 @@ Result<QueryResult> Session::RunSimulated(
   ro.timeline_bucket = opts.timeline_bucket;
   ro.stop = &stop;
   exec::RunResult rr = engine.Run(p.pplan, p.cat, ro);
-  if (!rr.status.ok()) return rr.status;
+  if (!rr.status.ok()) {
+    // A cooperative stop carries what was completed before the token
+    // fired, so a deadline miss (the scheduler rewrites Cancelled to
+    // DeadlineExceeded) still reports partial progress.
+    if (rr.status.code() == StatusCode::kCancelled) {
+      return Status::Cancelled(
+          rr.status.message() + " [partial: acts=" +
+          std::to_string(rr.metrics.activations_processed) +
+          " tuples=" + std::to_string(rr.metrics.tuples_processed) + "]");
+    }
+    return rr.status;
+  }
 
   const exec::RunMetrics& m = rr.metrics;
   ExecutionReport rep;
@@ -1327,6 +1422,7 @@ Result<QueryResult> Session::RunSimulated(
 
 Result<QueryResult> Session::RunThreads(const Planned& p,
                                         const ExecOptions& opts,
+                                        double queue_wait_ms,
                                         const std::atomic<bool>& stop) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
 
@@ -1376,6 +1472,11 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
     rent.start_ns = rent.end_ns = sink.NowNs();
     rent.detail = opts.use_shared_pool ? 1 : 0;
     sink.RecordShared(rent);
+    obs::TraceEvent sched;
+    sched.kind = obs::EventKind::kSchedule;
+    sched.start_ns = sched.end_ns = sink.NowNs();
+    sched.detail = static_cast<uint64_t>(queue_wait_ms * 1e6);
+    sink.RecordShared(sched);
   }
 
   mt::PipelineExecutor executor(po);
@@ -1392,7 +1493,15 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
     ret.detail = opts.use_shared_pool ? 1 : 0;
     sink.RecordShared(ret);
   }
-  if (!got.ok()) return got.status();
+  if (!got.ok()) {
+    if (got.status().code() == StatusCode::kCancelled) {
+      return Status::Cancelled(
+          got.status().message() + " [partial: acts=" +
+          std::to_string(stats.morsels + stats.data_activations) +
+          " filtered=" + std::to_string(stats.rows_filtered) + "]");
+    }
+    return got.status();
+  }
 
   ExecutionReport rep;
   rep.backend = Backend::kThreads;
@@ -1413,7 +1522,8 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   rep.agg_groups = stats.agg_groups;
   rep.agg_partials = stats.agg_partials;
   rep.threads = stats;
-  std::vector<double> est = EstimateChainRows(p.mtplan, p.tables);
+  rep.rows_prefiltered = p.prefiltered_rows;
+  std::vector<double> est = EstimateChainRows(p.mtplan, p.filter_pass, p.tables);
   rep.chain_cards = MakeChainCards(est, &stats.rows_per_chain);
   if (opts.trace) {
     auto qt = std::make_shared<obs::QueryTrace>();
@@ -1422,8 +1532,8 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
     qt->response_ms = rep.response_ms;
     qt->nodes = 1;
     qt->workers_per_node = po.threads;
-    qt->ops =
-        ThreadsTraceOps(p.mtplan, p.tables, p.cat, est, stats.rows_per_chain);
+    qt->ops = ThreadsTraceOps(p.mtplan, p.filter_pass, p.tables, p.cat, est,
+                              stats.rows_per_chain);
     qt->chains = rep.chain_cards;
     qt->events = sink.Drain();
     rep.trace = std::move(qt);
@@ -1447,6 +1557,7 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
 
 Result<QueryResult> Session::RunCluster(const Planned& p,
                                         const ExecOptions& opts,
+                                        double queue_wait_ms,
                                         const std::atomic<bool>& stop) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
   std::unique_ptr<ExecContext> ctx = MakeContext(opts, stop);
@@ -1538,6 +1649,11 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
     rent.start_ns = rent.end_ns = sink.NowNs();
     rent.detail = opts.use_shared_pool ? 1 : 0;
     sink.RecordShared(rent);
+    obs::TraceEvent sched;
+    sched.kind = obs::EventKind::kSchedule;
+    sched.start_ns = sched.end_ns = sink.NowNs();
+    sched.detail = static_cast<uint64_t>(queue_wait_ms * 1e6);
+    sink.RecordShared(sched);
   }
 
   cluster::ClusterExecutor executor(co);
@@ -1554,7 +1670,16 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
     ret.detail = opts.use_shared_pool ? 1 : 0;
     sink.RecordShared(ret);
   }
-  if (!got.ok()) return got.status();
+  if (!got.ok()) {
+    if (got.status().code() == StatusCode::kCancelled) {
+      uint64_t acts = 0;
+      for (uint64_t b : stats.busy_per_node) acts += b;
+      return Status::Cancelled(
+          got.status().message() + " [partial: acts=" + std::to_string(acts) +
+          " filtered=" + std::to_string(stats.rows_filtered) + "]");
+    }
+    return got.status();
+  }
 
   ExecutionReport rep;
   rep.backend = Backend::kCluster;
@@ -1579,7 +1704,8 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   rep.agg_partials = stats.agg_partials;
   rep.agg_repartition_bytes = stats.agg_repartition_bytes;
   rep.cluster = stats;
-  std::vector<double> est = EstimateChainRows(p.mtplan, p.tables);
+  rep.rows_prefiltered = p.prefiltered_rows;
+  std::vector<double> est = EstimateChainRows(p.mtplan, p.filter_pass, p.tables);
   rep.chain_cards = MakeChainCards(est, &stats.rows_per_chain);
   if (opts.trace) {
     auto qt = std::make_shared<obs::QueryTrace>();
@@ -1588,8 +1714,8 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
     qt->response_ms = rep.response_ms;
     qt->nodes = co.nodes;
     qt->workers_per_node = co.threads_per_node;
-    qt->ops =
-        ClusterTraceOps(p.mtplan, p.tables, p.cat, est, stats.rows_per_chain);
+    qt->ops = ClusterTraceOps(p.mtplan, p.filter_pass, p.tables, p.cat, est,
+                              stats.rows_per_chain);
     qt->chains = rep.chain_cards;
     qt->events = sink.Drain();
     rep.trace = std::move(qt);
@@ -1665,10 +1791,12 @@ Result<std::string> Session::ExplainDot(const Query& q,
     qt.ops = SimTraceOps(p.pplan);
   } else {
     if (!p.has_real) return Status::InvalidArgument(p.real_gap);
-    std::vector<double> est = EstimateChainRows(p.mtplan, p.tables);
-    qt.ops = opts.backend == Backend::kThreads
-                 ? ThreadsTraceOps(p.mtplan, p.tables, p.cat, est, {})
-                 : ClusterTraceOps(p.mtplan, p.tables, p.cat, est, {});
+    std::vector<double> est =
+        EstimateChainRows(p.mtplan, p.filter_pass, p.tables);
+    qt.ops =
+        opts.backend == Backend::kThreads
+            ? ThreadsTraceOps(p.mtplan, p.filter_pass, p.tables, p.cat, est, {})
+            : ClusterTraceOps(p.mtplan, p.filter_pass, p.tables, p.cat, est, {});
     qt.chains = MakeChainCards(est, nullptr);
   }
   return obs::PlanDot(qt);

@@ -226,6 +226,20 @@ struct ExecOptions {
   /// cost on the execution path is one null-pointer check per activation.
   bool trace = false;
 
+  /// Per-query deadline, measured from Submit (admission). 0 = none. The
+  /// deadline arms on the scheduler's timer wheel: expiring while queued
+  /// completes the handle immediately with Status::DeadlineExceeded;
+  /// expiring mid-execution raises the query's cooperative stop token on
+  /// whichever backend is running it, and the handle completes with
+  /// DeadlineExceeded carrying the partial progress counters in its
+  /// message. A deadline that races completion delivers the finished
+  /// result (best effort, like Cancel).
+  double deadline_ms = 0.0;
+
+  /// Tenant this query bills against (SessionOptions::tenants); "" is the
+  /// default tenant. Unknown names fail the Submit with InvalidArgument.
+  std::string tenant;
+
   /// kSimulated: full machine override; when set, nodes/threads_per_node
   /// above are ignored and this config is used verbatim.
   std::optional<sim::SystemConfig> sim_config;
@@ -300,6 +314,12 @@ struct ExecutionReport {
   /// Real backends: rows dropped by scan-level Where predicates.
   uint64_t rows_filtered = 0;
 
+  /// Real backends, catalog-only relations: rows dropped at bind time by
+  /// pushing Where predicates into the synthesized tables (the executor
+  /// then scans pre-filtered data; optimizer estimates still describe the
+  /// unfiltered catalog cardinalities).
+  uint64_t rows_prefiltered = 0;
+
   /// Set for queries with GroupBy/Agg: result groups, partial-table
   /// entries merged by the global phase, and (kCluster) the wire bytes of
   /// partials repartitioned to their home node. The result digest and any
@@ -355,6 +375,29 @@ enum class AdmissionPolicy {
   /// traffic delays an expensive queued query by at most the aging bound
   /// instead of starving it.
   kShortestCostFirst,
+  /// Earliest absolute deadline first (ExecOptions::deadline_ms measured
+  /// from Submit); deadline-less queries dispatch FIFO after every
+  /// deadline-carrying one.
+  kEarliestDeadlineFirst,
+  /// Cost-aware EDF: orders by latest feasible start (deadline minus the
+  /// query's estimated run time, calibrated online from completed
+  /// queries' observed ms-per-plan-cost), so a cheap query with a tight
+  /// deadline and an expensive one with a looser deadline both start in
+  /// time when possible. Deadline-less queries follow, cheapest first.
+  kCostAwareEdf,
+};
+
+/// One tenant of a multi-tenant session: a weight (its share of
+/// max_concurrent_queries, floored, minimum 1) and an optional private
+/// queue-depth bound. The default tenant "" always exists with weight 1;
+/// queries name their tenant in ExecOptions::tenant.
+struct TenantOptions {
+  std::string name;
+  uint32_t weight = 1;
+  /// Waiting-query bound for this tenant; 0 = SessionOptions::max_queued.
+  /// Backpressure is per tenant: a full tenant's Submit completes with
+  /// ResourceExhausted naming the tenant while others keep admitting.
+  uint32_t max_queued = 0;
 };
 
 /// Per-session scheduling limits (fixed at Session construction).
@@ -393,6 +436,24 @@ struct SessionOptions {
   /// destruction (JSONL — one snapshot object per line).
   std::string metrics_export_path;
   uint32_t metrics_export_every = 16;
+  /// Additional tenants beyond the default "" tenant. Each tenant's hard
+  /// in-flight share is max(1, floor(max_concurrent_queries * weight /
+  /// total weight)) — weights are relative among all tenants including
+  /// the default (weight 1). Empty = single-tenant session (every query
+  /// bills against "").
+  std::vector<TenantOptions> tenants;
+};
+
+/// Per-tenant scheduler snapshot (SchedulerStats::tenants).
+struct TenantStats {
+  std::string name;           ///< "" = default tenant
+  uint32_t max_inflight = 0;  ///< resolved weighted concurrency share
+  uint32_t max_queued = 0;    ///< resolved queue-depth bound
+  uint32_t in_flight = 0;     ///< snapshot: executing now
+  uint32_t queued = 0;        ///< snapshot: waiting now
+  uint64_t submitted = 0;     ///< lifetime admissions
+  uint64_t rejected = 0;      ///< lifetime backpressure rejections
+  uint64_t deadline_missed = 0;
 };
 
 /// Counters the session's scheduler maintains across its lifetime, plus a
@@ -405,9 +466,25 @@ struct SchedulerStats {
   /// races completion (result delivered) is not counted here.
   uint64_t cancelled = 0;
   uint64_t rejected = 0;   ///< refused admission (queue full)
+  /// Queries that hit their ExecOptions::deadline_ms: expired while
+  /// waiting (never dispatched) vs stopped mid-execution. Both complete
+  /// with Status::DeadlineExceeded and are counted here, not in `failed`.
+  uint64_t deadline_missed = 0;
+  uint64_t deadline_missed_queued = 0;
   uint32_t max_in_flight = 0;  ///< high-water mark of concurrent queries
   uint32_t in_flight = 0;      ///< snapshot: currently executing
   uint32_t queued = 0;         ///< snapshot: waiting for dispatch
+  /// Scheduler threads: the event loop (0 until the first Submit, then
+  /// exactly 1 however deep the queue gets) and the execution lanes
+  /// (bounded by max_concurrent_queries, created on demand).
+  uint32_t loop_threads = 0;
+  uint32_t lane_threads = 0;
+  /// Event-loop counters: loop wakeups that found work, and deadline
+  /// timers fired.
+  uint64_t loop_wakeups = 0;
+  uint64_t timers_fired = 0;
+  /// Per-tenant breakdown; index 0 is always the default "" tenant.
+  std::vector<TenantStats> tenants;
 };
 
 /// One consistent-enough snapshot of everything the session measures
@@ -756,15 +833,20 @@ class Session {
                    Planned* out) const;
   /// Backend-shape checks shared by Submit and Explain.
   Status ValidateOptions(const ExecOptions& opts) const;
-  /// Runs a planned query on its backend (called from scheduler workers;
-  /// `stop` is the query's cooperative-cancellation token).
+  /// Runs a planned query on its backend (called from scheduler lanes;
+  /// `stop` is the query's cooperative cancel/deadline token and
+  /// `queue_wait_ms` the admission-queue wait, recorded as a kSchedule
+  /// trace instant on the real-data backends).
   Result<QueryResult> RunPlanned(const Planned& p, const ExecOptions& opts,
+                                 double queue_wait_ms,
                                  const std::atomic<bool>& stop) const;
   Result<QueryResult> RunSimulated(const Planned& p, const ExecOptions& opts,
                                    const std::atomic<bool>& stop) const;
   Result<QueryResult> RunThreads(const Planned& p, const ExecOptions& opts,
+                                 double queue_wait_ms,
                                  const std::atomic<bool>& stop) const;
   Result<QueryResult> RunCluster(const Planned& p, const ExecOptions& opts,
+                                 double queue_wait_ms,
                                  const std::atomic<bool>& stop) const;
   /// The query's worker provider per ExecOptions::use_shared_pool.
   std::unique_ptr<ExecContext> MakeContext(const ExecOptions& opts,

@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object carrying a code and (on error) a message.
@@ -63,6 +64,9 @@ class Status {
   static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +89,7 @@ class Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

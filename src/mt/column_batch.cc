@@ -228,4 +228,23 @@ PredicateFold ClassifyPredicate(const Predicate& p, const ColumnStats& s) {
   }
 }
 
+double EstimateSelectivity(const Predicate& p, const ColumnStats& s) {
+  const double d = static_cast<double>(std::max<uint64_t>(s.distinct_est, 1));
+  const double lo = static_cast<double>(s.min);
+  const double hi = static_cast<double>(s.max);
+  const double span = hi - lo + 1.0;
+  const double v = static_cast<double>(p.value);
+  double sel;
+  switch (p.cmp) {
+    case CmpOp::kEq: sel = 1.0 / d; break;
+    case CmpOp::kNe: sel = 1.0 - 1.0 / d; break;
+    case CmpOp::kLt: sel = (v - lo) / span; break;
+    case CmpOp::kLe: sel = (v - lo + 1.0) / span; break;
+    case CmpOp::kGt: sel = (hi - v) / span; break;
+    case CmpOp::kGe:
+    default: sel = (hi - v + 1.0) / span; break;
+  }
+  return std::min(1.0, std::max(1e-4, sel));
+}
+
 }  // namespace hierdb::mt

@@ -142,6 +142,13 @@ enum class PredicateFold : uint8_t {
 
 PredicateFold ClassifyPredicate(const Predicate& p, const ColumnStats& s);
 
+/// Stats-driven pass-fraction estimate for a kKeep predicate, replacing
+/// the System R constants when the column carries statistics: equality
+/// passes ~1/distinct, inequality its complement, and ranges the covered
+/// fraction of the [min, max] span (uniformity assumption). Clamped to
+/// [1e-4, 1].
+double EstimateSelectivity(const Predicate& p, const ColumnStats& s);
+
 }  // namespace hierdb::mt
 
 #endif  // HIERDB_MT_COLUMN_BATCH_H_

@@ -13,6 +13,7 @@ const char* EventKindName(EventKind k) {
     case EventKind::kPoolRent: return "pool_rent";
     case EventKind::kPoolReturn: return "pool_return";
     case EventKind::kFabricSend: return "fabric_send";
+    case EventKind::kSchedule: return "schedule";
   }
   return "?";
 }

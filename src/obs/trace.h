@@ -47,6 +47,7 @@ enum class EventKind : uint8_t {
   kPoolRent,    ///< workers rented from the session pool
   kPoolReturn,  ///< rental returned
   kFabricSend,  ///< tuple batch pushed onto the cluster fabric
+  kSchedule,    ///< admission: dispatch after `detail` ns queued
 };
 
 const char* EventKindName(EventKind k);

@@ -1,0 +1,105 @@
+#include "sched/event_loop.h"
+
+#include <utility>
+#include <vector>
+
+namespace hierdb::sched {
+
+EventLoop::EventLoop(std::function<void(uint64_t)> on_timer)
+    : on_timer_(std::move(on_timer)),
+      t0_(std::chrono::steady_clock::now()) {}
+
+EventLoop::~EventLoop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+bool EventLoop::started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_;
+}
+
+uint64_t EventLoop::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    posted_.push_back(std::move(fn));
+    ++stats_.posts;
+  }
+  cv_.notify_all();
+}
+
+void EventLoop::ArmTimer(uint64_t id, uint64_t when_ns) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wheel_.Arm(id, when_ns);
+  }
+  // The new deadline may be earlier than whatever the loop is sleeping
+  // toward; wake it so it re-computes its wait.
+  cv_.notify_all();
+}
+
+void EventLoop::CancelTimer(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wheel_.Cancel(id);
+}
+
+EventLoop::Stats EventLoop::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.timers_armed = wheel_.armed();
+  return s;
+}
+
+void EventLoop::Run() {
+  std::vector<std::function<void()>> batch;
+  std::vector<uint64_t> expired;
+  for (;;) {
+    batch.clear();
+    expired.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (stop_) return;
+        wheel_.Advance(NowNs(), &expired);
+        if (!posted_.empty() || !expired.empty()) break;
+        const uint64_t next = wheel_.NextDeadlineNs();
+        if (next == UINT64_MAX) {
+          cv_.wait(lock);
+        } else {
+          cv_.wait_until(
+              lock, t0_ + std::chrono::nanoseconds(next));
+        }
+      }
+      ++stats_.wakeups;
+      stats_.timers_fired += expired.size();
+      while (!posted_.empty()) {
+        batch.push_back(std::move(posted_.front()));
+        posted_.pop_front();
+      }
+    }
+    // Dispatch outside the lock: handlers take the scheduler's own locks
+    // and may post further events or arm timers.
+    for (auto& fn : batch) fn();
+    for (uint64_t id : expired) on_timer_(id);
+  }
+}
+
+}  // namespace hierdb::sched

@@ -1,0 +1,85 @@
+// sched::EventLoop — the admission core's single reactor thread.
+//
+// One thread owns a posted-closure queue and a TimerWheel. Producers
+// (Session::Submit, executor lanes finishing a query, QueryHandle::Cancel)
+// post events or arm/cancel timers from any thread and return immediately;
+// the loop thread drains posts in order, advances the wheel, and invokes
+// the timer handler for every expired deadline. Nothing ever blocks inside
+// the loop except the idle wait itself, which sleeps exactly until the
+// next posted event or the earliest armed deadline.
+//
+// This replaces the thread-per-query dispatcher model: whatever the queue
+// depth — ten queries or a hundred thousand — scheduling costs exactly one
+// thread.
+
+#ifndef HIERDB_SCHED_EVENT_LOOP_H_
+#define HIERDB_SCHED_EVENT_LOOP_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "sched/timer_wheel.h"
+
+namespace hierdb::sched {
+
+class EventLoop {
+ public:
+  /// `on_timer` runs on the loop thread for every expired timer id. It may
+  /// call back into Post/ArmTimer/CancelTimer freely (the loop holds no
+  /// lock while dispatching).
+  explicit EventLoop(std::function<void(uint64_t)> on_timer);
+  /// Stops and joins. Posted events still queued are dropped; the owner
+  /// (the scheduler) drains its own work before destroying the loop.
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawns the loop thread (idempotent). Called lazily on first use so
+  /// sessions that never submit a query never pay for the thread.
+  void Start();
+  bool started() const;
+
+  /// Nanoseconds since loop construction (the wheel's clock).
+  uint64_t NowNs() const;
+
+  /// Enqueues `fn` for the loop thread and wakes it. Thread-safe, O(1),
+  /// never blocks on loop work.
+  void Post(std::function<void()> fn);
+
+  /// Arms/cancels deadline timer `id` on the wheel. Thread-safe.
+  void ArmTimer(uint64_t id, uint64_t when_ns);
+  void CancelTimer(uint64_t id);
+
+  struct Stats {
+    uint64_t wakeups = 0;       ///< loop iterations that found work
+    uint64_t posts = 0;         ///< events posted
+    uint64_t timers_fired = 0;  ///< deadlines dispatched to the handler
+    size_t timers_armed = 0;    ///< currently armed
+  };
+  Stats stats() const;
+
+ private:
+  void Run();
+
+  const std::function<void(uint64_t)> on_timer_;
+  const std::chrono::steady_clock::time_point t0_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> posted_;
+  TimerWheel wheel_;
+  Stats stats_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hierdb::sched
+
+#endif  // HIERDB_SCHED_EVENT_LOOP_H_

@@ -1,0 +1,88 @@
+#include "sched/timer_wheel.h"
+
+#include <algorithm>
+
+namespace hierdb::sched {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v && p < (1u << 30)) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel(uint32_t slots, uint64_t tick_ns)
+    : tick_ns_(tick_ns == 0 ? 1 : tick_ns),
+      mask_(RoundUpPow2(std::max(1u, slots)) - 1),
+      slots_(mask_ + 1) {}
+
+void TimerWheel::Arm(uint64_t id, uint64_t when_ns) {
+  // Re-arming an id that was cancelled earlier must revive it.
+  cancelled_.erase(id);
+  // A deadline at or behind the wheel cursor goes into the next slot the
+  // cursor will cross — Advance only scans forward, so filing it at its
+  // own (already passed) tick could delay it a whole rotation.
+  const uint64_t tick = std::max(TickOf(when_ns), last_tick_ + 1);
+  slots_[tick & mask_].push_back({id, when_ns});
+  next_ns_ = std::min(next_ns_, when_ns);
+  ++armed_;
+}
+
+void TimerWheel::Cancel(uint64_t id) {
+  if (armed_ == 0) return;
+  // Tombstone; the entry itself is dropped when its slot is next scanned.
+  // next_ns_ intentionally stays — a spurious early wake is harmless.
+  if (cancelled_.insert(id).second) --armed_;
+}
+
+void TimerWheel::Advance(uint64_t now_ns, std::vector<uint64_t>* expired) {
+  const uint64_t now_tick = TickOf(now_ns);
+  if (now_tick < last_tick_) return;  // clock cannot go backwards
+  // Scan only the slots the clock crossed; a span of a full rotation or
+  // more degenerates to one pass over every slot.
+  const uint64_t span = now_tick - last_tick_;
+  const uint64_t first =
+      span >= mask_ ? 0 : (last_tick_ + 1) & mask_;
+  const uint64_t count = span >= mask_ ? mask_ + 1 : span;
+  bool consumed_min = false;
+  for (uint64_t k = 0; k < count; ++k) {
+    auto& slot = slots_[(first + k) & mask_];
+    size_t kept = 0;
+    for (size_t i = 0; i < slot.size(); ++i) {
+      const Entry& e = slot[i];
+      auto tomb = cancelled_.find(e.id);
+      if (tomb != cancelled_.end()) {
+        cancelled_.erase(tomb);  // entry physically dropped: forget it
+        continue;
+      }
+      if (e.when_ns <= now_ns) {
+        expired->push_back(e.id);
+        if (e.when_ns <= next_ns_) consumed_min = true;
+        --armed_;
+        continue;
+      }
+      slot[kept++] = e;  // future rotation: stays
+    }
+    slot.resize(kept);
+  }
+  last_tick_ = now_tick;
+  if (consumed_min || (armed_ == 0 && next_ns_ != UINT64_MAX)) {
+    RecomputeNext();
+  }
+}
+
+void TimerWheel::RecomputeNext() {
+  next_ns_ = UINT64_MAX;
+  if (armed_ == 0) return;
+  for (const auto& slot : slots_) {
+    for (const Entry& e : slot) {
+      if (cancelled_.count(e.id)) continue;
+      next_ns_ = std::min(next_ns_, e.when_ns);
+    }
+  }
+}
+
+}  // namespace hierdb::sched

@@ -1,0 +1,76 @@
+// sched::TimerWheel — a hashed timer wheel for per-query deadlines.
+//
+// The admission core arms one timer per deadline-carrying query; with tens
+// of thousands queued, a heap would pay O(log n) per arm/cancel and the
+// event loop would pay O(k log n) per expiry batch. The classic hashed
+// wheel (Varghese & Lauck) makes arm O(1): a timer due at tick t lives in
+// slot t & (slots-1), and advancing the wheel scans only the slots the
+// clock actually crossed. Entries whose tick lies rotations in the future
+// stay in their slot and are reconsidered once per rotation (512 ms per
+// rotation at the default 1 ms x 512 geometry) — cheap against the arm
+// rate deadlines imply.
+//
+// Single-threaded by design: the event loop owns the wheel and serializes
+// access under its own lock. Cancellation is lazy (a tombstone set), so
+// cancelling a completed query's timer never scans a slot.
+
+#ifndef HIERDB_SCHED_TIMER_WHEEL_H_
+#define HIERDB_SCHED_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace hierdb::sched {
+
+class TimerWheel {
+ public:
+  /// `slots` rounds up to a power of two; `tick_ns` is the wheel's
+  /// resolution (default 1 ms — deadline_ms granularity).
+  explicit TimerWheel(uint32_t slots = 512, uint64_t tick_ns = 1'000'000);
+
+  /// Arms timer `id` to fire once `now >= when_ns`. Ids are caller-chosen
+  /// and must be unique among armed timers (the scheduler uses the query's
+  /// admission seq). O(1).
+  void Arm(uint64_t id, uint64_t when_ns);
+
+  /// Lazily cancels `id` (no-op when not armed). A cancelled timer never
+  /// appears in an Advance result. O(1).
+  void Cancel(uint64_t id);
+
+  /// Advances the wheel to `now_ns`, appending every due, uncancelled
+  /// timer id to `expired` (ascending deadline is NOT guaranteed — wheel
+  /// order is slot order). Amortized O(slots crossed + entries touched).
+  void Advance(uint64_t now_ns, std::vector<uint64_t>* expired);
+
+  /// Earliest armed deadline (ns), or UINT64_MAX when nothing is armed.
+  /// May return a stale-early value after cancellations (the loop then
+  /// simply wakes to an empty expiry batch); never returns late.
+  uint64_t NextDeadlineNs() const { return armed_ == 0 ? UINT64_MAX : next_ns_; }
+
+  size_t armed() const { return armed_; }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t when_ns = 0;
+  };
+
+  uint64_t TickOf(uint64_t ns) const { return ns / tick_ns_; }
+  /// Recomputes the cached minimum by scanning every live entry; called
+  /// only when an expiry batch consumed the previous minimum.
+  void RecomputeNext();
+
+  uint64_t tick_ns_;
+  uint32_t mask_;                          ///< slots - 1 (power of two)
+  std::vector<std::vector<Entry>> slots_;
+  std::unordered_set<uint64_t> cancelled_;
+  uint64_t last_tick_ = 0;  ///< wheel position of the last Advance
+  uint64_t next_ns_ = UINT64_MAX;
+  size_t armed_ = 0;  ///< live (uncancelled) entries
+};
+
+}  // namespace hierdb::sched
+
+#endif  // HIERDB_SCHED_TIMER_WHEEL_H_

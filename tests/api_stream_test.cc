@@ -7,13 +7,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "api/session.h"
 #include "gtest/gtest.h"
 #include "mt/plan.h"
 #include "mt/row.h"
+#include "obs/export.h"
 
 namespace hierdb::api {
 namespace {
@@ -116,6 +122,78 @@ TEST(StreamConsistency, ParallelSubmitsMatchSerialExecuteOnThreads) {
   EXPECT_LE(stats.max_in_flight, 3u);
 }
 
+// Flake forensics for the cluster consistency test: on a digest mismatch,
+// write everything a post-mortem needs to a temp file — serial vs
+// concurrent digests, each concurrent query's full ExecutionReport with
+// per-node busy/idle/rows-per-chain breakdowns, and a traced serial
+// re-run of every mismatching query (Chrome trace JSON) — and return the
+// path so the gtest failure message points at it.
+std::string DumpClusterForensics(
+    Session& db, const std::vector<Query>& queries, const ExecOptions& opts,
+    const std::vector<std::pair<uint64_t, uint64_t>>& serial,
+    const std::vector<Result<QueryResult>>& got) {
+  std::ostringstream os;
+  os << "cluster stream digest mismatch: " << queries.size()
+     << " queries, machine " << opts.nodes << "x" << opts.threads_per_node
+     << "\n\n";
+  for (size_t i = 0; i < got.size(); ++i) {
+    os << "--- query " << i << " ---\n";
+    os << "serial:     rows=" << serial[i].first
+       << " checksum=" << serial[i].second << "\n";
+    if (!got[i].ok()) {
+      os << "concurrent: " << got[i].status().ToString() << "\n";
+      continue;
+    }
+    const ExecutionReport& rep = got[i].value().report;
+    os << "concurrent: rows=" << rep.result_rows
+       << " checksum=" << rep.result_checksum
+       << (rep.result_rows == serial[i].first &&
+                   rep.result_checksum == serial[i].second
+               ? " (match)"
+               : " (MISMATCH)")
+       << "\n";
+    os << "report: " << rep.ToString() << "\n";
+    if (rep.cluster.has_value()) {
+      const auto& cs = *rep.cluster;
+      for (size_t n = 0; n < cs.busy_per_node.size(); ++n) {
+        os << "  node " << n << ": busy=" << cs.busy_per_node[n];
+        if (n < cs.idle_waits_per_node.size()) {
+          os << " idle_waits=" << cs.idle_waits_per_node[n];
+        }
+        os << "\n";
+      }
+      for (size_t c = 0; c < cs.rows_per_chain.size(); ++c) {
+        os << "  chain " << c << ": rows=" << cs.rows_per_chain[c] << "\n";
+      }
+    }
+  }
+  // Traced serial re-runs of the mismatching queries: where each operator
+  // ran and for how long, in a form chrome://tracing opens directly.
+  ExecOptions traced = opts;
+  traced.trace = true;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].ok() &&
+        got[i].value().report.result_rows == serial[i].first &&
+        got[i].value().report.result_checksum == serial[i].second) {
+      continue;
+    }
+    os << "\n--- traced serial re-run of query " << i << " ---\n";
+    auto r = db.Submit(queries[i], traced).Take();
+    if (!r.ok()) {
+      os << r.status().ToString() << "\n";
+    } else if (r.value().report.trace != nullptr) {
+      os << obs::ChromeTraceJson(*r.value().report.trace) << "\n";
+    }
+  }
+
+  char path[] = "/tmp/hierdb_stream_forensics_XXXXXX";
+  int fd = mkstemp(path);
+  if (fd < 0) return "(mkstemp failed; dump lost)";
+  close(fd);
+  std::ofstream(path) << os.str();
+  return path;
+}
+
 TEST(StreamConsistency, ParallelSubmitsMatchSerialExecuteOnCluster) {
   SessionOptions so;
   so.max_concurrent_queries = 2;
@@ -133,11 +211,26 @@ TEST(StreamConsistency, ParallelSubmitsMatchSerialExecuteOnCluster) {
 
   std::vector<QueryHandle> handles;
   for (const Query& q : queries) handles.push_back(fx.db.Submit(q, opts));
-  for (size_t i = 0; i < handles.size(); ++i) {
-    auto r = handles[i].Take();
-    ASSERT_TRUE(r.ok()) << r.status().ToString();
-    EXPECT_EQ(r.value().report.result_rows, serial[i].first) << i;
-    EXPECT_EQ(r.value().report.result_checksum, serial[i].second) << i;
+  std::vector<Result<QueryResult>> got;
+  for (auto& h : handles) got.push_back(h.Take());
+
+  bool mismatch = false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    mismatch = mismatch || !got[i].ok() ||
+               got[i].value().report.result_rows != serial[i].first ||
+               got[i].value().report.result_checksum != serial[i].second;
+  }
+  std::string forensics;
+  if (mismatch) {
+    forensics = DumpClusterForensics(fx.db, queries, opts, serial, got);
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].ok())
+        << got[i].status().ToString() << "; forensics: " << forensics;
+    EXPECT_EQ(got[i].value().report.result_rows, serial[i].first)
+        << "query " << i << "; forensics: " << forensics;
+    EXPECT_EQ(got[i].value().report.result_checksum, serial[i].second)
+        << "query " << i << "; forensics: " << forensics;
   }
   EXPECT_LE(fx.db.scheduler_stats().max_in_flight, 2u);
 }
