@@ -114,6 +114,14 @@ sched::OrderPolicy ToOrderPolicy(AdmissionPolicy p) {
 /// tenant always exists (index 0, weight 1 unless overridden), weights
 /// divide max_concurrent_queries into floored shares of at least 1, and
 /// a zero per-tenant queue bound inherits the session's.
+///
+/// The floor of 1 means the shares oversubscribe whenever there are more
+/// tenants than max_concurrent_queries. The global in_flight_ cap in
+/// Pump() still bounds total concurrency, but weighted isolation then
+/// degrades toward first-come-first-served among tenants (documented on
+/// SessionOptions::tenants). Deliberate: rejecting such configurations
+/// would make adding a tenant a breaking change for small sessions, and
+/// a share of 0 would starve that tenant outright.
 std::vector<sched::TenantLimits> ResolveTenants(const SessionOptions& o) {
   std::vector<sched::TenantLimits> out;
   sched::TenantLimits def;
@@ -252,14 +260,15 @@ QueryHandle Scheduler::Submit(
     queue_.Push(std::move(item));
     ++stats_.submitted;
     ++tenant_counters_[state->tenant].submitted;
+    // Arm while still holding mu_ (mu_ -> loop mutex is the established
+    // order; nothing takes them the other way round). Dispatch goes
+    // through Pump, which needs mu_, so the arm is ordered strictly
+    // before any completion's CancelTimer — a timer can never be
+    // installed for an already-finished query.
+    if (deadline_ns != 0) loop_.ArmTimer(seq, deadline_ns);
     post_pump = SchedulePumpLocked();
   }
   loop_.Start();
-  // Arm after releasing mu_: if the timer fires before armed_ would have
-  // the entry, OnTimer simply finds the seq (inserted above, under the
-  // lock) — and a completion that raced ahead erased it, making the fire
-  // a no-op.
-  if (deadline_ns != 0) loop_.ArmTimer(seq, deadline_ns);
   if (post_pump) loop_.Post([this] { Pump(); });
   return QueryHandle(std::move(state));
 }

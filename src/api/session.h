@@ -441,6 +441,12 @@ struct SessionOptions {
   /// total weight)) — weights are relative among all tenants including
   /// the default (weight 1). Empty = single-tenant session (every query
   /// bills against "").
+  ///
+  /// Note the floor of 1: with more tenants than max_concurrent_queries
+  /// the per-tenant shares sum past the global limit. Total concurrency
+  /// is still capped globally, but weighted isolation degrades toward
+  /// first-come-first-served among tenants — size
+  /// max_concurrent_queries >= tenant count for the weights to bite.
   std::vector<TenantOptions> tenants;
 };
 

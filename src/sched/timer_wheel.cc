@@ -20,48 +20,66 @@ TimerWheel::TimerWheel(uint32_t slots, uint64_t tick_ns)
       slots_(mask_ + 1) {}
 
 void TimerWheel::Arm(uint64_t id, uint64_t when_ns) {
-  // Re-arming an id that was cancelled earlier must revive it.
-  cancelled_.erase(id);
+  // The registration is authoritative; any older slot entry for this id
+  // now carries a mismatched deadline and is dropped on its next scan.
+  live_[id] = when_ns;
   // A deadline at or behind the wheel cursor goes into the next slot the
   // cursor will cross — Advance only scans forward, so filing it at its
   // own (already passed) tick could delay it a whole rotation.
   const uint64_t tick = std::max(TickOf(when_ns), last_tick_ + 1);
   slots_[tick & mask_].push_back({id, when_ns});
   next_ns_ = std::min(next_ns_, when_ns);
-  ++armed_;
 }
 
 void TimerWheel::Cancel(uint64_t id) {
-  if (armed_ == 0) return;
-  // Tombstone; the entry itself is dropped when its slot is next scanned.
-  // next_ns_ intentionally stays — a spurious early wake is harmless.
-  if (cancelled_.insert(id).second) --armed_;
+  // Erasing the registration is the whole cancellation; the orphaned slot
+  // entry is dropped when its slot is next scanned. erase() of an id that
+  // already fired (Advance removed its registration) or was never armed
+  // is naturally a no-op, so unconditional cancels cannot corrupt the
+  // armed count. next_ns_ intentionally stays — a spurious early wake is
+  // harmless, and the sweep that drops the stale entry recomputes it.
+  live_.erase(id);
 }
 
 void TimerWheel::Advance(uint64_t now_ns, std::vector<uint64_t>* expired) {
   const uint64_t now_tick = TickOf(now_ns);
   if (now_tick < last_tick_) return;  // clock cannot go backwards
-  // Scan only the slots the clock crossed; a span of a full rotation or
-  // more degenerates to one pass over every slot.
+  // Scan the slots the clock crossed; a span of a full rotation or more
+  // degenerates to one pass over every slot. Even when no tick boundary
+  // was crossed (span == 0), scan the one slot just ahead of the cursor:
+  // overdue arms are filed there and must fire on this call — otherwise
+  // the loop's wait on their already-past deadline returns immediately
+  // and it busy-spins until the wall clock finishes the current tick.
   const uint64_t span = now_tick - last_tick_;
-  const uint64_t first =
-      span >= mask_ ? 0 : (last_tick_ + 1) & mask_;
-  const uint64_t count = span >= mask_ ? mask_ + 1 : span;
-  bool consumed_min = false;
+  const uint64_t first = span >= mask_ ? 0 : (last_tick_ + 1) & mask_;
+  const uint64_t count =
+      span >= mask_ ? mask_ + 1 : std::max<uint64_t>(span, 1);
+  bool lost_min = false;
+  std::vector<Entry> refile;
   for (uint64_t k = 0; k < count; ++k) {
     auto& slot = slots_[(first + k) & mask_];
     size_t kept = 0;
     for (size_t i = 0; i < slot.size(); ++i) {
-      const Entry& e = slot[i];
-      auto tomb = cancelled_.find(e.id);
-      if (tomb != cancelled_.end()) {
-        cancelled_.erase(tomb);  // entry physically dropped: forget it
+      const Entry e = slot[i];
+      auto it = live_.find(e.id);
+      if (it == live_.end() || it->second != e.when_ns) {
+        // Cancelled, already fired, or superseded by a re-arm. The cached
+        // minimum may have belonged to this entry; flag a recompute so a
+        // cancelled earliest deadline cannot pin next_ns_ in the past.
+        if (e.when_ns <= next_ns_) lost_min = true;
         continue;
       }
       if (e.when_ns <= now_ns) {
         expired->push_back(e.id);
-        if (e.when_ns <= next_ns_) consumed_min = true;
-        --armed_;
+        live_.erase(it);
+        if (e.when_ns <= next_ns_) lost_min = true;
+        continue;
+      }
+      if (TickOf(e.when_ns) <= now_tick) {
+        // Due later within a tick the cursor has now reached: keeping it
+        // here would strand it until a full rotation re-crosses this slot
+        // (forward scans start past the cursor). Park it one slot ahead.
+        refile.push_back(e);
         continue;
       }
       slot[kept++] = e;  // future rotation: stays
@@ -69,19 +87,18 @@ void TimerWheel::Advance(uint64_t now_ns, std::vector<uint64_t>* expired) {
     slot.resize(kept);
   }
   last_tick_ = now_tick;
-  if (consumed_min || (armed_ == 0 && next_ns_ != UINT64_MAX)) {
+  for (const Entry& e : refile) {
+    slots_[(last_tick_ + 1) & mask_].push_back(e);
+  }
+  if (lost_min || (live_.empty() && next_ns_ != UINT64_MAX)) {
     RecomputeNext();
   }
 }
 
 void TimerWheel::RecomputeNext() {
   next_ns_ = UINT64_MAX;
-  if (armed_ == 0) return;
-  for (const auto& slot : slots_) {
-    for (const Entry& e : slot) {
-      if (cancelled_.count(e.id)) continue;
-      next_ns_ = std::min(next_ns_, e.when_ns);
-    }
+  for (const auto& [id, when_ns] : live_) {
+    next_ns_ = std::min(next_ns_, when_ns);
   }
 }
 

@@ -11,15 +11,18 @@
 // rate deadlines imply.
 //
 // Single-threaded by design: the event loop owns the wheel and serializes
-// access under its own lock. Cancellation is lazy (a tombstone set), so
-// cancelling a completed query's timer never scans a slot.
+// access under its own lock. The source of truth is a registration map
+// (id -> armed deadline); slot entries are hints, so cancellation is an
+// O(1) map erase and a slot entry whose deadline no longer matches its
+// registration (cancelled, fired, or superseded by a re-arm) is dropped
+// when its slot is next scanned.
 
 #ifndef HIERDB_SCHED_TIMER_WHEEL_H_
 #define HIERDB_SCHED_TIMER_WHEEL_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 namespace hierdb::sched {
@@ -30,26 +33,35 @@ class TimerWheel {
   /// resolution (default 1 ms — deadline_ms granularity).
   explicit TimerWheel(uint32_t slots = 512, uint64_t tick_ns = 1'000'000);
 
-  /// Arms timer `id` to fire once `now >= when_ns`. Ids are caller-chosen
-  /// and must be unique among armed timers (the scheduler uses the query's
-  /// admission seq). O(1).
+  /// Arms timer `id` to fire once `now >= when_ns`. Re-arming an id —
+  /// whether currently armed, cancelled, or already fired — supersedes:
+  /// only the latest deadline fires, and stale slot entries are swept
+  /// lazily. O(1).
   void Arm(uint64_t id, uint64_t when_ns);
 
-  /// Lazily cancels `id` (no-op when not armed). A cancelled timer never
-  /// appears in an Advance result. O(1).
+  /// Cancels `id`. A no-op for ids that already fired or were never
+  /// armed, so callers may cancel unconditionally on completion without
+  /// tracking whether the deadline won the race. O(1).
   void Cancel(uint64_t id);
 
   /// Advances the wheel to `now_ns`, appending every due, uncancelled
   /// timer id to `expired` (ascending deadline is NOT guaranteed — wheel
-  /// order is slot order). Amortized O(slots crossed + entries touched).
+  /// order is slot order). Also fires overdue timers parked just ahead of
+  /// the cursor even when no tick boundary was crossed, so an arm for an
+  /// already-past deadline expires on the very next call rather than after
+  /// the wall clock grinds out the current tick. Amortized O(slots
+  /// crossed + entries touched).
   void Advance(uint64_t now_ns, std::vector<uint64_t>* expired);
 
   /// Earliest armed deadline (ns), or UINT64_MAX when nothing is armed.
   /// May return a stale-early value after cancellations (the loop then
-  /// simply wakes to an empty expiry batch); never returns late.
-  uint64_t NextDeadlineNs() const { return armed_ == 0 ? UINT64_MAX : next_ns_; }
+  /// simply wakes to an empty expiry batch and the next Advance sweeps
+  /// the stale entry and recomputes); never returns late.
+  uint64_t NextDeadlineNs() const {
+    return live_.empty() ? UINT64_MAX : next_ns_;
+  }
 
-  size_t armed() const { return armed_; }
+  size_t armed() const { return live_.size(); }
 
  private:
   struct Entry {
@@ -58,17 +70,18 @@ class TimerWheel {
   };
 
   uint64_t TickOf(uint64_t ns) const { return ns / tick_ns_; }
-  /// Recomputes the cached minimum by scanning every live entry; called
-  /// only when an expiry batch consumed the previous minimum.
+  /// Recomputes the cached minimum over the registrations; called only
+  /// when an entry that could define it left the wheel.
   void RecomputeNext();
 
   uint64_t tick_ns_;
   uint32_t mask_;                          ///< slots - 1 (power of two)
   std::vector<std::vector<Entry>> slots_;
-  std::unordered_set<uint64_t> cancelled_;
+  /// id -> armed deadline: the registration of record. A slot entry is
+  /// live iff its (id, when_ns) matches here.
+  std::unordered_map<uint64_t, uint64_t> live_;
   uint64_t last_tick_ = 0;  ///< wheel position of the last Advance
   uint64_t next_ns_ = UINT64_MAX;
-  size_t armed_ = 0;  ///< live (uncancelled) entries
 };
 
 }  // namespace hierdb::sched

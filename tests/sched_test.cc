@@ -88,6 +88,90 @@ TEST(TimerWheel, FarTimersSurviveRotations) {
   EXPECT_EQ(expired, std::vector<uint64_t>{1});
 }
 
+// The scheduler cancels every deadline timer unconditionally on
+// completion, including when the deadline already fired mid-run. Such a
+// cancel must be a no-op: it must not eat the armed count (leaving
+// NextDeadlineNs() at UINT64_MAX while live timers remain would put the
+// event loop to sleep forever) and must not leave a tombstone that blocks
+// later expiries.
+TEST(TimerWheel, CancelAfterFireIsANoOp) {
+  sched::TimerWheel wheel;
+  wheel.Arm(1, 5 * kMs);
+  wheel.Arm(2, 40 * kMs);
+  std::vector<uint64_t> expired;
+  wheel.Advance(6 * kMs, &expired);
+  ASSERT_EQ(expired, std::vector<uint64_t>{1});
+  wheel.Cancel(1);  // completion racing a deadline that already fired
+  wheel.Cancel(1);  // idempotent
+  wheel.Cancel(99);  // never armed
+  EXPECT_EQ(wheel.armed(), 1u);
+  EXPECT_EQ(wheel.NextDeadlineNs(), 40 * kMs);
+  expired.clear();
+  wheel.Advance(41 * kMs, &expired);
+  EXPECT_EQ(expired, std::vector<uint64_t>{2});
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+// Re-arming an id after a cancel (or while armed) supersedes: the stale
+// slot entry must not fire at its original deadline, and the new one
+// fires exactly once.
+TEST(TimerWheel, ReArmSupersedesCancelledDeadline) {
+  sched::TimerWheel wheel;
+  wheel.Arm(1, 5 * kMs);
+  wheel.Cancel(1);
+  wheel.Arm(1, 20 * kMs);
+  EXPECT_EQ(wheel.armed(), 1u);
+  std::vector<uint64_t> expired;
+  wheel.Advance(8 * kMs, &expired);  // crosses the stale entry's slot
+  EXPECT_TRUE(expired.empty());
+  wheel.Advance(21 * kMs, &expired);
+  EXPECT_EQ(expired, std::vector<uint64_t>{1});
+  expired.clear();
+  wheel.Advance(40 * kMs, &expired);
+  EXPECT_TRUE(expired.empty());
+}
+
+// An arm for an already-past deadline must expire on the next Advance even
+// when no tick boundary has been crossed since — otherwise the event
+// loop's wait on the past deadline returns immediately and it busy-spins
+// out the rest of the current tick.
+TEST(TimerWheel, OverdueArmFiresWithoutTickCrossing) {
+  sched::TimerWheel wheel;
+  std::vector<uint64_t> expired;
+  wheel.Advance(100 * kMs + 200'000, &expired);  // cursor mid-tick 100
+  wheel.Arm(7, 99 * kMs);                        // already overdue
+  wheel.Advance(100 * kMs + 400'000, &expired);  // still tick 100
+  EXPECT_EQ(expired, std::vector<uint64_t>{7});
+}
+
+// Cancelling the earliest deadline leaves next_ns_ stale-early (allowed),
+// but the Advance that sweeps the stale entry must recompute it — a
+// cached minimum pinned in the past would make every wait return
+// immediately, spinning the loop.
+TEST(TimerWheel, CancelledEarliestDeadlineRecomputesOnSweep) {
+  sched::TimerWheel wheel;
+  wheel.Arm(1, 5 * kMs);
+  wheel.Arm(2, 50 * kMs);
+  wheel.Cancel(1);
+  std::vector<uint64_t> expired;
+  wheel.Advance(6 * kMs, &expired);  // sweeps the cancelled entry
+  EXPECT_TRUE(expired.empty());
+  EXPECT_EQ(wheel.NextDeadlineNs(), 50 * kMs);
+}
+
+// A wake inside a timer's tick but before its deadline must not strand
+// the timer: once the cursor sits on its tick, a plain forward scan would
+// only revisit that slot after a full rotation.
+TEST(TimerWheel, SubTickWakeDoesNotStrandTimerForARotation) {
+  sched::TimerWheel wheel;  // 512 slots x 1 ms
+  wheel.Arm(1, 5 * kMs + 700'000);  // due at 5.7 ms
+  std::vector<uint64_t> expired;
+  wheel.Advance(5 * kMs + 200'000, &expired);  // crosses tick 5 early
+  EXPECT_TRUE(expired.empty());
+  wheel.Advance(5 * kMs + 800'000, &expired);
+  EXPECT_EQ(expired, std::vector<uint64_t>{1});
+}
+
 sched::QueueItem Item(uint64_t seq, uint32_t tenant, double cost,
                       double cost_ms, uint64_t deadline_ns) {
   sched::QueueItem it;
@@ -307,6 +391,42 @@ TEST(SchedDeadline, GenerousDeadlineCompletesAndDisarms) {
   EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(stats.deadline_missed, 0u);
   EXPECT_EQ(stats.timers_fired, 0u);  // cancelled on completion, not fired
+}
+
+// A mid-run miss ends with the lane cancelling a timer that already
+// fired. The wheel's armed bookkeeping must survive that no-op cancel:
+// a later query's deadline on the same session must still fire (a
+// corrupted count once made NextDeadlineNs() report "nothing armed" and
+// the event loop slept through every subsequent deadline).
+TEST(SchedDeadline, DeadlinesStillFireAfterMidRunMiss) {
+  SessionOptions so;
+  so.max_concurrent_queries = 1;
+  SchedFixture fx(so);
+  ExecOptions opts = Opts(Backend::kThreads);
+
+  ExecOptions miss = opts;
+  miss.deadline_ms = 25.0;
+  auto r1 = fx.db.Submit(fx.ChainQuery(3), miss).Take();
+  ASSERT_FALSE(r1.ok());
+  ASSERT_EQ(r1.status().code(), StatusCode::kDeadlineExceeded)
+      << r1.status().ToString();
+
+  QueryHandle blocker = fx.db.Submit(fx.ChainQuery(3), opts);
+  ASSERT_TRUE(WaitForInFlight(fx.db, 1));
+  ExecOptions dead = opts;
+  dead.deadline_ms = 40.0;  // expires while queued behind the blocker
+  auto r2 = fx.db.Submit(fx.ChainQuery(1), dead).Take();
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kDeadlineExceeded)
+      << r2.status().ToString();
+  EXPECT_NE(r2.status().message().find("while queued"), std::string::npos)
+      << r2.status().ToString();
+  EXPECT_TRUE(blocker.Take().ok());
+
+  SchedulerStats stats = fx.db.scheduler_stats();
+  EXPECT_EQ(stats.deadline_missed, 2u);
+  EXPECT_EQ(stats.deadline_missed_queued, 1u);
+  EXPECT_EQ(stats.completed, 1u);
 }
 
 // Digest equivalence under deadline pressure: queries that DO complete in
