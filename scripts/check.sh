@@ -27,3 +27,9 @@ rm -rf "$smoke_dir"
 # BENCH_admission.json (generous 10x factors). Runs from the repo root so
 # --check finds the baseline.
 (cd .. && ./build/mt_admission --quick --check)
+
+# Chaos smoke: a 200-query cluster stream under seeded 1% message drop
+# with a periodically stalled node; --check enforces the robustness gates
+# (zero digest mismatches, zero untyped failures, >= 99% survival with
+# max_retries=2 + kThreads fallback).
+(cd .. && ./build/mt_chaos --quick --check)

@@ -19,6 +19,27 @@ std::string FmtMs(double ms) {
   return buf;
 }
 
+// splitmix64 finalizer for deterministic backoff jitter: same (seq,
+// attempt) always jitters the same way, so retry schedules reproduce.
+uint64_t JitterHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Capped exponential backoff with deterministic jitter in [0.5, 1.0] of
+/// the capped delay. `attempt` is the upcoming attempt index (>= 1).
+uint64_t BackoffNs(const internal::QueryState& st) {
+  double ms = st.backoff_base_ms;
+  for (uint32_t i = 1; i < st.attempt; ++i) ms *= 2.0;
+  ms = std::min(ms, st.backoff_max_ms);
+  const uint64_t h = JitterHash(st.seq * 0x100000001b3ULL + st.attempt);
+  const double jitter =
+      0.5 + 0.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+  return static_cast<uint64_t>(ms * jitter * 1e6);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -28,6 +49,14 @@ void QueryHandle::Wait() const {
   if (state_ == nullptr) return;
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [&] {
+    return state_->phase == internal::QueryState::Phase::kDone;
+  });
+}
+
+bool QueryHandle::WaitFor(std::chrono::milliseconds timeout) const {
+  if (state_ == nullptr) return true;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout, [&] {
     return state_->phase == internal::QueryState::Phase::kDone;
   });
 }
@@ -115,13 +144,13 @@ sched::OrderPolicy ToOrderPolicy(AdmissionPolicy p) {
 /// divide max_concurrent_queries into floored shares of at least 1, and
 /// a zero per-tenant queue bound inherits the session's.
 ///
-/// The floor of 1 means the shares oversubscribe whenever there are more
-/// tenants than max_concurrent_queries. The global in_flight_ cap in
-/// Pump() still bounds total concurrency, but weighted isolation then
-/// degrades toward first-come-first-served among tenants (documented on
-/// SessionOptions::tenants). Deliberate: rejecting such configurations
-/// would make adding a tenant a breaking change for small sessions, and
-/// a share of 0 would starve that tenant outright.
+/// The floor of 1 can oversubscribe max_concurrent_queries when tenants
+/// outnumber it, so a clamp pass then shaves the largest shares — never
+/// below 1 — until the sum fits (or every share is 1, the irreducible
+/// case where tenants simply outnumber lanes). Clamped tenants report
+/// TenantStats::clamped so operators can see their configured weight was
+/// not honored exactly; a share of 0 would starve a tenant outright,
+/// which is why 1 is the floor.
 std::vector<sched::TenantLimits> ResolveTenants(const SessionOptions& o) {
   std::vector<sched::TenantLimits> out;
   sched::TenantLimits def;
@@ -151,6 +180,20 @@ std::vector<sched::TenantLimits> ResolveTenants(const SessionOptions& o) {
                static_cast<uint64_t>(o.max_concurrent_queries) * l.weight /
                total_w));
   }
+  uint64_t sum = 0;
+  for (const auto& l : out) sum += l.max_inflight;
+  const uint32_t cap = std::max<uint32_t>(o.max_concurrent_queries, 1);
+  while (sum > cap) {
+    auto it = std::max_element(
+        out.begin(), out.end(),
+        [](const sched::TenantLimits& a, const sched::TenantLimits& b) {
+          return a.max_inflight < b.max_inflight;
+        });
+    if (it->max_inflight <= 1) break;  // all shares at the floor
+    --it->max_inflight;
+    it->clamped = true;
+    --sum;
+  }
   return out;
 }
 
@@ -172,8 +215,9 @@ Scheduler::~Scheduler() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     // Completions signal drain_cv_; queued cancels and expiries can empty
-    // the queue without one, so also poll at a coarse interval.
-    while (in_flight_ != 0 || !ready_.empty() ||
+    // the queue without one, so also poll at a coarse interval. Queries
+    // sitting out a retry backoff count as admitted work too.
+    while (in_flight_ != 0 || !ready_.empty() || !retry_armed_.empty() ||
            queue_.CountLive(alive_) != 0) {
       drain_cv_.wait_for(lock, std::chrono::milliseconds(5));
     }
@@ -199,7 +243,9 @@ bool Scheduler::SchedulePumpLocked() {
 
 QueryHandle Scheduler::Submit(
     double plan_cost, double deadline_ms, const std::string& tenant,
-    std::function<Result<QueryResult>(const std::atomic<bool>&)> run) {
+    const RetrySpec& retry,
+    std::function<Result<QueryResult>(const std::atomic<bool>&, uint32_t)>
+        run) {
   int t = -1;
   for (uint32_t i = 0; i < queue_.tenant_count(); ++i) {
     if (queue_.limits(i).name == tenant) {
@@ -217,6 +263,10 @@ QueryHandle Scheduler::Submit(
   state->plan_cost = plan_cost;
   state->deadline_ms = deadline_ms;
   state->tenant = static_cast<uint32_t>(t);
+  state->max_attempts = std::max<uint32_t>(retry.max_attempts(), 1);
+  state->backoff_base_ms = std::max(retry.backoff_base_ms, 0.0);
+  state->backoff_max_ms =
+      std::max(retry.backoff_max_ms, state->backoff_base_ms);
   state->run = std::move(run);
   state->submitted = std::chrono::steady_clock::now();
 
@@ -309,7 +359,12 @@ void Scheduler::Pump() {
   }
 }
 
-void Scheduler::OnTimer(uint64_t seq) {
+void Scheduler::OnTimer(uint64_t id) {
+  if (id & kRetryTimerBit) {
+    OnRetryTimer(id & ~kRetryTimerBit);
+    return;
+  }
+  const uint64_t seq = id;
   std::shared_ptr<internal::QueryState> state;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -318,20 +373,32 @@ void Scheduler::OnTimer(uint64_t seq) {
     state = std::move(it->second);
     armed_.erase(it);
   }
-  bool expired_queued = false;
   {
+    // mu_ before state->mu (the order established in Pump). Counters and
+    // retry cleanup must land atomically with the completion: a Take()
+    // woken by the cv below may read scheduler_stats() immediately, and
+    // must already see the miss reflected there.
+    std::lock_guard<std::mutex> lock(mu_);
     std::lock_guard<std::mutex> slock(state->mu);
     using Phase = internal::QueryState::Phase;
     if (state->phase == Phase::kQueued) {
       // Never dispatched: complete right here on the loop thread. The
       // dead queue entry is swept lazily by the pump / Submit.
+      ++stats_.deadline_missed;
+      ++stats_.deadline_missed_queued;
+      ++tenant_counters_[state->tenant].deadline_missed;
+      // If the expiry caught the query sitting out a retry backoff, its
+      // outcome is now final: drop the pending re-queue.
+      if (retry_armed_.erase(seq) != 0) {
+        loop_.CancelTimer(seq | kRetryTimerBit);
+      }
       state->phase = Phase::kDone;
       state->run = nullptr;
       state->result = Status::DeadlineExceeded(
           "deadline (" + FmtMs(state->deadline_ms) +
           " ms) expired while queued");
       state->cv.notify_all();
-      expired_queued = true;
+      drain_cv_.notify_all();
     } else if (state->phase == Phase::kRunning) {
       // Raise the cooperative stop token; the lane translates the
       // executor's Cancelled into DeadlineExceeded via deadline_fired.
@@ -340,13 +407,40 @@ void Scheduler::OnTimer(uint64_t seq) {
     }
     // kDone: lost the race to completion/cancel — nothing to do.
   }
-  if (expired_queued) {
+}
+
+void Scheduler::OnRetryTimer(uint64_t seq) {
+  bool post_pump = false;
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.deadline_missed;
-    ++stats_.deadline_missed_queued;
-    ++tenant_counters_[state->tenant].deadline_missed;
+    auto it = retry_armed_.find(seq);
+    if (it == retry_armed_.end()) return;  // outcome finalized meanwhile
+    std::shared_ptr<internal::QueryState> state = std::move(it->second);
+    retry_armed_.erase(it);
+    bool requeue = false;
+    {
+      std::lock_guard<std::mutex> slock(state->mu);
+      // A cancel or queued-deadline expiry during the backoff already
+      // completed the handle; the retry is then moot.
+      requeue = state->phase == internal::QueryState::Phase::kQueued;
+    }
+    if (requeue) {
+      sched::QueueItem item;
+      item.seq = state->seq;
+      item.tenant = state->tenant;
+      item.cost = state->plan_cost;
+      item.cost_ms = state->plan_cost * ms_per_cost_;
+      item.deadline_ns = state->deadline_ns;
+      item.submit_ns = loop_.NowNs();
+      item.payload = state;
+      // No depth-bound check: the query was admitted at Submit and its
+      // slot was never returned to the caller.
+      queue_.Push(std::move(item));
+      post_pump = SchedulePumpLocked();
+    }
     drain_cv_.notify_all();
   }
+  if (post_pump) loop_.Post([this] { Pump(); });
 }
 
 void Scheduler::LaneLoop() {
@@ -361,8 +455,7 @@ void Scheduler::LaneLoop() {
     }
 
     const auto dispatched = state->dispatched;
-    Result<QueryResult> result = state->run(state->stop);
-    state->run = nullptr;  // release the captured plan
+    Result<QueryResult> result = state->run(state->stop, state->attempt);
     const auto finished = std::chrono::steady_clock::now();
     const double exec_ms = MsBetween(dispatched, finished);
     if (result.ok()) {
@@ -386,6 +479,42 @@ void Scheduler::LaneLoop() {
             " ms) exceeded mid-execution: " + result.status().message());
       }
     }
+
+    // Retry: an Unavailable failure re-queues the query for another
+    // attempt after capped exponential backoff — unless a cancel or a
+    // fired deadline already owns the outcome, or attempts are exhausted.
+    // The lane is released for the duration of the backoff and the
+    // deadline (absolute) stays armed, so a retrying query can still
+    // expire while waiting.
+    bool retry = false;
+    if (!result.ok() &&
+        result.status().code() == StatusCode::kUnavailable) {
+      std::lock_guard<std::mutex> slock(state->mu);
+      if (!state->cancel_requested &&
+          !state->deadline_fired.load(std::memory_order_acquire) &&
+          state->attempt + 1 < state->max_attempts) {
+        ++state->attempt;
+        state->phase = internal::QueryState::Phase::kQueued;
+        retry = true;
+      }
+    }
+    if (retry) {
+      bool post_pump = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --in_flight_;
+        queue_.OnComplete(state->tenant);
+        ++stats_.retries;
+        retry_armed_[state->seq] = state;
+        loop_.ArmTimer(state->seq | kRetryTimerBit,
+                       loop_.NowNs() + BackoffNs(*state));
+        post_pump = SchedulePumpLocked();
+        drain_cv_.notify_all();
+      }
+      if (post_pump) loop_.Post([this] { Pump(); });
+      continue;
+    }
+    state->run = nullptr;  // release the captured plan
 
     // Commit the scheduler counters before publishing to the handle, so a
     // caller reading scheduler_stats() right after Take() sees this query
@@ -455,6 +584,7 @@ SchedulerStats Scheduler::stats() const {
     ts.name = lim.name;
     ts.max_inflight = lim.max_inflight;
     ts.max_queued = lim.max_queued;
+    ts.clamped = lim.clamped;
     ts.in_flight = queue_.inflight(t);
     ts.queued = static_cast<uint32_t>(queue_.CountLive(t, alive_));
     ts.submitted = tenant_counters_[t].submitted;

@@ -78,7 +78,19 @@ struct QueryState {
   uint32_t tenant = 0;       ///< resolved tenant index (0 = default "")
   uint64_t seq = 0;          ///< admission order (FIFO key, tie-break)
   uint64_t dispatch_seq = 0; ///< assigned when the pump dispatches
-  std::function<Result<QueryResult>(const std::atomic<bool>& stop)> run;
+  /// Retry state: `attempt` is the 0-based index of the current run;
+  /// after an Unavailable failure the lane re-queues the query (with
+  /// backoff) while attempt + 1 < max_attempts. The deadline, if any,
+  /// stays absolute across attempts.
+  uint32_t attempt = 0;
+  uint32_t max_attempts = 1;
+  double backoff_base_ms = 10.0;
+  double backoff_max_ms = 1000.0;
+  /// The run closure receives the attempt index so the session layer can
+  /// switch the final attempt to the fallback backend.
+  std::function<Result<QueryResult>(const std::atomic<bool>& stop,
+                                    uint32_t attempt)>
+      run;
   std::chrono::steady_clock::time_point submitted;
   std::chrono::steady_clock::time_point dispatched;
   /// The owning scheduler's cancellation counter (shared so Cancel can
@@ -87,6 +99,20 @@ struct QueryState {
 };
 
 }  // namespace internal
+
+/// Retry policy for one submission (see ExecOptions::max_retries).
+struct RetrySpec {
+  uint32_t max_retries = 0;  ///< re-dispatches after the first attempt
+  /// Grants one extra final attempt intended for a degraded backend; the
+  /// run closure sees it as the last attempt index.
+  bool fallback = false;
+  double backoff_base_ms = 10.0;
+  double backoff_max_ms = 1000.0;
+
+  uint32_t max_attempts() const {
+    return 1 + max_retries + (fallback ? 1 : 0);
+  }
+};
 
 class Scheduler {
  public:
@@ -102,10 +128,17 @@ class Scheduler {
   /// returned handle immediately: ResourceExhausted when the tenant's
   /// queue is full, InvalidArgument for an undeclared tenant. Never
   /// blocks and never spawns a per-query thread. `run` receives the
-  /// query's stop token (cooperative cancellation and deadlines).
+  /// query's stop token (cooperative cancellation and deadlines) and the
+  /// 0-based attempt index. Per `retry`, an Unavailable failure releases
+  /// the lane and re-queues the query after capped exponential backoff
+  /// with deterministic jitter (armed on the same timer wheel as
+  /// deadlines); re-admission bypasses the queue-depth bound (the query
+  /// was already admitted).
   QueryHandle Submit(
       double plan_cost, double deadline_ms, const std::string& tenant,
-      std::function<Result<QueryResult>(const std::atomic<bool>&)> run);
+      const RetrySpec& retry,
+      std::function<Result<QueryResult>(const std::atomic<bool>&, uint32_t)>
+          run);
 
   /// A handle already carrying `result` — for validation/planning errors
   /// that never reach the queue.
@@ -118,7 +151,10 @@ class Scheduler {
   /// to the concurrency limit and per-tenant quotas; OnTimer handles one
   /// expired deadline.
   void Pump();
-  void OnTimer(uint64_t seq);
+  void OnTimer(uint64_t id);
+  /// A backoff timer fired: re-queue the query for its next attempt
+  /// (unless cancel/deadline finished it during the backoff).
+  void OnRetryTimer(uint64_t seq);
   /// Marks the pump as pending; returns true when the caller (holding
   /// mu_) should post it after unlocking (coalesces redundant posts).
   bool SchedulePumpLocked();
@@ -137,6 +173,12 @@ class Scheduler {
   std::vector<std::thread> lanes_;  ///< grown on demand, never beyond limit
   /// Deadline-armed queries by seq; erased at completion or expiry.
   std::unordered_map<uint64_t, std::shared_ptr<internal::QueryState>> armed_;
+  /// Queries sitting out a retry backoff, by seq. Their timer ids carry
+  /// kRetryTimerBit so deadline and backoff timers for the same query
+  /// coexist on the one wheel.
+  std::unordered_map<uint64_t, std::shared_ptr<internal::QueryState>>
+      retry_armed_;
+  static constexpr uint64_t kRetryTimerBit = 1ull << 63;
   uint64_t next_seq_ = 1;
   uint64_t next_dispatch_ = 1;
   uint32_t in_flight_ = 0;

@@ -281,6 +281,37 @@ std::vector<obs::TraceOp> SimTraceOps(const plan::PhysicalPlan& pplan) {
   return ops;
 }
 
+/// Chaos/robustness trace instants for one attempt: which attempt this
+/// was (kRetry), whether it ran degraded (kFallback), and how many
+/// injected faults fired during it (kFault).
+void RecordFaultInstants(obs::TraceSink& sink, fault::FaultInjector* inj,
+                         uint32_t attempt, bool fallback,
+                         uint64_t faults_before) {
+  if (attempt > 0) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kRetry;
+    ev.start_ns = ev.end_ns = sink.NowNs();
+    ev.detail = attempt;
+    sink.RecordShared(ev);
+  }
+  if (fallback) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kFallback;
+    ev.start_ns = ev.end_ns = sink.NowNs();
+    ev.detail = 1;
+    sink.RecordShared(ev);
+  }
+  const uint64_t fired =
+      inj != nullptr ? inj->counters().total() - faults_before : 0;
+  if (fired > 0) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kFault;
+    ev.start_ns = ev.end_ns = sink.NowNs();
+    ev.detail = fired;
+    sink.RecordShared(ev);
+  }
+}
+
 }  // namespace
 
 const char* BackendName(Backend b) {
@@ -331,6 +362,9 @@ std::string ExecutionReport::ToString() const {
   }
   if (imbalance > 0) os << " imbalance=" << imbalance;
   if (validated) os << (reference_match ? " ref=match" : " ref=MISMATCH");
+  if (attempt > 0) os << " attempt=" << attempt;
+  if (fallback_used) os << " fallback=degraded";
+  if (faults_injected > 0) os << " faults=" << faults_injected;
   os << "}";
   return os.str();
 }
@@ -351,6 +385,11 @@ std::string StreamReport::ToString() const {
   if (agg_groups > 0 || agg_partials > 0) {
     os << " groups=" << agg_groups << " agg_partials=" << agg_partials;
   }
+  if (retried > 0 || fallbacks > 0 || unavailable > 0 ||
+      faults_injected > 0) {
+    os << " retried=" << retried << " fallbacks=" << fallbacks
+       << " unavailable=" << unavailable << " faults=" << faults_injected;
+  }
   os << "}";
   return os.str();
 }
@@ -369,6 +408,7 @@ std::string SessionMetrics::ToJson() const {
      << ",\"rejected\":" << scheduler.rejected
      << ",\"deadline_missed\":" << scheduler.deadline_missed
      << ",\"deadline_missed_queued\":" << scheduler.deadline_missed_queued
+     << ",\"retries\":" << scheduler.retries
      << ",\"max_in_flight\":" << scheduler.max_in_flight
      << ",\"in_flight\":" << scheduler.in_flight
      << ",\"queued\":" << scheduler.queued
@@ -384,13 +424,15 @@ std::string SessionMetrics::ToJson() const {
        << ",\"max_queued\":" << t.max_queued
        << ",\"in_flight\":" << t.in_flight << ",\"queued\":" << t.queued
        << ",\"submitted\":" << t.submitted << ",\"rejected\":" << t.rejected
-       << ",\"deadline_missed\":" << t.deadline_missed << "}";
+       << ",\"deadline_missed\":" << t.deadline_missed
+       << ",\"clamped\":" << (t.clamped ? "true" : "false") << "}";
   }
   os << "]},\"pool\":{\"threads\":" << pool.pool_threads
      << ",\"tasks\":" << pool.pool_tasks
      << ",\"caller_tasks\":" << pool.caller_tasks
      << ",\"foreign_steals\":" << pool.foreign_steals
      << ",\"spawned_threads\":" << pool.spawned_threads
+     << ",\"worker_deaths\":" << pool.worker_deaths
      << "},\"build_cache\":{\"hits\":" << build_cache.hits
      << ",\"misses\":" << build_cache.misses
      << ",\"evictions\":" << build_cache.evictions
@@ -1185,16 +1227,56 @@ QueryHandle Session::Submit(const Query& q, const ExecOptions& opts) {
   // snapshots (so registration stays safe while queries are in flight).
   double cost = planned->plan_cost;
   auto submit_t = std::chrono::steady_clock::now();
+
+  // Chaos: one injector per query, shared across attempts — its per-site
+  // event counters keep advancing, so a retry draws a fresh deterministic
+  // fault subsequence from the same seeded plan instead of replaying the
+  // failure verbatim.
+  const std::optional<fault::FaultPlan>& fplan =
+      opts.fault_plan.has_value() ? opts.fault_plan : session_options_.chaos;
+  std::shared_ptr<fault::FaultInjector> injector;
+  if (fplan.has_value() && fplan->armed()) {
+    injector = std::make_shared<fault::FaultInjector>(*fplan);
+  }
+  RetrySpec rspec;
+  rspec.max_retries = opts.max_retries;
+  rspec.fallback = opts.fallback_backend.has_value() &&
+                   *opts.fallback_backend != opts.backend;
+  rspec.backoff_base_ms = opts.retry_backoff_ms;
+  rspec.backoff_max_ms = opts.retry_backoff_max_ms;
   return scheduler_->Submit(
-      cost, opts.deadline_ms, opts.tenant,
-      [this, planned, opts, submit_t](const std::atomic<bool>& stop) {
+      cost, opts.deadline_ms, opts.tenant, rspec,
+      [this, planned, opts, submit_t, injector, rspec](
+          const std::atomic<bool>& stop, uint32_t attempt) {
         // The closure runs at dispatch: the gap since submission is the
         // admission-queue wait, the rest is execution — both feed the
         // session's continuous latency histograms whatever the outcome.
         double queue_ms = WallSince(submit_t) * 1000.0;
         auto t0 = std::chrono::steady_clock::now();
-        auto r = RunPlanned(*planned, opts, queue_ms, stop);
+        FaultCtx fc;
+        fc.injector = injector.get();
+        fc.attempt = attempt;
+        ExecOptions eff = opts;
+        if (rspec.fallback && attempt + 1 == rspec.max_attempts()) {
+          // Graceful degradation: the extra final attempt runs on the
+          // fallback backend, single node.
+          eff.backend = *opts.fallback_backend;
+          eff.nodes = 1;
+          fc.fallback = true;
+        }
+        const uint64_t faults_before =
+            injector != nullptr ? injector->counters().total() : 0;
+        auto r = RunPlanned(*planned, eff, queue_ms, stop, fc);
         RecordCompletion(queue_ms, WallSince(t0) * 1000.0);
+        if (r.ok()) {
+          ExecutionReport& rep = r.value().report;
+          rep.attempt = attempt;
+          rep.fallback_used = fc.fallback;
+          if (injector != nullptr) {
+            rep.faults_injected =
+                injector->counters().total() - faults_before;
+          }
+        }
         return r;
       });
 }
@@ -1230,6 +1312,9 @@ StreamReport Session::RunStream(const std::vector<Query>& queries,
       sr.agg_groups += r.value().report.agg_groups;
       sr.agg_partials += r.value().report.agg_partials;
       sr.agg_repartition_bytes += r.value().report.agg_repartition_bytes;
+      if (r.value().report.attempt > 0) ++sr.retried;
+      if (r.value().report.fallback_used) ++sr.fallbacks;
+      sr.faults_injected += r.value().report.faults_injected;
       for (const obs::ChainCard& cc : r.value().report.chain_cards) {
         if (!cc.has_actual) continue;
         card_err_sum += std::abs(static_cast<double>(cc.actual_rows) -
@@ -1239,6 +1324,7 @@ StreamReport Session::RunStream(const std::vector<Query>& queries,
       }
     } else {
       ++sr.failed;
+      if (r.status().code() == StatusCode::kUnavailable) ++sr.unavailable;
     }
     sr.results.push_back(std::move(r));
   }
@@ -1281,18 +1367,22 @@ mt::BuildCache::Stats Session::build_cache_stats() const {
 Result<QueryResult> Session::RunPlanned(const Planned& p,
                                         const ExecOptions& opts,
                                         double queue_wait_ms,
-                                        const std::atomic<bool>& stop) const {
+                                        const std::atomic<bool>& stop,
+                                        const FaultCtx& fc) const {
   switch (opts.backend) {
     case Backend::kSimulated: return RunSimulated(p, opts, stop);
-    case Backend::kThreads: return RunThreads(p, opts, queue_wait_ms, stop);
-    case Backend::kCluster: return RunCluster(p, opts, queue_wait_ms, stop);
+    case Backend::kThreads:
+      return RunThreads(p, opts, queue_wait_ms, stop, fc);
+    case Backend::kCluster:
+      return RunCluster(p, opts, queue_wait_ms, stop, fc);
   }
   return Status::Internal("unknown backend");
 }
 
 std::unique_ptr<ExecContext> Session::MakeContext(
-    const ExecOptions& opts, const std::atomic<bool>& stop) const {
-  if (opts.use_shared_pool) return EnsurePool().Rent(&stop);
+    const ExecOptions& opts, const std::atomic<bool>& stop,
+    fault::FaultInjector* injector) const {
+  if (opts.use_shared_pool) return EnsurePool().Rent(&stop, injector);
   return std::make_unique<ThreadSpawnContext>(&stop, &spawned_threads_);
 }
 
@@ -1423,7 +1513,8 @@ Result<QueryResult> Session::RunSimulated(
 Result<QueryResult> Session::RunThreads(const Planned& p,
                                         const ExecOptions& opts,
                                         double queue_wait_ms,
-                                        const std::atomic<bool>& stop) const {
+                                        const std::atomic<bool>& stop,
+                                        const FaultCtx& fc) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
 
   // Column pruning rides the vectorized data plane: aggregated plans drop
@@ -1438,7 +1529,7 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
     mt::PruneColumns(&plan, widths);
   }
 
-  std::unique_ptr<ExecContext> ctx = MakeContext(opts, stop);
+  std::unique_ptr<ExecContext> ctx = MakeContext(opts, stop, fc.injector);
   mt::PipelineOptions po;
   po.threads = opts.threads_per_node;
   po.strategy = opts.strategy;
@@ -1482,6 +1573,8 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   mt::PipelineExecutor executor(po);
   mt::PipelineStats stats;
   QueryResult qr;
+  const uint64_t faults_before =
+      fc.injector != nullptr ? fc.injector->counters().total() : 0;
   auto t0 = std::chrono::steady_clock::now();
   auto got = executor.Execute(plan, p.tables, &stats,
                               opts.materialize ? &qr.rows : nullptr);
@@ -1492,6 +1585,8 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
     ret.start_ns = ret.end_ns = sink.NowNs();
     ret.detail = opts.use_shared_pool ? 1 : 0;
     sink.RecordShared(ret);
+    RecordFaultInstants(sink, fc.injector, fc.attempt, fc.fallback,
+                        faults_before);
   }
   if (!got.ok()) {
     if (got.status().code() == StatusCode::kCancelled) {
@@ -1558,9 +1653,10 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
 Result<QueryResult> Session::RunCluster(const Planned& p,
                                         const ExecOptions& opts,
                                         double queue_wait_ms,
-                                        const std::atomic<bool>& stop) const {
+                                        const std::atomic<bool>& stop,
+                                        const FaultCtx& fc) const {
   if (!p.has_real) return Status::InvalidArgument(p.real_gap);
-  std::unique_ptr<ExecContext> ctx = MakeContext(opts, stop);
+  std::unique_ptr<ExecContext> ctx = MakeContext(opts, stop, fc.injector);
 
   // Bridge the (possibly bushy, multi-chain) pipeline plan straight onto
   // the cluster: the chain DAG executes end-to-end on the node/thread
@@ -1626,6 +1722,15 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   co.cache_stolen_fragments = opts.cache_stolen_fragments;
   co.serialize_chains = opts.apply_h2;
   co.vectorized = opts.vectorized;
+  if (fc.injector != nullptr) {
+    // Chaos: arm fabric/node-loop injection and the detection tier
+    // (heartbeats, liveness timeouts, the node-0 progress watchdog) that
+    // turns injected failures into typed Unavailable statuses.
+    co.injector = fc.injector;
+    co.detect_faults = true;
+    co.heartbeat_us = opts.heartbeat_us;
+    co.liveness_timeout_ms = opts.liveness_timeout_ms;
+  }
   if (opts.buckets) co.buckets = opts.buckets;
   if (opts.morsel_rows) co.morsel_rows = opts.morsel_rows;
   if (opts.batch_rows) co.batch_rows = opts.batch_rows;
@@ -1659,6 +1764,8 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   cluster::ClusterExecutor executor(co);
   cluster::ClusterStats stats;
   QueryResult qr;
+  const uint64_t faults_before =
+      fc.injector != nullptr ? fc.injector->counters().total() : 0;
   auto t0 = std::chrono::steady_clock::now();
   auto got = executor.Execute(query, &stats,
                               opts.materialize ? &qr.rows : nullptr);
@@ -1669,6 +1776,8 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
     ret.start_ns = ret.end_ns = sink.NowNs();
     ret.detail = opts.use_shared_pool ? 1 : 0;
     sink.RecordShared(ret);
+    RecordFaultInstants(sink, fc.injector, fc.attempt, fc.fallback,
+                        faults_before);
   }
   if (!got.ok()) {
     if (got.status().code() == StatusCode::kCancelled) {

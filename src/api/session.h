@@ -70,6 +70,7 @@
 #define HIERDB_API_SESSION_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -82,6 +83,7 @@
 #include "catalog/catalog.h"
 #include "cluster/cluster_executor.h"
 #include "common/status.h"
+#include "fault/fault.h"
 #include "common/strategy.h"
 #include "common/units.h"
 #include "exec/engine.h"
@@ -240,6 +242,40 @@ struct ExecOptions {
   /// default tenant. Unknown names fail the Submit with InvalidArgument.
   std::string tenant;
 
+  /// Seeded fault injection for this query (chaos testing). When the plan
+  /// is armed, the backends deliberately misbehave per its probabilities
+  /// and schedule: the cluster fabric drops/duplicates/delays messages,
+  /// cluster node loops stall or crash, and pooled worker threads die
+  /// (their slot is re-queued, so work is never lost — only delayed).
+  /// Every decision derives from the plan's seed, so a failing run
+  /// replays exactly. Unset inherits SessionOptions::chaos; both unset =
+  /// no injection and zero overhead on the execution path.
+  std::optional<fault::FaultPlan> fault_plan;
+
+  /// Re-dispatches after an attempt fails with Status::Unavailable (fault
+  /// detection's verdict): the scheduler releases the lane, waits out a
+  /// capped exponential backoff with deterministic jitter
+  /// (retry_backoff_ms doubling up to retry_backoff_max_ms) and re-queues
+  /// the query. Each attempt draws a fresh fault subsequence from the
+  /// same plan. A deadline, if set, stays absolute across attempts.
+  uint32_t max_retries = 0;
+  double retry_backoff_ms = 10.0;
+  double retry_backoff_max_ms = 1000.0;
+
+  /// Graceful degradation: when set, one extra final attempt runs on this
+  /// backend (single node) after max_retries attempts on the primary
+  /// backend all returned Unavailable. The report marks fallback_used.
+  std::optional<Backend> fallback_backend;
+
+  /// kCluster fault-detection cadence (active only while a fault plan is
+  /// armed): nodes broadcast liveness heartbeats every heartbeat_us, and
+  /// a peer silent for liveness_timeout_ms fails the run with
+  /// Status::Unavailable naming the suspected node. Node 0 additionally
+  /// watches global progress to catch message loss that stalls the run
+  /// without silencing anyone.
+  uint32_t heartbeat_us = 500;
+  uint32_t liveness_timeout_ms = 250;
+
   /// kSimulated: full machine override; when set, nodes/threads_per_node
   /// above are ignored and this config is used verbatim.
   std::optional<sim::SystemConfig> sim_config;
@@ -339,6 +375,14 @@ struct ExecutionReport {
   /// (operator tree + spans + instants), exportable via
   /// obs::ChromeTraceJson / obs::PlanDot / obs::PlanJson.
   std::shared_ptr<const obs::QueryTrace> trace;
+
+  /// Robustness: which attempt produced this report (0 = first try),
+  /// whether it ran on the degraded fallback backend, and how many
+  /// injected faults fired during the winning attempt (detail per site in
+  /// cluster->faults and PoolStats::worker_deaths).
+  uint32_t attempt = 0;
+  bool fallback_used = false;
+  uint64_t faults_injected = 0;
 
   /// Raw backend metrics.
   std::optional<exec::RunMetrics> sim;
@@ -442,12 +486,16 @@ struct SessionOptions {
   /// the default (weight 1). Empty = single-tenant session (every query
   /// bills against "").
   ///
-  /// Note the floor of 1: with more tenants than max_concurrent_queries
-  /// the per-tenant shares sum past the global limit. Total concurrency
-  /// is still capped globally, but weighted isolation degrades toward
-  /// first-come-first-served among tenants — size
-  /// max_concurrent_queries >= tenant count for the weights to bite.
+  /// The floor of 1 can oversubscribe max_concurrent_queries when tenants
+  /// outnumber it; the scheduler then clamps the largest shares (never
+  /// below 1) until they sum within the global limit, and marks the
+  /// affected tenants TenantStats::clamped. Size max_concurrent_queries
+  /// >= tenant count for the configured weights to be honored exactly.
   std::vector<TenantOptions> tenants;
+  /// Session-wide chaos default: queries whose ExecOptions::fault_plan is
+  /// unset inherit this plan (a per-query plan overrides). Unset = no
+  /// injection anywhere unless a query opts in.
+  std::optional<fault::FaultPlan> chaos;
 };
 
 /// Per-tenant scheduler snapshot (SchedulerStats::tenants).
@@ -460,6 +508,9 @@ struct TenantStats {
   uint64_t submitted = 0;     ///< lifetime admissions
   uint64_t rejected = 0;      ///< lifetime backpressure rejections
   uint64_t deadline_missed = 0;
+  /// The weighted share was reduced so per-tenant shares sum within
+  /// max_concurrent_queries (more tenants than lanes).
+  bool clamped = false;
 };
 
 /// Counters the session's scheduler maintains across its lifetime, plus a
@@ -477,6 +528,9 @@ struct SchedulerStats {
   /// with Status::DeadlineExceeded and are counted here, not in `failed`.
   uint64_t deadline_missed = 0;
   uint64_t deadline_missed_queued = 0;
+  /// Re-dispatches after an Unavailable attempt (ExecOptions::max_retries
+  /// / fallback_backend): one count per extra attempt granted.
+  uint64_t retries = 0;
   uint32_t max_in_flight = 0;  ///< high-water mark of concurrent queries
   uint32_t in_flight = 0;      ///< snapshot: currently executing
   uint32_t queued = 0;         ///< snapshot: waiting for dispatch
@@ -536,6 +590,10 @@ class QueryHandle {
 
   /// Blocks until the query completes (or was cancelled/rejected).
   void Wait() const;
+  /// Blocks up to `timeout`; returns whether the query completed. An
+  /// empty handle is trivially "done". Useful for bounded waits in chaos
+  /// tests and for polling without burning a thread on Wait().
+  bool WaitFor(std::chrono::milliseconds timeout) const;
   /// True once the result is available (non-blocking).
   bool Done() const;
   /// Cancels the query. Before dispatch the handle completes immediately
@@ -587,6 +645,14 @@ struct StreamReport {
   uint64_t agg_groups = 0;
   uint64_t agg_partials = 0;
   uint64_t agg_repartition_bytes = 0;
+
+  /// Robustness totals (chaos streams): queries that needed more than one
+  /// attempt, queries that degraded to their fallback backend, and
+  /// queries that still failed Unavailable after exhausting attempts.
+  uint64_t retried = 0;
+  uint64_t fallbacks = 0;
+  uint64_t unavailable = 0;
+  uint64_t faults_injected = 0;  ///< faults fired across winning attempts
 
   std::vector<Result<QueryResult>> results;  ///< in submission order
 
@@ -833,6 +899,15 @@ class Session {
   friend class Scheduler;
   struct Planned;
 
+  /// Per-attempt fault/retry context threaded into the backend runners:
+  /// the query's injector (null = no chaos), the attempt index, and
+  /// whether this attempt is the degraded-fallback one.
+  struct FaultCtx {
+    fault::FaultInjector* injector = nullptr;
+    uint32_t attempt = 0;
+    bool fallback = false;
+  };
+
   /// `want_real` additionally builds the real-data bridge (tables +
   /// pipeline plan); the simulated backend skips that work.
   Status PlanQuery(const Query& q, const ExecOptions& opts, bool want_real,
@@ -845,18 +920,24 @@ class Session {
   /// trace instant on the real-data backends).
   Result<QueryResult> RunPlanned(const Planned& p, const ExecOptions& opts,
                                  double queue_wait_ms,
-                                 const std::atomic<bool>& stop) const;
+                                 const std::atomic<bool>& stop,
+                                 const FaultCtx& fc) const;
   Result<QueryResult> RunSimulated(const Planned& p, const ExecOptions& opts,
                                    const std::atomic<bool>& stop) const;
   Result<QueryResult> RunThreads(const Planned& p, const ExecOptions& opts,
                                  double queue_wait_ms,
-                                 const std::atomic<bool>& stop) const;
+                                 const std::atomic<bool>& stop,
+                                 const FaultCtx& fc) const;
   Result<QueryResult> RunCluster(const Planned& p, const ExecOptions& opts,
                                  double queue_wait_ms,
-                                 const std::atomic<bool>& stop) const;
-  /// The query's worker provider per ExecOptions::use_shared_pool.
-  std::unique_ptr<ExecContext> MakeContext(const ExecOptions& opts,
-                                           const std::atomic<bool>& stop) const;
+                                 const std::atomic<bool>& stop,
+                                 const FaultCtx& fc) const;
+  /// The query's worker provider per ExecOptions::use_shared_pool. The
+  /// injector (nullable) arms worker-death injection on pooled rentals;
+  /// the legacy spawn path never injects deaths.
+  std::unique_ptr<ExecContext> MakeContext(
+      const ExecOptions& opts, const std::atomic<bool>& stop,
+      fault::FaultInjector* injector) const;
 
   catalog::Catalog catalog_;
   /// Registered data, aligned with RelIds. A deque never relocates

@@ -10,8 +10,9 @@ namespace hierdb::api {
 
 class WorkerPool::Context final : public ExecContext {
  public:
-  Context(WorkerPool* pool, const std::atomic<bool>* stop)
-      : pool_(pool), stop_(stop) {
+  Context(WorkerPool* pool, const std::atomic<bool>* stop,
+          fault::FaultInjector* injector)
+      : pool_(pool), stop_(stop), injector_(injector) {
     std::lock_guard<std::mutex> lock(pool_->mu_);
     pool_->renters_.push_back(this);
   }
@@ -51,6 +52,9 @@ class WorkerPool::Context final : public ExecContext {
     team->body = &body;
     team->total = n;
     team->unfinished = n;
+    if (injector_ != nullptr && injector_->plan().worker_death_prob > 0.0) {
+      team->injector = injector_;
+    }
     {
       std::lock_guard<std::mutex> lock(pool_->mu_);
       pool_->teams_.push_back(team);
@@ -65,8 +69,14 @@ class WorkerPool::Context final : public ExecContext {
       uint32_t idx;
       {
         std::lock_guard<std::mutex> lock(pool_->mu_);
-        if (team->next >= team->total) break;
-        idx = team->next++;
+        if (!team->requeued.empty()) {
+          idx = team->requeued.back();
+          team->requeued.pop_back();
+        } else if (team->next < team->total) {
+          idx = team->next++;
+        } else {
+          break;
+        }
       }
       body(idx);
       std::lock_guard<std::mutex> lock(pool_->mu_);
@@ -121,6 +131,7 @@ class WorkerPool::Context final : public ExecContext {
 
   WorkerPool* pool_;
   const std::atomic<bool>* stop_;
+  fault::FaultInjector* injector_;
   // Guarded by pool_->mu_.
   std::function<bool()> hook_;
   uint32_t hook_inflight_ = 0;
@@ -154,27 +165,46 @@ PoolStats WorkerPool::stats() const {
   s.caller_tasks = caller_tasks_;
   s.foreign_steals = foreign_steals_;
   s.gang_threads = gang_threads_;
+  s.worker_deaths = worker_deaths_;
   return s;
 }
 
-std::unique_ptr<ExecContext> WorkerPool::Rent(const std::atomic<bool>* stop) {
-  return std::make_unique<Context>(this, stop);
+std::unique_ptr<ExecContext> WorkerPool::Rent(const std::atomic<bool>* stop,
+                                              fault::FaultInjector* injector) {
+  return std::make_unique<Context>(this, stop, injector);
 }
 
 void WorkerPool::ThreadLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
-    // Claim a worker slot, FIFO across teams (admission order).
+    // Claim a worker slot, FIFO across teams (admission order);
+    // death-requeued slots of a team go first.
     std::shared_ptr<Team> team;
     uint32_t idx = 0;
     for (auto& t : teams_) {
-      if (t->next < t->total) {
+      if (t->has_slot()) {
         team = t;
-        idx = t->next++;
+        if (!t->requeued.empty()) {
+          idx = t->requeued.back();
+          t->requeued.pop_back();
+        } else {
+          idx = t->next++;
+        }
         break;
       }
     }
     if (team != nullptr) {
+      // Injected worker death: the thread drops the slot without running
+      // the body and re-queues it for another claimer (the renting
+      // caller, a peer, or this same thread's next beat) — so every body
+      // still runs exactly once and progress is preserved.
+      if (team->injector != nullptr && team->injector->ShouldKillWorker()) {
+        team->requeued.push_back(idx);
+        ++worker_deaths_;
+        work_cv_.notify_all();
+        team_cv_.notify_all();  // wake the renting caller to reclaim
+        continue;
+      }
       ++pool_tasks_;
       lock.unlock();
       (*team->body)(idx);
@@ -190,7 +220,7 @@ void WorkerPool::ThreadLoop() {
       work_cv_.wait(lock, [&] {
         if (stop_ || hooked_renters_ > 0) return true;
         for (auto& t : teams_) {
-          if (t->next < t->total) return true;
+          if (t->has_slot()) return true;
         }
         return false;
       });

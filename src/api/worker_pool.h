@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/exec_context.h"
+#include "fault/fault.h"
 
 namespace hierdb::api {
 
@@ -63,6 +64,8 @@ struct PoolStats {
   /// pool_threads threads once, ever. Maintained by the session (the
   /// spawn path never touches the pool), merged in Session::pool_stats.
   uint64_t spawned_threads = 0;
+  /// Worker bodies skipped by injected worker death (chaos testing).
+  uint64_t worker_deaths = 0;
 };
 
 class WorkerPool {
@@ -78,8 +81,15 @@ class WorkerPool {
   PoolStats stats() const;
 
   /// A per-execution context renting this pool's workers. `stop` is the
-  /// execution's cancellation token (may be null).
-  std::unique_ptr<ExecContext> Rent(const std::atomic<bool>* stop);
+  /// execution's cancellation token (may be null). `injector`, when
+  /// armed, may kill a pool thread as it picks up one of this context's
+  /// worker slots: the thread drops the slot without running the body and
+  /// the slot is re-queued for another (possibly the same) claimer —
+  /// death with recovery. Every body still runs exactly once, so teams
+  /// whose slots each own essential work (per-partition merges) stay
+  /// correct; renting callers and gang bodies are never killed.
+  std::unique_ptr<ExecContext> Rent(const std::atomic<bool>* stop,
+                                    fault::FaultInjector* injector = nullptr);
 
  private:
   class Context;
@@ -91,6 +101,11 @@ class WorkerPool {
     uint32_t total = 0;
     uint32_t next = 0;  ///< next unclaimed slot
     uint32_t unfinished = 0;
+    /// Fault injection for this team's execution (null = none).
+    fault::FaultInjector* injector = nullptr;
+    /// Slots dropped by a "dying" pool thread, waiting to be re-claimed.
+    std::vector<uint32_t> requeued;
+    bool has_slot() const { return next < total || !requeued.empty(); }
   };
 
   void ThreadLoop();
@@ -112,6 +127,7 @@ class WorkerPool {
   uint64_t caller_tasks_ = 0;
   uint64_t foreign_steals_ = 0;
   uint64_t gang_threads_ = 0;
+  uint64_t worker_deaths_ = 0;
 
   std::vector<std::thread> threads_;  ///< declared last: joined first
 };

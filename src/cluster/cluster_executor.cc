@@ -326,8 +326,32 @@ struct ClusterExecutor::Impl {
     }
   }
 
+  // ---- fault detection state ----
+  // Message faults are only forwarded to the fabric when detection is on:
+  // without the watchdog a dropped message is an undetectable hang or a
+  // silently wrong digest.
+  std::atomic<bool> unavailable{false};
+  std::mutex fail_mu;
+  std::string unavailable_msg;
+  /// Global progress clock: bumped on every handled message and every
+  /// executed activation/morsel (only when detection is on). Node 0's
+  /// scheduler watches it; no movement past the liveness timeout while
+  /// the query is unfinished means termination can no longer be reached
+  /// (the dropped-message case where every loop is still alive).
+  std::atomic<uint64_t> progress{0};
+  std::atomic<uint64_t> dup_dropped{0};
+
+  static uint64_t MonoNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
   explicit Impl(const ClusterOptions& o)
-      : opt(o), fabric({.nodes = o.nodes}) {}
+      : opt(o),
+        fabric({.nodes = o.nodes,
+                .injector = o.detect_faults ? o.injector : nullptr}) {}
 
   /// First stop-observer tears the whole run down: every node's done flag
   /// releases its workers, and schedulers exit on `cancelled`.
@@ -337,6 +361,35 @@ struct ClusterExecutor::Impl {
       ns->done.store(true, std::memory_order_release);
       ns->wake_cv.notify_all();
     }
+  }
+
+  /// Fault detection verdict: records the first diagnosis, then tears the
+  /// run down. Execute translates it into Status::Unavailable.
+  void FailUnavailable(std::string msg) {
+    {
+      std::lock_guard<std::mutex> lock(fail_mu);
+      if (unavailable_msg.empty()) unavailable_msg = std::move(msg);
+    }
+    unavailable.store(true, std::memory_order_release);
+    CancelAll();
+  }
+
+  struct NodeState;  // defined below (per-node state)
+
+  /// Duplicate suppression for injected message duplication: Send stamps
+  /// a per-sender sequence number, the receiving scheduler drops repeats.
+  /// Only consulted when duplication is armed, so the normal path stays a
+  /// pointer check.
+  bool IsDuplicate(NodeState& ns, const net::Message& m) {
+    if (opt.injector == nullptr || opt.injector->plan().dup_prob <= 0.0 ||
+        m.seq == 0) {
+      return false;
+    }
+    if (!ns.seen_seq[m.from].insert(m.seq).second) {
+      dup_dropped.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
   uint32_t chain_of(uint32_t op) const { return op_chain[op]; }
@@ -432,6 +485,11 @@ struct ClusterExecutor::Impl {
 
     // Scheduler overflow buffer for routing into full queues.
     std::deque<Activation> route_overflow;
+
+    // Per-sender message sequence numbers already handled (consumed only
+    // by this node's receive loops; populated only when duplication
+    // faults are armed).
+    std::vector<std::unordered_set<uint64_t>> seen_seq;
 
     // FP stage assignments: packed [lo, hi) ranges per op.
     std::vector<uint64_t> fp_range;
@@ -622,6 +680,7 @@ struct ClusterExecutor::Impl {
       ns->reported.assign(nops, false);
       ns->drain_requested.assign(nops, false);
       ns->drain_acked.assign(nops, false);
+      ns->seen_seq.resize(opt.nodes);
       ns->digests.assign(T, {});
       ns->busy.assign(T, 0);
       ns->chain_rows.assign(static_cast<size_t>(C) * T, 0);
@@ -835,6 +894,9 @@ struct ClusterExecutor::Impl {
       if (RunOne(node, t)) {
         FlushOutbox(node, t);
         ns.starving.store(false, std::memory_order_relaxed);
+        if (opt.detect_faults) {
+          progress.fetch_add(1, std::memory_order_relaxed);
+        }
       } else {
         ns.idle.fetch_add(1, std::memory_order_relaxed);
         MarkStarving(ns, t);
@@ -1252,12 +1314,57 @@ struct ClusterExecutor::Impl {
   void SchedulerLoop(uint32_t node) {
     NodeState& ns = *node_state[node];
     const uint32_t T = opt.threads_per_node;
+    const bool detect = opt.detect_faults;
+    // Node-loop faults only fire where detection can catch them —
+    // otherwise an injected stall is a guaranteed hang, not a test.
+    const bool inject_loop_faults =
+        opt.injector != nullptr && detect && opt.nodes > 1;
+    const uint64_t hb_period_ns = uint64_t{opt.heartbeat_us} * 1000;
+    const uint64_t timeout_ns =
+        uint64_t{opt.liveness_timeout_ms} * 1'000'000;
+    uint64_t poll = 0;
+    uint64_t now = detect ? MonoNs() : 0;
+    std::vector<uint64_t> last_heard(opt.nodes, now);
+    uint64_t last_hb_sent = 0;
+    uint64_t last_progress = progress.load(std::memory_order_relaxed);
+    uint64_t progress_since = now;
+    // Handles one incoming message; returns whether it counted as work
+    // (heartbeats and suppressed duplicates don't).
+    auto consume = [&](Message&& m) {
+      if (detect && m.from < last_heard.size()) {
+        last_heard[m.from] = now;
+      }
+      if (m.type == MsgType::kHeartbeat) return false;
+      if (IsDuplicate(ns, m)) return false;
+      HandleMessage(node, std::move(m));
+      if (detect) progress.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    };
     while (true) {
       if (cancelled.load(std::memory_order_acquire)) return;
       if (ctx->StopRequested()) {
         CancelAll();
         return;
       }
+      if (inject_loop_faults) {
+        // Crash: the loop silently dies; peers detect the silence.
+        if (opt.injector->ShouldCrashNode(static_cast<int>(node), poll)) {
+          return;
+        }
+        if (opt.injector->ShouldStallNode(static_cast<int>(node), poll)) {
+          // Stall in small slices so teardown (CancelAll) still releases
+          // us; stall_ms == 0 stalls until detection fires.
+          const uint64_t t0 = MonoNs();
+          const uint64_t limit_ns =
+              uint64_t{opt.injector->plan().stall_ms} * 1'000'000;
+          while (!cancelled.load(std::memory_order_acquire) &&
+                 (limit_ns == 0 || MonoNs() - t0 < limit_ns)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      }
+      ++poll;
+      if (detect) now = MonoNs();
       bool worked = false;
       // 1. Route queued overflow from earlier messages.
       for (size_t i = 0; i < ns.route_overflow.size();) {
@@ -1274,13 +1381,45 @@ struct ClusterExecutor::Impl {
       // 2. Drain the mailbox.
       Message m;
       while (fabric.mailbox(node).TryPop(&m)) {
-        HandleMessage(node, std::move(m));
-        worked = true;
+        worked |= consume(std::move(m));
       }
       // 3. End-detection reports.
       worked |= CheckReports(node);
       // 4. Global load balancing.
       if (opt.global_lb) worked |= CheckStarving(node);
+      // 5. Liveness: announce ourselves, suspect silent peers, and (node
+      // 0) watch the global progress clock.
+      if (detect) {
+        if (now - last_hb_sent >= hb_period_ns) {
+          last_hb_sent = now;
+          Message hb;
+          hb.type = MsgType::kHeartbeat;
+          fabric.Broadcast(node, hb).ok();
+        }
+        for (uint32_t p = 0; p < opt.nodes; ++p) {
+          if (p == node) continue;
+          if (now - last_heard[p] > timeout_ns) {
+            FailUnavailable("node " + std::to_string(p) +
+                            " unresponsive (no message for " +
+                            std::to_string(opt.liveness_timeout_ms) +
+                            " ms; suspected stall or crash)");
+            return;
+          }
+        }
+        if (node == 0) {
+          const uint64_t cur = progress.load(std::memory_order_relaxed);
+          if (cur != last_progress) {
+            last_progress = cur;
+            progress_since = now;
+          } else if (now - progress_since > timeout_ns) {
+            FailUnavailable(
+                "cluster made no progress for " +
+                std::to_string(opt.liveness_timeout_ms) +
+                " ms (suspected message loss)");
+            return;
+          }
+        }
+      }
       if (worked) ns.wake_cv.notify_all();
       if (ns.done.load(std::memory_order_acquire) &&
           ns.route_overflow.empty()) {
@@ -1288,7 +1427,13 @@ struct ClusterExecutor::Impl {
         return;
       }
       if (!worked) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        // Idle nap, cut short by message arrival (the mailbox receive
+        // timeout — bounded wait, never an unbounded Pop).
+        if (fabric.mailbox(node).PopFor(&m,
+                                        std::chrono::microseconds(50))) {
+          if (detect) now = MonoNs();
+          if (consume(std::move(m))) ns.wake_cv.notify_all();
+        }
       }
     }
   }
@@ -1735,6 +1880,7 @@ struct ClusterExecutor::Impl {
         // Stale end-of-run protocol messages may linger; only the agg
         // sentinel batches matter here.
         if (m.type != MsgType::kTupleBatch || m.op != agg_op) continue;
+        if (IsDuplicate(ns, m)) continue;
         auto rows = net::DecodeBatch(m.payload);
         if (!rows.ok()) {
           ns.failed.store(true);
@@ -1885,6 +2031,18 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
   // here covers the cancelled and failed exits below too.
   im.EmitTraceCells();
 
+  // Detection outranks the cancellation it triggers: a run torn down by
+  // the liveness or progress watchdog reports the diagnosis, not the
+  // teardown mechanism.
+  if (im.unavailable.load()) {
+    std::string msg;
+    {
+      std::lock_guard<std::mutex> lock(im.fail_mu);
+      msg = im.unavailable_msg;
+    }
+    impl_.reset();
+    return Status::Unavailable(std::move(msg));
+  }
   if (im.cancelled.load()) {
     impl_.reset();
     return Status::Cancelled("query cancelled during execution");
@@ -1912,6 +2070,19 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
     if (failed) {
       impl_.reset();
       return Status::Internal("cluster aggregation failed");
+    }
+  }
+
+  // A run that terminated despite losing messages cannot vouch for its
+  // digest (a dropped kTupleBatch silently loses rows): refuse to report
+  // success. This keeps the chaos invariant success => digest-identical.
+  {
+    net::FabricStats fs = im.fabric.stats();
+    if (fs.dropped > 0) {
+      uint64_t dropped = fs.dropped;
+      impl_.reset();
+      return Status::Unavailable(std::to_string(dropped) +
+                                 " message(s) lost in transit");
     }
   }
 
@@ -1948,6 +2119,10 @@ Result<ResultDigest> ClusterExecutor::Execute(const PlanQuery& query,
       for (uint64_t b : ns->busy) busy += b;
       stats->busy_per_node.push_back(busy);
     }
+    if (options_.injector != nullptr) {
+      stats->faults = options_.injector->counters();
+    }
+    stats->dup_messages_dropped = im.dup_dropped.load();
     if (im.agg != nullptr) {
       stats->agg_partials = agg_partial_entries;
       for (const auto& d : agg_digests) stats->agg_groups += d.count;

@@ -62,6 +62,7 @@
 
 #include "common/exec_context.h"
 #include "common/status.h"
+#include "fault/fault.h"
 #include "mt/pipeline_executor.h"
 #include "mt/plan.h"
 #include "mt/row.h"
@@ -171,6 +172,25 @@ struct ClusterOptions {
   /// cancelled and failed runs included. Null disables the feature down
   /// to one pointer check per activation.
   obs::TraceSink* trace = nullptr;
+
+  /// Optional fault injector (not owned; must outlive Execute). Forwarded
+  /// to the fabric for message faults; node stall/crash faults fire in
+  /// the per-node scheduler loops. Node-loop faults are only injected
+  /// when liveness detection can catch them (detect_faults on and
+  /// nodes > 1) — otherwise they would be guaranteed hangs.
+  fault::FaultInjector* injector = nullptr;
+
+  /// Liveness detection. When on, every node's scheduler loop broadcasts
+  /// kHeartbeat every heartbeat_us and tracks when it last heard from
+  /// each peer; silence past liveness_timeout_ms fails the query with
+  /// Status::Unavailable naming the suspect node. A global progress
+  /// watchdog also fires Unavailable when no message is handled and no
+  /// morsel executes for liveness_timeout_ms while the query is
+  /// unfinished (the dropped-kTupleBatch case, where every loop is alive
+  /// but the query can no longer terminate).
+  bool detect_faults = false;
+  uint32_t heartbeat_us = 500;
+  uint32_t liveness_timeout_ms = 250;
 };
 
 struct ClusterStats {
@@ -215,6 +235,11 @@ struct ClusterStats {
   uint64_t agg_repartition_rows = 0;
   uint64_t agg_repartition_bytes = 0;
   uint64_t agg_groups = 0;
+
+  /// Faults that fired during the run (zero unless a plan was armed) and
+  /// duplicate deliveries the receivers suppressed.
+  fault::FaultCounters faults;
+  uint64_t dup_messages_dropped = 0;
 
   /// Max over nodes of busy / mean busy (1.0 = perfectly balanced).
   double NodeImbalance() const;

@@ -27,6 +27,7 @@ enum class StatusCode {
   kUnimplemented,
   kCancelled,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Lightweight status object carrying a code and (on error) a message.
@@ -67,6 +68,9 @@ class Status {
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -90,6 +94,7 @@ class Status {
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kCancelled: return "Cancelled";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

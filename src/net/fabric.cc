@@ -29,6 +29,15 @@ bool Mailbox::TryPop(Message* out) {
   return true;
 }
 
+bool Mailbox::PopFor(Message* out, std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) return false;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
 void Mailbox::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -47,6 +56,7 @@ Fabric::Fabric(const FabricOptions& options) : options_(options) {
   mailboxes_.reserve(options_.nodes);
   for (uint32_t i = 0; i < options_.nodes; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    send_seq_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
   stats_.by_type.assign(static_cast<size_t>(MsgType::kShutdown) + 1, 0);
   stats_.bytes_by_type.assign(static_cast<size_t>(MsgType::kShutdown) + 1, 0);
@@ -61,6 +71,7 @@ Status Fabric::Send(uint32_t from, uint32_t to, Message m) {
         "intra-node traffic must use shared memory, not the fabric");
   }
   m.from = from;
+  m.seq = 1 + send_seq_[from]->fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.messages;
@@ -74,8 +85,36 @@ Status Fabric::Send(uint32_t from, uint32_t to, Message m) {
       stats_.tuple_bytes_by_op[m.op] += m.wire_bytes();
     }
   }
+  // Fault injection: the single choke point for message faults. Shutdown
+  // is exempt (see FabricOptions::injector).
+  fault::FaultInjector* inj = options_.injector;
+  bool duplicate = false;
+  if (inj != nullptr && inj->armed() && m.type != MsgType::kShutdown &&
+      m.type != MsgType::kHeartbeat) {
+    if (inj->ShouldDropMessage()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.dropped;
+      return Status::OK();  // silently lost, as on a real network
+    }
+    duplicate = inj->ShouldDuplicateMessage();
+    if (inj->ShouldDelayMessage()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.delayed;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(inj->plan().delay_us));
+    }
+  }
   if (options_.delay.count() > 0) {
     std::this_thread::sleep_for(options_.delay);
+  }
+  if (duplicate) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.duplicated;
+    }
+    mailboxes_[to]->Push(Message(m));  // same seq: receiver dedups
   }
   mailboxes_[to]->Push(std::move(m));
   return Status::OK();

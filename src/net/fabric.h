@@ -13,6 +13,7 @@
 #ifndef HIERDB_NET_FABRIC_H_
 #define HIERDB_NET_FABRIC_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/fault.h"
 #include "net/message.h"
 
 namespace hierdb::net {
@@ -30,6 +32,13 @@ struct FabricOptions {
   /// Simulated end-to-end delay applied by Send (paper: 0.5 ms). Zero for
   /// deterministic unit tests.
   std::chrono::microseconds delay{0};
+  /// Optional fault injector (not owned; must outlive the fabric). When
+  /// armed, Send may drop, duplicate, or delay messages per the plan.
+  /// kShutdown is exempt (losing shutdown would turn injected faults
+  /// into unconditional hangs), as is kHeartbeat (the liveness layer's
+  /// own traffic: a lost heartbeat is already just absence of signal,
+  /// and counting it as a dropped message would flag clean runs).
+  fault::FaultInjector* injector = nullptr;
 };
 
 struct FabricStats {
@@ -43,6 +52,10 @@ struct FabricStats {
   /// cluster executor attributes inter-chain repartition traffic to the
   /// chain whose intermediate was shipped.
   std::vector<uint64_t> tuple_bytes_by_op;
+  /// Injected faults that fired in Send (zero unless a plan is armed).
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t delayed = 0;
 };
 
 /// Blocking MPSC mailbox: many senders, one receiver (the node scheduler).
@@ -56,6 +69,12 @@ class Mailbox {
 
   /// Non-blocking variant.
   bool TryPop(Message* out);
+
+  /// Blocks up to `timeout` for a message; returns false on timeout or
+  /// after Close() once drained. The receive-timeout primitive fault
+  /// detection builds on: a receiver waiting on a dead sender wakes up
+  /// bounded instead of hanging.
+  bool PopFor(Message* out, std::chrono::microseconds timeout);
 
   void Close();
   size_t ApproxSize() const;
@@ -92,6 +111,9 @@ class Fabric {
  private:
   FabricOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  /// Per-sender sequence counters; Send stamps Message::seq so receivers
+  /// can deduplicate injected duplicates.
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> send_seq_;
   mutable std::mutex stats_mu_;
   FabricStats stats_;
 };

@@ -13,6 +13,7 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kDrainConfirm: return "DrainConfirm";
     case MsgType::kOpTerminated: return "OpTerminated";
     case MsgType::kTupleBatch: return "TupleBatch";
+    case MsgType::kHeartbeat: return "Heartbeat";
     case MsgType::kShutdown: return "Shutdown";
   }
   return "Unknown";

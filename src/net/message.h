@@ -21,6 +21,12 @@
 //     kOpTerminated      coordinator -> all: X is globally finished,
 //                        unblock dependents;
 //
+//   liveness (fault detection):
+//     kHeartbeat         node -> all: "my scheduler loop is alive", sent
+//                        on a fixed cadence when liveness detection is
+//                        enabled, so a stalled or crashed peer surfaces
+//                        as silence instead of a hang;
+//
 //   dataflow:
 //     kTupleBatch        pipelined tuples whose consumer lives on another
 //                        node (only when operator homes differ). Also
@@ -56,7 +62,8 @@ enum class MsgType : uint8_t {
   kDrainConfirm,
   kOpTerminated,
   kTupleBatch,
-  kShutdown,
+  kHeartbeat,
+  kShutdown,  // keep last: stats arrays are sized kShutdown + 1
 };
 
 const char* MsgTypeName(MsgType t);
@@ -67,6 +74,9 @@ struct Message {
   uint32_t op = 0;            ///< operator id, when meaningful
   uint32_t bucket = 0;        ///< bucket id, when meaningful
   uint64_t arg = 0;           ///< type-specific scalar (memory, load, ...)
+  /// Per-sender sequence number stamped by Fabric::Send. Receivers use it
+  /// to deduplicate when fault injection duplicates deliveries.
+  uint64_t seq = 0;
   std::vector<uint8_t> payload;
 
   /// Wire size: envelope + payload, the quantity the transfer-volume

@@ -14,6 +14,9 @@ const char* EventKindName(EventKind k) {
     case EventKind::kPoolReturn: return "pool_return";
     case EventKind::kFabricSend: return "fabric_send";
     case EventKind::kSchedule: return "schedule";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kFallback: return "fallback";
   }
   return "?";
 }

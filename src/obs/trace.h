@@ -48,6 +48,9 @@ enum class EventKind : uint8_t {
   kPoolReturn,  ///< rental returned
   kFabricSend,  ///< tuple batch pushed onto the cluster fabric
   kSchedule,    ///< admission: dispatch after `detail` ns queued
+  kFault,       ///< injected faults fired during an attempt (`detail`)
+  kRetry,       ///< scheduler re-dispatch; `detail` = attempt number
+  kFallback,    ///< degraded to the fallback backend after retries
 };
 
 const char* EventKindName(EventKind k);

@@ -46,6 +46,9 @@ struct TenantLimits {
   uint32_t weight = 1;
   uint32_t max_inflight = 1;  ///< hard concurrency share (>= 1)
   uint32_t max_queued = 1;    ///< waiting-depth bound (>= 1)
+  /// The weighted share was reduced so the per-tenant shares sum to at
+  /// most max_concurrent_queries (small sessions with many tenants).
+  bool clamped = false;
 };
 
 /// One waiting query. `payload` is opaque to the queue (the scheduler
