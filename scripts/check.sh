@@ -33,3 +33,18 @@ rm -rf "$smoke_dir"
 # (zero digest mismatches, zero untyped failures, >= 99% survival with
 # max_retries=2 + kThreads fallback).
 (cd .. && ./build/mt_chaos --quick --check)
+
+# Forensics smoke: the flight-recorder walkthrough forces a mid-run
+# deadline miss in a scratch dir and self-checks the emitted bundle
+# (files present, flight.json passes ValidateChromeTraceJson, the
+# deadline lifecycle is in the recording).
+smoke_dir="$(mktemp -d)"
+(cd "$smoke_dir" && "$OLDPWD/flight_recorder")
+rm -rf "$smoke_dir"
+
+# Recorder-overhead smoke: armed-vs-disarmed throughput on the same
+# query stream (interleaved best-of trials); --check fails the build if
+# the always-on flight recorder costs more than 5% of disarmed qps.
+smoke_dir="$(mktemp -d)"
+(cd "$smoke_dir" && "$OLDPWD/mt_recorder_overhead" --quick --check)
+rm -rf "$smoke_dir"

@@ -199,8 +199,10 @@ std::vector<sched::TenantLimits> ResolveTenants(const SessionOptions& o) {
 
 }  // namespace
 
-Scheduler::Scheduler(const SessionOptions& options)
+Scheduler::Scheduler(const SessionOptions& options,
+                     obs::FlightRecorder* recorder)
     : options_(Normalize(options)),
+      recorder_(recorder),
       queue_(ToOrderPolicy(options_.admission), options_.scf_aging_ms,
              ResolveTenants(options_)),
       alive_([](const sched::QueueItem& item) {
@@ -244,7 +246,8 @@ bool Scheduler::SchedulePumpLocked() {
 QueryHandle Scheduler::Submit(
     double plan_cost, double deadline_ms, const std::string& tenant,
     const RetrySpec& retry,
-    std::function<Result<QueryResult>(const std::atomic<bool>&, uint32_t)>
+    std::function<Result<QueryResult>(const std::atomic<bool>&, uint32_t,
+                                      uint64_t)>
         run) {
   int t = -1;
   for (uint32_t i = 0; i < queue_.tenant_count(); ++i) {
@@ -285,6 +288,9 @@ QueryHandle Scheduler::Submit(
     if (queue_.queued(state->tenant) >= lim.max_queued) {
       ++stats_.rejected;
       ++tenant_counters_[state->tenant].rejected;
+      if (recorder_ != nullptr) {
+        recorder_->Instant(obs::EventKind::kTenantReject, 0, state->tenant);
+      }
       return Completed(Status::ResourceExhausted(
           (lim.name.empty() ? std::string("admission queue full (")
                             : "tenant \"" + lim.name + "\" queue full (") +
@@ -316,6 +322,12 @@ QueryHandle Scheduler::Submit(
     // before any completion's CancelTimer — a timer can never be
     // installed for an already-finished query.
     if (deadline_ns != 0) loop_.ArmTimer(seq, deadline_ns);
+    if (recorder_ != nullptr) {
+      recorder_->Instant(obs::EventKind::kSubmit, seq, seq);
+      if (deadline_ns != 0) {
+        recorder_->Instant(obs::EventKind::kDeadlineArm, seq, deadline_ns);
+      }
+    }
     post_pump = SchedulePumpLocked();
   }
   loop_.Start();
@@ -348,6 +360,11 @@ void Scheduler::Pump() {
     ++in_flight_;
     stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
     queue_.OnDispatch(item->tenant);
+    if (recorder_ != nullptr) {
+      const uint64_t now = loop_.NowNs();
+      recorder_->Instant(obs::EventKind::kSchedule, state->seq,
+                         now > item->submit_ns ? now - item->submit_ns : 0);
+    }
     ready_.push_back(std::move(state));
     // Lanes never exit until shutdown, so keeping lanes_.size() >=
     // in_flight_ (bounded by the concurrency limit) guarantees a lane
@@ -397,6 +414,9 @@ void Scheduler::OnTimer(uint64_t id) {
       state->result = Status::DeadlineExceeded(
           "deadline (" + FmtMs(state->deadline_ms) +
           " ms) expired while queued");
+      if (recorder_ != nullptr) {
+        recorder_->Instant(obs::EventKind::kDeadlineFire, seq, 0);
+      }
       state->cv.notify_all();
       drain_cv_.notify_all();
     } else if (state->phase == Phase::kRunning) {
@@ -404,6 +424,9 @@ void Scheduler::OnTimer(uint64_t id) {
       // executor's Cancelled into DeadlineExceeded via deadline_fired.
       state->deadline_fired.store(true, std::memory_order_release);
       state->stop.store(true, std::memory_order_release);
+      if (recorder_ != nullptr) {  // detail 1 = caught mid-execution
+        recorder_->Instant(obs::EventKind::kDeadlineFire, seq, 1);
+      }
     }
     // kDone: lost the race to completion/cancel — nothing to do.
   }
@@ -455,7 +478,8 @@ void Scheduler::LaneLoop() {
     }
 
     const auto dispatched = state->dispatched;
-    Result<QueryResult> result = state->run(state->stop, state->attempt);
+    Result<QueryResult> result =
+        state->run(state->stop, state->attempt, state->seq);
     const auto finished = std::chrono::steady_clock::now();
     const double exec_ms = MsBetween(dispatched, finished);
     if (result.ok()) {
@@ -505,6 +529,10 @@ void Scheduler::LaneLoop() {
         --in_flight_;
         queue_.OnComplete(state->tenant);
         ++stats_.retries;
+        if (recorder_ != nullptr) {
+          recorder_->Instant(obs::EventKind::kRetry, state->seq,
+                             state->attempt);
+        }
         retry_armed_[state->seq] = state;
         loop_.ArmTimer(state->seq | kRetryTimerBit,
                        loop_.NowNs() + BackoffNs(*state));
@@ -577,6 +605,11 @@ SchedulerStats Scheduler::stats() const {
   const sched::EventLoop::Stats ls = loop_.stats();
   s.loop_wakeups = ls.wakeups;
   s.timers_fired = ls.timers_fired;
+  s.loop_max_queue_depth = ls.max_queue_depth;
+  s.timer_slip_total_ns = ls.timer_slip_total_ns;
+  s.timer_slip_max_ns = ls.timer_slip_max_ns;
+  s.loop_lag_p50_ms = ls.loop_lag_p50_ms;
+  s.loop_lag_p99_ms = ls.loop_lag_p99_ms;
   s.tenants.reserve(queue_.tenant_count());
   for (uint32_t t = 0; t < queue_.tenant_count(); ++t) {
     const sched::TenantLimits& lim = queue_.limits(t);

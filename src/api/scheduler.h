@@ -48,6 +48,7 @@
 
 #include "api/session.h"
 #include "common/status.h"
+#include "obs/recorder.h"
 #include "sched/admission_queue.h"
 #include "sched/event_loop.h"
 
@@ -87,9 +88,11 @@ struct QueryState {
   double backoff_base_ms = 10.0;
   double backoff_max_ms = 1000.0;
   /// The run closure receives the attempt index so the session layer can
-  /// switch the final attempt to the fallback backend.
+  /// switch the final attempt to the fallback backend, and the query's
+  /// admission seq so executor-side flight-recorder events carry the same
+  /// query tag the scheduler's own instants do.
   std::function<Result<QueryResult>(const std::atomic<bool>& stop,
-                                    uint32_t attempt)>
+                                    uint32_t attempt, uint64_t seq)>
       run;
   std::chrono::steady_clock::time_point submitted;
   std::chrono::steady_clock::time_point dispatched;
@@ -116,7 +119,12 @@ struct RetrySpec {
 
 class Scheduler {
  public:
-  explicit Scheduler(const SessionOptions& options);
+  /// `recorder`, when non-null, receives a flight-recorder instant for
+  /// every admission event (submit, tenant reject, deadline arm/fire,
+  /// dispatch, retry) — the black box of the admission core. Not owned;
+  /// must outlive the scheduler (the session declares it first).
+  explicit Scheduler(const SessionOptions& options,
+                     obs::FlightRecorder* recorder = nullptr);
   /// Drains: refuses new work and waits for every admitted query.
   ~Scheduler();
 
@@ -137,7 +145,8 @@ class Scheduler {
   QueryHandle Submit(
       double plan_cost, double deadline_ms, const std::string& tenant,
       const RetrySpec& retry,
-      std::function<Result<QueryResult>(const std::atomic<bool>&, uint32_t)>
+      std::function<Result<QueryResult>(const std::atomic<bool>&, uint32_t,
+                                        uint64_t)>
           run);
 
   /// A handle already carrying `result` — for validation/planning errors
@@ -161,6 +170,7 @@ class Scheduler {
   void LaneLoop();
 
   const SessionOptions options_;
+  obs::FlightRecorder* const recorder_;  ///< session black box (null ok)
 
   mutable std::mutex mu_;
   std::condition_variable lane_cv_;   ///< lanes: ready_ non-empty or stop

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -416,6 +417,11 @@ std::string SessionMetrics::ToJson() const {
      << ",\"lane_threads\":" << scheduler.lane_threads
      << ",\"loop_wakeups\":" << scheduler.loop_wakeups
      << ",\"timers_fired\":" << scheduler.timers_fired
+     << ",\"loop_max_queue_depth\":" << scheduler.loop_max_queue_depth
+     << ",\"timer_slip_total_ns\":" << scheduler.timer_slip_total_ns
+     << ",\"timer_slip_max_ns\":" << scheduler.timer_slip_max_ns
+     << ",\"loop_lag_p50_ms\":" << scheduler.loop_lag_p50_ms
+     << ",\"loop_lag_p99_ms\":" << scheduler.loop_lag_p99_ms
      << ",\"tenants\":[";
   for (size_t i = 0; i < scheduler.tenants.size(); ++i) {
     const TenantStats& t = scheduler.tenants[i];
@@ -437,7 +443,12 @@ std::string SessionMetrics::ToJson() const {
      << ",\"misses\":" << build_cache.misses
      << ",\"evictions\":" << build_cache.evictions
      << ",\"entries\":" << build_cache.entries
-     << ",\"bytes\":" << build_cache.bytes << "}}";
+     << ",\"bytes\":" << build_cache.bytes
+     << "},\"recorder\":{\"recorded\":" << recorder.recorded
+     << ",\"dropped\":" << recorder.dropped
+     << ",\"rings_claimed\":" << recorder.rings_claimed
+     << ",\"rings\":" << recorder.rings
+     << ",\"events_per_ring\":" << recorder.events_per_ring << "}}";
   return os.str();
 }
 
@@ -497,6 +508,12 @@ QueryBuilder& QueryBuilder::Probe(RelId build, uint32_t probe_col,
   return *this;
 }
 
+QueryBuilder& QueryBuilder::CapturePoint(std::string name) {
+  q_.captures_.push_back(
+      {std::move(name), static_cast<uint32_t>(q_.steps_.size())});
+  return *this;
+}
+
 QueryBuilder& QueryBuilder::Where(RelId rel, uint32_t col, CmpOp cmp,
                                   int64_t value) {
   q_.filters_.push_back({rel, col, cmp, value});
@@ -543,12 +560,30 @@ QueryBuilder& QueryBuilder::HavingCount(CmpOp cmp, int64_t value) {
 
 Session::Session() : Session(SessionOptions{}) {}
 
+namespace {
+
+/// Recorder geometry from the session knobs (0 keeps the defaults).
+obs::FlightRecorder::Options RecorderOptions(const SessionOptions& options) {
+  obs::FlightRecorder::Options ro;
+  if (options.recorder_rings != 0) ro.rings = options.recorder_rings;
+  if (options.recorder_ring_events != 0) {
+    ro.events_per_ring = options.recorder_ring_events;
+  }
+  return ro;
+}
+
+}  // namespace
+
 Session::Session(const SessionOptions& options)
-    : pool_threads_(options.pool_threads != 0
+    : recorder_(options.flight_recorder
+                    ? std::make_unique<obs::FlightRecorder>(
+                          RecorderOptions(options))
+                    : nullptr),
+      pool_threads_(options.pool_threads != 0
                         ? options.pool_threads
                         : std::max(1u, std::thread::hardware_concurrency())),
       session_options_(options),
-      scheduler_(std::make_unique<Scheduler>(options)) {
+      scheduler_(std::make_unique<Scheduler>(options, recorder_.get())) {
   build_cache_.SetByteBudget(options.build_cache_bytes);
 }
 
@@ -634,6 +669,16 @@ struct Session::Planned {
   /// key when the tables were synthesized rather than registered.
   std::vector<uint64_t> cache_ids;
   uint64_t cache_seed_skew = 0;
+
+  /// Plan-point capture specs (QueryBuilder::CapturePoint), resolved to
+  /// (chain, point) coordinates on mtplan (chain queries compile to one
+  /// chain, so chain is always 0).
+  struct CapturePointSpec {
+    std::string name;
+    uint32_t chain = 0;
+    uint32_t point = 0;
+  };
+  std::vector<CapturePointSpec> captures;
 };
 
 Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
@@ -647,6 +692,22 @@ Status Session::PlanQuery(const Query& q, const ExecOptions& opts,
   }
   if (q.chain_ && !q.has_input_) {
     return Status::InvalidArgument("chain query has no Scan()");
+  }
+  if (!q.captures_.empty()) {
+    // Plan-point capture samples real rows at chain positions; the graph
+    // form has no builder-order plan points and the simulator no rows.
+    if (!q.chain_) {
+      return Status::InvalidArgument(
+          "CapturePoint requires the chain form (Scan/Probe)");
+    }
+    if (opts.backend == Backend::kSimulated) {
+      return Status::InvalidArgument(
+          "the simulated backend has no rows to capture (use "
+          "Backend::kThreads or Backend::kCluster)");
+    }
+    for (const auto& cs : q.captures_) {
+      out->captures.push_back({cs.name, 0, cs.point});
+    }
   }
 
   // Collect the referenced relations and build the dense local catalog.
@@ -1247,7 +1308,7 @@ QueryHandle Session::Submit(const Query& q, const ExecOptions& opts) {
   return scheduler_->Submit(
       cost, opts.deadline_ms, opts.tenant, rspec,
       [this, planned, opts, submit_t, injector, rspec](
-          const std::atomic<bool>& stop, uint32_t attempt) {
+          const std::atomic<bool>& stop, uint32_t attempt, uint64_t seq) {
         // The closure runs at dispatch: the gap since submission is the
         // admission-queue wait, the rest is execution — both feed the
         // session's continuous latency histograms whatever the outcome.
@@ -1256,6 +1317,7 @@ QueryHandle Session::Submit(const Query& q, const ExecOptions& opts) {
         FaultCtx fc;
         fc.injector = injector.get();
         fc.attempt = attempt;
+        fc.query_seq = seq;
         ExecOptions eff = opts;
         if (rspec.fallback && attempt + 1 == rspec.max_attempts()) {
           // Graceful degradation: the extra final attempt runs on the
@@ -1267,15 +1329,67 @@ QueryHandle Session::Submit(const Query& q, const ExecOptions& opts) {
         const uint64_t faults_before =
             injector != nullptr ? injector->counters().total() : 0;
         auto r = RunPlanned(*planned, eff, queue_ms, stop, fc);
+        const uint64_t faults_fired =
+            injector != nullptr ? injector->counters().total() - faults_before
+                                : 0;
+        // Black-box mirrors of the per-trace chaos instants, tagged with
+        // the admission seq so the flight recorder tells attempts apart.
+        if (recorder_ != nullptr) {
+          if (fc.fallback) {
+            recorder_->Instant(obs::EventKind::kFallback, seq, 1);
+          }
+          if (faults_fired > 0) {
+            recorder_->Instant(obs::EventKind::kFault, seq, faults_fired);
+          }
+        }
         RecordCompletion(queue_ms, WallSince(t0) * 1000.0);
         if (r.ok()) {
           ExecutionReport& rep = r.value().report;
           rep.attempt = attempt;
           rep.fallback_used = fc.fallback;
-          if (injector != nullptr) {
-            rep.faults_injected =
-                injector->counters().total() - faults_before;
+          rep.faults_injected = faults_fired;
+        }
+        // Anomaly-triggered forensics: a missed deadline, an Unavailable
+        // outcome (about to be retried or final), a retry that ran, a
+        // degraded fallback run, or a validation mismatch (digest or
+        // capture rows) snapshots the black box while the evidence is
+        // still in the rings.
+        std::string anomaly;
+        if (!r.ok()) {
+          if (r.status().code() == StatusCode::kDeadlineExceeded) {
+            anomaly = "deadline_exceeded";
+          } else if (r.status().code() == StatusCode::kUnavailable) {
+            anomaly = "unavailable";
+          } else if (r.status().code() == StatusCode::kCancelled &&
+                     opts.deadline_ms > 0 &&
+                     WallSince(submit_t) * 1000.0 >= opts.deadline_ms) {
+            // A mid-run deadline miss reaches the closure as the raw
+            // cooperative Cancelled (the lane rewrites it to
+            // DeadlineExceeded only after the run returns); a user cancel
+            // before the deadline stays a non-anomaly.
+            anomaly = "deadline_exceeded";
           }
+        } else {
+          const ExecutionReport& rep = r.value().report;
+          if (rep.validated && !rep.reference_match) {
+            anomaly = "digest_mismatch";
+          } else if (rep.validated && !rep.captures.empty() &&
+                     !rep.captures_match) {
+            anomaly = "capture_mismatch";
+          } else if (attempt > 0) {
+            anomaly = "retry";
+          } else if (fc.fallback) {
+            anomaly = "fallback";
+          }
+        }
+        if (!anomaly.empty() && !session_options_.forensics_dir.empty()) {
+          const std::vector<obs::CaptureResult>* caps =
+              r.ok() && !r.value().report.captures.empty()
+                  ? &r.value().report.captures
+                  : nullptr;
+          std::string dir = WriteForensicBundle(anomaly, seq, planned.get(),
+                                                &eff, caps, /*counted=*/true);
+          if (r.ok()) r.value().report.forensic_bundle = std::move(dir);
         }
         return r;
       });
@@ -1346,7 +1460,9 @@ SchedulerStats Session::scheduler_stats() const { return scheduler_->stats(); }
 
 WorkerPool& Session::EnsurePool() const {
   std::lock_guard<std::mutex> lock(pool_mu_);
-  if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(pool_threads_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(pool_threads_, recorder_.get());
+  }
   return *pool_;
 }
 
@@ -1546,6 +1662,15 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   if (opts.morsel_rows) po.morsel_rows = opts.morsel_rows;
   if (opts.batch_rows) po.batch_rows = opts.batch_rows;
   if (opts.queue_capacity) po.queue_capacity = opts.queue_capacity;
+  po.recorder = recorder_.get();
+  po.recorder_query = fc.query_seq;
+  std::vector<std::unique_ptr<obs::RowCapture>> cap_sinks;
+  cap_sinks.reserve(p.captures.size());
+  for (const auto& cs : p.captures) {
+    cap_sinks.push_back(
+        std::make_unique<obs::RowCapture>(session_options_.capture_rows));
+    po.captures.push_back({cs.chain, cs.point, cap_sinks.back().get()});
+  }
   if (opts.strategy == Strategy::kFP && opts.fp_error_rate > 0) {
     uint32_t ops = mt::PipelineExecutor::CompiledOpCount(plan);
     Rng rng(opts.seed ^ 0x9E3779B97F4A7C15ULL);
@@ -1620,6 +1745,10 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
   rep.rows_prefiltered = p.prefiltered_rows;
   std::vector<double> est = EstimateChainRows(p.mtplan, p.filter_pass, p.tables);
   rep.chain_cards = MakeChainCards(est, &stats.rows_per_chain);
+  for (size_t i = 0; i < cap_sinks.size(); ++i) {
+    rep.captures.push_back(cap_sinks[i]->Take(
+        p.captures[i].name, p.captures[i].chain, p.captures[i].point));
+  }
   if (opts.trace) {
     auto qt = std::make_shared<obs::QueryTrace>();
     qt->backend = "threads";
@@ -1634,11 +1763,25 @@ Result<QueryResult> Session::RunThreads(const Planned& p,
     rep.trace = std::move(qt);
   }
   if (opts.validate) {
-    auto ref = mt::ReferenceExecute(plan, p.tables);
+    std::vector<std::unique_ptr<obs::RowCapture>> ref_sinks;
+    std::vector<mt::CaptureSink> ref_caps;
+    ref_sinks.reserve(p.captures.size());
+    for (const auto& cs : p.captures) {
+      ref_sinks.push_back(
+          std::make_unique<obs::RowCapture>(session_options_.capture_rows));
+      ref_caps.push_back({cs.chain, cs.point, ref_sinks.back().get()});
+    }
+    auto ref = mt::ReferenceExecute(plan, p.tables, ref_caps);
     HIERDB_RETURN_NOT_OK(ref.status());
     rep.validated = true;
     rep.reference_rows = ref.value().count;
     rep.reference_match = ref.value() == got.value();
+    rep.captures_match = true;
+    for (size_t i = 0; i < ref_sinks.size(); ++i) {
+      obs::CaptureResult rc = ref_sinks[i]->Take(
+          p.captures[i].name, p.captures[i].chain, p.captures[i].point);
+      if (!rep.captures[i].SameRows(rc)) rep.captures_match = false;
+    }
   }
   if (opts.materialize) {
     qr.materialized = true;
@@ -1737,6 +1880,15 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   if (opts.queue_capacity) co.queue_capacity = opts.queue_capacity;
   if (opts.steal_batch) co.steal_batch = opts.steal_batch;
   if (opts.min_steal) co.min_steal = opts.min_steal;
+  co.recorder = recorder_.get();
+  co.recorder_query = fc.query_seq;
+  std::vector<std::unique_ptr<obs::RowCapture>> cap_sinks;
+  cap_sinks.reserve(p.captures.size());
+  for (const auto& cs : p.captures) {
+    cap_sinks.push_back(
+        std::make_unique<obs::RowCapture>(session_options_.capture_rows));
+    co.captures.push_back({cs.chain, cs.point, cap_sinks.back().get()});
+  }
   if (opts.strategy == Strategy::kFP && opts.fp_error_rate > 0) {
     uint32_t ops = cluster::ClusterExecutor::CompiledOpCount(query);
     Rng rng(opts.seed ^ 0x9E3779B97F4A7C15ULL);
@@ -1816,6 +1968,10 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
   rep.rows_prefiltered = p.prefiltered_rows;
   std::vector<double> est = EstimateChainRows(p.mtplan, p.filter_pass, p.tables);
   rep.chain_cards = MakeChainCards(est, &stats.rows_per_chain);
+  for (size_t i = 0; i < cap_sinks.size(); ++i) {
+    rep.captures.push_back(cap_sinks[i]->Take(
+        p.captures[i].name, p.captures[i].chain, p.captures[i].point));
+  }
   if (opts.trace) {
     auto qt = std::make_shared<obs::QueryTrace>();
     qt->backend = "cluster";
@@ -1830,11 +1986,25 @@ Result<QueryResult> Session::RunCluster(const Planned& p,
     rep.trace = std::move(qt);
   }
   if (opts.validate) {
-    auto ref = cluster::ReferenceExecute(query);
+    std::vector<std::unique_ptr<obs::RowCapture>> ref_sinks;
+    std::vector<mt::CaptureSink> ref_caps;
+    ref_sinks.reserve(p.captures.size());
+    for (const auto& cs : p.captures) {
+      ref_sinks.push_back(
+          std::make_unique<obs::RowCapture>(session_options_.capture_rows));
+      ref_caps.push_back({cs.chain, cs.point, ref_sinks.back().get()});
+    }
+    auto ref = cluster::ReferenceExecute(query, ref_caps);
     HIERDB_RETURN_NOT_OK(ref.status());
     rep.validated = true;
     rep.reference_rows = ref.value().count;
     rep.reference_match = ref.value() == got.value();
+    rep.captures_match = true;
+    for (size_t i = 0; i < ref_sinks.size(); ++i) {
+      obs::CaptureResult rc = ref_sinks[i]->Take(
+          p.captures[i].name, p.captures[i].chain, p.captures[i].point);
+      if (!rep.captures[i].SameRows(rc)) rep.captures_match = false;
+    }
   }
   if (opts.materialize) {
     qr.materialized = true;
@@ -1916,6 +2086,7 @@ SessionMetrics Session::MetricsSnapshot() const {
   if (scheduler_ != nullptr) m.scheduler = scheduler_->stats();
   m.pool = pool_stats();
   m.build_cache = build_cache_.stats();
+  if (recorder_ != nullptr) m.recorder = recorder_->stats();
   m.queries = exec_hist_.Count();
   m.exec_mean_ms = exec_hist_.MeanMs();
   m.exec_p50_ms = exec_hist_.PercentileMs(0.50);
@@ -1945,6 +2116,116 @@ void Session::ExportMetricsLine() const {
   std::ofstream out(session_options_.metrics_export_path, std::ios::app);
   if (!out) return;
   out << MetricsSnapshot().ToJson() << "\n";
+}
+
+Result<std::string> Session::DumpForensics(const std::string& reason) {
+  if (session_options_.forensics_dir.empty()) {
+    return Status::FailedPrecondition(
+        "SessionOptions::forensics_dir is not set");
+  }
+  std::string dir = WriteForensicBundle(reason, /*query_seq=*/0,
+                                        /*planned=*/nullptr, /*opts=*/nullptr,
+                                        /*captures=*/nullptr,
+                                        /*counted=*/false);
+  if (dir.empty()) {
+    return Status::Internal("could not create the forensic bundle under '" +
+                            session_options_.forensics_dir + "'");
+  }
+  return dir;
+}
+
+std::string Session::WriteForensicBundle(
+    const std::string& reason, uint64_t query_seq, const Planned* planned,
+    const ExecOptions* opts,
+    const std::vector<obs::CaptureResult>* captures, bool counted) const {
+  if (session_options_.forensics_dir.empty()) return "";
+  uint32_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(forensics_mu_);
+    if (counted &&
+        forensic_counted_ >= session_options_.forensics_max_bundles) {
+      return "";
+    }
+    if (counted) ++forensic_counted_;
+    n = forensic_bundles_++;
+  }
+  const std::string dir = session_options_.forensics_dir + "/bundle-" +
+                          std::to_string(query_seq) + "-" + std::to_string(n);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return "";
+  std::vector<const char*> files;
+  auto write = [&](const char* name, const std::string& body) {
+    std::ofstream out(dir + "/" + name, std::ios::trunc);
+    if (out) {
+      out << body;
+      files.push_back(name);
+    }
+  };
+
+  // flight.json — the black box through the standard Chrome-trace
+  // exporter, so chrome://tracing and ValidateChromeTraceJson treat the
+  // ring snapshot like any per-query trace.
+  obs::QueryTrace flight;
+  flight.backend = "recorder";
+  if (recorder_ != nullptr) flight.events = recorder_->Snapshot();
+  write("flight.json", obs::ChromeTraceJson(flight));
+
+  // plan.json — the implicated query's plan graph (anomaly dumps; an
+  // explicit DumpForensics has no query at hand).
+  if (planned != nullptr && opts != nullptr && planned->has_real) {
+    obs::QueryTrace qt;
+    qt.backend = BackendName(opts->backend);
+    qt.strategy = StrategyName(opts->strategy);
+    qt.nodes = opts->nodes;
+    qt.workers_per_node = opts->threads_per_node;
+    std::vector<double> est = EstimateChainRows(
+        planned->mtplan, planned->filter_pass, planned->tables);
+    qt.ops = opts->backend == Backend::kCluster
+                 ? ClusterTraceOps(planned->mtplan, planned->filter_pass,
+                                   planned->tables, planned->cat, est, {})
+                 : ThreadsTraceOps(planned->mtplan, planned->filter_pass,
+                                   planned->tables, planned->cat, est, {});
+    qt.chains = MakeChainCards(est, nullptr);
+    write("plan.json", obs::PlanJson(qt));
+  }
+
+  write("metrics.json", MetricsSnapshot().ToJson());
+
+  // captures.json — the bounded plan-point row samples, reference-
+  // comparable offline (the selection rule is backend-independent).
+  if (captures != nullptr && !captures->empty()) {
+    std::ostringstream os;
+    os << "{\"captures\":[";
+    for (size_t i = 0; i < captures->size(); ++i) {
+      const obs::CaptureResult& c = (*captures)[i];
+      os << (i ? "," : "") << "{\"name\":\"" << c.name
+         << "\",\"chain\":" << c.chain << ",\"point\":" << c.point
+         << ",\"width\":" << c.width << ",\"offered\":" << c.offered
+         << ",\"rows\":[";
+      for (size_t r = 0; r < c.rows.size(); ++r) {
+        os << (r ? "," : "") << "[";
+        for (size_t j = 0; j < c.rows[r].size(); ++j) {
+          os << (j ? "," : "") << c.rows[r][j];
+        }
+        os << "]";
+      }
+      os << "]}";
+    }
+    os << "]}";
+    write("captures.json", os.str());
+  }
+
+  std::ostringstream os;
+  os << "{\"reason\":\"" << reason << "\",\"query\":" << query_seq
+     << ",\"events\":" << flight.events.size() << ",\"files\":[";
+  for (size_t i = 0; i < files.size(); ++i) {
+    os << (i ? "," : "") << "\"" << files[i] << "\"";
+  }
+  os << "]}";
+  std::ofstream manifest(dir + "/manifest.json", std::ios::trunc);
+  if (manifest) manifest << os.str();
+  return dir;
 }
 
 }  // namespace hierdb::api

@@ -92,7 +92,9 @@
 #include "mt/column_batch.h"
 #include "mt/pipeline_executor.h"
 #include "mt/row.h"
+#include "obs/capture.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "opt/tree_shapes.h"
 #include "plan/join_graph.h"
@@ -384,6 +386,18 @@ struct ExecutionReport {
   bool fallback_used = false;
   uint64_t faults_injected = 0;
 
+  /// Plan-point capture (QueryBuilder::CapturePoint): the bounded,
+  /// order-independent row samples taken at each named plan point, in
+  /// declaration order. With ExecOptions::validate also set, each sample
+  /// was compared against the reference executor's sample at the same
+  /// point and captures_match reports whether every point agreed.
+  std::vector<obs::CaptureResult> captures;
+  bool captures_match = false;
+
+  /// Path of the forensic bundle written for this query's anomaly
+  /// (SessionOptions::forensics_dir); empty when none was written.
+  std::string forensic_bundle;
+
   /// Raw backend metrics.
   std::optional<exec::RunMetrics> sim;
   std::optional<mt::PipelineStats> threads;
@@ -496,6 +510,31 @@ struct SessionOptions {
   /// unset inherit this plan (a per-query plan overrides). Unset = no
   /// injection anywhere unless a query opts in.
   std::optional<fault::FaultPlan> chaos;
+
+  /// The session's always-on flight recorder (obs/recorder.h): a bounded
+  /// black box of recent admission/pool/fabric/executor events, kept hot
+  /// whether or not any query traces. False disarms it entirely (the
+  /// recording sites degrade to one null/branch check).
+  bool flight_recorder = true;
+  /// Ring pool size (distinct recording threads) and events retained per
+  /// ring; 0 keeps the recorder defaults (48 rings x 1024 events).
+  uint32_t recorder_rings = 0;
+  uint32_t recorder_ring_events = 0;
+
+  /// Directory for forensic bundles. When non-empty, an anomaly — a
+  /// missed deadline, an Unavailable outcome, any retry or fallback, a
+  /// validation digest mismatch, or an explicit Session::DumpForensics —
+  /// writes bundle-<query>-<n>/ here: the recorder's ring contents as
+  /// Chrome-trace JSON (flight.json), the implicated query's plan
+  /// (plan.json), a full SessionMetrics snapshot (metrics.json), any
+  /// capture-point samples (captures.json) and a manifest. Empty (the
+  /// default) disables bundle writing; the recorder still records.
+  std::string forensics_dir;
+  /// Automatic-bundle cap per session (oldest-first, then anomalies stop
+  /// producing bundles); explicit DumpForensics calls are not counted.
+  uint32_t forensics_max_bundles = 8;
+  /// Rows retained per capture point (QueryBuilder::CapturePoint).
+  uint32_t capture_rows = 64;
 };
 
 /// Per-tenant scheduler snapshot (SchedulerStats::tenants).
@@ -543,6 +582,15 @@ struct SchedulerStats {
   /// timers fired.
   uint64_t loop_wakeups = 0;
   uint64_t timers_fired = 0;
+  /// Event-loop health gauges (sched::EventLoop::Stats): posted-queue
+  /// high-water mark, cumulative/worst timer-wheel slip (a timer firing
+  /// `slip` ns after its programmed expiry), and the dispatch-section
+  /// latency percentiles (time from loop wakeup to handlers done).
+  uint64_t loop_max_queue_depth = 0;
+  uint64_t timer_slip_total_ns = 0;
+  uint64_t timer_slip_max_ns = 0;
+  double loop_lag_p50_ms = 0.0;
+  double loop_lag_p99_ms = 0.0;
   /// Per-tenant breakdown; index 0 is always the default "" tenant.
   std::vector<TenantStats> tenants;
 };
@@ -556,6 +604,8 @@ struct SessionMetrics {
   SchedulerStats scheduler;
   PoolStats pool;
   mt::BuildCache::Stats build_cache;
+  /// Flight-recorder counters (zero-valued when the recorder is off).
+  obs::FlightRecorder::Stats recorder;
 
   uint64_t queries = 0;        ///< latency samples (completed queries)
   double exec_mean_ms = 0.0;
@@ -739,8 +789,19 @@ class Query {
   };
   std::vector<HavingSpec> having_;
 
+  /// Plan-point captures (QueryBuilder::CapturePoint): `point` is the
+  /// position in the chain where the builder call appeared — 0 right
+  /// after Scan() (the scan's filtered, projected output), j after the
+  /// j-th Probe() (that join's output). Chain form only.
+  struct CaptureSpec {
+    std::string name;
+    uint32_t point = 0;
+  };
+  std::vector<CaptureSpec> captures_;
+
  public:
   bool has_agg() const { return !group_by_.empty() || !agg_items_.empty(); }
+  bool has_captures() const { return !captures_.empty(); }
 };
 
 /// Fluent builder. Graph form:
@@ -807,6 +868,18 @@ class QueryBuilder {
   QueryBuilder& Having(RelId rel, uint32_t col, CmpOp cmp, int64_t value);
   /// HAVING COUNT(*) `cmp` `value` (requires a Count() aggregate).
   QueryBuilder& HavingCount(CmpOp cmp, int64_t value);
+
+  /// Plan-point capture: samples the rows flowing past the *current*
+  /// position in the chain — right after Scan() the scan's output
+  /// (post-filter, post-projection), after the j-th Probe() that join's
+  /// output. The sample is bounded (SessionOptions::capture_rows) and
+  /// order-independent (bottom-k by content hash), so the same point
+  /// captured on the threads backend, the cluster backend and the
+  /// single-threaded reference retains identical rows — the executors'
+  /// answer at that operator is comparable offline. Chain form only;
+  /// real backends only. Results land in ExecutionReport::captures and in
+  /// forensic bundles.
+  QueryBuilder& CapturePoint(std::string name);
 
   Query Build() const { return q_; }
 
@@ -895,6 +968,15 @@ class Session {
   /// to call at any time (histogram reads don't stop writers).
   SessionMetrics MetricsSnapshot() const;
 
+  /// The session's flight recorder; null when SessionOptions disarmed it.
+  obs::FlightRecorder* recorder() const { return recorder_.get(); }
+
+  /// Explicitly dumps a forensic bundle (ring snapshot + metrics) right
+  /// now, outside any anomaly — the "something looks off, grab the black
+  /// box" entry point. Requires SessionOptions::forensics_dir; does not
+  /// count against forensics_max_bundles. Returns the bundle directory.
+  Result<std::string> DumpForensics(const std::string& reason = "manual");
+
  private:
   friend class Scheduler;
   struct Planned;
@@ -906,6 +988,8 @@ class Session {
     fault::FaultInjector* injector = nullptr;
     uint32_t attempt = 0;
     bool fallback = false;
+    /// Scheduler admission seq — the query tag recorder events carry.
+    uint64_t query_seq = 0;
   };
 
   /// `want_real` additionally builds the real-data bridge (tables +
@@ -938,6 +1022,11 @@ class Session {
   std::unique_ptr<ExecContext> MakeContext(
       const ExecOptions& opts, const std::atomic<bool>& stop,
       fault::FaultInjector* injector) const;
+
+  /// The always-on black box (SessionOptions::flight_recorder). Declared
+  /// FIRST: every other subsystem (scheduler, pool, per-query executors)
+  /// holds a raw pointer into it and must be destroyed before it.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
 
   catalog::Catalog catalog_;
   /// Registered data, aligned with RelIds. A deque never relocates
@@ -978,6 +1067,21 @@ class Session {
   /// Records one completed query and drives the periodic JSONL export.
   void RecordCompletion(double queue_ms, double exec_ms) const;
   void ExportMetricsLine() const;
+  /// Assembles one forensic bundle under SessionOptions::forensics_dir:
+  /// flight.json (ring snapshot as Chrome-trace JSON), metrics.json,
+  /// manifest.json, plus plan.json / captures.json when a planned query
+  /// and capture samples are at hand. `counted` bundles respect
+  /// forensics_max_bundles (automatic anomaly dumps); uncounted ones
+  /// (explicit DumpForensics) always write. Returns the bundle directory
+  /// ("" when skipped or the directory could not be created).
+  std::string WriteForensicBundle(
+      const std::string& reason, uint64_t query_seq, const Planned* planned,
+      const ExecOptions* opts,
+      const std::vector<obs::CaptureResult>* captures, bool counted) const;
+  /// Forensic-bundle bookkeeping (bundle numbering + the automatic cap).
+  mutable std::mutex forensics_mu_;
+  mutable uint32_t forensic_bundles_ = 0;  ///< total written (dir suffix)
+  mutable uint32_t forensic_counted_ = 0;  ///< automatic ones, vs the cap
   /// Declared last: destroyed first, draining in-flight queries before the
   /// catalog/tables/pool/cache they reference go away.
   std::unique_ptr<Scheduler> scheduler_;

@@ -13,11 +13,18 @@ class WorkerPool::Context final : public ExecContext {
   Context(WorkerPool* pool, const std::atomic<bool>* stop,
           fault::FaultInjector* injector)
       : pool_(pool), stop_(stop), injector_(injector) {
+    if (pool_->recorder_ != nullptr) {
+      pool_->recorder_->Instant(obs::EventKind::kPoolRent, 0,
+                                pool_->threads());
+    }
     std::lock_guard<std::mutex> lock(pool_->mu_);
     pool_->renters_.push_back(this);
   }
 
   ~Context() override {
+    if (pool_->recorder_ != nullptr) {
+      pool_->recorder_->Instant(obs::EventKind::kPoolReturn, 0, 0);
+    }
     std::unique_lock<std::mutex> lock(pool_->mu_);
     if (hook_) --pool_->hooked_renters_;
     hook_ = nullptr;
@@ -140,7 +147,8 @@ class WorkerPool::Context final : public ExecContext {
 // ---------------------------------------------------------------------------
 // Pool.
 
-WorkerPool::WorkerPool(uint32_t threads) {
+WorkerPool::WorkerPool(uint32_t threads, obs::FlightRecorder* recorder)
+    : recorder_(recorder) {
   if (threads == 0) threads = 1;
   threads_.reserve(threads);
   for (uint32_t i = 0; i < threads; ++i) {
@@ -201,6 +209,9 @@ void WorkerPool::ThreadLoop() {
       if (team->injector != nullptr && team->injector->ShouldKillWorker()) {
         team->requeued.push_back(idx);
         ++worker_deaths_;
+        if (recorder_ != nullptr) {
+          recorder_->Instant(obs::EventKind::kWorkerDeath, 0, idx);
+        }
         work_cv_.notify_all();
         team_cv_.notify_all();  // wake the renting caller to reclaim
         continue;
@@ -257,6 +268,10 @@ bool WorkerPool::StealForeign(const Context* skip) {
     std::lock_guard<std::mutex> lock(mu_);
     if (--target->hook_inflight_ == 0) hook_cv_.notify_all();
     if (ran) ++foreign_steals_;
+  }
+  if (ran && recorder_ != nullptr) {
+    // detail = 1 activation ran; worker -1 (not slot-scoped).
+    recorder_->Instant(obs::EventKind::kSteal, 0, 1);
   }
   return ran;
 }

@@ -46,6 +46,7 @@
 
 #include "common/exec_context.h"
 #include "fault/fault.h"
+#include "obs/recorder.h"
 
 namespace hierdb::api {
 
@@ -70,8 +71,11 @@ struct PoolStats {
 
 class WorkerPool {
  public:
-  /// `threads` == 0 is normalized to 1.
-  explicit WorkerPool(uint32_t threads);
+  /// `threads` == 0 is normalized to 1. `recorder`, when non-null, gets a
+  /// flight-recorder instant per rent/return/foreign-steal/worker-death
+  /// (obs/recorder.h; not owned, must outlive the pool).
+  explicit WorkerPool(uint32_t threads,
+                      obs::FlightRecorder* recorder = nullptr);
   ~WorkerPool();  // joins; requires all rented contexts destroyed
 
   WorkerPool(const WorkerPool&) = delete;
@@ -122,6 +126,7 @@ class WorkerPool {
   uint32_t hooked_renters_ = 0;  ///< renters with a registered steal hook
   size_t steal_rr_ = 0;  ///< round-robin cursor over renters
   bool stop_ = false;
+  obs::FlightRecorder* recorder_ = nullptr;  ///< session black box (null ok)
 
   uint64_t pool_tasks_ = 0;
   uint64_t caller_tasks_ = 0;

@@ -154,6 +154,11 @@ Result<ResultDigest> ReferenceExecute(const ChainQuery& query) {
 }
 
 Result<ResultDigest> ReferenceExecute(const PlanQuery& query) {
+  return ReferenceExecute(query, {});
+}
+
+Result<ResultDigest> ReferenceExecute(
+    const PlanQuery& query, const std::vector<mt::CaptureSink>& captures) {
   HIERDB_RETURN_NOT_OK(query.Validate(
       query.tables.empty()
           ? 0
@@ -163,7 +168,7 @@ Result<ResultDigest> ReferenceExecute(const PlanQuery& query) {
   for (const PartitionedTable* pt : query.tables) tables.push_back(Gather(*pt));
   std::vector<const mt::Table*> ptrs;
   for (const auto& t : tables) ptrs.push_back(&t);
-  return mt::ReferenceExecute(query.plan, ptrs);
+  return mt::ReferenceExecute(query.plan, ptrs, captures);
 }
 
 double ClusterStats::NodeImbalance() const {
@@ -351,7 +356,19 @@ struct ClusterExecutor::Impl {
   explicit Impl(const ClusterOptions& o)
       : opt(o),
         fabric({.nodes = o.nodes,
-                .injector = o.detect_faults ? o.injector : nullptr}) {}
+                .injector = o.detect_faults ? o.injector : nullptr,
+                .recorder = o.recorder,
+                .recorder_query = o.recorder_query}) {}
+
+  // ---- plan-point captures (opt.captures; empty = no per-row work) ----
+  void OfferCapture(uint32_t chain, uint32_t point, const int64_t* row,
+                    uint32_t width) {
+    for (const mt::CaptureSink& cs : opt.captures) {
+      if (cs.chain == chain && cs.point == point && cs.sink != nullptr) {
+        cs.sink->Offer(row, width);
+      }
+    }
+  }
 
   /// First stop-observer tears the whole run down: every node's done flag
   /// releases its workers, and schedulers exit on `cancelled`.
@@ -1023,6 +1040,10 @@ struct ClusterExecutor::Impl {
       }
       Route(node, t, dst_op, bucket, std::move(rows));
     };
+    // Scan output = capture point 0, offered where rows enter the chain
+    // (each source row is scanned by exactly one node, so once apiece).
+    // Build triggers are not plan points.
+    const bool cap = !opt.captures.empty() && rel == 2 * ci.k;
     auto scatter = [&](const int64_t* row, uint32_t bucket) {
       ++kept;
       Batch& b = scratch[bucket];
@@ -1033,6 +1054,7 @@ struct ClusterExecutor::Impl {
       } else {
         b.AppendRow(row);
       }
+      if (cap) OfferCapture(c, 0, b.row(b.rows() - 1), out_w);
       if (b.rows() >= opt.batch_rows) {
         flush(bucket, std::move(b));
         scratch[bucket] = Batch();
@@ -1180,10 +1202,14 @@ struct ClusterExecutor::Impl {
     mt::AggTable* agg_part =
         last && to_agg ? &ns.agg_partials[t] : nullptr;
     uint64_t produced = 0;
+    // Output of probe step j (0-based) = capture point j + 1; the last
+    // probe's output is the chain output (point k).
+    const bool cap = !opt.captures.empty();
     auto on_match = [&](const int64_t* row, const int64_t* brow) {
       ++produced;
       std::copy(row, row + in_w, out_row.begin());
       std::copy(brow, brow + build_w, out_row.begin() + in_w);
+      if (cap) OfferCapture(c, j + 1, out_row.data(), out_w);
       if (last) {
         if (agg_part != nullptr) {
           agg_part->Accumulate(out_row.data());
@@ -1399,6 +1425,11 @@ struct ClusterExecutor::Impl {
         for (uint32_t p = 0; p < opt.nodes; ++p) {
           if (p == node) continue;
           if (now - last_heard[p] > timeout_ns) {
+            if (opt.recorder != nullptr) {
+              opt.recorder->Instant(obs::EventKind::kHeartbeatMiss,
+                                    opt.recorder_query, now - last_heard[p],
+                                    static_cast<int32_t>(p));
+            }
             FailUnavailable("node " + std::to_string(p) +
                             " unresponsive (no message for " +
                             std::to_string(opt.liveness_timeout_ms) +
@@ -1412,6 +1443,11 @@ struct ClusterExecutor::Impl {
             last_progress = cur;
             progress_since = now;
           } else if (now - progress_since > timeout_ns) {
+            if (opt.recorder != nullptr) {
+              opt.recorder->Instant(obs::EventKind::kHeartbeatMiss,
+                                    opt.recorder_query, now - progress_since,
+                                    static_cast<int32_t>(node));
+            }
             FailUnavailable(
                 "cluster made no progress for " +
                 std::to_string(opt.liveness_timeout_ms) +
@@ -1943,6 +1979,11 @@ struct ClusterExecutor::Impl {
       ev.start_ns = ev.end_ns = trace->NowNs();
       ev.detail = bundle.value().activations.size();
       trace->Record(slot_of(node, 0), ev);
+    }
+    if (opt.recorder != nullptr) {
+      opt.recorder->Instant(obs::EventKind::kSteal, opt.recorder_query,
+                            bundle.value().activations.size(),
+                            static_cast<int32_t>(node));
     }
     for (auto& ra : bundle.value().activations) {
       ns.pending[op].fetch_add(1);

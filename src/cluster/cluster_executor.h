@@ -126,6 +126,10 @@ struct PlanQuery {
 /// Single-threaded reference (gathers all partitions, runs the joins).
 Result<mt::ResultDigest> ReferenceExecute(const ChainQuery& query);
 Result<mt::ResultDigest> ReferenceExecute(const PlanQuery& query);
+/// Reference execution that also feeds plan-point capture sinks (ground
+/// truth for the cluster backend's CapturePoint samples).
+Result<mt::ResultDigest> ReferenceExecute(
+    const PlanQuery& query, const std::vector<mt::CaptureSink>& captures);
 
 struct ClusterOptions {
   uint32_t nodes = 4;
@@ -172,6 +176,20 @@ struct ClusterOptions {
   /// cancelled and failed runs included. Null disables the feature down
   /// to one pointer check per activation.
   obs::TraceSink* trace = nullptr;
+
+  /// Session flight recorder (obs/recorder.h): fabric send/drop/dup,
+  /// heartbeat-miss verdicts and steal instants are mirrored into the
+  /// always-on black box. Null = one pointer check per site.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Query sequence tag for recorder events (0 = untagged).
+  uint64_t recorder_query = 0;
+
+  /// Plan-point row captures (QueryBuilder::CapturePoint), in the plan's
+  /// (chain, point) coordinates. Each row crossing a bound point is
+  /// offered exactly once cluster-wide — stolen activations offer on the
+  /// thief, duplicates are suppressed before delivery — so the samples
+  /// are comparable with the reference executor's.
+  std::vector<mt::CaptureSink> captures;
 
   /// Optional fault injector (not owned; must outlive Execute). Forwarded
   /// to the fabric for message faults; node stall/crash faults fire in

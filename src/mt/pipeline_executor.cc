@@ -221,6 +221,18 @@ struct PipelineExecutor::Shared {
   std::vector<obs::OpSpanAgg> trace_cells;  // [slot * nops + op]
   std::vector<uint64_t> chain_rows;         // [chain * slots + slot]
 
+  // Plan-point row captures (options.captures). Empty = the hot paths
+  // skip every per-row check behind one `capturing` bool per activation.
+  std::vector<CaptureSink> captures;
+  void OfferCapture(uint32_t chain, uint32_t point, const int64_t* row,
+                    uint32_t width) {
+    for (const CaptureSink& cs : captures) {
+      if (cs.chain == chain && cs.point == point && cs.sink != nullptr) {
+        cs.sink->Offer(row, width);
+      }
+    }
+  }
+
   // Stats.
   std::vector<uint64_t> busy;  // per thread, padded access is fine here
   std::atomic<uint64_t> stat_morsels{0};
@@ -305,6 +317,7 @@ Result<ResultDigest> PipelineExecutor::Execute(
   sh.plan = &plan;
   sh.tables = tables;
   sh.ctx = ctx;
+  sh.captures = options_.captures;
   const uint32_t T = options_.threads;
   const uint32_t B = options_.buckets;
 
@@ -471,6 +484,12 @@ Result<ResultDigest> PipelineExecutor::Execute(
           ev.op = static_cast<int32_t>(build_of[c][j]);
           ev.start_ns = ev.end_ns = options_.trace->NowNs();
           options_.trace->RecordShared(ev);
+        }
+        if (options_.recorder != nullptr) {
+          options_.recorder->Instant(op.prebuilt ? obs::EventKind::kCacheHit
+                                                 : obs::EventKind::kCacheMiss,
+                                     options_.recorder_query,
+                                     build_of[c][j]);
         }
       }
     }
@@ -759,6 +778,10 @@ bool PipelineExecutor::RunOneForeign() {
     ev.detail = 1;
     sh.trace->Record(slot, ev);
   }
+  if (ran && options_.recorder != nullptr) {
+    options_.recorder->Instant(obs::EventKind::kSteal, options_.recorder_query,
+                               1, 0, static_cast<int32_t>(slot));
+  }
   {
     std::lock_guard<std::mutex> lock(sh.guest_mu);
     sh.guest_free.push_back(slot);
@@ -1040,6 +1063,7 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
   const PipelinePlan& plan = *sh.plan;
   const Chain& chain = plan.chains[op.chain];
   const uint64_t tr0 = sh.trace != nullptr ? sh.trace->NowNs() : 0;
+  const bool capturing = !sh.captures.empty();
   uint64_t rows_out = 0;
 
   // Scan-level predicates: a base table's rows are filtered where they
@@ -1147,6 +1171,21 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
       const uint32_t* selp = preds != nullptr ? sc.sel.data() : nullptr;
       rows_out = m;
       if (to_agg) {
+        if (capturing) {
+          // Capture points see the (projected) chain-output rows the
+          // batched accumulate below folds without per-row access.
+          std::vector<int64_t> buf;
+          for (size_t i = 0; i < m; ++i) {
+            const int64_t* row =
+                src.row(begin + (selp != nullptr ? selp[i] : i));
+            if (proj != nullptr) {
+              buf.clear();
+              for (uint32_t cc : *proj) buf.push_back(row[cc]);
+              row = buf.data();
+            }
+            sh.OfferCapture(op.chain, 0, row, out_w);
+          }
+        }
         // Phase 1 of the two-phase aggregation, batched: one GroupHash
         // column plus column-at-a-time key gathers; the projection (if
         // any) maps the spec's pruned coordinates back to source ones.
@@ -1163,6 +1202,7 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
             for (uint32_t cc : *proj) buf.push_back(row[cc]);
             row = buf.data();
           }
+          if (capturing) sh.OfferCapture(op.chain, 0, row, out_w);
           if (final_chain) sh.thread_digests[self].Add(row, out_w);
           if (sh.materialized[op.chain]) {
             Batch& part = sh.chain_partials[op.chain][self];
@@ -1185,6 +1225,7 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
           for (uint32_t cc : *proj) buf.push_back(row[cc]);
           row = buf.data();
         }
+        if (capturing) sh.OfferCapture(op.chain, 0, row, out_w);
         if (to_agg) {
           sh.agg_partials[self].Accumulate(row);
           continue;
@@ -1214,6 +1255,9 @@ void PipelineExecutor::ExecuteMorsel(uint32_t self, uint32_t op_id,
     if (b.width() == 0) b = Batch(out_w);
     if (b.empty()) hit.push_back(bucket);
     append(b, row);
+    // Scan output = capture point 0 (offer the appended — projected —
+    // row, which is what the reference executor's scan batch holds).
+    if (capturing) sh.OfferCapture(op.chain, 0, b.row(b.rows() - 1), out_w);
     if (b.rows() >= options_.batch_rows) {
       Emit(self, op.consumer, bucket, std::move(b));
       scratch[bucket] = Batch();
@@ -1257,6 +1301,7 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
   sh.stat_data.fetch_add(1, std::memory_order_relaxed);
   ++sh.busy[self];
   const uint64_t tr0 = sh.trace != nullptr ? sh.trace->NowNs() : 0;
+  const bool capturing = !sh.captures.empty();
   const uint64_t rows_in = act.rows.rows();
 
   if (op.kind == COp::kBuild) {
@@ -1294,6 +1339,12 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
       std::copy(row, row + in_width, out_row.begin());
       std::copy(brow, brow + table.width(), out_row.begin() + in_width);
       ++produced;
+      // Last probe output = chain output = capture point J.
+      if (capturing) {
+        sh.OfferCapture(op.chain,
+                        static_cast<uint32_t>(chain.joins.size()),
+                        out_row.data(), out_width);
+      }
       if (agg_part != nullptr) {
         // Phase 1 of the two-phase aggregation: fold the result row
         // into this slot's private partial table.
@@ -1348,6 +1399,10 @@ void PipelineExecutor::ExecuteData(uint32_t self, Activation&& act) {
     std::copy(row, row + in_width, out_row.begin());
     std::copy(brow, brow + table.width(), out_row.begin() + in_width);
     ++produced;
+    // Output of probe step s (0-based) = capture point s + 1.
+    if (capturing) {
+      sh.OfferCapture(op.chain, op.step + 1, out_row.data(), out_width);
+    }
     uint32_t bucket =
         static_cast<uint32_t>(HashKey(out_row[next.probe_col]) % B);
     Batch& b = scratch[bucket];
@@ -1573,6 +1628,7 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
   uint64_t morsel_count = 0;
   uint64_t cache_hits = 0, cache_misses = 0;
   std::atomic<uint64_t> filtered{0};
+  const bool capturing = !options_.captures.empty();
 
   // Tracing: SP has no per-activation queues, so spans are coarse — one
   // per (thread, phase): build phases on the build op's id, the fused
@@ -1628,6 +1684,11 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
           ev.op = static_cast<int32_t>(op_base[c] + j);
           ev.start_ns = ev.end_ns = trace->NowNs();
           trace->RecordShared(ev);
+        }
+        if (options_.recorder != nullptr) {
+          options_.recorder->Instant(hit ? obs::EventKind::kCacheHit
+                                         : obs::EventKind::kCacheMiss,
+                                     options_.recorder_query, op_base[c] + j);
         }
         if (hit) {
           join_tables[j] = std::move(got.tables);
@@ -1765,6 +1826,17 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
     const bool to_agg = final_chain && agg != nullptr;
     std::vector<Batch> partials(T);
     std::atomic<size_t> cursor{0};
+    // Plan-point captures: row_buf's prefix at walk level `step` IS the
+    // output of plan point `step` (0 = scan output, J = chain output), so
+    // offering at each level covers every point exactly once per row.
+    auto offer_capture = [&](uint32_t point, const int64_t* row,
+                             uint32_t width) {
+      for (const CaptureSink& cs : options_.captures) {
+        if (cs.chain == c && cs.point == point && cs.sink != nullptr) {
+          cs.sink->Offer(row, width);
+        }
+      }
+    };
     ctx->SpawnWorkers(T, [&](uint32_t t) {
       std::vector<int64_t> row_buf(out_width);
       SelVec sel;
@@ -1775,6 +1847,9 @@ Result<ResultDigest> PipelineExecutor::ExecuteSP(
       // row_buf filled so far.
       auto walk = [&](auto&& self_fn, size_t step,
                       uint32_t filled) -> void {
+        if (capturing) {
+          offer_capture(static_cast<uint32_t>(step), row_buf.data(), filled);
+        }
         if (step == chain.joins.size()) {
           ++produced;
           if (to_agg) {

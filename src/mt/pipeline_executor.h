@@ -48,6 +48,7 @@
 #include "mt/hash_table.h"
 #include "mt/plan.h"
 #include "mt/row.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace hierdb::mt {
@@ -100,6 +101,18 @@ struct PipelineOptions {
   /// sink at run end, cancelled and failed runs included. Null (the
   /// default) reduces the entire feature to one pointer check.
   obs::TraceSink* trace = nullptr;
+
+  /// Session flight recorder (obs/recorder.h): when set, steal and
+  /// build-cache instants are mirrored into the always-on black box (the
+  /// per-query sink above is opt-in and query-scoped). Null = one check.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Query sequence tag for recorder events (0 = untagged).
+  uint64_t recorder_query = 0;
+
+  /// Plan-point row captures (QueryBuilder::CapturePoint): every row
+  /// crossing a bound (chain, point) is offered to its sink exactly once,
+  /// whichever worker carries it. Empty = no capture work at all.
+  std::vector<CaptureSink> captures;
 };
 
 struct PipelineStats {

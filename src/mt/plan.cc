@@ -242,7 +242,8 @@ class RefTable {
 };
 
 Result<std::vector<Batch>> MaterializeAll(
-    const PipelinePlan& plan, const std::vector<const Table*>& tables) {
+    const PipelinePlan& plan, const std::vector<const Table*>& tables,
+    const std::vector<CaptureSink>& captures = {}) {
   HIERDB_RETURN_NOT_OK(plan.Validate(tables));
   // Scan-level filters and column projections: materialize filtered (and
   // projected) copies of the tables that carry either, so every consumer
@@ -281,8 +282,21 @@ Result<std::vector<Batch>> MaterializeAll(
   };
   for (uint32_t c = 0; c < plan.chains.size(); ++c) {
     const Chain& chain = plan.chains[c];
+    // Offer a batch to every capture sink bound to (chain c, `point`).
+    auto offer = [&](uint32_t point, const Batch& b) {
+      for (const CaptureSink& cs : captures) {
+        if (cs.chain != c || cs.point != point || cs.sink == nullptr) {
+          continue;
+        }
+        for (size_t i = 0; i < b.rows(); ++i) {
+          cs.sink->Offer(b.row(i), b.width());
+        }
+      }
+    };
     const Batch* current = &batch_of(chain.input);
+    if (!chain.joins.empty()) offer(0, *current);  // scan output
     Batch scratch;
+    uint32_t step = 0;
     for (const JoinStep& j : chain.joins) {
       const Batch& build = batch_of(j.build);
       RefTable table(build, j.build_col);
@@ -295,12 +309,17 @@ Result<std::vector<Batch>> MaterializeAll(
       }
       scratch = std::move(next);
       current = &scratch;
+      ++step;
+      // Probe outputs short of the last are points 1..J-1; the last
+      // probe's output is the chain output, offered as point J below.
+      if (step < chain.joins.size()) offer(step, scratch);
     }
     if (chain.joins.empty()) {
       outputs.push_back(*current);  // pure scan chain: copy through
     } else {
       outputs.push_back(std::move(scratch));
     }
+    offer(static_cast<uint32_t>(chain.joins.size()), outputs.back());
   }
   return outputs;
 }
@@ -309,7 +328,13 @@ Result<std::vector<Batch>> MaterializeAll(
 
 Result<ResultDigest> ReferenceExecute(
     const PipelinePlan& plan, const std::vector<const Table*>& tables) {
-  auto outputs = MaterializeAll(plan, tables);
+  return ReferenceExecute(plan, tables, {});
+}
+
+Result<ResultDigest> ReferenceExecute(
+    const PipelinePlan& plan, const std::vector<const Table*>& tables,
+    const std::vector<CaptureSink>& captures) {
+  auto outputs = MaterializeAll(plan, tables, captures);
   if (!outputs.ok()) return outputs.status();
   Batch final_out = std::move(outputs.value().back());
   if (plan.agg.has_value()) {

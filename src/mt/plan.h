@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "mt/agg.h"
 #include "mt/row.h"
+#include "obs/capture.h"
 
 namespace hierdb::mt {
 
@@ -153,10 +154,29 @@ Fig2Plan MakeFig2BushyPlan(uint32_t r_key_col, uint32_t s_fk_col,
                            uint32_t t_key_col, uint32_t u_fk_col,
                            uint32_t chain0_out_col, uint32_t u_fk2_col);
 
+/// Binds an obs::RowCapture sink to a plan point. Point coordinates on
+/// chain c: 0 = the driving scan's output (post-filter, post-projection),
+/// j = the output of probe j (1-based), joins.size() = the chain's final
+/// output (pre-aggregation). Every row crossing the point is offered to
+/// `sink` exactly once — on the threads backend, the cluster backend and
+/// the reference executor alike — so the bottom-k samples they retain are
+/// directly comparable.
+struct CaptureSink {
+  uint32_t chain = 0;
+  uint32_t point = 0;
+  obs::RowCapture* sink = nullptr;
+};
+
 /// Single-threaded reference execution (for validating every parallel
 /// strategy). Returns the digest of the final chain's output.
 Result<ResultDigest> ReferenceExecute(
     const PipelinePlan& plan, const std::vector<const Table*>& tables);
+
+/// Reference execution that also feeds plan-point capture sinks — the
+/// ground truth the parallel backends' captures are checked against.
+Result<ResultDigest> ReferenceExecute(
+    const PipelinePlan& plan, const std::vector<const Table*>& tables,
+    const std::vector<CaptureSink>& captures);
 
 /// Reference execution that also returns the final output batch (used by
 /// tests that check materialization).

@@ -72,6 +72,20 @@ Status Fabric::Send(uint32_t from, uint32_t to, Message m) {
   }
   m.from = from;
   m.seq = 1 + send_seq_[from]->fetch_add(1, std::memory_order_relaxed);
+  // Flight-recorder mirror: node = sender, worker = destination node,
+  // detail = wire bytes.
+  obs::FlightRecorder* rec = options_.recorder;
+  if (rec != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kFabricSend;
+    ev.node = static_cast<int32_t>(from);
+    ev.worker = static_cast<int32_t>(to);
+    ev.op = static_cast<int32_t>(m.op);
+    ev.start_ns = ev.end_ns = rec->NowNs();
+    ev.detail = m.wire_bytes();
+    ev.query = options_.recorder_query;
+    rec->Record(ev);
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.messages;
@@ -92,6 +106,11 @@ Status Fabric::Send(uint32_t from, uint32_t to, Message m) {
   if (inj != nullptr && inj->armed() && m.type != MsgType::kShutdown &&
       m.type != MsgType::kHeartbeat) {
     if (inj->ShouldDropMessage()) {
+      if (rec != nullptr) {
+        rec->Instant(obs::EventKind::kFabricDrop, options_.recorder_query,
+                     m.wire_bytes(), static_cast<int32_t>(from),
+                     static_cast<int32_t>(to));
+      }
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.dropped;
       return Status::OK();  // silently lost, as on a real network
@@ -110,6 +129,11 @@ Status Fabric::Send(uint32_t from, uint32_t to, Message m) {
     std::this_thread::sleep_for(options_.delay);
   }
   if (duplicate) {
+    if (rec != nullptr) {
+      rec->Instant(obs::EventKind::kFabricDup, options_.recorder_query,
+                   m.wire_bytes(), static_cast<int32_t>(from),
+                   static_cast<int32_t>(to));
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.duplicated;

@@ -1,0 +1,42 @@
+#include "obs/capture.h"
+
+namespace hierdb::obs {
+
+void RowCapture::Insert(uint64_t h, const int64_t* row, uint32_t width) {
+  std::vector<int64_t> copy(row, row + width);
+  std::lock_guard<std::mutex> lock(mu_);
+  width_ = width;
+  if (kept_.size() < max_rows_) {
+    kept_.emplace(h, std::move(copy));
+    if (kept_.size() == max_rows_) {
+      threshold_.store(kept_.rbegin()->first, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Full: admit only pairs strictly smaller than the current maximum (an
+  // equal pair is an identical row — the kept multiset is unchanged
+  // either way, so skipping keeps the result order-independent).
+  auto largest = std::prev(kept_.end());
+  std::pair<uint64_t, std::vector<int64_t>> cand(h, std::move(copy));
+  if (cand < *largest) {
+    kept_.erase(largest);
+    kept_.insert(std::move(cand));
+    threshold_.store(kept_.rbegin()->first, std::memory_order_relaxed);
+  }
+}
+
+CaptureResult RowCapture::Take(std::string name, uint32_t chain,
+                               uint32_t point) {
+  CaptureResult out;
+  out.name = std::move(name);
+  out.chain = chain;
+  out.point = point;
+  out.offered = offered_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  out.width = width_;
+  out.rows.reserve(kept_.size());
+  for (const auto& [h, row] : kept_) out.rows.push_back(row);
+  return out;
+}
+
+}  // namespace hierdb::obs

@@ -100,6 +100,7 @@ std::string ChromeTraceJson(const QueryTrace& trace) {
       os << ",\"detail\":" << e.detail;
     }
     if (e.op >= 0) os << ",\"op\":" << e.op;
+    if (e.query > 0) os << ",\"query\":" << e.query;
     os << "}}";
   }
   os << "]}";

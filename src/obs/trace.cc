@@ -17,6 +17,14 @@ const char* EventKindName(EventKind k) {
     case EventKind::kFault: return "fault";
     case EventKind::kRetry: return "retry";
     case EventKind::kFallback: return "fallback";
+    case EventKind::kSubmit: return "submit";
+    case EventKind::kDeadlineArm: return "deadline_arm";
+    case EventKind::kDeadlineFire: return "deadline_fire";
+    case EventKind::kTenantReject: return "tenant_reject";
+    case EventKind::kWorkerDeath: return "worker_death";
+    case EventKind::kFabricDrop: return "fabric_drop";
+    case EventKind::kFabricDup: return "fabric_dup";
+    case EventKind::kHeartbeatMiss: return "heartbeat_miss";
   }
   return "?";
 }

@@ -51,6 +51,17 @@ enum class EventKind : uint8_t {
   kFault,       ///< injected faults fired during an attempt (`detail`)
   kRetry,       ///< scheduler re-dispatch; `detail` = attempt number
   kFallback,    ///< degraded to the fallback backend after retries
+  // Flight-recorder instants (obs/recorder.h): the always-on black box
+  // records the admission core, pool, fabric and executors with these in
+  // addition to the kinds above.
+  kSubmit,         ///< query admitted; `detail` = query seq
+  kDeadlineArm,    ///< deadline timer armed; `detail` = deadline ns
+  kDeadlineFire,   ///< deadline expired (queued or mid-run)
+  kTenantReject,   ///< admission backpressure; `detail` = tenant index
+  kWorkerDeath,    ///< injected pool worker death (slot re-queued)
+  kFabricDrop,     ///< injected message drop on the cluster fabric
+  kFabricDup,      ///< injected duplicate delivery on the fabric
+  kHeartbeatMiss,  ///< liveness watchdog declared a node silent
 };
 
 const char* EventKindName(EventKind k);
@@ -71,6 +82,7 @@ struct TraceEvent {
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;
   uint64_t detail = 0;  ///< spans: busy ns; instants: kind-specific count
+  uint64_t query = 0;   ///< scheduler query seq (0 = not query-scoped)
 };
 
 /// Per-(slot, op) running aggregate an executor keeps while tracing.

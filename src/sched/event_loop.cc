@@ -1,5 +1,6 @@
 #include "sched/event_loop.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,7 @@ void EventLoop::Post(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     posted_.push_back(std::move(fn));
     ++stats_.posts;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, posted_.size());
   }
   cv_.notify_all();
 }
@@ -62,9 +64,16 @@ void EventLoop::CancelTimer(uint64_t id) {
 }
 
 EventLoop::Stats EventLoop::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Stats s = stats_;
-  s.timers_armed = wheel_.armed();
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+    s.timers_armed = wheel_.armed();
+    s.timer_slip_total_ns = wheel_.slip_total_ns();
+    s.timer_slip_max_ns = wheel_.slip_max_ns();
+  }
+  s.loop_lag_p50_ms = loop_lag_.PercentileMs(0.50);
+  s.loop_lag_p99_ms = loop_lag_.PercentileMs(0.99);
   return s;
 }
 
@@ -97,8 +106,11 @@ void EventLoop::Run() {
     }
     // Dispatch outside the lock: handlers take the scheduler's own locks
     // and may post further events or arm timers.
+    const uint64_t dispatch_start = NowNs();
     for (auto& fn : batch) fn();
     for (uint64_t id : expired) on_timer_(id);
+    loop_lag_.Record(
+        static_cast<double>(NowNs() - dispatch_start) / 1e6);
   }
 }
 

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "sched/timer_wheel.h"
 
 namespace hierdb::sched {
@@ -61,6 +62,13 @@ class EventLoop {
     uint64_t posts = 0;         ///< events posted
     uint64_t timers_fired = 0;  ///< deadlines dispatched to the handler
     size_t timers_armed = 0;    ///< currently armed
+    // Event-loop health gauges (the flight recorder's "was the reactor
+    // keeping up?" vitals; exported via SessionMetrics).
+    size_t max_queue_depth = 0;      ///< posted-queue high-water mark
+    uint64_t timer_slip_total_ns = 0;  ///< cumulative deadline lateness
+    uint64_t timer_slip_max_ns = 0;    ///< worst single-deadline lateness
+    double loop_lag_p50_ms = 0;  ///< median iteration service time
+    double loop_lag_p99_ms = 0;  ///< tail iteration service time
   };
   Stats stats() const;
 
@@ -75,6 +83,9 @@ class EventLoop {
   std::deque<std::function<void()>> posted_;
   TimerWheel wheel_;
   Stats stats_;
+  /// Service time of each working iteration (wakeup -> batch + timer
+  /// handlers dispatched); atomic buckets, so Run records outside mu_.
+  obs::LatencyHistogram loop_lag_;
   bool stop_ = false;
   bool started_ = false;
   std::thread thread_;

@@ -72,6 +72,10 @@ void TimerWheel::Advance(uint64_t now_ns, std::vector<uint64_t>* expired) {
       if (e.when_ns <= now_ns) {
         expired->push_back(e.id);
         live_.erase(it);
+        const uint64_t slip = now_ns - e.when_ns;
+        ++fired_;
+        slip_total_ns_ += slip;
+        slip_max_ns_ = std::max(slip_max_ns_, slip);
         if (e.when_ns <= next_ns_) lost_min = true;
         continue;
       }

@@ -63,6 +63,15 @@ class TimerWheel {
 
   size_t armed() const { return live_.size(); }
 
+  /// Timers fired over the wheel's lifetime.
+  uint64_t fired() const { return fired_; }
+  /// Cumulative slip (ns the clock was already past each deadline when it
+  /// fired) — the wheel-resolution + loop-latency tax, the forensic "were
+  /// deadlines firing late?" gauge.
+  uint64_t slip_total_ns() const { return slip_total_ns_; }
+  /// Worst single-timer slip observed (ns).
+  uint64_t slip_max_ns() const { return slip_max_ns_; }
+
  private:
   struct Entry {
     uint64_t id = 0;
@@ -82,6 +91,9 @@ class TimerWheel {
   std::unordered_map<uint64_t, uint64_t> live_;
   uint64_t last_tick_ = 0;  ///< wheel position of the last Advance
   uint64_t next_ns_ = UINT64_MAX;
+  uint64_t fired_ = 0;
+  uint64_t slip_total_ns_ = 0;
+  uint64_t slip_max_ns_ = 0;
 };
 
 }  // namespace hierdb::sched
